@@ -1,0 +1,281 @@
+//! Runtime-typed columns — ArrayFire arrays carry their dtype at runtime.
+
+use gpu_sim::{AllocPolicy, Device, DeviceBuffer, Result, SimError};
+use std::sync::Arc;
+
+/// Element type of an [`Array`](crate::Array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit float (`f64` / AF `f64`).
+    F64,
+    /// 64-bit unsigned (`u64` / AF `u64`).
+    U64,
+    /// 32-bit unsigned (`u32` / AF `u32`).
+    U32,
+    /// 64-bit signed (`i64` / AF `s64`).
+    I64,
+    /// 8-bit boolean (`b8`).
+    B8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F64 | DType::U64 | DType::I64 => 8,
+            DType::U32 => 4,
+            DType::B8 => 1,
+        }
+    }
+
+    /// Short ArrayFire-style name, used in JIT shape signatures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F64 => "f64",
+            DType::U64 => "u64",
+            DType::U32 => "u32",
+            DType::I64 => "s64",
+            DType::B8 => "b8",
+        }
+    }
+}
+
+/// A scalar constant embedded in a lazy expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// 64-bit float constant.
+    F64(f64),
+    /// 64-bit unsigned constant.
+    U64(u64),
+    /// 32-bit unsigned constant.
+    U32(u32),
+    /// 64-bit signed constant.
+    I64(i64),
+    /// Boolean constant.
+    B8(bool),
+}
+
+impl Scalar {
+    /// The scalar's dtype.
+    pub fn dtype(self) -> DType {
+        match self {
+            Scalar::F64(_) => DType::F64,
+            Scalar::U64(_) => DType::U64,
+            Scalar::U32(_) => DType::U32,
+            Scalar::I64(_) => DType::I64,
+            Scalar::B8(_) => DType::B8,
+        }
+    }
+
+    /// Lossy conversion to `f64` (for arithmetic dispatch).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::F64(x) => x,
+            Scalar::U64(x) => x as f64,
+            Scalar::U32(x) => x as f64,
+            Scalar::I64(x) => x as f64,
+            Scalar::B8(x) => x as u8 as f64,
+        }
+    }
+}
+
+macro_rules! impl_from_scalar {
+    ($($t:ty => $v:ident),*) => {$(
+        impl From<$t> for Scalar {
+            fn from(x: $t) -> Scalar { Scalar::$v(x) }
+        }
+    )*};
+}
+impl_from_scalar!(f64 => F64, u64 => U64, u32 => U32, i64 => I64, bool => B8);
+
+/// Materialised column data, one device buffer per dtype.
+#[derive(Debug)]
+pub enum ColumnData {
+    /// 64-bit float column.
+    F64(DeviceBuffer<f64>),
+    /// 64-bit unsigned column.
+    U64(DeviceBuffer<u64>),
+    /// 32-bit unsigned column.
+    U32(DeviceBuffer<u32>),
+    /// 64-bit signed column.
+    I64(DeviceBuffer<i64>),
+    /// Boolean column (stored as 0/1 bytes).
+    B8(DeviceBuffer<u8>),
+}
+
+impl ColumnData {
+    /// The column's dtype.
+    pub fn dtype(&self) -> DType {
+        match self {
+            ColumnData::F64(_) => DType::F64,
+            ColumnData::U64(_) => DType::U64,
+            ColumnData::U32(_) => DType::U32,
+            ColumnData::I64(_) => DType::I64,
+            ColumnData::B8(_) => DType::B8,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::F64(b) => b.len(),
+            ColumnData::U64(b) => b.len(),
+            ColumnData::U32(b) => b.len(),
+            ColumnData::I64(b) => b.len(),
+            ColumnData::B8(b) => b.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.len() * self.dtype().size()) as u64
+    }
+
+    /// Wrap a typed host vector into a pooled device column (ArrayFire's
+    /// memory manager pools allocations).
+    pub fn from_f64(device: &Arc<Device>, v: Vec<f64>) -> Result<Self> {
+        Ok(ColumnData::F64(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+    }
+
+    /// See [`ColumnData::from_f64`].
+    pub fn from_u64(device: &Arc<Device>, v: Vec<u64>) -> Result<Self> {
+        Ok(ColumnData::U64(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+    }
+
+    /// See [`ColumnData::from_f64`].
+    pub fn from_u32(device: &Arc<Device>, v: Vec<u32>) -> Result<Self> {
+        Ok(ColumnData::U32(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+    }
+
+    /// See [`ColumnData::from_f64`].
+    pub fn from_i64(device: &Arc<Device>, v: Vec<i64>) -> Result<Self> {
+        Ok(ColumnData::I64(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+    }
+
+    /// See [`ColumnData::from_f64`].
+    pub fn from_b8(device: &Arc<Device>, v: Vec<u8>) -> Result<Self> {
+        Ok(ColumnData::B8(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+    }
+
+    /// View as `f64` values, converting on the fly (functional helper used
+    /// by the interpreter; no cost implications).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            ColumnData::F64(b) => b.host().to_vec(),
+            ColumnData::U64(b) => b.host().iter().map(|&x| x as f64).collect(),
+            ColumnData::U32(b) => b.host().iter().map(|&x| x as f64).collect(),
+            ColumnData::I64(b) => b.host().iter().map(|&x| x as f64).collect(),
+            ColumnData::B8(b) => b.host().iter().map(|&x| x as f64).collect(),
+        }
+    }
+
+    /// Typed accessors — error with [`SimError::Unsupported`] on dtype
+    /// mismatch (mirrors `af::array::host<T>` type checking).
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            ColumnData::F64(b) => Ok(b.host()),
+            other => Err(type_err("f64", other.dtype())),
+        }
+    }
+
+    /// See [`ColumnData::as_f64`].
+    pub fn as_u64(&self) -> Result<&[u64]> {
+        match self {
+            ColumnData::U64(b) => Ok(b.host()),
+            other => Err(type_err("u64", other.dtype())),
+        }
+    }
+
+    /// See [`ColumnData::as_f64`].
+    pub fn as_u32(&self) -> Result<&[u32]> {
+        match self {
+            ColumnData::U32(b) => Ok(b.host()),
+            other => Err(type_err("u32", other.dtype())),
+        }
+    }
+
+    /// See [`ColumnData::as_f64`].
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            ColumnData::I64(b) => Ok(b.host()),
+            other => Err(type_err("s64", other.dtype())),
+        }
+    }
+
+    /// See [`ColumnData::as_f64`].
+    pub fn as_b8(&self) -> Result<&[u8]> {
+        match self {
+            ColumnData::B8(b) => Ok(b.host()),
+            other => Err(type_err("b8", other.dtype())),
+        }
+    }
+}
+
+fn type_err(wanted: &str, got: DType) -> SimError {
+    SimError::Unsupported(format!("dtype mismatch: wanted {wanted}, array is {}", got.name()))
+}
+
+/// Build a [`ColumnData`] of `dtype` from an `f64` working vector
+/// (interpreter output), truncating/rounding like a GPU cast.
+pub fn column_from_f64(device: &Arc<Device>, dtype: DType, v: Vec<f64>) -> Result<ColumnData> {
+    match dtype {
+        DType::F64 => ColumnData::from_f64(device, v),
+        DType::U64 => ColumnData::from_u64(device, v.into_iter().map(|x| x as u64).collect()),
+        DType::U32 => ColumnData::from_u32(device, v.into_iter().map(|x| x as u32).collect()),
+        DType::I64 => ColumnData::from_i64(device, v.into_iter().map(|x| x as i64).collect()),
+        DType::B8 => ColumnData::from_b8(
+            device,
+            v.into_iter().map(|x| u8::from(x != 0.0)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes_and_names() {
+        assert_eq!(DType::F64.size(), 8);
+        assert_eq!(DType::U32.size(), 4);
+        assert_eq!(DType::B8.size(), 1);
+        assert_eq!(DType::I64.name(), "s64");
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        let s: Scalar = 2.5f64.into();
+        assert_eq!(s.dtype(), DType::F64);
+        assert_eq!(s.as_f64(), 2.5);
+        let s: Scalar = true.into();
+        assert_eq!(s.as_f64(), 1.0);
+        let s: Scalar = 7u32.into();
+        assert_eq!(s.dtype(), DType::U32);
+    }
+
+    #[test]
+    fn column_roundtrip_and_type_checks() {
+        let dev = Device::with_defaults();
+        let c = ColumnData::from_u32(&dev, vec![1, 2, 3]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DType::U32);
+        assert_eq!(c.size_bytes(), 12);
+        assert_eq!(c.as_u32().unwrap(), &[1, 2, 3]);
+        assert!(c.as_f64().is_err());
+        assert_eq!(c.to_f64_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn column_from_f64_casts() {
+        let dev = Device::with_defaults();
+        let c = column_from_f64(&dev, DType::B8, vec![0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(c.as_b8().unwrap(), &[0, 1, 1]);
+        let c = column_from_f64(&dev, DType::U32, vec![1.9, 3.0]).unwrap();
+        assert_eq!(c.as_u32().unwrap(), &[1, 3]);
+    }
+}

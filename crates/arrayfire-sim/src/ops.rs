@@ -1,0 +1,480 @@
+//! Non-fusable ArrayFire operations.
+//!
+//! `where`, `sort`, `scan`, reductions, `sumByKey`/`countByKey`,
+//! `setIntersect`/`setUnion` and `lookup` break the JIT graph: they
+//! force-evaluate their inputs, then run as discrete kernels with their own
+//! footprints (Table II's partial-support pathways).
+
+use crate::array::{Array, Backend};
+use crate::dtype::{ColumnData, DType};
+use gpu_sim::{presets, KernelCost, Result, SimError};
+use std::sync::Arc;
+
+fn backend_of(a: &Array) -> Arc<Backend> {
+    Arc::clone(a.backend())
+}
+
+/// `af::where` — indices of non-zero elements, as a `u32` array.
+///
+/// This is ArrayFire's selection vehicle: the predicate fuses into the
+/// input expression, but materialising the qualifying row-ids is a
+/// scan + compact pair of kernels.
+pub fn where_(cond: &Array) -> Result<Array> {
+    let af = backend_of(cond);
+    let device = af.device();
+    let col = cond.eval()?;
+    let vals = col.to_f64_vec();
+    let idx: Vec<u32> = vals
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(i, _)| i as u32)
+        .collect();
+    let n = cond.len();
+    let launch = device.spec().cuda_launch_latency_ns;
+    device.charge_kernel(
+        "af::where/scan",
+        presets::scan::<u8>(n).with_launch_overhead(launch),
+    );
+    device.charge_kernel(
+        "af::where/compact",
+        KernelCost::map::<u8, ()>(n)
+            .with_write((idx.len() * 4) as u64)
+            .with_divergence(0.3)
+            .with_launch_overhead(launch),
+    );
+    af.wrap(ColumnData::from_u32(device, idx)?)
+}
+
+/// `af::lookup` — gather `data[indices[i]]` (materialisation after
+/// `where`).
+pub fn lookup(data: &Array, indices: &Array) -> Result<Array> {
+    if indices.dtype() != DType::U32 {
+        return Err(SimError::Unsupported(
+            "af::lookup expects u32 indices".into(),
+        ));
+    }
+    let af = backend_of(data);
+    let device = af.device();
+    let col = data.eval()?;
+    let idx_col = indices.eval()?;
+    let idx = idx_col.as_u32()?;
+    let src = col.to_f64_vec();
+    let mut out = Vec::with_capacity(idx.len());
+    for &i in idx {
+        let i = i as usize;
+        if i >= src.len() {
+            return Err(SimError::IndexOutOfBounds {
+                index: i,
+                len: src.len(),
+            });
+        }
+        out.push(src[i]);
+    }
+    let launch = device.spec().cuda_launch_latency_ns;
+    let bytes_per = data.dtype().size();
+    device.charge_kernel(
+        "af::lookup",
+        presets::gather::<u64>(idx.len())
+            .with_read((idx.len() * (4 + bytes_per)) as u64)
+            .with_write((idx.len() * bytes_per) as u64)
+            .with_launch_overhead(launch),
+    );
+    af.wrap(crate::dtype::column_from_f64(device, data.dtype(), out)?)
+}
+
+/// `af::sum` — total of all elements, returned as `f64`.
+pub fn sum(a: &Array) -> Result<f64> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let total = col.to_f64_vec().iter().sum();
+    device.charge_kernel(
+        "af::sum",
+        KernelCost::reduce::<u64>(0)
+            .with_read(col.size_bytes())
+            .with_flops(a.len() as u64)
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(total)
+}
+
+/// `af::count` — number of non-zero elements.
+pub fn count(a: &Array) -> Result<usize> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let n = col.to_f64_vec().iter().filter(|&&x| x != 0.0).count();
+    device.charge_kernel(
+        "af::count",
+        KernelCost::reduce::<u8>(a.len())
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(n)
+}
+
+/// `af::accum` — inclusive prefix sum.
+pub fn accum(a: &Array) -> Result<Array> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let mut out = col.to_f64_vec();
+    let mut acc = 0.0;
+    for x in out.iter_mut() {
+        acc += *x;
+        *x = acc;
+    }
+    device.charge_kernel(
+        "af::accum",
+        presets::scan::<u64>(a.len())
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
+}
+
+/// `af::constant` — a device array filled with `value` (one fill kernel,
+/// no transfer).
+pub fn constant(af: &Arc<Backend>, value: f64, len: usize) -> Result<Array> {
+    let device = af.device();
+    device.charge_kernel(
+        "af::constant",
+        KernelCost::map::<(), f64>(len)
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    af.wrap(ColumnData::from_f64(device, vec![value; len])?)
+}
+
+/// `af::scan` — prefix sum with selectable semantics (`exclusive = true`
+/// gives the database-style offsets scan).
+pub fn scan(a: &Array, exclusive: bool) -> Result<Array> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let vals = col.to_f64_vec();
+    let mut out = Vec::with_capacity(vals.len());
+    let mut acc = 0.0;
+    for &x in &vals {
+        if exclusive {
+            out.push(acc);
+            acc += x;
+        } else {
+            acc += x;
+            out.push(acc);
+        }
+    }
+    device.charge_kernel(
+        "af::scan",
+        presets::scan::<u64>(a.len())
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
+}
+
+/// `af::sort` — ascending values.
+pub fn sort(a: &Array) -> Result<Array> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let mut v = col.to_f64_vec();
+    v.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sort"));
+    charge_radix(&af, a.len(), a.dtype().size(), 0, "af::sort");
+    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), v)?)
+}
+
+/// `af::sort` with `(keys, values)` — returns both permuted, keys
+/// ascending and stable.
+pub fn sort_by_key(keys: &Array, vals: &Array) -> Result<(Array, Array)> {
+    if keys.len() != vals.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: vals.len(),
+        });
+    }
+    let af = backend_of(keys);
+    let device = af.device();
+    let kcol = keys.eval()?;
+    let vcol = vals.eval()?;
+    let kv = kcol.to_f64_vec();
+    let vv = vcol.to_f64_vec();
+    let mut perm: Vec<usize> = (0..kv.len()).collect();
+    perm.sort_by(|&i, &j| kv[i].partial_cmp(&kv[j]).expect("NaN key").then(i.cmp(&j)));
+    let ks: Vec<f64> = perm.iter().map(|&i| kv[i]).collect();
+    let vs: Vec<f64> = perm.iter().map(|&i| vv[i]).collect();
+    charge_radix(&af, keys.len(), keys.dtype().size(), vals.dtype().size(), "af::sort_by_key");
+    Ok((
+        af.wrap(crate::dtype::column_from_f64(device, keys.dtype(), ks)?)?,
+        af.wrap(crate::dtype::column_from_f64(device, vals.dtype(), vs)?)?,
+    ))
+}
+
+fn charge_radix(af: &Arc<Backend>, n: usize, key_bytes: usize, payload_bytes: usize, label: &str) {
+    let device = af.device();
+    let launch = device.spec().cuda_launch_latency_ns;
+    let passes = key_bytes.max(1);
+    for _ in 0..passes {
+        for (i, cost) in presets::radix_sort_pass::<u8>(n, payload_bytes)
+            .into_iter()
+            .enumerate()
+        {
+            // presets::radix_sort_pass sizes keys as u8; rescale reads to
+            // the real key width.
+            let cost = match i {
+                0 => cost.with_read((n * key_bytes) as u64),
+                2 => cost
+                    .with_read((n * (key_bytes + payload_bytes)) as u64)
+                    .with_write((n * (key_bytes + payload_bytes)) as u64),
+                _ => cost,
+            };
+            let phase = ["histogram", "digit_scan", "scatter"][i % 3];
+            device.charge_kernel(&format!("{label}/{phase}"), cost.with_launch_overhead(launch));
+        }
+    }
+}
+
+/// `af::sumByKey` — segmented sum over runs of consecutive equal keys.
+/// Returns `(unique_keys, sums)`.
+pub fn sum_by_key(keys: &Array, vals: &Array) -> Result<(Array, Array)> {
+    by_key(keys, vals, "af::sumByKey", |acc, x| acc + x)
+}
+
+/// `af::countByKey` — segmented count over runs of consecutive equal keys.
+pub fn count_by_key(keys: &Array) -> Result<(Array, Array)> {
+    let af = backend_of(keys);
+    let device = af.device();
+    let ones = af.wrap(ColumnData::from_u64(device, vec![1; keys.len()])?)?;
+    let (k, c) = by_key(keys, &ones, "af::countByKey", |acc, x| acc + x)?;
+    Ok((k, c))
+}
+
+fn by_key(
+    keys: &Array,
+    vals: &Array,
+    label: &str,
+    fold: impl Fn(f64, f64) -> f64,
+) -> Result<(Array, Array)> {
+    if keys.len() != vals.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: vals.len(),
+        });
+    }
+    let af = backend_of(keys);
+    let device = af.device();
+    let kv = keys.eval()?.to_f64_vec();
+    let vv = vals.eval()?.to_f64_vec();
+    let mut out_k = Vec::new();
+    let mut out_v = Vec::new();
+    let mut i = 0;
+    while i < kv.len() {
+        let k = kv[i];
+        let mut acc = vv[i];
+        let mut j = i + 1;
+        while j < kv.len() && kv[j] == k {
+            acc = fold(acc, vv[j]);
+            j += 1;
+        }
+        out_k.push(k);
+        out_v.push(acc);
+        i = j;
+    }
+    device.charge_kernel(
+        label,
+        presets::reduce_by_key::<u64, u64>(keys.len(), out_k.len())
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    Ok((
+        af.wrap(crate::dtype::column_from_f64(device, keys.dtype(), out_k)?)?,
+        af.wrap(crate::dtype::column_from_f64(device, vals.dtype(), out_v)?)?,
+    ))
+}
+
+/// `af::setIntersect` — intersection of two **sorted, unique** u32 index
+/// arrays (the paper's conjunction of selections).
+pub fn set_intersect(a: &Array, b: &Array) -> Result<Array> {
+    set_op(a, b, "af::setIntersect", true)
+}
+
+/// `af::setUnion` — union of two **sorted, unique** u32 index arrays
+/// (the paper's disjunction of selections).
+pub fn set_union(a: &Array, b: &Array) -> Result<Array> {
+    set_op(a, b, "af::setUnion", false)
+}
+
+fn set_op(a: &Array, b: &Array, label: &str, intersect: bool) -> Result<Array> {
+    if a.dtype() != DType::U32 || b.dtype() != DType::U32 {
+        return Err(SimError::Unsupported(format!(
+            "{label} expects u32 index arrays"
+        )));
+    }
+    let af = backend_of(a);
+    let device = af.device();
+    let av = a.eval()?;
+    let bv = b.eval()?;
+    let (xs, ys) = (av.as_u32()?, bv.as_u32()?);
+    if !is_sorted_unique(xs) || !is_sorted_unique(ys) {
+        return Err(SimError::Unsupported(format!(
+            "{label} requires sorted unique inputs"
+        )));
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                if !intersect {
+                    out.push(xs[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if !intersect {
+                    out.push(ys[j]);
+                }
+                j += 1;
+            }
+        }
+    }
+    if !intersect {
+        out.extend_from_slice(&xs[i..]);
+        out.extend_from_slice(&ys[j..]);
+    }
+    let launch = device.spec().cuda_launch_latency_ns;
+    device.charge_kernel(
+        label,
+        KernelCost::map::<u32, u32>(xs.len() + ys.len())
+            .with_write((out.len() * 4) as u64)
+            .with_divergence(0.2)
+            .with_launch_overhead(launch),
+    );
+    af.wrap(ColumnData::from_u32(device, out)?)
+}
+
+fn is_sorted_unique(v: &[u32]) -> bool {
+    v.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    fn af() -> (Arc<Device>, Arc<Backend>) {
+        let dev = Device::with_defaults();
+        let b = Backend::new(&dev);
+        (dev, b)
+    }
+
+    #[test]
+    fn where_returns_indices_of_true() {
+        let (dev, af) = af();
+        let x = af.array_u32(&[5, 2, 9, 1, 7]).unwrap();
+        let mask = x.gt_scalar(4u32);
+        dev.reset_stats();
+        let idx = where_(&mask).unwrap();
+        assert_eq!(idx.host_u32().unwrap(), vec![0, 2, 4]);
+        let s = dev.stats();
+        assert_eq!(s.launches_of("af::jit_fused"), 1, "predicate fused");
+        assert_eq!(s.launches_of("af::where/scan"), 1);
+        assert_eq!(s.launches_of("af::where/compact"), 1);
+    }
+
+    #[test]
+    fn lookup_gathers_rows() {
+        let (_dev, af) = af();
+        let data = af.array_f64(&[10.0, 20.0, 30.0]).unwrap();
+        let idx = af.array_u32(&[2, 0]).unwrap();
+        let out = lookup(&data, &idx).unwrap();
+        assert_eq!(out.host_f64().unwrap(), vec![30.0, 10.0]);
+        let bad = af.array_u32(&[9]).unwrap();
+        assert!(lookup(&data, &bad).is_err());
+        let not_u32 = af.array_f64(&[0.0]).unwrap();
+        assert!(lookup(&data, &not_u32).is_err());
+    }
+
+    #[test]
+    fn selection_pipeline_where_then_lookup() {
+        let (_dev, af) = af();
+        let x = af.array_u32(&[5, 2, 9, 1, 7]).unwrap();
+        let idx = where_(&x.gt_scalar(4u32)).unwrap();
+        let vals = lookup(&x.cast(DType::F64), &idx).unwrap();
+        assert_eq!(vals.host_f64().unwrap(), vec![5.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn sum_count_accum() {
+        let (_dev, af) = af();
+        let x = af.array_f64(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(sum(&x).unwrap(), 6.0);
+        let mask = x.gt_scalar(1.5f64);
+        assert_eq!(count(&mask).unwrap(), 2);
+        let a = accum(&x).unwrap();
+        assert_eq!(a.host_f64().unwrap(), vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sort_and_sort_by_key() {
+        let (_dev, af) = af();
+        let x = af.array_u32(&[3, 1, 2]).unwrap();
+        let s = sort(&x).unwrap();
+        assert_eq!(s.host_u32().unwrap(), vec![1, 2, 3]);
+        let k = af.array_u32(&[2, 1, 2, 1]).unwrap();
+        let v = af.array_f64(&[20.0, 10.0, 21.0, 11.0]).unwrap();
+        let (ks, vs) = sort_by_key(&k, &v).unwrap();
+        assert_eq!(ks.host_u32().unwrap(), vec![1, 1, 2, 2]);
+        assert_eq!(vs.host_f64().unwrap(), vec![10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn grouped_aggregation_sum_by_key() {
+        let (_dev, af) = af();
+        let k = af.array_u32(&[1, 1, 2, 2, 2]).unwrap();
+        let v = af.array_u64(&[1, 2, 3, 4, 5]).unwrap();
+        let (gk, gv) = sum_by_key(&k, &v).unwrap();
+        assert_eq!(gk.host_u32().unwrap(), vec![1, 2]);
+        assert_eq!(gv.host_u64().unwrap(), vec![3, 12]);
+        let (ck, cv) = count_by_key(&k).unwrap();
+        assert_eq!(ck.host_u32().unwrap(), vec![1, 2]);
+        assert_eq!(cv.host_u64().unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn set_ops_implement_conjunction_disjunction() {
+        let (_dev, af) = af();
+        let a = af.array_u32(&[0, 2, 4, 6]).unwrap();
+        let b = af.array_u32(&[2, 3, 6]).unwrap();
+        let i = set_intersect(&a, &b).unwrap();
+        assert_eq!(i.host_u32().unwrap(), vec![2, 6]);
+        let u = set_union(&a, &b).unwrap();
+        assert_eq!(u.host_u32().unwrap(), vec![0, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn set_ops_enforce_preconditions() {
+        let (_dev, af) = af();
+        let unsorted = af.array_u32(&[3, 1]).unwrap();
+        let ok = af.array_u32(&[1, 2]).unwrap();
+        assert!(set_intersect(&unsorted, &ok).is_err());
+        let f = af.array_f64(&[1.0]).unwrap();
+        assert!(set_union(&f, &ok).is_err());
+    }
+
+    #[test]
+    fn mismatched_key_value_lengths() {
+        let (_dev, af) = af();
+        let k = af.array_u32(&[1]).unwrap();
+        let v = af.array_f64(&[1.0, 2.0]).unwrap();
+        assert!(sum_by_key(&k, &v).is_err());
+        assert!(sort_by_key(&k, &v).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Additional non-fused ArrayFire operations: scalar reductions
+//! (`min`/`max`/`mean`), `setUnique`, `diff1`, `shift` and `histogram`.
+
+use crate::array::{Array, Backend};
+use crate::dtype::ColumnData;
+use gpu_sim::{KernelCost, Result, SimError};
+use std::sync::Arc;
+
+fn backend_of(a: &Array) -> Arc<Backend> {
+    Arc::clone(a.backend())
+}
+
+fn reduce_scalar(a: &Array, label: &str) -> Result<Vec<f64>> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let vals = col.to_f64_vec();
+    device.charge_kernel(
+        label,
+        KernelCost::reduce::<u64>(a.len())
+            .with_read(col.size_bytes())
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(vals)
+}
+
+/// `af::min` — smallest element as `f64`.
+pub fn min_all(a: &Array) -> Result<f64> {
+    let vals = reduce_scalar(a, "af::min")?;
+    vals.into_iter()
+        .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.min(x))))
+        .ok_or_else(|| SimError::Unsupported("min of empty array".into()))
+}
+
+/// `af::max` — largest element as `f64`.
+pub fn max_all(a: &Array) -> Result<f64> {
+    let vals = reduce_scalar(a, "af::max")?;
+    vals.into_iter()
+        .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x))))
+        .ok_or_else(|| SimError::Unsupported("max of empty array".into()))
+}
+
+/// `af::mean` — arithmetic mean as `f64`.
+pub fn mean(a: &Array) -> Result<f64> {
+    if a.is_empty() {
+        return Err(SimError::Unsupported("mean of empty array".into()));
+    }
+    let vals = reduce_scalar(a, "af::mean")?;
+    Ok(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// `af::setUnique` — sorted distinct values (SQL DISTINCT). Internally a
+/// sort + adjacent-compare compaction, charged as such.
+pub fn set_unique(a: &Array) -> Result<Array> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let mut vals = col.to_f64_vec();
+    vals.sort_by(|x, y| x.partial_cmp(y).expect("NaN in setUnique"));
+    vals.dedup();
+    let launch = device.spec().cuda_launch_latency_ns;
+    for (i, cost) in gpu_sim::presets::radix_sort::<u32>(a.len(), 0)
+        .into_iter()
+        .enumerate()
+    {
+        let phase = ["histogram", "digit_scan", "scatter"][i % 3];
+        device.charge_kernel(
+            &format!("af::setUnique/sort_{phase}"),
+            cost.with_launch_overhead(launch),
+        );
+    }
+    device.charge_kernel(
+        "af::setUnique/compact",
+        gpu_sim::presets::scan::<u32>(a.len()).with_launch_overhead(launch),
+    );
+    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), vals)?)
+}
+
+/// `af::diff1` — first-order forward difference (`out[i] = in[i+1] -
+/// in[i]`, one element shorter).
+pub fn diff1(a: &Array) -> Result<Array> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let vals = col.to_f64_vec();
+    let out: Vec<f64> = vals.windows(2).map(|w| w[1] - w[0]).collect();
+    device.charge_kernel(
+        "af::diff1",
+        KernelCost::map::<u64, u64>(a.len())
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
+}
+
+/// `af::shift` — circular shift by `offset` positions (positive shifts
+/// right).
+pub fn shift(a: &Array, offset: i64) -> Result<Array> {
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let vals = col.to_f64_vec();
+    let n = vals.len();
+    let out: Vec<f64> = if n == 0 {
+        vals
+    } else {
+        let k = offset.rem_euclid(n as i64) as usize;
+        let mut out = Vec::with_capacity(n);
+        out.extend_from_slice(&vals[n - k..]);
+        out.extend_from_slice(&vals[..n - k]);
+        out
+    };
+    device.charge_kernel(
+        "af::shift",
+        KernelCost::map::<u64, u64>(n)
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
+}
+
+/// `af::histogram` — counts over `bins` equal-width buckets spanning
+/// `[lo, hi)`. Returns a `u32` array of length `bins`.
+pub fn histogram(a: &Array, bins: usize, lo: f64, hi: f64) -> Result<Array> {
+    if bins == 0 || hi <= lo {
+        return Err(SimError::Unsupported(
+            "histogram needs bins > 0 and hi > lo".into(),
+        ));
+    }
+    let af = backend_of(a);
+    let device = af.device();
+    let col = a.eval()?;
+    let mut counts = vec![0u32; bins];
+    let width = (hi - lo) / bins as f64;
+    for x in col.to_f64_vec() {
+        if x >= lo && x < hi {
+            let b = ((x - lo) / width) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+    }
+    device.charge_kernel(
+        "af::histogram",
+        KernelCost::reduce::<u64>(a.len())
+            .with_write((bins * 4) as u64)
+            .with_divergence(0.2)
+            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    );
+    af.wrap(ColumnData::from_u32(device, counts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use gpu_sim::Device;
+
+    fn af() -> Arc<Backend> {
+        Backend::new(&Device::with_defaults())
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        let af = af();
+        let a = af.array_f64(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(min_all(&a).unwrap(), 1.0);
+        assert_eq!(max_all(&a).unwrap(), 3.0);
+        assert_eq!(mean(&a).unwrap(), 2.0);
+        let empty = af.array_f64(&[]).unwrap();
+        assert!(min_all(&empty).is_err());
+        assert!(mean(&empty).is_err());
+    }
+
+    #[test]
+    fn set_unique_sorts_and_dedups_globally() {
+        let af = af();
+        let a = af.array_u32(&[5, 1, 5, 3, 1]).unwrap();
+        let u = set_unique(&a).unwrap();
+        assert_eq!(u.host_u32().unwrap(), vec![1, 3, 5]);
+        assert_eq!(u.dtype(), DType::U32);
+    }
+
+    #[test]
+    fn diff1_and_shift() {
+        let af = af();
+        let a = af.array_f64(&[1.0, 4.0, 2.0]).unwrap();
+        let d = diff1(&a).unwrap();
+        assert_eq!(d.host_f64().unwrap(), vec![3.0, -2.0]);
+        let s = shift(&a, 1).unwrap();
+        assert_eq!(s.host_f64().unwrap(), vec![2.0, 1.0, 4.0]);
+        let s = shift(&a, -1).unwrap();
+        assert_eq!(s.host_f64().unwrap(), vec![4.0, 2.0, 1.0]);
+        let s = shift(&a, 3).unwrap();
+        assert_eq!(s.host_f64().unwrap(), vec![1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let af = af();
+        let a = af.array_f64(&[0.1, 0.2, 0.5, 0.9, 1.5, -0.5]).unwrap();
+        let h = histogram(&a, 2, 0.0, 1.0).unwrap();
+        // [0, 0.5): {0.1, 0.2}; [0.5, 1.0): {0.5, 0.9}; out-of-range ignored.
+        assert_eq!(h.host_u32().unwrap(), vec![2, 2]);
+        assert!(histogram(&a, 0, 0.0, 1.0).is_err());
+        assert!(histogram(&a, 4, 1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the operator pipelines.
+//!
+//! These measure **wall-clock** throughput of the simulator + library
+//! stack (the harness itself); the paper's figures are regenerated in
+//! *simulated* time by the `src/bin` experiment binaries. Keeping both
+//! ensures the reproduction stays fast enough to iterate on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use proto_core::backend::GpuBackend;
+use proto_core::ops::{CmpOp, JoinAlgo};
+use proto_core::prelude::*;
+use proto_core::workload;
+
+fn backends() -> Vec<Box<dyn GpuBackend>> {
+    let spec = gpu_sim::DeviceSpec::gtx1080();
+    vec![
+        Box::new(ArrayFireBackend::new(&gpu_sim::Device::new(spec.clone()))),
+        Box::new(BoostBackend::new(&gpu_sim::Device::new(spec.clone()))),
+        Box::new(ThrustBackend::new(&gpu_sim::Device::new(spec.clone()))),
+        Box::new(HandwrittenBackend::new(&gpu_sim::Device::new(spec))),
+    ]
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let n = 1 << 18;
+    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
+    let mut group = c.benchmark_group("selection");
+    group.throughput(Throughput::Elements(n as u64));
+    for b in backends() {
+        let dc = b.upload_u32(&col).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| {
+                let ids = b.selection(&dc, CmpOp::Lt, thr as f64).unwrap();
+                b.free(ids).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped_sum(c: &mut Criterion) {
+    let n = 1 << 17;
+    let keys = workload::zipf_keys(n, 256, 0.5, workload::SEED);
+    let vals = workload::uniform_f64(n, workload::SEED);
+    let mut group = c.benchmark_group("grouped_sum");
+    group.throughput(Throughput::Elements(n as u64));
+    for b in backends() {
+        let k = b.upload_u32(&keys).unwrap();
+        let v = b.upload_f64(&vals).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| {
+                let (gk, gv) = b.grouped_sum(&k, &v).unwrap();
+                b.free(gk).unwrap();
+                b.free(gv).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let n = 1 << 17;
+    let keys = workload::uniform_u32(n, u32::MAX, workload::SEED);
+    let mut group = c.benchmark_group("sort");
+    group.throughput(Throughput::Elements(n as u64));
+    for b in backends() {
+        let k = b.upload_u32(&keys).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| {
+                let s = b.sort(&k).unwrap();
+                b.free(s).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let n = 1 << 14;
+    let (outer, inner) = workload::fk_join(n, n, workload::SEED);
+    let mut group = c.benchmark_group("join");
+    group.throughput(Throughput::Elements(n as u64));
+    for b in backends() {
+        for algo in [JoinAlgo::Hash, JoinAlgo::NestedLoops] {
+            if b.support(algo.operator()) == proto_core::ops::Support::None {
+                continue;
+            }
+            let o = b.upload_u32(&outer).unwrap();
+            let i = b.upload_u32(&inner).unwrap();
+            group.bench_function(
+                BenchmarkId::new(format!("{:?}", algo), b.name()),
+                |bench| {
+                    bench.iter(|| {
+                        let (l, r) = b.join(&o, &i, algo).unwrap();
+                        b.free(l).unwrap();
+                        b.free(r).unwrap();
+                    })
+                },
+            );
+            b.free(o).unwrap();
+            b.free(i).unwrap();
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = operators;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_selection, bench_grouped_sum, bench_sort, bench_joins
+}
+criterion_main!(operators);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of whole TPC-H queries per backend (wall clock of
+//! the harness; simulated-time figures come from the experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proto_core::backend::GpuBackend;
+use proto_core::plan::{Agg, AggQuery, Bindings, Expr, Predicate};
+use proto_core::prelude::*;
+use tpch::queries::{q1, q6};
+
+fn backends() -> Vec<Box<dyn GpuBackend>> {
+    let spec = gpu_sim::DeviceSpec::gtx1080();
+    vec![
+        Box::new(ArrayFireBackend::new(&gpu_sim::Device::new(spec.clone()))),
+        Box::new(BoostBackend::new(&gpu_sim::Device::new(spec.clone()))),
+        Box::new(ThrustBackend::new(&gpu_sim::Device::new(spec.clone()))),
+        Box::new(HandwrittenBackend::new(&gpu_sim::Device::new(spec))),
+    ]
+}
+
+fn bench_q6(c: &mut Criterion) {
+    let db = tpch::generate(0.005);
+    let mut group = c.benchmark_group("tpch_q6_sf0.005");
+    for b in backends() {
+        let data = q6::Q6Data::upload(b.as_ref(), &db).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| data.execute(b.as_ref()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_q1(c: &mut Criterion) {
+    let db = tpch::generate(0.002);
+    let mut group = c.benchmark_group("tpch_q1_sf0.002");
+    for b in backends() {
+        let data = q1::Q1Data::upload(b.as_ref(), &db).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| data.execute(b.as_ref()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_declarative_q6(c: &mut Criterion) {
+    // The AggQuery lowering itself: how much harness overhead does the
+    // declarative layer add over the hand-lowered pipeline?
+    let db = tpch::generate(0.005);
+    let li = &db.lineitem;
+    let shipdate: Vec<f64> = li.shipdate.iter().map(|&d| d as f64).collect();
+    let q = AggQuery::new(Agg::Sum(Expr::col("ext") * Expr::col("disc"))).filter(Predicate::And(vec![
+        Predicate::cmp("ship", CmpOp::Ge, tpch::dates::date(1994, 1, 1) as f64),
+        Predicate::cmp("ship", CmpOp::Lt, tpch::dates::date(1995, 1, 1) as f64),
+        Predicate::cmp("disc", CmpOp::Ge, 0.045),
+        Predicate::cmp("disc", CmpOp::Le, 0.075),
+        Predicate::cmp("qty", CmpOp::Lt, 24.0),
+    ]));
+    let mut group = c.benchmark_group("declarative_q6_sf0.005");
+    for b in backends() {
+        let mut binding = Bindings::new(b.as_ref());
+        binding.bind_f64("ext", &li.extendedprice).unwrap();
+        binding.bind_f64("disc", &li.discount).unwrap();
+        binding.bind_f64("qty", &li.quantity).unwrap();
+        binding.bind_f64("ship", &shipdate).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| q.execute(&binding).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = queries;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_q6, bench_q1, bench_declarative_q6
+}
+criterion_main!(queries);

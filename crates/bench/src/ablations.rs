@@ -1,0 +1,197 @@
+//! Ablation experiments A1–A3 — making the paper's §II claims measurable.
+
+use proto_core::ops::CmpOp;
+use proto_core::runner::{Experiment, Sample};
+use proto_core::workload;
+use std::fmt::Write as _;
+
+/// A1 — "unwanted intermediate data movements": kernel launches and
+/// device-memory traffic of one selection, per backend. The x axis is the
+/// row count; `launches`/`kernel_bytes` are the point of the experiment.
+pub fn a1_chaining(fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+    let mut exp = Experiment::new(
+        "A1",
+        "Selection cost anatomy: launches & traffic per backend",
+        "rows",
+    );
+    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
+    for b in fw.backends() {
+        let c = b.upload_u32(&col).expect("upload");
+        let s = proto_core::runner::measure(b.as_ref(), n as u64, || {
+            let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+            b.free(ids)
+        })
+        .expect("measure");
+        exp.push(s);
+        b.free(c).expect("free");
+    }
+    exp
+}
+
+/// Render A1 as the anatomy table (launches, bytes, time).
+pub fn render_a1(exp: &Experiment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## A1 — selection anatomy ({} rows)", exp.xs()[0]);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>16} {:>12}",
+        "backend", "launches", "device bytes", "time"
+    );
+    for b in exp.backends() {
+        let s = exp.get(b, exp.xs()[0]).unwrap();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>16} {:>12}",
+            b,
+            s.launches,
+            s.kernel_bytes,
+            proto_core::runner::fmt_duration(s.nanos)
+        );
+    }
+    out
+}
+
+/// A2 — ArrayFire lazy fusion: an element-wise chain of length `k` costs
+/// one fused kernel on ArrayFire and `k` kernels on Thrust.
+pub fn a2_fusion(chain_lengths: &[usize], n: usize) -> Experiment {
+    let mut exp = Experiment::new(
+        "A2",
+        "Element-wise chain: fused (ArrayFire) vs. eager (Thrust)",
+        "chain_length",
+    );
+    let data = workload::uniform_f64(n, workload::SEED ^ 21);
+    for &k in chain_lengths {
+        // ArrayFire: lazy chain, one fused kernel at eval.
+        {
+            let dev = gpu_sim::Device::new(crate::paper_device());
+            let rt = arrayfire_backend(&dev);
+            let arr = rt.array_f64(&data).expect("upload");
+            // Warm the JIT shape.
+            run_af_chain(&arr, k);
+            dev.reset_stats();
+            let t0 = dev.now();
+            run_af_chain(&arr, k);
+            let stats = dev.stats();
+            exp.push(Sample {
+                backend: "ArrayFire".into(),
+                x: k as u64,
+                nanos: (dev.now() - t0).as_nanos(),
+                cold_nanos: 0,
+                launches: stats.total_launches(),
+                kernel_bytes: stats.total_kernel_bytes(),
+            });
+        }
+        // Thrust: k eager transform calls.
+        {
+            let dev = gpu_sim::Device::new(crate::paper_device());
+            let v = thrust_sim::DeviceVector::from_host(&dev, &data).expect("upload");
+            run_thrust_chain(&v, k); // warm pools
+            dev.reset_stats();
+            let t0 = dev.now();
+            run_thrust_chain(&v, k);
+            let stats = dev.stats();
+            exp.push(Sample {
+                backend: "Thrust".into(),
+                x: k as u64,
+                nanos: (dev.now() - t0).as_nanos(),
+                cold_nanos: 0,
+                launches: stats.total_launches(),
+                kernel_bytes: stats.total_kernel_bytes(),
+            });
+        }
+    }
+    exp
+}
+
+fn arrayfire_backend(dev: &std::sync::Arc<gpu_sim::Device>) -> std::sync::Arc<arrayfire_sim::Backend> {
+    arrayfire_sim::Backend::new(dev)
+}
+
+fn run_af_chain(arr: &arrayfire_sim::Array, k: usize) {
+    let mut e = arr + 1.0;
+    for _ in 1..k {
+        e = &e * 1.000001;
+    }
+    e.eval().expect("eval");
+}
+
+fn run_thrust_chain(v: &thrust_sim::DeviceVector<f64>, k: usize) {
+    let mut cur = thrust_sim::transform(v, |x| x + 1.0).expect("transform");
+    for _ in 1..k {
+        cur = thrust_sim::transform(&cur, |x| x * 1.000001).expect("transform");
+    }
+}
+
+/// A3 — JIT program cache: cold vs. warm operator latency per backend.
+/// x = 0 reports the cold run, x = 1 the warm run. Builds a *fresh*
+/// framework internally so caches really are cold, whatever ran before.
+pub fn a3_jit_cache(_fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+    let fw = proto_core::framework::Framework::with_all_backends(&crate::paper_device());
+    let mut exp = Experiment::new("A3", "Cold (x=0) vs. warm (x=1) selection latency", "run");
+    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
+    for b in fw.backends() {
+        let c = b.upload_u32(&col).expect("upload");
+        let s = proto_core::runner::measure(b.as_ref(), 1, || {
+            let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+            b.free(ids)
+        })
+        .expect("measure");
+        exp.push(Sample {
+            backend: s.backend.clone(),
+            x: 0,
+            nanos: s.cold_nanos,
+            cold_nanos: s.cold_nanos,
+            launches: s.launches,
+            kernel_bytes: s.kernel_bytes,
+        });
+        exp.push(s);
+        b.free(c).expect("free");
+    }
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_framework;
+
+    #[test]
+    fn a1_handwritten_moves_least_data() {
+        let fw = paper_framework();
+        let exp = a1_chaining(&fw, 1 << 18);
+        let hw = exp.get("Handwritten", 1 << 18).unwrap();
+        let th = exp.get("Thrust", 1 << 18).unwrap();
+        assert!(hw.launches < th.launches);
+        assert!(hw.kernel_bytes < th.kernel_bytes, "{hw:?} vs {th:?}");
+        let rendered = render_a1(&exp);
+        assert!(rendered.contains("Handwritten") && rendered.contains("launches"));
+    }
+
+    #[test]
+    fn a2_fusion_keeps_one_kernel_thrust_grows_linearly() {
+        let exp = a2_fusion(&[1, 4, 8], 1 << 16);
+        for &k in &[1u64, 4, 8] {
+            assert_eq!(exp.get("ArrayFire", k).unwrap().launches, 1, "fused");
+            assert_eq!(exp.get("Thrust", k).unwrap().launches, k, "eager");
+        }
+        // Traffic: Thrust materialises k intermediates, AF only one output.
+        let af8 = exp.get("ArrayFire", 8).unwrap().kernel_bytes;
+        let th8 = exp.get("Thrust", 8).unwrap().kernel_bytes;
+        assert!(th8 > 4 * af8, "af {af8} vs thrust {th8}");
+    }
+
+    #[test]
+    fn a3_jit_penalty_is_boosts_and_arrayfires() {
+        let fw = paper_framework();
+        let exp = a3_jit_cache(&fw, 1 << 16);
+        for b in ["Boost.Compute", "ArrayFire"] {
+            let cold = exp.get(b, 0).unwrap().nanos;
+            let warm = exp.get(b, 1).unwrap().nanos;
+            assert!(cold > 3 * warm, "{b}: cold {cold} vs warm {warm}");
+        }
+        // Thrust has no JIT: the cold/warm gap is only pool warm-up.
+        let cold = exp.get("Thrust", 0).unwrap().nanos;
+        let warm = exp.get("Thrust", 1).unwrap().nanos;
+        assert!(cold < 10 * warm, "Thrust cold/warm gap stays small");
+    }
+}

@@ -1,0 +1,6 @@
+//! A3 — cold (first-call, JIT) vs. warm operator latency per backend.
+fn main() {
+    let fw = bench::paper_framework();
+    let exp = bench::ablations::a3_jit_cache(&fw, 1 << 20);
+    bench::report::emit(&exp, bench::report::csv_dir_from_args().as_deref()).unwrap();
+}

@@ -1,0 +1,30 @@
+//! E15 — kernel launches per operator call, the quantified Table II.
+fn main() {
+    let fw = bench::paper_framework();
+    let exp = bench::operators::e15_launch_anatomy(&fw, 1 << 20);
+    // The interesting columns here are launches, not time; print both.
+    println!("## E15 — kernel launches per operator call (2^20 rows)");
+    let ops = [
+        "selection", "conjunction(2)", "product", "reduction", "prefix_sum",
+        "sort", "sort_by_key", "grouped_sum", "gather", "scatter",
+    ];
+    print!("{:<16}", "operator");
+    for b in exp.backends() {
+        print!(" {:>16}", b);
+    }
+    println!();
+    for (i, name) in ops.iter().enumerate() {
+        print!("{:<16}", name);
+        for b in exp.backends() {
+            match exp.get(b, i as u64) {
+                Some(s) => print!(" {:>16}", s.launches),
+                None => print!(" {:>16}", "–"),
+            }
+        }
+        println!();
+    }
+    if let Some(dir) = bench::report::csv_dir_from_args() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("E15.csv"), exp.to_csv()).unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! E4 — selection runtime vs. selectivity at 2^20 rows.
+fn main() {
+    let fw = bench::paper_framework();
+    let sels = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+    let exp = bench::operators::e4_selection_selectivity(&fw, 1 << 20, &sels);
+    bench::report::emit(&exp, bench::report::csv_dir_from_args().as_deref()).unwrap();
+}

@@ -1,0 +1,10 @@
+//! E12 — TPC-H Q3 and Q4 (join-bearing) per backend; ArrayFire cannot run
+//! them (Table II: no join support).
+fn main() {
+    let fw = bench::paper_framework();
+    bench::queries::validate_all(&fw, &tpch::generate(0.001)).expect("validation");
+    let csv = bench::report::csv_dir_from_args();
+    for exp in bench::queries::e12_join_queries(&fw, &bench::queries::default_scale_factors()) {
+        bench::report::emit(&exp, csv.as_deref()).unwrap();
+    }
+}

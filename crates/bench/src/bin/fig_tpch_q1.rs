@@ -1,0 +1,7 @@
+//! E11 — TPC-H Q1 per backend across scale factors (validates first).
+fn main() {
+    let fw = bench::paper_framework();
+    bench::queries::validate_all(&fw, &tpch::generate(0.001)).expect("validation");
+    let exp = bench::queries::e11_q1(&fw, &bench::queries::default_scale_factors());
+    bench::report::emit(&exp, bench::report::csv_dir_from_args().as_deref()).unwrap();
+}

@@ -1,0 +1,9 @@
+//! E1 — regenerate the paper's Table I (the 43-library survey).
+fn main() {
+    println!("{}", proto_core::survey::render_hierarchy());
+    println!("{}", proto_core::survey::render_table());
+    println!("Selected for the study (DB-operator libraries with pre-written functions):");
+    for l in proto_core::survey::selected_for_study() {
+        println!("  - {} ({})", l.name, l.substrate.label());
+    }
+}

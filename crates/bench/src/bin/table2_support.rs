@@ -1,0 +1,6 @@
+//! E2 — regenerate the paper's Table II (operator-support matrix),
+//! derived from live backend introspection rather than hard-coded prose.
+fn main() {
+    let fw = bench::paper_framework();
+    println!("{}", fw.support_matrix());
+}

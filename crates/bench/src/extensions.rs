@@ -1,0 +1,242 @@
+//! Extension experiments beyond the paper's §IV — exercising the design
+//! dimensions the paper's discussion raises but does not plot.
+//!
+//! * **E13** — transfer-inclusive vs. device-resident query cost: §II notes
+//!   library chaining causes data movement; this experiment shows the
+//!   *other* movement, PCIe, dwarfs everything when data is not resident —
+//!   the reason all GPU DBMSs cache columns on the device.
+//! * **E14** — multi-aggregate grouping: the library interface forces one
+//!   grouped pass per aggregate; a fused kernel produces SUM+COUNT in one.
+//! * **A4** — early vs. late materialisation of a selection+product+sum
+//!   pipeline across selectivities, on the same (Thrust) backend.
+
+use proto_core::backend::Pred;
+use proto_core::ops::{CmpOp, Connective};
+use proto_core::runner::{Experiment, Sample};
+use proto_core::workload;
+
+/// E13 — TPC-H Q6 cost, device-resident (x=0) vs. including host→device
+/// column transfers (x=1), per backend.
+pub fn e13_transfer_inclusive(
+    fw: &proto_core::framework::Framework,
+    sf: f64,
+) -> Experiment {
+    let mut exp = Experiment::new(
+        "E13",
+        "Q6: device-resident (x=0) vs. transfer-inclusive (x=1)",
+        "mode",
+    );
+    let db = tpch::generate(sf);
+    for b in fw.backends() {
+        use tpch::queries::q6::Q6Data;
+        // Warm caches with a throwaway round.
+        let warm = Q6Data::upload(b.as_ref(), &db).expect("upload");
+        warm.execute(b.as_ref()).expect("warm");
+        warm.free(b.as_ref()).expect("free");
+        let dev = b.device();
+        // Resident: data already on device, measure execution only.
+        let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
+        dev.reset_stats();
+        let t0 = dev.now();
+        data.execute(b.as_ref()).expect("execute");
+        let resident = dev.now() - t0;
+        let stats = dev.stats();
+        exp.push(Sample {
+            backend: b.name().to_string(),
+            x: 0,
+            nanos: resident.as_nanos(),
+            cold_nanos: resident.as_nanos(),
+            launches: stats.total_launches(),
+            kernel_bytes: stats.total_kernel_bytes(),
+        });
+        data.free(b.as_ref()).expect("free");
+        // Transfer-inclusive: upload + execute.
+        dev.reset_stats();
+        let t1 = dev.now();
+        let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
+        data.execute(b.as_ref()).expect("execute");
+        let inclusive = dev.now() - t1;
+        let stats = dev.stats();
+        exp.push(Sample {
+            backend: b.name().to_string(),
+            x: 1,
+            nanos: inclusive.as_nanos(),
+            cold_nanos: inclusive.as_nanos(),
+            launches: stats.total_launches(),
+            kernel_bytes: stats.total_kernel_bytes(),
+        });
+        data.free(b.as_ref()).expect("free");
+    }
+    exp
+}
+
+/// E14 — grouped SUM+COUNT: library composition (one pass per aggregate)
+/// vs. the handwritten fused pass, vs. rows.
+pub fn e14_multi_aggregate(
+    fw: &proto_core::framework::Framework,
+    sizes: &[usize],
+) -> Experiment {
+    let mut exp = Experiment::new(
+        "E14",
+        "Grouped SUM+COUNT (multi-aggregate) vs. rows",
+        "rows",
+    );
+    for &n in sizes {
+        let keys = workload::zipf_keys(n, 64, 0.5, workload::SEED);
+        let vals = workload::uniform_f64(n, workload::SEED ^ 30);
+        for b in fw.backends() {
+            let k = b.upload_u32(&keys).expect("upload");
+            let v = b.upload_f64(&vals).expect("upload");
+            let s = proto_core::runner::measure(b.as_ref(), n as u64, || {
+                let (gk, sums, counts) = b.grouped_sum_count(&k, &v)?;
+                for c in [gk, sums, counts] {
+                    b.free(c)?;
+                }
+                Ok(())
+            })
+            .expect("measure");
+            exp.push(s);
+            b.free(k).expect("free");
+            b.free(v).expect("free");
+        }
+    }
+    exp
+}
+
+/// A4 — early vs. late materialisation on the Thrust backend:
+/// `SUM(a·b) WHERE key < θ` as (early) select → gather both columns →
+/// product → reduce, vs. (late) product over the full columns → gather
+/// the products → reduce. x = selectivity in permille.
+pub fn a4_materialization(
+    fw: &proto_core::framework::Framework,
+    n: usize,
+    selectivities: &[f64],
+) -> Experiment {
+    let mut exp = Experiment::new(
+        "A4",
+        "Early vs. late materialisation (Thrust), selection+product+sum",
+        "sel_permille",
+    );
+    let b = fw.backend("Thrust").expect("Thrust registered");
+    let a_vals = workload::uniform_f64(n, workload::SEED ^ 40);
+    let b_vals = workload::uniform_f64(n, workload::SEED ^ 41);
+    for &sel in selectivities {
+        let (keys, thr) = workload::selectivity_column(n, sel, workload::SEED);
+        let ck = b.upload_u32(&keys).expect("upload");
+        let ca = b.upload_f64(&a_vals).expect("upload");
+        let cb = b.upload_f64(&b_vals).expect("upload");
+        let x = (sel * 1000.0).round() as u64;
+        let preds = [Pred { col: &ck, cmp: CmpOp::Lt, lit: thr as f64 }];
+        // Early materialisation.
+        let mut early = proto_core::runner::measure(b, x, || {
+            let ids = b.selection_multi(&preds, Connective::And)?;
+            let ga = b.gather(&ca, &ids)?;
+            let gb = b.gather(&cb, &ids)?;
+            let prod = b.product(&ga, &gb)?;
+            let _total = b.reduction(&prod)?;
+            for c in [ids, ga, gb, prod] {
+                b.free(c)?;
+            }
+            Ok(())
+        })
+        .expect("measure");
+        early.backend = "Thrust/early".into();
+        exp.push(early);
+        // Late materialisation.
+        let mut late = proto_core::runner::measure(b, x, || {
+            let prod = b.product(&ca, &cb)?;
+            let ids = b.selection_multi(&preds, Connective::And)?;
+            let g = b.gather(&prod, &ids)?;
+            let _total = b.reduction(&g)?;
+            for c in [prod, ids, g] {
+                b.free(c)?;
+            }
+            Ok(())
+        })
+        .expect("measure");
+        late.backend = "Thrust/late".into();
+        exp.push(late);
+        for c in [ck, ca, cb] {
+            b.free(c).expect("free");
+        }
+    }
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_framework;
+
+    #[test]
+    fn e13_transfers_dominate_resident_execution() {
+        let fw = paper_framework();
+        let exp = e13_transfer_inclusive(&fw, 0.02);
+        for b in ["Thrust", "Handwritten", "ArrayFire"] {
+            let resident = exp.get(b, 0).unwrap().nanos;
+            let inclusive = exp.get(b, 1).unwrap().nanos;
+            assert!(
+                inclusive > 3 * resident,
+                "{b}: inclusive {inclusive} vs resident {resident}"
+            );
+        }
+    }
+
+    #[test]
+    fn e14_fused_multi_aggregate_wins_and_answers_match() {
+        let fw = paper_framework();
+        let exp = e14_multi_aggregate(&fw, &[1 << 18]);
+        let hw = exp.get("Handwritten", 1 << 18).unwrap();
+        let th = exp.get("Thrust", 1 << 18).unwrap();
+        assert!(hw.nanos * 4 < th.nanos, "{} vs {}", hw.nanos, th.nanos);
+        assert!(hw.launches < th.launches);
+
+        // Semantics: default composition equals the fused override.
+        let keys = workload::zipf_keys(5_000, 16, 0.5, 1);
+        let vals = workload::uniform_f64(5_000, 2);
+        let mut answers = Vec::new();
+        for b in fw.backends() {
+            let k = b.upload_u32(&keys).unwrap();
+            let v = b.upload_f64(&vals).unwrap();
+            let (gk, sums, counts) = b.grouped_sum_count(&k, &v).unwrap();
+            let a = (
+                b.download_u32(&gk).unwrap(),
+                b.download_f64(&sums)
+                    .unwrap()
+                    .iter()
+                    .map(|x| (x * 1e6).round() as i64)
+                    .collect::<Vec<_>>(),
+                b.download_f64(&counts)
+                    .unwrap()
+                    .iter()
+                    .map(|x| *x as u64)
+                    .collect::<Vec<_>>(),
+            );
+            answers.push((b.name(), a));
+            for c in [gk, sums, counts, k, v] {
+                b.free(c).unwrap();
+            }
+        }
+        for w in answers.windows(2) {
+            assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn a4_late_wins_at_high_selectivity_early_at_low() {
+        let fw = paper_framework();
+        let exp = a4_materialization(&fw, 1 << 20, &[0.01, 0.99]);
+        let early_lo = exp.get("Thrust/early", 10).unwrap().nanos;
+        let late_lo = exp.get("Thrust/late", 10).unwrap().nanos;
+        assert!(
+            early_lo < late_lo,
+            "1% selectivity: early {early_lo} beats late {late_lo}"
+        );
+        let early_hi = exp.get("Thrust/early", 990).unwrap().nanos;
+        let late_hi = exp.get("Thrust/late", 990).unwrap().nanos;
+        assert!(
+            late_hi < early_hi,
+            "99% selectivity: late {late_hi} beats early {early_hi}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # bench — the experiment harness
+//!
+//! One function per experiment of DESIGN.md's index (E1–E12, A1–A3);
+//! each `src/bin/` binary is a thin wrapper that runs one experiment and
+//! prints its table (and writes CSV next to it when `--csv DIR` is given).
+//! All measurements are **simulated nanoseconds** from the deterministic
+//! device clock — rerunning an experiment reproduces it bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod operators;
+pub mod queries;
+pub mod report;
+
+use proto_core::framework::Framework;
+
+/// The device every experiment runs on (the paper's GTX-1080-class card).
+pub fn paper_device() -> gpu_sim::DeviceSpec {
+    gpu_sim::DeviceSpec::gtx1080()
+}
+
+/// The paper's backend line-up on the default device.
+pub fn paper_framework() -> Framework {
+    Framework::with_all_backends(&paper_device())
+}
+
+/// Default row-count sweep for scaling figures: 2^16 … 2^22.
+pub fn default_sizes() -> Vec<usize> {
+    vec![1 << 16, 1 << 18, 1 << 20, 1 << 22]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_and_sizes_sane() {
+        let fw = paper_framework();
+        assert_eq!(fw.backends().len(), 4);
+        let sizes = default_sizes();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

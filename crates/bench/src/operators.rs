@@ -1,0 +1,428 @@
+//! Operator micro-benchmarks (experiments E3–E9).
+
+use proto_core::backend::Pred;
+use proto_core::ops::{CmpOp, Connective, JoinAlgo, Support};
+use proto_core::runner::{measure, Experiment};
+use proto_core::workload;
+
+/// E3 — selection runtime vs. rows at a fixed 50% selectivity.
+pub fn e3_selection_scaling(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
+    let mut exp = Experiment::new("E3", "Selection runtime vs. rows (50% selectivity)", "rows");
+    for &n in sizes {
+        let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
+        for b in fw.backends() {
+            let c = b.upload_u32(&col).expect("upload");
+            let s = measure(b.as_ref(), n as u64, || {
+                let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+                b.free(ids)
+            })
+            .expect("measure");
+            exp.push(s);
+            b.free(c).expect("free");
+        }
+    }
+    exp
+}
+
+/// E4 — selection runtime vs. selectivity at a fixed row count.
+/// `x` is selectivity in tenths of a percent (so 500 = 50%).
+pub fn e4_selection_selectivity(
+    fw: &proto_core::framework::Framework,
+    n: usize,
+    selectivities: &[f64],
+) -> Experiment {
+    let mut exp = Experiment::new(
+        "E4",
+        "Selection runtime vs. selectivity (fixed rows)",
+        "sel_permille",
+    );
+    for &sel in selectivities {
+        let (col, thr) = workload::selectivity_column(n, sel, workload::SEED);
+        let x = (sel * 1000.0).round() as u64;
+        for b in fw.backends() {
+            let c = b.upload_u32(&col).expect("upload");
+            let s = measure(b.as_ref(), x, || {
+                let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+                b.free(ids)
+            })
+            .expect("measure");
+            exp.push(s);
+            b.free(c).expect("free");
+        }
+    }
+    exp
+}
+
+/// E5 — sort (and sort-by-key when `by_key`) runtime vs. rows.
+pub fn e5_sort_scaling(
+    fw: &proto_core::framework::Framework,
+    sizes: &[usize],
+    by_key: bool,
+) -> Experiment {
+    let (id, title) = if by_key {
+        ("E5b", "Sort-by-key runtime vs. rows")
+    } else {
+        ("E5a", "Sort runtime vs. rows")
+    };
+    let mut exp = Experiment::new(id, title, "rows");
+    for &n in sizes {
+        let keys = workload::uniform_u32(n, u32::MAX, workload::SEED);
+        let vals = workload::uniform_f64(n, workload::SEED ^ 1);
+        for b in fw.backends() {
+            let k = b.upload_u32(&keys).expect("upload");
+            let v = b.upload_f64(&vals).expect("upload");
+            let s = measure(b.as_ref(), n as u64, || {
+                if by_key {
+                    let (sk, sv) = b.sort_by_key(&k, &v)?;
+                    b.free(sk)?;
+                    b.free(sv)
+                } else {
+                    let sk = b.sort(&k)?;
+                    b.free(sk)
+                }
+            })
+            .expect("measure");
+            exp.push(s);
+            b.free(k).expect("free");
+            b.free(v).expect("free");
+        }
+    }
+    exp
+}
+
+/// E6 — grouped aggregation (SUM) vs. group count at fixed rows.
+pub fn e6_group_aggregation(
+    fw: &proto_core::framework::Framework,
+    n: usize,
+    group_counts: &[usize],
+) -> Experiment {
+    let mut exp = Experiment::new(
+        "E6",
+        "Grouped aggregation (SUM) vs. group count",
+        "groups",
+    );
+    let vals = workload::uniform_f64(n, workload::SEED ^ 2);
+    for &g in group_counts {
+        let keys = workload::zipf_keys(n, g, 0.5, workload::SEED);
+        for b in fw.backends() {
+            let k = b.upload_u32(&keys).expect("upload");
+            let v = b.upload_f64(&vals).expect("upload");
+            let s = measure(b.as_ref(), g as u64, || {
+                let (gk, gv) = b.grouped_sum(&k, &v)?;
+                b.free(gk)?;
+                b.free(gv)
+            })
+            .expect("measure");
+            exp.push(s);
+            b.free(k).expect("free");
+            b.free(v).expect("free");
+        }
+    }
+    exp
+}
+
+/// E7 — the parallel-primitive panel: reduction, prefix sum, gather,
+/// scatter, product; one experiment per primitive, all vs. rows.
+pub fn e7_primitives(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Vec<Experiment> {
+    let mut reduction = Experiment::new("E7a", "Reduction (SUM) vs. rows", "rows");
+    let mut prefix = Experiment::new("E7b", "Prefix sum vs. rows", "rows");
+    let mut gather = Experiment::new("E7c", "Gather vs. rows", "rows");
+    let mut scatter = Experiment::new("E7d", "Scatter vs. rows", "rows");
+    let mut product = Experiment::new("E7e", "Product vs. rows", "rows");
+    for &n in sizes {
+        let f = workload::uniform_f64(n, workload::SEED ^ 3);
+        let g = workload::uniform_f64(n, workload::SEED ^ 4);
+        // Scan inputs stay small so Σ fits u32 (wrap semantics differ across
+        // the f64-lane and integer-lane backends).
+        let u = workload::uniform_u32(n, 256, workload::SEED ^ 5);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        // Deterministic shuffle for a random-access index vector.
+        for i in (1..perm.len()).rev() {
+            let j = (workload::SEED as usize)
+                .wrapping_mul(i)
+                .wrapping_add(i >> 3)
+                % (i + 1);
+            perm.swap(i, j);
+        }
+        for b in fw.backends() {
+            let cf = b.upload_f64(&f).expect("upload");
+            let cg = b.upload_f64(&g).expect("upload");
+            let cu = b.upload_u32(&u).expect("upload");
+            let cidx = b.upload_u32(&perm).expect("upload");
+            reduction.push(
+                measure(b.as_ref(), n as u64, || b.reduction(&cf).map(drop)).expect("measure"),
+            );
+            prefix.push(
+                measure(b.as_ref(), n as u64, || {
+                    let p = b.prefix_sum(&cu)?;
+                    b.free(p)
+                })
+                .expect("measure"),
+            );
+            gather.push(
+                measure(b.as_ref(), n as u64, || {
+                    let o = b.gather(&cf, &cidx)?;
+                    b.free(o)
+                })
+                .expect("measure"),
+            );
+            scatter.push(
+                measure(b.as_ref(), n as u64, || {
+                    let o = b.scatter(&cu, &cidx, n)?;
+                    b.free(o)
+                })
+                .expect("measure"),
+            );
+            product.push(
+                measure(b.as_ref(), n as u64, || {
+                    let o = b.product(&cf, &cg)?;
+                    b.free(o)
+                })
+                .expect("measure"),
+            );
+            for c in [cf, cg, cu, cidx] {
+                b.free(c).expect("free");
+            }
+        }
+    }
+    vec![reduction, prefix, gather, scatter, product]
+}
+
+/// E8 — joins: every backend's supported algorithms on an FK→PK workload,
+/// labelled `backend/algorithm`. The handwritten hash join is the
+/// primitive no library has.
+pub fn e8_joins(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
+    let mut exp = Experiment::new("E8", "Join runtime vs. |R|=|S| (FK→PK)", "rows");
+    for &n in sizes {
+        let (outer, inner) = workload::fk_join(n, n, workload::SEED);
+        for b in fw.backends() {
+            for algo in [JoinAlgo::NestedLoops, JoinAlgo::Merge, JoinAlgo::Hash] {
+                if b.support(algo.operator()) == Support::None {
+                    continue;
+                }
+                let o = b.upload_u32(&outer).expect("upload");
+                let i = b.upload_u32(&inner).expect("upload");
+                let mut s = measure(b.as_ref(), n as u64, || {
+                    let (l, r) = b.join(&o, &i, algo)?;
+                    b.free(l)?;
+                    b.free(r)
+                })
+                .expect("measure");
+                s.backend = format!("{}/{:?}", b.name(), algo);
+                exp.push(s);
+                b.free(o).expect("free");
+                b.free(i).expect("free");
+            }
+        }
+    }
+    exp
+}
+
+/// E9 — conjunctive/disjunctive selection vs. predicate count.
+pub fn e9_conjunction(
+    fw: &proto_core::framework::Framework,
+    n: usize,
+    pred_counts: &[usize],
+    conn: Connective,
+) -> Experiment {
+    let id = match conn {
+        Connective::And => "E9a",
+        Connective::Or => "E9b",
+    };
+    let mut exp = Experiment::new(
+        id,
+        "Multi-predicate selection vs. predicate count",
+        "predicates",
+    );
+    let cols: Vec<Vec<u32>> = (0..*pred_counts.iter().max().unwrap_or(&1))
+        .map(|i| workload::uniform_u32(n, 1 << 20, workload::SEED ^ (10 + i as u64)))
+        .collect();
+    for &k in pred_counts {
+        for b in fw.backends() {
+            let device_cols: Vec<_> = cols[..k]
+                .iter()
+                .map(|c| b.upload_u32(c).expect("upload"))
+                .collect();
+            let s = measure(b.as_ref(), k as u64, || {
+                let preds: Vec<Pred<'_>> = device_cols
+                    .iter()
+                    .map(|c| Pred {
+                        col: c,
+                        cmp: CmpOp::Lt,
+                        lit: (1 << 19) as f64, // 50% each
+                    })
+                    .collect();
+                let ids = b.selection_multi(&preds, conn)?;
+                b.free(ids)
+            })
+            .expect("measure");
+            exp.push(s);
+            for c in device_cols {
+                b.free(c).expect("free");
+            }
+        }
+    }
+    exp
+}
+
+/// One measurable operator invocation (boxed for the E15 table).
+type OpThunk<'a> = Box<dyn Fn() -> gpu_sim::Result<()> + 'a>;
+
+/// E15 — kernel-launch anatomy per Table-II operator: how many launches
+/// (and how much device traffic) each backend spends realising one call
+/// of each operator at `n` rows. The quantified version of Table II's
+/// full/partial-support distinction. `x` indexes the operator
+/// (0 = selection, 1 = conjunction·2, 2 = product, 3 = reduction,
+/// 4 = prefix sum, 5 = sort, 6 = sort-by-key, 7 = grouped sum,
+/// 8 = gather, 9 = scatter).
+pub fn e15_launch_anatomy(fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+    let mut exp = Experiment::new(
+        "E15",
+        "Kernel launches per operator call (x = operator index)",
+        "op_index",
+    );
+    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
+    let keys = workload::zipf_keys(n, 256, 0.5, workload::SEED);
+    let vals = workload::uniform_f64(n, workload::SEED ^ 50);
+    let idx: Vec<u32> = (0..n as u32).collect();
+    for b in fw.backends() {
+        let c = b.upload_u32(&col).expect("upload");
+        let k = b.upload_u32(&keys).expect("upload");
+        let v = b.upload_f64(&vals).expect("upload");
+        let w = b.upload_f64(&vals).expect("upload");
+        let ix = b.upload_u32(&idx).expect("upload");
+        let lit = thr as f64;
+        let ops: Vec<(u64, OpThunk<'_>)> = vec![
+            (0, Box::new(|| b.selection(&c, CmpOp::Lt, lit).and_then(|r| b.free(r)))),
+            (1, Box::new(|| {
+                let preds = [
+                    Pred { col: &c, cmp: CmpOp::Lt, lit },
+                    Pred { col: &k, cmp: CmpOp::Lt, lit: 128.0 },
+                ];
+                b.selection_multi(&preds, Connective::And).and_then(|r| b.free(r))
+            })),
+            (2, Box::new(|| b.product(&v, &w).and_then(|r| b.free(r)))),
+            (3, Box::new(|| b.reduction(&v).map(drop))),
+            (4, Box::new(|| b.prefix_sum(&k).and_then(|r| b.free(r)))),
+            (5, Box::new(|| b.sort(&c).and_then(|r| b.free(r)))),
+            (6, Box::new(|| {
+                let (a, bb) = b.sort_by_key(&k, &v)?;
+                b.free(a)?;
+                b.free(bb)
+            })),
+            (7, Box::new(|| {
+                let (a, bb) = b.grouped_sum(&k, &v)?;
+                b.free(a)?;
+                b.free(bb)
+            })),
+            (8, Box::new(|| b.gather(&v, &ix).and_then(|r| b.free(r)))),
+            (9, Box::new(|| b.scatter(&c, &ix, n).and_then(|r| b.free(r)))),
+        ];
+        for (x, op) in &ops {
+            let s = measure(b.as_ref(), *x, op.as_ref()).expect("measure");
+            exp.push(s);
+        }
+        drop(ops);
+        for colh in [c, k, v, w, ix] {
+            b.free(colh).expect("free");
+        }
+    }
+    exp
+}
+
+/// Crossover helper used by tests and EXPERIMENTS.md: at the smallest
+/// size, which backend wins?
+pub fn winner_at(exp: &Experiment, x: u64) -> Option<String> {
+    exp.samples
+        .iter()
+        .filter(|s| s.x == x)
+        .min_by_key(|s| s.nanos)
+        .map(|s| s.backend.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_framework;
+
+    fn small_sizes() -> Vec<usize> {
+        vec![1 << 12, 1 << 16]
+    }
+
+    #[test]
+    fn e3_shapes_hold() {
+        let fw = paper_framework();
+        let exp = e3_selection_scaling(&fw, &small_sizes());
+        assert_eq!(exp.backends().len(), 4);
+        // Handwritten single-kernel selection wins at every size.
+        for &x in &[1u64 << 12, 1 << 16] {
+            assert_eq!(winner_at(&exp, x).as_deref(), Some("Handwritten"));
+        }
+        // Everybody gets slower with more rows.
+        for b in exp.backends() {
+            let small = exp.get(b, 1 << 12).unwrap().nanos;
+            let large = exp.get(b, 1 << 16).unwrap().nanos;
+            assert!(large >= small, "{b}: {small} -> {large}");
+        }
+        // Thrust launches 4 kernels, handwritten 1.
+        assert!(exp.get("Thrust", 1 << 12).unwrap().launches > 1);
+        assert_eq!(exp.get("Handwritten", 1 << 12).unwrap().launches, 1);
+    }
+
+    #[test]
+    fn e8_hash_join_dominates_at_scale() {
+        let fw = paper_framework();
+        let n = 1u64 << 16;
+        let exp = e8_joins(&fw, &[n as usize]);
+        let hash = exp.get("Handwritten/Hash", n).unwrap().nanos;
+        let nlj_thrust = exp.get("Thrust/NestedLoops", n).unwrap().nanos;
+        let nlj_hw = exp.get("Handwritten/NestedLoops", n).unwrap().nanos;
+        assert!(hash * 5 < nlj_thrust, "hash {hash} vs thrust-nlj {nlj_thrust}");
+        assert!(hash < nlj_hw);
+        // ArrayFire appears nowhere in join results.
+        assert!(exp.backends().iter().all(|b| !b.contains("ArrayFire")));
+        // Merge join exists only for Handwritten.
+        assert!(exp.get("Handwritten/Merge", n).is_some());
+        assert!(exp.get("Thrust/Merge", n).is_none());
+    }
+
+    #[test]
+    fn e6_hash_agg_beats_sort_reduce_for_few_groups() {
+        let fw = paper_framework();
+        let exp = e6_group_aggregation(&fw, 1 << 18, &[64]);
+        let hw = exp.get("Handwritten", 64).unwrap().nanos;
+        let th = exp.get("Thrust", 64).unwrap().nanos;
+        assert!(hw * 2 < th, "hash agg {hw} vs sort+reduce {th}");
+    }
+
+    #[test]
+    fn e15_quantifies_table_ii() {
+        let fw = paper_framework();
+        let exp = e15_launch_anatomy(&fw, 1 << 14);
+        // Selection (op 0): 1 fused kernel vs the library chains.
+        assert_eq!(exp.get("Handwritten", 0).unwrap().launches, 1);
+        assert_eq!(exp.get("Thrust", 0).unwrap().launches, 4);
+        assert_eq!(exp.get("Boost.Compute", 0).unwrap().launches, 4);
+        assert_eq!(exp.get("ArrayFire", 0).unwrap().launches, 3);
+        // Grouped sum (op 7): hash agg = 2 kernels, sort+reduce = 13.
+        assert_eq!(exp.get("Handwritten", 7).unwrap().launches, 2);
+        assert!(exp.get("Thrust", 7).unwrap().launches > 10);
+        // Full-support primitives are one launch everywhere.
+        for op in [2u64, 3, 4, 8, 9] {
+            for b in exp.backends() {
+                assert_eq!(exp.get(b, op).unwrap().launches, 1, "{b} op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn e9_library_kernels_grow_with_predicates_handwritten_stays_one() {
+        let fw = paper_framework();
+        let exp = e9_conjunction(&fw, 1 << 14, &[1, 4], Connective::And);
+        assert_eq!(exp.get("Handwritten", 1).unwrap().launches, 1);
+        assert_eq!(exp.get("Handwritten", 4).unwrap().launches, 1);
+        let t1 = exp.get("Thrust", 1).unwrap().launches;
+        let t4 = exp.get("Thrust", 4).unwrap().launches;
+        assert!(t4 > t1, "thrust launches grow: {t1} -> {t4}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Whole-query experiments (E10–E12): TPC-H on every backend.
+
+use proto_core::runner::{Experiment, Sample};
+use tpch::queries::{q1, q14, q3, q4, q5, q6};
+use tpch::Database;
+
+/// Scale factors (×1000, for integer x-axes) the query experiments sweep.
+pub fn default_scale_factors() -> Vec<f64> {
+    vec![0.001, 0.005, 0.01]
+}
+
+fn sf_x(sf: f64) -> u64 {
+    (sf * 1000.0).round() as u64
+}
+
+/// E10 — TPC-H Q6 runtime per backend across scale factors.
+pub fn e10_q6(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Experiment {
+    let mut exp = Experiment::new("E10", "TPC-H Q6 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    for &sf in sfs {
+        let db = tpch::generate(sf);
+        for b in fw.backends() {
+            let data = q6::Q6Data::upload(b.as_ref(), &db).expect("upload");
+            let s = measure_query(b.as_ref(), sf_x(sf), || {
+                data.execute(b.as_ref()).map(drop)
+            });
+            exp.push(s);
+            data.free(b.as_ref()).expect("free");
+        }
+    }
+    exp
+}
+
+/// E11 — TPC-H Q1 runtime per backend across scale factors.
+pub fn e11_q1(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Experiment {
+    let mut exp = Experiment::new("E11", "TPC-H Q1 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    for &sf in sfs {
+        let db = tpch::generate(sf);
+        for b in fw.backends() {
+            let data = q1::Q1Data::upload(b.as_ref(), &db).expect("upload");
+            let s = measure_query(b.as_ref(), sf_x(sf), || {
+                data.execute(b.as_ref()).map(drop)
+            });
+            exp.push(s);
+            data.free(b.as_ref()).expect("free");
+        }
+    }
+    exp
+}
+
+/// E12 — the join-bearing queries Q3, Q4 and Q14; ArrayFire is absent
+/// (no join support, Table II).
+pub fn e12_join_queries(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Vec<Experiment> {
+    let mut e3 = Experiment::new("E12a", "TPC-H Q3 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    let mut e4 = Experiment::new("E12b", "TPC-H Q4 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    let mut e14 = Experiment::new("E12c", "TPC-H Q14 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    let mut e5q = Experiment::new("E12d", "TPC-H Q5 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    for &sf in sfs {
+        let db = tpch::generate(sf);
+        for b in fw.backends() {
+            if !tpch::queries::can_join(b.as_ref()) {
+                continue;
+            }
+            let d3 = q3::Q3Data::upload(b.as_ref(), &db).expect("upload");
+            e3.push(measure_query(b.as_ref(), sf_x(sf), || {
+                d3.execute(b.as_ref(), &db).map(drop)
+            }));
+            d3.free(b.as_ref()).expect("free");
+            let d4 = q4::Q4Data::upload(b.as_ref(), &db).expect("upload");
+            e4.push(measure_query(b.as_ref(), sf_x(sf), || {
+                d4.execute(b.as_ref()).map(drop)
+            }));
+            d4.free(b.as_ref()).expect("free");
+            let d14 = q14::Q14Data::upload(b.as_ref(), &db).expect("upload");
+            e14.push(measure_query(b.as_ref(), sf_x(sf), || {
+                d14.execute(b.as_ref()).map(drop)
+            }));
+            d14.free(b.as_ref()).expect("free");
+            let d5 = q5::Q5Data::upload(b.as_ref(), &db).expect("upload");
+            e5q.push(measure_query(b.as_ref(), sf_x(sf), || {
+                d5.execute(b.as_ref()).map(drop)
+            }));
+            d5.free(b.as_ref()).expect("free");
+        }
+    }
+    vec![e3, e4, e14, e5q]
+}
+
+/// Validate every backend's query answers against the host reference on a
+/// given database — run by the query binaries before timing, so a table
+/// is never printed from wrong results.
+pub fn validate_all(fw: &proto_core::framework::Framework, db: &Database) -> Result<(), String> {
+    let r6 = q6::reference(db);
+    let r1 = q1::reference(db);
+    let r3 = q3::reference(db);
+    let r4 = q4::reference(db);
+    for b in fw.backends() {
+        let d6 = q6::Q6Data::upload(b.as_ref(), db).map_err(|e| e.to_string())?;
+        let got = d6.execute(b.as_ref()).map_err(|e| e.to_string())?;
+        if !tpch::queries::close(got, r6) {
+            return Err(format!("{} Q6 mismatch: {got} vs {r6}", b.name()));
+        }
+        let d1 = q1::Q1Data::upload(b.as_ref(), db).map_err(|e| e.to_string())?;
+        let rows = d1.execute(b.as_ref()).map_err(|e| e.to_string())?;
+        if rows.len() != r1.len() {
+            return Err(format!("{} Q1 row-count mismatch", b.name()));
+        }
+        if tpch::queries::can_join(b.as_ref()) {
+            let d3 = q3::Q3Data::upload(b.as_ref(), db).map_err(|e| e.to_string())?;
+            let rows = d3.execute(b.as_ref(), db).map_err(|e| e.to_string())?;
+            if rows.len() != r3.len() {
+                return Err(format!("{} Q3 row-count mismatch", b.name()));
+            }
+            let d4 = q4::Q4Data::upload(b.as_ref(), db).map_err(|e| e.to_string())?;
+            let rows = d4.execute(b.as_ref()).map_err(|e| e.to_string())?;
+            if rows != r4 {
+                return Err(format!("{} Q4 mismatch", b.name()));
+            }
+            let d14 = q14::Q14Data::upload(b.as_ref(), db).map_err(|e| e.to_string())?;
+            let pct = d14.execute(b.as_ref()).map_err(|e| e.to_string())?;
+            if !tpch::queries::close(pct, q14::reference(db)) {
+                return Err(format!("{} Q14 mismatch", b.name()));
+            }
+            let d5 = q5::Q5Data::upload(b.as_ref(), db).map_err(|e| e.to_string())?;
+            let rows = d5.execute(b.as_ref()).map_err(|e| e.to_string())?;
+            if rows.len() != q5::reference(db).len() {
+                return Err(format!("{} Q5 row-count mismatch", b.name()));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn measure_query(
+    backend: &dyn proto_core::backend::GpuBackend,
+    x: u64,
+    mut work: impl FnMut() -> gpu_sim::Result<()>,
+) -> Sample {
+    match proto_core::runner::measure(backend, x, &mut work) {
+        Ok(s) => s,
+        Err(gpu_sim::SimError::Unsupported(_)) => Sample {
+            backend: backend.name().to_string(),
+            x,
+            nanos: 0,
+            cold_nanos: 0,
+            launches: 0,
+            kernel_bytes: 0,
+        },
+        Err(e) => panic!("query measurement failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_framework;
+
+    #[test]
+    fn e10_q6_shapes() {
+        let fw = paper_framework();
+        let exp = e10_q6(&fw, &[0.001]);
+        let x = 1;
+        let hw = exp.get("Handwritten", x).unwrap().nanos;
+        let th = exp.get("Thrust", x).unwrap().nanos;
+        let bo = exp.get("Boost.Compute", x).unwrap().nanos;
+        assert!(hw < th, "fused Q6 beats Thrust chain: {hw} vs {th}");
+        assert!(th <= bo, "CUDA launches beat OpenCL enqueues: {th} vs {bo}");
+        // Cold run carries the JIT cost for Boost.Compute.
+        let s = exp.get("Boost.Compute", x).unwrap();
+        assert!(s.cold_nanos > s.nanos);
+    }
+
+    #[test]
+    fn e12_excludes_arrayfire() {
+        let fw = paper_framework();
+        let exps = e12_join_queries(&fw, &[0.001]);
+        for e in &exps {
+            assert!(!e.backends().contains(&"ArrayFire"), "{}", e.id);
+            assert!(e.backends().contains(&"Handwritten"));
+        }
+    }
+
+    #[test]
+    fn validation_passes_on_the_default_lineup() {
+        let fw = paper_framework();
+        let db = tpch::generate(0.001);
+        validate_all(&fw, &db).expect("all backends validate");
+    }
+}

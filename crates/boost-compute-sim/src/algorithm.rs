@@ -1,0 +1,554 @@
+//! Boost.Compute's algorithm suite.
+//!
+//! Every function enqueues on the given [`CommandQueue`], which JIT-compiles
+//! the kernel on first use (per context, per type instantiation) and then
+//! charges OpenCL enqueue overhead per launch. Functional semantics match
+//! the Thrust equivalents; only the cost profile differs — which is exactly
+//! the paper's point when comparing the two libraries.
+
+use crate::context::CommandQueue;
+use crate::vector::Vector;
+use gpu_sim::{presets, DeviceCopy, KernelCost, Result, SimError};
+use std::any::type_name;
+use std::ops::Add;
+
+fn tkey<T>() -> &'static str {
+    type_name::<T>()
+}
+
+/// `boost::compute::transform` — unary map.
+pub fn transform<T, U>(
+    src: &Vector<T>,
+    op: impl Fn(T) -> U,
+    queue: &CommandQueue,
+) -> Result<Vector<U>>
+where
+    T: DeviceCopy,
+    U: DeviceCopy + Default,
+{
+    let mut out = Vector::zeroed(src.len(), queue)?;
+    for (o, i) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *o = op(*i);
+    }
+    queue.enqueue(
+        "transform",
+        tkey::<(T, U)>(),
+        KernelCost::map::<T, U>(src.len()),
+    );
+    Ok(out)
+}
+
+/// `boost::compute::transform` with two inputs — binary map (the paper's
+/// conjunction/disjunction via `bit_and<T>`/`bit_or<T>`, product via
+/// `operator*`).
+pub fn transform_binary<A, B, U>(
+    a: &Vector<A>,
+    b: &Vector<B>,
+    op: impl Fn(A, B) -> U,
+    queue: &CommandQueue,
+) -> Result<Vector<U>>
+where
+    A: DeviceCopy,
+    B: DeviceCopy,
+    U: DeviceCopy + Default,
+{
+    if a.len() != b.len() {
+        return Err(SimError::SizeMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let mut out = Vector::zeroed(a.len(), queue)?;
+    {
+        let (xa, xb) = (a.as_slice(), b.as_slice());
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = op(xa[i], xb[i]);
+        }
+    }
+    let n = a.len();
+    queue.enqueue(
+        "transform_binary",
+        tkey::<(A, B, U)>(),
+        KernelCost::map::<A, U>(n)
+            .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64),
+    );
+    Ok(out)
+}
+
+/// `boost::compute::fill`.
+pub fn fill<T: DeviceCopy>(vec: &mut Vector<T>, value: T, queue: &CommandQueue) {
+    for x in vec.as_mut_slice() {
+        *x = value;
+    }
+    queue.enqueue("fill", tkey::<T>(), KernelCost::map::<(), T>(vec.len()));
+}
+
+/// `boost::compute::iota` — `0, 1, 2, …`.
+pub fn iota(len: usize, queue: &CommandQueue) -> Result<Vector<u32>> {
+    let mut out: Vector<u32> = Vector::zeroed(len, queue)?;
+    for (i, x) in out.as_mut_slice().iter_mut().enumerate() {
+        *x = i as u32;
+    }
+    queue.enqueue("iota", "u32", KernelCost::map::<(), u32>(len));
+    Ok(out)
+}
+
+/// `boost::compute::reduce` — fold with `op` from `init`.
+pub fn reduce<T, A>(src: &Vector<T>, init: A, op: impl Fn(A, T) -> A, queue: &CommandQueue) -> Result<A>
+where
+    T: DeviceCopy,
+    A: DeviceCopy,
+{
+    let mut acc = init;
+    for &x in src.as_slice() {
+        acc = op(acc, x);
+    }
+    queue.enqueue("reduce", tkey::<(T, A)>(), KernelCost::reduce::<T>(src.len()));
+    // Scalar result read back by the host.
+    let dev = queue.device();
+    dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
+    Ok(acc)
+}
+
+/// `boost::compute::reduce_by_key` — segmented reduction over consecutive
+/// equal keys. Returns `(unique_keys, reduced_values)`.
+pub fn reduce_by_key<K, V>(
+    keys: &Vector<K>,
+    vals: &Vector<V>,
+    op: impl Fn(V, V) -> V,
+    queue: &CommandQueue,
+) -> Result<(Vector<K>, Vector<V>)>
+where
+    K: DeviceCopy + PartialEq + Default,
+    V: DeviceCopy + Default,
+{
+    if keys.len() != vals.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: vals.len(),
+        });
+    }
+    let mut out_keys = Vec::new();
+    let mut out_vals = Vec::new();
+    {
+        let ks = keys.as_slice();
+        let vs = vals.as_slice();
+        let mut i = 0;
+        while i < ks.len() {
+            let k = ks[i];
+            let mut acc = vs[i];
+            let mut j = i + 1;
+            while j < ks.len() && ks[j] == k {
+                acc = op(acc, vs[j]);
+                j += 1;
+            }
+            out_keys.push(k);
+            out_vals.push(acc);
+            i = j;
+        }
+    }
+    let groups = out_keys.len();
+    queue.enqueue(
+        "reduce_by_key",
+        tkey::<(K, V)>(),
+        presets::reduce_by_key::<K, V>(keys.len(), groups),
+    );
+    let dev = queue.device();
+    let kb = dev.buffer_from_vec(out_keys, gpu_sim::AllocPolicy::Raw)?;
+    let vb = dev.buffer_from_vec(out_vals, gpu_sim::AllocPolicy::Raw)?;
+    Ok((Vector::from_buffer(kb), Vector::from_buffer(vb)))
+}
+
+/// `boost::compute::inner_product` — fused transform+reduce.
+pub fn inner_product<A, B, R>(
+    a: &Vector<A>,
+    b: &Vector<B>,
+    init: R,
+    combine: impl Fn(R, R) -> R,
+    multiply: impl Fn(A, B) -> R,
+    queue: &CommandQueue,
+) -> Result<R>
+where
+    A: DeviceCopy,
+    B: DeviceCopy,
+    R: DeviceCopy,
+{
+    if a.len() != b.len() {
+        return Err(SimError::SizeMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let mut acc = init;
+    let (xa, xb) = (a.as_slice(), b.as_slice());
+    for i in 0..xa.len() {
+        acc = combine(acc, multiply(xa[i], xb[i]));
+    }
+    let n = a.len();
+    queue.enqueue(
+        "inner_product",
+        tkey::<(A, B, R)>(),
+        KernelCost::reduce::<A>(n)
+            .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64)
+            .with_flops(2 * n as u64),
+    );
+    Ok(acc)
+}
+
+/// `boost::compute::exclusive_scan`.
+pub fn exclusive_scan<T>(src: &Vector<T>, init: T, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + Add<Output = T> + Default,
+{
+    let mut out = Vector::zeroed(src.len(), queue)?;
+    {
+        let mut acc = init;
+        for (o, x) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
+            *o = acc;
+            acc = acc + *x;
+        }
+    }
+    queue.enqueue("exclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()));
+    Ok(out)
+}
+
+/// `boost::compute::inclusive_scan`.
+pub fn inclusive_scan<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + Add<Output = T> + Default,
+{
+    let mut out = Vector::zeroed(src.len(), queue)?;
+    {
+        let mut acc = T::default();
+        for (o, x) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
+            acc = acc + *x;
+            *o = acc;
+        }
+    }
+    queue.enqueue("inclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()));
+    Ok(out)
+}
+
+/// `boost::compute::sort` — radix sort for primitive keys.
+pub fn sort<T>(vec: &mut Vector<T>, queue: &CommandQueue) -> Result<()>
+where
+    T: DeviceCopy + Ord,
+{
+    vec.as_mut_slice().sort_unstable();
+    for (i, cost) in presets::radix_sort::<T>(vec.len(), 0).into_iter().enumerate() {
+        let phase = ["histogram", "digit_scan", "scatter"][i % 3];
+        queue.enqueue(&format!("sort/{phase}"), tkey::<T>(), cost);
+    }
+    Ok(())
+}
+
+/// `boost::compute::sort_by_key` — stable key sort carrying a payload.
+pub fn sort_by_key<K, V>(keys: &mut Vector<K>, vals: &mut Vector<V>, queue: &CommandQueue) -> Result<()>
+where
+    K: DeviceCopy + Ord,
+    V: DeviceCopy,
+{
+    if keys.len() != vals.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: vals.len(),
+        });
+    }
+    let n = keys.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    {
+        let ks = keys.as_slice();
+        perm.sort_by_key(|&i| ks[i as usize]);
+    }
+    {
+        let old_k: Vec<K> = keys.as_slice().to_vec();
+        let old_v: Vec<V> = vals.as_slice().to_vec();
+        let km = keys.as_mut_slice();
+        let vm = vals.as_mut_slice();
+        for (dst, &src) in perm.iter().enumerate() {
+            km[dst] = old_k[src as usize];
+            vm[dst] = old_v[src as usize];
+        }
+    }
+    for (i, cost) in presets::radix_sort::<K>(n, std::mem::size_of::<V>())
+        .into_iter()
+        .enumerate()
+    {
+        let phase = ["histogram", "digit_scan", "scatter"][i % 3];
+        queue.enqueue(&format!("sort_by_key/{phase}"), tkey::<(K, V)>(), cost);
+    }
+    Ok(())
+}
+
+/// `boost::compute::gather` — `out[i] = src[map[i]]`.
+pub fn gather<T>(map: &Vector<u32>, src: &Vector<T>, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + Default,
+{
+    let mut out = Vector::zeroed(map.len(), queue)?;
+    {
+        let m = map.as_slice();
+        let s = src.as_slice();
+        let o = out.as_mut_slice();
+        for (i, &idx) in m.iter().enumerate() {
+            let idx = idx as usize;
+            if idx >= s.len() {
+                return Err(SimError::IndexOutOfBounds {
+                    index: idx,
+                    len: s.len(),
+                });
+            }
+            o[i] = s[idx];
+        }
+    }
+    queue.enqueue("gather", tkey::<T>(), presets::gather::<T>(map.len()));
+    Ok(out)
+}
+
+/// `boost::compute::scatter` — `dst[map[i]] = src[i]`.
+pub fn scatter<T>(
+    src: &Vector<T>,
+    map: &Vector<u32>,
+    dst: &mut Vector<T>,
+    queue: &CommandQueue,
+) -> Result<()>
+where
+    T: DeviceCopy,
+{
+    if src.len() != map.len() {
+        return Err(SimError::SizeMismatch {
+            left: src.len(),
+            right: map.len(),
+        });
+    }
+    {
+        let s = src.as_slice();
+        let m = map.as_slice();
+        let dlen = dst.len();
+        let d = dst.as_mut_slice();
+        for (i, &idx) in m.iter().enumerate() {
+            let idx = idx as usize;
+            if idx >= dlen {
+                return Err(SimError::IndexOutOfBounds { index: idx, len: dlen });
+            }
+            d[idx] = s[i];
+        }
+    }
+    queue.enqueue("scatter", tkey::<T>(), presets::scatter::<T>(src.len()));
+    Ok(())
+}
+
+/// `boost::compute::scatter_if` — `dst[map[i]] = src[i]` where
+/// `stencil[i] != 0` (selection-pipeline tail).
+pub fn scatter_if<T>(
+    src: &Vector<T>,
+    map: &Vector<u32>,
+    stencil: &Vector<u32>,
+    dst: &mut Vector<T>,
+    queue: &CommandQueue,
+) -> Result<()>
+where
+    T: DeviceCopy,
+{
+    if src.len() != map.len() || src.len() != stencil.len() {
+        return Err(SimError::SizeMismatch {
+            left: src.len(),
+            right: map.len().min(stencil.len()),
+        });
+    }
+    {
+        let s = src.as_slice();
+        let m = map.as_slice();
+        let st = stencil.as_slice();
+        let dlen = dst.len();
+        let d = dst.as_mut_slice();
+        for i in 0..s.len() {
+            if st[i] != 0 {
+                let idx = m[i] as usize;
+                if idx >= dlen {
+                    return Err(SimError::IndexOutOfBounds { index: idx, len: dlen });
+                }
+                d[idx] = s[i];
+            }
+        }
+    }
+    // Compaction writes are dense (ascending offsets) and sized by the
+    // surviving rows: better coalescing than an arbitrary scatter.
+    let n = src.len();
+    let elem = std::mem::size_of::<T>();
+    let kept = stencil.as_slice().iter().filter(|&&f| f != 0).count();
+    queue.enqueue(
+        "scatter_if",
+        tkey::<T>(),
+        KernelCost::map::<T, ()>(n)
+            .with_read((n * (elem + 8)) as u64)
+            .with_write((kept * elem) as u64)
+            .with_pattern(gpu_sim::AccessPattern::Strided)
+            .with_divergence(0.3),
+    );
+    Ok(())
+}
+
+/// `boost::compute::copy_if` — stream compaction. Boost.Compute lowers
+/// this to a scan + scatter internally (two kernels).
+pub fn copy_if<T>(src: &Vector<T>, pred: impl Fn(T) -> bool, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + Default,
+{
+    let kept: Vec<T> = src.as_slice().iter().copied().filter(|&x| pred(x)).collect();
+    let n = src.len();
+    let out_bytes = (kept.len() * std::mem::size_of::<T>()) as u64;
+    queue.enqueue("copy_if/scan", tkey::<T>(), presets::scan::<T>(n));
+    queue.enqueue(
+        "copy_if/compact",
+        tkey::<T>(),
+        KernelCost::map::<T, ()>(n)
+            .with_write(out_bytes)
+            .with_divergence(0.3),
+    );
+    let buf = queue
+        .device()
+        .buffer_from_vec(kept, gpu_sim::AllocPolicy::Raw)?;
+    Ok(Vector::from_buffer(buf))
+}
+
+/// `boost::compute::count_if`.
+pub fn count_if<T>(src: &Vector<T>, pred: impl Fn(T) -> bool, queue: &CommandQueue) -> Result<usize>
+where
+    T: DeviceCopy,
+{
+    let n = src.as_slice().iter().filter(|&&x| pred(x)).count();
+    queue.enqueue("count_if", tkey::<T>(), KernelCost::reduce::<T>(src.len()));
+    Ok(n)
+}
+
+/// `boost::compute::for_each_n` over a counting range — the paper's
+/// nested-loops-join vehicle. Caller declares the kernel footprint.
+pub fn for_each_n(
+    n: usize,
+    cost: KernelCost,
+    mut f: impl FnMut(usize),
+    queue: &CommandQueue,
+) -> Result<()> {
+    if cost.flops == 0 && n > 0 {
+        return Err(SimError::InvalidLaunch(
+            "for_each_n requires a non-zero cost declaration".into(),
+        ));
+    }
+    for i in 0..n {
+        f(i);
+    }
+    queue.enqueue("for_each_n", "counting", cost);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use gpu_sim::Device;
+    use std::sync::Arc;
+
+    fn queue() -> (Arc<Device>, CommandQueue) {
+        let dev = Device::with_defaults();
+        let ctx = Context::new(&dev);
+        (dev, CommandQueue::new(&ctx))
+    }
+
+    #[test]
+    fn transform_and_cache_behaviour() {
+        let (dev, q) = queue();
+        let v = Vector::from_host(&[1u32, 2], &q).unwrap();
+        let a = transform(&v, |x| x * 10, &q).unwrap();
+        assert_eq!(a.to_host(&q).unwrap(), vec![10, 20]);
+        let jits = dev.stats().jit_compiles;
+        let _b = transform(&v, |x| x + 1, &q).unwrap();
+        assert_eq!(dev.stats().jit_compiles, jits, "same instantiation, cached");
+    }
+
+    #[test]
+    fn scan_sort_reduce_semantics() {
+        let (_dev, q) = queue();
+        let v = Vector::from_host(&[3u32, 1, 2], &q).unwrap();
+        let s = exclusive_scan(&v, 0, &q).unwrap();
+        assert_eq!(s.to_host(&q).unwrap(), vec![0, 3, 4]);
+        let i = inclusive_scan(&v, &q).unwrap();
+        assert_eq!(i.to_host(&q).unwrap(), vec![3, 4, 6]);
+        let mut w = Vector::from_host(&[3u32, 1, 2], &q).unwrap();
+        sort(&mut w, &q).unwrap();
+        assert_eq!(w.to_host(&q).unwrap(), vec![1, 2, 3]);
+        assert_eq!(reduce(&v, 0u32, |a, x| a + x, &q).unwrap(), 6);
+    }
+
+    #[test]
+    fn sort_by_key_and_reduce_by_key() {
+        let (_dev, q) = queue();
+        let mut k = Vector::from_host(&[2u32, 1, 2, 1], &q).unwrap();
+        let mut v = Vector::from_host(&[20u64, 10, 21, 11], &q).unwrap();
+        sort_by_key(&mut k, &mut v, &q).unwrap();
+        assert_eq!(k.to_host(&q).unwrap(), vec![1, 1, 2, 2]);
+        assert_eq!(v.to_host(&q).unwrap(), vec![10, 11, 20, 21]);
+        let (gk, gv) = reduce_by_key(&k, &v, |a, b| a + b, &q).unwrap();
+        assert_eq!(gk.to_host(&q).unwrap(), vec![1, 2]);
+        assert_eq!(gv.to_host(&q).unwrap(), vec![21, 41]);
+    }
+
+    #[test]
+    fn gather_scatter_copy_if() {
+        let (_dev, q) = queue();
+        let src = Vector::from_host(&[5u32, 6, 7], &q).unwrap();
+        let map = Vector::from_host(&[2u32, 0], &q).unwrap();
+        let g = gather(&map, &src, &q).unwrap();
+        assert_eq!(g.to_host(&q).unwrap(), vec![7, 5]);
+        let mut dst: Vector<u32> = Vector::zeroed(3, &q).unwrap();
+        scatter(&g, &map, &mut dst, &q).unwrap();
+        assert_eq!(dst.to_host(&q).unwrap(), vec![5, 0, 7]);
+        let kept = copy_if(&src, |x| x != 6, &q).unwrap();
+        assert_eq!(kept.to_host(&q).unwrap(), vec![5, 7]);
+        assert_eq!(count_if(&src, |x| x > 5, &q).unwrap(), 2);
+    }
+
+    #[test]
+    fn inner_product_and_iota_and_fill() {
+        let (_dev, q) = queue();
+        let a = Vector::from_host(&[1.0f64, 2.0], &q).unwrap();
+        let b = Vector::from_host(&[3.0f64, 4.0], &q).unwrap();
+        let r = inner_product(&a, &b, 0.0, |x, y| x + y, |x, y| x * y, &q).unwrap();
+        assert_eq!(r, 11.0);
+        let i = iota(4, &q).unwrap();
+        assert_eq!(i.to_host(&q).unwrap(), vec![0, 1, 2, 3]);
+        let mut f: Vector<u8> = Vector::zeroed(3, &q).unwrap();
+        fill(&mut f, 9, &q);
+        assert_eq!(f.to_host(&q).unwrap(), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn first_op_pays_jit_cold_start() {
+        let (dev, q) = queue();
+        let v = Vector::from_host(&vec![1u32; 1024], &q).unwrap();
+        let (_, cold) = dev.time(|| transform(&v, |x| x + 1, &q).unwrap());
+        let (_, warm) = dev.time(|| transform(&v, |x| x + 1, &q).unwrap());
+        assert!(
+            cold.as_nanos() > warm.as_nanos() + dev.spec().opencl_jit_compile_ns / 2,
+            "cold {cold} vs warm {warm}"
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let (_dev, q) = queue();
+        let a = Vector::from_host(&[1u32], &q).unwrap();
+        let b = Vector::from_host(&[1u32, 2], &q).unwrap();
+        assert!(transform_binary(&a, &b, |x, y| x + y, &q).is_err());
+        assert!(inner_product(&a, &b, 0u32, |x, y| x + y, |x, y| x * y, &q).is_err());
+    }
+
+    #[test]
+    fn for_each_n_cost_contract() {
+        let (_dev, q) = queue();
+        assert!(for_each_n(5, KernelCost::empty(), |_| {}, &q).is_err());
+        let mut acc = 0;
+        for_each_n(5, KernelCost::empty().with_flops(5), |i| acc += i, &q).unwrap();
+        assert_eq!(acc, 10);
+    }
+}

@@ -1,0 +1,280 @@
+//! The long tail of Boost.Compute's STL-flavoured algorithms:
+//! `accumulate`, `transform_reduce`, `unique`, `adjacent_difference`,
+//! `count`, `find`, `min_element`/`max_element`, `merge`. All JIT-compile
+//! per instantiation on first use, like the rest of the library.
+
+use crate::context::CommandQueue;
+use crate::vector::Vector;
+use gpu_sim::{presets, DeviceCopy, KernelCost, Result, SimError};
+use std::any::type_name;
+
+fn tkey<T>() -> &'static str {
+    type_name::<T>()
+}
+
+/// `boost::compute::accumulate` — serial-semantics fold (Boost.Compute
+/// really distinguishes this from `reduce`; for commutative ops they
+/// coincide, and we cost it as the parallel reduction it compiles to).
+pub fn accumulate<T, A>(
+    src: &Vector<T>,
+    init: A,
+    op: impl Fn(A, T) -> A,
+    queue: &CommandQueue,
+) -> Result<A>
+where
+    T: DeviceCopy,
+    A: DeviceCopy,
+{
+    let mut acc = init;
+    for &x in src.as_slice() {
+        acc = op(acc, x);
+    }
+    queue.enqueue(
+        "accumulate",
+        tkey::<(T, A)>(),
+        KernelCost::reduce::<T>(src.len()),
+    );
+    let dev = queue.device();
+    dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
+    Ok(acc)
+}
+
+/// `boost::compute::transform_reduce` — fused map + fold.
+pub fn transform_reduce<T, U, A>(
+    src: &Vector<T>,
+    map: impl Fn(T) -> U,
+    init: A,
+    fold: impl Fn(A, U) -> A,
+    queue: &CommandQueue,
+) -> Result<A>
+where
+    T: DeviceCopy,
+    A: DeviceCopy,
+{
+    let mut acc = init;
+    for &x in src.as_slice() {
+        acc = fold(acc, map(x));
+    }
+    queue.enqueue(
+        "transform_reduce",
+        tkey::<(T, U, A)>(),
+        KernelCost::reduce::<T>(src.len()).with_flops(2 * src.len() as u64),
+    );
+    let dev = queue.device();
+    dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
+    Ok(acc)
+}
+
+/// `boost::compute::unique` — collapse consecutive duplicates.
+pub fn unique<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + PartialEq,
+{
+    let mut out: Vec<T> = Vec::with_capacity(src.len());
+    for &x in src.as_slice() {
+        if out.last() != Some(&x) {
+            out.push(x);
+        }
+    }
+    let kept = out.len();
+    queue.enqueue(
+        "unique",
+        tkey::<T>(),
+        presets::scan::<T>(src.len()).with_write((kept * std::mem::size_of::<T>()) as u64),
+    );
+    let buf = queue
+        .device()
+        .buffer_from_vec(out, gpu_sim::AllocPolicy::Raw)?;
+    Ok(Vector::from_buffer(buf))
+}
+
+/// `boost::compute::adjacent_difference`.
+pub fn adjacent_difference<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + std::ops::Sub<Output = T> + Default,
+{
+    let mut out = Vector::zeroed(src.len(), queue)?;
+    {
+        let s = src.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..s.len() {
+            o[i] = if i == 0 { s[0] } else { s[i] - s[i - 1] };
+        }
+    }
+    queue.enqueue(
+        "adjacent_difference",
+        tkey::<T>(),
+        KernelCost::map::<T, T>(src.len()),
+    );
+    Ok(out)
+}
+
+/// `boost::compute::count` — occurrences of `value`.
+pub fn count<T>(src: &Vector<T>, value: T, queue: &CommandQueue) -> Result<usize>
+where
+    T: DeviceCopy + PartialEq,
+{
+    let n = src.as_slice().iter().filter(|&&x| x == value).count();
+    queue.enqueue("count", tkey::<T>(), KernelCost::reduce::<T>(src.len()));
+    Ok(n)
+}
+
+/// `boost::compute::find` — index of the first occurrence of `value`.
+pub fn find<T>(src: &Vector<T>, value: T, queue: &CommandQueue) -> Result<Option<usize>>
+where
+    T: DeviceCopy + PartialEq,
+{
+    let pos = src.as_slice().iter().position(|&x| x == value);
+    queue.enqueue(
+        "find",
+        tkey::<T>(),
+        KernelCost::reduce::<T>(src.len()).with_divergence(0.2),
+    );
+    Ok(pos)
+}
+
+/// `boost::compute::min_element` — index of the minimum.
+pub fn min_element<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<usize>
+where
+    T: DeviceCopy + PartialOrd,
+{
+    extreme(src, queue, "min_element", |a, b| a < b)
+}
+
+/// `boost::compute::max_element` — index of the maximum.
+pub fn max_element<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<usize>
+where
+    T: DeviceCopy + PartialOrd,
+{
+    extreme(src, queue, "max_element", |a, b| a > b)
+}
+
+fn extreme<T>(
+    src: &Vector<T>,
+    queue: &CommandQueue,
+    name: &str,
+    better: impl Fn(T, T) -> bool,
+) -> Result<usize>
+where
+    T: DeviceCopy,
+{
+    if src.is_empty() {
+        return Err(SimError::Unsupported("extreme of empty range".into()));
+    }
+    let s = src.as_slice();
+    let mut best = 0;
+    for i in 1..s.len() {
+        if better(s[i], s[best]) {
+            best = i;
+        }
+    }
+    queue.enqueue(name, tkey::<T>(), KernelCost::reduce::<T>(src.len()));
+    let dev = queue.device();
+    dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
+    Ok(best)
+}
+
+/// `boost::compute::merge` — merge two sorted ranges.
+pub fn merge<T>(a: &Vector<T>, b: &Vector<T>, queue: &CommandQueue) -> Result<Vector<T>>
+where
+    T: DeviceCopy + PartialOrd,
+{
+    for (name, v) in [("first", a.as_slice()), ("second", b.as_slice())] {
+        if v.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SimError::Unsupported(format!(
+                "merge requires sorted inputs ({name} range is unsorted)"
+            )));
+        }
+    }
+    let (xs, ys) = (a.as_slice(), b.as_slice());
+    let mut out = Vec::with_capacity(xs.len() + ys.len());
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        if ys[j] < xs[i] {
+            out.push(ys[j]);
+            j += 1;
+        } else {
+            out.push(xs[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&xs[i..]);
+    out.extend_from_slice(&ys[j..]);
+    queue.enqueue(
+        "merge",
+        tkey::<T>(),
+        KernelCost::map::<T, T>(out.len()).with_divergence(0.15),
+    );
+    let buf = queue
+        .device()
+        .buffer_from_vec(out, gpu_sim::AllocPolicy::Raw)?;
+    Ok(Vector::from_buffer(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use gpu_sim::Device;
+
+    fn queue() -> CommandQueue {
+        CommandQueue::new(&Context::new(&Device::with_defaults()))
+    }
+
+    #[test]
+    fn accumulate_and_transform_reduce() {
+        let q = queue();
+        let v = Vector::from_host(&[1u32, 2, 3], &q).unwrap();
+        assert_eq!(accumulate(&v, 10u32, |a, x| a + x, &q).unwrap(), 16);
+        assert_eq!(
+            transform_reduce(&v, |x| x as u64 * x as u64, 0u64, |a, x| a + x, &q).unwrap(),
+            14
+        );
+    }
+
+    #[test]
+    fn unique_and_adjacent_difference() {
+        let q = queue();
+        let v = Vector::from_host(&[7u32, 7, 8, 7], &q).unwrap();
+        let u = unique(&v, &q).unwrap();
+        assert_eq!(u.to_host(&q).unwrap(), vec![7, 8, 7]);
+        let d = adjacent_difference(&Vector::from_host(&[1i64, 4, 2], &q).unwrap(), &q).unwrap();
+        assert_eq!(d.to_host(&q).unwrap(), vec![1, 3, -2]);
+    }
+
+    #[test]
+    fn search_family() {
+        let q = queue();
+        let v = Vector::from_host(&[4u32, 2, 9, 2], &q).unwrap();
+        assert_eq!(count(&v, 2, &q).unwrap(), 2);
+        assert_eq!(find(&v, 9, &q).unwrap(), Some(2));
+        assert_eq!(find(&v, 100, &q).unwrap(), None);
+        assert_eq!(min_element(&v, &q).unwrap(), 1);
+        assert_eq!(max_element(&v, &q).unwrap(), 2);
+        let empty: Vector<u32> = Vector::zeroed(0, &q).unwrap();
+        assert!(min_element(&empty, &q).is_err());
+    }
+
+    #[test]
+    fn merge_requires_sorted() {
+        let q = queue();
+        let a = Vector::from_host(&[1u32, 5], &q).unwrap();
+        let b = Vector::from_host(&[2u32, 3], &q).unwrap();
+        let m = merge(&a, &b, &q).unwrap();
+        assert_eq!(m.to_host(&q).unwrap(), vec![1, 2, 3, 5]);
+        let bad = Vector::from_host(&[9u32, 1], &q).unwrap();
+        assert!(merge(&a, &bad, &q).is_err());
+    }
+
+    #[test]
+    fn each_new_algorithm_jits_once() {
+        let dev = Device::with_defaults();
+        let ctx = Context::new(&dev);
+        let q = CommandQueue::new(&ctx);
+        let v = Vector::from_host(&[1u32, 2], &q).unwrap();
+        let jits0 = dev.stats().jit_compiles;
+        count(&v, 1, &q).unwrap();
+        count(&v, 2, &q).unwrap();
+        assert_eq!(dev.stats().jit_compiles, jits0 + 1, "one program, cached");
+    }
+}

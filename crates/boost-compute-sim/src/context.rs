@@ -1,0 +1,147 @@
+//! OpenCL context and command queue, with the per-context program cache.
+
+use gpu_sim::Device;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An OpenCL context on a device.
+///
+/// Owns the **program cache**: the set of kernel instantiations already
+/// JIT-compiled. Boost.Compute caches compiled programs per context, so
+/// the first call of each distinct algorithm/type combination pays
+/// [`DeviceSpec::opencl_jit_compile_ns`](gpu_sim::DeviceSpec) and later
+/// calls do not.
+#[derive(Debug)]
+pub struct Context {
+    device: Arc<Device>,
+    program_cache: Mutex<HashSet<String>>,
+}
+
+impl Context {
+    /// Create a context on `device` with an empty program cache.
+    pub fn new(device: &Arc<Device>) -> Arc<Context> {
+        Arc::new(Context {
+            device: Arc::clone(device),
+            program_cache: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Ensure the program identified by `key` is compiled, charging the
+    /// JIT cost exactly once per context. Returns `true` on a cache miss
+    /// (i.e. when compilation happened).
+    pub fn ensure_program(&self, key: &str) -> bool {
+        let mut cache = self.program_cache.lock();
+        if cache.contains(key) {
+            return false;
+        }
+        cache.insert(key.to_string());
+        drop(cache);
+        self.device
+            .charge_jit(key, self.device.spec().opencl_jit_compile_ns);
+        true
+    }
+
+    /// Number of programs currently cached.
+    pub fn cached_programs(&self) -> usize {
+        self.program_cache.lock().len()
+    }
+}
+
+/// An in-order OpenCL command queue.
+///
+/// All Boost.Compute algorithms take the queue as their last argument;
+/// it carries the context (and through it the device and program cache).
+#[derive(Debug, Clone)]
+pub struct CommandQueue {
+    context: Arc<Context>,
+}
+
+impl CommandQueue {
+    /// Create a queue on `context`.
+    pub fn new(context: &Arc<Context>) -> CommandQueue {
+        CommandQueue {
+            context: Arc::clone(context),
+        }
+    }
+
+    /// The queue's context.
+    pub fn context(&self) -> &Arc<Context> {
+        &self.context
+    }
+
+    /// The queue's device.
+    pub fn device(&self) -> &Arc<Device> {
+        self.context.device()
+    }
+
+    /// Enqueue a kernel: ensure its program is compiled (JIT on first
+    /// use), then charge the launch with OpenCL enqueue overhead.
+    pub fn enqueue(&self, name: &str, type_key: &str, cost: gpu_sim::KernelCost) {
+        let key = format!("{}::{name}<{type_key}>", crate::KERNEL_PREFIX);
+        self.context.ensure_program(&key);
+        let cost = cost.with_launch_overhead(self.device().spec().opencl_enqueue_latency_ns);
+        self.device()
+            .charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost);
+    }
+
+    /// Wait for completion (no-op: the simulated timeline is synchronous).
+    pub fn finish(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::KernelCost;
+
+    #[test]
+    fn first_enqueue_compiles_second_hits_cache() {
+        let dev = Device::with_defaults();
+        let ctx = Context::new(&dev);
+        let q = CommandQueue::new(&ctx);
+        q.enqueue("transform", "u32", KernelCost::empty());
+        assert_eq!(dev.stats().jit_compiles, 1);
+        q.enqueue("transform", "u32", KernelCost::empty());
+        assert_eq!(dev.stats().jit_compiles, 1, "cache hit");
+        assert_eq!(ctx.cached_programs(), 1);
+    }
+
+    #[test]
+    fn distinct_type_instantiations_compile_separately() {
+        let dev = Device::with_defaults();
+        let ctx = Context::new(&dev);
+        let q = CommandQueue::new(&ctx);
+        q.enqueue("transform", "u32", KernelCost::empty());
+        q.enqueue("transform", "u64", KernelCost::empty());
+        assert_eq!(dev.stats().jit_compiles, 2);
+    }
+
+    #[test]
+    fn fresh_context_has_cold_cache() {
+        let dev = Device::with_defaults();
+        let ctx1 = Context::new(&dev);
+        CommandQueue::new(&ctx1).enqueue("sort", "u32", KernelCost::empty());
+        let ctx2 = Context::new(&dev);
+        CommandQueue::new(&ctx2).enqueue("sort", "u32", KernelCost::empty());
+        assert_eq!(
+            dev.stats().jit_compiles,
+            2,
+            "program caches are per-context"
+        );
+    }
+
+    #[test]
+    fn jit_time_dwarfs_launch_time() {
+        let dev = Device::with_defaults();
+        let ctx = Context::new(&dev);
+        let q = CommandQueue::new(&ctx);
+        let (_, cold) = dev.time(|| q.enqueue("reduce", "u32", KernelCost::empty()));
+        let (_, warm) = dev.time(|| q.enqueue("reduce", "u32", KernelCost::empty()));
+        assert!(cold.as_nanos() > 100 * warm.as_nanos());
+    }
+}

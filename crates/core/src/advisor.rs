@@ -1,0 +1,213 @@
+//! A small cost-based advisor: choose a materialisation strategy from
+//! column statistics.
+//!
+//! Ablation A4 shows early vs. late materialisation crossing over around
+//! 10% selectivity on the Thrust backend. A rapid prototyper shouldn't
+//! rediscover that by benchmarking every query — this module estimates
+//! predicate selectivity from min/max column statistics (uniformity
+//! assumption, the classic Selinger approach) and picks the strategy the
+//! cost model favours.
+
+use crate::ops::CmpOp;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a numeric column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Row count.
+    pub rows: usize,
+}
+
+impl ColumnStats {
+    /// Compute stats from host data (what a loader would maintain).
+    pub fn from_f64(data: &[f64]) -> Option<ColumnStats> {
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        (!data.is_empty()).then_some(ColumnStats {
+            min,
+            max,
+            rows: data.len(),
+        })
+    }
+
+    /// Compute stats from a `u32` column.
+    pub fn from_u32(data: &[u32]) -> Option<ColumnStats> {
+        let v: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+        Self::from_f64(&v)
+    }
+
+    /// Estimated selectivity of `col CMP lit` under a uniform-value
+    /// assumption, in `[0, 1]`.
+    pub fn selectivity(&self, cmp: CmpOp, lit: f64) -> f64 {
+        let span = self.max - self.min;
+        let frac_below = if span <= 0.0 {
+            // Constant column: all-or-nothing.
+            f64::from(self.min < lit)
+        } else {
+            ((lit - self.min) / span).clamp(0.0, 1.0)
+        };
+        match cmp {
+            CmpOp::Lt | CmpOp::Le => frac_below,
+            CmpOp::Gt | CmpOp::Ge => 1.0 - frac_below,
+            CmpOp::Eq => {
+                if (self.min..=self.max).contains(&lit) {
+                    // One value of an assumed-uniform domain.
+                    (1.0 / self.rows.max(1) as f64).min(1.0)
+                } else {
+                    0.0
+                }
+            }
+            CmpOp::Ne => {
+                1.0 - ColumnStats::selectivity(self, CmpOp::Eq, lit)
+            }
+        }
+    }
+}
+
+/// Materialisation strategies for a filter + k-column projection pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Materialization {
+    /// Filter first, then gather the payload columns (cheap when few rows
+    /// survive).
+    Early,
+    /// Compute over the full columns, gather the single result (cheap
+    /// when most rows survive).
+    Late,
+}
+
+/// Choose a strategy for `SUM(f(k payload columns)) WHERE pred` from the
+/// estimated selectivity.
+///
+/// Cost sketch (per row, bandwidth units): early pays `s · k` gathers at
+/// random-access efficiency plus the compute on `s · n` rows; late pays
+/// the compute on all `n` rows plus one `s`-sized gather. With gather
+/// bandwidth ≈ 10× worse than streaming (see
+/// [`DeviceSpec`](gpu_sim::DeviceSpec) efficiencies), early wins when
+/// `s · k · 10 < k + s · 10`, i.e. roughly `s < 1 / (k·10 − 10) · k`…
+/// which for the studied k = 2 lands near the measured ~10% crossover.
+pub fn choose_materialization(selectivity: f64, payload_columns: usize) -> Materialization {
+    let k = payload_columns.max(1) as f64;
+    const GATHER_PENALTY: f64 = 10.0; // random vs. coalesced efficiency
+    let early_cost = selectivity * k * GATHER_PENALTY + selectivity * k;
+    let late_cost = k + selectivity * GATHER_PENALTY;
+    if early_cost <= late_cost {
+        Materialization::Early
+    } else {
+        Materialization::Late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_data() {
+        let s = ColumnStats::from_f64(&[3.0, -1.0, 7.0]).unwrap();
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.rows, 3);
+        assert!(ColumnStats::from_f64(&[]).is_none());
+        let u = ColumnStats::from_u32(&[5, 10]).unwrap();
+        assert_eq!(u.min, 5.0);
+    }
+
+    #[test]
+    fn selectivity_estimates_are_sane() {
+        let s = ColumnStats {
+            min: 0.0,
+            max: 100.0,
+            rows: 1000,
+        };
+        assert!((s.selectivity(CmpOp::Lt, 50.0) - 0.5).abs() < 1e-9);
+        assert!((s.selectivity(CmpOp::Ge, 75.0) - 0.25).abs() < 1e-9);
+        assert_eq!(s.selectivity(CmpOp::Lt, -5.0), 0.0);
+        assert_eq!(s.selectivity(CmpOp::Lt, 200.0), 1.0);
+        assert!(s.selectivity(CmpOp::Eq, 10.0) <= 1.0 / 999.0);
+        assert_eq!(s.selectivity(CmpOp::Eq, 200.0), 0.0);
+        assert!(s.selectivity(CmpOp::Ne, 10.0) > 0.99);
+        // Constant column.
+        let c = ColumnStats {
+            min: 5.0,
+            max: 5.0,
+            rows: 10,
+        };
+        assert_eq!(c.selectivity(CmpOp::Lt, 6.0), 1.0);
+        assert_eq!(c.selectivity(CmpOp::Lt, 5.0), 0.0);
+    }
+
+    #[test]
+    fn advisor_reproduces_the_a4_crossover() {
+        // A4 measured: early wins at 1%, late wins from ~10% up (k = 2).
+        assert_eq!(choose_materialization(0.01, 2), Materialization::Early);
+        assert_eq!(choose_materialization(0.5, 2), Materialization::Late);
+        assert_eq!(choose_materialization(0.99, 2), Materialization::Late);
+        // More payload columns push the crossover lower.
+        assert_eq!(choose_materialization(0.05, 8), Materialization::Early);
+        assert_eq!(choose_materialization(0.3, 8), Materialization::Late);
+    }
+
+    #[test]
+    fn advisor_matches_measured_a4_preferences() {
+        // Validate the advisor against the actual measured experiment.
+        let fw = crate::framework::Framework::with_all_backends(&gpu_sim::DeviceSpec::gtx1080());
+        let b = fw.backend("Thrust").unwrap();
+        use crate::backend::Pred;
+        use crate::ops::Connective;
+        let n = 1 << 18;
+        for (sel, expect) in [(0.01, Materialization::Early), (0.9, Materialization::Late)] {
+            let (keys, thr) = crate::workload::selectivity_column(n, sel, crate::workload::SEED);
+            let vals = crate::workload::uniform_f64(n, 7);
+            let ck = b.upload_u32(&keys).unwrap();
+            let ca = b.upload_f64(&vals).unwrap();
+            let cb = b.upload_f64(&vals).unwrap();
+            let preds = [Pred { col: &ck, cmp: CmpOp::Lt, lit: thr as f64 }];
+            let run_early = || {
+                let ids = b.selection_multi(&preds, Connective::And)?;
+                let ga = b.gather(&ca, &ids)?;
+                let gb = b.gather(&cb, &ids)?;
+                let p = b.product(&ga, &gb)?;
+                let _ = b.reduction(&p)?;
+                for c in [ids, ga, gb, p] {
+                    b.free(c)?;
+                }
+                gpu_sim::Result::Ok(())
+            };
+            let run_late = || {
+                let p = b.product(&ca, &cb)?;
+                let ids = b.selection_multi(&preds, Connective::And)?;
+                let g = b.gather(&p, &ids)?;
+                let _ = b.reduction(&g)?;
+                for c in [p, ids, g] {
+                    b.free(c)?;
+                }
+                gpu_sim::Result::Ok(())
+            };
+            run_early().unwrap(); // warm pools
+            run_late().unwrap();
+            let dev = b.device();
+            let (_, t_early) = dev.time(|| run_early().unwrap());
+            let (_, t_late) = dev.time(|| run_late().unwrap());
+            let measured = if t_early <= t_late {
+                Materialization::Early
+            } else {
+                Materialization::Late
+            };
+            let est = ColumnStats::from_u32(&keys)
+                .unwrap()
+                .selectivity(CmpOp::Lt, thr as f64);
+            assert_eq!(choose_materialization(est, 2), expect, "sel {sel}");
+            assert_eq!(measured, expect, "measured disagrees at sel {sel}");
+            for c in [ck, ca, cb] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! ArrayFire adapter — Table II's first column.
+//!
+//! Selection is only *partially* supported ("~"): `where()` yields the
+//! qualifying indices, but materialising values needs a follow-up
+//! `lookup()`. Conjunction/disjunction go through `setIntersect()` /
+//! `setUnion()` on index sets. Grouped aggregation is `sort()` by key +
+//! `sumByKey()`. Joins are not expressible at all — ArrayFire offers no
+//! arbitrary-functor kernel like `for_each_n`. What ArrayFire *does* bring
+//! is lazy JIT fusion: chained element-wise math (Product, predicates)
+//! compiles into a single kernel.
+
+use crate::backend::{check_col, Col, ColType, GpuBackend, Pred, Slab};
+use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
+use arrayfire_sim as af;
+use arrayfire_sim::{Array, DType};
+use gpu_sim::{Device, Result, SimError};
+use std::sync::Arc;
+
+/// The ArrayFire library plugged into the framework.
+pub struct ArrayFireBackend {
+    device: Arc<Device>,
+    runtime: Arc<af::Backend>,
+    slab: Slab<Array>,
+}
+
+const NAME: &str = "ArrayFire";
+
+impl ArrayFireBackend {
+    /// Create the backend on `device` (cold JIT kernel cache).
+    pub fn new(device: &Arc<Device>) -> Self {
+        ArrayFireBackend {
+            device: Arc::clone(device),
+            runtime: af::Backend::new(device),
+            slab: Slab::default(),
+        }
+    }
+
+    /// The ArrayFire runtime handle (exposed for fusion ablations).
+    pub fn runtime(&self) -> &Arc<af::Backend> {
+        &self.runtime
+    }
+
+    fn mint(&self, arr: Array) -> Col {
+        let dtype = match arr.dtype() {
+            DType::U32 => ColType::U32,
+            _ => ColType::F64,
+        };
+        let len = arr.len();
+        Col {
+            id: self.slab.insert(arr),
+            dtype,
+            len,
+            backend: NAME,
+        }
+    }
+
+    fn arr(&self, col: &Col) -> Result<Array> {
+        self.slab.with(col.id, |a| a.clone())
+    }
+
+    fn mask(&self, p: &Pred<'_>) -> Result<Array> {
+        let a = self.arr(p.col)?;
+        Ok(match p.cmp {
+            CmpOp::Lt => a.lt_scalar(p.lit),
+            CmpOp::Le => a.le_scalar(p.lit),
+            CmpOp::Gt => a.gt_scalar(p.lit),
+            CmpOp::Ge => a.ge_scalar(p.lit),
+            CmpOp::Eq => a.eq_scalar(p.lit),
+            CmpOp::Ne => a.eq_scalar(p.lit).not(),
+        })
+    }
+}
+
+impl GpuBackend for ArrayFireBackend {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn device(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
+    }
+
+    fn support(&self, op: DbOperator) -> Support {
+        match op {
+            DbOperator::Selection => Support::Partial,
+            DbOperator::ScatterGather => Support::Partial,
+            DbOperator::NestedLoopsJoin | DbOperator::MergeJoin | DbOperator::HashJoin => {
+                Support::None
+            }
+            _ => Support::Full,
+        }
+    }
+
+    fn realization(&self, op: DbOperator) -> &'static str {
+        match op {
+            DbOperator::Selection => "where(operator())",
+            DbOperator::ConjunctionDisjunction => "setIntersect(), setUnion()",
+            DbOperator::NestedLoopsJoin | DbOperator::MergeJoin | DbOperator::HashJoin => "–",
+            DbOperator::GroupedAggregation => "sumByKey(), countByKey()",
+            DbOperator::Reduction => "sum<T>()",
+            DbOperator::SortByKey => "sort(keys, values)",
+            DbOperator::Sort => "sort()",
+            DbOperator::PrefixSum => "scan()",
+            DbOperator::ScatterGather => "lookup() / assign()",
+            DbOperator::Product => "operator*()",
+        }
+    }
+
+    fn upload_u32(&self, data: &[u32]) -> Result<Col> {
+        Ok(self.mint(self.runtime.array_u32(data)?))
+    }
+
+    fn upload_f64(&self, data: &[f64]) -> Result<Col> {
+        Ok(self.mint(self.runtime.array_f64(data)?))
+    }
+
+    fn download_u32(&self, col: &Col) -> Result<Vec<u32>> {
+        check_col(col, NAME, ColType::U32)?;
+        self.arr(col)?.host_u32()
+    }
+
+    fn download_f64(&self, col: &Col) -> Result<Vec<f64>> {
+        check_col(col, NAME, ColType::F64)?;
+        self.arr(col)?.host_f64()
+    }
+
+    fn free(&self, col: Col) -> Result<()> {
+        if col.backend != NAME {
+            return Err(SimError::Unsupported("foreign column handle".into()));
+        }
+        self.slab.take(col.id).map(drop)
+    }
+
+    fn selection(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
+        let mask = self.mask(&Pred { col, cmp, lit })?;
+        let ids = af::where_(&mask)?;
+        Ok(self.mint(ids))
+    }
+
+    fn selection_multi(&self, preds: &[Pred<'_>], conn: Connective) -> Result<Col> {
+        let Some(first) = preds.first() else {
+            return Err(SimError::Unsupported("empty predicate list".into()));
+        };
+        // Table II realisation: one where() per predicate, combined with
+        // set operations on the index arrays.
+        let mut ids = af::where_(&self.mask(first)?)?;
+        for p in &preds[1..] {
+            let next = af::where_(&self.mask(p)?)?;
+            ids = match conn {
+                Connective::And => af::set_intersect(&ids, &next)?,
+                Connective::Or => af::set_union(&ids, &next)?,
+            };
+        }
+        Ok(self.mint(ids))
+    }
+
+    fn selection_cmp_cols(&self, a: &Col, b: &Col, cmp: CmpOp) -> Result<Col> {
+        let (xa, xb) = (self.arr(a)?, self.arr(b)?);
+        let mask = match cmp {
+            CmpOp::Lt => xa.lt(&xb)?,
+            CmpOp::Le => xa.le(&xb)?,
+            CmpOp::Gt => xa.gt(&xb)?,
+            CmpOp::Ge => xa.ge(&xb)?,
+            CmpOp::Eq => xa.eq_elem(&xb)?,
+            CmpOp::Ne => xa.ne_elem(&xb)?,
+        };
+        Ok(self.mint(af::where_(&mask)?))
+    }
+
+    fn dense_mask(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
+        // The comparison mask is lazy; cast to f64 so it multiplies into
+        // downstream arithmetic (all of which fuses into one kernel).
+        let mask = self.mask(&Pred { col, cmp, lit })?;
+        let out = mask.cast(af::DType::F64);
+        out.eval()?;
+        Ok(self.mint(out))
+    }
+
+    fn product(&self, a: &Col, b: &Col) -> Result<Col> {
+        check_col(a, NAME, ColType::F64)?;
+        check_col(b, NAME, ColType::F64)?;
+        let (xa, xb) = (self.arr(a)?, self.arr(b)?);
+        let prod = xa.try_binary(af::BinaryOp::Mul, &xb)?;
+        prod.eval()?;
+        Ok(self.mint(prod))
+    }
+
+    fn affine(&self, col: &Col, mul: f64, add: f64) -> Result<Col> {
+        check_col(col, NAME, ColType::F64)?;
+        let a = self.arr(col)?;
+        let out = &(&a * mul) + add; // lazy — fuses with downstream use
+        out.eval()?;
+        Ok(self.mint(out))
+    }
+
+    fn constant_f64(&self, len: usize, value: f64) -> Result<Col> {
+        Ok(self.mint(af::constant(&self.runtime, value, len)?))
+    }
+
+    fn reduction(&self, col: &Col) -> Result<f64> {
+        check_col(col, NAME, ColType::F64)?;
+        af::sum(&self.arr(col)?)
+    }
+
+    fn prefix_sum(&self, col: &Col) -> Result<Col> {
+        check_col(col, NAME, ColType::U32)?;
+        Ok(self.mint(af::scan(&self.arr(col)?, true)?))
+    }
+
+    fn sort(&self, col: &Col) -> Result<Col> {
+        check_col(col, NAME, ColType::U32)?;
+        Ok(self.mint(af::sort(&self.arr(col)?)?))
+    }
+
+    fn sort_by_key(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
+        check_col(keys, NAME, ColType::U32)?;
+        check_col(vals, NAME, ColType::F64)?;
+        let (k, v) = af::sort_by_key(&self.arr(keys)?, &self.arr(vals)?)?;
+        Ok((self.mint(k), self.mint(v)))
+    }
+
+    fn grouped_sum(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
+        check_col(keys, NAME, ColType::U32)?;
+        check_col(vals, NAME, ColType::F64)?;
+        let (sk, sv) = af::sort_by_key(&self.arr(keys)?, &self.arr(vals)?)?;
+        let (gk, gv) = af::sum_by_key(&sk, &sv)?;
+        Ok((self.mint(gk), self.mint(gv)))
+    }
+
+    fn gather(&self, data: &Col, idx: &Col) -> Result<Col> {
+        check_col(idx, NAME, ColType::U32)?;
+        if data.backend != NAME {
+            return Err(SimError::Unsupported("foreign column handle".into()));
+        }
+        let out = af::lookup(&self.arr(data)?, &self.arr(idx)?)?;
+        Ok(self.mint(out))
+    }
+
+    fn scatter(&self, data: &Col, idx: &Col, dst_len: usize) -> Result<Col> {
+        check_col(data, NAME, ColType::U32)?;
+        check_col(idx, NAME, ColType::U32)?;
+        // ArrayFire expresses scatter as indexed assignment
+        // (`out(idx) = data`); partial support — costed like a random
+        // write kernel over the data.
+        let d = self.arr(data)?.host_u32()?;
+        let i = self.arr(idx)?.host_u32()?;
+        if d.len() != i.len() {
+            return Err(SimError::SizeMismatch {
+                left: d.len(),
+                right: i.len(),
+            });
+        }
+        let mut out = vec![0u32; dst_len];
+        for (&v, &pos) in d.iter().zip(&i) {
+            let pos = pos as usize;
+            if pos >= dst_len {
+                return Err(SimError::IndexOutOfBounds {
+                    index: pos,
+                    len: dst_len,
+                });
+            }
+            out[pos] = v;
+        }
+        self.device.charge_kernel(
+            "af::assign",
+            gpu_sim::presets::scatter::<u32>(d.len())
+                .with_launch_overhead(self.device.spec().cuda_launch_latency_ns),
+        );
+        Ok(self.mint(self.runtime.array_u32(&out)?))
+    }
+
+    fn join(&self, _outer: &Col, _inner: &Col, algo: JoinAlgo) -> Result<(Col, Col)> {
+        Err(SimError::Unsupported(format!(
+            "ArrayFire offers no {:?} join (Table II: no arbitrary-functor kernels)",
+            algo
+        )))
+    }
+
+    fn filter_sum_product(&self, a: &Col, b: &Col, preds: &[Pred<'_>]) -> Result<f64> {
+        // ArrayFire's native pipeline: the predicate masks, the product
+        // and the mask application all fuse into ONE generated kernel;
+        // only the final reduction is a second launch.
+        check_col(a, NAME, ColType::F64)?;
+        check_col(b, NAME, ColType::F64)?;
+        let Some(first) = preds.first() else {
+            return Err(SimError::Unsupported("empty predicate list".into()));
+        };
+        let mut mask = self.mask(first)?;
+        for p in &preds[1..] {
+            mask = mask.and(&self.mask(p)?)?;
+        }
+        let (xa, xb) = (self.arr(a)?, self.arr(b)?);
+        let masked = &(&xa * &xb) * &mask.cast(DType::F64);
+        af::sum(&masked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Pred;
+
+    fn backend() -> ArrayFireBackend {
+        ArrayFireBackend::new(&Device::with_defaults())
+    }
+
+    #[test]
+    fn selection_via_where() {
+        let b = backend();
+        let col = b.upload_u32(&[5, 2, 9, 1, 7]).unwrap();
+        let ids = b.selection(&col, CmpOp::Gt, 4.0).unwrap();
+        assert_eq!(b.download_u32(&ids).unwrap(), vec![0, 2, 4]);
+        assert_eq!(b.support(DbOperator::Selection), Support::Partial);
+    }
+
+    #[test]
+    fn conjunction_via_set_intersect() {
+        let b = backend();
+        let x = b.upload_u32(&[1, 5, 3, 8]).unwrap();
+        let preds = [
+            Pred { col: &x, cmp: CmpOp::Gt, lit: 2.0 },
+            Pred { col: &x, cmp: CmpOp::Lt, lit: 8.0 },
+        ];
+        let and = b.selection_multi(&preds, Connective::And).unwrap();
+        assert_eq!(b.download_u32(&and).unwrap(), vec![1, 2]);
+        let or = b.selection_multi(&preds, Connective::Or).unwrap();
+        assert_eq!(b.download_u32(&or).unwrap(), vec![0, 1, 2, 3]);
+        let dev = b.device();
+        let s = dev.stats();
+        assert!(s.launches_of("af::setIntersect") == 1);
+        assert!(s.launches_of("af::setUnion") == 1);
+    }
+
+    #[test]
+    fn joins_are_unsupported() {
+        let b = backend();
+        let o = b.upload_u32(&[1]).unwrap();
+        let i = b.upload_u32(&[1]).unwrap();
+        for algo in [JoinAlgo::NestedLoops, JoinAlgo::Merge, JoinAlgo::Hash] {
+            assert!(b.join(&o, &i, algo).is_err());
+            assert_eq!(b.support(algo.operator()), Support::None);
+        }
+    }
+
+    #[test]
+    fn grouped_sum_via_sum_by_key() {
+        let b = backend();
+        let k = b.upload_u32(&[2, 1, 2]).unwrap();
+        let v = b.upload_f64(&[5.0, 1.0, 7.0]).unwrap();
+        let (gk, gv) = b.grouped_sum(&k, &v).unwrap();
+        assert_eq!(b.download_u32(&gk).unwrap(), vec![1, 2]);
+        assert_eq!(b.download_f64(&gv).unwrap(), vec![1.0, 12.0]);
+    }
+
+    #[test]
+    fn product_fuses_into_one_kernel() {
+        let b = backend();
+        let x = b.upload_f64(&[2.0, 3.0]).unwrap();
+        let y = b.upload_f64(&[4.0, 5.0]).unwrap();
+        b.device().reset_stats();
+        let p = b.product(&x, &y).unwrap();
+        assert_eq!(b.download_f64(&p).unwrap(), vec![8.0, 15.0]);
+        assert_eq!(b.device().stats().launches_of("af::jit_fused"), 1);
+    }
+
+    #[test]
+    fn filter_sum_product_uses_two_kernels_total() {
+        let b = backend();
+        let a = b.upload_f64(&[1.0, 2.0, 3.0]).unwrap();
+        let c = b.upload_f64(&[2.0, 2.0, 2.0]).unwrap();
+        let k = b.upload_f64(&[10.0, 20.0, 30.0]).unwrap();
+        b.device().reset_stats();
+        let preds = [Pred { col: &k, cmp: CmpOp::Lt, lit: 25.0 }];
+        let r = b.filter_sum_product(&a, &c, &preds).unwrap();
+        assert_eq!(r, 2.0 + 4.0);
+        let s = b.device().stats();
+        assert_eq!(s.launches_of("af::jit_fused"), 1, "mask+product fused");
+        assert_eq!(s.launches_of("af::sum"), 1);
+    }
+
+    #[test]
+    fn primitives() {
+        let b = backend();
+        let u = b.upload_u32(&[1, 0, 2]).unwrap();
+        let ps = b.prefix_sum(&u).unwrap();
+        assert_eq!(b.download_u32(&ps).unwrap(), vec![0, 1, 1]);
+        let s = b.sort(&u).unwrap();
+        assert_eq!(b.download_u32(&s).unwrap(), vec![0, 1, 2]);
+        let idx = b.upload_u32(&[2, 0]).unwrap();
+        let g = b.gather(&u, &idx).unwrap();
+        assert_eq!(b.download_u32(&g).unwrap(), vec![2, 1]);
+        let sc = b.scatter(&g, &idx, 3).unwrap();
+        assert_eq!(b.download_u32(&sc).unwrap(), vec![1, 0, 2]);
+        let f = b.upload_f64(&[1.0, 2.5]).unwrap();
+        assert_eq!(b.reduction(&f).unwrap(), 3.5);
+    }
+}

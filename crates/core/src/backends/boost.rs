@@ -1,0 +1,462 @@
+//! Boost.Compute adapter — Table II's second column.
+//!
+//! Same operator realisations as Thrust (`transform` → `exclusive_scan` →
+//! `scatter_if` selection, `sort_by_key` + `reduce_by_key` aggregation,
+//! `for_each_n` nested loops), but running through an OpenCL command queue:
+//! every distinct kernel JIT-compiles on first use and each launch pays
+//! OpenCL enqueue overhead. The framework-visible difference is therefore
+//! pure cost profile — which is exactly what the paper compares.
+
+use crate::backend::{check_col, Col, ColType, GpuBackend, Pred, Slab};
+use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
+use boost_compute_sim as compute;
+use boost_compute_sim::{CommandQueue, Context, Vector};
+use gpu_sim::{presets, Device, Result, SimDuration, SimError};
+use std::sync::Arc;
+
+enum Stored {
+    U32(Vector<u32>),
+    F64(Vector<f64>),
+}
+
+/// The Boost.Compute library plugged into the framework.
+pub struct BoostBackend {
+    device: Arc<Device>,
+    queue: CommandQueue,
+    slab: Slab<Stored>,
+}
+
+const NAME: &str = "Boost.Compute";
+
+impl BoostBackend {
+    /// Create the backend on `device` with a fresh OpenCL context (cold
+    /// program cache — first calls will JIT).
+    pub fn new(device: &Arc<Device>) -> Self {
+        let ctx = Context::new(device);
+        BoostBackend {
+            device: Arc::clone(device),
+            queue: CommandQueue::new(&ctx),
+            slab: Slab::default(),
+        }
+    }
+
+    /// The backend's command queue (exposed for tests/ablation benches).
+    pub fn queue(&self) -> &CommandQueue {
+        &self.queue
+    }
+
+    fn mint(&self, stored: Stored) -> Col {
+        let (dtype, len) = match &stored {
+            Stored::U32(v) => (ColType::U32, v.len()),
+            Stored::F64(v) => (ColType::F64, v.len()),
+        };
+        Col {
+            id: self.slab.insert(stored),
+            dtype,
+            len,
+            backend: NAME,
+        }
+    }
+
+    fn flags(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Vector<u32>> {
+        self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => {
+                compute::transform(v, move |x| u32::from(cmp.eval(x as f64, lit)), &self.queue)
+            }
+            Stored::F64(v) => {
+                compute::transform(v, move |x| u32::from(cmp.eval(x, lit)), &self.queue)
+            }
+        })?
+    }
+
+    fn compact(&self, flags: &Vector<u32>) -> Result<Vector<u32>> {
+        let offs = compute::exclusive_scan(flags, 0u32, &self.queue)?;
+        let n = flags.len();
+        let count = match n {
+            0 => 0,
+            _ => (offs.as_slice()[n - 1] + flags.as_slice()[n - 1]) as usize,
+        };
+        self.device.advance(SimDuration::from_nanos(
+            self.device.spec().pcie_latency_ns,
+        ));
+        let ids = compute::iota(n, &self.queue)?;
+        let mut out: Vector<u32> = Vector::zeroed(count, &self.queue)?;
+        compute::scatter_if(&ids, &offs, flags, &mut out, &self.queue)?;
+        Ok(out)
+    }
+}
+
+impl GpuBackend for BoostBackend {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn device(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
+    }
+
+    fn support(&self, op: DbOperator) -> Support {
+        match op {
+            DbOperator::MergeJoin | DbOperator::HashJoin => Support::None,
+            _ => Support::Full,
+        }
+    }
+
+    fn realization(&self, op: DbOperator) -> &'static str {
+        match op {
+            DbOperator::Selection => "transform() & exclusive_scan() & scatter_if()",
+            DbOperator::ConjunctionDisjunction => "bit_and<T>(), bit_or<T>()",
+            DbOperator::NestedLoopsJoin => "for_each_n()",
+            DbOperator::MergeJoin | DbOperator::HashJoin => "–",
+            DbOperator::GroupedAggregation => "sort_by_key() & reduce_by_key()",
+            DbOperator::Reduction => "reduce()",
+            DbOperator::SortByKey => "sort_by_key()",
+            DbOperator::Sort => "sort()",
+            DbOperator::PrefixSum => "exclusive_scan()",
+            DbOperator::ScatterGather => "scatter(), gather()",
+            DbOperator::Product => "transform() & multiplies<T>()",
+        }
+    }
+
+    fn upload_u32(&self, data: &[u32]) -> Result<Col> {
+        Ok(self.mint(Stored::U32(Vector::from_host(data, &self.queue)?)))
+    }
+
+    fn upload_f64(&self, data: &[f64]) -> Result<Col> {
+        Ok(self.mint(Stored::F64(Vector::from_host(data, &self.queue)?)))
+    }
+
+    fn download_u32(&self, col: &Col) -> Result<Vec<u32>> {
+        check_col(col, NAME, ColType::U32)?;
+        self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => v.to_host(&self.queue),
+            _ => unreachable!("dtype checked"),
+        })?
+    }
+
+    fn download_f64(&self, col: &Col) -> Result<Vec<f64>> {
+        check_col(col, NAME, ColType::F64)?;
+        self.slab.with(col.id, |s| match s {
+            Stored::F64(v) => v.to_host(&self.queue),
+            _ => unreachable!("dtype checked"),
+        })?
+    }
+
+    fn free(&self, col: Col) -> Result<()> {
+        if col.backend != NAME {
+            return Err(SimError::Unsupported("foreign column handle".into()));
+        }
+        self.slab.take(col.id).map(drop)
+    }
+
+    fn selection(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
+        let flags = self.flags(col, cmp, lit)?;
+        let out = self.compact(&flags)?;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn selection_multi(&self, preds: &[Pred<'_>], conn: Connective) -> Result<Col> {
+        let Some(first) = preds.first() else {
+            return Err(SimError::Unsupported("empty predicate list".into()));
+        };
+        let mut combined = self.flags(first.col, first.cmp, first.lit)?;
+        for p in &preds[1..] {
+            let f = self.flags(p.col, p.cmp, p.lit)?;
+            combined = match conn {
+                Connective::And => {
+                    compute::transform_binary(&combined, &f, |a, b| a & b, &self.queue)?
+                }
+                Connective::Or => {
+                    compute::transform_binary(&combined, &f, |a, b| a | b, &self.queue)?
+                }
+            };
+        }
+        let out = self.compact(&combined)?;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn selection_cmp_cols(&self, a: &Col, b: &Col, cmp: CmpOp) -> Result<Col> {
+        if a.dtype != b.dtype {
+            return Err(SimError::Unsupported("mixed-dtype column comparison".into()));
+        }
+        let flags = self.slab.with2(a.id, b.id, |sa, sb| match (sa, sb) {
+            (Stored::U32(va), Stored::U32(vb)) => compute::transform_binary(
+                va,
+                vb,
+                move |x, y| u32::from(cmp.eval(x as f64, y as f64)),
+                &self.queue,
+            ),
+            (Stored::F64(va), Stored::F64(vb)) => compute::transform_binary(
+                va,
+                vb,
+                move |x, y| u32::from(cmp.eval(x, y)),
+                &self.queue,
+            ),
+            _ => unreachable!("dtype checked"),
+        })??;
+        let out = self.compact(&flags)?;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn dense_mask(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
+        let out = self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => compute::transform(
+                v,
+                move |x| f64::from(u8::from(cmp.eval(x as f64, lit))),
+                &self.queue,
+            ),
+            Stored::F64(v) => compute::transform(
+                v,
+                move |x| f64::from(u8::from(cmp.eval(x, lit))),
+                &self.queue,
+            ),
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn product(&self, a: &Col, b: &Col) -> Result<Col> {
+        check_col(a, NAME, ColType::F64)?;
+        check_col(b, NAME, ColType::F64)?;
+        let out = self.slab.with2(a.id, b.id, |sa, sb| match (sa, sb) {
+            (Stored::F64(va), Stored::F64(vb)) => {
+                compute::transform_binary(va, vb, |x, y| x * y, &self.queue)
+            }
+            _ => unreachable!("dtype checked"),
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn affine(&self, col: &Col, mul: f64, add: f64) -> Result<Col> {
+        check_col(col, NAME, ColType::F64)?;
+        let out = self.slab.with(col.id, |s| match s {
+            Stored::F64(v) => compute::transform(v, move |x| x * mul + add, &self.queue),
+            _ => unreachable!("dtype checked"),
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn constant_f64(&self, len: usize, value: f64) -> Result<Col> {
+        let mut v: Vector<f64> = Vector::zeroed(len, &self.queue)?;
+        compute::fill(&mut v, value, &self.queue);
+        Ok(self.mint(Stored::F64(v)))
+    }
+
+    fn reduction(&self, col: &Col) -> Result<f64> {
+        check_col(col, NAME, ColType::F64)?;
+        self.slab.with(col.id, |s| match s {
+            Stored::F64(v) => compute::reduce(v, 0.0f64, |a, x| a + x, &self.queue),
+            _ => unreachable!("dtype checked"),
+        })?
+    }
+
+    fn prefix_sum(&self, col: &Col) -> Result<Col> {
+        check_col(col, NAME, ColType::U32)?;
+        let out = self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => compute::exclusive_scan(v, 0u32, &self.queue),
+            _ => unreachable!("dtype checked"),
+        })??;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn sort(&self, col: &Col) -> Result<Col> {
+        check_col(col, NAME, ColType::U32)?;
+        let mut copy = self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => v.dclone(&self.queue),
+            _ => unreachable!("dtype checked"),
+        })??;
+        compute::sort(&mut copy, &self.queue)?;
+        Ok(self.mint(Stored::U32(copy)))
+    }
+
+    fn sort_by_key(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
+        check_col(keys, NAME, ColType::U32)?;
+        check_col(vals, NAME, ColType::F64)?;
+        let mut k = self.slab.with(keys.id, |s| match s {
+            Stored::U32(v) => v.dclone(&self.queue),
+            _ => unreachable!("dtype checked"),
+        })??;
+        let mut v = self.slab.with(vals.id, |s| match s {
+            Stored::F64(v) => v.dclone(&self.queue),
+            _ => unreachable!("dtype checked"),
+        })??;
+        compute::sort_by_key(&mut k, &mut v, &self.queue)?;
+        Ok((self.mint(Stored::U32(k)), self.mint(Stored::F64(v))))
+    }
+
+    fn grouped_sum(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
+        let (sk, sv) = self.sort_by_key(keys, vals)?;
+        let (gk, gv) = self.slab.with2(sk.id, sv.id, |a, b| match (a, b) {
+            (Stored::U32(k), Stored::F64(v)) => {
+                compute::reduce_by_key(k, v, |x, y| x + y, &self.queue)
+            }
+            _ => unreachable!("dtype checked"),
+        })??;
+        self.free(sk)?;
+        self.free(sv)?;
+        Ok((self.mint(Stored::U32(gk)), self.mint(Stored::F64(gv))))
+    }
+
+    fn gather(&self, data: &Col, idx: &Col) -> Result<Col> {
+        check_col(idx, NAME, ColType::U32)?;
+        if data.backend != NAME {
+            return Err(SimError::Unsupported("foreign column handle".into()));
+        }
+        let stored = self.slab.with2(data.id, idx.id, |d, i| {
+            let Stored::U32(map) = i else {
+                unreachable!("dtype checked")
+            };
+            match d {
+                Stored::U32(v) => compute::gather(map, v, &self.queue).map(Stored::U32),
+                Stored::F64(v) => compute::gather(map, v, &self.queue).map(Stored::F64),
+            }
+        })??;
+        Ok(self.mint(stored))
+    }
+
+    fn scatter(&self, data: &Col, idx: &Col, dst_len: usize) -> Result<Col> {
+        check_col(data, NAME, ColType::U32)?;
+        check_col(idx, NAME, ColType::U32)?;
+        let mut dst: Vector<u32> = Vector::zeroed(dst_len, &self.queue)?;
+        self.slab.with2(data.id, idx.id, |d, i| {
+            let (Stored::U32(src), Stored::U32(map)) = (d, i) else {
+                unreachable!("dtype checked")
+            };
+            compute::scatter(src, map, &mut dst, &self.queue)
+        })??;
+        Ok(self.mint(Stored::U32(dst)))
+    }
+
+    fn join(&self, outer: &Col, inner: &Col, algo: JoinAlgo) -> Result<(Col, Col)> {
+        check_col(outer, NAME, ColType::U32)?;
+        check_col(inner, NAME, ColType::U32)?;
+        if algo != JoinAlgo::NestedLoops {
+            return Err(SimError::Unsupported(format!(
+                "Boost.Compute has no {:?} join (Table II)",
+                algo
+            )));
+        }
+        let (left, right) = self.slab.with2(outer.id, inner.id, |o, i| {
+            let (Stored::U32(ov), Stored::U32(iv)) = (o, i) else {
+                unreachable!("dtype checked")
+            };
+            super::nlj_pairs(ov.as_slice(), iv.as_slice())
+        })?;
+        compute::for_each_n(
+            outer.len,
+            presets::nested_loops::<u32>(outer.len, inner.len)
+                .with_write((left.len() * 8) as u64),
+            |_| {},
+            &self.queue,
+        )?;
+        let lb = self
+            .device
+            .buffer_from_vec(left, gpu_sim::AllocPolicy::Raw)?;
+        let rb = self
+            .device
+            .buffer_from_vec(right, gpu_sim::AllocPolicy::Raw)?;
+        Ok((
+            self.mint(Stored::U32(Vector::from_buffer(lb))),
+            self.mint(Stored::U32(Vector::from_buffer(rb))),
+        ))
+    }
+
+    fn filter_sum_product(&self, a: &Col, b: &Col, preds: &[Pred<'_>]) -> Result<f64> {
+        let ids = self.selection_multi(preds, Connective::And)?;
+        let ga = self.gather(a, &ids)?;
+        let gb = self.gather(b, &ids)?;
+        let total = self.slab.with2(ga.id, gb.id, |x, y| match (x, y) {
+            (Stored::F64(va), Stored::F64(vb)) => compute::inner_product(
+                va,
+                vb,
+                0.0f64,
+                |p, q| p + q,
+                |p, q| p * q,
+                &self.queue,
+            ),
+            _ => unreachable!("dtype checked"),
+        })??;
+        for c in [ids, ga, gb] {
+            self.free(c)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> BoostBackend {
+        BoostBackend::new(&Device::with_defaults())
+    }
+
+    #[test]
+    fn selection_matches_thrust_semantics() {
+        let b = backend();
+        let col = b.upload_u32(&[5, 2, 9, 1, 7]).unwrap();
+        let ids = b.selection(&col, CmpOp::Gt, 4.0).unwrap();
+        assert_eq!(b.download_u32(&ids).unwrap(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn first_selection_pays_jit_repeats_do_not() {
+        let b = backend();
+        let col = b.upload_u32(&(0..4096u32).collect::<Vec<_>>()).unwrap();
+        let dev = b.device();
+        let (_, cold) = dev.time(|| b.selection(&col, CmpOp::Gt, 100.0).unwrap());
+        let (_, warm) = dev.time(|| b.selection(&col, CmpOp::Gt, 100.0).unwrap());
+        assert!(
+            cold.as_nanos() > warm.as_nanos() + dev.spec().opencl_jit_compile_ns,
+            "cold {cold} vs warm {warm}"
+        );
+    }
+
+    #[test]
+    fn grouped_sum_and_reduction() {
+        let b = backend();
+        let k = b.upload_u32(&[3, 3, 1]).unwrap();
+        let v = b.upload_f64(&[1.0, 2.0, 4.0]).unwrap();
+        let (gk, gv) = b.grouped_sum(&k, &v).unwrap();
+        assert_eq!(b.download_u32(&gk).unwrap(), vec![1, 3]);
+        assert_eq!(b.download_f64(&gv).unwrap(), vec![4.0, 3.0]);
+        assert_eq!(b.reduction(&v).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn join_support_matches_table_ii() {
+        let b = backend();
+        let o = b.upload_u32(&[1, 2]).unwrap();
+        let i = b.upload_u32(&[2]).unwrap();
+        let (l, r) = b.join(&o, &i, JoinAlgo::NestedLoops).unwrap();
+        assert_eq!(b.download_u32(&l).unwrap(), vec![1]);
+        assert_eq!(b.download_u32(&r).unwrap(), vec![0]);
+        assert!(b.join(&o, &i, JoinAlgo::Hash).is_err());
+        assert_eq!(b.support(DbOperator::HashJoin), Support::None);
+        assert_eq!(b.support(DbOperator::Selection), Support::Full);
+    }
+
+    #[test]
+    fn filter_sum_product_is_correct() {
+        let b = backend();
+        let a = b.upload_f64(&[1.0, 2.0, 3.0]).unwrap();
+        let c = b.upload_f64(&[2.0, 2.0, 2.0]).unwrap();
+        let k = b.upload_u32(&[10, 20, 30]).unwrap();
+        let preds = [Pred { col: &k, cmp: CmpOp::Lt, lit: 25.0 }];
+        assert_eq!(b.filter_sum_product(&a, &c, &preds).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn sort_and_primitives() {
+        let b = backend();
+        let u = b.upload_u32(&[3, 1, 2]).unwrap();
+        let s = b.sort(&u).unwrap();
+        assert_eq!(b.download_u32(&s).unwrap(), vec![1, 2, 3]);
+        let ps = b.prefix_sum(&u).unwrap();
+        assert_eq!(b.download_u32(&ps).unwrap(), vec![0, 3, 4]);
+        let idx = b.upload_u32(&[2, 0]).unwrap();
+        let g = b.gather(&u, &idx).unwrap();
+        assert_eq!(b.download_u32(&g).unwrap(), vec![2, 3]);
+        let sc = b.scatter(&g, &idx, 3).unwrap();
+        assert_eq!(b.download_u32(&sc).unwrap(), vec![3, 0, 2]);
+    }
+}

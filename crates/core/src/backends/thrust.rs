@@ -1,0 +1,488 @@
+//! Thrust adapter — Table II's third column.
+//!
+//! Selection is the paper's canonical example of library chaining:
+//! `transform()` (predicate flags) → `exclusive_scan()` (output offsets) →
+//! `scatter_if()` (compaction), three kernels with two materialised
+//! intermediates. Grouped aggregation is `sort_by_key()` +
+//! `reduce_by_key()`. The only join Thrust can express is nested loops via
+//! `for_each_n()`; merge and hash joins are unsupported (Table II "–").
+
+use crate::backend::{check_col, Col, ColType, GpuBackend, Pred, Slab};
+use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
+use gpu_sim::{presets, Device, Result, SimDuration, SimError};
+use std::sync::Arc;
+use thrust_sim as thrust;
+use thrust_sim::DeviceVector;
+
+/// Device column as stored by this backend.
+enum Stored {
+    U32(DeviceVector<u32>),
+    F64(DeviceVector<f64>),
+}
+
+/// The Thrust library plugged into the framework.
+pub struct ThrustBackend {
+    device: Arc<Device>,
+    slab: Slab<Stored>,
+}
+
+const NAME: &str = "Thrust";
+
+impl ThrustBackend {
+    /// Create the backend on `device`.
+    pub fn new(device: &Arc<Device>) -> Self {
+        ThrustBackend {
+            device: Arc::clone(device),
+            slab: Slab::default(),
+        }
+    }
+
+    fn mint(&self, stored: Stored) -> Col {
+        let (dtype, len) = match &stored {
+            Stored::U32(v) => (ColType::U32, v.len()),
+            Stored::F64(v) => (ColType::F64, v.len()),
+        };
+        Col {
+            id: self.slab.insert(stored),
+            dtype,
+            len,
+            backend: NAME,
+        }
+    }
+
+    /// Predicate flags for one column: the `transform()` stage.
+    fn flags(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<DeviceVector<u32>> {
+        self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => thrust::transform(v, move |x| u32::from(cmp.eval(x as f64, lit))),
+            Stored::F64(v) => thrust::transform(v, move |x| u32::from(cmp.eval(x, lit))),
+        })?
+    }
+
+    /// `exclusive_scan()` + `scatter_if()`: compact row-ids from flags.
+    fn compact(&self, flags: &DeviceVector<u32>) -> Result<DeviceVector<u32>> {
+        let offs = thrust::exclusive_scan(flags, 0u32)?;
+        let n = flags.len();
+        let count = match n {
+            0 => 0,
+            _ => (offs.as_slice()[n - 1] + flags.as_slice()[n - 1]) as usize,
+        };
+        // Reading the total back is a tiny device→host copy in real code.
+        self.device.advance(SimDuration::from_nanos(
+            self.device.spec().pcie_latency_ns,
+        ));
+        let ids = thrust::sequence(&self.device, n)?;
+        let mut out: DeviceVector<u32> = DeviceVector::zeroed(&self.device, count)?;
+        thrust::scatter_if(&ids, &offs, flags, &mut out)?;
+        Ok(out)
+    }
+}
+
+impl GpuBackend for ThrustBackend {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn device(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
+    }
+
+    fn support(&self, op: DbOperator) -> Support {
+        match op {
+            DbOperator::MergeJoin | DbOperator::HashJoin => Support::None,
+            _ => Support::Full,
+        }
+    }
+
+    fn realization(&self, op: DbOperator) -> &'static str {
+        match op {
+            DbOperator::Selection => "transform() & exclusive_scan() & scatter_if()",
+            DbOperator::ConjunctionDisjunction => "bit_and<T>(), bit_or<T>()",
+            DbOperator::NestedLoopsJoin => "for_each_n()",
+            DbOperator::MergeJoin | DbOperator::HashJoin => "–",
+            DbOperator::GroupedAggregation => "sort_by_key() & reduce_by_key()",
+            DbOperator::Reduction => "reduce()",
+            DbOperator::SortByKey => "sort_by_key()",
+            DbOperator::Sort => "sort()",
+            DbOperator::PrefixSum => "exclusive_scan()",
+            DbOperator::ScatterGather => "scatter(), gather()",
+            DbOperator::Product => "transform() & multiplies<T>()",
+        }
+    }
+
+    fn upload_u32(&self, data: &[u32]) -> Result<Col> {
+        Ok(self.mint(Stored::U32(DeviceVector::from_host(&self.device, data)?)))
+    }
+
+    fn upload_f64(&self, data: &[f64]) -> Result<Col> {
+        Ok(self.mint(Stored::F64(DeviceVector::from_host(&self.device, data)?)))
+    }
+
+    fn download_u32(&self, col: &Col) -> Result<Vec<u32>> {
+        check_col(col, NAME, ColType::U32)?;
+        self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => v.to_host(),
+            _ => unreachable!("dtype checked"),
+        })?
+    }
+
+    fn download_f64(&self, col: &Col) -> Result<Vec<f64>> {
+        check_col(col, NAME, ColType::F64)?;
+        self.slab.with(col.id, |s| match s {
+            Stored::F64(v) => v.to_host(),
+            _ => unreachable!("dtype checked"),
+        })?
+    }
+
+    fn free(&self, col: Col) -> Result<()> {
+        if col.backend != NAME {
+            return Err(SimError::Unsupported("foreign column handle".into()));
+        }
+        self.slab.take(col.id).map(drop)
+    }
+
+    fn selection(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
+        let flags = self.flags(col, cmp, lit)?;
+        let out = self.compact(&flags)?;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn selection_multi(&self, preds: &[Pred<'_>], conn: Connective) -> Result<Col> {
+        let Some(first) = preds.first() else {
+            return Err(SimError::Unsupported("empty predicate list".into()));
+        };
+        let mut combined = self.flags(first.col, first.cmp, first.lit)?;
+        for p in &preds[1..] {
+            let f = self.flags(p.col, p.cmp, p.lit)?;
+            combined = match conn {
+                Connective::And => {
+                    thrust::transform_binary(&combined, &f, thrust::functional::bit_and())?
+                }
+                Connective::Or => {
+                    thrust::transform_binary(&combined, &f, thrust::functional::bit_or())?
+                }
+            };
+        }
+        let out = self.compact(&combined)?;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn selection_cmp_cols(&self, a: &Col, b: &Col, cmp: CmpOp) -> Result<Col> {
+        if a.dtype != b.dtype {
+            return Err(SimError::Unsupported("mixed-dtype column comparison".into()));
+        }
+        let flags = self.slab.with2(a.id, b.id, |sa, sb| match (sa, sb) {
+            (Stored::U32(va), Stored::U32(vb)) => {
+                thrust::transform_binary(va, vb, move |x, y| {
+                    u32::from(cmp.eval(x as f64, y as f64))
+                })
+            }
+            (Stored::F64(va), Stored::F64(vb)) => {
+                thrust::transform_binary(va, vb, move |x, y| u32::from(cmp.eval(x, y)))
+            }
+            _ => unreachable!("dtype checked"),
+        })??;
+        let out = self.compact(&flags)?;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn dense_mask(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
+        let out = self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => thrust::transform(v, move |x| {
+                f64::from(u8::from(cmp.eval(x as f64, lit)))
+            }),
+            Stored::F64(v) => {
+                thrust::transform(v, move |x| f64::from(u8::from(cmp.eval(x, lit))))
+            }
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn product(&self, a: &Col, b: &Col) -> Result<Col> {
+        check_col(a, NAME, ColType::F64)?;
+        check_col(b, NAME, ColType::F64)?;
+        let out = self.slab.with2(a.id, b.id, |sa, sb| match (sa, sb) {
+            (Stored::F64(va), Stored::F64(vb)) => {
+                thrust::transform_binary(va, vb, thrust::functional::multiplies())
+            }
+            _ => unreachable!("dtype checked"),
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn affine(&self, col: &Col, mul: f64, add: f64) -> Result<Col> {
+        check_col(col, NAME, ColType::F64)?;
+        let out = self.slab.with(col.id, |s| match s {
+            Stored::F64(v) => thrust::transform(v, move |x| x * mul + add),
+            _ => unreachable!("dtype checked"),
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn constant_f64(&self, len: usize, value: f64) -> Result<Col> {
+        let mut v: DeviceVector<f64> = DeviceVector::zeroed(&self.device, len)?;
+        thrust::fill(&mut v, value);
+        Ok(self.mint(Stored::F64(v)))
+    }
+
+    fn reduction(&self, col: &Col) -> Result<f64> {
+        check_col(col, NAME, ColType::F64)?;
+        self.slab.with(col.id, |s| match s {
+            Stored::F64(v) => thrust::reduce(v, 0.0f64, |a, x| a + x),
+            _ => unreachable!("dtype checked"),
+        })?
+    }
+
+    fn prefix_sum(&self, col: &Col) -> Result<Col> {
+        check_col(col, NAME, ColType::U32)?;
+        let out = self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => thrust::exclusive_scan(v, 0u32),
+            _ => unreachable!("dtype checked"),
+        })??;
+        Ok(self.mint(Stored::U32(out)))
+    }
+
+    fn sort(&self, col: &Col) -> Result<Col> {
+        check_col(col, NAME, ColType::U32)?;
+        let mut copy = self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => v.dclone(),
+            _ => unreachable!("dtype checked"),
+        })??;
+        thrust::sort(&mut copy)?;
+        Ok(self.mint(Stored::U32(copy)))
+    }
+
+    fn sort_by_key(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
+        check_col(keys, NAME, ColType::U32)?;
+        check_col(vals, NAME, ColType::F64)?;
+        let mut k = self.slab.with(keys.id, |s| match s {
+            Stored::U32(v) => v.dclone(),
+            _ => unreachable!("dtype checked"),
+        })??;
+        let mut v = self.slab.with(vals.id, |s| match s {
+            Stored::F64(v) => v.dclone(),
+            _ => unreachable!("dtype checked"),
+        })??;
+        thrust::sort_by_key(&mut k, &mut v)?;
+        Ok((self.mint(Stored::U32(k)), self.mint(Stored::F64(v))))
+    }
+
+    fn grouped_sum(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
+        let (sk, sv) = self.sort_by_key(keys, vals)?;
+        let (gk, gv) = self
+            .slab
+            .with2(sk.id, sv.id, |a, b| match (a, b) {
+                (Stored::U32(k), Stored::F64(v)) => thrust::reduce_by_key(k, v, |x, y| x + y),
+                _ => unreachable!("dtype checked"),
+            })??;
+        self.free(sk)?;
+        self.free(sv)?;
+        Ok((self.mint(Stored::U32(gk)), self.mint(Stored::F64(gv))))
+    }
+
+    fn gather(&self, data: &Col, idx: &Col) -> Result<Col> {
+        check_col(idx, NAME, ColType::U32)?;
+        if data.backend != NAME {
+            return Err(SimError::Unsupported("foreign column handle".into()));
+        }
+        let stored = self.slab.with2(data.id, idx.id, |d, i| {
+            let Stored::U32(map) = i else {
+                unreachable!("dtype checked")
+            };
+            match d {
+                Stored::U32(v) => thrust::gather(map, v).map(Stored::U32),
+                Stored::F64(v) => thrust::gather(map, v).map(Stored::F64),
+            }
+        })??;
+        Ok(self.mint(stored))
+    }
+
+    fn scatter(&self, data: &Col, idx: &Col, dst_len: usize) -> Result<Col> {
+        check_col(data, NAME, ColType::U32)?;
+        check_col(idx, NAME, ColType::U32)?;
+        let mut dst: DeviceVector<u32> = DeviceVector::zeroed(&self.device, dst_len)?;
+        self.slab.with2(data.id, idx.id, |d, i| {
+            let (Stored::U32(src), Stored::U32(map)) = (d, i) else {
+                unreachable!("dtype checked")
+            };
+            thrust::scatter(src, map, &mut dst)
+        })??;
+        Ok(self.mint(Stored::U32(dst)))
+    }
+
+    fn join(&self, outer: &Col, inner: &Col, algo: JoinAlgo) -> Result<(Col, Col)> {
+        check_col(outer, NAME, ColType::U32)?;
+        check_col(inner, NAME, ColType::U32)?;
+        match algo {
+            JoinAlgo::NestedLoops => {}
+            other => {
+                return Err(SimError::Unsupported(format!(
+                    "Thrust has no {:?} join (Table II)",
+                    other
+                )))
+            }
+        }
+        let (left, right) = self.slab.with2(outer.id, inner.id, |o, i| {
+            let (Stored::U32(ov), Stored::U32(iv)) = (o, i) else {
+                unreachable!("dtype checked")
+            };
+            super::nlj_pairs(ov.as_slice(), iv.as_slice())
+        })?;
+        // The library expression of NLJ: one for_each_n launch over the
+        // outer side whose functor scans the inner relation.
+        thrust::for_each_n(
+            &self.device,
+            outer.len,
+            presets::nested_loops::<u32>(outer.len, inner.len)
+                .with_write((left.len() * 8) as u64),
+            |_| {},
+        )?;
+        let lb = self
+            .device
+            .buffer_from_vec(left, gpu_sim::AllocPolicy::Pooled)?;
+        let rb = self
+            .device
+            .buffer_from_vec(right, gpu_sim::AllocPolicy::Pooled)?;
+        Ok((
+            self.mint(Stored::U32(DeviceVector::from_buffer(lb))),
+            self.mint(Stored::U32(DeviceVector::from_buffer(rb))),
+        ))
+    }
+
+    fn filter_sum_product(&self, a: &Col, b: &Col, preds: &[Pred<'_>]) -> Result<f64> {
+        // Thrust's best pipeline fuses the final product+sum into one
+        // inner_product call after materialising survivors.
+        let ids = self.selection_multi(preds, Connective::And)?;
+        let ga = self.gather(a, &ids)?;
+        let gb = self.gather(b, &ids)?;
+        let total = self.slab.with2(ga.id, gb.id, |x, y| match (x, y) {
+            (Stored::F64(va), Stored::F64(vb)) => {
+                thrust::inner_product(va, vb, 0.0f64, |p, q| p + q, |p, q| p * q)
+            }
+            _ => unreachable!("dtype checked"),
+        })??;
+        for c in [ids, ga, gb] {
+            self.free(c)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> ThrustBackend {
+        ThrustBackend::new(&Device::with_defaults())
+    }
+
+    #[test]
+    fn selection_is_three_kernels() {
+        let b = backend();
+        let col = b.upload_u32(&[5, 2, 9, 1, 7]).unwrap();
+        b.device().reset_stats();
+        let ids = b.selection(&col, CmpOp::Gt, 4.0).unwrap();
+        assert_eq!(b.download_u32(&ids).unwrap(), vec![0, 2, 4]);
+        let s = b.device().stats();
+        assert_eq!(s.launches_of("thrust::transform"), 1);
+        assert_eq!(s.launches_of("thrust::exclusive_scan"), 1);
+        assert_eq!(s.launches_of("thrust::scatter_if"), 1);
+    }
+
+    #[test]
+    fn conjunction_and_disjunction() {
+        let b = backend();
+        let x = b.upload_u32(&[1, 5, 3, 8]).unwrap();
+        let preds = [
+            Pred { col: &x, cmp: CmpOp::Gt, lit: 2.0 },
+            Pred { col: &x, cmp: CmpOp::Lt, lit: 8.0 },
+        ];
+        let and = b.selection_multi(&preds, Connective::And).unwrap();
+        assert_eq!(b.download_u32(&and).unwrap(), vec![1, 2]);
+        let or = b.selection_multi(&preds, Connective::Or).unwrap();
+        assert_eq!(b.download_u32(&or).unwrap(), vec![0, 1, 2, 3]);
+        assert!(b.selection_multi(&[], Connective::And).is_err());
+    }
+
+    #[test]
+    fn grouped_sum_goes_through_sort_reduce() {
+        let b = backend();
+        let k = b.upload_u32(&[2, 1, 2, 1]).unwrap();
+        let v = b.upload_f64(&[20.0, 10.0, 21.0, 11.0]).unwrap();
+        b.device().reset_stats();
+        let (gk, gv) = b.grouped_sum(&k, &v).unwrap();
+        assert_eq!(b.download_u32(&gk).unwrap(), vec![1, 2]);
+        assert_eq!(b.download_f64(&gv).unwrap(), vec![21.0, 41.0]);
+        let s = b.device().stats();
+        assert!(s.launches_of("thrust::sort_by_key/scatter") > 0);
+        assert_eq!(s.launches_of("thrust::reduce_by_key"), 1);
+    }
+
+    #[test]
+    fn joins_support_matrix() {
+        let b = backend();
+        assert_eq!(b.support(DbOperator::NestedLoopsJoin), Support::Full);
+        assert_eq!(b.support(DbOperator::HashJoin), Support::None);
+        assert_eq!(b.support(DbOperator::MergeJoin), Support::None);
+        let o = b.upload_u32(&[1, 2, 3]).unwrap();
+        let i = b.upload_u32(&[2, 3, 4]).unwrap();
+        let (l, r) = b.join(&o, &i, JoinAlgo::NestedLoops).unwrap();
+        assert_eq!(b.download_u32(&l).unwrap(), vec![1, 2]);
+        assert_eq!(b.download_u32(&r).unwrap(), vec![0, 1]);
+        assert!(b.join(&o, &i, JoinAlgo::Hash).is_err());
+        assert!(b.join(&o, &i, JoinAlgo::Merge).is_err());
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let b = backend();
+        let u = b.upload_u32(&[1, 0, 2, 1]).unwrap();
+        let ps = b.prefix_sum(&u).unwrap();
+        assert_eq!(b.download_u32(&ps).unwrap(), vec![0, 1, 1, 3]);
+        let sorted = b.sort(&u).unwrap();
+        assert_eq!(b.download_u32(&sorted).unwrap(), vec![0, 1, 1, 2]);
+        // input untouched:
+        assert_eq!(b.download_u32(&u).unwrap(), vec![1, 0, 2, 1]);
+        let f = b.upload_f64(&[1.5, 2.5]).unwrap();
+        assert_eq!(b.reduction(&f).unwrap(), 4.0);
+        let g = b.product(&f, &f).unwrap();
+        assert_eq!(b.download_f64(&g).unwrap(), vec![2.25, 6.25]);
+        let idx = b.upload_u32(&[1, 0]).unwrap();
+        let gat = b.gather(&f, &idx).unwrap();
+        assert_eq!(b.download_f64(&gat).unwrap(), vec![2.5, 1.5]);
+        let sc = b.scatter(&idx, &idx, 3).unwrap();
+        assert_eq!(b.download_u32(&sc).unwrap(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn filter_sum_product_matches_manual() {
+        let b = backend();
+        let a = b.upload_f64(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let c = b.upload_f64(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        let k = b.upload_u32(&[0, 1, 2, 3]).unwrap();
+        let preds = [Pred { col: &k, cmp: CmpOp::Ge, lit: 2.0 }];
+        let r = b.filter_sum_product(&a, &c, &preds).unwrap();
+        assert_eq!(r, 3.0 * 30.0 + 4.0 * 40.0);
+    }
+
+    #[test]
+    fn dtype_and_ownership_checks() {
+        let b = backend();
+        let u = b.upload_u32(&[1]).unwrap();
+        assert!(b.download_f64(&u).is_err());
+        assert!(b.reduction(&u).is_err());
+        let b2 = backend();
+        let other = b2.upload_u32(&[1]).unwrap();
+        assert!(b.download_u32(&other).is_err());
+        assert!(b.free(other).is_err());
+        let mine = b.upload_u32(&[1]).unwrap();
+        assert!(b.free(mine).is_ok());
+    }
+
+    #[test]
+    fn empty_selection_works() {
+        let b = backend();
+        let col = b.upload_u32(&[]).unwrap();
+        let ids = b.selection(&col, CmpOp::Gt, 0.0).unwrap();
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # proto-core — the paper's framework
+//!
+//! This crate is the primary contribution of *"Analysis of GPU-Libraries
+//! for Rapid Prototyping Database Operations"* (ICDE 2021): a framework
+//! that maps column-oriented **database operators** onto GPU libraries and
+//! custom kernels, so their usefulness (operator support, Table II) and
+//! usability (operator & query performance, §IV) can be compared on equal
+//! footing.
+//!
+//! * [`ops`] — the operator vocabulary (Table II rows) and predicate types;
+//! * [`backend`] — the [`GpuBackend`](backend::GpuBackend) plug-in trait
+//!   and opaque device-column handles;
+//! * [`backends`] — adapters for Thrust, Boost.Compute, ArrayFire and the
+//!   handwritten baseline;
+//! * [`framework`] — the registry + generated support matrix (Table II);
+//! * [`survey`] — the 43-library catalogue (Table I);
+//! * [`runner`] — deterministic simulated-time measurement;
+//! * [`workload`] — seeded data generators for all experiments.
+//!
+//! ```
+//! use proto_core::prelude::*;
+//!
+//! let fw = Framework::with_all_backends(&gpu_sim::DeviceSpec::gtx1080());
+//! // Table II falls out of backend introspection:
+//! let table = fw.support_matrix();
+//! assert!(table.contains("Hash Join"));
+//!
+//! // Run a selection on every backend and compare results.
+//! for b in fw.backends() {
+//!     let col = b.upload_u32(&[5, 2, 9]).unwrap();
+//!     let ids = b.selection(&col, CmpOp::Gt, 4.0).unwrap();
+//!     assert_eq!(b.download_u32(&ids).unwrap(), vec![0, 2]);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod backend;
+pub mod backends;
+pub mod framework;
+pub mod ops;
+pub mod plan;
+pub mod runner;
+pub mod survey;
+pub mod workload;
+
+/// Convenient glob import for examples, tests and benches.
+pub mod prelude {
+    pub use crate::backend::{Col, ColType, GpuBackend, Pred};
+    pub use crate::backends::{
+        ArrayFireBackend, BoostBackend, HandwrittenBackend, ThrustBackend,
+    };
+    pub use crate::framework::Framework;
+    pub use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
+    pub use crate::advisor::{choose_materialization, ColumnStats, Materialization};
+    pub use crate::plan::{Agg, AggQuery, Bindings, Expr, Predicate, QueryResult};
+    pub use crate::runner::{measure, Experiment, Sample};
+}

@@ -1,0 +1,119 @@
+//! Deterministic workload generators for the experiments.
+//!
+//! All generators are seeded so every benchmark invocation measures the
+//! same data — the simulated timings are then reproducible end to end.
+
+use rand::distributions::Distribution;
+use rand::prelude::*;
+
+/// Default seed for experiment workloads.
+pub const SEED: u64 = 0x9E3779B97F4A7C15;
+
+/// Uniform random `u32` keys in `[0, bound)`.
+pub fn uniform_u32(n: usize, bound: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Uniform random `f64` values in `[0, 1)`.
+pub fn uniform_f64(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// A `u32` column where a `selectivity` fraction of rows is below the
+/// returned threshold — used for controlled-selectivity selections.
+/// Returns `(column, threshold)` such that `x < threshold` selects
+/// ~`selectivity · n` rows.
+pub fn selectivity_column(n: usize, selectivity: f64, seed: u64) -> (Vec<u32>, u32) {
+    const DOMAIN: u32 = 1 << 20;
+    let col = uniform_u32(n, DOMAIN, seed);
+    let threshold = (selectivity.clamp(0.0, 1.0) * DOMAIN as f64) as u32;
+    (col, threshold)
+}
+
+/// Zipf-distributed group keys over `groups` distinct values with skew
+/// `theta` (0 = uniform). Implemented with a cumulative table — fine for
+/// the group counts the experiments use.
+pub fn zipf_keys(n: usize, groups: usize, theta: f64, seed: u64) -> Vec<u32> {
+    assert!(groups > 0, "need at least one group");
+    let mut rng = StdRng::seed_from_u64(seed);
+    if theta <= f64::EPSILON {
+        return (0..n).map(|_| rng.gen_range(0..groups as u32)).collect();
+    }
+    let weights: Vec<f64> = (1..=groups).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+    let dist = rand::distributions::WeightedIndex::new(&weights).expect("valid weights");
+    (0..n).map(|_| dist.sample(&mut rng) as u32).collect()
+}
+
+/// Foreign-key join inputs: `inner` is the primary-key side
+/// (a shuffled permutation of `0..inner_n`), `outer` draws `outer_n`
+/// foreign keys uniformly from the key domain — every probe matches
+/// exactly once.
+pub fn fk_join(outer_n: usize, inner_n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inner: Vec<u32> = (0..inner_n as u32).collect();
+    inner.shuffle(&mut rng);
+    let outer: Vec<u32> = (0..outer_n)
+        .map(|_| rng.gen_range(0..inner_n as u32))
+        .collect();
+    (outer, inner)
+}
+
+/// Ascending sorted `u32` keys with duplicates (merge-join inputs).
+pub fn sorted_keys(n: usize, bound: u32, seed: u64) -> Vec<u32> {
+    let mut v = uniform_u32(n, bound, seed);
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_u32(100, 50, 7), uniform_u32(100, 50, 7));
+        assert_ne!(uniform_u32(100, 50, 7), uniform_u32(100, 50, 8));
+        assert_eq!(uniform_f64(10, 3), uniform_f64(10, 3));
+        assert_eq!(zipf_keys(50, 8, 0.9, 1), zipf_keys(50, 8, 0.9, 1));
+    }
+
+    #[test]
+    fn selectivity_column_hits_the_target_fraction() {
+        for sel in [0.01, 0.25, 0.5, 0.9] {
+            let (col, thr) = selectivity_column(100_000, sel, SEED);
+            let hit = col.iter().filter(|&&x| x < thr).count() as f64 / col.len() as f64;
+            assert!(
+                (hit - sel).abs() < 0.02,
+                "target {sel}, got {hit}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_keys() {
+        let keys = zipf_keys(100_000, 100, 1.2, SEED);
+        let zero = keys.iter().filter(|&&k| k == 0).count();
+        let tail = keys.iter().filter(|&&k| k == 99).count();
+        assert!(zero > 10 * tail.max(1), "zipf head {zero} vs tail {tail}");
+        assert!(keys.iter().all(|&k| k < 100));
+        let uniform = zipf_keys(10_000, 10, 0.0, SEED);
+        assert!(uniform.iter().all(|&k| k < 10));
+    }
+
+    #[test]
+    fn fk_join_every_probe_matches_once() {
+        let (outer, inner) = fk_join(1_000, 500, SEED);
+        let mut sorted = inner.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<u32>>(), "inner is a permutation");
+        assert!(outer.iter().all(|&k| k < 500));
+    }
+
+    #[test]
+    fn sorted_keys_are_sorted() {
+        let v = sorted_keys(1_000, 100, SEED);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

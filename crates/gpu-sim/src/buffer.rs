@@ -1,0 +1,148 @@
+//! Device buffers.
+//!
+//! A [`DeviceBuffer<T>`] models a contiguous allocation in GPU global
+//! memory. Storage physically lives in a host `Vec<T>` (the simulator
+//! executes kernels functionally on the CPU), but all *cost* behaviour —
+//! allocation latency, pooling, memory accounting, transfer charging —
+//! follows the device model. Library crates wrap this type in their own
+//! abstractions (`thrust::DeviceVector`, `boost::Vector`, `af::Array`).
+
+use crate::device::Device;
+use crate::pool::AllocPolicy;
+use std::sync::Arc;
+
+/// Marker for element types that may live in device memory.
+///
+/// Mirrors CUDA's requirement that device data be trivially copyable.
+/// Blanket-implemented for every `Copy` type that is thread-safe.
+pub trait DeviceCopy: Copy + Send + Sync + 'static {}
+impl<T: Copy + Send + Sync + 'static> DeviceCopy for T {}
+
+/// A typed allocation in simulated device global memory.
+#[derive(Debug)]
+pub struct DeviceBuffer<T: DeviceCopy> {
+    data: Vec<T>,
+    device: Arc<Device>,
+    policy: AllocPolicy,
+    /// Bytes charged against device memory (size-class rounded).
+    alloc_bytes: u64,
+}
+
+impl<T: DeviceCopy> DeviceBuffer<T> {
+    pub(crate) fn from_parts(
+        data: Vec<T>,
+        device: Arc<Device>,
+        policy: AllocPolicy,
+        alloc_bytes: u64,
+    ) -> Self {
+        DeviceBuffer {
+            data,
+            device,
+            policy,
+            alloc_bytes,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Logical payload size in bytes (`len * size_of::<T>()`).
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Bytes actually reserved on the device for this buffer.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.alloc_bytes
+    }
+
+    /// The device this buffer lives on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The allocation policy used for this buffer.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Read-only view of the backing storage. In a real system this would
+    /// be a device pointer; kernels in this simulator read through it.
+    pub fn host(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage, used by kernel bodies.
+    pub fn host_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Shorten the buffer to `len` elements (used after stream compaction,
+    /// where the output size is only known post-kernel). The device
+    /// reservation is unchanged — exactly like `cudaMalloc`'d memory.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Consume the buffer and return its host storage without charging a
+    /// transfer (test/debug escape hatch; measured paths use
+    /// [`Device::dtoh`]).
+    pub fn into_host_vec(mut self) -> Vec<T> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl<T: DeviceCopy> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.device.on_buffer_free(self.alloc_bytes, self.policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn buffer_basics() {
+        let dev = Device::new(DeviceSpec::gtx1080());
+        let mut buf = dev.alloc::<u32>(10).unwrap();
+        assert_eq!(buf.len(), 10);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.size_bytes(), 40);
+        assert!(buf.reserved_bytes() >= 40);
+        buf.host_mut()[3] = 42;
+        assert_eq!(buf.host()[3], 42);
+        buf.truncate(4);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.size_bytes(), 16);
+    }
+
+    #[test]
+    fn drop_releases_device_memory() {
+        let dev = Device::new(DeviceSpec::gtx1080());
+        let before = dev.mem_in_use();
+        {
+            let _buf = dev.alloc::<u64>(1 << 16).unwrap();
+            assert!(dev.mem_in_use() > before);
+        }
+        // Pooled memory stays reserved in the cache but is reusable.
+        let again = dev.alloc::<u64>(1 << 16).unwrap();
+        assert_eq!(dev.pool_stats().hits, 1);
+        drop(again);
+    }
+
+    #[test]
+    fn into_host_vec_moves_data() {
+        let dev = Device::new(DeviceSpec::gtx1080());
+        let buf = dev.htod(&[1u8, 2, 3]).unwrap();
+        assert_eq!(buf.into_host_vec(), vec![1, 2, 3]);
+    }
+}

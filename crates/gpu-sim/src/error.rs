@@ -1,0 +1,99 @@
+//! Error type for simulator operations.
+//!
+//! The simulator mirrors the failure modes of a real GPU runtime: device
+//! memory is finite (`OutOfMemory`), launches must be well-formed
+//! (`InvalidLaunch`), and buffer shapes must agree (`SizeMismatch`).
+
+use std::fmt;
+
+/// Result alias used throughout the simulator and the library crates.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device allocation exceeded the remaining global memory.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// A kernel was launched with an invalid configuration
+    /// (e.g. zero-sized block, grid exceeding device limits).
+    InvalidLaunch(String),
+    /// Two buffers that must have equal lengths did not.
+    SizeMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// An index-typed buffer referenced an out-of-range element.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: usize,
+        /// The length of the indexed buffer.
+        len: usize,
+    },
+    /// A library-level precondition was violated (e.g. merge join on
+    /// unsorted input).
+    Unsupported(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+            SimError::SizeMismatch { left, right } => {
+                write!(f, "buffer size mismatch: {left} vs {right}")
+            }
+            SimError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for buffer of length {len}")
+            }
+            SimError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfMemory {
+            requested: 1024,
+            available: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024") && s.contains("512"));
+
+        let e = SimError::SizeMismatch { left: 3, right: 7 };
+        assert!(e.to_string().contains("3 vs 7"));
+
+        let e = SimError::IndexOutOfBounds { index: 9, len: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SimError::InvalidLaunch("x".into()),
+            SimError::InvalidLaunch("x".into())
+        );
+        assert_ne!(
+            SimError::InvalidLaunch("x".into()),
+            SimError::Unsupported("x".into())
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Streams and events — CUDA-style timing scaffolding.
+//!
+//! The paper times operators with event pairs around each library call.
+//! The simulator exposes the same idiom: a [`Stream`] is an in-order handle
+//! on the device timeline; an [`Event`] records the virtual instant at
+//! which it was enqueued. `elapsed` between two events is exact (the clock
+//! is deterministic), so benchmark numbers carry no measurement noise.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::device::Device;
+use std::sync::Arc;
+
+/// An in-order command stream on a device.
+///
+/// The simulator serialises all device work on one timeline, so streams do
+/// not add concurrency; they provide the event/timing API and a natural
+/// place to hang future extensions (async transfers, multi-queue models).
+#[derive(Debug, Clone)]
+pub struct Stream {
+    device: Arc<Device>,
+}
+
+/// A recorded point on the device timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    at: SimTime,
+}
+
+impl Stream {
+    /// Create a stream on `device`.
+    pub fn new(device: Arc<Device>) -> Self {
+        Stream { device }
+    }
+
+    /// The device this stream issues to.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Record an event at the current virtual instant.
+    pub fn record(&self) -> Event {
+        Event {
+            at: self.device.now(),
+        }
+    }
+
+    /// Block until all enqueued work completes. Device work is synchronous
+    /// in the simulator, so this is a no-op kept for API parity.
+    pub fn synchronize(&self) {}
+
+    /// Time a closure's simulated cost on this stream.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> (R, SimDuration) {
+        let start = self.record();
+        let r = f();
+        let end = self.record();
+        (r, end.elapsed_since(start))
+    }
+}
+
+impl Event {
+    /// The virtual instant of this event.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Simulated time elapsed since `earlier` (saturating).
+    pub fn elapsed_since(&self, earlier: Event) -> SimDuration {
+        self.at - earlier.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+
+    #[test]
+    fn event_pairs_measure_kernel_time() {
+        let dev = Device::with_defaults();
+        let stream = Stream::new(Arc::clone(&dev));
+        let e0 = stream.record();
+        dev.charge_kernel("k", KernelCost::empty().with_launch_overhead(5_000));
+        let e1 = stream.record();
+        assert_eq!(
+            e1.elapsed_since(e0).as_nanos(),
+            5_000 + dev.spec().min_kernel_ns
+        );
+    }
+
+    #[test]
+    fn stream_time_wraps_event_pair() {
+        let dev = Device::with_defaults();
+        let stream = Stream::new(Arc::clone(&dev));
+        let ((), d) = stream.time(|| {
+            dev.charge_kernel("k", KernelCost::empty());
+        });
+        assert_eq!(d.as_nanos(), dev.spec().min_kernel_ns);
+        stream.synchronize();
+    }
+
+    #[test]
+    fn events_order_on_the_timeline() {
+        let dev = Device::with_defaults();
+        let s = Stream::new(Arc::clone(&dev));
+        let a = s.record();
+        dev.charge_kernel("k", KernelCost::empty());
+        let b = s.record();
+        assert!(b.at() > a.at());
+        assert_eq!(a.elapsed_since(b), SimDuration::ZERO, "saturates");
+    }
+}

@@ -1,0 +1,178 @@
+//! Execution tracing — an ordered event log of everything the device did.
+//!
+//! Statistics (`stats.rs`) aggregate; traces *sequence*. With tracing
+//! enabled, every kernel, transfer, JIT compilation and allocation is
+//! recorded with its virtual start/end instants, so an operator or query
+//! can be rendered as a timeline — which makes the difference between a
+//! 1-kernel fused plan and a 4-kernel library chain *visible*, not just
+//! countable. Disabled by default (zero overhead beyond a branch).
+
+use crate::clock::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What a trace event was.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A kernel launch (name as recorded in statistics).
+    Kernel(String),
+    /// A host→device transfer of `n` bytes.
+    HtoD(u64),
+    /// A device→host transfer of `n` bytes.
+    DtoH(u64),
+    /// A device→device copy of `n` bytes.
+    DtoD(u64),
+    /// A JIT compilation.
+    Jit(String),
+    /// A driver allocation of `n` bytes.
+    Alloc(u64),
+}
+
+impl TraceKind {
+    /// Short label for timeline rendering.
+    pub fn label(&self) -> String {
+        match self {
+            TraceKind::Kernel(name) => name.clone(),
+            TraceKind::HtoD(b) => format!("htod {b}B"),
+            TraceKind::DtoH(b) => format!("dtoh {b}B"),
+            TraceKind::DtoD(b) => format!("dtod {b}B"),
+            TraceKind::Jit(name) => format!("jit {name}"),
+            TraceKind::Alloc(b) => format!("alloc {b}B"),
+        }
+    }
+}
+
+/// One traced device event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual instant the event started.
+    pub start: SimTimeNs,
+    /// Virtual instant it completed.
+    pub end: SimTimeNs,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Serializable nanosecond instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SimTimeNs(pub u64);
+
+impl From<SimTime> for SimTimeNs {
+    fn from(t: SimTime) -> Self {
+        SimTimeNs(t.as_nanos())
+    }
+}
+
+impl TraceEvent {
+    /// Event duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.end.0 - self.start.0)
+    }
+}
+
+/// Render a trace as an ASCII timeline, one row per event, bar widths
+/// proportional to simulated duration.
+pub fn render_timeline(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let Some(first) = events.first() else {
+        return "(empty trace)\n".into();
+    };
+    let t0 = first.start.0;
+    let t_end = events.iter().map(|e| e.end.0).max().unwrap_or(t0);
+    let span = (t_end - t0).max(1);
+    const WIDTH: usize = 48;
+    let _ = writeln!(
+        out,
+        "timeline over {} ({} events)",
+        SimDuration::from_nanos(span),
+        events.len()
+    );
+    for e in events {
+        let from = ((e.start.0 - t0) as u128 * WIDTH as u128 / span as u128) as usize;
+        let to = (((e.end.0 - t0) as u128 * WIDTH as u128).div_ceil(span as u128) as usize)
+            .clamp(from + 1, WIDTH);
+        let mut bar = String::with_capacity(WIDTH);
+        for i in 0..WIDTH {
+            bar.push(if (from..to).contains(&i) { '█' } else { '·' });
+        }
+        let _ = writeln!(
+            out,
+            "{bar} {:>10}  {}",
+            e.duration().to_string(),
+            e.kind.label()
+        );
+    }
+    out
+}
+
+/// Total busy time (sum of event durations; events never overlap on the
+/// in-order timeline).
+pub fn busy_time(events: &[TraceEvent]) -> SimDuration {
+    events.iter().map(TraceEvent::duration).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+    use crate::device::Device;
+
+    #[test]
+    fn tracing_is_off_by_default_and_captures_when_enabled() {
+        let dev = Device::with_defaults();
+        dev.charge_kernel("before", KernelCost::empty());
+        assert!(dev.take_trace().is_empty(), "off by default");
+        dev.set_tracing(true);
+        let buf = dev.htod(&[1u32, 2, 3]).unwrap();
+        dev.charge_kernel("work", KernelCost::map::<u32, u32>(3));
+        let _ = dev.dtoh(&buf).unwrap();
+        dev.set_tracing(false);
+        let trace = dev.take_trace();
+        // htod does an allocation first, then the transfer.
+        let kinds: Vec<&TraceKind> = trace.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], TraceKind::Alloc(_)), "{kinds:?}");
+        assert!(matches!(kinds[1], TraceKind::HtoD(12)), "{kinds:?}");
+        assert!(matches!(&kinds[2], TraceKind::Kernel(n) if n == "work"));
+        assert!(matches!(kinds[3], TraceKind::DtoH(12)));
+        // Events are ordered and non-overlapping.
+        for w in trace.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        // take_trace drains.
+        assert!(dev.take_trace().is_empty());
+    }
+
+    #[test]
+    fn jit_events_are_traced() {
+        let dev = Device::with_defaults();
+        dev.set_tracing(true);
+        dev.charge_jit("programX", 1_000_000);
+        let trace = dev.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert!(matches!(&trace[0].kind, TraceKind::Jit(n) if n == "programX"));
+        assert_eq!(trace[0].duration().as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn timeline_renders_proportional_bars() {
+        let events = vec![
+            TraceEvent {
+                start: SimTimeNs(0),
+                end: SimTimeNs(100),
+                kind: TraceKind::Kernel("short".into()),
+            },
+            TraceEvent {
+                start: SimTimeNs(100),
+                end: SimTimeNs(1_000),
+                kind: TraceKind::Kernel("long".into()),
+            },
+        ];
+        let r = render_timeline(&events);
+        assert!(r.contains("short") && r.contains("long"));
+        let short_bar = r.lines().nth(1).unwrap().matches('█').count();
+        let long_bar = r.lines().nth(2).unwrap().matches('█').count();
+        assert!(long_bar > 3 * short_bar, "{r}");
+        assert_eq!(busy_time(&events).as_nanos(), 1_000);
+        assert_eq!(render_timeline(&[]), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,70 @@
+//! Host↔device transfer cost model.
+//!
+//! Column-oriented GPU query processing pays PCIe cost to ship columns to
+//! the device and results back. The model is the usual latency+bandwidth
+//! line: `t = latency + bytes / pcie_bandwidth`. Device-to-device copies
+//! (materialising intermediates between chained library calls!) instead pay
+//! global-memory bandwidth for a read and a write.
+
+use crate::clock::SimDuration;
+use crate::spec::DeviceSpec;
+
+/// Direction of a modelled copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host → device over PCIe.
+    HostToDevice,
+    /// Device → host over PCIe.
+    DeviceToHost,
+    /// Device → device through global memory.
+    DeviceToDevice,
+}
+
+/// Simulated duration of moving `bytes` in `dir` on `spec`.
+pub fn transfer_time(spec: &DeviceSpec, dir: Direction, bytes: u64) -> SimDuration {
+    match dir {
+        Direction::HostToDevice | Direction::DeviceToHost => {
+            let bw = spec.pcie_bandwidth_gbps; // bytes per ns
+            let t = spec.pcie_latency_ns as f64 + bytes as f64 / bw;
+            SimDuration::from_nanos(t.ceil() as u64)
+        }
+        Direction::DeviceToDevice => {
+            // Read + write through global memory at coalesced efficiency.
+            let bw = spec.mem_bandwidth_gbps * spec.coalesced_efficiency;
+            let t = (2 * bytes) as f64 / bw;
+            SimDuration::from_nanos(t.ceil().max(1.0) as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_has_fixed_latency_floor() {
+        let spec = DeviceSpec::gtx1080();
+        let t0 = transfer_time(&spec, Direction::HostToDevice, 0);
+        assert_eq!(t0.as_nanos(), spec.pcie_latency_ns);
+        let t1 = transfer_time(&spec, Direction::HostToDevice, 8_000);
+        assert_eq!(t1.as_nanos(), spec.pcie_latency_ns + 1_000);
+    }
+
+    #[test]
+    fn dtod_is_much_faster_than_pcie_for_bulk() {
+        let spec = DeviceSpec::gtx1080();
+        let bytes = 256 << 20;
+        let pcie = transfer_time(&spec, Direction::DeviceToHost, bytes);
+        let dtod = transfer_time(&spec, Direction::DeviceToDevice, bytes);
+        assert!(dtod < pcie, "global memory outruns PCIe");
+    }
+
+    #[test]
+    fn directions_symmetric_over_pcie() {
+        let spec = DeviceSpec::gtx1080();
+        assert_eq!(
+            transfer_time(&spec, Direction::HostToDevice, 123_456),
+            transfer_time(&spec, Direction::DeviceToHost, 123_456)
+        );
+    }
+}

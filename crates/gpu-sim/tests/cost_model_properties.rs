@@ -1,0 +1,109 @@
+//! Property tests on the simulator's cost model and accounting: the
+//! invariants every higher layer depends on.
+
+use gpu_sim::{AccessPattern, Device, DeviceSpec, KernelCost, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Duration is monotone in every resource dimension.
+    #[test]
+    fn duration_is_monotone(
+        read in 0u64..1 << 32,
+        write in 0u64..1 << 32,
+        flops in 0u64..1 << 34,
+        extra in 1u64..1 << 20,
+    ) {
+        let spec = DeviceSpec::gtx1080();
+        let base = KernelCost::empty()
+            .with_read(read)
+            .with_write(write)
+            .with_flops(flops);
+        let t0 = base.duration(&spec);
+        prop_assert!(base.with_read(read + extra).duration(&spec) >= t0);
+        prop_assert!(base.with_write(write + extra).duration(&spec) >= t0);
+        prop_assert!(base.with_flops(flops + extra).duration(&spec) >= t0);
+        prop_assert!(base.with_launch_overhead(extra).duration(&spec) > t0);
+    }
+
+    /// Worse access patterns never run faster.
+    #[test]
+    fn pattern_ordering(bytes in 1u64..1 << 32) {
+        let spec = DeviceSpec::gtx1080();
+        let t = |p: AccessPattern| {
+            KernelCost::empty().with_read(bytes).with_pattern(p).duration(&spec)
+        };
+        prop_assert!(t(AccessPattern::Coalesced) <= t(AccessPattern::Strided));
+        prop_assert!(t(AccessPattern::Strided) <= t(AccessPattern::Random));
+    }
+
+    /// No kernel is ever faster than the hardware floor.
+    #[test]
+    fn floor_holds(read in 0u64..1 << 24, flops in 0u64..1 << 24, overhead in 0u64..100_000) {
+        let spec = DeviceSpec::gtx1080();
+        let d = KernelCost::empty()
+            .with_read(read)
+            .with_flops(flops)
+            .with_launch_overhead(overhead)
+            .duration(&spec);
+        prop_assert!(d.as_nanos() >= spec.min_kernel_ns + overhead);
+    }
+
+    /// The device clock equals the sum of everything charged to it.
+    #[test]
+    fn clock_is_the_sum_of_charges(
+        charges in prop::collection::vec((0u64..1 << 24, 0u64..50_000), 1..20),
+    ) {
+        let dev = Device::with_defaults();
+        let mut expect = 0u64;
+        for (bytes, overhead) in &charges {
+            let cost = KernelCost::empty().with_read(*bytes).with_launch_overhead(*overhead);
+            expect += cost.duration(dev.spec()).as_nanos();
+            dev.charge_kernel("k", cost);
+        }
+        prop_assert_eq!(dev.now().as_nanos(), expect);
+        prop_assert_eq!(dev.stats().launches_of("k"), charges.len() as u64);
+    }
+
+    /// Transfers round-trip data exactly and bill both directions.
+    #[test]
+    fn transfer_roundtrip(data in prop::collection::vec(any::<u64>(), 0..500)) {
+        let dev = Device::with_defaults();
+        let buf = dev.htod(&data).unwrap();
+        let back = dev.dtoh(&buf).unwrap();
+        prop_assert_eq!(back, data.clone());
+        let s = dev.stats();
+        prop_assert_eq!(s.htod_bytes, (data.len() * 8) as u64);
+        prop_assert_eq!(s.htod_bytes, s.dtoh_bytes);
+    }
+
+    /// Memory accounting: repeated alloc/free cycles of one size class
+    /// never grow reserved memory beyond the first round (pool reuse).
+    #[test]
+    fn pool_reuse_bounds_memory(rounds in 1usize..12, len in 1usize..1 << 16) {
+        let dev = Device::with_defaults();
+        let mut peak_after_first = 0;
+        for round in 0..rounds {
+            let buf = dev.alloc::<u64>(len).unwrap();
+            drop(buf);
+            if round == 0 {
+                peak_after_first = dev.mem_in_use();
+            } else {
+                prop_assert_eq!(dev.mem_in_use(), peak_after_first);
+            }
+        }
+        if rounds > 1 {
+            prop_assert_eq!(dev.pool_stats().hits as usize, rounds - 1);
+        }
+    }
+
+    /// Virtual durations add associatively (no precision surprises).
+    #[test]
+    fn durations_are_exact_integers(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let x = SimDuration::from_nanos(a);
+        let y = SimDuration::from_nanos(b);
+        prop_assert_eq!((x + y).as_nanos(), a + b);
+        prop_assert_eq!((x + y).saturating_sub(y).as_nanos(), a);
+    }
+}

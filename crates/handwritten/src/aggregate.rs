@@ -1,0 +1,180 @@
+//! Handwritten hash-based grouped aggregation.
+//!
+//! Libraries realise `GROUP BY` as `sort_by_key` + `reduce_by_key` — a
+//! full radix sort just to make equal keys adjacent. A hand-written kernel
+//! aggregates directly into a hash table in one pass (plus a small pass to
+//! compact the table), which is dramatically cheaper when the group count
+//! is far below the row count — the common analytical case.
+
+use crate::charge;
+use gpu_sim::{presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, SimError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of a grouped aggregation, sorted by key for determinism.
+#[derive(Debug)]
+pub struct GroupAggregate {
+    /// Distinct group keys (ascending).
+    pub keys: DeviceBuffer<u32>,
+    /// Per-group sum of the value column.
+    pub sums: DeviceBuffer<f64>,
+    /// Per-group row count.
+    pub counts: DeviceBuffer<u64>,
+    /// Per-group minimum.
+    pub mins: DeviceBuffer<f64>,
+    /// Per-group maximum.
+    pub maxs: DeviceBuffer<f64>,
+}
+
+impl GroupAggregate {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the input had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Per-group average (`sum / count`), computed host-side from the
+    /// downloaded aggregates.
+    pub fn avgs(&self) -> Vec<f64> {
+        self.sums
+            .host()
+            .iter()
+            .zip(self.counts.host())
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+}
+
+/// One-pass hash aggregation: SUM, COUNT, MIN, MAX per distinct key.
+///
+/// Two kernels: the aggregation pass (random access into the table) and a
+/// compaction pass emitting the dense result.
+pub fn hash_group_aggregate(
+    device: &Arc<Device>,
+    keys: &DeviceBuffer<u32>,
+    values: &DeviceBuffer<f64>,
+) -> Result<GroupAggregate> {
+    if keys.len() != values.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: values.len(),
+        });
+    }
+    let mut table: HashMap<u32, (f64, u64, f64, f64)> = HashMap::new();
+    for (&k, &v) in keys.host().iter().zip(values.host()) {
+        let e = table.entry(k).or_insert((0.0, 0, f64::INFINITY, f64::NEG_INFINITY));
+        e.0 += v;
+        e.1 += 1;
+        e.2 = e.2.min(v);
+        e.3 = e.3.max(v);
+    }
+    let mut rows: Vec<(u32, (f64, u64, f64, f64))> = table.into_iter().collect();
+    rows.sort_unstable_by_key(|(k, _)| *k);
+    let groups = rows.len();
+    // A tuned kernel keeps the table in shared memory when the group count
+    // allows (≤4Ki entries): the pass is then a coalesced streaming read.
+    // Larger tables spill to global memory and pay random-access traffic.
+    let n = keys.len();
+    let input_bytes = (n * (4 + 8)) as u64;
+    let accumulate = if groups <= 4096 {
+        KernelCost::map::<(), ()>(n)
+            .with_read(input_bytes)
+            .with_write((groups * 40) as u64)
+            .with_flops(8 * n as u64)
+            .with_divergence(0.1)
+    } else {
+        presets::hash_build::<u32, f64>(n).with_flops(8 * n as u64)
+    };
+    charge(device, "hash_agg/accumulate", accumulate);
+    charge(
+        device,
+        "hash_agg/compact",
+        KernelCost::map::<(), ()>(groups)
+            .with_read((groups * 40) as u64)
+            .with_write((groups * 40) as u64)
+            .with_flops(groups as u64),
+    );
+    let (mut ks, mut sums, mut counts, mut mins, mut maxs) =
+        (Vec::with_capacity(groups), Vec::with_capacity(groups), Vec::with_capacity(groups), Vec::with_capacity(groups), Vec::with_capacity(groups));
+    for (k, (s, c, mn, mx)) in rows {
+        ks.push(k);
+        sums.push(s);
+        counts.push(c);
+        mins.push(mn);
+        maxs.push(mx);
+    }
+    Ok(GroupAggregate {
+        keys: device.buffer_from_vec(ks, AllocPolicy::Pooled)?,
+        sums: device.buffer_from_vec(sums, AllocPolicy::Pooled)?,
+        counts: device.buffer_from_vec(counts, AllocPolicy::Pooled)?,
+        mins: device.buffer_from_vec(mins, AllocPolicy::Pooled)?,
+        maxs: device.buffer_from_vec(maxs, AllocPolicy::Pooled)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_all_stats_per_group() {
+        let dev = Device::with_defaults();
+        let k = dev.htod(&[2u32, 1, 2, 1, 2]).unwrap();
+        let v = dev.htod(&[10.0f64, 1.0, 20.0, 3.0, 30.0]).unwrap();
+        let g = hash_group_aggregate(&dev, &k, &v).unwrap();
+        assert_eq!(g.keys.host(), &[1, 2]);
+        assert_eq!(g.sums.host(), &[4.0, 60.0]);
+        assert_eq!(g.counts.host(), &[2, 3]);
+        assert_eq!(g.mins.host(), &[1.0, 10.0]);
+        assert_eq!(g.maxs.host(), &[3.0, 30.0]);
+        assert_eq!(g.avgs(), vec![2.0, 20.0]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let dev = Device::with_defaults();
+        let k = dev.htod(&[1u32]).unwrap();
+        let v = dev.htod(&[1.0f64, 2.0]).unwrap();
+        assert!(hash_group_aggregate(&dev, &k, &v).is_err());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let dev = Device::with_defaults();
+        let k: DeviceBuffer<u32> = dev.alloc(0).unwrap();
+        let v: DeviceBuffer<f64> = dev.alloc(0).unwrap();
+        let g = hash_group_aggregate(&dev, &k, &v).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn hash_agg_beats_sort_reduce_for_few_groups() {
+        // 1M rows, 64 groups: hash agg reads the data once; the library
+        // path radix-sorts the whole column first.
+        let n = 1 << 20;
+        let keys: Vec<u32> = (0..n as u32).map(|i| i % 64).collect();
+        let vals: Vec<f64> = vec![1.0; n];
+
+        let dev_hw = Device::with_defaults();
+        let (kb, vb) = (dev_hw.htod(&keys).unwrap(), dev_hw.htod(&vals).unwrap());
+        let (_, t_hw) = dev_hw.time(|| hash_group_aggregate(&dev_hw, &kb, &vb).unwrap());
+
+        let dev_lib = Device::with_defaults();
+        use thrust_sim as thrust;
+        let mut k = thrust::DeviceVector::from_host(&dev_lib, &keys).unwrap();
+        let mut v = thrust::DeviceVector::from_host(&dev_lib, &vals).unwrap();
+        let (_, t_lib) = dev_lib.time(|| {
+            thrust::sort_by_key(&mut k, &mut v).unwrap();
+            thrust::reduce_by_key(&k, &v, |a, b| a + b).unwrap()
+        });
+        assert!(
+            t_hw.as_nanos() * 2 < t_lib.as_nanos(),
+            "hash agg {t_hw} should be well under sort+reduce {t_lib}"
+        );
+    }
+}

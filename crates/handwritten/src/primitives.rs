@@ -1,0 +1,332 @@
+//! Handwritten parallel primitives and fused pipelines.
+
+use crate::charge;
+use gpu_sim::{presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, SimError};
+use std::sync::Arc;
+
+/// Tree reduction (sum) of an `f64` column — one kernel.
+pub fn reduce_f64(device: &Arc<Device>, src: &DeviceBuffer<f64>) -> f64 {
+    let total = src.host().iter().sum();
+    charge(device, "reduce", KernelCost::reduce::<f64>(src.len()));
+    total
+}
+
+/// Single-dispatch decoupled-lookback exclusive scan — reads the input
+/// once and writes once (the chained-scan trick tuned kernels use),
+/// cheaper than the library's reduce-then-scan.
+pub fn exclusive_scan_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Result<DeviceBuffer<u32>> {
+    let mut out = Vec::with_capacity(src.len());
+    let mut acc = 0u32;
+    for &x in src.host() {
+        out.push(acc);
+        acc = acc.wrapping_add(x);
+    }
+    let b = src.size_bytes();
+    charge(
+        device,
+        "scan_lookback",
+        KernelCost::map::<u32, u32>(src.len()).with_read(b).with_write(b),
+    );
+    device.buffer_from_vec(out, AllocPolicy::Pooled)
+}
+
+/// Gather of `u32` data through a row-id vector.
+pub fn gather_u32(
+    device: &Arc<Device>,
+    src: &DeviceBuffer<u32>,
+    idx: &DeviceBuffer<u32>,
+) -> Result<DeviceBuffer<u32>> {
+    let s = src.host();
+    let mut out = Vec::with_capacity(idx.len());
+    for &i in idx.host() {
+        let i = i as usize;
+        if i >= s.len() {
+            return Err(SimError::IndexOutOfBounds { index: i, len: s.len() });
+        }
+        out.push(s[i]);
+    }
+    charge(device, "gather", presets::gather::<u32>(idx.len()));
+    device.buffer_from_vec(out, AllocPolicy::Pooled)
+}
+
+/// Gather of `f64` data through a row-id vector.
+pub fn gather_f64(
+    device: &Arc<Device>,
+    src: &DeviceBuffer<f64>,
+    idx: &DeviceBuffer<u32>,
+) -> Result<DeviceBuffer<f64>> {
+    let s = src.host();
+    let mut out = Vec::with_capacity(idx.len());
+    for &i in idx.host() {
+        let i = i as usize;
+        if i >= s.len() {
+            return Err(SimError::IndexOutOfBounds { index: i, len: s.len() });
+        }
+        out.push(s[i]);
+    }
+    charge(device, "gather", presets::gather::<f64>(idx.len()));
+    device.buffer_from_vec(out, AllocPolicy::Pooled)
+}
+
+/// In-place LSD radix sort of `(keys, vals)` pairs — same footprint as the
+/// library sorts (the libraries* are* tuned here; sort is where they shine).
+pub fn radix_sort_pairs(
+    device: &Arc<Device>,
+    keys: &mut DeviceBuffer<u32>,
+    vals: &mut DeviceBuffer<u32>,
+) -> Result<()> {
+    if keys.len() != vals.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: vals.len(),
+        });
+    }
+    let n = keys.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    {
+        let ks = keys.host();
+        perm.sort_by_key(|&i| ks[i as usize]);
+    }
+    let old_k = keys.host().to_vec();
+    let old_v = vals.host().to_vec();
+    for (dst, &srci) in perm.iter().enumerate() {
+        keys.host_mut()[dst] = old_k[srci as usize];
+        vals.host_mut()[dst] = old_v[srci as usize];
+    }
+    for (i, cost) in presets::radix_sort::<u32>(n, 4).into_iter().enumerate() {
+        let phase = ["histogram", "digit_scan", "scatter"][i % 3];
+        charge(device, &format!("radix_sort/{phase}"), cost);
+    }
+    Ok(())
+}
+
+/// Element-wise product of two `f64` columns — one map kernel.
+pub fn product_f64(
+    device: &Arc<Device>,
+    a: &DeviceBuffer<f64>,
+    b: &DeviceBuffer<f64>,
+) -> Result<DeviceBuffer<f64>> {
+    if a.len() != b.len() {
+        return Err(SimError::SizeMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let out: Vec<f64> = a.host().iter().zip(b.host()).map(|(&x, &y)| x * y).collect();
+    let n = a.len();
+    charge(
+        device,
+        "product",
+        KernelCost::map::<f64, f64>(n).with_read((n * 16) as u64),
+    );
+    device.buffer_from_vec(out, AllocPolicy::Pooled)
+}
+
+/// Ascending radix sort of a `u32` column, returning a sorted copy.
+pub fn sort_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Result<DeviceBuffer<u32>> {
+    let mut v = src.host().to_vec();
+    v.sort_unstable();
+    for (i, cost) in presets::radix_sort::<u32>(src.len(), 0).into_iter().enumerate() {
+        let phase = ["histogram", "digit_scan", "scatter"][i % 3];
+        charge(device, &format!("radix_sort/{phase}"), cost);
+    }
+    device.buffer_from_vec(v, AllocPolicy::Pooled)
+}
+
+/// Scatter `src[i]` to position `idx[i]` of a zero-initialised output of
+/// `dst_len` elements — one random-write kernel.
+pub fn scatter_u32(
+    device: &Arc<Device>,
+    src: &DeviceBuffer<u32>,
+    idx: &DeviceBuffer<u32>,
+    dst_len: usize,
+) -> Result<DeviceBuffer<u32>> {
+    if src.len() != idx.len() {
+        return Err(SimError::SizeMismatch {
+            left: src.len(),
+            right: idx.len(),
+        });
+    }
+    let mut out = vec![0u32; dst_len];
+    for (&v, &i) in src.host().iter().zip(idx.host()) {
+        let i = i as usize;
+        if i >= dst_len {
+            return Err(SimError::IndexOutOfBounds { index: i, len: dst_len });
+        }
+        out[i] = v;
+    }
+    charge(device, "scatter", presets::scatter::<u32>(src.len()));
+    device.buffer_from_vec(out, AllocPolicy::Pooled)
+}
+
+/// Device-side top-k: indices of the `k` largest values, descending — the
+/// ORDER BY … LIMIT tail of Q3 without a full sort. A tuned kernel keeps
+/// per-block heaps in shared memory and merges them; cost is one streaming
+/// read plus a k·log k merge.
+pub fn top_k_f64(
+    device: &Arc<Device>,
+    vals: &DeviceBuffer<f64>,
+    k: usize,
+) -> Result<DeviceBuffer<u32>> {
+    let v = vals.host();
+    let k = k.min(v.len());
+    if k == 0 {
+        charge(device, "top_k", KernelCost::reduce::<f64>(v.len()));
+        return device.buffer_from_vec(Vec::new(), AllocPolicy::Pooled);
+    }
+    let mut idx: Vec<u32> = (0..v.len() as u32).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        v[b as usize]
+            .partial_cmp(&v[a as usize])
+            .expect("NaN in top_k")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_by(|&a, &b| {
+        v[b as usize]
+            .partial_cmp(&v[a as usize])
+            .expect("NaN in top_k")
+            .then(a.cmp(&b))
+    });
+    let n = vals.len();
+    charge(
+        device,
+        "top_k",
+        KernelCost::reduce::<f64>(n)
+            .with_write((k * 4) as u64)
+            .with_flops(n as u64 + (k as u64) * 16)
+            .with_divergence(0.1),
+    );
+    device.buffer_from_vec(idx, AllocPolicy::Pooled)
+}
+
+/// The fused TPC-H Q6 shape: `SUM(a[i] * b[i])` over rows passing `pred`,
+/// in **one** kernel — predicate, product and reduction share the pass.
+/// `bytes_per_row` covers the predicate's extra column reads.
+pub fn fused_filter_dot(
+    device: &Arc<Device>,
+    a: &DeviceBuffer<f64>,
+    b: &DeviceBuffer<f64>,
+    bytes_per_row: usize,
+    pred: impl Fn(usize) -> bool,
+) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(SimError::SizeMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let (xa, xb) = (a.host(), b.host());
+    let mut acc = 0.0;
+    for i in 0..xa.len() {
+        if pred(i) {
+            acc += xa[i] * xb[i];
+        }
+    }
+    let n = xa.len();
+    charge(
+        device,
+        "fused_filter_dot",
+        KernelCost::reduce::<f64>(n)
+            .with_read((n * (16 + bytes_per_row)) as u64)
+            .with_flops(4 * n as u64)
+            .with_divergence(0.2),
+    );
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_and_scan() {
+        let dev = Device::with_defaults();
+        let v = dev.htod(&[1.0f64, 2.0, 3.5]).unwrap();
+        assert_eq!(reduce_f64(&dev, &v), 6.5);
+        let u = dev.htod(&[1u32, 2, 3]).unwrap();
+        let s = exclusive_scan_u32(&dev, &u).unwrap();
+        assert_eq!(s.host(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn gathers_are_bounds_checked() {
+        let dev = Device::with_defaults();
+        let src = dev.htod(&[10u32, 20]).unwrap();
+        let good = dev.htod(&[1u32, 0]).unwrap();
+        assert_eq!(gather_u32(&dev, &src, &good).unwrap().host(), &[20, 10]);
+        let bad = dev.htod(&[5u32]).unwrap();
+        assert!(gather_u32(&dev, &src, &bad).is_err());
+        let fsrc = dev.htod(&[1.0f64, 2.0]).unwrap();
+        assert_eq!(gather_f64(&dev, &fsrc, &good).unwrap().host(), &[2.0, 1.0]);
+        assert!(gather_f64(&dev, &fsrc, &bad).is_err());
+    }
+
+    #[test]
+    fn radix_sort_pairs_sorts_stably() {
+        let dev = Device::with_defaults();
+        let mut k = dev.htod(&[2u32, 1, 2, 1]).unwrap();
+        let mut v = dev.htod(&[20u32, 10, 21, 11]).unwrap();
+        radix_sort_pairs(&dev, &mut k, &mut v).unwrap();
+        assert_eq!(k.host(), &[1, 1, 2, 2]);
+        assert_eq!(v.host(), &[10, 11, 20, 21]);
+        let mut short = dev.htod(&[1u32]).unwrap();
+        assert!(radix_sort_pairs(&dev, &mut k, &mut short).is_err());
+    }
+
+    #[test]
+    fn fused_filter_dot_computes_q6_shape() {
+        let dev = Device::with_defaults();
+        let price = dev.htod(&[10.0f64, 20.0, 30.0]).unwrap();
+        let disc = dev.htod(&[0.1f64, 0.2, 0.3]).unwrap();
+        let keep = [true, false, true];
+        let r = fused_filter_dot(&dev, &price, &disc, 8, |i| keep[i]).unwrap();
+        assert_eq!(r, 1.0 + 9.0);
+        assert_eq!(dev.stats().launches_of("hw::fused_filter_dot"), 1);
+    }
+
+    #[test]
+    fn top_k_returns_largest_descending() {
+        let dev = Device::with_defaults();
+        let v = dev.htod(&[3.0f64, 9.0, 1.0, 9.0, 7.0]).unwrap();
+        let top = top_k_f64(&dev, &v, 3).unwrap();
+        // Ties break by index: both 9.0s, then 7.0.
+        assert_eq!(top.host(), &[1, 3, 4]);
+        let all = top_k_f64(&dev, &v, 99).unwrap();
+        assert_eq!(all.len(), 5, "k clamps to len");
+        assert_eq!(all.host(), &[1, 3, 4, 0, 2]);
+        let none = top_k_f64(&dev, &v, 0).unwrap();
+        assert!(none.is_empty());
+        let empty: gpu_sim::DeviceBuffer<f64> = dev.alloc(0).unwrap();
+        assert!(top_k_f64(&dev, &empty, 5).unwrap().is_empty());
+        assert_eq!(dev.stats().launches_of("hw::top_k"), 4);
+    }
+
+    #[test]
+    fn top_k_is_cheaper_than_sorting_everything() {
+        let n = 1 << 20;
+        let vals: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761usize) % 1_000_003) as f64).collect();
+        let dev_k = Device::with_defaults();
+        let vb = dev_k.htod(&vals).unwrap();
+        let (_, t_topk) = dev_k.time(|| top_k_f64(&dev_k, &vb, 10).unwrap());
+        let dev_s = Device::with_defaults();
+        let kb = dev_s.htod(&vec![0u32; n]).unwrap();
+        let mut keys = dev_s.dtod(&kb).unwrap();
+        let mut ids = dev_s
+            .buffer_from_vec((0..n as u32).collect(), gpu_sim::AllocPolicy::Pooled)
+            .unwrap();
+        let (_, t_sort) = dev_s.time(|| radix_sort_pairs(&dev_s, &mut keys, &mut ids).unwrap());
+        assert!(t_topk < t_sort, "top-k {t_topk} vs full sort {t_sort}");
+    }
+
+    #[test]
+    fn scan_handles_wrapping_sums() {
+        let dev = Device::with_defaults();
+        let v = dev.htod(&[u32::MAX, 2]).unwrap();
+        let s = exclusive_scan_u32(&dev, &v).unwrap();
+        assert_eq!(s.host(), &[0, u32::MAX]);
+    }
+}

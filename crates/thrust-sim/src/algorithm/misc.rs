@@ -1,0 +1,259 @@
+//! The long tail of Thrust's algorithm suite: `unique`,
+//! `adjacent_difference`, `transform_reduce`, `min/max_element`, `count`,
+//! `equal`, `merge`. Rapid prototyping leans on these for DISTINCT,
+//! windowed deltas, fused projections and result verification.
+
+use super::charge;
+use crate::vector::DeviceVector;
+use gpu_sim::{presets, DeviceCopy, KernelCost, Result, SimError};
+use std::sync::Arc;
+
+/// `thrust::unique` — collapse *consecutive* duplicates (pair with `sort`
+/// for SQL DISTINCT). Returns a fresh, shortened vector.
+pub fn unique<T>(src: &DeviceVector<T>) -> Result<DeviceVector<T>>
+where
+    T: DeviceCopy + PartialEq,
+{
+    let device = Arc::clone(src.device());
+    let mut out: Vec<T> = Vec::with_capacity(src.len());
+    for &x in src.as_slice() {
+        if out.last() != Some(&x) {
+            out.push(x);
+        }
+    }
+    let n = src.len();
+    let kept = out.len();
+    charge(
+        &device,
+        "unique",
+        presets::scan::<T>(n).with_write((kept * std::mem::size_of::<T>()) as u64),
+    );
+    let buf = device.buffer_from_vec(out, gpu_sim::AllocPolicy::Pooled)?;
+    Ok(DeviceVector::from_buffer(buf))
+}
+
+/// `thrust::adjacent_difference` — `out[0] = in[0]`, `out[i] = in[i] -
+/// in[i-1]` (delta encoding, sessionisation).
+pub fn adjacent_difference<T>(src: &DeviceVector<T>) -> Result<DeviceVector<T>>
+where
+    T: DeviceCopy + std::ops::Sub<Output = T> + Default,
+{
+    let device = Arc::clone(src.device());
+    let mut out: DeviceVector<T> = DeviceVector::zeroed(&device, src.len())?;
+    {
+        let s = src.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..s.len() {
+            o[i] = if i == 0 { s[0] } else { s[i] - s[i - 1] };
+        }
+    }
+    charge(
+        &device,
+        "adjacent_difference",
+        KernelCost::map::<T, T>(src.len()),
+    );
+    Ok(out)
+}
+
+/// `thrust::transform_reduce` — fused map + fold in one kernel (the
+/// library's own answer to chaining overheads).
+pub fn transform_reduce<T, U, A>(
+    src: &DeviceVector<T>,
+    map: impl Fn(T) -> U,
+    init: A,
+    fold: impl Fn(A, U) -> A,
+) -> Result<A>
+where
+    T: DeviceCopy,
+    A: DeviceCopy,
+{
+    let device = Arc::clone(src.device());
+    let mut acc = init;
+    for &x in src.as_slice() {
+        acc = fold(acc, map(x));
+    }
+    charge(
+        &device,
+        "transform_reduce",
+        KernelCost::reduce::<T>(src.len()).with_flops(2 * src.len() as u64),
+    );
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(acc)
+}
+
+/// `thrust::min_element` — index of the minimum (first on ties).
+pub fn min_element<T>(src: &DeviceVector<T>) -> Result<usize>
+where
+    T: DeviceCopy + PartialOrd,
+{
+    extreme(src, |a, b| a < b)
+}
+
+/// `thrust::max_element` — index of the maximum (first on ties).
+pub fn max_element<T>(src: &DeviceVector<T>) -> Result<usize>
+where
+    T: DeviceCopy + PartialOrd,
+{
+    extreme(src, |a, b| a > b)
+}
+
+fn extreme<T>(src: &DeviceVector<T>, better: impl Fn(T, T) -> bool) -> Result<usize>
+where
+    T: DeviceCopy,
+{
+    if src.is_empty() {
+        return Err(SimError::Unsupported("extreme of empty range".into()));
+    }
+    let device = Arc::clone(src.device());
+    let s = src.as_slice();
+    let mut best = 0;
+    for i in 1..s.len() {
+        if better(s[i], s[best]) {
+            best = i;
+        }
+    }
+    charge(&device, "extreme_element", KernelCost::reduce::<T>(src.len()));
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(best)
+}
+
+/// `thrust::count` — occurrences of `value`.
+pub fn count<T>(src: &DeviceVector<T>, value: T) -> Result<usize>
+where
+    T: DeviceCopy + PartialEq,
+{
+    let device = Arc::clone(src.device());
+    let n = src.as_slice().iter().filter(|&&x| x == value).count();
+    charge(&device, "count", KernelCost::reduce::<T>(src.len()));
+    Ok(n)
+}
+
+/// `thrust::equal` — element-wise equality of two ranges (result
+/// verification in the paper's framework).
+pub fn equal<T>(a: &DeviceVector<T>, b: &DeviceVector<T>) -> Result<bool>
+where
+    T: DeviceCopy + PartialEq,
+{
+    if a.len() != b.len() {
+        return Ok(false);
+    }
+    let device = Arc::clone(a.device());
+    let eq = a.as_slice() == b.as_slice();
+    charge(
+        &device,
+        "equal",
+        KernelCost::reduce::<T>(a.len())
+            .with_read(2 * a.buffer().size_bytes()),
+    );
+    Ok(eq)
+}
+
+/// `thrust::merge` — merge two sorted ranges into one sorted output
+/// (one linear kernel; building block of merge-based algorithms).
+pub fn merge<T>(a: &DeviceVector<T>, b: &DeviceVector<T>) -> Result<DeviceVector<T>>
+where
+    T: DeviceCopy + PartialOrd,
+{
+    let device = Arc::clone(a.device());
+    for (name, v) in [("first", a.as_slice()), ("second", b.as_slice())] {
+        if v.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SimError::Unsupported(format!(
+                "merge requires sorted inputs ({name} range is unsorted)"
+            )));
+        }
+    }
+    let (xs, ys) = (a.as_slice(), b.as_slice());
+    let mut out = Vec::with_capacity(xs.len() + ys.len());
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        if ys[j] < xs[i] {
+            out.push(ys[j]);
+            j += 1;
+        } else {
+            out.push(xs[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&xs[i..]);
+    out.extend_from_slice(&ys[j..]);
+    let total = out.len();
+    charge(
+        &device,
+        "merge",
+        KernelCost::map::<T, T>(total).with_divergence(0.15),
+    );
+    let buf = device.buffer_from_vec(out, gpu_sim::AllocPolicy::Pooled)?;
+    Ok(DeviceVector::from_buffer(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    #[test]
+    fn unique_collapses_runs_only() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32, 1, 2, 2, 1]).unwrap();
+        let u = unique(&v).unwrap();
+        assert_eq!(u.to_host().unwrap(), vec![1, 2, 1], "consecutive semantics");
+        let empty: DeviceVector<u32> = DeviceVector::zeroed(&dev, 0).unwrap();
+        assert!(unique(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn adjacent_difference_deltas() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[3i64, 5, 2, 2]).unwrap();
+        let d = adjacent_difference(&v).unwrap();
+        assert_eq!(d.to_host().unwrap(), vec![3, 2, -3, 0]);
+    }
+
+    #[test]
+    fn transform_reduce_is_one_kernel() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1.0f64, 2.0, 3.0]).unwrap();
+        dev.reset_stats();
+        let ssq = transform_reduce(&v, |x| x * x, 0.0, |a, x| a + x).unwrap();
+        assert_eq!(ssq, 14.0);
+        assert_eq!(dev.stats().total_launches(), 1);
+    }
+
+    #[test]
+    fn extremes_and_count() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[5u32, 1, 9, 1]).unwrap();
+        assert_eq!(min_element(&v).unwrap(), 1, "first minimum");
+        assert_eq!(max_element(&v).unwrap(), 2);
+        assert_eq!(count(&v, 1).unwrap(), 2);
+        let empty: DeviceVector<u32> = DeviceVector::zeroed(&dev, 0).unwrap();
+        assert!(min_element(&empty).is_err());
+    }
+
+    #[test]
+    fn equal_compares_ranges() {
+        let dev = Device::with_defaults();
+        let a = DeviceVector::from_host(&dev, &[1u8, 2]).unwrap();
+        let b = DeviceVector::from_host(&dev, &[1u8, 2]).unwrap();
+        let c = DeviceVector::from_host(&dev, &[1u8, 3]).unwrap();
+        let short = DeviceVector::from_host(&dev, &[1u8]).unwrap();
+        assert!(equal(&a, &b).unwrap());
+        assert!(!equal(&a, &c).unwrap());
+        assert!(!equal(&a, &short).unwrap());
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_ranges() {
+        let dev = Device::with_defaults();
+        let a = DeviceVector::from_host(&dev, &[1u32, 4, 6]).unwrap();
+        let b = DeviceVector::from_host(&dev, &[2u32, 4, 9]).unwrap();
+        let m = merge(&a, &b).unwrap();
+        assert_eq!(m.to_host().unwrap(), vec![1, 2, 4, 4, 6, 9]);
+        let unsorted = DeviceVector::from_host(&dev, &[5u32, 1]).unwrap();
+        assert!(merge(&a, &unsorted).is_err());
+    }
+}

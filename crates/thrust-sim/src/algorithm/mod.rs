@@ -1,0 +1,23 @@
+//! Thrust's algorithm suite, one module per family.
+//!
+//! Each algorithm follows the same template: perform the functional work on
+//! the vectors' device storage, then charge the device with the kernel
+//! footprint from [`gpu_sim::presets`] plus Thrust's CUDA launch overhead.
+//! Eager semantics: the clock has advanced by the time the call returns.
+
+pub mod foreach;
+pub mod misc;
+pub mod partition;
+pub mod permute;
+pub mod reduce;
+pub mod scan;
+pub mod sort;
+pub mod transform;
+
+use gpu_sim::{Device, KernelCost};
+
+/// Stamp Thrust's launch overhead onto a kernel footprint and charge it.
+pub(crate) fn charge(device: &Device, name: &str, cost: KernelCost) {
+    let cost = cost.with_launch_overhead(device.spec().cuda_launch_latency_ns);
+    device.charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost);
+}

@@ -1,0 +1,111 @@
+//! `thrust::copy_if` / `count_if` and flag-vector helpers — stream
+//! compaction, the library building block of selection.
+
+use super::charge;
+use crate::vector::DeviceVector;
+use gpu_sim::{presets, DeviceCopy, KernelCost, Result};
+use std::sync::Arc;
+
+/// `thrust::copy_if` — compact the elements satisfying `pred` into a fresh
+/// vector. Thrust implements this as a fused two-kernel pass (partial
+/// block scans + compaction), cheaper than the manual
+/// transform/scan/gather chain the paper describes for generic libraries.
+pub fn copy_if<T>(src: &DeviceVector<T>, pred: impl Fn(T) -> bool) -> Result<DeviceVector<T>>
+where
+    T: DeviceCopy + Default,
+{
+    let device = Arc::clone(src.device());
+    let kept: Vec<T> = src.as_slice().iter().copied().filter(|&x| pred(x)).collect();
+    let n = src.len();
+    let out_bytes = (kept.len() * std::mem::size_of::<T>()) as u64;
+    // Kernel 1: block-local predicate + scan.
+    charge(
+        &device,
+        "copy_if/scan",
+        presets::scan::<T>(n).with_flops(2 * n as u64),
+    );
+    // Kernel 2: compaction writes only survivors.
+    charge(
+        &device,
+        "copy_if/compact",
+        KernelCost::map::<T, ()>(n)
+            .with_write(out_bytes)
+            .with_divergence(0.3),
+    );
+    let buf = device.buffer_from_vec(kept, gpu_sim::AllocPolicy::Pooled)?;
+    Ok(DeviceVector::from_buffer(buf))
+}
+
+/// `thrust::count_if` — number of elements satisfying `pred` (one
+/// reduction kernel).
+pub fn count_if<T>(src: &DeviceVector<T>, pred: impl Fn(T) -> bool) -> Result<usize>
+where
+    T: DeviceCopy,
+{
+    let device = Arc::clone(src.device());
+    let n = src.as_slice().iter().filter(|&&x| pred(x)).count();
+    charge(&device, "count_if", KernelCost::reduce::<T>(src.len()));
+    Ok(n)
+}
+
+/// Evaluate `pred` into a 0/1 flag vector — the first stage of the paper's
+/// `transform() & exclusive_scan() & gather()` selection pipeline.
+pub fn partition_flags<T>(
+    src: &DeviceVector<T>,
+    pred: impl Fn(T) -> bool,
+) -> Result<DeviceVector<u32>>
+where
+    T: DeviceCopy,
+{
+    crate::transform(src, move |x| u32::from(pred(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    #[test]
+    fn copy_if_keeps_matching() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[5u32, 1, 7, 3, 9]).unwrap();
+        let out = copy_if(&v, |x| x > 4).unwrap();
+        assert_eq!(out.to_host().unwrap(), vec![5, 7, 9]);
+        let s = dev.stats();
+        assert_eq!(s.launches_of("thrust::copy_if/scan"), 1);
+        assert_eq!(s.launches_of("thrust::copy_if/compact"), 1);
+    }
+
+    #[test]
+    fn copy_if_empty_result() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32, 2]).unwrap();
+        let out = copy_if(&v, |_| false).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn count_if_counts() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32, 2, 3, 4]).unwrap();
+        assert_eq!(count_if(&v, |x| x % 2 == 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn partition_flags_mark_survivors() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[10u32, 0, 20]).unwrap();
+        let f = partition_flags(&v, |x| x > 5).unwrap();
+        assert_eq!(f.to_host().unwrap(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn copy_if_launches_fewer_kernels_than_manual_chain() {
+        // The manual chain: transform + exclusive_scan + gather = 3 kernels.
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &(0..1000u32).collect::<Vec<_>>()).unwrap();
+        dev.reset_stats();
+        let _ = copy_if(&v, |x| x % 3 == 0).unwrap();
+        assert_eq!(dev.stats().total_launches(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! `thrust::exclusive_scan` / `inclusive_scan` — prefix sums.
+//!
+//! The paper uses `exclusive_scan` as the middle stage of library-based
+//! selection (predicate flags → output offsets) and as the *Prefix Sum*
+//! operator itself.
+
+use super::charge;
+use crate::vector::DeviceVector;
+use gpu_sim::{presets, DeviceCopy, Result};
+use std::ops::Add;
+use std::sync::Arc;
+
+/// `thrust::exclusive_scan` — `out[i] = init + Σ src[0..i]`.
+pub fn exclusive_scan<T>(src: &DeviceVector<T>, init: T) -> Result<DeviceVector<T>>
+where
+    T: DeviceCopy + Add<Output = T> + Default,
+{
+    let device = Arc::clone(src.device());
+    let mut out: DeviceVector<T> = DeviceVector::zeroed(&device, src.len())?;
+    {
+        let input = src.as_slice();
+        let output = out.as_mut_slice();
+        let mut acc = init;
+        for (o, x) in output.iter_mut().zip(input.iter()) {
+            *o = acc;
+            acc = acc + *x;
+        }
+    }
+    charge(&device, "exclusive_scan", presets::scan::<T>(src.len()));
+    Ok(out)
+}
+
+/// `thrust::inclusive_scan` — `out[i] = Σ src[0..=i]`.
+pub fn inclusive_scan<T>(src: &DeviceVector<T>) -> Result<DeviceVector<T>>
+where
+    T: DeviceCopy + Add<Output = T> + Default,
+{
+    let device = Arc::clone(src.device());
+    let mut out: DeviceVector<T> = DeviceVector::zeroed(&device, src.len())?;
+    {
+        let input = src.as_slice();
+        let output = out.as_mut_slice();
+        let mut acc = T::default();
+        for (o, x) in output.iter_mut().zip(input.iter()) {
+            acc = acc + *x;
+            *o = acc;
+        }
+    }
+    charge(&device, "inclusive_scan", presets::scan::<T>(src.len()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+
+    #[test]
+    fn exclusive_scan_offsets() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32, 0, 1, 1, 0]).unwrap();
+        let s = exclusive_scan(&v, 0).unwrap();
+        assert_eq!(s.to_host().unwrap(), vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn exclusive_scan_with_init() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[2u32, 3]).unwrap();
+        let s = exclusive_scan(&v, 100).unwrap();
+        assert_eq!(s.to_host().unwrap(), vec![100, 102]);
+    }
+
+    #[test]
+    fn inclusive_scan_running_totals() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u64, 2, 3]).unwrap();
+        let s = inclusive_scan(&v).unwrap();
+        assert_eq!(s.to_host().unwrap(), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_scan_is_empty() {
+        let dev = Device::with_defaults();
+        let v: DeviceVector<u32> = DeviceVector::zeroed(&dev, 0).unwrap();
+        assert!(exclusive_scan(&v, 0).unwrap().is_empty());
+        assert!(inclusive_scan(&v).unwrap().is_empty());
+    }
+}

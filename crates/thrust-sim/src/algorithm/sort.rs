@@ -1,0 +1,162 @@
+//! `thrust::sort` / `sort_by_key` — LSD radix sort cost model.
+//!
+//! Thrust dispatches primitive keys to CUB's radix sort: one
+//! histogram/scan/scatter kernel triple per 8-bit digit. The functional
+//! effect uses a stable host sort; the charge model is the radix footprint.
+
+use super::charge;
+use crate::vector::DeviceVector;
+use gpu_sim::{presets, Device, DeviceCopy, Result, SimError};
+use std::sync::Arc;
+
+fn charge_radix<K>(device: &Arc<Device>, n: usize, payload_bytes: usize, label: &str) {
+    for (i, cost) in presets::radix_sort::<K>(n, payload_bytes).into_iter().enumerate() {
+        let phase = match i % 3 {
+            0 => "histogram",
+            1 => "digit_scan",
+            _ => "scatter",
+        };
+        charge(device, &format!("{label}/{phase}"), cost);
+    }
+}
+
+/// `thrust::sort` — ascending in-place sort.
+pub fn sort<T>(vec: &mut DeviceVector<T>) -> Result<()>
+where
+    T: DeviceCopy + Ord,
+{
+    let device = Arc::clone(vec.device());
+    vec.as_mut_slice().sort_unstable();
+    charge_radix::<T>(&device, vec.len(), 0, "sort");
+    Ok(())
+}
+
+/// `thrust::sort_by_key` — sort `keys` ascending, permuting `vals` along.
+pub fn sort_by_key<K, V>(keys: &mut DeviceVector<K>, vals: &mut DeviceVector<V>) -> Result<()>
+where
+    K: DeviceCopy + Ord,
+    V: DeviceCopy,
+{
+    if keys.len() != vals.len() {
+        return Err(SimError::SizeMismatch {
+            left: keys.len(),
+            right: vals.len(),
+        });
+    }
+    let device = Arc::clone(keys.device());
+    let n = keys.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    {
+        let ks = keys.as_slice();
+        perm.sort_by_key(|&i| ks[i as usize]); // stable, like radix sort
+    }
+    {
+        let old_k: Vec<K> = keys.as_slice().to_vec();
+        let old_v: Vec<V> = vals.as_slice().to_vec();
+        let km = keys.as_mut_slice();
+        let vm = vals.as_mut_slice();
+        for (dst, &src) in perm.iter().enumerate() {
+            km[dst] = old_k[src as usize];
+            vm[dst] = old_v[src as usize];
+        }
+    }
+    charge_radix::<K>(&device, n, std::mem::size_of::<V>(), "sort_by_key");
+    Ok(())
+}
+
+/// `thrust::is_sorted`.
+pub fn is_sorted<T>(vec: &DeviceVector<T>) -> bool
+where
+    T: DeviceCopy + PartialOrd,
+{
+    let device = Arc::clone(vec.device());
+    let sorted = vec.as_slice().windows(2).all(|w| w[0] <= w[1]);
+    charge(
+        &device,
+        "is_sorted",
+        gpu_sim::KernelCost::reduce::<T>(vec.len()),
+    );
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+    use rand::prelude::*;
+
+    #[test]
+    fn sort_orders_random_data() {
+        let dev = Device::with_defaults();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u32> = (0..10_000).map(|_| rng.gen()).collect();
+        let mut v = DeviceVector::from_host(&dev, &data).unwrap();
+        sort(&mut v).unwrap();
+        assert!(is_sorted(&v));
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(v.to_host().unwrap(), expect);
+    }
+
+    #[test]
+    fn sort_charges_radix_kernel_triples() {
+        let dev = Device::with_defaults();
+        let mut v = DeviceVector::from_host(&dev, &[5u32, 4, 3, 2, 1]).unwrap();
+        sort(&mut v).unwrap();
+        let s = dev.stats();
+        // u32 keys → 4 passes × {histogram, digit_scan, scatter}.
+        assert_eq!(s.launches_of("thrust::sort/histogram"), 4);
+        assert_eq!(s.launches_of("thrust::sort/digit_scan"), 4);
+        assert_eq!(s.launches_of("thrust::sort/scatter"), 4);
+    }
+
+    #[test]
+    fn sort_by_key_permutes_payload_consistently() {
+        let dev = Device::with_defaults();
+        let mut k = DeviceVector::from_host(&dev, &[3u32, 1, 2]).unwrap();
+        let mut v = DeviceVector::from_host(&dev, &[30u64, 10, 20]).unwrap();
+        sort_by_key(&mut k, &mut v).unwrap();
+        assert_eq!(k.to_host().unwrap(), vec![1, 2, 3]);
+        assert_eq!(v.to_host().unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn sort_by_key_is_stable() {
+        let dev = Device::with_defaults();
+        let mut k = DeviceVector::from_host(&dev, &[1u32, 0, 1, 0]).unwrap();
+        let mut v = DeviceVector::from_host(&dev, &[10u8, 20, 11, 21]).unwrap();
+        sort_by_key(&mut k, &mut v).unwrap();
+        assert_eq!(v.to_host().unwrap(), vec![20, 21, 10, 11]);
+    }
+
+    #[test]
+    fn sort_by_key_mismatch_errors() {
+        let dev = Device::with_defaults();
+        let mut k = DeviceVector::from_host(&dev, &[1u32, 2]).unwrap();
+        let mut v = DeviceVector::from_host(&dev, &[1u8]).unwrap();
+        assert!(sort_by_key(&mut k, &mut v).is_err());
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32, 2, 2, 3]).unwrap();
+        assert!(is_sorted(&v));
+        let w = DeviceVector::from_host(&dev, &[2u32, 1]).unwrap();
+        assert!(!is_sorted(&w));
+    }
+
+    #[test]
+    fn u64_sort_costs_more_passes_than_u32() {
+        let dev32 = Device::with_defaults();
+        let dev64 = Device::with_defaults();
+        let n = 1 << 16;
+        let mut v32 =
+            DeviceVector::from_host(&dev32, &(0..n as u32).rev().collect::<Vec<_>>()).unwrap();
+        let mut v64 =
+            DeviceVector::from_host(&dev64, &(0..n as u64).rev().collect::<Vec<_>>()).unwrap();
+        let (_, t32) = dev32.time(|| sort(&mut v32).unwrap());
+        let (_, t64) = dev64.time(|| sort(&mut v64).unwrap());
+        assert!(t64 > t32, "8 digit passes must outweigh 4");
+    }
+}

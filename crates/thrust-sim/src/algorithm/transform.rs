@@ -1,0 +1,138 @@
+//! `thrust::transform`, `fill`, `sequence` — element-wise kernels.
+
+use super::charge;
+use crate::vector::DeviceVector;
+use gpu_sim::{Device, DeviceCopy, KernelCost, Result, SimError};
+use std::sync::Arc;
+
+/// `thrust::transform(first, last, result, op)` — unary map into a fresh
+/// vector. One kernel launch; output materialised in device memory.
+pub fn transform<T, U>(src: &DeviceVector<T>, op: impl Fn(T) -> U) -> Result<DeviceVector<U>>
+where
+    T: DeviceCopy,
+    U: DeviceCopy + Default,
+{
+    let device = Arc::clone(src.device());
+    let mut out: DeviceVector<U> = DeviceVector::zeroed(&device, src.len())?;
+    {
+        let input = src.as_slice();
+        let output = out.as_mut_slice();
+        for (o, i) in output.iter_mut().zip(input.iter()) {
+            *o = op(*i);
+        }
+    }
+    charge(&device, "transform", KernelCost::map::<T, U>(src.len()));
+    Ok(out)
+}
+
+/// `thrust::transform(first1, last1, first2, result, op)` — binary map.
+pub fn transform_binary<A, B, U>(
+    a: &DeviceVector<A>,
+    b: &DeviceVector<B>,
+    op: impl Fn(A, B) -> U,
+) -> Result<DeviceVector<U>>
+where
+    A: DeviceCopy,
+    B: DeviceCopy,
+    U: DeviceCopy + Default,
+{
+    if a.len() != b.len() {
+        return Err(SimError::SizeMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let device = Arc::clone(a.device());
+    let mut out: DeviceVector<U> = DeviceVector::zeroed(&device, a.len())?;
+    {
+        let (xa, xb) = (a.as_slice(), b.as_slice());
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = op(xa[i], xb[i]);
+        }
+    }
+    let n = a.len();
+    let cost = KernelCost::map::<A, U>(n)
+        .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64);
+    charge(&device, "transform_binary", cost);
+    Ok(out)
+}
+
+/// `thrust::fill` — set every element to `value`.
+pub fn fill<T: DeviceCopy>(vec: &mut DeviceVector<T>, value: T) {
+    let device = Arc::clone(vec.device());
+    for x in vec.as_mut_slice() {
+        *x = value;
+    }
+    let cost = KernelCost::map::<(), T>(vec.len());
+    charge(&device, "fill", cost);
+}
+
+/// `thrust::sequence` — write `0, 1, 2, …` (row-id generation).
+pub fn sequence(device: &Arc<Device>, len: usize) -> Result<DeviceVector<u32>> {
+    let mut out: DeviceVector<u32> = DeviceVector::zeroed(device, len)?;
+    for (i, x) in out.as_mut_slice().iter_mut().enumerate() {
+        *x = i as u32;
+    }
+    charge(device, "sequence", KernelCost::map::<(), u32>(len));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional;
+    use gpu_sim::Device;
+
+    #[test]
+    fn transform_maps_and_launches_one_kernel() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32, 2, 3]).unwrap();
+        let w = transform(&v, |x| x * x).unwrap();
+        assert_eq!(w.to_host().unwrap(), vec![1, 4, 9]);
+        assert_eq!(dev.stats().launches_of("thrust::transform"), 1);
+    }
+
+    #[test]
+    fn transform_binary_multiplies_columns() {
+        let dev = Device::with_defaults();
+        let a = DeviceVector::from_host(&dev, &[1.0f64, 2.0, 3.0]).unwrap();
+        let b = DeviceVector::from_host(&dev, &[4.0f64, 5.0, 6.0]).unwrap();
+        let c = transform_binary(&a, &b, functional::multiplies()).unwrap();
+        assert_eq!(c.to_host().unwrap(), vec![4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn transform_binary_rejects_mismatched_lengths() {
+        let dev = Device::with_defaults();
+        let a = DeviceVector::from_host(&dev, &[1u8]).unwrap();
+        let b = DeviceVector::from_host(&dev, &[1u8, 2]).unwrap();
+        assert!(matches!(
+            transform_binary(&a, &b, |x, y| x + y),
+            Err(SimError::SizeMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn fill_and_sequence() {
+        let dev = Device::with_defaults();
+        let mut v: DeviceVector<u16> = DeviceVector::zeroed(&dev, 4).unwrap();
+        fill(&mut v, 7);
+        assert_eq!(v.to_host().unwrap(), vec![7; 4]);
+        let s = sequence(&dev, 5).unwrap();
+        assert_eq!(s.to_host().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn each_call_is_a_separate_launch_eager_semantics() {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1u32; 64]).unwrap();
+        let a = transform(&v, |x| x + 1).unwrap();
+        let b = transform(&a, |x| x * 2).unwrap();
+        let _c = transform(&b, |x| x - 1).unwrap();
+        assert_eq!(
+            dev.stats().launches_of("thrust::transform"),
+            3,
+            "no fusion in Thrust: three calls, three kernels"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Named functors, mirroring `thrust/functional.h`.
+//!
+//! The paper's Table II maps database operators to library calls like
+//! `transform() & multiplies<T>()` and `bit_and<T>()/bit_or<T>()`. These
+//! helpers provide the same vocabulary in Rust; each returns a closure
+//! suitable for [`transform`](crate::transform)/
+//! [`transform_binary`](crate::transform_binary)/[`reduce`](crate::reduce).
+
+use std::ops::{Add, BitAnd, BitOr, Mul, Sub};
+
+/// `thrust::plus<T>` — binary addition.
+pub fn plus<T: Add<Output = T>>() -> impl Fn(T, T) -> T {
+    |a, b| a + b
+}
+
+/// `thrust::minus<T>` — binary subtraction.
+pub fn minus<T: Sub<Output = T>>() -> impl Fn(T, T) -> T {
+    |a, b| a - b
+}
+
+/// `thrust::multiplies<T>` — binary multiplication (the paper's *Product*
+/// operator).
+pub fn multiplies<T: Mul<Output = T>>() -> impl Fn(T, T) -> T {
+    |a, b| a * b
+}
+
+/// `thrust::bit_and<T>` — conjunction of selection flag vectors.
+pub fn bit_and<T: BitAnd<Output = T>>() -> impl Fn(T, T) -> T {
+    |a, b| a & b
+}
+
+/// `thrust::bit_or<T>` — disjunction of selection flag vectors.
+pub fn bit_or<T: BitOr<Output = T>>() -> impl Fn(T, T) -> T {
+    |a, b| a | b
+}
+
+/// `thrust::maximum<T>`.
+pub fn maximum<T: PartialOrd>() -> impl Fn(T, T) -> T {
+    |a, b| if a > b { a } else { b }
+}
+
+/// `thrust::minimum<T>`.
+pub fn minimum<T: PartialOrd>() -> impl Fn(T, T) -> T {
+    |a, b| if a < b { a } else { b }
+}
+
+/// `thrust::identity<T>`.
+pub fn identity<T>() -> impl Fn(T) -> T {
+    |x| x
+}
+
+/// Unary predicate: `x > bound` (common selection predicate).
+pub fn greater_than<T: PartialOrd + Copy>(bound: T) -> impl Fn(T) -> bool {
+    move |x| x > bound
+}
+
+/// Unary predicate: `x < bound`.
+pub fn less_than<T: PartialOrd + Copy>(bound: T) -> impl Fn(T) -> bool {
+    move |x| x < bound
+}
+
+/// Unary predicate: `lo <= x && x < hi` (range selection, TPC-H style).
+pub fn in_range<T: PartialOrd + Copy>(lo: T, hi: T) -> impl Fn(T) -> bool {
+    move |x| lo <= x && x < hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_functors() {
+        assert_eq!(plus::<u32>()(2, 3), 5);
+        assert_eq!(minus::<i32>()(2, 3), -1);
+        assert_eq!(multiplies::<u64>()(4, 5), 20);
+        assert_eq!(maximum::<u8>()(4, 5), 5);
+        assert_eq!(minimum::<u8>()(4, 5), 4);
+        assert_eq!(identity::<char>()('x'), 'x');
+    }
+
+    #[test]
+    fn bit_functors_combine_flags() {
+        assert_eq!(bit_and::<u8>()(1, 1), 1);
+        assert_eq!(bit_and::<u8>()(1, 0), 0);
+        assert_eq!(bit_or::<u8>()(0, 1), 1);
+        assert_eq!(bit_or::<u8>()(0, 0), 0);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(greater_than(10u32)(11));
+        assert!(!greater_than(10u32)(10));
+        assert!(less_than(10u32)(9));
+        assert!(in_range(5u32, 10)(5));
+        assert!(!in_range(5u32, 10)(10));
+    }
+}

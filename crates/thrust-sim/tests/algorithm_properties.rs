@@ -1,0 +1,143 @@
+//! Property tests: every Thrust algorithm agrees with its `std` oracle,
+//! and the eager cost model holds its structural invariants.
+
+use gpu_sim::Device;
+use proptest::prelude::*;
+use thrust_sim as thrust;
+use thrust_sim::DeviceVector;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transform_matches_iterator_map(data in prop::collection::vec(any::<u32>(), 0..500)) {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &data).unwrap();
+        let out = thrust::transform(&v, |x| x.wrapping_mul(3).wrapping_add(7)).unwrap();
+        let expect: Vec<u32> = data.iter().map(|x| x.wrapping_mul(3).wrapping_add(7)).collect();
+        prop_assert_eq!(out.to_host().unwrap(), expect);
+    }
+
+    #[test]
+    fn scans_are_mutually_consistent(data in prop::collection::vec(0u64..1 << 40, 1..300)) {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &data).unwrap();
+        let ex = thrust::exclusive_scan(&v, 0).unwrap().to_host().unwrap();
+        let inc = thrust::inclusive_scan(&v).unwrap().to_host().unwrap();
+        // inclusive[i] = exclusive[i] + data[i]
+        for i in 0..data.len() {
+            prop_assert_eq!(inc[i], ex[i] + data[i]);
+        }
+        prop_assert_eq!(ex[0], 0);
+    }
+
+    #[test]
+    fn copy_if_equals_filter(data in prop::collection::vec(0u32..1000, 0..400), pivot in 0u32..1000) {
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &data).unwrap();
+        let out = thrust::copy_if(&v, move |x| x >= pivot).unwrap();
+        let expect: Vec<u32> = data.iter().copied().filter(|&x| x >= pivot).collect();
+        prop_assert_eq!(out.to_host().unwrap(), expect);
+        let n = thrust::count_if(&v, move |x| x >= pivot).unwrap();
+        prop_assert_eq!(n, data.iter().filter(|&&x| x >= pivot).count());
+    }
+
+    #[test]
+    fn sort_by_key_is_a_stable_permutation(
+        pairs in prop::collection::vec((0u32..16, any::<u32>()), 0..300),
+    ) {
+        let dev = Device::with_defaults();
+        let keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let vals: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let mut k = DeviceVector::from_host(&dev, &keys).unwrap();
+        let mut v = DeviceVector::from_host(&dev, &vals).unwrap();
+        thrust::sort_by_key(&mut k, &mut v).unwrap();
+        let mut expect = pairs.clone();
+        expect.sort_by_key(|p| p.0); // stable
+        let got: Vec<(u32, u32)> = k
+            .to_host()
+            .unwrap()
+            .into_iter()
+            .zip(v.to_host().unwrap())
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reduce_by_key_conserves_totals(
+        keys in prop::collection::vec(0u32..8, 1..300),
+    ) {
+        let dev = Device::with_defaults();
+        let vals: Vec<u64> = (0..keys.len() as u64).collect();
+        let k = DeviceVector::from_host(&dev, &keys).unwrap();
+        let v = DeviceVector::from_host(&dev, &vals).unwrap();
+        let (gk, gv) = thrust::reduce_by_key(&k, &v, |a, b| a + b).unwrap();
+        let sums = gv.to_host().unwrap();
+        prop_assert_eq!(sums.iter().sum::<u64>(), vals.iter().sum::<u64>());
+        // Output keys are the run-length-compressed input.
+        let mut runs = keys.clone();
+        runs.dedup();
+        prop_assert_eq!(gk.to_host().unwrap(), runs);
+    }
+
+    #[test]
+    fn unique_then_sort_equals_sort_then_dedup(data in prop::collection::vec(0u32..64, 0..300)) {
+        let dev = Device::with_defaults();
+        let sorted = {
+            let mut v = DeviceVector::from_host(&dev, &data).unwrap();
+            thrust::sort(&mut v).unwrap();
+            v
+        };
+        let u = thrust::unique(&sorted).unwrap().to_host().unwrap();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(u, expect);
+    }
+
+    #[test]
+    fn gather_inverts_scatter_on_permutations(n in 1usize..200, seed in any::<u64>()) {
+        let dev = Device::with_defaults();
+        let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let src = DeviceVector::from_host(&dev, &data).unwrap();
+        let map = DeviceVector::from_host(&dev, &perm).unwrap();
+        let mut scattered: DeviceVector<u32> = DeviceVector::zeroed(&dev, n).unwrap();
+        thrust::scatter(&src, &map, &mut scattered).unwrap();
+        let back = thrust::gather(&map, &scattered).unwrap();
+        prop_assert_eq!(back.to_host().unwrap(), data);
+    }
+
+    #[test]
+    fn eager_launch_count_is_call_count(k in 1usize..10) {
+        // k chained transforms on Thrust are exactly k kernel launches —
+        // the no-fusion contract the cost comparisons rely on.
+        let dev = Device::with_defaults();
+        let v = DeviceVector::from_host(&dev, &[1.0f64; 64]).unwrap();
+        dev.reset_stats();
+        let mut cur = thrust::transform(&v, |x| x + 1.0).unwrap();
+        for _ in 1..k {
+            cur = thrust::transform(&cur, |x| x + 1.0).unwrap();
+        }
+        prop_assert_eq!(dev.stats().launches_of("thrust::transform"), k as u64);
+    }
+
+    #[test]
+    fn simulated_time_grows_with_input(small in 1usize..1000) {
+        let large = small * 17;
+        let t = |n: usize| {
+            let dev = Device::with_defaults();
+            let v = DeviceVector::from_host(&dev, &vec![1u32; n]).unwrap();
+            dev.reset_stats();
+            let t0 = dev.now();
+            thrust::transform(&v, |x| x + 1).unwrap();
+            (dev.now() - t0).as_nanos()
+        };
+        prop_assert!(t(large) >= t(small));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tpch — deterministic TPC-H data and the studied queries
+//!
+//! A `dbgen`-equivalent columnar generator (cardinalities, key
+//! relationships and value domains of the official tool; text columns the
+//! studied queries never read are omitted) plus the evaluation queries of
+//! the paper's §IV, each lowered onto the `proto_core` operator framework
+//! so it runs identically on Thrust, Boost.Compute, ArrayFire and the
+//! handwritten baseline:
+//!
+//! * [`queries::q1`] — pricing summary (grouped aggregation stress),
+//! * [`queries::q3`] — shipping priority (two joins + aggregation),
+//! * [`queries::q4`] — order priority (semi join, column-vs-column filter),
+//! * [`queries::q6`] — revenue forecast (selection + product + reduction).
+//!
+//! ```
+//! use tpch::{gen, queries::q6};
+//! use proto_core::prelude::*;
+//!
+//! let db = gen::generate(0.001); // SF 0.001 — tiny, fast
+//! let backend = HandwrittenBackend::new(&gpu_sim::Device::with_defaults());
+//! let data = q6::Q6Data::upload(&backend, &db).unwrap();
+//! let revenue = data.execute(&backend).unwrap();
+//! assert!((revenue - q6::reference(&db)).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dates;
+pub mod gen;
+pub mod queries;
+pub mod schema;
+pub mod tbl;
+
+pub use gen::{generate, generate_seeded};
+pub use schema::Database;

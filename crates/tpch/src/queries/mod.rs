@@ -1,0 +1,68 @@
+//! The studied TPC-H queries, lowered onto the operator framework.
+//!
+//! Each query module provides three things:
+//!
+//! 1. a **reference** host implementation (ground truth for tests),
+//! 2. an **upload** step building the device-resident working set
+//!    (columns a warmed system would already hold — the paper measures
+//!    operator/query execution, not cold PCIe transfers),
+//! 3. an **execute** step that runs the query through
+//!    [`proto_core::backend::GpuBackend`] calls only, so the
+//!    same plan runs on every library and the handwritten baseline.
+
+pub mod q1;
+pub mod q14;
+pub mod q3;
+pub mod q5;
+pub mod q4;
+pub mod q6;
+
+use proto_core::backend::GpuBackend;
+use proto_core::ops::{JoinAlgo, Support};
+
+/// Pick the best join algorithm the backend supports: hash beats merge
+/// beats nested loops (what a query planner would do). `None` when the
+/// backend cannot join at all (ArrayFire, per Table II).
+pub fn best_join(backend: &dyn GpuBackend) -> Option<JoinAlgo> {
+    [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops]
+        .into_iter()
+        .find(|algo| backend.support(algo.operator()) != Support::None)
+}
+
+/// Whether the backend can run join-bearing queries (Q3/Q4).
+pub fn can_join(backend: &dyn GpuBackend) -> bool {
+    best_join(backend).is_some()
+}
+
+/// Relative-error float comparison for query results (library pipelines
+/// sum in different orders).
+pub fn close(a: f64, b: f64) -> bool {
+    let denom = a.abs().max(b.abs()).max(1e-9);
+    ((a - b) / denom).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+    use proto_core::prelude::*;
+
+    #[test]
+    fn best_join_prefers_hash_then_degrades() {
+        let hw = HandwrittenBackend::new(&Device::with_defaults());
+        assert_eq!(best_join(&hw), Some(JoinAlgo::Hash));
+        let th = ThrustBackend::new(&Device::with_defaults());
+        assert_eq!(best_join(&th), Some(JoinAlgo::NestedLoops));
+        let af = ArrayFireBackend::new(&Device::with_defaults());
+        assert_eq!(best_join(&af), None);
+        assert!(!can_join(&af));
+        assert!(can_join(&th));
+    }
+
+    #[test]
+    fn close_tolerates_reordering_error() {
+        assert!(close(1.0, 1.0 + 1e-12));
+        assert!(!close(1.0, 1.1));
+        assert!(close(0.0, 0.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! TPC-H Q14 — the promotion effect query (adapted).
+//!
+//! ```sql
+//! SELECT 100.0 * sum(CASE WHEN p_promo
+//!                         THEN l_extendedprice * (1 - l_discount)
+//!                         ELSE 0 END)
+//!              / sum(l_extendedprice * (1 - l_discount))
+//! FROM lineitem, part
+//! WHERE l_partkey = p_partkey
+//!   AND l_shipdate >= date '1995-09-01'
+//!   AND l_shipdate <  date '1995-10-01';
+//! ```
+//!
+//! The official predicate is `p_type LIKE 'PROMO%'`; our schema omits the
+//! text column, so the promotion flag is derived as `p_size <= 10` (~20%
+//! of parts — the same selectivity class). Q14 adds two things to the
+//! study beyond Q3/Q4: a join against a *dimension* table and a
+//! conditional (CASE) aggregate, which libraries realise as a mask
+//! product and a fused kernel realises for free.
+
+use crate::dates::date;
+use crate::schema::Database;
+use gpu_sim::{Result, SimError};
+use proto_core::backend::{Col, GpuBackend, Pred};
+use proto_core::ops::{CmpOp, Connective};
+
+/// Size threshold standing in for `p_type LIKE 'PROMO%'`.
+pub const PROMO_SIZE_MAX: u32 = 10;
+
+/// Device-resident Q14 working set.
+pub struct Q14Data {
+    l_shipdate: Col,
+    l_partkey: Col,
+    l_extendedprice: Col,
+    l_discount: Col,
+    p_partkey: Col,
+    p_size: Col,
+}
+
+impl Q14Data {
+    /// Upload the touched columns.
+    pub fn upload(backend: &dyn GpuBackend, db: &Database) -> Result<Self> {
+        Ok(Q14Data {
+            l_shipdate: backend.upload_u32(&db.lineitem.shipdate)?,
+            l_partkey: backend.upload_u32(&db.lineitem.partkey)?,
+            l_extendedprice: backend.upload_f64(&db.lineitem.extendedprice)?,
+            l_discount: backend.upload_f64(&db.lineitem.discount)?,
+            p_partkey: backend.upload_u32(&db.part.partkey)?,
+            p_size: backend.upload_u32(&db.part.size)?,
+        })
+    }
+
+    /// Execute Q14, returning the promo-revenue percentage.
+    pub fn execute(&self, backend: &dyn GpuBackend) -> Result<f64> {
+        let Some(join_algo) = super::best_join(backend) else {
+            return Err(SimError::Unsupported(format!(
+                "{} supports no join algorithm (Table II)",
+                backend.name()
+            )));
+        };
+        // σ(lineitem): the September 1995 window.
+        let preds = [
+            Pred { col: &self.l_shipdate, cmp: CmpOp::Ge, lit: date(1995, 9, 1) as f64 },
+            Pred { col: &self.l_shipdate, cmp: CmpOp::Lt, lit: date(1995, 10, 1) as f64 },
+        ];
+        let l_ids = backend.selection_multi(&preds, Connective::And)?;
+        let l_pk = backend.gather(&self.l_partkey, &l_ids)?;
+        let l_ext = backend.gather(&self.l_extendedprice, &l_ids)?;
+        let l_disc = backend.gather(&self.l_discount, &l_ids)?;
+
+        // lineitem ⋈ part on partkey (PK side: every probe matches once).
+        let (jl, jr) = backend.join(&l_pk, &self.p_partkey, join_algo)?;
+
+        // Revenue per matched line.
+        let m_ext = backend.gather(&l_ext, &jl)?;
+        let m_disc = backend.gather(&l_disc, &jl)?;
+        let one_minus = backend.affine(&m_disc, -1.0, 1.0)?;
+        let revenue = backend.product(&m_ext, &one_minus)?;
+        // CASE WHEN p_promo: a 0/1 mask from the part's size, applied as
+        // a product — the library rendering of a conditional aggregate.
+        // `dense_mask` is one transform/fused kernel on every backend.
+        let indicator = backend.dense_mask(&self.p_size, CmpOp::Le, PROMO_SIZE_MAX as f64)?;
+        let m_promo = backend.gather(&indicator, &jr)?;
+        let masked = backend.product(&revenue, &m_promo)?;
+        let promo_rev = backend.reduction(&masked)?;
+        for c in [indicator, m_promo, masked] {
+            backend.free(c)?;
+        }
+        let total_rev = backend.reduction(&revenue)?;
+        for c in [
+            l_ids, l_pk, l_ext, l_disc, jl, jr, m_ext, m_disc, one_minus, revenue,
+        ] {
+            backend.free(c)?;
+        }
+        if total_rev == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(100.0 * promo_rev / total_rev)
+    }
+
+    /// Free the working set.
+    pub fn free(self, backend: &dyn GpuBackend) -> Result<()> {
+        for c in [
+            self.l_shipdate,
+            self.l_partkey,
+            self.l_extendedprice,
+            self.l_discount,
+            self.p_partkey,
+            self.p_size,
+        ] {
+            backend.free(c)?;
+        }
+        Ok(())
+    }
+}
+
+/// Host reference implementation.
+pub fn reference(db: &Database) -> f64 {
+    let (lo, hi) = (date(1995, 9, 1), date(1995, 10, 1));
+    let li = &db.lineitem;
+    let mut promo = 0.0;
+    let mut total = 0.0;
+    for i in 0..li.len() {
+        if li.shipdate[i] >= lo && li.shipdate[i] < hi {
+            let rev = li.extendedprice[i] * (1.0 - li.discount[i]);
+            total += rev;
+            let part_row = (li.partkey[i] - 1) as usize;
+            if db.part.size[part_row] <= PROMO_SIZE_MAX {
+                promo += rev;
+            }
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        100.0 * promo / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use gpu_sim::DeviceSpec;
+    use proto_core::prelude::*;
+
+    #[test]
+    fn joinable_backends_match_the_reference() {
+        let db = generate(0.002);
+        let expect = reference(&db);
+        assert!(expect > 0.0 && expect < 100.0, "plausible percentage: {expect}");
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        for b in fw.backends() {
+            let data = Q14Data::upload(b.as_ref(), &db).unwrap();
+            match data.execute(b.as_ref()) {
+                Ok(got) => assert!(
+                    (got - expect).abs() < 1e-9,
+                    "{}: {got} vs {expect}",
+                    b.name()
+                ),
+                Err(_) => assert_eq!(b.name(), "ArrayFire"),
+            }
+            data.free(b.as_ref()).unwrap();
+        }
+    }
+}

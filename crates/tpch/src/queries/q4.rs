@@ -1,0 +1,186 @@
+//! TPC-H Q4 — the order priority checking query.
+//!
+//! ```sql
+//! SELECT o_orderpriority, count(*) AS order_count
+//! FROM orders
+//! WHERE o_orderdate >= date '1993-07-01'
+//!   AND o_orderdate <  date '1993-10-01'
+//!   AND EXISTS (SELECT * FROM lineitem
+//!               WHERE l_orderkey = o_orderkey
+//!                 AND l_commitdate < l_receiptdate)
+//! GROUP BY o_orderpriority ORDER BY o_orderpriority;
+//! ```
+//!
+//! Q4 adds two twists to the join story: a column-vs-column selection
+//! (`l_commitdate < l_receiptdate`) and EXISTS semantics (each qualifying
+//! order counts once however many late lines it has), realised on the
+//! framework as join → distinct-by-grouping → regroup by priority.
+
+use crate::dates::date;
+use crate::schema::{Database, PRIORITIES};
+use gpu_sim::{Result, SimError};
+use proto_core::backend::{Col, GpuBackend, Pred};
+use proto_core::ops::{CmpOp, Connective};
+
+/// One Q4 result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Q4Row {
+    /// `o_orderpriority` dictionary code.
+    pub priority: u32,
+    /// Number of qualifying orders.
+    pub order_count: u64,
+}
+
+impl Q4Row {
+    /// Dictionary-decoded priority label.
+    pub fn label(&self) -> &'static str {
+        PRIORITIES[self.priority as usize]
+    }
+}
+
+/// Device-resident Q4 working set.
+pub struct Q4Data {
+    o_orderdate: Col,
+    o_orderkey: Col,
+    o_priority: Col,
+    l_orderkey: Col,
+    l_commitdate: Col,
+    l_receiptdate: Col,
+}
+
+impl Q4Data {
+    /// Upload the touched columns.
+    pub fn upload(backend: &dyn GpuBackend, db: &Database) -> Result<Self> {
+        Ok(Q4Data {
+            o_orderdate: backend.upload_u32(&db.orders.orderdate)?,
+            o_orderkey: backend.upload_u32(&db.orders.orderkey)?,
+            o_priority: backend.upload_u32(&db.orders.orderpriority)?,
+            l_orderkey: backend.upload_u32(&db.lineitem.orderkey)?,
+            l_commitdate: backend.upload_u32(&db.lineitem.commitdate)?,
+            l_receiptdate: backend.upload_u32(&db.lineitem.receiptdate)?,
+        })
+    }
+
+    /// Execute Q4, returning counts per priority (ascending code).
+    pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q4Row>> {
+        let Some(join_algo) = super::best_join(backend) else {
+            return Err(SimError::Unsupported(format!(
+                "{} supports no join algorithm (Table II)",
+                backend.name()
+            )));
+        };
+        // σ(orders): the Q3/1993 window.
+        let preds = [
+            Pred { col: &self.o_orderdate, cmp: CmpOp::Ge, lit: date(1993, 7, 1) as f64 },
+            Pred { col: &self.o_orderdate, cmp: CmpOp::Lt, lit: date(1993, 10, 1) as f64 },
+        ];
+        let o_ids = backend.selection_multi(&preds, Connective::And)?;
+        let o_keys = backend.gather(&self.o_orderkey, &o_ids)?;
+        let o_prio = backend.gather(&self.o_priority, &o_ids)?;
+
+        // σ(lineitem): late lines (column-vs-column predicate).
+        let l_ids = backend.selection_cmp_cols(&self.l_commitdate, &self.l_receiptdate, CmpOp::Lt)?;
+        let l_keys = backend.gather(&self.l_orderkey, &l_ids)?;
+
+        // Semi join: lines ⋈ orders, then collapse to distinct orders.
+        let (_jl, jr) = backend.join(&l_keys, &o_keys, join_algo)?;
+        let ones_src = backend.constant_f64(jr.len(), 1.0)?;
+        let (distinct_orders, _cnt) = backend.grouped_sum(&jr, &ones_src)?;
+
+        // Regroup the distinct orders by priority.
+        let prio_of_match = backend.gather(&o_prio, &distinct_orders)?;
+        let ones2 = backend.constant_f64(prio_of_match.len(), 1.0)?;
+        let (prio_keys, prio_counts) = backend.grouped_sum(&prio_of_match, &ones2)?;
+
+        let codes = backend.download_u32(&prio_keys)?;
+        let counts = backend.download_f64(&prio_counts)?;
+        for c in [
+            o_ids, o_keys, o_prio, l_ids, l_keys, _jl, jr, ones_src, distinct_orders, _cnt,
+            prio_of_match, ones2, prio_keys, prio_counts,
+        ] {
+            backend.free(c)?;
+        }
+        Ok(codes
+            .into_iter()
+            .zip(counts)
+            .map(|(priority, n)| Q4Row {
+                priority,
+                order_count: n as u64,
+            })
+            .collect())
+    }
+
+    /// Free the working set.
+    pub fn free(self, backend: &dyn GpuBackend) -> Result<()> {
+        for c in [
+            self.o_orderdate,
+            self.o_orderkey,
+            self.o_priority,
+            self.l_orderkey,
+            self.l_commitdate,
+            self.l_receiptdate,
+        ] {
+            backend.free(c)?;
+        }
+        Ok(())
+    }
+}
+
+/// Host reference implementation.
+pub fn reference(db: &Database) -> Vec<Q4Row> {
+    let (lo, hi) = (date(1993, 7, 1), date(1993, 10, 1));
+    let li = &db.lineitem;
+    let late_orders: std::collections::HashSet<u32> = (0..li.len())
+        .filter(|&i| li.commitdate[i] < li.receiptdate[i])
+        .map(|i| li.orderkey[i])
+        .collect();
+    let mut counts = std::collections::BTreeMap::new();
+    for i in 0..db.orders.len() {
+        let d = db.orders.orderdate[i];
+        if d >= lo && d < hi && late_orders.contains(&db.orders.orderkey[i]) {
+            *counts.entry(db.orders.orderpriority[i]).or_insert(0u64) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(priority, order_count)| Q4Row {
+            priority,
+            order_count,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use gpu_sim::DeviceSpec;
+    use proto_core::prelude::*;
+
+    #[test]
+    fn joinable_backends_match_the_reference() {
+        let db = generate(0.002);
+        let expect = reference(&db);
+        assert!(!expect.is_empty());
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        for b in fw.backends() {
+            let data = Q4Data::upload(b.as_ref(), &db).unwrap();
+            match data.execute(b.as_ref()) {
+                Ok(rows) => assert_eq!(rows, expect, "{}", b.name()),
+                Err(_) => assert_eq!(b.name(), "ArrayFire"),
+            }
+            data.free(b.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn priorities_cover_the_dictionary() {
+        let db = generate(0.005);
+        let rows = reference(&db);
+        assert_eq!(rows.len(), PRIORITIES.len(), "all five priorities occur");
+        for r in &rows {
+            assert!(!r.label().is_empty());
+            assert!(r.order_count > 0);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! TPC-H Q5 — the local supplier volume query.
+//!
+//! ```sql
+//! SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+//! FROM customer, orders, lineitem, supplier, nation, region
+//! WHERE c_custkey  = o_custkey
+//!   AND l_orderkey = o_orderkey
+//!   AND l_suppkey  = s_suppkey
+//!   AND c_nationkey = s_nationkey
+//!   AND s_nationkey = n_nationkey
+//!   AND n_regionkey = r_regionkey
+//!   AND r_name = 'ASIA'
+//!   AND o_orderdate >= date '1994-01-01'
+//!   AND o_orderdate <  date '1995-01-01'
+//! GROUP BY n_name ORDER BY revenue DESC;
+//! ```
+//!
+//! The heaviest query in the study: six tables, three equi joins, a
+//! column-vs-column filter (`c_nationkey = s_nationkey` after both sides
+//! are joined in) and a grouped aggregation. It is exactly the workload
+//! class where the libraries' missing hash join hurts most — every join
+//! degrades to `for_each_n` nested loops on Thrust/Boost.Compute.
+
+use crate::dates::date;
+use crate::schema::{Database, NATIONS, REGIONS};
+use gpu_sim::{Result, SimError};
+use proto_core::backend::{Col, GpuBackend, Pred};
+use proto_core::ops::{CmpOp, Connective};
+
+/// One Q5 result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q5Row {
+    /// `n_nationkey` of the group.
+    pub nationkey: u32,
+    /// Aggregated revenue.
+    pub revenue: f64,
+}
+
+impl Q5Row {
+    /// Dictionary-decoded nation name.
+    pub fn nation(&self) -> &'static str {
+        NATIONS[self.nationkey as usize]
+    }
+}
+
+/// The region the benchmark query restricts to.
+pub const TARGET_REGION: &str = "ASIA";
+
+fn region_code() -> u32 {
+    REGIONS
+        .iter()
+        .position(|&r| r == TARGET_REGION)
+        .expect("region dictionary") as u32
+}
+
+/// Device-resident Q5 working set.
+pub struct Q5Data {
+    // nation / region are joined via the nation table's region column.
+    n_nationkey: Col,
+    n_regionkey: Col,
+    // supplier
+    s_suppkey: Col,
+    s_nationkey: Col,
+    // customer
+    c_custkey: Col,
+    c_nationkey: Col,
+    // orders
+    o_orderdate: Col,
+    o_custkey: Col,
+    o_orderkey: Col,
+    // lineitem
+    l_orderkey: Col,
+    l_suppkey: Col,
+    l_extendedprice: Col,
+    l_discount: Col,
+}
+
+impl Q5Data {
+    /// Upload the touched columns of all six tables.
+    pub fn upload(backend: &dyn GpuBackend, db: &Database) -> Result<Self> {
+        Ok(Q5Data {
+            n_nationkey: backend.upload_u32(&db.nation.nationkey)?,
+            n_regionkey: backend.upload_u32(&db.nation.regionkey)?,
+            s_suppkey: backend.upload_u32(&db.supplier.suppkey)?,
+            s_nationkey: backend.upload_u32(&db.supplier.nationkey)?,
+            c_custkey: backend.upload_u32(&db.customer.custkey)?,
+            c_nationkey: backend.upload_u32(&db.customer.nationkey)?,
+            o_orderdate: backend.upload_u32(&db.orders.orderdate)?,
+            o_custkey: backend.upload_u32(&db.orders.custkey)?,
+            o_orderkey: backend.upload_u32(&db.orders.orderkey)?,
+            l_orderkey: backend.upload_u32(&db.lineitem.orderkey)?,
+            l_suppkey: backend.upload_u32(&db.lineitem.suppkey)?,
+            l_extendedprice: backend.upload_f64(&db.lineitem.extendedprice)?,
+            l_discount: backend.upload_f64(&db.lineitem.discount)?,
+        })
+    }
+
+    /// Execute Q5, returning rows ordered by revenue descending.
+    pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q5Row>> {
+        let Some(join_algo) = super::best_join(backend) else {
+            return Err(SimError::Unsupported(format!(
+                "{} supports no join algorithm (Table II)",
+                backend.name()
+            )));
+        };
+        // σ(nation): nations of the target region.
+        let n_ids = backend.selection(&self.n_regionkey, CmpOp::Eq, region_code() as f64)?;
+        let asia_nations = backend.gather(&self.n_nationkey, &n_ids)?;
+
+        // σ(supplier) by region: supplier ⋈ asia_nations on nationkey.
+        let (s_rows, _n1) = backend.join(&self.s_nationkey, &asia_nations, join_algo)?;
+        let asia_suppkeys = backend.gather(&self.s_suppkey, &s_rows)?;
+        let asia_supp_nation = backend.gather(&self.s_nationkey, &s_rows)?;
+
+        // σ(customer) by region: customer ⋈ asia_nations on nationkey.
+        let (c_rows, _n2) = backend.join(&self.c_nationkey, &asia_nations, join_algo)?;
+        let asia_custkeys = backend.gather(&self.c_custkey, &c_rows)?;
+        let asia_cust_nation = backend.gather(&self.c_nationkey, &c_rows)?;
+
+        // σ(orders): the 1994 window.
+        let date_preds = [
+            Pred { col: &self.o_orderdate, cmp: CmpOp::Ge, lit: date(1994, 1, 1) as f64 },
+            Pred { col: &self.o_orderdate, cmp: CmpOp::Lt, lit: date(1995, 1, 1) as f64 },
+        ];
+        let o_ids = backend.selection_multi(&date_preds, Connective::And)?;
+        let o_cust = backend.gather(&self.o_custkey, &o_ids)?;
+        let o_key = backend.gather(&self.o_orderkey, &o_ids)?;
+
+        // orders ⋈ customer (region-filtered) on custkey.
+        let (oc_l, oc_r) = backend.join(&o_cust, &asia_custkeys, join_algo)?;
+        let sel_order_keys = backend.gather(&o_key, &oc_l)?;
+        let order_cust_nation = backend.gather(&asia_cust_nation, &oc_r)?;
+
+        // lineitem ⋈ orders on orderkey.
+        let (ll, lr) = backend.join(&self.l_orderkey, &sel_order_keys, join_algo)?;
+        let line_supp = backend.gather(&self.l_suppkey, &ll)?;
+        let line_cust_nation = backend.gather(&order_cust_nation, &lr)?;
+        let line_ext = backend.gather(&self.l_extendedprice, &ll)?;
+        let line_disc = backend.gather(&self.l_discount, &ll)?;
+
+        // lineitem ⋈ supplier (region-filtered) on suppkey.
+        let (sl, sr) = backend.join(&line_supp, &asia_suppkeys, join_algo)?;
+        let m_supp_nation = backend.gather(&asia_supp_nation, &sr)?;
+        let m_cust_nation = backend.gather(&line_cust_nation, &sl)?;
+        let m_ext = backend.gather(&line_ext, &sl)?;
+        let m_disc = backend.gather(&line_disc, &sl)?;
+
+        // "local" condition: customer and supplier share the nation.
+        let local_ids = backend.selection_cmp_cols(&m_cust_nation, &m_supp_nation, CmpOp::Eq)?;
+        let f_nation = backend.gather(&m_supp_nation, &local_ids)?;
+        let f_ext = backend.gather(&m_ext, &local_ids)?;
+        let f_disc = backend.gather(&m_disc, &local_ids)?;
+
+        // revenue = ext · (1 − disc), grouped by nation.
+        let one_minus = backend.affine(&f_disc, -1.0, 1.0)?;
+        let revenue = backend.product(&f_ext, &one_minus)?;
+        let (g_keys, g_rev) = backend.grouped_sum(&f_nation, &revenue)?;
+        let keys = backend.download_u32(&g_keys)?;
+        let revs = backend.download_f64(&g_rev)?;
+
+        for c in [
+            n_ids, asia_nations, s_rows, _n1, asia_suppkeys, asia_supp_nation, c_rows, _n2,
+            asia_custkeys, asia_cust_nation, o_ids, o_cust, o_key, oc_l, oc_r, sel_order_keys,
+            order_cust_nation, ll, lr, line_supp, line_cust_nation, line_ext, line_disc, sl, sr,
+            m_supp_nation, m_cust_nation, m_ext, m_disc, local_ids, f_nation, f_ext, f_disc,
+            one_minus, revenue, g_keys, g_rev,
+        ] {
+            backend.free(c)?;
+        }
+
+        let mut rows: Vec<Q5Row> = keys
+            .into_iter()
+            .zip(revs)
+            .map(|(nationkey, revenue)| Q5Row { nationkey, revenue })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.revenue
+                .partial_cmp(&a.revenue)
+                .expect("finite revenue")
+                .then(a.nationkey.cmp(&b.nationkey))
+        });
+        Ok(rows)
+    }
+
+    /// Free the working set.
+    pub fn free(self, backend: &dyn GpuBackend) -> Result<()> {
+        for c in [
+            self.n_nationkey,
+            self.n_regionkey,
+            self.s_suppkey,
+            self.s_nationkey,
+            self.c_custkey,
+            self.c_nationkey,
+            self.o_orderdate,
+            self.o_custkey,
+            self.o_orderkey,
+            self.l_orderkey,
+            self.l_suppkey,
+            self.l_extendedprice,
+            self.l_discount,
+        ] {
+            backend.free(c)?;
+        }
+        Ok(())
+    }
+}
+
+/// Host reference implementation.
+pub fn reference(db: &Database) -> Vec<Q5Row> {
+    let (lo, hi) = (date(1994, 1, 1), date(1995, 1, 1));
+    let region = region_code();
+    let nation_in_region: Vec<bool> = db
+        .nation
+        .regionkey
+        .iter()
+        .map(|&r| r == region)
+        .collect();
+    // custkey → nation (only region customers).
+    let mut cust_nation = std::collections::HashMap::new();
+    for i in 0..db.customer.len() {
+        let n = db.customer.nationkey[i];
+        if nation_in_region[n as usize] {
+            cust_nation.insert(db.customer.custkey[i], n);
+        }
+    }
+    // orderkey → customer nation for window orders of region customers.
+    let mut order_nation = std::collections::HashMap::new();
+    for i in 0..db.orders.len() {
+        let d = db.orders.orderdate[i];
+        if d >= lo && d < hi {
+            if let Some(&n) = cust_nation.get(&db.orders.custkey[i]) {
+                order_nation.insert(db.orders.orderkey[i], n);
+            }
+        }
+    }
+    let supp_nation: std::collections::HashMap<u32, u32> = db
+        .supplier
+        .suppkey
+        .iter()
+        .zip(&db.supplier.nationkey)
+        .map(|(&k, &n)| (k, n))
+        .collect();
+    let mut revenue_by_nation = std::collections::BTreeMap::new();
+    let li = &db.lineitem;
+    for i in 0..li.len() {
+        let Some(&cn) = order_nation.get(&li.orderkey[i]) else {
+            continue;
+        };
+        let sn = supp_nation[&li.suppkey[i]];
+        if sn == cn && nation_in_region[sn as usize] {
+            *revenue_by_nation.entry(sn).or_insert(0.0) +=
+                li.extendedprice[i] * (1.0 - li.discount[i]);
+        }
+    }
+    let mut rows: Vec<Q5Row> = revenue_by_nation
+        .into_iter()
+        .map(|(nationkey, revenue)| Q5Row { nationkey, revenue })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.revenue
+            .partial_cmp(&a.revenue)
+            .expect("finite revenue")
+            .then(a.nationkey.cmp(&b.nationkey))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::queries::close;
+    use gpu_sim::DeviceSpec;
+    use proto_core::prelude::*;
+
+    #[test]
+    fn joinable_backends_match_the_reference() {
+        let db = generate(0.002);
+        let expect = reference(&db);
+        assert!(!expect.is_empty(), "ASIA revenue must exist");
+        // Exactly the region's nations can appear.
+        for r in &expect {
+            assert_eq!(db.nation.regionkey[r.nationkey as usize], 2, "{}", r.nation());
+        }
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        for b in fw.backends() {
+            let data = Q5Data::upload(b.as_ref(), &db).unwrap();
+            match data.execute(b.as_ref()) {
+                Ok(rows) => {
+                    assert_eq!(rows.len(), expect.len(), "{}", b.name());
+                    for (got, want) in rows.iter().zip(&expect) {
+                        assert_eq!(got.nationkey, want.nationkey, "{}", b.name());
+                        assert!(
+                            close(got.revenue, want.revenue),
+                            "{}: {} vs {}",
+                            b.name(),
+                            got.revenue,
+                            want.revenue
+                        );
+                    }
+                }
+                Err(_) => assert_eq!(b.name(), "ArrayFire"),
+            }
+            data.free(b.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn result_is_revenue_descending() {
+        let db = generate(0.003);
+        let rows = reference(&db);
+        assert!(rows.windows(2).all(|w| w[0].revenue >= w[1].revenue));
+        for r in &rows {
+            assert!(!r.nation().is_empty());
+        }
+    }
+}

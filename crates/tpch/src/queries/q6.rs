@@ -1,0 +1,150 @@
+//! TPC-H Q6 — the forecasting revenue change query.
+//!
+//! ```sql
+//! SELECT sum(l_extendedprice * l_discount) AS revenue
+//! FROM lineitem
+//! WHERE l_shipdate >= date '1994-01-01'
+//!   AND l_shipdate <  date '1995-01-01'
+//!   AND l_discount BETWEEN 0.05 AND 0.07
+//!   AND l_quantity < 24;
+//! ```
+//!
+//! Q6 is the canonical selection+product+reduction pipeline: four
+//! predicates, one arithmetic projection, one aggregate. Every backend
+//! runs it through [`GpuBackend::filter_sum_product`] — the handwritten
+//! kernel fuses the whole query into one pass, ArrayFire fuses predicates
+//! and product into one JIT kernel plus a reduction, and Thrust /
+//! Boost.Compute chain selection → gather → inner_product.
+
+use crate::dates::date;
+use crate::schema::Database;
+use gpu_sim::Result;
+use proto_core::backend::{Col, GpuBackend, Pred};
+use proto_core::ops::CmpOp;
+
+/// Device-resident Q6 working set.
+pub struct Q6Data {
+    shipdate: Col,
+    discount: Col,
+    quantity: Col,
+    extendedprice: Col,
+}
+
+impl Q6Data {
+    /// Upload the four touched columns.
+    pub fn upload(backend: &dyn GpuBackend, db: &Database) -> Result<Self> {
+        let li = &db.lineitem;
+        Ok(Q6Data {
+            shipdate: backend.upload_u32(&li.shipdate)?,
+            discount: backend.upload_f64(&li.discount)?,
+            quantity: backend.upload_f64(&li.quantity)?,
+            extendedprice: backend.upload_f64(&li.extendedprice)?,
+        })
+    }
+
+    /// Execute Q6, returning the revenue aggregate.
+    pub fn execute(&self, backend: &dyn GpuBackend) -> Result<f64> {
+        // Discounts are hundredths; widen the BETWEEN bounds by half a
+        // cent to dodge float-representation edges, exactly like the
+        // C implementations do.
+        let preds = [
+            Pred { col: &self.shipdate, cmp: CmpOp::Ge, lit: date(1994, 1, 1) as f64 },
+            Pred { col: &self.shipdate, cmp: CmpOp::Lt, lit: date(1995, 1, 1) as f64 },
+            Pred { col: &self.discount, cmp: CmpOp::Ge, lit: 0.045 },
+            Pred { col: &self.discount, cmp: CmpOp::Le, lit: 0.075 },
+            Pred { col: &self.quantity, cmp: CmpOp::Lt, lit: 24.0 },
+        ];
+        backend.filter_sum_product(&self.extendedprice, &self.discount, &preds)
+    }
+
+    /// Free the working set.
+    pub fn free(self, backend: &dyn GpuBackend) -> Result<()> {
+        for c in [self.shipdate, self.discount, self.quantity, self.extendedprice] {
+            backend.free(c)?;
+        }
+        Ok(())
+    }
+}
+
+/// Host reference implementation (ground truth).
+pub fn reference(db: &Database) -> f64 {
+    let li = &db.lineitem;
+    let (lo, hi) = (date(1994, 1, 1), date(1995, 1, 1));
+    let mut revenue = 0.0;
+    for i in 0..li.len() {
+        if li.shipdate[i] >= lo
+            && li.shipdate[i] < hi
+            && li.discount[i] >= 0.045
+            && li.discount[i] <= 0.075
+            && li.quantity[i] < 24.0
+        {
+            revenue += li.extendedprice[i] * li.discount[i];
+        }
+    }
+    revenue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::queries::close;
+    use gpu_sim::{Device, DeviceSpec};
+    use proto_core::prelude::*;
+
+    #[test]
+    fn all_backends_agree_with_the_reference() {
+        let db = generate(0.001);
+        let expect = reference(&db);
+        assert!(expect > 0.0, "query must select something");
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        for b in fw.backends() {
+            let data = Q6Data::upload(b.as_ref(), &db).unwrap();
+            let got = data.execute(b.as_ref()).unwrap();
+            assert!(
+                close(got, expect),
+                "{}: {got} vs reference {expect}",
+                b.name()
+            );
+            data.free(b.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn handwritten_runs_q6_in_one_kernel() {
+        let db = generate(0.001);
+        let dev = Device::with_defaults();
+        let b = HandwrittenBackend::new(&dev);
+        let data = Q6Data::upload(&b, &db).unwrap();
+        dev.reset_stats();
+        data.execute(&b).unwrap();
+        assert_eq!(dev.stats().total_launches(), 1);
+    }
+
+    #[test]
+    fn handwritten_is_fastest_library_chain_slowest() {
+        let db = generate(0.001);
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        let mut times = std::collections::HashMap::new();
+        for b in fw.backends() {
+            let data = Q6Data::upload(b.as_ref(), &db).unwrap();
+            // Warm-up (JIT, pools), then measure.
+            data.execute(b.as_ref()).unwrap();
+            let dev = b.device();
+            let (_, t) = dev.time(|| data.execute(b.as_ref()).unwrap());
+            times.insert(b.name().to_string(), t.as_nanos());
+        }
+        assert!(
+            times["Handwritten"] < times["Thrust"],
+            "fused kernel beats the Thrust chain: {times:?}"
+        );
+        assert!(
+            times["Handwritten"] < times["Boost.Compute"],
+            "{times:?}"
+        );
+        assert!(
+            times["ArrayFire"] < times["Boost.Compute"],
+            "fusion beats the OpenCL chain at small sizes: {times:?}"
+        );
+    }
+}

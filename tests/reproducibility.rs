@@ -1,0 +1,74 @@
+//! Reproducibility: the whole measurement pipeline is deterministic —
+//! identical runs produce identical simulated numbers, which is what lets
+//! EXPERIMENTS.md quote exact values.
+
+use bench_reexport::*;
+
+// The bench crate is not a dependency of the root package; rebuild the
+// minimal pieces here against the public APIs instead.
+mod bench_reexport {
+    pub use gpu_proto_db::core::framework::Framework;
+    pub use gpu_proto_db::core::prelude::*;
+    pub use gpu_proto_db::core::runner::measure;
+    pub use gpu_proto_db::core::workload;
+    pub use gpu_proto_db::sim::DeviceSpec;
+}
+
+fn run_selection_experiment() -> Vec<(String, u64, u64, u64)> {
+    let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+    let mut out = Vec::new();
+    for n in [1usize << 12, 1 << 16] {
+        let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
+        for b in fw.backends() {
+            let c = b.upload_u32(&col).unwrap();
+            let s = measure(b.as_ref(), n as u64, || {
+                let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+                b.free(ids)
+            })
+            .unwrap();
+            out.push((s.backend, s.x, s.nanos, s.launches));
+            b.free(c).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn experiment_runs_are_bit_identical() {
+    let a = run_selection_experiment();
+    let b = run_selection_experiment();
+    assert_eq!(a, b, "same program must give same simulated numbers");
+}
+
+#[test]
+fn tpch_queries_are_run_to_run_deterministic() {
+    use gpu_proto_db::tpch::queries::q1;
+    let run = || {
+        let db = gpu_proto_db::tpch::generate(0.001);
+        let fw = gpu_proto_db::paper_setup();
+        let b = fw.backend("Thrust").unwrap();
+        let d = q1::Q1Data::upload(b, &db).unwrap();
+        d.execute(b).unwrap(); // warm
+        let dev = b.device();
+        let t0 = dev.now();
+        let rows = d.execute(b).unwrap();
+        ((dev.now() - t0).as_nanos(), rows)
+    };
+    let (t1, r1) = run();
+    let (t2, r2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn device_stats_reports_are_deterministic() {
+    let render = || {
+        let dev = gpu_proto_db::sim::Device::with_defaults();
+        let b = ThrustBackend::new(&dev);
+        let col = b.upload_u32(&(0..10_000u32).collect::<Vec<_>>()).unwrap();
+        let ids = b.selection(&col, CmpOp::Gt, 5_000.0).unwrap();
+        b.free(ids).unwrap();
+        dev.stats().report()
+    };
+    assert_eq!(render(), render());
+}
