@@ -335,7 +335,7 @@ impl Array {
             divergence: 0.0,
             launch_overhead_ns: device.spec().cuda_launch_latency_ns,
         };
-        device.charge_kernel("af::jit_fused", cost);
+        device.try_charge_kernel("af::jit_fused", cost)?;
         *self.cache.lock() = Some(Arc::clone(&col));
         Ok(col)
     }

@@ -139,27 +139,37 @@ impl ColumnData {
     /// Wrap a typed host vector into a pooled device column (ArrayFire's
     /// memory manager pools allocations).
     pub fn from_f64(device: &Arc<Device>, v: Vec<f64>) -> Result<Self> {
-        Ok(ColumnData::F64(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+        Ok(ColumnData::F64(
+            device.buffer_from_vec(v, AllocPolicy::Pooled)?,
+        ))
     }
 
     /// See [`ColumnData::from_f64`].
     pub fn from_u64(device: &Arc<Device>, v: Vec<u64>) -> Result<Self> {
-        Ok(ColumnData::U64(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+        Ok(ColumnData::U64(
+            device.buffer_from_vec(v, AllocPolicy::Pooled)?,
+        ))
     }
 
     /// See [`ColumnData::from_f64`].
     pub fn from_u32(device: &Arc<Device>, v: Vec<u32>) -> Result<Self> {
-        Ok(ColumnData::U32(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+        Ok(ColumnData::U32(
+            device.buffer_from_vec(v, AllocPolicy::Pooled)?,
+        ))
     }
 
     /// See [`ColumnData::from_f64`].
     pub fn from_i64(device: &Arc<Device>, v: Vec<i64>) -> Result<Self> {
-        Ok(ColumnData::I64(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+        Ok(ColumnData::I64(
+            device.buffer_from_vec(v, AllocPolicy::Pooled)?,
+        ))
     }
 
     /// See [`ColumnData::from_f64`].
     pub fn from_b8(device: &Arc<Device>, v: Vec<u8>) -> Result<Self> {
-        Ok(ColumnData::B8(device.buffer_from_vec(v, AllocPolicy::Pooled)?))
+        Ok(ColumnData::B8(
+            device.buffer_from_vec(v, AllocPolicy::Pooled)?,
+        ))
     }
 
     /// View as `f64` values, converting on the fly (functional helper used
@@ -217,7 +227,10 @@ impl ColumnData {
 }
 
 fn type_err(wanted: &str, got: DType) -> SimError {
-    SimError::Unsupported(format!("dtype mismatch: wanted {wanted}, array is {}", got.name()))
+    SimError::Unsupported(format!(
+        "dtype mismatch: wanted {wanted}, array is {}",
+        got.name()
+    ))
 }
 
 /// Build a [`ColumnData`] of `dtype` from an `f64` working vector
@@ -228,10 +241,9 @@ pub fn column_from_f64(device: &Arc<Device>, dtype: DType, v: Vec<f64>) -> Resul
         DType::U64 => ColumnData::from_u64(device, v.into_iter().map(|x| x as u64).collect()),
         DType::U32 => ColumnData::from_u32(device, v.into_iter().map(|x| x as u32).collect()),
         DType::I64 => ColumnData::from_i64(device, v.into_iter().map(|x| x as i64).collect()),
-        DType::B8 => ColumnData::from_b8(
-            device,
-            v.into_iter().map(|x| u8::from(x != 0.0)).collect(),
-        ),
+        DType::B8 => {
+            ColumnData::from_b8(device, v.into_iter().map(|x| u8::from(x != 0.0)).collect())
+        }
     }
 }
 

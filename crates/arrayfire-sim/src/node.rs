@@ -214,9 +214,10 @@ impl Node {
                     *bytes += col.size_bytes();
                 }
             }
-            Node::Unary(_, c) | Node::ScalarRhs(_, c, _) | Node::ScalarLhs(_, _, c) | Node::Cast(_, c) => {
-                c.collect_leaves(seen, bytes)
-            }
+            Node::Unary(_, c)
+            | Node::ScalarRhs(_, c, _)
+            | Node::ScalarLhs(_, _, c)
+            | Node::Cast(_, c) => c.collect_leaves(seen, bytes),
             Node::Binary(_, l, r) => {
                 l.collect_leaves(seen, bytes);
                 r.collect_leaves(seen, bytes);
@@ -228,9 +229,10 @@ impl Node {
     pub fn op_count(&self) -> u64 {
         match self {
             Node::Leaf(..) => 0,
-            Node::Unary(_, c) | Node::ScalarRhs(_, c, _) | Node::ScalarLhs(_, _, c) | Node::Cast(_, c) => {
-                1 + c.op_count()
-            }
+            Node::Unary(_, c)
+            | Node::ScalarRhs(_, c, _)
+            | Node::ScalarLhs(_, _, c)
+            | Node::Cast(_, c) => 1 + c.op_count(),
             Node::Binary(_, l, r) => 1 + l.op_count() + r.op_count(),
         }
     }
@@ -266,9 +268,10 @@ impl Node {
     fn collect_lanes(&self, lanes: &mut LeafLanes) {
         match self {
             Node::Leaf(id, col) => lanes.insert(*id, col),
-            Node::Unary(_, c) | Node::ScalarRhs(_, c, _) | Node::ScalarLhs(_, _, c) | Node::Cast(_, c) => {
-                c.collect_lanes(lanes)
-            }
+            Node::Unary(_, c)
+            | Node::ScalarRhs(_, c, _)
+            | Node::ScalarLhs(_, _, c)
+            | Node::Cast(_, c) => c.collect_lanes(lanes),
             Node::Binary(_, l, r) => {
                 l.collect_lanes(lanes);
                 r.collect_lanes(lanes);

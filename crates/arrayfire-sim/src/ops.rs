@@ -32,17 +32,17 @@ pub fn where_(cond: &Array) -> Result<Array> {
         .collect();
     let n = cond.len();
     let launch = device.spec().cuda_launch_latency_ns;
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::where/scan",
         presets::scan::<u8>(n).with_launch_overhead(launch),
-    );
-    device.charge_kernel(
+    )?;
+    device.try_charge_kernel(
         "af::where/compact",
         KernelCost::map::<u8, ()>(n)
             .with_write((idx.len() * 4) as u64)
             .with_divergence(0.3)
             .with_launch_overhead(launch),
-    );
+    )?;
     af.wrap(ColumnData::from_u32(device, idx)?)
 }
 
@@ -73,13 +73,13 @@ pub fn lookup(data: &Array, indices: &Array) -> Result<Array> {
     }
     let launch = device.spec().cuda_launch_latency_ns;
     let bytes_per = data.dtype().size();
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::lookup",
         presets::gather::<u64>(idx.len())
             .with_read((idx.len() * (4 + bytes_per)) as u64)
             .with_write((idx.len() * bytes_per) as u64)
             .with_launch_overhead(launch),
-    );
+    )?;
     af.wrap(crate::dtype::column_from_f64(device, data.dtype(), out)?)
 }
 
@@ -89,13 +89,13 @@ pub fn sum(a: &Array) -> Result<f64> {
     let device = af.device();
     let col = a.eval()?;
     let total = col.to_f64_vec().iter().sum();
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::sum",
         KernelCost::reduce::<u64>(0)
             .with_read(col.size_bytes())
             .with_flops(a.len() as u64)
             .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+    )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
     ));
@@ -108,11 +108,11 @@ pub fn count(a: &Array) -> Result<usize> {
     let device = af.device();
     let col = a.eval()?;
     let n = col.to_f64_vec().iter().filter(|&&x| x != 0.0).count();
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::count",
         KernelCost::reduce::<u8>(a.len())
             .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+    )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
     ));
@@ -130,11 +130,10 @@ pub fn accum(a: &Array) -> Result<Array> {
         acc += *x;
         *x = acc;
     }
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::accum",
-        presets::scan::<u64>(a.len())
-            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+        presets::scan::<u64>(a.len()).with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    )?;
     af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
 }
 
@@ -142,11 +141,10 @@ pub fn accum(a: &Array) -> Result<Array> {
 /// no transfer).
 pub fn constant(af: &Arc<Backend>, value: f64, len: usize) -> Result<Array> {
     let device = af.device();
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::constant",
-        KernelCost::map::<(), f64>(len)
-            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+        KernelCost::map::<(), f64>(len).with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    )?;
     af.wrap(ColumnData::from_f64(device, vec![value; len])?)
 }
 
@@ -168,11 +166,10 @@ pub fn scan(a: &Array, exclusive: bool) -> Result<Array> {
             out.push(acc);
         }
     }
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::scan",
-        presets::scan::<u64>(a.len())
-            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+        presets::scan::<u64>(a.len()).with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    )?;
     af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
 }
 
@@ -183,7 +180,7 @@ pub fn sort(a: &Array) -> Result<Array> {
     let col = a.eval()?;
     let mut v = col.to_f64_vec();
     v.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sort"));
-    charge_radix(&af, a.len(), a.dtype().size(), 0, "af::sort");
+    charge_radix(&af, a.len(), a.dtype().size(), 0, "af::sort")?;
     af.wrap(crate::dtype::column_from_f64(device, a.dtype(), v)?)
 }
 
@@ -206,14 +203,26 @@ pub fn sort_by_key(keys: &Array, vals: &Array) -> Result<(Array, Array)> {
     perm.sort_by(|&i, &j| kv[i].partial_cmp(&kv[j]).expect("NaN key").then(i.cmp(&j)));
     let ks: Vec<f64> = perm.iter().map(|&i| kv[i]).collect();
     let vs: Vec<f64> = perm.iter().map(|&i| vv[i]).collect();
-    charge_radix(&af, keys.len(), keys.dtype().size(), vals.dtype().size(), "af::sort_by_key");
+    charge_radix(
+        &af,
+        keys.len(),
+        keys.dtype().size(),
+        vals.dtype().size(),
+        "af::sort_by_key",
+    )?;
     Ok((
         af.wrap(crate::dtype::column_from_f64(device, keys.dtype(), ks)?)?,
         af.wrap(crate::dtype::column_from_f64(device, vals.dtype(), vs)?)?,
     ))
 }
 
-fn charge_radix(af: &Arc<Backend>, n: usize, key_bytes: usize, payload_bytes: usize, label: &str) {
+fn charge_radix(
+    af: &Arc<Backend>,
+    n: usize,
+    key_bytes: usize,
+    payload_bytes: usize,
+    label: &str,
+) -> Result<()> {
     let device = af.device();
     let launch = device.spec().cuda_launch_latency_ns;
     let passes = key_bytes.max(1);
@@ -232,9 +241,13 @@ fn charge_radix(af: &Arc<Backend>, n: usize, key_bytes: usize, payload_bytes: us
                 _ => cost,
             };
             let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-            device.charge_kernel(&format!("{label}/{phase}"), cost.with_launch_overhead(launch));
+            device.try_charge_kernel(
+                &format!("{label}/{phase}"),
+                cost.with_launch_overhead(launch),
+            )?;
         }
     }
+    Ok(())
 }
 
 /// `af::sumByKey` — segmented sum over runs of consecutive equal keys.
@@ -283,11 +296,11 @@ fn by_key(
         out_v.push(acc);
         i = j;
     }
-    device.charge_kernel(
+    device.try_charge_kernel(
         label,
         presets::reduce_by_key::<u64, u64>(keys.len(), out_k.len())
             .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+    )?;
     Ok((
         af.wrap(crate::dtype::column_from_f64(device, keys.dtype(), out_k)?)?,
         af.wrap(crate::dtype::column_from_f64(device, vals.dtype(), out_v)?)?,
@@ -350,13 +363,13 @@ fn set_op(a: &Array, b: &Array, label: &str, intersect: bool) -> Result<Array> {
         out.extend_from_slice(&ys[j..]);
     }
     let launch = device.spec().cuda_launch_latency_ns;
-    device.charge_kernel(
+    device.try_charge_kernel(
         label,
         KernelCost::map::<u32, u32>(xs.len() + ys.len())
             .with_write((out.len() * 4) as u64)
             .with_divergence(0.2)
             .with_launch_overhead(launch),
-    );
+    )?;
     af.wrap(ColumnData::from_u32(device, out)?)
 }
 

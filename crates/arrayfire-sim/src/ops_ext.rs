@@ -15,12 +15,12 @@ fn reduce_scalar(a: &Array, label: &str) -> Result<Vec<f64>> {
     let device = af.device();
     let col = a.eval()?;
     let vals = col.to_f64_vec();
-    device.charge_kernel(
+    device.try_charge_kernel(
         label,
         KernelCost::reduce::<u64>(a.len())
             .with_read(col.size_bytes())
             .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+    )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
     ));
@@ -67,15 +67,15 @@ pub fn set_unique(a: &Array) -> Result<Array> {
         .enumerate()
     {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        device.charge_kernel(
+        device.try_charge_kernel(
             &format!("af::setUnique/sort_{phase}"),
             cost.with_launch_overhead(launch),
-        );
+        )?;
     }
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::setUnique/compact",
         gpu_sim::presets::scan::<u32>(a.len()).with_launch_overhead(launch),
-    );
+    )?;
     af.wrap(crate::dtype::column_from_f64(device, a.dtype(), vals)?)
 }
 
@@ -87,11 +87,11 @@ pub fn diff1(a: &Array) -> Result<Array> {
     let col = a.eval()?;
     let vals = col.to_f64_vec();
     let out: Vec<f64> = vals.windows(2).map(|w| w[1] - w[0]).collect();
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::diff1",
         KernelCost::map::<u64, u64>(a.len())
             .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+    )?;
     af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
 }
 
@@ -112,11 +112,10 @@ pub fn shift(a: &Array, offset: i64) -> Result<Array> {
         out.extend_from_slice(&vals[..n - k]);
         out
     };
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::shift",
-        KernelCost::map::<u64, u64>(n)
-            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+        KernelCost::map::<u64, u64>(n).with_launch_overhead(device.spec().cuda_launch_latency_ns),
+    )?;
     af.wrap(crate::dtype::column_from_f64(device, a.dtype(), out)?)
 }
 
@@ -139,13 +138,13 @@ pub fn histogram(a: &Array, bins: usize, lo: f64, hi: f64) -> Result<Array> {
             counts[b.min(bins - 1)] += 1;
         }
     }
-    device.charge_kernel(
+    device.try_charge_kernel(
         "af::histogram",
         KernelCost::reduce::<u64>(a.len())
             .with_write((bins * 4) as u64)
             .with_divergence(0.2)
             .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    );
+    )?;
     af.wrap(ColumnData::from_u32(device, counts)?)
 }
 

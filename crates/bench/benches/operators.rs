@@ -87,16 +87,13 @@ fn bench_joins(c: &mut Criterion) {
             }
             let o = b.upload_u32(&outer).unwrap();
             let i = b.upload_u32(&inner).unwrap();
-            group.bench_function(
-                BenchmarkId::new(format!("{:?}", algo), b.name()),
-                |bench| {
-                    bench.iter(|| {
-                        let (l, r) = b.join(&o, &i, algo).unwrap();
-                        b.free(l).unwrap();
-                        b.free(r).unwrap();
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("{:?}", algo), b.name()), |bench| {
+                bench.iter(|| {
+                    let (l, r) = b.join(&o, &i, algo).unwrap();
+                    b.free(l).unwrap();
+                    b.free(r).unwrap();
+                })
+            });
             b.free(o).unwrap();
             b.free(i).unwrap();
         }

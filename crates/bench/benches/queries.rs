@@ -47,13 +47,14 @@ fn bench_declarative_q6(c: &mut Criterion) {
     let db = tpch::generate(0.005);
     let li = &db.lineitem;
     let shipdate: Vec<f64> = li.shipdate.iter().map(|&d| d as f64).collect();
-    let q = AggQuery::new(Agg::Sum(Expr::col("ext") * Expr::col("disc"))).filter(Predicate::And(vec![
-        Predicate::cmp("ship", CmpOp::Ge, tpch::dates::date(1994, 1, 1) as f64),
-        Predicate::cmp("ship", CmpOp::Lt, tpch::dates::date(1995, 1, 1) as f64),
-        Predicate::cmp("disc", CmpOp::Ge, 0.045),
-        Predicate::cmp("disc", CmpOp::Le, 0.075),
-        Predicate::cmp("qty", CmpOp::Lt, 24.0),
-    ]));
+    let q =
+        AggQuery::new(Agg::Sum(Expr::col("ext") * Expr::col("disc"))).filter(Predicate::And(vec![
+            Predicate::cmp("ship", CmpOp::Ge, tpch::dates::date(1994, 1, 1) as f64),
+            Predicate::cmp("ship", CmpOp::Lt, tpch::dates::date(1995, 1, 1) as f64),
+            Predicate::cmp("disc", CmpOp::Ge, 0.045),
+            Predicate::cmp("disc", CmpOp::Le, 0.075),
+            Predicate::cmp("qty", CmpOp::Lt, 24.0),
+        ]));
     let mut group = c.benchmark_group("declarative_q6_sf0.005");
     for b in backends() {
         let mut binding = Bindings::new(b.as_ref());

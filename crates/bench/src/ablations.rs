@@ -103,7 +103,9 @@ pub fn a2_fusion(chain_lengths: &[usize], n: usize) -> Experiment {
     exp
 }
 
-fn arrayfire_backend(dev: &std::sync::Arc<gpu_sim::Device>) -> std::sync::Arc<arrayfire_sim::Backend> {
+fn arrayfire_backend(
+    dev: &std::sync::Arc<gpu_sim::Device>,
+) -> std::sync::Arc<arrayfire_sim::Backend> {
     arrayfire_sim::Backend::new(dev)
 }
 

@@ -8,20 +8,47 @@ fn main() {
     println!("{}", fw.support_matrix());
 
     let sizes = bench::default_sizes();
-    bench::report::emit(&bench::operators::e3_selection_scaling(&fw, &sizes), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::operators::e3_selection_scaling(&fw, &sizes),
+        csv.as_deref(),
+    )
+    .unwrap();
     let sels = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
-    bench::report::emit(&bench::operators::e4_selection_selectivity(&fw, 1 << 20, &sels), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::operators::e4_selection_selectivity(&fw, 1 << 20, &sels),
+        csv.as_deref(),
+    )
+    .unwrap();
     for by_key in [false, true] {
-        bench::report::emit(&bench::operators::e5_sort_scaling(&fw, &sizes, by_key), csv.as_deref()).unwrap();
+        bench::report::emit(
+            &bench::operators::e5_sort_scaling(&fw, &sizes, by_key),
+            csv.as_deref(),
+        )
+        .unwrap();
     }
     let groups = [16, 256, 4_096, 65_536, 1 << 20];
-    bench::report::emit(&bench::operators::e6_group_aggregation(&fw, 1 << 20, &groups), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::operators::e6_group_aggregation(&fw, 1 << 20, &groups),
+        csv.as_deref(),
+    )
+    .unwrap();
     for exp in bench::operators::e7_primitives(&fw, &sizes) {
         bench::report::emit(&exp, csv.as_deref()).unwrap();
     }
-    bench::report::emit(&bench::operators::e8_joins(&fw, &[1 << 12, 1 << 14, 1 << 16, 1 << 18]), csv.as_deref()).unwrap();
-    for conn in [proto_core::ops::Connective::And, proto_core::ops::Connective::Or] {
-        bench::report::emit(&bench::operators::e9_conjunction(&fw, 1 << 20, &[1, 2, 3, 4], conn), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::operators::e8_joins(&fw, &[1 << 12, 1 << 14, 1 << 16, 1 << 18]),
+        csv.as_deref(),
+    )
+    .unwrap();
+    for conn in [
+        proto_core::ops::Connective::And,
+        proto_core::ops::Connective::Or,
+    ] {
+        bench::report::emit(
+            &bench::operators::e9_conjunction(&fw, 1 << 20, &[1, 2, 3, 4], conn),
+            csv.as_deref(),
+        )
+        .unwrap();
     }
 
     bench::queries::validate_all(&fw, &tpch::generate(0.001)).expect("query validation");
@@ -32,9 +59,26 @@ fn main() {
         bench::report::emit(&exp, csv.as_deref()).unwrap();
     }
 
-    bench::report::emit(&bench::extensions::e13_transfer_inclusive(&fw, 0.02), csv.as_deref()).unwrap();
-    bench::report::emit(&bench::operators::e15_launch_anatomy(&fw, 1 << 20), csv.as_deref()).unwrap();
-    bench::report::emit(&bench::extensions::e14_multi_aggregate(&fw, &sizes), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::extensions::e13_transfer_inclusive(&fw, 0.02),
+        csv.as_deref(),
+    )
+    .unwrap();
+    bench::report::emit(
+        &bench::operators::e15_launch_anatomy(&fw, 1 << 20),
+        csv.as_deref(),
+    )
+    .unwrap();
+    bench::report::emit(
+        &bench::extensions::e14_multi_aggregate(&fw, &sizes),
+        csv.as_deref(),
+    )
+    .unwrap();
+    bench::report::emit(
+        &bench::extensions::e17_fault_resilience(0.01, &[0, 10, 50, 100]),
+        csv.as_deref(),
+    )
+    .unwrap();
 
     let a1 = bench::ablations::a1_chaining(&fw, 1 << 20);
     println!("{}", bench::ablations::render_a1(&a1));
@@ -42,8 +86,20 @@ fn main() {
         std::fs::create_dir_all(dir).unwrap();
         std::fs::write(dir.join("A1.csv"), a1.to_csv()).unwrap();
     }
-    bench::report::emit(&bench::ablations::a2_fusion(&[1, 2, 4, 8], 1 << 20), csv.as_deref()).unwrap();
-    bench::report::emit(&bench::ablations::a3_jit_cache(&fw, 1 << 20), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::ablations::a2_fusion(&[1, 2, 4, 8], 1 << 20),
+        csv.as_deref(),
+    )
+    .unwrap();
+    bench::report::emit(
+        &bench::ablations::a3_jit_cache(&fw, 1 << 20),
+        csv.as_deref(),
+    )
+    .unwrap();
     let sels = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
-    bench::report::emit(&bench::extensions::a4_materialization(&fw, 1 << 20, &sels), csv.as_deref()).unwrap();
+    bench::report::emit(
+        &bench::extensions::a4_materialization(&fw, 1 << 20, &sels),
+        csv.as_deref(),
+    )
+    .unwrap();
 }

@@ -5,8 +5,16 @@ fn main() {
     // The interesting columns here are launches, not time; print both.
     println!("## E15 — kernel launches per operator call (2^20 rows)");
     let ops = [
-        "selection", "conjunction(2)", "product", "reduction", "prefix_sum",
-        "sort", "sort_by_key", "grouped_sum", "gather", "scatter",
+        "selection",
+        "conjunction(2)",
+        "product",
+        "reduction",
+        "prefix_sum",
+        "sort",
+        "sort_by_key",
+        "grouped_sum",
+        "gather",
+        "scatter",
     ];
     print!("{:<16}", "operator");
     for b in exp.backends() {

@@ -9,18 +9,20 @@
 //!   grouped pass per aggregate; a fused kernel produces SUM+COUNT in one.
 //! * **A4** — early vs. late materialisation of a selection+product+sum
 //!   pipeline across selectivities, on the same (Thrust) backend.
+//! * **E17** — resilience under injected transient faults: Q6 per backend
+//!   across fault rates, with retries/backoff charged to simulated time.
 
+use gpu_sim::FaultPlan;
 use proto_core::backend::Pred;
+use proto_core::framework::Framework;
 use proto_core::ops::{CmpOp, Connective};
+use proto_core::resilient::RetryPolicy;
 use proto_core::runner::{Experiment, Sample};
 use proto_core::workload;
 
 /// E13 — TPC-H Q6 cost, device-resident (x=0) vs. including host→device
 /// column transfers (x=1), per backend.
-pub fn e13_transfer_inclusive(
-    fw: &proto_core::framework::Framework,
-    sf: f64,
-) -> Experiment {
+pub fn e13_transfer_inclusive(fw: &proto_core::framework::Framework, sf: f64) -> Experiment {
     let mut exp = Experiment::new(
         "E13",
         "Q6: device-resident (x=0) vs. transfer-inclusive (x=1)",
@@ -72,10 +74,7 @@ pub fn e13_transfer_inclusive(
 
 /// E14 — grouped SUM+COUNT: library composition (one pass per aggregate)
 /// vs. the handwritten fused pass, vs. rows.
-pub fn e14_multi_aggregate(
-    fw: &proto_core::framework::Framework,
-    sizes: &[usize],
-) -> Experiment {
+pub fn e14_multi_aggregate(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
     let mut exp = Experiment::new(
         "E14",
         "Grouped SUM+COUNT (multi-aggregate) vs. rows",
@@ -126,7 +125,11 @@ pub fn a4_materialization(
         let ca = b.upload_f64(&a_vals).expect("upload");
         let cb = b.upload_f64(&b_vals).expect("upload");
         let x = (sel * 1000.0).round() as u64;
-        let preds = [Pred { col: &ck, cmp: CmpOp::Lt, lit: thr as f64 }];
+        let preds = [Pred {
+            col: &ck,
+            cmp: CmpOp::Lt,
+            lit: thr as f64,
+        }];
         // Early materialisation.
         let mut early = proto_core::runner::measure(b, x, || {
             let ids = b.selection_multi(&preds, Connective::And)?;
@@ -160,6 +163,74 @@ pub fn a4_materialization(
             b.free(c).expect("free");
         }
     }
+    exp
+}
+
+/// E17 — TPC-H Q6 under injected transient faults, per backend, vs. the
+/// fault rate (x = probability in permille, uniform across every
+/// allocation / transfer / launch site).
+///
+/// Every backend runs behind a [`ResilientBackend`] retry wrapper, so the
+/// measured degradation is the *recovered* cost: injected fault latency
+/// plus exponential backoff, all charged to the simulated clock. The
+/// returned experiments' answers are asserted identical to the fault-free
+/// run — resilience must never change results, only timings.
+pub fn e17_fault_resilience(sf: f64, rates_permille: &[u64]) -> Experiment {
+    let mut exp = Experiment::new(
+        "E17",
+        "Q6 under injected transient faults (resilient execution)",
+        "fault_permille",
+    );
+    let db = tpch::generate(sf);
+    // Retried operators re-execute identically, so each backend's answer
+    // must be bit-identical across every fault rate (backends differ from
+    // each other only by float summation order).
+    let mut baseline: std::collections::HashMap<String, f64> = Default::default();
+    let mut observed_faults = 0;
+    let mut swept_nonzero_rate = false;
+    for &permille in rates_permille {
+        // Fresh devices per rate so pools, JIT caches and fault schedules
+        // never leak across sweep points. A deep retry budget: backends
+        // run fused multi-kernel pipelines as one retry scope, and at a
+        // 10% per-site rate a ~17-site pipeline attempt fails ~5 times
+        // out of 6 — backoff is simulated time, so patience is cheap.
+        let policy = RetryPolicy {
+            max_retries: 60,
+            ..RetryPolicy::default()
+        };
+        let fw = Framework::with_all_backends_resilient(&crate::paper_device(), policy);
+        swept_nonzero_rate |= permille > 0;
+        for b in fw.backends() {
+            let dev = b.device();
+            if permille > 0 {
+                dev.install_fault_plan(FaultPlan::uniform(
+                    workload::SEED ^ permille,
+                    permille as f64 / 1000.0,
+                ));
+            }
+            use tpch::queries::q6::Q6Data;
+            let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
+            // `measure` resets statistics between its cold and warm runs,
+            // so count injected faults in the two observable windows
+            // (upload, warm region); the cold window is lost to the reset.
+            observed_faults += dev.stats().faults_injected;
+            let mut revenue = 0.0;
+            let s = proto_core::runner::measure(b.as_ref(), permille, || {
+                revenue = data.execute(b.as_ref())?;
+                Ok(())
+            })
+            .expect("Q6 must complete under faults");
+            observed_faults += dev.stats().faults_injected;
+            let expect = *baseline.entry(b.name().to_string()).or_insert(revenue);
+            assert_eq!(revenue, expect, "{}: faults changed the answer", b.name());
+            exp.push(s);
+            data.free(b.as_ref()).expect("free");
+        }
+    }
+    assert!(
+        !swept_nonzero_rate || observed_faults > 0,
+        "nonzero fault rates swept but no fault ever observed"
+    );
     exp
 }
 
@@ -219,6 +290,44 @@ mod tests {
         }
         for w in answers.windows(2) {
             assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn e17_faults_cost_time_but_add_none_when_absent() {
+        let exp = e17_fault_resilience(0.002, &[0, 100]);
+        // Faults only ever slow execution down (answer equality is
+        // asserted inside the experiment itself).
+        let mut slowed = 0;
+        for b in ["ArrayFire", "Boost.Compute", "Thrust", "Handwritten"] {
+            let clean = exp.get(b, 0).unwrap().nanos;
+            let faulty = exp.get(b, 100).unwrap().nanos;
+            assert!(faulty >= clean, "{b}: {faulty} vs {clean}");
+            if faulty > clean {
+                slowed += 1;
+            }
+        }
+        assert!(slowed >= 2, "10% faults must slow most backends");
+
+        // At rate 0 the resilient wrapper costs nothing: the measured Q6
+        // time equals the plain (unwrapped) framework bit-for-bit.
+        let fw = paper_framework();
+        let db = tpch::generate(0.002);
+        for b in fw.backends() {
+            use tpch::queries::q6::Q6Data;
+            let data = Q6Data::upload(b.as_ref(), &db).unwrap();
+            let s = proto_core::runner::measure(b.as_ref(), 0, || {
+                data.execute(b.as_ref())?;
+                Ok(())
+            })
+            .unwrap();
+            data.free(b.as_ref()).unwrap();
+            assert_eq!(
+                s.nanos,
+                exp.get(b.name(), 0).unwrap().nanos,
+                "{}: resilient wrapper must be free without faults",
+                b.name()
+            );
         }
     }
 

@@ -96,11 +96,7 @@ pub fn e6_group_aggregation(
     n: usize,
     group_counts: &[usize],
 ) -> Experiment {
-    let mut exp = Experiment::new(
-        "E6",
-        "Grouped aggregation (SUM) vs. group count",
-        "groups",
-    );
+    let mut exp = Experiment::new("E6", "Grouped aggregation (SUM) vs. group count", "groups");
     let vals = workload::uniform_f64(n, workload::SEED ^ 2);
     for &g in group_counts {
         let keys = workload::zipf_keys(n, g, 0.5, workload::SEED);
@@ -293,30 +289,54 @@ pub fn e15_launch_anatomy(fw: &proto_core::framework::Framework, n: usize) -> Ex
         let ix = b.upload_u32(&idx).expect("upload");
         let lit = thr as f64;
         let ops: Vec<(u64, OpThunk<'_>)> = vec![
-            (0, Box::new(|| b.selection(&c, CmpOp::Lt, lit).and_then(|r| b.free(r)))),
-            (1, Box::new(|| {
-                let preds = [
-                    Pred { col: &c, cmp: CmpOp::Lt, lit },
-                    Pred { col: &k, cmp: CmpOp::Lt, lit: 128.0 },
-                ];
-                b.selection_multi(&preds, Connective::And).and_then(|r| b.free(r))
-            })),
+            (
+                0,
+                Box::new(|| b.selection(&c, CmpOp::Lt, lit).and_then(|r| b.free(r))),
+            ),
+            (
+                1,
+                Box::new(|| {
+                    let preds = [
+                        Pred {
+                            col: &c,
+                            cmp: CmpOp::Lt,
+                            lit,
+                        },
+                        Pred {
+                            col: &k,
+                            cmp: CmpOp::Lt,
+                            lit: 128.0,
+                        },
+                    ];
+                    b.selection_multi(&preds, Connective::And)
+                        .and_then(|r| b.free(r))
+                }),
+            ),
             (2, Box::new(|| b.product(&v, &w).and_then(|r| b.free(r)))),
             (3, Box::new(|| b.reduction(&v).map(drop))),
             (4, Box::new(|| b.prefix_sum(&k).and_then(|r| b.free(r)))),
             (5, Box::new(|| b.sort(&c).and_then(|r| b.free(r)))),
-            (6, Box::new(|| {
-                let (a, bb) = b.sort_by_key(&k, &v)?;
-                b.free(a)?;
-                b.free(bb)
-            })),
-            (7, Box::new(|| {
-                let (a, bb) = b.grouped_sum(&k, &v)?;
-                b.free(a)?;
-                b.free(bb)
-            })),
+            (
+                6,
+                Box::new(|| {
+                    let (a, bb) = b.sort_by_key(&k, &v)?;
+                    b.free(a)?;
+                    b.free(bb)
+                }),
+            ),
+            (
+                7,
+                Box::new(|| {
+                    let (a, bb) = b.grouped_sum(&k, &v)?;
+                    b.free(a)?;
+                    b.free(bb)
+                }),
+            ),
             (8, Box::new(|| b.gather(&v, &ix).and_then(|r| b.free(r)))),
-            (9, Box::new(|| b.scatter(&c, &ix, n).and_then(|r| b.free(r)))),
+            (
+                9,
+                Box::new(|| b.scatter(&c, &ix, n).and_then(|r| b.free(r))),
+            ),
         ];
         for (x, op) in &ops {
             let s = measure(b.as_ref(), *x, op.as_ref()).expect("measure");
@@ -377,7 +397,10 @@ mod tests {
         let hash = exp.get("Handwritten/Hash", n).unwrap().nanos;
         let nlj_thrust = exp.get("Thrust/NestedLoops", n).unwrap().nanos;
         let nlj_hw = exp.get("Handwritten/NestedLoops", n).unwrap().nanos;
-        assert!(hash * 5 < nlj_thrust, "hash {hash} vs thrust-nlj {nlj_thrust}");
+        assert!(
+            hash * 5 < nlj_thrust,
+            "hash {hash} vs thrust-nlj {nlj_thrust}"
+        );
         assert!(hash < nlj_hw);
         // ArrayFire appears nowhere in join results.
         assert!(exp.backends().iter().all(|b| !b.contains("ArrayFire")));

@@ -15,14 +15,16 @@ fn sf_x(sf: f64) -> u64 {
 
 /// E10 — TPC-H Q6 runtime per backend across scale factors.
 pub fn e10_q6(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Experiment {
-    let mut exp = Experiment::new("E10", "TPC-H Q6 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    let mut exp = Experiment::new(
+        "E10",
+        "TPC-H Q6 runtime vs. scale factor (x = SF·1000)",
+        "sf_x1000",
+    );
     for &sf in sfs {
         let db = tpch::generate(sf);
         for b in fw.backends() {
             let data = q6::Q6Data::upload(b.as_ref(), &db).expect("upload");
-            let s = measure_query(b.as_ref(), sf_x(sf), || {
-                data.execute(b.as_ref()).map(drop)
-            });
+            let s = measure_query(b.as_ref(), sf_x(sf), || data.execute(b.as_ref()).map(drop));
             exp.push(s);
             data.free(b.as_ref()).expect("free");
         }
@@ -32,14 +34,16 @@ pub fn e10_q6(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Experiment 
 
 /// E11 — TPC-H Q1 runtime per backend across scale factors.
 pub fn e11_q1(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Experiment {
-    let mut exp = Experiment::new("E11", "TPC-H Q1 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    let mut exp = Experiment::new(
+        "E11",
+        "TPC-H Q1 runtime vs. scale factor (x = SF·1000)",
+        "sf_x1000",
+    );
     for &sf in sfs {
         let db = tpch::generate(sf);
         for b in fw.backends() {
             let data = q1::Q1Data::upload(b.as_ref(), &db).expect("upload");
-            let s = measure_query(b.as_ref(), sf_x(sf), || {
-                data.execute(b.as_ref()).map(drop)
-            });
+            let s = measure_query(b.as_ref(), sf_x(sf), || data.execute(b.as_ref()).map(drop));
             exp.push(s);
             data.free(b.as_ref()).expect("free");
         }
@@ -50,10 +54,26 @@ pub fn e11_q1(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Experiment 
 /// E12 — the join-bearing queries Q3, Q4 and Q14; ArrayFire is absent
 /// (no join support, Table II).
 pub fn e12_join_queries(fw: &proto_core::framework::Framework, sfs: &[f64]) -> Vec<Experiment> {
-    let mut e3 = Experiment::new("E12a", "TPC-H Q3 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
-    let mut e4 = Experiment::new("E12b", "TPC-H Q4 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
-    let mut e14 = Experiment::new("E12c", "TPC-H Q14 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
-    let mut e5q = Experiment::new("E12d", "TPC-H Q5 runtime vs. scale factor (x = SF·1000)", "sf_x1000");
+    let mut e3 = Experiment::new(
+        "E12a",
+        "TPC-H Q3 runtime vs. scale factor (x = SF·1000)",
+        "sf_x1000",
+    );
+    let mut e4 = Experiment::new(
+        "E12b",
+        "TPC-H Q4 runtime vs. scale factor (x = SF·1000)",
+        "sf_x1000",
+    );
+    let mut e14 = Experiment::new(
+        "E12c",
+        "TPC-H Q14 runtime vs. scale factor (x = SF·1000)",
+        "sf_x1000",
+    );
+    let mut e5q = Experiment::new(
+        "E12d",
+        "TPC-H Q5 runtime vs. scale factor (x = SF·1000)",
+        "sf_x1000",
+    );
     for &sf in sfs {
         let db = tpch::generate(sf);
         for b in fw.backends() {

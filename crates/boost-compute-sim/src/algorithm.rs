@@ -34,7 +34,7 @@ where
         "transform",
         tkey::<(T, U)>(),
         KernelCost::map::<T, U>(src.len()),
-    );
+    )?;
     Ok(out)
 }
 
@@ -71,16 +71,17 @@ where
         tkey::<(A, B, U)>(),
         KernelCost::map::<A, U>(n)
             .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64),
-    );
+    )?;
     Ok(out)
 }
 
 /// `boost::compute::fill`.
-pub fn fill<T: DeviceCopy>(vec: &mut Vector<T>, value: T, queue: &CommandQueue) {
+pub fn fill<T: DeviceCopy>(vec: &mut Vector<T>, value: T, queue: &CommandQueue) -> Result<()> {
     for x in vec.as_mut_slice() {
         *x = value;
     }
-    queue.enqueue("fill", tkey::<T>(), KernelCost::map::<(), T>(vec.len()));
+    queue.enqueue("fill", tkey::<T>(), KernelCost::map::<(), T>(vec.len()))?;
+    Ok(())
 }
 
 /// `boost::compute::iota` — `0, 1, 2, …`.
@@ -89,12 +90,17 @@ pub fn iota(len: usize, queue: &CommandQueue) -> Result<Vector<u32>> {
     for (i, x) in out.as_mut_slice().iter_mut().enumerate() {
         *x = i as u32;
     }
-    queue.enqueue("iota", "u32", KernelCost::map::<(), u32>(len));
+    queue.enqueue("iota", "u32", KernelCost::map::<(), u32>(len))?;
     Ok(out)
 }
 
 /// `boost::compute::reduce` — fold with `op` from `init`.
-pub fn reduce<T, A>(src: &Vector<T>, init: A, op: impl Fn(A, T) -> A, queue: &CommandQueue) -> Result<A>
+pub fn reduce<T, A>(
+    src: &Vector<T>,
+    init: A,
+    op: impl Fn(A, T) -> A,
+    queue: &CommandQueue,
+) -> Result<A>
 where
     T: DeviceCopy,
     A: DeviceCopy,
@@ -103,7 +109,11 @@ where
     for &x in src.as_slice() {
         acc = op(acc, x);
     }
-    queue.enqueue("reduce", tkey::<(T, A)>(), KernelCost::reduce::<T>(src.len()));
+    queue.enqueue(
+        "reduce",
+        tkey::<(T, A)>(),
+        KernelCost::reduce::<T>(src.len()),
+    )?;
     // Scalar result read back by the host.
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
@@ -152,7 +162,7 @@ where
         "reduce_by_key",
         tkey::<(K, V)>(),
         presets::reduce_by_key::<K, V>(keys.len(), groups),
-    );
+    )?;
     let dev = queue.device();
     let kb = dev.buffer_from_vec(out_keys, gpu_sim::AllocPolicy::Raw)?;
     let vb = dev.buffer_from_vec(out_vals, gpu_sim::AllocPolicy::Raw)?;
@@ -191,7 +201,7 @@ where
         KernelCost::reduce::<A>(n)
             .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64)
             .with_flops(2 * n as u64),
-    );
+    )?;
     Ok(acc)
 }
 
@@ -208,7 +218,7 @@ where
             acc = acc + *x;
         }
     }
-    queue.enqueue("exclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()));
+    queue.enqueue("exclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()))?;
     Ok(out)
 }
 
@@ -225,7 +235,7 @@ where
             *o = acc;
         }
     }
-    queue.enqueue("inclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()));
+    queue.enqueue("inclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()))?;
     Ok(out)
 }
 
@@ -235,15 +245,22 @@ where
     T: DeviceCopy + Ord,
 {
     vec.as_mut_slice().sort_unstable();
-    for (i, cost) in presets::radix_sort::<T>(vec.len(), 0).into_iter().enumerate() {
+    for (i, cost) in presets::radix_sort::<T>(vec.len(), 0)
+        .into_iter()
+        .enumerate()
+    {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        queue.enqueue(&format!("sort/{phase}"), tkey::<T>(), cost);
+        queue.enqueue(&format!("sort/{phase}"), tkey::<T>(), cost)?;
     }
     Ok(())
 }
 
 /// `boost::compute::sort_by_key` — stable key sort carrying a payload.
-pub fn sort_by_key<K, V>(keys: &mut Vector<K>, vals: &mut Vector<V>, queue: &CommandQueue) -> Result<()>
+pub fn sort_by_key<K, V>(
+    keys: &mut Vector<K>,
+    vals: &mut Vector<V>,
+    queue: &CommandQueue,
+) -> Result<()>
 where
     K: DeviceCopy + Ord,
     V: DeviceCopy,
@@ -275,7 +292,7 @@ where
         .enumerate()
     {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        queue.enqueue(&format!("sort_by_key/{phase}"), tkey::<(K, V)>(), cost);
+        queue.enqueue(&format!("sort_by_key/{phase}"), tkey::<(K, V)>(), cost)?;
     }
     Ok(())
 }
@@ -301,7 +318,7 @@ where
             o[i] = s[idx];
         }
     }
-    queue.enqueue("gather", tkey::<T>(), presets::gather::<T>(map.len()));
+    queue.enqueue("gather", tkey::<T>(), presets::gather::<T>(map.len()))?;
     Ok(out)
 }
 
@@ -329,12 +346,15 @@ where
         for (i, &idx) in m.iter().enumerate() {
             let idx = idx as usize;
             if idx >= dlen {
-                return Err(SimError::IndexOutOfBounds { index: idx, len: dlen });
+                return Err(SimError::IndexOutOfBounds {
+                    index: idx,
+                    len: dlen,
+                });
             }
             d[idx] = s[i];
         }
     }
-    queue.enqueue("scatter", tkey::<T>(), presets::scatter::<T>(src.len()));
+    queue.enqueue("scatter", tkey::<T>(), presets::scatter::<T>(src.len()))?;
     Ok(())
 }
 
@@ -366,7 +386,10 @@ where
             if st[i] != 0 {
                 let idx = m[i] as usize;
                 if idx >= dlen {
-                    return Err(SimError::IndexOutOfBounds { index: idx, len: dlen });
+                    return Err(SimError::IndexOutOfBounds {
+                        index: idx,
+                        len: dlen,
+                    });
                 }
                 d[idx] = s[i];
             }
@@ -385,27 +408,36 @@ where
             .with_write((kept * elem) as u64)
             .with_pattern(gpu_sim::AccessPattern::Strided)
             .with_divergence(0.3),
-    );
+    )?;
     Ok(())
 }
 
 /// `boost::compute::copy_if` — stream compaction. Boost.Compute lowers
 /// this to a scan + scatter internally (two kernels).
-pub fn copy_if<T>(src: &Vector<T>, pred: impl Fn(T) -> bool, queue: &CommandQueue) -> Result<Vector<T>>
+pub fn copy_if<T>(
+    src: &Vector<T>,
+    pred: impl Fn(T) -> bool,
+    queue: &CommandQueue,
+) -> Result<Vector<T>>
 where
     T: DeviceCopy + Default,
 {
-    let kept: Vec<T> = src.as_slice().iter().copied().filter(|&x| pred(x)).collect();
+    let kept: Vec<T> = src
+        .as_slice()
+        .iter()
+        .copied()
+        .filter(|&x| pred(x))
+        .collect();
     let n = src.len();
     let out_bytes = (kept.len() * std::mem::size_of::<T>()) as u64;
-    queue.enqueue("copy_if/scan", tkey::<T>(), presets::scan::<T>(n));
+    queue.enqueue("copy_if/scan", tkey::<T>(), presets::scan::<T>(n))?;
     queue.enqueue(
         "copy_if/compact",
         tkey::<T>(),
         KernelCost::map::<T, ()>(n)
             .with_write(out_bytes)
             .with_divergence(0.3),
-    );
+    )?;
     let buf = queue
         .device()
         .buffer_from_vec(kept, gpu_sim::AllocPolicy::Raw)?;
@@ -418,7 +450,7 @@ where
     T: DeviceCopy,
 {
     let n = src.as_slice().iter().filter(|&&x| pred(x)).count();
-    queue.enqueue("count_if", tkey::<T>(), KernelCost::reduce::<T>(src.len()));
+    queue.enqueue("count_if", tkey::<T>(), KernelCost::reduce::<T>(src.len()))?;
     Ok(n)
 }
 
@@ -438,7 +470,7 @@ pub fn for_each_n(
     for i in 0..n {
         f(i);
     }
-    queue.enqueue("for_each_n", "counting", cost);
+    queue.enqueue("for_each_n", "counting", cost)?;
     Ok(())
 }
 

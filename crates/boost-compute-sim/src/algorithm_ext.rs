@@ -33,7 +33,7 @@ where
         "accumulate",
         tkey::<(T, A)>(),
         KernelCost::reduce::<T>(src.len()),
-    );
+    )?;
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
     Ok(acc)
@@ -59,7 +59,7 @@ where
         "transform_reduce",
         tkey::<(T, U, A)>(),
         KernelCost::reduce::<T>(src.len()).with_flops(2 * src.len() as u64),
-    );
+    )?;
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
     Ok(acc)
@@ -81,7 +81,7 @@ where
         "unique",
         tkey::<T>(),
         presets::scan::<T>(src.len()).with_write((kept * std::mem::size_of::<T>()) as u64),
-    );
+    )?;
     let buf = queue
         .device()
         .buffer_from_vec(out, gpu_sim::AllocPolicy::Raw)?;
@@ -105,7 +105,7 @@ where
         "adjacent_difference",
         tkey::<T>(),
         KernelCost::map::<T, T>(src.len()),
-    );
+    )?;
     Ok(out)
 }
 
@@ -115,7 +115,7 @@ where
     T: DeviceCopy + PartialEq,
 {
     let n = src.as_slice().iter().filter(|&&x| x == value).count();
-    queue.enqueue("count", tkey::<T>(), KernelCost::reduce::<T>(src.len()));
+    queue.enqueue("count", tkey::<T>(), KernelCost::reduce::<T>(src.len()))?;
     Ok(n)
 }
 
@@ -129,7 +129,7 @@ where
         "find",
         tkey::<T>(),
         KernelCost::reduce::<T>(src.len()).with_divergence(0.2),
-    );
+    )?;
     Ok(pos)
 }
 
@@ -168,7 +168,7 @@ where
             best = i;
         }
     }
-    queue.enqueue(name, tkey::<T>(), KernelCost::reduce::<T>(src.len()));
+    queue.enqueue(name, tkey::<T>(), KernelCost::reduce::<T>(src.len()))?;
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
     Ok(best)
@@ -204,7 +204,7 @@ where
         "merge",
         tkey::<T>(),
         KernelCost::map::<T, T>(out.len()).with_divergence(0.15),
-    );
+    )?;
     let buf = queue
         .device()
         .buffer_from_vec(out, gpu_sim::AllocPolicy::Raw)?;

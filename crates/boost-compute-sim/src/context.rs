@@ -82,12 +82,21 @@ impl CommandQueue {
 
     /// Enqueue a kernel: ensure its program is compiled (JIT on first
     /// use), then charge the launch with OpenCL enqueue overhead.
-    pub fn enqueue(&self, name: &str, type_key: &str, cost: gpu_sim::KernelCost) {
+    /// Fallible: with a fault plan installed on the device, the launch
+    /// can fail with `SimError::DeviceLost` (the compiled program stays
+    /// cached, exactly like a real OpenCL runtime).
+    pub fn enqueue(
+        &self,
+        name: &str,
+        type_key: &str,
+        cost: gpu_sim::KernelCost,
+    ) -> gpu_sim::Result<()> {
         let key = format!("{}::{name}<{type_key}>", crate::KERNEL_PREFIX);
         self.context.ensure_program(&key);
         let cost = cost.with_launch_overhead(self.device().spec().opencl_enqueue_latency_ns);
         self.device()
-            .charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost);
+            .try_charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost)?;
+        Ok(())
     }
 
     /// Wait for completion (no-op: the simulated timeline is synchronous).

@@ -64,9 +64,7 @@ impl ColumnStats {
                     0.0
                 }
             }
-            CmpOp::Ne => {
-                1.0 - ColumnStats::selectivity(self, CmpOp::Eq, lit)
-            }
+            CmpOp::Ne => 1.0 - ColumnStats::selectivity(self, CmpOp::Eq, lit),
         }
     }
 }
@@ -168,7 +166,11 @@ mod tests {
             let ck = b.upload_u32(&keys).unwrap();
             let ca = b.upload_f64(&vals).unwrap();
             let cb = b.upload_f64(&vals).unwrap();
-            let preds = [Pred { col: &ck, cmp: CmpOp::Lt, lit: thr as f64 }];
+            let preds = [Pred {
+                col: &ck,
+                cmp: CmpOp::Lt,
+                lit: thr as f64,
+            }];
             let run_early = || {
                 let ids = b.selection_multi(&preds, Connective::And)?;
                 let ga = b.gather(&ca, &ids)?;

@@ -318,8 +318,16 @@ mod tests {
         let b = backend();
         let x = b.upload_u32(&[1, 5, 3, 8]).unwrap();
         let preds = [
-            Pred { col: &x, cmp: CmpOp::Gt, lit: 2.0 },
-            Pred { col: &x, cmp: CmpOp::Lt, lit: 8.0 },
+            Pred {
+                col: &x,
+                cmp: CmpOp::Gt,
+                lit: 2.0,
+            },
+            Pred {
+                col: &x,
+                cmp: CmpOp::Lt,
+                lit: 8.0,
+            },
         ];
         let and = b.selection_multi(&preds, Connective::And).unwrap();
         assert_eq!(b.download_u32(&and).unwrap(), vec![1, 2]);
@@ -370,7 +378,11 @@ mod tests {
         let c = b.upload_f64(&[2.0, 2.0, 2.0]).unwrap();
         let k = b.upload_f64(&[10.0, 20.0, 30.0]).unwrap();
         b.device().reset_stats();
-        let preds = [Pred { col: &k, cmp: CmpOp::Lt, lit: 25.0 }];
+        let preds = [Pred {
+            col: &k,
+            cmp: CmpOp::Lt,
+            lit: 25.0,
+        }];
         let r = b.filter_sum_product(&a, &c, &preds).unwrap();
         assert_eq!(r, 2.0 + 4.0);
         let s = b.device().stats();

@@ -76,9 +76,8 @@ impl BoostBackend {
             0 => 0,
             _ => (offs.as_slice()[n - 1] + flags.as_slice()[n - 1]) as usize,
         };
-        self.device.advance(SimDuration::from_nanos(
-            self.device.spec().pcie_latency_ns,
-        ));
+        self.device
+            .advance(SimDuration::from_nanos(self.device.spec().pcie_latency_ns));
         let ids = compute::iota(n, &self.queue)?;
         let mut out: Vector<u32> = Vector::zeroed(count, &self.queue)?;
         compute::scatter_if(&ids, &offs, flags, &mut out, &self.queue)?;
@@ -177,7 +176,9 @@ impl GpuBackend for BoostBackend {
 
     fn selection_cmp_cols(&self, a: &Col, b: &Col, cmp: CmpOp) -> Result<Col> {
         if a.dtype != b.dtype {
-            return Err(SimError::Unsupported("mixed-dtype column comparison".into()));
+            return Err(SimError::Unsupported(
+                "mixed-dtype column comparison".into(),
+            ));
         }
         let flags = self.slab.with2(a.id, b.id, |sa, sb| match (sa, sb) {
             (Stored::U32(va), Stored::U32(vb)) => compute::transform_binary(
@@ -237,7 +238,7 @@ impl GpuBackend for BoostBackend {
 
     fn constant_f64(&self, len: usize, value: f64) -> Result<Col> {
         let mut v: Vector<f64> = Vector::zeroed(len, &self.queue)?;
-        compute::fill(&mut v, value, &self.queue);
+        compute::fill(&mut v, value, &self.queue)?;
         Ok(self.mint(Stored::F64(v)))
     }
 
@@ -343,8 +344,7 @@ impl GpuBackend for BoostBackend {
         })?;
         compute::for_each_n(
             outer.len,
-            presets::nested_loops::<u32>(outer.len, inner.len)
-                .with_write((left.len() * 8) as u64),
+            presets::nested_loops::<u32>(outer.len, inner.len).with_write((left.len() * 8) as u64),
             |_| {},
             &self.queue,
         )?;
@@ -365,14 +365,9 @@ impl GpuBackend for BoostBackend {
         let ga = self.gather(a, &ids)?;
         let gb = self.gather(b, &ids)?;
         let total = self.slab.with2(ga.id, gb.id, |x, y| match (x, y) {
-            (Stored::F64(va), Stored::F64(vb)) => compute::inner_product(
-                va,
-                vb,
-                0.0f64,
-                |p, q| p + q,
-                |p, q| p * q,
-                &self.queue,
-            ),
+            (Stored::F64(va), Stored::F64(vb)) => {
+                compute::inner_product(va, vb, 0.0f64, |p, q| p + q, |p, q| p * q, &self.queue)
+            }
             _ => unreachable!("dtype checked"),
         })??;
         for c in [ids, ga, gb] {
@@ -441,7 +436,11 @@ mod tests {
         let a = b.upload_f64(&[1.0, 2.0, 3.0]).unwrap();
         let c = b.upload_f64(&[2.0, 2.0, 2.0]).unwrap();
         let k = b.upload_u32(&[10, 20, 30]).unwrap();
-        let preds = [Pred { col: &k, cmp: CmpOp::Lt, lit: 25.0 }];
+        let preds = [Pred {
+            col: &k,
+            cmp: CmpOp::Lt,
+            lit: 25.0,
+        }];
         assert_eq!(b.filter_sum_product(&a, &c, &preds).unwrap(), 6.0);
     }
 

@@ -165,7 +165,10 @@ impl GpuBackend for HandwrittenBackend {
 
     fn dense_mask(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
         let vals = self.values(col)?;
-        let out: Vec<f64> = vals.iter().map(|&x| f64::from(u8::from(cmp.eval(x, lit)))).collect();
+        let out: Vec<f64> = vals
+            .iter()
+            .map(|&x| f64::from(u8::from(cmp.eval(x, lit))))
+            .collect();
         charge_map(&self.device, out.len());
         let buf = self
             .device
@@ -210,7 +213,7 @@ impl GpuBackend for HandwrittenBackend {
         self.slab.with(col.id, |s| match s {
             Stored::F64(v) => hw::reduce_f64(&self.device, v),
             _ => unreachable!("dtype checked"),
-        })
+        })?
     }
 
     fn prefix_sum(&self, col: &Col) -> Result<Col> {
@@ -329,14 +332,16 @@ impl GpuBackend for HandwrittenBackend {
                     // (key, row-id) pairs first, merges, then maps row-ids
                     // back through the sort permutations.
                     let mut ok = self.device.dtod(ov)?;
-                    let mut oi = self
-                        .device
-                        .buffer_from_vec((0..ov.len() as u32).collect(), gpu_sim::AllocPolicy::Pooled)?;
+                    let mut oi = self.device.buffer_from_vec(
+                        (0..ov.len() as u32).collect(),
+                        gpu_sim::AllocPolicy::Pooled,
+                    )?;
                     hw::radix_sort_pairs(&self.device, &mut ok, &mut oi)?;
                     let mut ik = self.device.dtod(iv)?;
-                    let mut ii = self
-                        .device
-                        .buffer_from_vec((0..iv.len() as u32).collect(), gpu_sim::AllocPolicy::Pooled)?;
+                    let mut ii = self.device.buffer_from_vec(
+                        (0..iv.len() as u32).collect(),
+                        gpu_sim::AllocPolicy::Pooled,
+                    )?;
                     hw::radix_sort_pairs(&self.device, &mut ik, &mut ii)?;
                     let merged = hw::merge_join(&self.device, &ok, &ik)?;
                     let left = hw::gather_u32(&self.device, &oi, &merged.left)?;
@@ -356,8 +361,12 @@ impl GpuBackend for HandwrittenBackend {
             .collect();
         pairs.sort_unstable();
         let (l, r): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
-        let lb = self.device.buffer_from_vec(l, gpu_sim::AllocPolicy::Pooled)?;
-        let rb = self.device.buffer_from_vec(r, gpu_sim::AllocPolicy::Pooled)?;
+        let lb = self
+            .device
+            .buffer_from_vec(l, gpu_sim::AllocPolicy::Pooled)?;
+        let rb = self
+            .device
+            .buffer_from_vec(r, gpu_sim::AllocPolicy::Pooled)?;
         Ok((self.mint(Stored::U32(lb)), self.mint(Stored::U32(rb))))
     }
 
@@ -371,13 +380,11 @@ impl GpuBackend for HandwrittenBackend {
             cols.push((self.values(p.col)?, p.cmp, p.lit));
         }
         self.slab.with2(a.id, b.id, |x, y| match (x, y) {
-            (Stored::F64(va), Stored::F64(vb)) => hw::fused_filter_dot(
-                &self.device,
-                va,
-                vb,
-                width,
-                |i| cols.iter().all(|(v, c, l)| c.eval(v[i], *l)),
-            ),
+            (Stored::F64(va), Stored::F64(vb)) => {
+                hw::fused_filter_dot(&self.device, va, vb, width, |i| {
+                    cols.iter().all(|(v, c, l)| c.eval(v[i], *l))
+                })
+            }
             _ => unreachable!("dtype checked"),
         })?
     }
@@ -435,8 +442,16 @@ mod tests {
         let y = b.upload_f64(&[0.1, 0.9, 0.5, 0.2]).unwrap();
         b.device().reset_stats();
         let preds = [
-            Pred { col: &x, cmp: CmpOp::Gt, lit: 2.0 },
-            Pred { col: &y, cmp: CmpOp::Lt, lit: 0.8 },
+            Pred {
+                col: &x,
+                cmp: CmpOp::Gt,
+                lit: 2.0,
+            },
+            Pred {
+                col: &y,
+                cmp: CmpOp::Lt,
+                lit: 0.8,
+            },
         ];
         let ids = b.selection_multi(&preds, Connective::And).unwrap();
         assert_eq!(b.download_u32(&ids).unwrap(), vec![2, 3]);
@@ -472,11 +487,7 @@ mod tests {
         assert_eq!(b.download_f64(&gv).unwrap(), vec![10.0, 3.0]);
         let s = b.device().stats();
         assert_eq!(s.launches_of("hw::hash_agg/accumulate"), 1);
-        assert_eq!(
-            s.launches_of("hw::radix_sort/scatter"),
-            0,
-            "no sort needed"
-        );
+        assert_eq!(s.launches_of("hw::radix_sort/scatter"), 0, "no sort needed");
     }
 
     #[test]
@@ -496,7 +507,11 @@ mod tests {
         let c = b.upload_f64(&[2.0, 2.0, 2.0]).unwrap();
         let k = b.upload_u32(&[10, 20, 30]).unwrap();
         b.device().reset_stats();
-        let preds = [Pred { col: &k, cmp: CmpOp::Lt, lit: 25.0 }];
+        let preds = [Pred {
+            col: &k,
+            cmp: CmpOp::Lt,
+            lit: 25.0,
+        }];
         let r = b.filter_sum_product(&a, &c, &preds).unwrap();
         assert_eq!(r, 6.0);
         assert_eq!(b.device().stats().total_launches(), 1);
@@ -510,10 +525,7 @@ mod tests {
             b.download_u32(&b.prefix_sum(&u).unwrap()).unwrap(),
             vec![0, 1, 1]
         );
-        assert_eq!(
-            b.download_u32(&b.sort(&u).unwrap()).unwrap(),
-            vec![0, 1, 2]
-        );
+        assert_eq!(b.download_u32(&b.sort(&u).unwrap()).unwrap(), vec![0, 1, 2]);
         let f = b.upload_f64(&[2.0, 3.0]).unwrap();
         assert_eq!(b.reduction(&f).unwrap(), 5.0);
         let p = b.product(&f, &f).unwrap();

@@ -67,9 +67,8 @@ impl ThrustBackend {
             _ => (offs.as_slice()[n - 1] + flags.as_slice()[n - 1]) as usize,
         };
         // Reading the total back is a tiny device→host copy in real code.
-        self.device.advance(SimDuration::from_nanos(
-            self.device.spec().pcie_latency_ns,
-        ));
+        self.device
+            .advance(SimDuration::from_nanos(self.device.spec().pcie_latency_ns));
         let ids = thrust::sequence(&self.device, n)?;
         let mut out: DeviceVector<u32> = DeviceVector::zeroed(&self.device, count)?;
         thrust::scatter_if(&ids, &offs, flags, &mut out)?;
@@ -168,14 +167,14 @@ impl GpuBackend for ThrustBackend {
 
     fn selection_cmp_cols(&self, a: &Col, b: &Col, cmp: CmpOp) -> Result<Col> {
         if a.dtype != b.dtype {
-            return Err(SimError::Unsupported("mixed-dtype column comparison".into()));
+            return Err(SimError::Unsupported(
+                "mixed-dtype column comparison".into(),
+            ));
         }
         let flags = self.slab.with2(a.id, b.id, |sa, sb| match (sa, sb) {
-            (Stored::U32(va), Stored::U32(vb)) => {
-                thrust::transform_binary(va, vb, move |x, y| {
-                    u32::from(cmp.eval(x as f64, y as f64))
-                })
-            }
+            (Stored::U32(va), Stored::U32(vb)) => thrust::transform_binary(va, vb, move |x, y| {
+                u32::from(cmp.eval(x as f64, y as f64))
+            }),
             (Stored::F64(va), Stored::F64(vb)) => {
                 thrust::transform_binary(va, vb, move |x, y| u32::from(cmp.eval(x, y)))
             }
@@ -187,12 +186,10 @@ impl GpuBackend for ThrustBackend {
 
     fn dense_mask(&self, col: &Col, cmp: CmpOp, lit: f64) -> Result<Col> {
         let out = self.slab.with(col.id, |s| match s {
-            Stored::U32(v) => thrust::transform(v, move |x| {
-                f64::from(u8::from(cmp.eval(x as f64, lit)))
-            }),
-            Stored::F64(v) => {
-                thrust::transform(v, move |x| f64::from(u8::from(cmp.eval(x, lit))))
+            Stored::U32(v) => {
+                thrust::transform(v, move |x| f64::from(u8::from(cmp.eval(x as f64, lit))))
             }
+            Stored::F64(v) => thrust::transform(v, move |x| f64::from(u8::from(cmp.eval(x, lit)))),
         })??;
         Ok(self.mint(Stored::F64(out)))
     }
@@ -220,7 +217,7 @@ impl GpuBackend for ThrustBackend {
 
     fn constant_f64(&self, len: usize, value: f64) -> Result<Col> {
         let mut v: DeviceVector<f64> = DeviceVector::zeroed(&self.device, len)?;
-        thrust::fill(&mut v, value);
+        thrust::fill(&mut v, value)?;
         Ok(self.mint(Stored::F64(v)))
     }
 
@@ -268,12 +265,10 @@ impl GpuBackend for ThrustBackend {
 
     fn grouped_sum(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
         let (sk, sv) = self.sort_by_key(keys, vals)?;
-        let (gk, gv) = self
-            .slab
-            .with2(sk.id, sv.id, |a, b| match (a, b) {
-                (Stored::U32(k), Stored::F64(v)) => thrust::reduce_by_key(k, v, |x, y| x + y),
-                _ => unreachable!("dtype checked"),
-            })??;
+        let (gk, gv) = self.slab.with2(sk.id, sv.id, |a, b| match (a, b) {
+            (Stored::U32(k), Stored::F64(v)) => thrust::reduce_by_key(k, v, |x, y| x + y),
+            _ => unreachable!("dtype checked"),
+        })??;
         self.free(sk)?;
         self.free(sv)?;
         Ok((self.mint(Stored::U32(gk)), self.mint(Stored::F64(gv))))
@@ -332,8 +327,7 @@ impl GpuBackend for ThrustBackend {
         thrust::for_each_n(
             &self.device,
             outer.len,
-            presets::nested_loops::<u32>(outer.len, inner.len)
-                .with_write((left.len() * 8) as u64),
+            presets::nested_loops::<u32>(outer.len, inner.len).with_write((left.len() * 8) as u64),
             |_| {},
         )?;
         let lb = self
@@ -393,8 +387,16 @@ mod tests {
         let b = backend();
         let x = b.upload_u32(&[1, 5, 3, 8]).unwrap();
         let preds = [
-            Pred { col: &x, cmp: CmpOp::Gt, lit: 2.0 },
-            Pred { col: &x, cmp: CmpOp::Lt, lit: 8.0 },
+            Pred {
+                col: &x,
+                cmp: CmpOp::Gt,
+                lit: 2.0,
+            },
+            Pred {
+                col: &x,
+                cmp: CmpOp::Lt,
+                lit: 8.0,
+            },
         ];
         let and = b.selection_multi(&preds, Connective::And).unwrap();
         assert_eq!(b.download_u32(&and).unwrap(), vec![1, 2]);
@@ -459,7 +461,11 @@ mod tests {
         let a = b.upload_f64(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         let c = b.upload_f64(&[10.0, 20.0, 30.0, 40.0]).unwrap();
         let k = b.upload_u32(&[0, 1, 2, 3]).unwrap();
-        let preds = [Pred { col: &k, cmp: CmpOp::Ge, lit: 2.0 }];
+        let preds = [Pred {
+            col: &k,
+            cmp: CmpOp::Ge,
+            lit: 2.0,
+        }];
         let r = b.filter_sum_product(&a, &c, &preds).unwrap();
         assert_eq!(r, 3.0 * 30.0 + 4.0 * 40.0);
     }

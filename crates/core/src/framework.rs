@@ -44,6 +44,24 @@ impl Framework {
         fw
     }
 
+    /// The paper configuration with every backend wrapped in a
+    /// [`ResilientBackend`](crate::resilient::ResilientBackend): each
+    /// operator call retries transient faults under `policy`. With no
+    /// fault plan installed this behaves (and times) identically to
+    /// [`Framework::with_all_backends`].
+    pub fn with_all_backends_resilient(
+        spec: &DeviceSpec,
+        policy: crate::resilient::RetryPolicy,
+    ) -> Self {
+        let mut fw = Framework::new();
+        for inner in Framework::with_all_backends(spec).backends {
+            fw.register(Box::new(crate::resilient::ResilientBackend::with_policy(
+                inner, policy,
+            )));
+        }
+        fw
+    }
+
     /// Plug in a backend.
     pub fn register(&mut self, backend: Box<dyn GpuBackend>) {
         self.backends.push(backend);
@@ -75,12 +93,20 @@ impl Framework {
     /// library calls, generated from backend introspection.
     pub fn support_matrix(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "TABLE II: Mapping of library functions to database operators");
+        let _ = writeln!(
+            out,
+            "TABLE II: Mapping of library functions to database operators"
+        );
         let _ = writeln!(out, "(+ full support; ~ partial support; – no support)\n");
         let libs: Vec<&dyn GpuBackend> = self.library_backends().collect();
         let _ = write!(out, "{:<26}", "Database operator");
         for b in &libs {
-            let _ = write!(out, " | {:^4} {:<42}", "S", format!("{} function", b.name()));
+            let _ = write!(
+                out,
+                " | {:^4} {:<42}",
+                "S",
+                format!("{} function", b.name())
+            );
         }
         let _ = writeln!(out);
         let width = 26 + libs.len() * 52;
@@ -125,8 +151,18 @@ mod tests {
         assert!(table.contains("TABLE II"));
         // Headline finding: hash join unsupported by every library.
         for lib in fw.library_backends() {
-            assert_eq!(lib.support(DbOperator::HashJoin), Support::None, "{}", lib.name());
-            assert_eq!(lib.support(DbOperator::MergeJoin), Support::None, "{}", lib.name());
+            assert_eq!(
+                lib.support(DbOperator::HashJoin),
+                Support::None,
+                "{}",
+                lib.name()
+            );
+            assert_eq!(
+                lib.support(DbOperator::MergeJoin),
+                Support::None,
+                "{}",
+                lib.name()
+            );
         }
         // Hash join row shows only dashes in library columns.
         let hash_row = table

@@ -41,19 +41,19 @@ pub mod backends;
 pub mod framework;
 pub mod ops;
 pub mod plan;
+pub mod resilient;
 pub mod runner;
 pub mod survey;
 pub mod workload;
 
 /// Convenient glob import for examples, tests and benches.
 pub mod prelude {
+    pub use crate::advisor::{choose_materialization, ColumnStats, Materialization};
     pub use crate::backend::{Col, ColType, GpuBackend, Pred};
-    pub use crate::backends::{
-        ArrayFireBackend, BoostBackend, HandwrittenBackend, ThrustBackend,
-    };
+    pub use crate::backends::{ArrayFireBackend, BoostBackend, HandwrittenBackend, ThrustBackend};
     pub use crate::framework::Framework;
     pub use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
-    pub use crate::advisor::{choose_materialization, ColumnStats, Materialization};
     pub use crate::plan::{Agg, AggQuery, Bindings, Expr, Predicate, QueryResult};
+    pub use crate::resilient::{ResilientBackend, ResilientExecutor, RetryPolicy};
     pub use crate::runner::{measure, Experiment, Sample};
 }

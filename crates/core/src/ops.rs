@@ -197,6 +197,9 @@ mod tests {
     fn join_algos_map_to_operators() {
         assert_eq!(JoinAlgo::Hash.operator(), DbOperator::HashJoin);
         assert_eq!(JoinAlgo::Merge.operator(), DbOperator::MergeJoin);
-        assert_eq!(JoinAlgo::NestedLoops.operator(), DbOperator::NestedLoopsJoin);
+        assert_eq!(
+            JoinAlgo::NestedLoops.operator(),
+            DbOperator::NestedLoopsJoin
+        );
     }
 }

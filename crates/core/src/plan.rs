@@ -84,7 +84,12 @@ impl Expr {
     /// `cols`, producing a device column of the same length. The lowering
     /// uses only `product`, `affine` and `constant_f64`, so it runs on
     /// every backend; constant folding keeps the kernel count minimal.
-    fn lower(&self, backend: &dyn GpuBackend, cols: &BTreeMap<&str, &Col>, len: usize) -> Result<Lowered> {
+    fn lower(
+        &self,
+        backend: &dyn GpuBackend,
+        cols: &BTreeMap<&str, &Col>,
+        len: usize,
+    ) -> Result<Lowered> {
         Ok(match self {
             Expr::Col(name) => {
                 if !cols.contains_key(name.as_str()) {
@@ -258,9 +263,7 @@ impl Predicate {
     fn lower(&self, b: &Bindings<'_>) -> Result<Col> {
         match self {
             Predicate::Cmp(col, op, lit) => b.backend.selection(b.col(col)?, *op, *lit),
-            Predicate::ColCmp(x, op, y) => {
-                b.backend.selection_cmp_cols(b.col(x)?, b.col(y)?, *op)
-            }
+            Predicate::ColCmp(x, op, y) => b.backend.selection_cmp_cols(b.col(x)?, b.col(y)?, *op),
             Predicate::And(parts) | Predicate::Or(parts) => {
                 let conn = if matches!(self, Predicate::And(_)) {
                     Connective::And
@@ -284,7 +287,11 @@ impl Predicate {
                     let preds: Vec<Pred<'_>> = simple
                         .iter()
                         .zip(&cols)
-                        .map(|((_, op, lit), col)| Pred { col, cmp: *op, lit: *lit })
+                        .map(|((_, op, lit), col)| Pred {
+                            col,
+                            cmp: *op,
+                            lit: *lit,
+                        })
                         .collect();
                     return b.backend.selection_multi(&preds, conn);
                 }
@@ -299,18 +306,22 @@ impl Predicate {
                 // two-way case: ids(A) ∩ ids(B) by hash membership on the
                 // host side is *not* allowed here, so express as a join.
                 let mut iter = parts.iter();
-                let first = iter.next().ok_or_else(|| {
-                    SimError::Unsupported("empty predicate list".into())
-                })?;
+                let first = iter
+                    .next()
+                    .ok_or_else(|| SimError::Unsupported("empty predicate list".into()))?;
                 let mut acc = first.lower(b)?;
                 for p in iter {
                     let next = p.lower(b)?;
                     // Both id lists are sorted ascending and unique; their
                     // intersection is an equi join of the id values.
-                    let algo = [crate::ops::JoinAlgo::Hash, crate::ops::JoinAlgo::Merge, crate::ops::JoinAlgo::NestedLoops]
-                        .into_iter()
-                        .find(|a| b.backend.support(a.operator()) != crate::ops::Support::None)
-                        .ok_or_else(|| SimError::Unsupported("no join for AND-intersection".into()))?;
+                    let algo = [
+                        crate::ops::JoinAlgo::Hash,
+                        crate::ops::JoinAlgo::Merge,
+                        crate::ops::JoinAlgo::NestedLoops,
+                    ]
+                    .into_iter()
+                    .find(|a| b.backend.support(a.operator()) != crate::ops::Support::None)
+                    .ok_or_else(|| SimError::Unsupported("no join for AND-intersection".into()))?;
                     let (l, r) = b.backend.join(&acc, &next, algo)?;
                     let ids = b.backend.gather(&acc, &l)?;
                     for c in [l, r, next] {
@@ -586,7 +597,11 @@ impl AggQuery {
             (None, Agg::Count) => QueryResult::Scalar(survivors as f64),
             (None, Agg::Avg(_)) => {
                 let total = backend.reduction(value_col.as_ref().expect("avg expr"))?;
-                QueryResult::Scalar(if survivors == 0 { 0.0 } else { total / survivors as f64 })
+                QueryResult::Scalar(if survivors == 0 {
+                    0.0
+                } else {
+                    total / survivors as f64
+                })
             }
             (Some(key), agg) => {
                 let key_src = bindings.col(key)?;
@@ -599,10 +614,7 @@ impl AggQuery {
                     (None, Agg::Count) => Some(backend.constant_f64(survivors, 1.0)?),
                     _ => unreachable!("expr exists for Sum/Avg"),
                 };
-                let vcol = value_col
-                    .as_ref()
-                    .or(vals.as_ref())
-                    .expect("value column");
+                let vcol = value_col.as_ref().or(vals.as_ref()).expect("value column");
                 let rows = match agg {
                     Agg::Avg(_) => {
                         let (gk, sums, counts) = backend.grouped_sum_count(&keys, vcol)?;
@@ -671,11 +683,12 @@ mod tests {
     #[test]
     fn q6_shape_via_declarative_query_on_every_backend() {
         let fw = fw();
-        let q = AggQuery::new(Agg::Sum(Expr::col("price") * Expr::col("discount")))
-            .filter(Predicate::And(vec![
+        let q = AggQuery::new(Agg::Sum(Expr::col("price") * Expr::col("discount"))).filter(
+            Predicate::And(vec![
                 Predicate::cmp("qty", CmpOp::Lt, 24.0),
                 Predicate::cmp("discount", CmpOp::Ge, 0.05),
-            ]));
+            ]),
+        );
         let price = [100.0, 200.0, 300.0, 400.0];
         let discount = [0.10, 0.02, 0.06, 0.08];
         let qty = [10.0, 5.0, 30.0, 20.0];
@@ -701,7 +714,9 @@ mod tests {
         let b = fw.backend("Handwritten").unwrap();
         let mut binding = Bindings::new(b);
         binding.bind_u32("dept", &[1, 2, 1, 2, 2]).unwrap();
-        binding.bind_f64("salary", &[10.0, 20.0, 30.0, 40.0, 60.0]).unwrap();
+        binding
+            .bind_f64("salary", &[10.0, 20.0, 30.0, 40.0, 60.0])
+            .unwrap();
 
         let sum = AggQuery::new(Agg::Sum(Expr::col("salary")))
             .group_by("dept")
@@ -733,9 +748,7 @@ mod tests {
         binding.bind_f64("x", &[1.0, 2.0]).unwrap();
         b.device().reset_stats();
         // (2 * 3) * x + folds constants before touching the device.
-        let q = AggQuery::new(Agg::Sum(
-            (Expr::lit(2.0) * Expr::lit(3.0)) * Expr::col("x"),
-        ));
+        let q = AggQuery::new(Agg::Sum((Expr::lit(2.0) * Expr::lit(3.0)) * Expr::col("x")));
         let r = q.execute(&binding).unwrap();
         assert_eq!(r.scalar().unwrap(), 18.0);
         // One affine (scale) + one reduce — no constant materialisation.
@@ -752,8 +765,11 @@ mod tests {
             binding.bind_u32("commit", &[5, 10, 3]).unwrap();
             binding.bind_u32("receipt", &[7, 9, 4]).unwrap();
             binding.bind_f64("v", &[1.0, 2.0, 4.0]).unwrap();
-            let q = AggQuery::new(Agg::Sum(Expr::col("v")))
-                .filter(Predicate::col_cmp("commit", CmpOp::Lt, "receipt"));
+            let q = AggQuery::new(Agg::Sum(Expr::col("v"))).filter(Predicate::col_cmp(
+                "commit",
+                CmpOp::Lt,
+                "receipt",
+            ));
             let r = q.execute(&binding).unwrap();
             assert_eq!(r.scalar().unwrap(), 5.0, "{}", b.name());
         }

@@ -108,7 +108,9 @@ impl Experiment {
 
     /// The sample for `(backend, x)`, if measured.
     pub fn get(&self, backend: &str, x: u64) -> Option<&Sample> {
-        self.samples.iter().find(|s| s.backend == backend && s.x == x)
+        self.samples
+            .iter()
+            .find(|s| s.backend == backend && s.x == x)
     }
 
     /// Render the experiment as a markdown-ish table: one row per x, one
@@ -128,11 +130,7 @@ impl Experiment {
             for b in &backends {
                 match self.get(b, x) {
                     Some(s) => {
-                        let _ = write!(
-                            out,
-                            " {:>16}",
-                            format!("{:.3}ms", s.nanos as f64 / 1e6)
-                        );
+                        let _ = write!(out, " {:>16}", format!("{:.3}ms", s.nanos as f64 / 1e6));
                     }
                     None => {
                         let _ = write!(out, " {:>16}", "–");
@@ -180,15 +178,18 @@ mod tests {
     #[test]
     fn measure_separates_cold_and_warm() {
         let b = ThrustBackend::new(&Device::with_defaults());
-        let col = crate::backend::GpuBackend::upload_u32(&b, &(0..1024u32).collect::<Vec<_>>())
-            .unwrap();
+        let col =
+            crate::backend::GpuBackend::upload_u32(&b, &(0..1024u32).collect::<Vec<_>>()).unwrap();
         let sample = measure(&b, 1024, || {
             let ids = crate::backend::GpuBackend::selection(&b, &col, CmpOp::Gt, 100.0)?;
             crate::backend::GpuBackend::free(&b, ids)
         })
         .unwrap();
         assert!(sample.nanos > 0);
-        assert!(sample.cold_nanos >= sample.nanos, "cold includes pool warm-up");
+        assert!(
+            sample.cold_nanos >= sample.nanos,
+            "cold includes pool warm-up"
+        );
         assert_eq!(sample.launches, 4, "transform+scan+sequence+scatter_if");
         assert!(sample.kernel_bytes > 0);
     }

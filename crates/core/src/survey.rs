@@ -86,8 +86,16 @@ const fn lib(name: &'static str, substrate: Substrate, use_case: UseCase) -> Lib
 /// Table I: the 43 surveyed libraries.
 pub const SURVEY: [LibraryEntry; 43] = [
     lib("AmgX", Substrate::Cuda, UseCase::Math),
-    lib("ArrayFire", Substrate::CudaAndOpenCl, UseCase::DatabaseOperators),
-    lib("Boost.Compute", Substrate::OpenCl, UseCase::DatabaseOperators),
+    lib(
+        "ArrayFire",
+        Substrate::CudaAndOpenCl,
+        UseCase::DatabaseOperators,
+    ),
+    lib(
+        "Boost.Compute",
+        Substrate::OpenCl,
+        UseCase::DatabaseOperators,
+    ),
     lib("CHOLMOD", Substrate::Cuda, UseCase::Math),
     lib("cuBLAS", Substrate::Cuda, UseCase::Math),
     lib("CUDA math lib", Substrate::Cuda, UseCase::Math),
@@ -101,14 +109,26 @@ pub const SURVEY: [LibraryEntry; 43] = [
     lib("DeepStream SDK", Substrate::Cuda, UseCase::DeepLearning),
     lib("EPGPU", Substrate::OpenCl, UseCase::ParallelAlgorithms),
     lib("Gunrock", Substrate::Cuda, UseCase::ParallelAlgorithms),
-    lib("IMSL Fortran Numerical Library", Substrate::Cuda, UseCase::Math),
+    lib(
+        "IMSL Fortran Numerical Library",
+        Substrate::Cuda,
+        UseCase::Math,
+    ),
     lib("Jarvis", Substrate::Cuda, UseCase::DeepLearning),
     lib("MAGMA", Substrate::Cuda, UseCase::Math),
     lib("NCCL", Substrate::Cuda, UseCase::Communication),
     lib("nvGRAPH", Substrate::Cuda, UseCase::ParallelAlgorithms),
     lib("NVIDIA Codec SDK", Substrate::Cuda, UseCase::ImageAndVideo),
-    lib("NVIDIA Optical Flow SDK", Substrate::Cuda, UseCase::ImageAndVideo),
-    lib("NVIDIA Performance Primitives", Substrate::Cuda, UseCase::ImageAndVideo),
+    lib(
+        "NVIDIA Optical Flow SDK",
+        Substrate::Cuda,
+        UseCase::ImageAndVideo,
+    ),
+    lib(
+        "NVIDIA Performance Primitives",
+        Substrate::Cuda,
+        UseCase::ImageAndVideo,
+    ),
     lib("nvJPEG", Substrate::Cuda, UseCase::ImageAndVideo),
     lib("NVSHMEM", Substrate::Cuda, UseCase::Communication),
     lib("OCL-Library", Substrate::OpenCl, UseCase::DatabaseOperators),
@@ -154,8 +174,7 @@ pub fn selected_for_study() -> Vec<&'static LibraryEntry> {
     SURVEY
         .iter()
         .filter(|l| {
-            l.use_case == UseCase::DatabaseOperators
-                && !matches!(l.name, "SkelCL" | "OCL-Library")
+            l.use_case == UseCase::DatabaseOperators && !matches!(l.name, "SkelCL" | "OCL-Library")
         })
         .collect()
 }
@@ -164,7 +183,10 @@ pub fn selected_for_study() -> Vec<&'static LibraryEntry> {
 pub fn render_table() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I: Libraries and their properties based on our survey\n");
+    let _ = writeln!(
+        out,
+        "TABLE I: Libraries and their properties based on our survey\n"
+    );
     let _ = writeln!(out, "{:<32} {:<16} Use case", "Library", "Wrapper/Language");
     let _ = writeln!(out, "{}", "-".repeat(75));
     for l in &SURVEY {
@@ -212,7 +234,14 @@ mod tests {
     #[test]
     fn hierarchy_names_the_three_levels() {
         let h = render_hierarchy();
-        for needle in ["Libraries", "Specialized wrappers", "Low-level languages", "CUDA", "OpenCL", "Thrust"] {
+        for needle in [
+            "Libraries",
+            "Specialized wrappers",
+            "Low-level languages",
+            "CUDA",
+            "OpenCL",
+            "Thrust",
+        ] {
             assert!(h.contains(needle), "{needle} missing from Figure 1");
         }
     }

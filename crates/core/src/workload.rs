@@ -84,10 +84,7 @@ mod tests {
         for sel in [0.01, 0.25, 0.5, 0.9] {
             let (col, thr) = selectivity_column(100_000, sel, SEED);
             let hit = col.iter().filter(|&&x| x < thr).count() as f64 / col.len() as f64;
-            assert!(
-                (hit - sel).abs() < 0.02,
-                "target {sel}, got {hit}"
-            );
+            assert!((hit - sel).abs() < 0.02, "target {sel}, got {hit}");
         }
     }
 
@@ -107,7 +104,11 @@ mod tests {
         let (outer, inner) = fk_join(1_000, 500, SEED);
         let mut sorted = inner.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..500).collect::<Vec<u32>>(), "inner is a permutation");
+        assert_eq!(
+            sorted,
+            (0..500).collect::<Vec<u32>>(),
+            "inner is a permutation"
+        );
         assert!(outer.iter().all(|&k| k < 500));
     }
 

@@ -200,7 +200,10 @@ mod tests {
         let div = base.with_divergence(1.0);
         let t0 = base.duration(&spec()).as_nanos() as f64;
         let t1 = div.duration(&spec()).as_nanos() as f64;
-        assert!((t1 / t0 - 2.0).abs() < 0.05, "full divergence ≈ 2× on default spec");
+        assert!(
+            (t1 / t0 - 2.0).abs() < 0.05,
+            "full divergence ≈ 2× on default spec"
+        );
     }
 
     #[test]

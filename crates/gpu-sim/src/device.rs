@@ -10,6 +10,7 @@ use crate::buffer::{DeviceBuffer, DeviceCopy};
 use crate::clock::{SimDuration, SimTime, VirtualClock};
 use crate::cost::KernelCost;
 use crate::error::{Result, SimError};
+use crate::fault::{fault_error, FaultPlan, FaultSite, FaultState};
 use crate::pool::{rounded_size, AllocPolicy, MemoryPool, PoolStats};
 use crate::spec::DeviceSpec;
 use crate::stats::DeviceStats;
@@ -33,6 +34,7 @@ struct Inner {
     stats: DeviceStats,
     pool: MemoryPool,
     trace: Vec<TraceEvent>,
+    faults: Option<FaultState>,
 }
 
 impl Device {
@@ -74,6 +76,90 @@ impl Device {
         let start = self.now();
         let r = f();
         (r, self.now() - start)
+    }
+
+    // ----------------------------------------------------------------
+    // Fault injection
+    // ----------------------------------------------------------------
+
+    /// Install a fault plan; subsequent device operations draw injection
+    /// decisions from it. Replaces any existing plan and resets the
+    /// per-site draw counters, so installing the same plan twice replays
+    /// the same schedule.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.inner.lock().faults = Some(FaultState::new(plan));
+    }
+
+    /// Remove the installed fault plan (if any), returning it.
+    pub fn clear_fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.lock().faults.take().map(|s| s.plan)
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.lock().faults.as_ref().map(|s| s.plan.clone())
+    }
+
+    /// Draw the next fault decision at `site`; on a fire, count it,
+    /// charge the detection latency, trace it, and return the injected
+    /// error. `requested` is the byte size for alloc/transfer sites,
+    /// `label` the kernel name for the kernel site.
+    fn maybe_inject(&self, site: FaultSite, label: &str, requested: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.faults.as_mut() else {
+            return Ok(());
+        };
+        if !state.draw(site) {
+            return Ok(());
+        }
+        let plan = state.plan.clone();
+        let available = self
+            .spec
+            .global_mem_bytes
+            .saturating_sub(inner.stats.mem_in_use);
+        let Some(err) = fault_error(&plan, site, label, requested, available) else {
+            return Ok(()); // absorbed alloc fault: pressure too mild
+        };
+        inner.stats.faults_injected += 1;
+        drop(inner);
+        let start = self.now();
+        self.clock
+            .advance(SimDuration::from_nanos(plan.fault_latency_ns));
+        self.record(start, TraceKind::Fault(format!("{site}: {err}")));
+        Err(err)
+    }
+
+    // ----------------------------------------------------------------
+    // Resilience accounting (called by recovery layers above the
+    // simulator so retries/fallbacks/splits appear in stats and traces)
+    // ----------------------------------------------------------------
+
+    /// Record one retry of `what`, charging `backoff` to simulated time.
+    pub fn note_retry(&self, what: &str, backoff: SimDuration) {
+        self.inner.lock().stats.retries += 1;
+        let start = self.now();
+        self.clock.advance(backoff);
+        self.record(start, TraceKind::Resilience(format!("retry {what}")));
+    }
+
+    /// Record a fallback from one implementation to another.
+    pub fn note_fallback(&self, from: &str, to: &str) {
+        self.inner.lock().stats.fallbacks += 1;
+        let start = self.now();
+        self.record(
+            start,
+            TraceKind::Resilience(format!("fallback {from} -> {to}")),
+        );
+    }
+
+    /// Record one batch split of `what` into `parts` chunks.
+    pub fn note_batch_split(&self, what: &str, parts: usize) {
+        self.inner.lock().stats.batch_splits += 1;
+        let start = self.now();
+        self.record(
+            start,
+            TraceKind::Resilience(format!("split {what} into {parts}")),
+        );
     }
 
     // ----------------------------------------------------------------
@@ -132,6 +218,11 @@ impl Device {
             self.clock.advance(SimDuration::from_nanos(500));
             return Ok(());
         }
+        // Pool misses go to the driver, which is where injected memory
+        // pressure strikes (pool hits above never leave the process).
+        drop(inner);
+        self.maybe_inject(FaultSite::Alloc, "", rounded)?;
+        let mut inner = self.inner.lock();
         let available = self
             .spec
             .global_mem_bytes
@@ -196,6 +287,7 @@ impl Device {
     ) -> Result<DeviceBuffer<T>> {
         let buf = self.buffer_from_vec(host.to_vec(), policy)?;
         let bytes = buf.size_bytes();
+        self.maybe_inject(FaultSite::HtoD, "", bytes)?;
         let t = transfer_time(&self.spec, Direction::HostToDevice, bytes);
         {
             let mut inner = self.inner.lock();
@@ -211,6 +303,7 @@ impl Device {
     /// Copy a device buffer back to the host, charging PCIe time.
     pub fn dtoh<T: DeviceCopy>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>> {
         let bytes = buf.size_bytes();
+        self.maybe_inject(FaultSite::DtoH, "", bytes)?;
         let t = transfer_time(&self.spec, Direction::DeviceToHost, bytes);
         {
             let mut inner = self.inner.lock();
@@ -228,6 +321,7 @@ impl Device {
     pub fn dtod<T: DeviceCopy>(self: &Arc<Self>, src: &DeviceBuffer<T>) -> Result<DeviceBuffer<T>> {
         let buf = self.buffer_from_vec(src.host().to_vec(), src.policy())?;
         let bytes = buf.size_bytes();
+        self.maybe_inject(FaultSite::DtoD, "", bytes)?;
         let t = transfer_time(&self.spec, Direction::DeviceToDevice, bytes);
         {
             let mut inner = self.inner.lock();
@@ -253,11 +347,7 @@ impl Device {
         let d = cost.duration(&self.spec);
         {
             let mut inner = self.inner.lock();
-            let stat = inner
-                .stats
-                .kernels
-                .entry(name.to_string())
-                .or_default();
+            let stat = inner.stats.kernels.entry(name.to_string()).or_default();
             stat.launches += 1;
             stat.total_time.0 += d.as_nanos();
             stat.bytes_read += cost.bytes_read;
@@ -267,6 +357,17 @@ impl Device {
         self.clock.advance(d);
         self.record(start, TraceKind::Kernel(name.to_string()));
         d
+    }
+
+    /// Fallible variant of [`Device::charge_kernel`]: draws a kernel-site
+    /// fault decision first, so launches can fail with
+    /// [`SimError::DeviceLost`] under an installed [`FaultPlan`]. All
+    /// library-crate launch funnels go through this; `charge_kernel`
+    /// remains for infallible contexts (no plan installed ⇒ identical
+    /// behaviour and cost).
+    pub fn try_charge_kernel(&self, name: &str, cost: KernelCost) -> Result<SimDuration> {
+        self.maybe_inject(FaultSite::Kernel, name, 0)?;
+        Ok(self.charge_kernel(name, cost))
     }
 
     /// Account a JIT compilation taking `ns` nanoseconds (OpenCL program
@@ -373,10 +474,7 @@ mod tests {
         assert_eq!(dev.now() - t0, d);
         let stats = dev.stats();
         assert_eq!(stats.launches_of("map_test"), 1);
-        assert_eq!(
-            stats.kernels["map_test"].bytes_read,
-            (1u64 << 20) * 4
-        );
+        assert_eq!(stats.kernels["map_test"].bytes_read, (1u64 << 20) * 4);
     }
 
     #[test]
@@ -478,6 +576,126 @@ mod tests {
             hits.fetch_add(r.len(), Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn fault_plan_injects_at_each_site_and_is_observable() {
+        let dev = Device::with_defaults();
+        dev.install_fault_plan(FaultPlan::uniform(5, 1.0));
+        dev.set_tracing(true);
+        // Kernel site.
+        let r = dev.try_charge_kernel("k", KernelCost::empty());
+        assert!(
+            matches!(r, Err(SimError::DeviceLost(ref k)) if k == "k"),
+            "{r:?}"
+        );
+        // Alloc site (driver path).
+        assert!(matches!(
+            dev.alloc::<u32>(16),
+            Err(SimError::OutOfMemory { .. })
+        ));
+        let stats = dev.stats();
+        assert_eq!(stats.faults_injected, 2);
+        let trace = dev.take_trace();
+        assert!(
+            trace.iter().all(|e| matches!(e.kind, TraceKind::Fault(_))),
+            "{trace:?}"
+        );
+        // Clearing the plan restores the happy path.
+        assert!(dev.clear_fault_plan().is_some());
+        assert!(dev.try_charge_kernel("k", KernelCost::empty()).is_ok());
+        assert!(dev.alloc::<u32>(16).is_ok());
+    }
+
+    #[test]
+    fn transfer_faults_fire_on_each_direction() {
+        let dev = Device::with_defaults();
+        let buf = dev.htod(&[1u32, 2, 3]).unwrap();
+        dev.install_fault_plan(
+            FaultPlan::new(9)
+                .with_rate(crate::fault::FaultSite::HtoD, 1.0)
+                .with_rate(crate::fault::FaultSite::DtoH, 1.0)
+                .with_rate(crate::fault::FaultSite::DtoD, 1.0),
+        );
+        assert!(matches!(
+            dev.htod(&[1u32]),
+            Err(SimError::TransferTimeout { bytes: 4 })
+        ));
+        assert!(matches!(
+            dev.dtoh(&buf),
+            Err(SimError::TransferTimeout { .. })
+        ));
+        assert!(matches!(
+            dev.dtod(&buf),
+            Err(SimError::TransferTimeout { .. })
+        ));
+        assert_eq!(dev.stats().faults_injected, 3);
+    }
+
+    #[test]
+    fn zero_rate_plan_changes_nothing() {
+        let faulty = Device::with_defaults();
+        faulty.install_fault_plan(FaultPlan::new(11));
+        let clean = Device::with_defaults();
+        for dev in [&faulty, &clean] {
+            let b = dev.htod(&[1u64; 512]).unwrap();
+            dev.try_charge_kernel("k", KernelCost::map::<u64, u64>(512))
+                .unwrap();
+            let _ = dev.dtoh(&b).unwrap();
+        }
+        assert_eq!(faulty.now(), clean.now(), "rate-0 plan must be free");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_fault_schedules() {
+        let run = |seed: u64| -> (Vec<bool>, u64) {
+            let dev = Device::with_defaults();
+            dev.install_fault_plan(FaultPlan::uniform(seed, 0.3));
+            let oks = (0..200)
+                .map(|_| dev.try_charge_kernel("k", KernelCost::empty()).is_ok())
+                .collect();
+            (oks, dev.now().as_nanos())
+        };
+        let (a, ta) = run(21);
+        let (b, tb) = run(21);
+        let (c, _) = run(22);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb, "same schedule implies same simulated time");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pool_hits_skip_the_alloc_fault_site() {
+        let dev = Device::with_defaults();
+        // Warm the pool, then make every driver allocation fail.
+        drop(dev.alloc::<u32>(1024).unwrap());
+        dev.install_fault_plan(FaultPlan::new(3).with_rate(crate::fault::FaultSite::Alloc, 1.0));
+        let r = dev.alloc::<u32>(1024);
+        assert!(r.is_ok(), "pool hit must not consult the driver: {r:?}");
+        drop(r);
+        assert!(dev.alloc::<u32>(4096).is_err(), "pool miss hits the fault");
+    }
+
+    #[test]
+    fn note_methods_count_and_charge() {
+        let dev = Device::with_defaults();
+        dev.set_tracing(true);
+        let t0 = dev.now();
+        dev.note_retry("selection", SimDuration::from_nanos(5_000));
+        dev.note_fallback("Thrust", "Handwritten");
+        dev.note_batch_split("join", 4);
+        let s = dev.stats();
+        assert_eq!((s.retries, s.fallbacks, s.batch_splits), (1, 1, 1));
+        assert_eq!(
+            (dev.now() - t0).as_nanos(),
+            5_000,
+            "only backoff costs time"
+        );
+        let trace = dev.take_trace();
+        assert_eq!(trace.len(), 3);
+        assert!(trace
+            .iter()
+            .all(|e| matches!(e.kind, TraceKind::Resilience(_))));
     }
 
     #[test]

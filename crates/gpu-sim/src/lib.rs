@@ -53,6 +53,7 @@ pub mod clock;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod pool;
 pub mod presets;
 pub mod spec;
@@ -65,8 +66,9 @@ pub use buffer::{DeviceBuffer, DeviceCopy};
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::{AccessPattern, KernelCost};
 pub use device::{par_chunks, Device};
-pub use pool::AllocPolicy;
 pub use error::{Result, SimError};
+pub use fault::{FaultPlan, FaultSite};
+pub use pool::AllocPolicy;
 pub use pool::PoolStats;
 pub use spec::DeviceSpec;
 pub use stats::{DeviceStats, KernelStat};

@@ -192,8 +192,12 @@ mod tests {
     #[test]
     fn nested_loops_is_quadratic_in_compute() {
         let spec = DeviceSpec::gtx1080();
-        let small = nested_loops::<u32>(1 << 14, 1 << 14).duration(&spec).as_nanos();
-        let large = nested_loops::<u32>(1 << 17, 1 << 17).duration(&spec).as_nanos();
+        let small = nested_loops::<u32>(1 << 14, 1 << 14)
+            .duration(&spec)
+            .as_nanos();
+        let large = nested_loops::<u32>(1 << 17, 1 << 17)
+            .duration(&spec)
+            .as_nanos();
         // 8× inputs → 64× comparisons; compute-bound regime should show ≳30×.
         assert!(large as f64 / small as f64 > 30.0, "{large} vs {small}");
     }

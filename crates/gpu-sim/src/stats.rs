@@ -67,6 +67,17 @@ pub struct DeviceStats {
     pub mem_in_use: u64,
     /// High-water mark of device memory, bytes.
     pub mem_peak: u64,
+    /// Faults injected by the installed [`crate::fault::FaultPlan`].
+    pub faults_injected: u64,
+    /// Operation retries performed by resilience layers
+    /// ([`crate::Device::note_retry`]).
+    pub retries: u64,
+    /// Fallbacks to an alternative implementation
+    /// ([`crate::Device::note_fallback`]).
+    pub fallbacks: u64,
+    /// Batch splits performed to ride out memory pressure
+    /// ([`crate::Device::note_batch_split`]).
+    pub batch_splits: u64,
 }
 
 impl DeviceStats {
@@ -127,6 +138,13 @@ impl DeviceStats {
             self.pool_hits,
             self.mem_peak
         );
+        if self.faults_injected + self.retries + self.fallbacks + self.batch_splits > 0 {
+            let _ = writeln!(
+                out,
+                "resilience: {} faults injected, {} retries, {} fallbacks, {} batch splits",
+                self.faults_injected, self.retries, self.fallbacks, self.batch_splits
+            );
+        }
         out
     }
 }

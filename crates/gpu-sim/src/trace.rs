@@ -25,6 +25,11 @@ pub enum TraceKind {
     Jit(String),
     /// A driver allocation of `n` bytes.
     Alloc(u64),
+    /// An injected fault firing (site and error description).
+    Fault(String),
+    /// A resilience action above the device: retry, fallback or batch
+    /// split (see `Device::note_retry` and friends).
+    Resilience(String),
 }
 
 impl TraceKind {
@@ -37,6 +42,8 @@ impl TraceKind {
             TraceKind::DtoD(b) => format!("dtod {b}B"),
             TraceKind::Jit(name) => format!("jit {name}"),
             TraceKind::Alloc(b) => format!("alloc {b}B"),
+            TraceKind::Fault(what) => format!("fault {what}"),
+            TraceKind::Resilience(what) => format!("resilience {what}"),
         }
     }
 }

@@ -66,7 +66,9 @@ pub fn hash_group_aggregate(
     }
     let mut table: HashMap<u32, (f64, u64, f64, f64)> = HashMap::new();
     for (&k, &v) in keys.host().iter().zip(values.host()) {
-        let e = table.entry(k).or_insert((0.0, 0, f64::INFINITY, f64::NEG_INFINITY));
+        let e = table
+            .entry(k)
+            .or_insert((0.0, 0, f64::INFINITY, f64::NEG_INFINITY));
         e.0 += v;
         e.1 += 1;
         e.2 = e.2.min(v);
@@ -89,7 +91,7 @@ pub fn hash_group_aggregate(
     } else {
         presets::hash_build::<u32, f64>(n).with_flops(8 * n as u64)
     };
-    charge(device, "hash_agg/accumulate", accumulate);
+    charge(device, "hash_agg/accumulate", accumulate)?;
     charge(
         device,
         "hash_agg/compact",
@@ -97,9 +99,14 @@ pub fn hash_group_aggregate(
             .with_read((groups * 40) as u64)
             .with_write((groups * 40) as u64)
             .with_flops(groups as u64),
+    )?;
+    let (mut ks, mut sums, mut counts, mut mins, mut maxs) = (
+        Vec::with_capacity(groups),
+        Vec::with_capacity(groups),
+        Vec::with_capacity(groups),
+        Vec::with_capacity(groups),
+        Vec::with_capacity(groups),
     );
-    let (mut ks, mut sums, mut counts, mut mins, mut maxs) =
-        (Vec::with_capacity(groups), Vec::with_capacity(groups), Vec::with_capacity(groups), Vec::with_capacity(groups), Vec::with_capacity(groups));
     for (k, (s, c, mn, mx)) in rows {
         ks.push(k);
         sums.push(s);

@@ -88,7 +88,7 @@ pub fn hash_join(
         device,
         "hash_join/build",
         presets::hash_build::<u32, u32>(build_keys.len()),
-    );
+    )?;
     let mut left = Vec::new();
     let mut right = Vec::new();
     let mut matches = Vec::new();
@@ -105,7 +105,7 @@ pub fn hash_join(
         "hash_join/probe",
         presets::hash_probe::<u32, u32>(probe_keys.len(), build_keys.len())
             .with_write((left.len() * 8) as u64),
-    );
+    )?;
     Ok(JoinResult {
         left: device.buffer_from_vec(left, AllocPolicy::Pooled)?,
         right: device.buffer_from_vec(right, AllocPolicy::Pooled)?,
@@ -162,7 +162,7 @@ pub fn merge_join(
             .with_write((left.len() * 8) as u64)
             .with_flops((ls.len() + rs.len()) as u64 * 2)
             .with_divergence(0.15),
-    );
+    )?;
     Ok(JoinResult {
         left: device.buffer_from_vec(left, AllocPolicy::Pooled)?,
         right: device.buffer_from_vec(right, AllocPolicy::Pooled)?,
@@ -201,7 +201,7 @@ pub fn nested_loops_join(
         "nested_loops_join",
         presets::nested_loops::<u32>(outer_keys.len(), inner_keys.len())
             .with_write((left.len() * 8) as u64),
-    );
+    )?;
     Ok(JoinResult {
         left: device.buffer_from_vec(left, AllocPolicy::Pooled)?,
         right: device.buffer_from_vec(right, AllocPolicy::Pooled)?,

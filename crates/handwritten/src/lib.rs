@@ -29,15 +29,20 @@ pub mod selection;
 pub use aggregate::{hash_group_aggregate, GroupAggregate};
 pub use join::{hash_join, merge_join, nested_loops_join, JoinResult};
 pub use primitives::{
-    product_f64, scatter_u32, sort_u32, top_k_f64,
-    exclusive_scan_u32, fused_filter_dot, gather_f64, gather_u32, radix_sort_pairs, reduce_f64,
+    exclusive_scan_u32, fused_filter_dot, gather_f64, gather_u32, product_f64, radix_sort_pairs,
+    reduce_f64, scatter_u32, sort_u32, top_k_f64,
 };
 pub use selection::{select_fused, select_gather_f64};
 
 /// Kernel-name prefix for device statistics.
 pub const KERNEL_PREFIX: &str = "hw";
 
-pub(crate) fn charge(device: &gpu_sim::Device, name: &str, cost: gpu_sim::KernelCost) {
+pub(crate) fn charge(
+    device: &gpu_sim::Device,
+    name: &str,
+    cost: gpu_sim::KernelCost,
+) -> gpu_sim::Result<()> {
     let cost = cost.with_launch_overhead(device.spec().cuda_launch_latency_ns);
-    device.charge_kernel(&format!("{KERNEL_PREFIX}::{name}"), cost);
+    device.try_charge_kernel(&format!("{KERNEL_PREFIX}::{name}"), cost)?;
+    Ok(())
 }

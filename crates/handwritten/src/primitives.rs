@@ -5,16 +5,19 @@ use gpu_sim::{presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, Si
 use std::sync::Arc;
 
 /// Tree reduction (sum) of an `f64` column — one kernel.
-pub fn reduce_f64(device: &Arc<Device>, src: &DeviceBuffer<f64>) -> f64 {
+pub fn reduce_f64(device: &Arc<Device>, src: &DeviceBuffer<f64>) -> Result<f64> {
     let total = src.host().iter().sum();
-    charge(device, "reduce", KernelCost::reduce::<f64>(src.len()));
-    total
+    charge(device, "reduce", KernelCost::reduce::<f64>(src.len()))?;
+    Ok(total)
 }
 
 /// Single-dispatch decoupled-lookback exclusive scan — reads the input
 /// once and writes once (the chained-scan trick tuned kernels use),
 /// cheaper than the library's reduce-then-scan.
-pub fn exclusive_scan_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Result<DeviceBuffer<u32>> {
+pub fn exclusive_scan_u32(
+    device: &Arc<Device>,
+    src: &DeviceBuffer<u32>,
+) -> Result<DeviceBuffer<u32>> {
     let mut out = Vec::with_capacity(src.len());
     let mut acc = 0u32;
     for &x in src.host() {
@@ -25,8 +28,10 @@ pub fn exclusive_scan_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Resu
     charge(
         device,
         "scan_lookback",
-        KernelCost::map::<u32, u32>(src.len()).with_read(b).with_write(b),
-    );
+        KernelCost::map::<u32, u32>(src.len())
+            .with_read(b)
+            .with_write(b),
+    )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -41,11 +46,14 @@ pub fn gather_u32(
     for &i in idx.host() {
         let i = i as usize;
         if i >= s.len() {
-            return Err(SimError::IndexOutOfBounds { index: i, len: s.len() });
+            return Err(SimError::IndexOutOfBounds {
+                index: i,
+                len: s.len(),
+            });
         }
         out.push(s[i]);
     }
-    charge(device, "gather", presets::gather::<u32>(idx.len()));
+    charge(device, "gather", presets::gather::<u32>(idx.len()))?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -60,11 +68,14 @@ pub fn gather_f64(
     for &i in idx.host() {
         let i = i as usize;
         if i >= s.len() {
-            return Err(SimError::IndexOutOfBounds { index: i, len: s.len() });
+            return Err(SimError::IndexOutOfBounds {
+                index: i,
+                len: s.len(),
+            });
         }
         out.push(s[i]);
     }
-    charge(device, "gather", presets::gather::<f64>(idx.len()));
+    charge(device, "gather", presets::gather::<f64>(idx.len()))?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -95,7 +106,7 @@ pub fn radix_sort_pairs(
     }
     for (i, cost) in presets::radix_sort::<u32>(n, 4).into_iter().enumerate() {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        charge(device, &format!("radix_sort/{phase}"), cost);
+        charge(device, &format!("radix_sort/{phase}"), cost)?;
     }
     Ok(())
 }
@@ -112,13 +123,18 @@ pub fn product_f64(
             right: b.len(),
         });
     }
-    let out: Vec<f64> = a.host().iter().zip(b.host()).map(|(&x, &y)| x * y).collect();
+    let out: Vec<f64> = a
+        .host()
+        .iter()
+        .zip(b.host())
+        .map(|(&x, &y)| x * y)
+        .collect();
     let n = a.len();
     charge(
         device,
         "product",
         KernelCost::map::<f64, f64>(n).with_read((n * 16) as u64),
-    );
+    )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -126,9 +142,12 @@ pub fn product_f64(
 pub fn sort_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Result<DeviceBuffer<u32>> {
     let mut v = src.host().to_vec();
     v.sort_unstable();
-    for (i, cost) in presets::radix_sort::<u32>(src.len(), 0).into_iter().enumerate() {
+    for (i, cost) in presets::radix_sort::<u32>(src.len(), 0)
+        .into_iter()
+        .enumerate()
+    {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        charge(device, &format!("radix_sort/{phase}"), cost);
+        charge(device, &format!("radix_sort/{phase}"), cost)?;
     }
     device.buffer_from_vec(v, AllocPolicy::Pooled)
 }
@@ -151,11 +170,14 @@ pub fn scatter_u32(
     for (&v, &i) in src.host().iter().zip(idx.host()) {
         let i = i as usize;
         if i >= dst_len {
-            return Err(SimError::IndexOutOfBounds { index: i, len: dst_len });
+            return Err(SimError::IndexOutOfBounds {
+                index: i,
+                len: dst_len,
+            });
         }
         out[i] = v;
     }
-    charge(device, "scatter", presets::scatter::<u32>(src.len()));
+    charge(device, "scatter", presets::scatter::<u32>(src.len()))?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -171,7 +193,7 @@ pub fn top_k_f64(
     let v = vals.host();
     let k = k.min(v.len());
     if k == 0 {
-        charge(device, "top_k", KernelCost::reduce::<f64>(v.len()));
+        charge(device, "top_k", KernelCost::reduce::<f64>(v.len()))?;
         return device.buffer_from_vec(Vec::new(), AllocPolicy::Pooled);
     }
     let mut idx: Vec<u32> = (0..v.len() as u32).collect();
@@ -196,7 +218,7 @@ pub fn top_k_f64(
             .with_write((k * 4) as u64)
             .with_flops(n as u64 + (k as u64) * 16)
             .with_divergence(0.1),
-    );
+    )?;
     device.buffer_from_vec(idx, AllocPolicy::Pooled)
 }
 
@@ -231,7 +253,7 @@ pub fn fused_filter_dot(
             .with_read((n * (16 + bytes_per_row)) as u64)
             .with_flops(4 * n as u64)
             .with_divergence(0.2),
-    );
+    )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
     ));
@@ -246,7 +268,7 @@ mod tests {
     fn reduce_and_scan() {
         let dev = Device::with_defaults();
         let v = dev.htod(&[1.0f64, 2.0, 3.5]).unwrap();
-        assert_eq!(reduce_f64(&dev, &v), 6.5);
+        assert_eq!(reduce_f64(&dev, &v).unwrap(), 6.5);
         let u = dev.htod(&[1u32, 2, 3]).unwrap();
         let s = exclusive_scan_u32(&dev, &u).unwrap();
         assert_eq!(s.host(), &[0, 1, 3]);
@@ -308,7 +330,9 @@ mod tests {
     #[test]
     fn top_k_is_cheaper_than_sorting_everything() {
         let n = 1 << 20;
-        let vals: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761usize) % 1_000_003) as f64).collect();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| ((i * 2_654_435_761usize) % 1_000_003) as f64)
+            .collect();
         let dev_k = Device::with_defaults();
         let vb = dev_k.htod(&vals).unwrap();
         let (_, t_topk) = dev_k.time(|| top_k_f64(&dev_k, &vb, 10).unwrap());

@@ -37,7 +37,7 @@ pub fn select_fused(
             .with_write(out_bytes)
             .with_flops(2 * n_rows as u64)
             .with_divergence(0.25),
-    );
+    )?;
     device.buffer_from_vec(idx, AllocPolicy::Pooled)
 }
 
@@ -65,7 +65,7 @@ pub fn select_gather_f64(
             .with_write(out_bytes)
             .with_flops(2 * src.len() as u64)
             .with_divergence(0.25),
-    );
+    )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -87,9 +87,8 @@ mod tests {
         // 3 launches × 5µs vs 1 launch × 5µs dominates at 1k rows.
         let dev_hw = Device::with_defaults();
         let col: Vec<u32> = (0..1024).collect();
-        let (_, t_hw) = dev_hw.time(|| {
-            select_fused(&dev_hw, col.len(), 4, |i| col[i].is_multiple_of(2)).unwrap()
-        });
+        let (_, t_hw) = dev_hw
+            .time(|| select_fused(&dev_hw, col.len(), 4, |i| col[i].is_multiple_of(2)).unwrap());
         // Library chain on an identical device:
         let dev_lib = Device::with_defaults();
         let t_lib = {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 /// `thrust::for_each` — apply `f` to every element in place. Costed as a
 /// read-modify-write map.
-pub fn for_each<T>(vec: &mut DeviceVector<T>, f: impl Fn(&mut T))
+pub fn for_each<T>(vec: &mut DeviceVector<T>, f: impl Fn(&mut T)) -> Result<()>
 where
     T: DeviceCopy,
 {
@@ -26,7 +26,7 @@ where
         &device,
         "for_each",
         KernelCost::map::<T, T>(n).with_read(b).with_write(b),
-    );
+    )
 }
 
 /// `thrust::for_each_n` over a counting iterator — run `f(i)` for
@@ -48,7 +48,7 @@ pub fn for_each_n(
     for i in 0..n {
         f(i);
     }
-    charge(device, "for_each_n", cost);
+    charge(device, "for_each_n", cost)?;
     Ok(())
 }
 
@@ -61,7 +61,7 @@ mod tests {
     fn for_each_mutates_in_place() {
         let dev = Device::with_defaults();
         let mut v = DeviceVector::from_host(&dev, &[1u32, 2, 3]).unwrap();
-        for_each(&mut v, |x| *x += 10);
+        for_each(&mut v, |x| *x += 10).unwrap();
         assert_eq!(v.to_host().unwrap(), vec![11, 12, 13]);
         assert_eq!(dev.stats().launches_of("thrust::for_each"), 1);
     }
@@ -70,12 +70,9 @@ mod tests {
     fn for_each_n_runs_the_functor_n_times() {
         let dev = Device::with_defaults();
         let mut hits = 0usize;
-        for_each_n(
-            &dev,
-            100,
-            presets::nested_loops::<u32>(100, 10),
-            |_| hits += 1,
-        )
+        for_each_n(&dev, 100, presets::nested_loops::<u32>(100, 10), |_| {
+            hits += 1
+        })
         .unwrap();
         assert_eq!(hits, 100);
         assert_eq!(dev.stats().launches_of("thrust::for_each_n"), 1);

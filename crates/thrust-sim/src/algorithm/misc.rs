@@ -27,7 +27,7 @@ where
         &device,
         "unique",
         presets::scan::<T>(n).with_write((kept * std::mem::size_of::<T>()) as u64),
-    );
+    )?;
     let buf = device.buffer_from_vec(out, gpu_sim::AllocPolicy::Pooled)?;
     Ok(DeviceVector::from_buffer(buf))
 }
@@ -51,7 +51,7 @@ where
         &device,
         "adjacent_difference",
         KernelCost::map::<T, T>(src.len()),
-    );
+    )?;
     Ok(out)
 }
 
@@ -76,7 +76,7 @@ where
         &device,
         "transform_reduce",
         KernelCost::reduce::<T>(src.len()).with_flops(2 * src.len() as u64),
-    );
+    )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
     ));
@@ -114,7 +114,11 @@ where
             best = i;
         }
     }
-    charge(&device, "extreme_element", KernelCost::reduce::<T>(src.len()));
+    charge(
+        &device,
+        "extreme_element",
+        KernelCost::reduce::<T>(src.len()),
+    )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
     ));
@@ -128,7 +132,7 @@ where
 {
     let device = Arc::clone(src.device());
     let n = src.as_slice().iter().filter(|&&x| x == value).count();
-    charge(&device, "count", KernelCost::reduce::<T>(src.len()));
+    charge(&device, "count", KernelCost::reduce::<T>(src.len()))?;
     Ok(n)
 }
 
@@ -146,9 +150,8 @@ where
     charge(
         &device,
         "equal",
-        KernelCost::reduce::<T>(a.len())
-            .with_read(2 * a.buffer().size_bytes()),
-    );
+        KernelCost::reduce::<T>(a.len()).with_read(2 * a.buffer().size_bytes()),
+    )?;
     Ok(eq)
 }
 
@@ -185,7 +188,7 @@ where
         &device,
         "merge",
         KernelCost::map::<T, T>(total).with_divergence(0.15),
-    );
+    )?;
     let buf = device.buffer_from_vec(out, gpu_sim::AllocPolicy::Pooled)?;
     Ok(DeviceVector::from_buffer(buf))
 }

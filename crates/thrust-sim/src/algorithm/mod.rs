@@ -14,10 +14,13 @@ pub mod scan;
 pub mod sort;
 pub mod transform;
 
-use gpu_sim::{Device, KernelCost};
+use gpu_sim::{Device, KernelCost, Result};
 
 /// Stamp Thrust's launch overhead onto a kernel footprint and charge it.
-pub(crate) fn charge(device: &Device, name: &str, cost: KernelCost) {
+/// Fallible: with a fault plan installed on the device, the launch can
+/// fail with `SimError::DeviceLost`, which every algorithm propagates.
+pub(crate) fn charge(device: &Device, name: &str, cost: KernelCost) -> Result<()> {
     let cost = cost.with_launch_overhead(device.spec().cuda_launch_latency_ns);
-    device.charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost);
+    device.try_charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost)?;
+    Ok(())
 }

@@ -15,7 +15,12 @@ where
     T: DeviceCopy + Default,
 {
     let device = Arc::clone(src.device());
-    let kept: Vec<T> = src.as_slice().iter().copied().filter(|&x| pred(x)).collect();
+    let kept: Vec<T> = src
+        .as_slice()
+        .iter()
+        .copied()
+        .filter(|&x| pred(x))
+        .collect();
     let n = src.len();
     let out_bytes = (kept.len() * std::mem::size_of::<T>()) as u64;
     // Kernel 1: block-local predicate + scan.
@@ -23,7 +28,7 @@ where
         &device,
         "copy_if/scan",
         presets::scan::<T>(n).with_flops(2 * n as u64),
-    );
+    )?;
     // Kernel 2: compaction writes only survivors.
     charge(
         &device,
@@ -31,7 +36,7 @@ where
         KernelCost::map::<T, ()>(n)
             .with_write(out_bytes)
             .with_divergence(0.3),
-    );
+    )?;
     let buf = device.buffer_from_vec(kept, gpu_sim::AllocPolicy::Pooled)?;
     Ok(DeviceVector::from_buffer(buf))
 }
@@ -44,7 +49,7 @@ where
 {
     let device = Arc::clone(src.device());
     let n = src.as_slice().iter().filter(|&&x| pred(x)).count();
-    charge(&device, "count_if", KernelCost::reduce::<T>(src.len()));
+    charge(&device, "count_if", KernelCost::reduce::<T>(src.len()))?;
     Ok(n)
 }
 

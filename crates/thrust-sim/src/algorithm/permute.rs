@@ -31,7 +31,7 @@ where
             o[i] = s[idx];
         }
     }
-    charge(&device, "gather", presets::gather::<T>(map.len()));
+    charge(&device, "gather", presets::gather::<T>(map.len()))?;
     Ok(out)
 }
 
@@ -59,12 +59,15 @@ where
         for (i, &idx) in m.iter().enumerate() {
             let idx = idx as usize;
             if idx >= dlen {
-                return Err(SimError::IndexOutOfBounds { index: idx, len: dlen });
+                return Err(SimError::IndexOutOfBounds {
+                    index: idx,
+                    len: dlen,
+                });
             }
             d[idx] = s[i];
         }
     }
-    charge(&device, "scatter", presets::scatter::<T>(src.len()));
+    charge(&device, "scatter", presets::scatter::<T>(src.len()))?;
     Ok(())
 }
 
@@ -97,7 +100,10 @@ where
             if st[i] != 0 {
                 let idx = m[i] as usize;
                 if idx >= dlen {
-                    return Err(SimError::IndexOutOfBounds { index: idx, len: dlen });
+                    return Err(SimError::IndexOutOfBounds {
+                        index: idx,
+                        len: dlen,
+                    });
                 }
                 d[idx] = s[i];
             }
@@ -116,7 +122,7 @@ where
             .with_write((kept * elem) as u64)
             .with_pattern(gpu_sim::AccessPattern::Strided)
             .with_divergence(0.3),
-    );
+    )?;
     Ok(())
 }
 

@@ -18,7 +18,7 @@ where
     for &x in src.as_slice() {
         acc = op(acc, x);
     }
-    charge(&device, "reduce", KernelCost::reduce::<T>(src.len()));
+    charge(&device, "reduce", KernelCost::reduce::<T>(src.len()))?;
     // The scalar result returns to the host — Thrust's reduce does a small
     // implicit device→host copy.
     device.advance(gpu_sim::SimDuration::from_nanos(
@@ -70,7 +70,7 @@ where
         &device,
         "reduce_by_key",
         presets::reduce_by_key::<K, V>(keys.len(), groups),
-    );
+    )?;
     let kbuf = device.buffer_from_vec(out_keys, gpu_sim::AllocPolicy::Pooled)?;
     let vbuf = device.buffer_from_vec(out_vals, gpu_sim::AllocPolicy::Pooled)?;
     Ok((
@@ -109,7 +109,7 @@ where
     let cost = KernelCost::reduce::<A>(n)
         .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64)
         .with_flops(2 * n as u64);
-    charge(&device, "inner_product", cost);
+    charge(&device, "inner_product", cost)?;
     Ok(acc)
 }
 

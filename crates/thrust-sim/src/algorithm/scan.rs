@@ -26,7 +26,7 @@ where
             acc = acc + *x;
         }
     }
-    charge(&device, "exclusive_scan", presets::scan::<T>(src.len()));
+    charge(&device, "exclusive_scan", presets::scan::<T>(src.len()))?;
     Ok(out)
 }
 
@@ -46,7 +46,7 @@ where
             *o = acc;
         }
     }
-    charge(&device, "inclusive_scan", presets::scan::<T>(src.len()));
+    charge(&device, "inclusive_scan", presets::scan::<T>(src.len()))?;
     Ok(out)
 }
 

@@ -9,15 +9,24 @@ use crate::vector::DeviceVector;
 use gpu_sim::{presets, Device, DeviceCopy, Result, SimError};
 use std::sync::Arc;
 
-fn charge_radix<K>(device: &Arc<Device>, n: usize, payload_bytes: usize, label: &str) {
-    for (i, cost) in presets::radix_sort::<K>(n, payload_bytes).into_iter().enumerate() {
+fn charge_radix<K>(
+    device: &Arc<Device>,
+    n: usize,
+    payload_bytes: usize,
+    label: &str,
+) -> Result<()> {
+    for (i, cost) in presets::radix_sort::<K>(n, payload_bytes)
+        .into_iter()
+        .enumerate()
+    {
         let phase = match i % 3 {
             0 => "histogram",
             1 => "digit_scan",
             _ => "scatter",
         };
-        charge(device, &format!("{label}/{phase}"), cost);
+        charge(device, &format!("{label}/{phase}"), cost)?;
     }
+    Ok(())
 }
 
 /// `thrust::sort` — ascending in-place sort.
@@ -27,7 +36,7 @@ where
 {
     let device = Arc::clone(vec.device());
     vec.as_mut_slice().sort_unstable();
-    charge_radix::<T>(&device, vec.len(), 0, "sort");
+    charge_radix::<T>(&device, vec.len(), 0, "sort")?;
     Ok(())
 }
 
@@ -60,12 +69,12 @@ where
             vm[dst] = old_v[src as usize];
         }
     }
-    charge_radix::<K>(&device, n, std::mem::size_of::<V>(), "sort_by_key");
+    charge_radix::<K>(&device, n, std::mem::size_of::<V>(), "sort_by_key")?;
     Ok(())
 }
 
 /// `thrust::is_sorted`.
-pub fn is_sorted<T>(vec: &DeviceVector<T>) -> bool
+pub fn is_sorted<T>(vec: &DeviceVector<T>) -> Result<bool>
 where
     T: DeviceCopy + PartialOrd,
 {
@@ -75,8 +84,8 @@ where
         &device,
         "is_sorted",
         gpu_sim::KernelCost::reduce::<T>(vec.len()),
-    );
-    sorted
+    )?;
+    Ok(sorted)
 }
 
 #[cfg(test)]
@@ -92,7 +101,7 @@ mod tests {
         let data: Vec<u32> = (0..10_000).map(|_| rng.gen()).collect();
         let mut v = DeviceVector::from_host(&dev, &data).unwrap();
         sort(&mut v).unwrap();
-        assert!(is_sorted(&v));
+        assert!(is_sorted(&v).unwrap());
         let mut expect = data;
         expect.sort_unstable();
         assert_eq!(v.to_host().unwrap(), expect);
@@ -141,9 +150,9 @@ mod tests {
     fn is_sorted_detects_order() {
         let dev = Device::with_defaults();
         let v = DeviceVector::from_host(&dev, &[1u32, 2, 2, 3]).unwrap();
-        assert!(is_sorted(&v));
+        assert!(is_sorted(&v).unwrap());
         let w = DeviceVector::from_host(&dev, &[2u32, 1]).unwrap();
-        assert!(!is_sorted(&w));
+        assert!(!is_sorted(&w).unwrap());
     }
 
     #[test]

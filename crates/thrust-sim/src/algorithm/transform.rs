@@ -21,7 +21,7 @@ where
             *o = op(*i);
         }
     }
-    charge(&device, "transform", KernelCost::map::<T, U>(src.len()));
+    charge(&device, "transform", KernelCost::map::<T, U>(src.len()))?;
     Ok(out)
 }
 
@@ -53,18 +53,18 @@ where
     let n = a.len();
     let cost = KernelCost::map::<A, U>(n)
         .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64);
-    charge(&device, "transform_binary", cost);
+    charge(&device, "transform_binary", cost)?;
     Ok(out)
 }
 
 /// `thrust::fill` — set every element to `value`.
-pub fn fill<T: DeviceCopy>(vec: &mut DeviceVector<T>, value: T) {
+pub fn fill<T: DeviceCopy>(vec: &mut DeviceVector<T>, value: T) -> Result<()> {
     let device = Arc::clone(vec.device());
     for x in vec.as_mut_slice() {
         *x = value;
     }
     let cost = KernelCost::map::<(), T>(vec.len());
-    charge(&device, "fill", cost);
+    charge(&device, "fill", cost)
 }
 
 /// `thrust::sequence` — write `0, 1, 2, …` (row-id generation).
@@ -73,7 +73,7 @@ pub fn sequence(device: &Arc<Device>, len: usize) -> Result<DeviceVector<u32>> {
     for (i, x) in out.as_mut_slice().iter_mut().enumerate() {
         *x = i as u32;
     }
-    charge(device, "sequence", KernelCost::map::<(), u32>(len));
+    charge(device, "sequence", KernelCost::map::<(), u32>(len))?;
     Ok(out)
 }
 
@@ -116,7 +116,7 @@ mod tests {
     fn fill_and_sequence() {
         let dev = Device::with_defaults();
         let mut v: DeviceVector<u16> = DeviceVector::zeroed(&dev, 4).unwrap();
-        fill(&mut v, 7);
+        fill(&mut v, 7).unwrap();
         assert_eq!(v.to_host().unwrap(), vec![7; 4]);
         let s = sequence(&dev, 5).unwrap();
         assert_eq!(s.to_host().unwrap(), vec![0, 1, 2, 3, 4]);

@@ -39,8 +39,7 @@ pub mod vector;
 
 pub use algorithm::foreach::{for_each, for_each_n};
 pub use algorithm::misc::{
-    adjacent_difference, count, equal, max_element, merge, min_element, transform_reduce,
-    unique,
+    adjacent_difference, count, equal, max_element, merge, min_element, transform_reduce, unique,
 };
 pub use algorithm::partition::{copy_if, count_if, partition_flags};
 pub use algorithm::permute::{gather, scatter, scatter_if};

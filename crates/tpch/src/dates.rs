@@ -40,7 +40,10 @@ pub fn date(year: i32, month: u32, day: u32) -> u32 {
         }
     }
     let month_len = DAYS_IN_MONTH[(month - 1) as usize] + u32::from(month == 2 && is_leap(year));
-    assert!((1..=month_len).contains(&day), "bad day {day} for {year}-{month}");
+    assert!(
+        (1..=month_len).contains(&day),
+        "bad day {day} for {year}-{month}"
+    );
     days + day - 1
 }
 

@@ -71,9 +71,7 @@ pub fn generate_seeded(scale_factor: f64, seed: u64) -> Database {
 
     let n_ps = rows(800_000, sf);
     let partsupp = PartSupp {
-        partkey: (0..n_ps)
-            .map(|i| (i % n_part) as u32 + 1)
-            .collect(),
+        partkey: (0..n_ps).map(|i| (i % n_part) as u32 + 1).collect(),
         suppkey: (0..n_ps)
             .map(|_| rng.gen_range(1..=n_supp as u32))
             .collect(),
@@ -128,7 +126,11 @@ pub fn generate_seeded(scale_factor: f64, seed: u64) -> Database {
             } else {
                 1 // N
             };
-            let linestatus = if shipdate <= dates::date(1995, 6, 17) { 0 } else { 1 };
+            let linestatus = if shipdate <= dates::date(1995, 6, 17) {
+                0
+            } else {
+                1
+            };
             total += extendedprice * (1.0 - discount) * (1.0 + tax);
             lineitem.orderkey.push(o);
             lineitem.partkey.push(partkey);

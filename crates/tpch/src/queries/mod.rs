@@ -13,8 +13,8 @@
 pub mod q1;
 pub mod q14;
 pub mod q3;
-pub mod q5;
 pub mod q4;
+pub mod q5;
 pub mod q6;
 
 use proto_core::backend::GpuBackend;

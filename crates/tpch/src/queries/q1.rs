@@ -129,9 +129,29 @@ impl Q1Data {
         let v_disc = backend.download_f64(&sum_disc)?;
         let v_count = backend.download_f64(&counts)?;
         for c in [
-            ids, keys, qty, ext, disc, tax, one_minus_disc, disc_price, one_plus_tax, charge,
-            ones, gk, sum_qty, k2, sum_base, k3, sum_disc_price, k4, sum_charge, k5, sum_disc,
-            k6, counts,
+            ids,
+            keys,
+            qty,
+            ext,
+            disc,
+            tax,
+            one_minus_disc,
+            disc_price,
+            one_plus_tax,
+            charge,
+            ones,
+            gk,
+            sum_qty,
+            k2,
+            sum_base,
+            k3,
+            sum_disc_price,
+            k4,
+            sum_charge,
+            k5,
+            sum_disc,
+            k6,
+            counts,
         ] {
             backend.free(c)?;
         }

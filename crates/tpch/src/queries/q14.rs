@@ -60,8 +60,16 @@ impl Q14Data {
         };
         // σ(lineitem): the September 1995 window.
         let preds = [
-            Pred { col: &self.l_shipdate, cmp: CmpOp::Ge, lit: date(1995, 9, 1) as f64 },
-            Pred { col: &self.l_shipdate, cmp: CmpOp::Lt, lit: date(1995, 10, 1) as f64 },
+            Pred {
+                col: &self.l_shipdate,
+                cmp: CmpOp::Ge,
+                lit: date(1995, 9, 1) as f64,
+            },
+            Pred {
+                col: &self.l_shipdate,
+                cmp: CmpOp::Lt,
+                lit: date(1995, 10, 1) as f64,
+            },
         ];
         let l_ids = backend.selection_multi(&preds, Connective::And)?;
         let l_pk = backend.gather(&self.l_partkey, &l_ids)?;
@@ -148,7 +156,10 @@ mod tests {
     fn joinable_backends_match_the_reference() {
         let db = generate(0.002);
         let expect = reference(&db);
-        assert!(expect > 0.0 && expect < 100.0, "plausible percentage: {expect}");
+        assert!(
+            expect > 0.0 && expect < 100.0,
+            "plausible percentage: {expect}"
+        );
         let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
         for b in fw.backends() {
             let data = Q14Data::upload(b.as_ref(), &db).unwrap();

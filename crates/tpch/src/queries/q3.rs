@@ -117,8 +117,27 @@ impl Q3Data {
         let keys = backend.download_u32(&g_keys)?;
         let revs = backend.download_f64(&g_rev)?;
         for c in [
-            c_ids, cust_keys, o_ids, o_cust, o_key, oc_l, oc_r, sel_order_keys, l_ids, l_ok,
-            l_ext, l_disc, ll, _lr, m_ext, m_disc, m_key, one_minus, revenue, g_keys, g_rev,
+            c_ids,
+            cust_keys,
+            o_ids,
+            o_cust,
+            o_key,
+            oc_l,
+            oc_r,
+            sel_order_keys,
+            l_ids,
+            l_ok,
+            l_ext,
+            l_disc,
+            ll,
+            _lr,
+            m_ext,
+            m_disc,
+            m_key,
+            one_minus,
+            revenue,
+            g_keys,
+            g_rev,
         ] {
             backend.free(c)?;
         }
@@ -190,8 +209,7 @@ pub fn reference(db: &Database) -> Vec<Q3Row> {
     let li = &db.lineitem;
     for i in 0..li.len() {
         if li.shipdate[i] > cut && order_ok.contains(&li.orderkey[i]) {
-            *rev.entry(li.orderkey[i]).or_default() +=
-                li.extendedprice[i] * (1.0 - li.discount[i]);
+            *rev.entry(li.orderkey[i]).or_default() += li.extendedprice[i] * (1.0 - li.discount[i]);
         }
     }
     let mut rows: Vec<Q3Row> = rev

@@ -71,15 +71,24 @@ impl Q4Data {
         };
         // σ(orders): the Q3/1993 window.
         let preds = [
-            Pred { col: &self.o_orderdate, cmp: CmpOp::Ge, lit: date(1993, 7, 1) as f64 },
-            Pred { col: &self.o_orderdate, cmp: CmpOp::Lt, lit: date(1993, 10, 1) as f64 },
+            Pred {
+                col: &self.o_orderdate,
+                cmp: CmpOp::Ge,
+                lit: date(1993, 7, 1) as f64,
+            },
+            Pred {
+                col: &self.o_orderdate,
+                cmp: CmpOp::Lt,
+                lit: date(1993, 10, 1) as f64,
+            },
         ];
         let o_ids = backend.selection_multi(&preds, Connective::And)?;
         let o_keys = backend.gather(&self.o_orderkey, &o_ids)?;
         let o_prio = backend.gather(&self.o_priority, &o_ids)?;
 
         // σ(lineitem): late lines (column-vs-column predicate).
-        let l_ids = backend.selection_cmp_cols(&self.l_commitdate, &self.l_receiptdate, CmpOp::Lt)?;
+        let l_ids =
+            backend.selection_cmp_cols(&self.l_commitdate, &self.l_receiptdate, CmpOp::Lt)?;
         let l_keys = backend.gather(&self.l_orderkey, &l_ids)?;
 
         // Semi join: lines ⋈ orders, then collapse to distinct orders.
@@ -95,8 +104,20 @@ impl Q4Data {
         let codes = backend.download_u32(&prio_keys)?;
         let counts = backend.download_f64(&prio_counts)?;
         for c in [
-            o_ids, o_keys, o_prio, l_ids, l_keys, _jl, jr, ones_src, distinct_orders, _cnt,
-            prio_of_match, ones2, prio_keys, prio_counts,
+            o_ids,
+            o_keys,
+            o_prio,
+            l_ids,
+            l_keys,
+            _jl,
+            jr,
+            ones_src,
+            distinct_orders,
+            _cnt,
+            prio_of_match,
+            ones2,
+            prio_keys,
+            prio_counts,
         ] {
             backend.free(c)?;
         }

@@ -119,8 +119,16 @@ impl Q5Data {
 
         // σ(orders): the 1994 window.
         let date_preds = [
-            Pred { col: &self.o_orderdate, cmp: CmpOp::Ge, lit: date(1994, 1, 1) as f64 },
-            Pred { col: &self.o_orderdate, cmp: CmpOp::Lt, lit: date(1995, 1, 1) as f64 },
+            Pred {
+                col: &self.o_orderdate,
+                cmp: CmpOp::Ge,
+                lit: date(1994, 1, 1) as f64,
+            },
+            Pred {
+                col: &self.o_orderdate,
+                cmp: CmpOp::Lt,
+                lit: date(1995, 1, 1) as f64,
+            },
         ];
         let o_ids = backend.selection_multi(&date_preds, Connective::And)?;
         let o_cust = backend.gather(&self.o_custkey, &o_ids)?;
@@ -159,11 +167,43 @@ impl Q5Data {
         let revs = backend.download_f64(&g_rev)?;
 
         for c in [
-            n_ids, asia_nations, s_rows, _n1, asia_suppkeys, asia_supp_nation, c_rows, _n2,
-            asia_custkeys, asia_cust_nation, o_ids, o_cust, o_key, oc_l, oc_r, sel_order_keys,
-            order_cust_nation, ll, lr, line_supp, line_cust_nation, line_ext, line_disc, sl, sr,
-            m_supp_nation, m_cust_nation, m_ext, m_disc, local_ids, f_nation, f_ext, f_disc,
-            one_minus, revenue, g_keys, g_rev,
+            n_ids,
+            asia_nations,
+            s_rows,
+            _n1,
+            asia_suppkeys,
+            asia_supp_nation,
+            c_rows,
+            _n2,
+            asia_custkeys,
+            asia_cust_nation,
+            o_ids,
+            o_cust,
+            o_key,
+            oc_l,
+            oc_r,
+            sel_order_keys,
+            order_cust_nation,
+            ll,
+            lr,
+            line_supp,
+            line_cust_nation,
+            line_ext,
+            line_disc,
+            sl,
+            sr,
+            m_supp_nation,
+            m_cust_nation,
+            m_ext,
+            m_disc,
+            local_ids,
+            f_nation,
+            f_ext,
+            f_disc,
+            one_minus,
+            revenue,
+            g_keys,
+            g_rev,
         ] {
             backend.free(c)?;
         }
@@ -209,12 +249,7 @@ impl Q5Data {
 pub fn reference(db: &Database) -> Vec<Q5Row> {
     let (lo, hi) = (date(1994, 1, 1), date(1995, 1, 1));
     let region = region_code();
-    let nation_in_region: Vec<bool> = db
-        .nation
-        .regionkey
-        .iter()
-        .map(|&r| r == region)
-        .collect();
+    let nation_in_region: Vec<bool> = db.nation.regionkey.iter().map(|&r| r == region).collect();
     // custkey → nation (only region customers).
     let mut cust_nation = std::collections::HashMap::new();
     for i in 0..db.customer.len() {
@@ -280,7 +315,12 @@ mod tests {
         assert!(!expect.is_empty(), "ASIA revenue must exist");
         // Exactly the region's nations can appear.
         for r in &expect {
-            assert_eq!(db.nation.regionkey[r.nationkey as usize], 2, "{}", r.nation());
+            assert_eq!(
+                db.nation.regionkey[r.nationkey as usize],
+                2,
+                "{}",
+                r.nation()
+            );
         }
         let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
         for b in fw.backends() {

@@ -48,18 +48,43 @@ impl Q6Data {
         // cent to dodge float-representation edges, exactly like the
         // C implementations do.
         let preds = [
-            Pred { col: &self.shipdate, cmp: CmpOp::Ge, lit: date(1994, 1, 1) as f64 },
-            Pred { col: &self.shipdate, cmp: CmpOp::Lt, lit: date(1995, 1, 1) as f64 },
-            Pred { col: &self.discount, cmp: CmpOp::Ge, lit: 0.045 },
-            Pred { col: &self.discount, cmp: CmpOp::Le, lit: 0.075 },
-            Pred { col: &self.quantity, cmp: CmpOp::Lt, lit: 24.0 },
+            Pred {
+                col: &self.shipdate,
+                cmp: CmpOp::Ge,
+                lit: date(1994, 1, 1) as f64,
+            },
+            Pred {
+                col: &self.shipdate,
+                cmp: CmpOp::Lt,
+                lit: date(1995, 1, 1) as f64,
+            },
+            Pred {
+                col: &self.discount,
+                cmp: CmpOp::Ge,
+                lit: 0.045,
+            },
+            Pred {
+                col: &self.discount,
+                cmp: CmpOp::Le,
+                lit: 0.075,
+            },
+            Pred {
+                col: &self.quantity,
+                cmp: CmpOp::Lt,
+                lit: 24.0,
+            },
         ];
         backend.filter_sum_product(&self.extendedprice, &self.discount, &preds)
     }
 
     /// Free the working set.
     pub fn free(self, backend: &dyn GpuBackend) -> Result<()> {
-        for c in [self.shipdate, self.discount, self.quantity, self.extendedprice] {
+        for c in [
+            self.shipdate,
+            self.discount,
+            self.quantity,
+            self.extendedprice,
+        ] {
             backend.free(c)?;
         }
         Ok(())
@@ -138,10 +163,7 @@ mod tests {
             times["Handwritten"] < times["Thrust"],
             "fused kernel beats the Thrust chain: {times:?}"
         );
-        assert!(
-            times["Handwritten"] < times["Boost.Compute"],
-            "{times:?}"
-        );
+        assert!(times["Handwritten"] < times["Boost.Compute"], "{times:?}");
         assert!(
             times["ArrayFire"] < times["Boost.Compute"],
             "fusion beats the OpenCL chain at small sizes: {times:?}"

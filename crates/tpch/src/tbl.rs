@@ -68,10 +68,7 @@ pub fn customer_tbl(db: &Database) -> String {
         let _ = writeln!(
             out,
             "{}|{}|{:.2}|{}|",
-            c.custkey[i],
-            c.nationkey[i],
-            c.acctbal[i],
-            SEGMENTS[c.mktsegment[i] as usize],
+            c.custkey[i], c.nationkey[i], c.acctbal[i], SEGMENTS[c.mktsegment[i] as usize],
         );
     }
     out
@@ -163,7 +160,11 @@ mod tests {
     #[test]
     fn tbl_format_matches_dbgen_conventions() {
         let db = generate(0.001);
-        let line = lineitem_tbl(&db.lineitem).lines().next().unwrap().to_string();
+        let line = lineitem_tbl(&db.lineitem)
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
         assert!(line.ends_with('|'), "dbgen lines end with a separator");
         assert_eq!(line.matches('|').count(), 13);
         let odr = orders_tbl(&db.orders).lines().next().unwrap().to_string();
@@ -185,7 +186,10 @@ mod tests {
 
     #[test]
     fn date_parsing_rejects_garbage() {
-        assert_eq!(parse_date("1994-01-01"), Some(crate::dates::date(1994, 1, 1)));
+        assert_eq!(
+            parse_date("1994-01-01"),
+            Some(crate::dates::date(1994, 1, 1))
+        );
         assert_eq!(parse_date("1994-01"), None);
         assert_eq!(parse_date("not-a-date"), None);
         assert_eq!(parse_date("1980-01-01"), None, "before the epoch");

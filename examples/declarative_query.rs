@@ -21,14 +21,15 @@ fn main() {
 
     // SELECT SUM(extendedprice * discount) FROM lineitem
     // WHERE shipdate ∈ [1994, 1995) AND discount ∈ [0.05, 0.07] AND qty < 24
-    let q6 = AggQuery::new(Agg::Sum(Expr::col("extendedprice") * Expr::col("discount")))
-        .filter(Predicate::And(vec![
+    let q6 = AggQuery::new(Agg::Sum(Expr::col("extendedprice") * Expr::col("discount"))).filter(
+        Predicate::And(vec![
             Predicate::cmp("shipdate", CmpOp::Ge, date(1994, 1, 1) as f64),
             Predicate::cmp("shipdate", CmpOp::Lt, date(1995, 1, 1) as f64),
             Predicate::cmp("discount", CmpOp::Ge, 0.045),
             Predicate::cmp("discount", CmpOp::Le, 0.075),
             Predicate::cmp("quantity", CmpOp::Lt, 24.0),
-        ]));
+        ]),
+    );
 
     // And a grouped query: revenue by return flag.
     let by_flag = AggQuery::new(Agg::Sum(
@@ -44,7 +45,9 @@ fn main() {
         let b = backend.as_ref();
         println!("{}", q6.explain(b));
         let mut binding = Bindings::new(b);
-        binding.bind_f64("extendedprice", &li.extendedprice).unwrap();
+        binding
+            .bind_f64("extendedprice", &li.extendedprice)
+            .unwrap();
         binding.bind_f64("discount", &li.discount).unwrap();
         binding.bind_f64("quantity", &li.quantity).unwrap();
         binding.bind_f64("shipdate", &shipdate_f64).unwrap();

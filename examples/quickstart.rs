@@ -19,7 +19,9 @@ fn main() {
     println!("{}", fw.support_matrix());
 
     // One selection, every backend: same semantics, very different costs.
-    let column: Vec<u32> = (0..1_000_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let column: Vec<u32> = (0..1_000_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     println!("SELECT row_id FROM t WHERE col < 2^31  (1M rows)\n");
     println!(
         "{:<16} {:>10} {:>9} {:>14}  result rows",

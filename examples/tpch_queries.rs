@@ -66,7 +66,11 @@ fn main() {
                 fmt_duration(t14.as_nanos()),
             )
         } else {
-            ("unsupported".into(), "unsupported".into(), "unsupported".into())
+            (
+                "unsupported".into(),
+                "unsupported".into(),
+                "unsupported".into(),
+            )
         };
         println!(
             "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",

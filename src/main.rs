@@ -187,7 +187,10 @@ fn run_query(args: &[String]) {
         };
         if outcome.is_err() {
             debug_assert!(!can_join(b), "only join-less backends may fail");
-            println!("{:<16} unsupported (no join algorithm — Table II)", b.name());
+            println!(
+                "{:<16} unsupported (no join algorithm — Table II)",
+                b.name()
+            );
         }
     }
     if !ran_any {

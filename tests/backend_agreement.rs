@@ -61,8 +61,16 @@ fn conjunction_and_disjunction_agreement() {
             let ca = b.upload_u32(&a).unwrap();
             let cb = b.upload_u32(&b_col).unwrap();
             let preds = [
-                Pred { col: &ca, cmp: CmpOp::Lt, lit: 400.0 },
-                Pred { col: &cb, cmp: CmpOp::Ge, lit: 600.0 },
+                Pred {
+                    col: &ca,
+                    cmp: CmpOp::Lt,
+                    lit: 400.0,
+                },
+                Pred {
+                    col: &cb,
+                    cmp: CmpOp::Ge,
+                    lit: 600.0,
+                },
             ];
             let ids = b.selection_multi(&preds, conn).unwrap();
             let v = b.download_u32(&ids).unwrap();
@@ -189,7 +197,9 @@ fn gather_scatter_product_reduction_agreement() {
         for c in [g, d, m] {
             b.free(c).unwrap();
         }
-        v.iter().map(|x| (x * 1e6).round() as i64).collect::<Vec<_>>()
+        v.iter()
+            .map(|x| (x * 1e6).round() as i64)
+            .collect::<Vec<_>>()
     });
     assert_eq!(gathered.len(), idx.len());
 

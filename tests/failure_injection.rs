@@ -17,7 +17,10 @@ fn device_oom_is_a_typed_error() {
     let dev = tiny_device(1 << 20); // 1 MiB
     let r = dev.alloc::<u64>(1 << 20); // 8 MiB
     match r {
-        Err(SimError::OutOfMemory { requested, available }) => {
+        Err(SimError::OutOfMemory {
+            requested,
+            available,
+        }) => {
             assert!(requested > available);
         }
         other => panic!("expected OOM, got {other:?}"),
@@ -47,7 +50,7 @@ fn pool_pressure_is_rescued_by_trim() {
     {
         let _a = dev.alloc::<u8>(3 << 20).unwrap();
     } // cached in the pool, still reserved
-    // A different size class forces the pool trim path.
+      // A different size class forces the pool trim path.
     let b = dev.alloc::<u8>((2 << 20) + 1);
     assert!(b.is_ok(), "trim-under-pressure must rescue: {b:?}");
 }
@@ -60,12 +63,8 @@ fn freeing_a_foreign_or_stale_handle_errors() {
     // Foreign backend rejects it.
     assert!(b.download_u32(&col).is_err());
     // Rightful owner frees it once…
-    let id_copy = gpu_proto_db::core::backend::Col::from_raw(
-        col.raw_id(),
-        col.dtype(),
-        col.len(),
-        "Thrust",
-    );
+    let id_copy =
+        gpu_proto_db::core::backend::Col::from_raw(col.raw_id(), col.dtype(), col.len(), "Thrust");
     a.free(col).unwrap();
     // …and a stale duplicate of the handle dangles.
     assert!(matches!(
@@ -97,7 +96,8 @@ fn merge_join_precondition_is_enforced_end_to_end() {
 #[test]
 fn zero_cost_for_each_n_is_rejected() {
     let dev = Device::with_defaults();
-    let r = gpu_proto_db::thrust::for_each_n(&dev, 5, gpu_proto_db::sim::KernelCost::empty(), |_| {});
+    let r =
+        gpu_proto_db::thrust::for_each_n(&dev, 5, gpu_proto_db::sim::KernelCost::empty(), |_| {});
     assert!(matches!(r, Err(SimError::InvalidLaunch(_))));
 }
 

@@ -1,0 +1,275 @@
+//! Fault-injection acceptance tests: with transient faults injected at
+//! every allocation / transfer / launch site, resilient execution must
+//! complete TPC-H queries on every backend with answers identical to the
+//! fault-free run — and must cost exactly nothing when no faults fire.
+
+use gpu_proto_db::core::backend::GpuBackend;
+use gpu_proto_db::core::framework::Framework;
+use gpu_proto_db::core::prelude::*;
+use gpu_proto_db::sim::{DeviceSpec, FaultPlan, FaultSite};
+use gpu_proto_db::tpch::{self, queries::q1::Q1Data, queries::q6::Q6Data};
+use proptest::prelude::*;
+
+/// A retry budget sized for fused pipelines: a backend's Q6 override runs
+/// a ~17-fault-site kernel chain as a single retry scope, so at a 5–10%
+/// per-site rate most attempts fail and recovery needs patience. Backoff
+/// is charged to the simulated clock, so patience costs no wall time.
+fn deep_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 60,
+        ..RetryPolicy::default()
+    }
+}
+
+fn resilient_setup() -> Framework {
+    Framework::with_all_backends_resilient(&DeviceSpec::gtx1080(), deep_policy())
+}
+
+#[test]
+fn q6_survives_five_percent_faults_with_identical_answers() {
+    let db = tpch::generate(0.002);
+    // Fault-free reference answers, per backend (summation order differs
+    // between backends, so each is its own baseline).
+    let clean = gpu_proto_db::paper_setup();
+    let mut expect = std::collections::HashMap::new();
+    for b in clean.backends() {
+        let data = Q6Data::upload(b.as_ref(), &db).unwrap();
+        expect.insert(b.name(), data.execute(b.as_ref()).unwrap());
+        data.free(b.as_ref()).unwrap();
+    }
+
+    let fw = resilient_setup();
+    let (mut total_faults, mut total_retries) = (0, 0);
+    for b in fw.backends() {
+        b.device()
+            .install_fault_plan(FaultPlan::uniform(0xFA11, 0.05));
+        let data = Q6Data::upload(b.as_ref(), &db).unwrap();
+        let got = data.execute(b.as_ref()).unwrap();
+        data.free(b.as_ref()).unwrap();
+        assert_eq!(
+            got.to_bits(),
+            expect[b.name()].to_bits(),
+            "{}: faults changed the Q6 answer",
+            b.name()
+        );
+        // A fused backend makes only ~a dozen fault draws at this scale,
+        // so a zero-fault run is legitimate per backend — but not across
+        // all four.
+        let stats = b.device().stats();
+        total_faults += stats.faults_injected;
+        total_retries += stats.retries;
+    }
+    assert!(total_faults > 0, "5% faults must fire somewhere");
+    assert!(total_retries > 0, "5% faults must force retries somewhere");
+}
+
+#[test]
+fn q1_survives_five_percent_faults_with_identical_answers() {
+    let db = tpch::generate(0.002);
+    let clean = gpu_proto_db::paper_setup();
+    let mut expect = std::collections::HashMap::new();
+    for b in clean.backends() {
+        let data = Q1Data::upload(b.as_ref(), &db).unwrap();
+        expect.insert(b.name(), data.execute(b.as_ref()).unwrap());
+        data.free(b.as_ref()).unwrap();
+    }
+
+    let fw = resilient_setup();
+    let mut total_faults = 0;
+    for b in fw.backends() {
+        b.device()
+            .install_fault_plan(FaultPlan::uniform(0x51AB, 0.05));
+        let data = Q1Data::upload(b.as_ref(), &db).unwrap();
+        let got = data.execute(b.as_ref()).unwrap();
+        data.free(b.as_ref()).unwrap();
+        assert_eq!(
+            got,
+            expect[b.name()],
+            "{}: faults changed Q1 rows",
+            b.name()
+        );
+        total_faults += b.device().stats().faults_injected;
+    }
+    assert!(total_faults > 0, "5% faults must fire somewhere");
+}
+
+#[test]
+fn resilient_wrapper_is_free_without_faults() {
+    let db = tpch::generate(0.002);
+    let timeline = |fw: &Framework| -> Vec<(&'static str, u64)> {
+        fw.backends()
+            .iter()
+            .map(|b| {
+                let data = Q6Data::upload(b.as_ref(), &db).unwrap();
+                data.execute(b.as_ref()).unwrap();
+                data.free(b.as_ref()).unwrap();
+                (b.name(), b.device().now().as_nanos())
+            })
+            .collect()
+    };
+    let plain = timeline(&gpu_proto_db::paper_setup());
+    let resilient = timeline(&resilient_setup());
+    assert_eq!(
+        plain, resilient,
+        "wrapper must add zero simulated time at fault rate 0"
+    );
+}
+
+#[test]
+fn executor_degrades_to_handwritten_for_joins_under_faults() {
+    // Hash join: unsupported by every library backend (the paper's
+    // headline gap), so the chain must fall back to the handwritten
+    // baseline — even while faults are firing on both devices.
+    let spec = DeviceSpec::gtx1080();
+    let outer: Vec<u32> = (0..3000).map(|i| i % 257).collect();
+    let inner: Vec<u32> = (0..500).map(|i| i * 3 % 257).collect();
+    let mut expect = Vec::new();
+    for (i, a) in outer.iter().enumerate() {
+        for (j, b) in inner.iter().enumerate() {
+            if a == b {
+                expect.push((i as u32, j as u32));
+            }
+        }
+    }
+    for primary in ["Thrust", "Boost.Compute", "ArrayFire"] {
+        let fw = Framework::with_all_backends_resilient(&spec, deep_policy());
+        let lib = fw.backend(primary).unwrap();
+        let hw = fw.backend("Handwritten").unwrap();
+        let lib_dev = lib.device();
+        let hw_dev = hw.device();
+        lib_dev.install_fault_plan(FaultPlan::uniform(9, 0.05));
+        hw_dev.install_fault_plan(FaultPlan::uniform(10, 0.05));
+        let ex = ResilientExecutor::with_policy(
+            vec![
+                Box::new(gpu_proto_db::core::backends::ThrustBackend::new(&lib_dev)),
+                Box::new(gpu_proto_db::core::backends::HandwrittenBackend::new(
+                    &hw_dev,
+                )),
+            ],
+            deep_policy(),
+        );
+        let (o, i) = ex.hash_join(&outer, &inner).unwrap();
+        let got: Vec<(u32, u32)> = o.into_iter().zip(i).collect();
+        assert_eq!(got, expect, "fallback join must still be exact");
+        assert!(
+            lib_dev.stats().fallbacks > 0,
+            "{primary}: join must fall back to Handwritten"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical seeds replay byte-identical fault schedules at every
+    /// site, and two identically-seeded runs of the same faulty workload
+    /// land on identical simulated clocks.
+    #[test]
+    fn fault_schedules_replay_bit_for_bit(
+        seed in any::<u64>(),
+        rate_permille in 0u64..300,
+    ) {
+        let rate = rate_permille as f64 / 1000.0;
+        let plan = FaultPlan::uniform(seed, rate);
+        for site in FaultSite::ALL {
+            prop_assert_eq!(
+                plan.schedule(site, 256),
+                FaultPlan::uniform(seed, rate).schedule(site, 256)
+            );
+        }
+        let run = || {
+            let dev = gpu_proto_db::sim::Device::with_defaults();
+            dev.install_fault_plan(FaultPlan::uniform(seed, rate));
+            let b = ResilientBackend::with_policy(
+                Box::new(gpu_proto_db::core::backends::ThrustBackend::new(&dev)),
+                deep_policy(),
+            );
+            let data: Vec<u32> = (0..2048).map(|i| i * 37 % 1000).collect();
+            let col = b.upload_u32(&data).unwrap();
+            let ids = b.selection(&col, CmpOp::Ge, 500.0).unwrap();
+            let host = b.download_u32(&ids).unwrap();
+            let stats = dev.stats();
+            (host, stats.retries, stats.faults_injected, dev.now().as_nanos())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The resilient executor returns results identical to the fault-free
+    /// run — selection, grouped sum and hash join, on every backend chain,
+    /// under an arbitrary fault plan. (Values are integer-valued floats,
+    /// so chunk-merged sums are exact.)
+    #[test]
+    fn executor_results_match_fault_free_under_any_plan(
+        seed in any::<u64>(),
+        rate_permille in 1u64..120,
+        keys in prop::collection::vec(0u32..64, 1..400),
+    ) {
+        let vals: Vec<f64> = keys.iter().map(|&k| f64::from(k * 7 % 101)).collect();
+        let inner: Vec<u32> = (0..40).collect();
+        let spec = DeviceSpec::gtx1080();
+        for faulty in [false, true] {
+            let mut per_backend = Vec::new();
+            for name in ["ArrayFire", "Boost.Compute", "Thrust", "Handwritten"] {
+                let fw = Framework::with_all_backends(&spec);
+                let primary = fw.backend(name).unwrap().device();
+                let fallback = fw.backend("Handwritten").unwrap().device();
+                if faulty {
+                    let rate = rate_permille as f64 / 1000.0;
+                    primary.install_fault_plan(FaultPlan::uniform(seed, rate));
+                    fallback.install_fault_plan(FaultPlan::uniform(seed ^ 1, rate));
+                }
+                let chain: Vec<Box<dyn GpuBackend>> = vec![
+                    match name {
+                        "ArrayFire" => Box::new(
+                            gpu_proto_db::core::backends::ArrayFireBackend::new(&primary),
+                        ) as Box<dyn GpuBackend>,
+                        "Boost.Compute" => {
+                            Box::new(gpu_proto_db::core::backends::BoostBackend::new(&primary))
+                        }
+                        "Thrust" => {
+                            Box::new(gpu_proto_db::core::backends::ThrustBackend::new(&primary))
+                        }
+                        _ => Box::new(
+                            gpu_proto_db::core::backends::HandwrittenBackend::new(&primary),
+                        ),
+                    },
+                    Box::new(gpu_proto_db::core::backends::HandwrittenBackend::new(&fallback)),
+                ];
+                let ex = ResilientExecutor::with_policy(chain, deep_policy());
+                let sel = ex.selection(&keys, CmpOp::Lt, 32.0).unwrap();
+                let (gk, gs) = ex.grouped_sum(&keys, &vals).unwrap();
+                let (jo, ji) = ex.hash_join(&keys, &inner).unwrap();
+                per_backend.push((name, sel, gk, gs, jo, ji));
+            }
+            // All four chains agree with the host reference.
+            let expect_sel: Vec<u32> = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, &k)| k < 32)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut expect_gs: std::collections::BTreeMap<u32, f64> = Default::default();
+            for (k, v) in keys.iter().zip(&vals) {
+                *expect_gs.entry(*k).or_insert(0.0) += v;
+            }
+            for (name, sel, gk, gs, jo, ji) in &per_backend {
+                prop_assert_eq!(sel, &expect_sel, "{} faulty={}", name, faulty);
+                prop_assert_eq!(
+                    gk,
+                    &expect_gs.keys().copied().collect::<Vec<_>>(),
+                    "{} faulty={}", name, faulty
+                );
+                prop_assert_eq!(
+                    gs,
+                    &expect_gs.values().copied().collect::<Vec<_>>(),
+                    "{} faulty={}", name, faulty
+                );
+                for (o, i) in jo.iter().zip(ji) {
+                    prop_assert_eq!(keys[*o as usize], inner[*i as usize]);
+                }
+                let n_matches: usize = keys.iter().filter(|k| **k < 40).count();
+                prop_assert_eq!(jo.len(), n_matches, "{} faulty={}", name, faulty);
+            }
+        }
+    }
+}

@@ -10,7 +10,12 @@ fn claim_1_no_library_supports_hashing() {
     //  hash joins – is currently not supported" (abstract).
     let fw = gpu_proto_db::paper_setup();
     for lib in fw.library_backends() {
-        assert_eq!(lib.support(DbOperator::HashJoin), Support::None, "{}", lib.name());
+        assert_eq!(
+            lib.support(DbOperator::HashJoin),
+            Support::None,
+            "{}",
+            lib.name()
+        );
         let o = lib.upload_u32(&[1, 2]).unwrap();
         let i = lib.upload_u32(&[2]).unwrap();
         assert!(lib.join(&o, &i, JoinAlgo::Hash).is_err(), "{}", lib.name());
@@ -86,7 +91,10 @@ fn claim_4_handwritten_kernels_beat_library_chains() {
         b.free(ids).unwrap();
         b.free(c).unwrap();
     }
-    assert!(hw_time < best_lib, "handwritten {hw_time} vs best library {best_lib}");
+    assert!(
+        hw_time < best_lib,
+        "handwritten {hw_time} vs best library {best_lib}"
+    );
 }
 
 #[test]
@@ -101,7 +109,11 @@ fn claim_5_library_development_effort_is_lower() {
             let r = lib.realization(op);
             match lib.support(op) {
                 Support::None => assert_eq!(r, "–"),
-                _ => assert!(r.contains('(') && r.len() > 3, "{}: {op} -> {r}", lib.name()),
+                _ => assert!(
+                    r.contains('(') && r.len() > 3,
+                    "{}: {op} -> {r}",
+                    lib.name()
+                ),
             }
         }
     }

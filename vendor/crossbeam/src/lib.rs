@@ -1,0 +1,64 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::scope` API this workspace uses, implemented on
+//! `std::thread::scope` (stable since 1.63). Spawned closures receive a
+//! `&Scope` argument for signature compatibility with crossbeam, and the
+//! result is `Ok(..)` unless a worker panicked.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure and to each spawned worker.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker thread bound to the scope. The closure receives the
+    /// scope handle (crossbeam convention), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// workers are joined before `scope` returns. Returns `Err` with the panic
+/// payload if any worker panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_workers() {
+        let sum = AtomicUsize::new(0);
+        super::scope(|s| {
+            for i in 1..=4 {
+                let sum = &sum;
+                s.spawn(move |_| sum.fetch_add(i, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Distributions (`rand::distributions` subset).
+
+use crate::{RngCore, StandardSample};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A distribution producing `T` values.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Index distribution weighted by nonnegative `f64` weights (the subset of
+/// rand's `WeightedIndex` the workload generators use).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Error for invalid weight sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were provided.
+    NoItem,
+    /// A weight was negative or non-finite, or all weights were zero.
+    InvalidWeight,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "invalid weight"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+impl WeightedIndex {
+    /// Build from an iterator of weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::InvalidWeight);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = f64::sample_standard(rng) * self.total;
+        // First cumulative weight strictly greater than x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let dist = WeightedIndex::new(&[8.0, 1.0, 1.0]).unwrap();
+        let mut rng = crate::StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let head = counts[0] as f64 / n as f64;
+        assert!((head - 0.8).abs() < 0.02, "{counts:?}");
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        assert_eq!(
+            WeightedIndex::new(std::iter::empty::<f64>()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new(&[-1.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new(&[0.0, 0.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+}

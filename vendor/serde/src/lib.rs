@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates stats/trace/config types with
+//! `#[derive(Serialize, Deserialize)]` but does not (yet) link a
+//! serialisation format, so marker traits plus no-op derives are
+//! sufficient to keep every annotation site compiling. Swapping the real
+//! serde back in is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Blanket implementations so generic bounds like `T: Serialize` stay
+/// satisfiable for any type while the stub is in place.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
