@@ -319,12 +319,10 @@ impl Array {
         // JIT the fused kernel shape (cache-hit on repeats).
         let sig = self.node.signature();
         self.backend.ensure_jit(&sig);
-        // Execute functionally through the interpreter.
-        let lanes = self.node.lanes();
-        let mut out = Vec::with_capacity(self.len);
-        for i in 0..self.len {
-            out.push(self.node.eval_at(i, &lanes));
-        }
+        // Execute functionally through the compiled post-order program —
+        // bit-identical to the recursive interpreter, op-at-a-time over
+        // chunked lanes instead of a tree walk per element.
+        let out = crate::program::Program::compile(&self.node).eval(self.len);
         let col = Arc::new(column_from_f64(device, self.dtype, out)?);
         // One fused kernel: read each distinct leaf once, write once.
         let cost = KernelCost {

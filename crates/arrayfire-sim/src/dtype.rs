@@ -176,11 +176,23 @@ impl ColumnData {
     /// by the interpreter; no cost implications).
     pub fn to_f64_vec(&self) -> Vec<f64> {
         match self {
-            ColumnData::F64(b) => b.host().to_vec(),
-            ColumnData::U64(b) => b.host().iter().map(|&x| x as f64).collect(),
-            ColumnData::U32(b) => b.host().iter().map(|&x| x as f64).collect(),
-            ColumnData::I64(b) => b.host().iter().map(|&x| x as f64).collect(),
-            ColumnData::B8(b) => b.host().iter().map(|&x| x as f64).collect(),
+            ColumnData::F64(b) => gpu_sim::hostmem::take_from_slice(b.host()),
+            ColumnData::U64(b) => {
+                let s = b.host();
+                gpu_sim::par_map_vec(s.len(), |i| s[i] as f64)
+            }
+            ColumnData::U32(b) => {
+                let s = b.host();
+                gpu_sim::par_map_vec(s.len(), |i| f64::from(s[i]))
+            }
+            ColumnData::I64(b) => {
+                let s = b.host();
+                gpu_sim::par_map_vec(s.len(), |i| s[i] as f64)
+            }
+            ColumnData::B8(b) => {
+                let s = b.host();
+                gpu_sim::par_map_vec(s.len(), |i| f64::from(s[i]))
+            }
         }
     }
 
@@ -236,15 +248,18 @@ fn type_err(wanted: &str, got: DType) -> SimError {
 /// Build a [`ColumnData`] of `dtype` from an `f64` working vector
 /// (interpreter output), truncating/rounding like a GPU cast.
 pub fn column_from_f64(device: &Arc<Device>, dtype: DType, v: Vec<f64>) -> Result<ColumnData> {
-    match dtype {
-        DType::F64 => ColumnData::from_f64(device, v),
-        DType::U64 => ColumnData::from_u64(device, v.into_iter().map(|x| x as u64).collect()),
-        DType::U32 => ColumnData::from_u32(device, v.into_iter().map(|x| x as u32).collect()),
-        DType::I64 => ColumnData::from_i64(device, v.into_iter().map(|x| x as i64).collect()),
-        DType::B8 => {
-            ColumnData::from_b8(device, v.into_iter().map(|x| u8::from(x != 0.0)).collect())
-        }
-    }
+    let col = match dtype {
+        DType::F64 => return ColumnData::from_f64(device, v),
+        DType::U64 => ColumnData::from_u64(device, gpu_sim::par_map_vec(v.len(), |i| v[i] as u64)),
+        DType::U32 => ColumnData::from_u32(device, gpu_sim::par_map_vec(v.len(), |i| v[i] as u32)),
+        DType::I64 => ColumnData::from_i64(device, gpu_sim::par_map_vec(v.len(), |i| v[i] as i64)),
+        DType::B8 => ColumnData::from_b8(
+            device,
+            gpu_sim::par_map_vec(v.len(), |i| u8::from(v[i] != 0.0)),
+        ),
+    };
+    gpu_sim::hostmem::put_vec(v);
+    col
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub mod dtype;
 pub mod node;
 pub mod ops;
 pub mod ops_ext;
+pub mod program;
 
 pub use array::{Array, Backend};
 pub use dtype::{ColumnData, DType, Scalar};

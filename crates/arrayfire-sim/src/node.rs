@@ -280,27 +280,20 @@ impl Node {
     }
 }
 
-/// `f64` working copies of the distinct leaves of a tree.
+/// `f64` working copies of the distinct leaves of a tree, keyed by leaf
+/// id (hashed — insert and lookup are O(1), not a linear scan per call).
 #[derive(Debug, Default)]
 pub struct LeafLanes {
-    lanes: Vec<(u64, Vec<f64>)>,
+    lanes: std::collections::HashMap<u64, Vec<f64>>,
 }
 
 impl LeafLanes {
     fn insert(&mut self, id: u64, col: &ColumnData) {
-        if self.lanes.iter().any(|(lid, _)| *lid == id) {
-            return;
-        }
-        self.lanes.push((id, col.to_f64_vec()));
+        self.lanes.entry(id).or_insert_with(|| col.to_f64_vec());
     }
 
     fn get(&self, id: u64) -> &[f64] {
-        &self
-            .lanes
-            .iter()
-            .find(|(lid, _)| *lid == id)
-            .expect("leaf lane missing")
-            .1
+        self.lanes.get(&id).expect("leaf lane missing")
     }
 }
 

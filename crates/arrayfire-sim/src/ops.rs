@@ -178,10 +178,34 @@ pub fn sort(a: &Array) -> Result<Array> {
     let af = backend_of(a);
     let device = af.device();
     let col = a.eval()?;
-    let mut v = col.to_f64_vec();
-    v.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sort"));
     charge_radix(&af, a.len(), a.dtype().size(), 0, "af::sort")?;
-    af.wrap(crate::dtype::column_from_f64(device, a.dtype(), v)?)
+    // Real LSD radix sort, run in the column's native key domain when it
+    // has one — the f64 working-lane round-trip is order-preserving and
+    // exact for every dtype here, so the narrow sort produces the same
+    // column as sorting the f64 lanes (at half the passes for u32).
+    let sorted = match &*col {
+        crate::dtype::ColumnData::U32(b) => {
+            let mut v = gpu_sim::hostmem::take_from_slice(b.host());
+            gpu_sim::hostexec::sort_keys(&mut v);
+            crate::dtype::ColumnData::from_u32(device, v)?
+        }
+        crate::dtype::ColumnData::U64(b) => {
+            let mut v = gpu_sim::hostmem::take_from_slice(b.host());
+            gpu_sim::hostexec::sort_keys(&mut v);
+            crate::dtype::ColumnData::from_u64(device, v)?
+        }
+        crate::dtype::ColumnData::I64(b) => {
+            let mut v = gpu_sim::hostmem::take_from_slice(b.host());
+            gpu_sim::hostexec::sort_keys(&mut v);
+            crate::dtype::ColumnData::from_i64(device, v)?
+        }
+        _ => {
+            let mut v = col.to_f64_vec();
+            gpu_sim::hostexec::sort_keys(&mut v);
+            crate::dtype::column_from_f64(device, a.dtype(), v)?
+        }
+    };
+    af.wrap(sorted)
 }
 
 /// `af::sort` with `(keys, values)` — returns both permuted, keys
@@ -197,12 +221,6 @@ pub fn sort_by_key(keys: &Array, vals: &Array) -> Result<(Array, Array)> {
     let device = af.device();
     let kcol = keys.eval()?;
     let vcol = vals.eval()?;
-    let kv = kcol.to_f64_vec();
-    let vv = vcol.to_f64_vec();
-    let mut perm: Vec<usize> = (0..kv.len()).collect();
-    perm.sort_by(|&i, &j| kv[i].partial_cmp(&kv[j]).expect("NaN key").then(i.cmp(&j)));
-    let ks: Vec<f64> = perm.iter().map(|&i| kv[i]).collect();
-    let vs: Vec<f64> = perm.iter().map(|&i| vv[i]).collect();
     charge_radix(
         &af,
         keys.len(),
@@ -210,6 +228,24 @@ pub fn sort_by_key(keys: &Array, vals: &Array) -> Result<(Array, Array)> {
         vals.dtype().size(),
         "af::sort_by_key",
     )?;
+    // Stable radix sort == the old index-tiebroken comparison sort. The
+    // dominant dtype pairing sorts in its native key domain (u32 keys
+    // take half the digit passes of the f64 working lanes and skip both
+    // conversions); everything else goes through the f64 lanes, whose
+    // order matches the native one exactly.
+    if let (crate::dtype::ColumnData::U32(kb), crate::dtype::ColumnData::F64(vb)) = (&*kcol, &*vcol)
+    {
+        let mut ks = gpu_sim::hostmem::take_from_slice(kb.host());
+        let mut vs = gpu_sim::hostmem::take_from_slice(vb.host());
+        gpu_sim::hostexec::sort_pairs(&mut ks, &mut vs);
+        return Ok((
+            af.wrap(crate::dtype::ColumnData::from_u32(device, ks)?)?,
+            af.wrap(crate::dtype::ColumnData::from_f64(device, vs)?)?,
+        ));
+    }
+    let mut ks = kcol.to_f64_vec();
+    let mut vs = vcol.to_f64_vec();
+    gpu_sim::hostexec::sort_pairs(&mut ks, &mut vs);
     Ok((
         af.wrap(crate::dtype::column_from_f64(device, keys.dtype(), ks)?)?,
         af.wrap(crate::dtype::column_from_f64(device, vals.dtype(), vs)?)?,

@@ -1,0 +1,240 @@
+//! Compiled evaluation of the lazy expression DAG.
+//!
+//! [`Array::eval`](crate::Array::eval) used to interpret its tree with a
+//! per-element recursive walk ([`Node::eval_at`]) — one tree traversal and
+//! one leaf-lane lookup *per element per leaf*. This module compiles the
+//! tree once per evaluation into a flat post-order [`Program`] (a stack
+//! machine over `f64` lane buffers) and executes it op-at-a-time over
+//! fixed-size chunks: every instruction streams through a cache-resident
+//! lane, leaf columns are converted to `f64` exactly once, and leaf ids
+//! are resolved to dense slot indices at compile time.
+//!
+//! The instruction order is the same post-order the recursive interpreter
+//! used, so every element sees the identical sequence of `f64` operations:
+//! results are bit-for-bit those of `eval_at`, at a fraction of the host
+//! cost. Simulated time is charged by the caller exactly as before —
+//! compilation here is pure host-side mechanics, not the modelled JIT
+//! (which [`crate::array::Backend::ensure_jit`] accounts separately).
+
+use crate::dtype::{ColumnData, DType};
+use crate::node::{BinaryOp, Node, UnaryOp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Elements processed per inner lane: small enough that a handful of lane
+/// buffers stay cache-resident, large enough to amortise dispatch.
+const LANE: usize = 2048;
+
+/// One stack-machine instruction of a compiled tree.
+enum Instr {
+    /// Push leaf slot `n`'s lane.
+    Load(usize),
+    /// Apply a unary op to the top of stack.
+    Unary(UnaryOp),
+    /// Pop the right operand, apply to the left in place.
+    Binary(BinaryOp),
+    /// Top-of-stack `op` scalar.
+    ScalarRhs(BinaryOp, f64),
+    /// Scalar `op` top-of-stack.
+    ScalarLhs(BinaryOp, f64),
+    /// Dtype-cast the top of stack.
+    Cast(DType),
+}
+
+/// A lazy tree compiled to a flat post-order program.
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// Distinct leaf columns in slot order (`Instr::Load` indexes this).
+    leaves: Vec<Arc<ColumnData>>,
+    stack_depth: usize,
+}
+
+impl Program {
+    /// Compile `root` into a post-order instruction list, resolving each
+    /// distinct leaf id to a dense slot.
+    pub fn compile(root: &Node) -> Program {
+        let mut prog = Program {
+            instrs: Vec::new(),
+            leaves: Vec::new(),
+            stack_depth: 0,
+        };
+        let mut slots: HashMap<u64, usize> = HashMap::new();
+        let mut cur = 0usize;
+        prog.emit(root, &mut slots, &mut cur);
+        prog
+    }
+
+    fn emit(&mut self, node: &Node, slots: &mut HashMap<u64, usize>, cur: &mut usize) {
+        match node {
+            Node::Leaf(id, col) => {
+                let slot = *slots.entry(*id).or_insert_with(|| {
+                    self.leaves.push(Arc::clone(col));
+                    self.leaves.len() - 1
+                });
+                self.instrs.push(Instr::Load(slot));
+                *cur += 1;
+                self.stack_depth = self.stack_depth.max(*cur);
+            }
+            Node::Unary(op, c) => {
+                self.emit(c, slots, cur);
+                self.instrs.push(Instr::Unary(*op));
+            }
+            Node::Binary(op, l, r) => {
+                self.emit(l, slots, cur);
+                self.emit(r, slots, cur);
+                self.instrs.push(Instr::Binary(*op));
+                *cur -= 1;
+            }
+            Node::ScalarRhs(op, c, s) => {
+                self.emit(c, slots, cur);
+                self.instrs.push(Instr::ScalarRhs(*op, s.as_f64()));
+            }
+            Node::ScalarLhs(op, s, c) => {
+                self.emit(c, slots, cur);
+                self.instrs.push(Instr::ScalarLhs(*op, s.as_f64()));
+            }
+            Node::Cast(dt, c) => {
+                self.emit(c, slots, cur);
+                self.instrs.push(Instr::Cast(*dt));
+            }
+        }
+    }
+
+    /// Execute the program over `len` elements, returning the result lane.
+    /// Leaf columns are converted to `f64` once; the element loops are
+    /// split across host threads at fixed chunk granularity (bit-identical
+    /// at any thread count — each element depends only on itself).
+    pub fn eval(&self, len: usize) -> Vec<f64> {
+        let lanes: Vec<Vec<f64>> = self.leaves.iter().map(|c| c.to_f64_vec()).collect();
+        let mut out = gpu_sim::hostmem::take_scratch(len);
+        gpu_sim::par_chunks_mut(&mut out, LANE, |base, chunk| {
+            self.eval_chunk(&lanes, base, chunk);
+        });
+        for lane in lanes {
+            gpu_sim::hostmem::put_vec(lane);
+        }
+        out
+    }
+
+    /// Run the instruction list over one output window, `LANE` elements at
+    /// a time with a per-call lane stack.
+    fn eval_chunk(&self, lanes: &[Vec<f64>], base: usize, out: &mut [f64]) {
+        let width = LANE.min(out.len()).max(1);
+        let mut stack = vec![vec![0.0f64; width]; self.stack_depth];
+        let mut off = 0usize;
+        while off < out.len() {
+            let w = width.min(out.len() - off);
+            let start = base + off;
+            let mut sp = 0usize;
+            for instr in &self.instrs {
+                match instr {
+                    Instr::Load(slot) => {
+                        stack[sp][..w].copy_from_slice(&lanes[*slot][start..start + w]);
+                        sp += 1;
+                    }
+                    Instr::Unary(op) => {
+                        for x in &mut stack[sp - 1][..w] {
+                            *x = op.apply(*x);
+                        }
+                    }
+                    Instr::Binary(op) => {
+                        let (lo, hi) = stack.split_at_mut(sp - 1);
+                        let dst = &mut lo[sp - 2];
+                        let src = &hi[0];
+                        for i in 0..w {
+                            dst[i] = op.apply(dst[i], src[i]);
+                        }
+                        sp -= 1;
+                    }
+                    Instr::ScalarRhs(op, s) => {
+                        for x in &mut stack[sp - 1][..w] {
+                            *x = op.apply(*x, *s);
+                        }
+                    }
+                    Instr::ScalarLhs(op, s) => {
+                        for x in &mut stack[sp - 1][..w] {
+                            *x = op.apply(*s, *x);
+                        }
+                    }
+                    Instr::Cast(dt) => {
+                        for x in &mut stack[sp - 1][..w] {
+                            *x = cast_f64(*dt, *x);
+                        }
+                    }
+                }
+            }
+            out[off..off + w].copy_from_slice(&stack[0][..w]);
+            off += w;
+        }
+    }
+}
+
+/// The `f64`-lane cast semantics of [`Node::eval_at`], verbatim.
+fn cast_f64(dt: DType, x: f64) -> f64 {
+    match dt {
+        DType::F64 => x,
+        DType::U64 => x as u64 as f64,
+        DType::U32 => x as u32 as f64,
+        DType::I64 => x as i64 as f64,
+        DType::B8 => f64::from(x != 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::Scalar;
+    use gpu_sim::Device;
+
+    fn leaf(id: u64, data: Vec<f64>) -> Arc<Node> {
+        let dev = Device::with_defaults();
+        Arc::new(Node::Leaf(
+            id,
+            Arc::new(ColumnData::from_f64(&dev, data).unwrap()),
+        ))
+    }
+
+    /// The compiled program must agree bit-for-bit with the recursive
+    /// interpreter on every node kind, including shared leaves and casts.
+    #[test]
+    fn program_matches_recursive_interpreter() {
+        let n = 10_000;
+        let a = leaf(1, (0..n).map(|i| i as f64 * 0.25 - 100.0).collect());
+        let b = leaf(2, (0..n).map(|i| ((i * 7) % 23) as f64).collect());
+        let tree = Node::Binary(
+            BinaryOp::Add,
+            Arc::new(Node::Cast(
+                DType::U32,
+                Arc::new(Node::Binary(
+                    BinaryOp::Mul,
+                    Arc::new(Node::ScalarRhs(BinaryOp::Max, a.clone(), Scalar::F64(3.5))),
+                    Arc::new(Node::Unary(UnaryOp::Abs, b.clone())),
+                )),
+            )),
+            Arc::new(Node::ScalarLhs(BinaryOp::Sub, Scalar::F64(1.0), a.clone())),
+        );
+        let lanes = tree.lanes();
+        let want: Vec<f64> = (0..n).map(|i| tree.eval_at(i, &lanes)).collect();
+        let got = Program::compile(&tree).eval(n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shared_leaves_resolve_to_one_slot() {
+        let a = leaf(7, vec![1.0, 2.0, 3.0]);
+        let tree = Node::Binary(BinaryOp::Mul, a.clone(), a.clone());
+        let prog = Program::compile(&tree);
+        assert_eq!(prog.leaves.len(), 1, "one conversion for a shared leaf");
+        assert_eq!(prog.eval(3), vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_and_single_element_programs() {
+        let a = leaf(1, vec![]);
+        let tree = Node::ScalarRhs(BinaryOp::Add, a, Scalar::F64(1.0));
+        assert!(Program::compile(&tree).eval(0).is_empty());
+        let b = leaf(2, vec![41.0]);
+        let tree = Node::ScalarRhs(BinaryOp::Add, b, Scalar::F64(1.0));
+        assert_eq!(Program::compile(&tree).eval(1), vec![42.0]);
+    }
+}

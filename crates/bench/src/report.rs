@@ -23,6 +23,65 @@ pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
         .map(std::path::PathBuf::from)
 }
 
+/// Wall-clock timer for *host* execution cost, section by section.
+///
+/// Simulated nanoseconds (the paper's numbers) come from the device
+/// clock and are deterministic; this timer measures what the experiments
+/// cost to *run* on the host, which is the quantity the host-execution
+/// engine optimises. [`HostTimer::write_json`] renders the sections as a
+/// small JSON report (`BENCH_host.json` in CI) without needing a JSON
+/// dependency.
+#[derive(Default)]
+pub struct HostTimer {
+    sections: Vec<(String, u128)>,
+    started: Option<std::time::Instant>,
+}
+
+impl HostTimer {
+    /// A timer with the total-clock running.
+    pub fn new() -> Self {
+        HostTimer {
+            sections: Vec::new(),
+            started: Some(std::time::Instant::now()),
+        }
+    }
+
+    /// Run `f`, recording its wall time under `label`.
+    pub fn time<T>(&mut self, label: &str, f: impl FnOnce() -> T) -> T {
+        let t = std::time::Instant::now();
+        let out = f();
+        self.sections
+            .push((label.to_string(), t.elapsed().as_millis()));
+        out
+    }
+
+    /// The recorded `(label, milliseconds)` sections, in run order.
+    pub fn sections(&self) -> &[(String, u128)] {
+        &self.sections
+    }
+
+    /// Render the report as JSON: per-section milliseconds in run order
+    /// plus the total since construction.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"host_wall_ms\": {\n");
+        for (i, (label, ms)) in self.sections.iter().enumerate() {
+            let comma = if i + 1 < self.sections.len() { "," } else { "" };
+            out.push_str(&format!("    \"{label}\": {ms}{comma}\n"));
+        }
+        let total = self
+            .started
+            .map(|t| t.elapsed().as_millis())
+            .unwrap_or_else(|| self.sections.iter().map(|(_, ms)| ms).sum());
+        out.push_str(&format!("  }},\n  \"total_ms\": {total}\n}}\n"));
+        out
+    }
+
+    /// Write [`HostTimer::to_json`] to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +103,20 @@ mod tests {
         let csv = std::fs::read_to_string(dir.join("T0.csv")).unwrap();
         assert!(csv.contains("1,A,10"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn host_timer_records_sections_and_renders_json() {
+        let mut t = HostTimer::new();
+        let x = t.time("E3", || 41 + 1);
+        assert_eq!(x, 42);
+        t.time("E5a", || ());
+        assert_eq!(t.sections().len(), 2);
+        let json = t.to_json();
+        assert!(json.contains("\"E3\": "));
+        assert!(json.contains("\"E5a\": "));
+        assert!(json.contains("\"total_ms\": "));
+        // Exactly one trailing-comma-free last entry: parses as flat JSON.
+        assert_eq!(json.matches("},").count() + json.matches("}\n").count(), 2);
     }
 }

@@ -1,0 +1,63 @@
+//! Query-level invariance across host thread counts.
+//!
+//! The host-execution engine splits kernel bodies across worker threads
+//! at fixed chunk boundaries, so both the *answers* and the *simulated
+//! nanoseconds* of every experiment must be bit-identical whatever
+//! `GPU_SIM_HOST_THREADS` says. This test runs a representative slice of
+//! the paper pipeline (selection, sort, sort-by-key, grouped aggregation
+//! and a TPC-H query) at several thread counts and compares the rendered
+//! CSVs — which encode backend, simulated ns and launch counts — plus
+//! the query answers.
+//!
+//! This is deliberately the only test in this binary: it mutates the
+//! process-wide `GPU_SIM_HOST_THREADS` variable, which must not race
+//! other tests.
+
+use proto_core::ops::Connective;
+
+/// One full mini-run of the pipeline: returns every CSV rendering plus
+/// the validated query answers, all of which must be invariant.
+fn run_pipeline() -> (Vec<String>, String) {
+    let fw = bench::paper_framework();
+    let sizes = [1 << 12, 1 << 14];
+    let csvs = vec![
+        bench::operators::e3_selection_scaling(&fw, &sizes).to_csv(),
+        bench::operators::e5_sort_scaling(&fw, &sizes, false).to_csv(),
+        bench::operators::e5_sort_scaling(&fw, &sizes, true).to_csv(),
+        bench::operators::e6_group_aggregation(&fw, 1 << 14, &[16, 256]).to_csv(),
+        bench::operators::e9_conjunction(&fw, 1 << 14, &[1, 2, 3], Connective::And).to_csv(),
+    ];
+    let tables = tpch::generate(0.001);
+    bench::queries::validate_all(&fw, &tables).expect("query validation");
+    let q6: Vec<String> = fw
+        .backends()
+        .iter()
+        .map(|b| {
+            let data = tpch::queries::q6::Q6Data::upload(b.as_ref(), &tables).expect("upload");
+            let revenue = data.execute(b.as_ref()).expect("q6");
+            format!("{}={revenue:?}", b.name())
+        })
+        .collect();
+    (csvs, q6.join(";"))
+}
+
+#[test]
+fn results_and_simulated_time_are_thread_count_invariant() {
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("GPU_SIM_HOST_THREADS", threads);
+        runs.push((threads, run_pipeline()));
+    }
+    std::env::remove_var("GPU_SIM_HOST_THREADS");
+    let (_, baseline) = &runs[0];
+    for (threads, run) in &runs[1..] {
+        assert_eq!(
+            run.0, baseline.0,
+            "experiment CSVs changed at GPU_SIM_HOST_THREADS={threads}"
+        );
+        assert_eq!(
+            run.1, baseline.1,
+            "query answers changed at GPU_SIM_HOST_THREADS={threads}"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::context::CommandQueue;
 use crate::vector::Vector;
-use gpu_sim::{presets, DeviceCopy, KernelCost, Result, SimError};
+use gpu_sim::{hostexec, presets, DeviceCopy, KernelCost, RadixKey, Result, SimError};
 use std::any::type_name;
 use std::ops::Add;
 
@@ -17,19 +17,25 @@ fn tkey<T>() -> &'static str {
 }
 
 /// `boost::compute::transform` — unary map.
+///
+/// The kernel body runs through the host-execution engine: written once
+/// via the write-only allocation path (same single raw allocation as
+/// `Vector::zeroed`, no zero-fill) and split across host threads at fixed
+/// chunk granularity.
 pub fn transform<T, U>(
     src: &Vector<T>,
-    op: impl Fn(T) -> U,
+    op: impl Fn(T) -> U + Sync,
     queue: &CommandQueue,
 ) -> Result<Vector<U>>
 where
     T: DeviceCopy,
     U: DeviceCopy + Default,
 {
-    let mut out = Vector::zeroed(src.len(), queue)?;
-    for (o, i) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
-        *o = op(*i);
-    }
+    let input = src.as_slice();
+    let buf = queue
+        .device()
+        .alloc_map_with(src.len(), gpu_sim::AllocPolicy::Raw, |i| op(input[i]))?;
+    let out = Vector::from_buffer(buf);
     queue.enqueue(
         "transform",
         tkey::<(T, U)>(),
@@ -44,7 +50,7 @@ where
 pub fn transform_binary<A, B, U>(
     a: &Vector<A>,
     b: &Vector<B>,
-    op: impl Fn(A, B) -> U,
+    op: impl Fn(A, B) -> U + Sync,
     queue: &CommandQueue,
 ) -> Result<Vector<U>>
 where
@@ -58,13 +64,11 @@ where
             right: b.len(),
         });
     }
-    let mut out = Vector::zeroed(a.len(), queue)?;
-    {
-        let (xa, xb) = (a.as_slice(), b.as_slice());
-        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
-            *o = op(xa[i], xb[i]);
-        }
-    }
+    let (xa, xb) = (a.as_slice(), b.as_slice());
+    let buf = queue
+        .device()
+        .alloc_map_with(a.len(), gpu_sim::AllocPolicy::Raw, |i| op(xa[i], xb[i]))?;
+    let out = Vector::from_buffer(buf);
     let n = a.len();
     queue.enqueue(
         "transform_binary",
@@ -77,19 +81,21 @@ where
 
 /// `boost::compute::fill`.
 pub fn fill<T: DeviceCopy>(vec: &mut Vector<T>, value: T, queue: &CommandQueue) -> Result<()> {
-    for x in vec.as_mut_slice() {
-        *x = value;
-    }
+    gpu_sim::par_chunks_mut(vec.as_mut_slice(), 1 << 12, |_, chunk| {
+        for x in chunk {
+            *x = value;
+        }
+    });
     queue.enqueue("fill", tkey::<T>(), KernelCost::map::<(), T>(vec.len()))?;
     Ok(())
 }
 
 /// `boost::compute::iota` — `0, 1, 2, …`.
 pub fn iota(len: usize, queue: &CommandQueue) -> Result<Vector<u32>> {
-    let mut out: Vector<u32> = Vector::zeroed(len, queue)?;
-    for (i, x) in out.as_mut_slice().iter_mut().enumerate() {
-        *x = i as u32;
-    }
+    let buf = queue
+        .device()
+        .alloc_map_with(len, gpu_sim::AllocPolicy::Raw, |i| i as u32)?;
+    let out = Vector::from_buffer(buf);
     queue.enqueue("iota", "u32", KernelCost::map::<(), u32>(len))?;
     Ok(out)
 }
@@ -210,14 +216,16 @@ pub fn exclusive_scan<T>(src: &Vector<T>, init: T, queue: &CommandQueue) -> Resu
 where
     T: DeviceCopy + Add<Output = T> + Default,
 {
-    let mut out = Vector::zeroed(src.len(), queue)?;
-    {
-        let mut acc = init;
-        for (o, x) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
-            *o = acc;
-            acc = acc + *x;
-        }
+    let mut data: Vec<T> = gpu_sim::hostmem::take_scratch(src.len());
+    let mut acc = init;
+    for (o, &x) in data.iter_mut().zip(src.as_slice()) {
+        *o = acc;
+        acc = acc + x;
     }
+    let buf = queue
+        .device()
+        .buffer_from_vec(data, gpu_sim::AllocPolicy::Raw)?;
+    let out = Vector::from_buffer(buf);
     queue.enqueue("exclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()))?;
     Ok(out)
 }
@@ -227,14 +235,16 @@ pub fn inclusive_scan<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<Vector
 where
     T: DeviceCopy + Add<Output = T> + Default,
 {
-    let mut out = Vector::zeroed(src.len(), queue)?;
-    {
-        let mut acc = T::default();
-        for (o, x) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
-            acc = acc + *x;
-            *o = acc;
-        }
+    let mut data: Vec<T> = gpu_sim::hostmem::take_scratch(src.len());
+    let mut acc = T::default();
+    for (o, &x) in data.iter_mut().zip(src.as_slice()) {
+        acc = acc + x;
+        *o = acc;
     }
+    let buf = queue
+        .device()
+        .buffer_from_vec(data, gpu_sim::AllocPolicy::Raw)?;
+    let out = Vector::from_buffer(buf);
     queue.enqueue("inclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()))?;
     Ok(out)
 }
@@ -242,9 +252,9 @@ where
 /// `boost::compute::sort` — radix sort for primitive keys.
 pub fn sort<T>(vec: &mut Vector<T>, queue: &CommandQueue) -> Result<()>
 where
-    T: DeviceCopy + Ord,
+    T: DeviceCopy + RadixKey,
 {
-    vec.as_mut_slice().sort_unstable();
+    hostexec::sort_keys(vec.as_mut_slice());
     for (i, cost) in presets::radix_sort::<T>(vec.len(), 0)
         .into_iter()
         .enumerate()
@@ -262,7 +272,7 @@ pub fn sort_by_key<K, V>(
     queue: &CommandQueue,
 ) -> Result<()>
 where
-    K: DeviceCopy + Ord,
+    K: DeviceCopy + RadixKey,
     V: DeviceCopy,
 {
     if keys.len() != vals.len() {
@@ -272,21 +282,7 @@ where
         });
     }
     let n = keys.len();
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    {
-        let ks = keys.as_slice();
-        perm.sort_by_key(|&i| ks[i as usize]);
-    }
-    {
-        let old_k: Vec<K> = keys.as_slice().to_vec();
-        let old_v: Vec<V> = vals.as_slice().to_vec();
-        let km = keys.as_mut_slice();
-        let vm = vals.as_mut_slice();
-        for (dst, &src) in perm.iter().enumerate() {
-            km[dst] = old_k[src as usize];
-            vm[dst] = old_v[src as usize];
-        }
-    }
+    hostexec::sort_pairs(keys.as_mut_slice(), vals.as_mut_slice());
     for (i, cost) in presets::radix_sort::<K>(n, std::mem::size_of::<V>())
         .into_iter()
         .enumerate()
@@ -302,22 +298,18 @@ pub fn gather<T>(map: &Vector<u32>, src: &Vector<T>, queue: &CommandQueue) -> Re
 where
     T: DeviceCopy + Default,
 {
-    let mut out = Vector::zeroed(map.len(), queue)?;
-    {
-        let m = map.as_slice();
-        let s = src.as_slice();
-        let o = out.as_mut_slice();
-        for (i, &idx) in m.iter().enumerate() {
-            let idx = idx as usize;
-            if idx >= s.len() {
-                return Err(SimError::IndexOutOfBounds {
-                    index: idx,
-                    len: s.len(),
-                });
-            }
-            o[i] = s[idx];
-        }
+    let m = map.as_slice();
+    let s = src.as_slice();
+    if let Some(&bad) = m.iter().find(|&&idx| idx as usize >= s.len()) {
+        return Err(SimError::IndexOutOfBounds {
+            index: bad as usize,
+            len: s.len(),
+        });
     }
+    let buf = queue
+        .device()
+        .alloc_map_with(m.len(), gpu_sim::AllocPolicy::Raw, |i| s[m[i] as usize])?;
+    let out = Vector::from_buffer(buf);
     queue.enqueue("gather", tkey::<T>(), presets::gather::<T>(map.len()))?;
     Ok(out)
 }

@@ -101,6 +101,9 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
 
 impl<T: DeviceCopy> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
+        // Recycle the host storage: faulting fresh pages for the next
+        // buffer is far more expensive than reusing these warm ones.
+        crate::hostmem::put_vec(std::mem::take(&mut self.data));
         self.device.on_buffer_free(self.alloc_bytes, self.policy);
     }
 }

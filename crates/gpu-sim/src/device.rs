@@ -182,7 +182,7 @@ impl Device {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         self.account_alloc(bytes, policy)?;
         Ok(DeviceBuffer::from_parts(
-            vec![T::default(); len],
+            crate::hostmem::take_zeroed(len),
             Arc::clone(self),
             policy,
             rounded_size(bytes),
@@ -205,6 +205,22 @@ impl Device {
             policy,
             rounded_size(bytes),
         ))
+    }
+
+    /// Allocate a buffer whose element `i` is `f(i)` — the write-only
+    /// sibling of [`Device::alloc_with`]. Identical cost accounting (one
+    /// allocation of the same rounded size), but the zero-fill of
+    /// `alloc_with` is skipped and the generator runs across host threads
+    /// at fixed chunk granularity, so results are bit-identical at any
+    /// host parallelism.
+    pub fn alloc_map_with<T: DeviceCopy + Default>(
+        self: &Arc<Self>,
+        len: usize,
+        policy: AllocPolicy,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Result<DeviceBuffer<T>> {
+        let data = crate::hostexec::par_map_vec(len, f);
+        self.buffer_from_vec(data, policy)
     }
 
     fn account_alloc(&self, bytes: u64, policy: AllocPolicy) -> Result<()> {
@@ -285,7 +301,7 @@ impl Device {
         host: &[T],
         policy: AllocPolicy,
     ) -> Result<DeviceBuffer<T>> {
-        let buf = self.buffer_from_vec(host.to_vec(), policy)?;
+        let buf = self.buffer_from_vec(crate::hostmem::take_from_slice(host), policy)?;
         let bytes = buf.size_bytes();
         self.maybe_inject(FaultSite::HtoD, "", bytes)?;
         let t = transfer_time(&self.spec, Direction::HostToDevice, bytes);
@@ -319,7 +335,8 @@ impl Device {
     /// Device-to-device copy into a fresh buffer (what chained library
     /// calls do to materialise intermediates).
     pub fn dtod<T: DeviceCopy>(self: &Arc<Self>, src: &DeviceBuffer<T>) -> Result<DeviceBuffer<T>> {
-        let buf = self.buffer_from_vec(src.host().to_vec(), src.policy())?;
+        let buf =
+            self.buffer_from_vec(crate::hostmem::take_from_slice(src.host()), src.policy())?;
         let bytes = buf.size_bytes();
         self.maybe_inject(FaultSite::DtoD, "", bytes)?;
         let t = transfer_time(&self.spec, Direction::DeviceToDevice, bytes);
@@ -438,27 +455,7 @@ impl Device {
     }
 }
 
-/// Run `f` over `0..len` split into chunks across host threads, for fast
-/// functional execution of big element-wise kernels. Purely a host-side
-/// speedup; it has no effect on simulated time.
-pub fn par_chunks(len: usize, min_seq: usize, f: impl Fn(std::ops::Range<usize>) + Sync) {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if len <= min_seq || threads < 2 {
-        f(0..len);
-        return;
-    }
-    let chunk = len.div_ceil(threads);
-    crossbeam::scope(|s| {
-        let mut start = 0;
-        while start < len {
-            let end = (start + chunk).min(len);
-            let f = &f;
-            s.spawn(move |_| f(start..end));
-            start = end;
-        }
-    })
-    .expect("par_chunks worker panicked");
-}
+pub use crate::hostexec::par_chunks;
 
 #[cfg(test)]
 mod tests {

@@ -54,6 +54,15 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod fault;
+pub mod hostalloc;
+pub mod hostexec;
+pub mod hostmem;
+
+/// Recycle large host blocks process-wide — every binary in the
+/// workspace links `gpu-sim`, so the whole simulator benefits. See
+/// [`hostalloc`] for why this matters on virtualised hosts.
+#[global_allocator]
+static HOST_ALLOC: hostalloc::RecyclingAlloc = hostalloc::RecyclingAlloc;
 pub mod pool;
 pub mod presets;
 pub mod spec;
@@ -65,9 +74,12 @@ pub mod transfer;
 pub use buffer::{DeviceBuffer, DeviceCopy};
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::{AccessPattern, KernelCost};
-pub use device::{par_chunks, Device};
+pub use device::Device;
 pub use error::{Result, SimError};
 pub use fault::{FaultPlan, FaultSite};
+pub use hostexec::{
+    par_chunks, par_chunks_mut, par_map_chunks, par_map_into, par_map_vec, RadixKey,
+};
 pub use pool::AllocPolicy;
 pub use pool::PoolStats;
 pub use spec::DeviceSpec;

@@ -74,8 +74,12 @@ pub fn hash_group_aggregate(
         e.2 = e.2.min(v);
         e.3 = e.3.max(v);
     }
-    let mut rows: Vec<(u32, (f64, u64, f64, f64))> = table.into_iter().collect();
-    rows.sort_unstable_by_key(|(k, _)| *k);
+    let rows: Vec<(u32, (f64, u64, f64, f64))> = table.into_iter().collect();
+    // Order the (unique) group keys with the shared radix sort, carrying a
+    // row index instead of moving the wide accumulator tuples per pass.
+    let mut group_keys: Vec<u32> = rows.iter().map(|(k, _)| *k).collect();
+    let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+    gpu_sim::hostexec::sort_pairs(&mut group_keys, &mut order);
     let groups = rows.len();
     // A tuned kernel keeps the table in shared memory when the group count
     // allows (≤4Ki entries): the pass is then a coalesced streaming read.
@@ -107,7 +111,8 @@ pub fn hash_group_aggregate(
         Vec::with_capacity(groups),
         Vec::with_capacity(groups),
     );
-    for (k, (s, c, mn, mx)) in rows {
+    for &i in &order {
+        let (k, (s, c, mn, mx)) = rows[i as usize];
         ks.push(k);
         sums.push(s);
         counts.push(c);

@@ -1,7 +1,7 @@
 //! Handwritten parallel primitives and fused pipelines.
 
 use crate::charge;
-use gpu_sim::{presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, SimError};
+use gpu_sim::{hostexec, presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, SimError};
 use std::sync::Arc;
 
 /// Tree reduction (sum) of an `f64` column — one kernel.
@@ -93,17 +93,7 @@ pub fn radix_sort_pairs(
         });
     }
     let n = keys.len();
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    {
-        let ks = keys.host();
-        perm.sort_by_key(|&i| ks[i as usize]);
-    }
-    let old_k = keys.host().to_vec();
-    let old_v = vals.host().to_vec();
-    for (dst, &srci) in perm.iter().enumerate() {
-        keys.host_mut()[dst] = old_k[srci as usize];
-        vals.host_mut()[dst] = old_v[srci as usize];
-    }
+    hostexec::sort_pairs(keys.host_mut(), vals.host_mut());
     for (i, cost) in presets::radix_sort::<u32>(n, 4).into_iter().enumerate() {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
         charge(device, &format!("radix_sort/{phase}"), cost)?;
@@ -141,7 +131,7 @@ pub fn product_f64(
 /// Ascending radix sort of a `u32` column, returning a sorted copy.
 pub fn sort_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Result<DeviceBuffer<u32>> {
     let mut v = src.host().to_vec();
-    v.sort_unstable();
+    hostexec::sort_keys(&mut v);
     for (i, cost) in presets::radix_sort::<u32>(src.len(), 0)
         .into_iter()
         .enumerate()

@@ -20,14 +20,23 @@ pub fn select_fused(
     device: &Arc<Device>,
     n_rows: usize,
     bytes_per_row: usize,
-    pred: impl Fn(usize) -> bool,
+    pred: impl Fn(usize) -> bool + Sync,
 ) -> Result<DeviceBuffer<u32>> {
-    let mut idx = Vec::new();
-    for row in 0..n_rows {
-        if pred(row) {
-            idx.push(row as u32);
+    // Predicate runs per fixed-granularity chunk on host threads; chunk
+    // results concatenate in chunk order, so the survivor list is the
+    // sequential one at any host parallelism.
+    let idx: Vec<u32> = gpu_sim::par_map_chunks(n_rows, 1 << 12, |range| {
+        let mut part = Vec::new();
+        for row in range {
+            if pred(row) {
+                part.push(row as u32);
+            }
         }
-    }
+        part
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let out_bytes = (idx.len() * 4) as u64;
     charge(
         device,
@@ -47,15 +56,21 @@ pub fn select_gather_f64(
     device: &Arc<Device>,
     payload: &DeviceBuffer<f64>,
     bytes_per_row: usize,
-    pred: impl Fn(usize) -> bool,
+    pred: impl Fn(usize) -> bool + Sync,
 ) -> Result<DeviceBuffer<f64>> {
     let src = payload.host();
-    let mut out = Vec::new();
-    for (row, &v) in src.iter().enumerate() {
-        if pred(row) {
-            out.push(v);
+    let out: Vec<f64> = gpu_sim::par_map_chunks(src.len(), 1 << 12, |range| {
+        let mut part = Vec::new();
+        for row in range {
+            if pred(row) {
+                part.push(src[row]);
+            }
         }
-    }
+        part
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let out_bytes = (out.len() * 8) as u64;
     charge(
         device,

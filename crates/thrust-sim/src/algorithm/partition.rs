@@ -57,7 +57,7 @@ where
 /// `transform() & exclusive_scan() & gather()` selection pipeline.
 pub fn partition_flags<T>(
     src: &DeviceVector<T>,
-    pred: impl Fn(T) -> bool,
+    pred: impl Fn(T) -> bool + Sync,
 ) -> Result<DeviceVector<u32>>
 where
     T: DeviceCopy,

@@ -6,7 +6,7 @@
 
 use super::charge;
 use crate::vector::DeviceVector;
-use gpu_sim::{presets, DeviceCopy, Result, SimError};
+use gpu_sim::{presets, AllocPolicy, DeviceCopy, Result, SimError};
 use std::sync::Arc;
 
 /// `thrust::gather(map, src)` — `out[i] = src[map[i]]`.
@@ -15,22 +15,16 @@ where
     T: DeviceCopy + Default,
 {
     let device = Arc::clone(src.device());
-    let mut out: DeviceVector<T> = DeviceVector::zeroed(&device, map.len())?;
-    {
-        let m = map.as_slice();
-        let s = src.as_slice();
-        let o = out.as_mut_slice();
-        for (i, &idx) in m.iter().enumerate() {
-            let idx = idx as usize;
-            if idx >= s.len() {
-                return Err(SimError::IndexOutOfBounds {
-                    index: idx,
-                    len: s.len(),
-                });
-            }
-            o[i] = s[idx];
-        }
+    let m = map.as_slice();
+    let s = src.as_slice();
+    if let Some(&bad) = m.iter().find(|&&idx| idx as usize >= s.len()) {
+        return Err(SimError::IndexOutOfBounds {
+            index: bad as usize,
+            len: s.len(),
+        });
     }
+    let buf = device.alloc_map_with(m.len(), AllocPolicy::Pooled, |i| s[m[i] as usize])?;
+    let out = DeviceVector::from_buffer(buf);
     charge(&device, "gather", presets::gather::<T>(map.len()))?;
     Ok(out)
 }

@@ -6,26 +6,27 @@
 
 use super::charge;
 use crate::vector::DeviceVector;
-use gpu_sim::{presets, DeviceCopy, Result};
+use gpu_sim::{presets, AllocPolicy, DeviceCopy, Result};
 use std::ops::Add;
 use std::sync::Arc;
 
 /// `thrust::exclusive_scan` — `out[i] = init + Σ src[0..i]`.
+///
+/// The carry chain stays sequential (parallelising it would reorder the
+/// f64 additions), but the output goes through the write-only allocation
+/// path instead of zero-fill-then-overwrite.
 pub fn exclusive_scan<T>(src: &DeviceVector<T>, init: T) -> Result<DeviceVector<T>>
 where
     T: DeviceCopy + Add<Output = T> + Default,
 {
     let device = Arc::clone(src.device());
-    let mut out: DeviceVector<T> = DeviceVector::zeroed(&device, src.len())?;
-    {
-        let input = src.as_slice();
-        let output = out.as_mut_slice();
-        let mut acc = init;
-        for (o, x) in output.iter_mut().zip(input.iter()) {
-            *o = acc;
-            acc = acc + *x;
-        }
+    let mut data: Vec<T> = gpu_sim::hostmem::take_scratch(src.len());
+    let mut acc = init;
+    for (o, &x) in data.iter_mut().zip(src.as_slice()) {
+        *o = acc;
+        acc = acc + x;
     }
+    let out = DeviceVector::from_buffer(device.buffer_from_vec(data, AllocPolicy::Pooled)?);
     charge(&device, "exclusive_scan", presets::scan::<T>(src.len()))?;
     Ok(out)
 }
@@ -36,16 +37,13 @@ where
     T: DeviceCopy + Add<Output = T> + Default,
 {
     let device = Arc::clone(src.device());
-    let mut out: DeviceVector<T> = DeviceVector::zeroed(&device, src.len())?;
-    {
-        let input = src.as_slice();
-        let output = out.as_mut_slice();
-        let mut acc = T::default();
-        for (o, x) in output.iter_mut().zip(input.iter()) {
-            acc = acc + *x;
-            *o = acc;
-        }
+    let mut data: Vec<T> = gpu_sim::hostmem::take_scratch(src.len());
+    let mut acc = T::default();
+    for (o, &x) in data.iter_mut().zip(src.as_slice()) {
+        acc = acc + x;
+        *o = acc;
     }
+    let out = DeviceVector::from_buffer(device.buffer_from_vec(data, AllocPolicy::Pooled)?);
     charge(&device, "inclusive_scan", presets::scan::<T>(src.len()))?;
     Ok(out)
 }

@@ -6,7 +6,7 @@
 
 use super::charge;
 use crate::vector::DeviceVector;
-use gpu_sim::{presets, Device, DeviceCopy, Result, SimError};
+use gpu_sim::{hostexec, presets, Device, DeviceCopy, RadixKey, Result, SimError};
 use std::sync::Arc;
 
 fn charge_radix<K>(
@@ -29,21 +29,24 @@ fn charge_radix<K>(
     Ok(())
 }
 
-/// `thrust::sort` — ascending in-place sort.
+/// `thrust::sort` — ascending in-place sort. Primitive keys dispatch to a
+/// real LSD radix sort ([`gpu_sim::hostexec`]), exactly as Thrust hands
+/// them to CUB.
 pub fn sort<T>(vec: &mut DeviceVector<T>) -> Result<()>
 where
-    T: DeviceCopy + Ord,
+    T: DeviceCopy + RadixKey,
 {
     let device = Arc::clone(vec.device());
-    vec.as_mut_slice().sort_unstable();
+    hostexec::sort_keys(vec.as_mut_slice());
     charge_radix::<T>(&device, vec.len(), 0, "sort")?;
     Ok(())
 }
 
 /// `thrust::sort_by_key` — sort `keys` ascending, permuting `vals` along.
+/// Stable (LSD radix sort), so equal keys keep their input order.
 pub fn sort_by_key<K, V>(keys: &mut DeviceVector<K>, vals: &mut DeviceVector<V>) -> Result<()>
 where
-    K: DeviceCopy + Ord,
+    K: DeviceCopy + RadixKey,
     V: DeviceCopy,
 {
     if keys.len() != vals.len() {
@@ -54,21 +57,7 @@ where
     }
     let device = Arc::clone(keys.device());
     let n = keys.len();
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    {
-        let ks = keys.as_slice();
-        perm.sort_by_key(|&i| ks[i as usize]); // stable, like radix sort
-    }
-    {
-        let old_k: Vec<K> = keys.as_slice().to_vec();
-        let old_v: Vec<V> = vals.as_slice().to_vec();
-        let km = keys.as_mut_slice();
-        let vm = vals.as_mut_slice();
-        for (dst, &src) in perm.iter().enumerate() {
-            km[dst] = old_k[src as usize];
-            vm[dst] = old_v[src as usize];
-        }
-    }
+    hostexec::sort_pairs(keys.as_mut_slice(), vals.as_mut_slice());
     charge_radix::<K>(&device, n, std::mem::size_of::<V>(), "sort_by_key")?;
     Ok(())
 }
@@ -153,6 +142,35 @@ mod tests {
         assert!(is_sorted(&v).unwrap());
         let w = DeviceVector::from_host(&dev, &[2u32, 1]).unwrap();
         assert!(!is_sorted(&w).unwrap());
+    }
+
+    #[test]
+    fn sort_by_key_charge_sequence_is_the_radix_triple_loop() {
+        // The real radix sort must not perturb the charged kernel
+        // sequence: still histogram → digit_scan → scatter per pass, in
+        // that order, four passes for u32 keys.
+        let dev = Device::with_defaults();
+        let mut k = DeviceVector::from_host(&dev, &(0..1000u32).rev().collect::<Vec<_>>()).unwrap();
+        let mut v = DeviceVector::from_host(&dev, &vec![0.5f64; 1000]).unwrap();
+        dev.set_tracing(true);
+        sort_by_key(&mut k, &mut v).unwrap();
+        dev.set_tracing(false);
+        let kernels: Vec<String> = dev
+            .take_trace()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                gpu_sim::TraceKind::Kernel(name) => Some(name),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<String> = (0..4)
+            .flat_map(|_| {
+                ["histogram", "digit_scan", "scatter"]
+                    .into_iter()
+                    .map(|p| format!("thrust::sort_by_key/{p}"))
+            })
+            .collect();
+        assert_eq!(kernels, expect);
     }
 
     #[test]

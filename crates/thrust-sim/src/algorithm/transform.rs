@@ -2,25 +2,25 @@
 
 use super::charge;
 use crate::vector::DeviceVector;
-use gpu_sim::{Device, DeviceCopy, KernelCost, Result, SimError};
+use gpu_sim::{AllocPolicy, Device, DeviceCopy, KernelCost, Result, SimError};
 use std::sync::Arc;
 
 /// `thrust::transform(first, last, result, op)` — unary map into a fresh
 /// vector. One kernel launch; output materialised in device memory.
-pub fn transform<T, U>(src: &DeviceVector<T>, op: impl Fn(T) -> U) -> Result<DeviceVector<U>>
+///
+/// The kernel body runs through the host-execution engine: the output is
+/// written once through the write-only allocation path (no zero-fill) and
+/// split across host threads at fixed chunk granularity. Same single
+/// allocation and kernel charge as before.
+pub fn transform<T, U>(src: &DeviceVector<T>, op: impl Fn(T) -> U + Sync) -> Result<DeviceVector<U>>
 where
     T: DeviceCopy,
     U: DeviceCopy + Default,
 {
     let device = Arc::clone(src.device());
-    let mut out: DeviceVector<U> = DeviceVector::zeroed(&device, src.len())?;
-    {
-        let input = src.as_slice();
-        let output = out.as_mut_slice();
-        for (o, i) in output.iter_mut().zip(input.iter()) {
-            *o = op(*i);
-        }
-    }
+    let input = src.as_slice();
+    let buf = device.alloc_map_with(src.len(), AllocPolicy::Pooled, |i| op(input[i]))?;
+    let out = DeviceVector::from_buffer(buf);
     charge(&device, "transform", KernelCost::map::<T, U>(src.len()))?;
     Ok(out)
 }
@@ -29,7 +29,7 @@ where
 pub fn transform_binary<A, B, U>(
     a: &DeviceVector<A>,
     b: &DeviceVector<B>,
-    op: impl Fn(A, B) -> U,
+    op: impl Fn(A, B) -> U + Sync,
 ) -> Result<DeviceVector<U>>
 where
     A: DeviceCopy,
@@ -43,13 +43,9 @@ where
         });
     }
     let device = Arc::clone(a.device());
-    let mut out: DeviceVector<U> = DeviceVector::zeroed(&device, a.len())?;
-    {
-        let (xa, xb) = (a.as_slice(), b.as_slice());
-        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
-            *o = op(xa[i], xb[i]);
-        }
-    }
+    let (xa, xb) = (a.as_slice(), b.as_slice());
+    let buf = device.alloc_map_with(a.len(), AllocPolicy::Pooled, |i| op(xa[i], xb[i]))?;
+    let out = DeviceVector::from_buffer(buf);
     let n = a.len();
     let cost = KernelCost::map::<A, U>(n)
         .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64);
@@ -60,19 +56,19 @@ where
 /// `thrust::fill` — set every element to `value`.
 pub fn fill<T: DeviceCopy>(vec: &mut DeviceVector<T>, value: T) -> Result<()> {
     let device = Arc::clone(vec.device());
-    for x in vec.as_mut_slice() {
-        *x = value;
-    }
+    gpu_sim::par_chunks_mut(vec.as_mut_slice(), 1 << 12, |_, chunk| {
+        for x in chunk {
+            *x = value;
+        }
+    });
     let cost = KernelCost::map::<(), T>(vec.len());
     charge(&device, "fill", cost)
 }
 
 /// `thrust::sequence` — write `0, 1, 2, …` (row-id generation).
 pub fn sequence(device: &Arc<Device>, len: usize) -> Result<DeviceVector<u32>> {
-    let mut out: DeviceVector<u32> = DeviceVector::zeroed(device, len)?;
-    for (i, x) in out.as_mut_slice().iter_mut().enumerate() {
-        *x = i as u32;
-    }
+    let buf = device.alloc_map_with(len, AllocPolicy::Pooled, |i| i as u32)?;
+    let out = DeviceVector::from_buffer(buf);
     charge(device, "sequence", KernelCost::map::<(), u32>(len))?;
     Ok(out)
 }
