@@ -1,31 +1,52 @@
 //! Ablation experiments A1–A3 — making the paper's §II claims measurable.
+//!
+//! A1 runs on the shared per-backend devices (a part function per
+//! backend, like `crate::operators`); A2 and A3 build fresh devices for
+//! every measurement by design, so their cells are fully independent
+//! jobs for the parallel grid.
 
+use proto_core::backend::GpuBackend;
 use proto_core::ops::CmpOp;
 use proto_core::runner::{Experiment, Sample};
 use proto_core::workload;
 use std::fmt::Write as _;
 
-/// A1 — "unwanted intermediate data movements": kernel launches and
-/// device-memory traffic of one selection, per backend. The x axis is the
-/// row count; `launches`/`kernel_bytes` are the point of the experiment.
-pub fn a1_chaining(fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+use crate::sched::merge_backend_major;
+
+/// A1 part — one backend's selection-anatomy sample.
+pub fn a1_part(b: &dyn GpuBackend, n: usize) -> Vec<Sample> {
+    let (col, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED);
+    let c = b.upload_u32(&col).expect("upload");
+    let s = proto_core::runner::measure(b, n as u64, || {
+        let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+        b.free(ids)
+    })
+    .expect("measure");
+    b.free(c).expect("free");
+    vec![s]
+}
+
+/// Assemble A1 from per-backend parts.
+pub fn a1_assemble(parts: Vec<Vec<Sample>>) -> Experiment {
     let mut exp = Experiment::new(
         "A1",
         "Selection cost anatomy: launches & traffic per backend",
         "rows",
     );
-    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
-    for b in fw.backends() {
-        let c = b.upload_u32(&col).expect("upload");
-        let s = proto_core::runner::measure(b.as_ref(), n as u64, || {
-            let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
-            b.free(ids)
-        })
-        .expect("measure");
-        exp.push(s);
-        b.free(c).expect("free");
-    }
+    exp.samples = merge_backend_major(parts);
     exp
+}
+
+/// A1 — "unwanted intermediate data movements": kernel launches and
+/// device-memory traffic of one selection, per backend. The x axis is the
+/// row count; `launches`/`kernel_bytes` are the point of the experiment.
+pub fn a1_chaining(fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+    a1_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| a1_part(b.as_ref(), n))
+            .collect(),
+    )
 }
 
 /// Render A1 as the anatomy table (launches, bytes, time).
@@ -51,19 +72,17 @@ pub fn render_a1(exp: &Experiment) -> String {
     out
 }
 
-/// A2 — ArrayFire lazy fusion: an element-wise chain of length `k` costs
-/// one fused kernel on ArrayFire and `k` kernels on Thrust.
-pub fn a2_fusion(chain_lengths: &[usize], n: usize) -> Experiment {
-    let mut exp = Experiment::new(
-        "A2",
-        "Element-wise chain: fused (ArrayFire) vs. eager (Thrust)",
-        "chain_length",
-    );
-    let data = workload::uniform_f64(n, workload::SEED ^ 21);
-    for &k in chain_lengths {
+/// The two libraries A2 compares, in emission order.
+pub const A2_LIBS: [&str; 2] = ["ArrayFire", "Thrust"];
+
+/// One A2 measurement cell: an element-wise chain of length `k` over `n`
+/// rows on `lib` (an [`A2_LIBS`] name), on a fresh device.
+pub fn a2_cell(lib: &str, k: usize, n: usize) -> Sample {
+    let data = workload::cache::uniform_f64(n, workload::SEED ^ 21);
+    let dev = gpu_sim::Device::new(crate::paper_device());
+    match lib {
         // ArrayFire: lazy chain, one fused kernel at eval.
-        {
-            let dev = gpu_sim::Device::new(crate::paper_device());
+        "ArrayFire" => {
             let rt = arrayfire_backend(&dev);
             let arr = rt.array_f64(&data).expect("upload");
             // Warm the JIT shape.
@@ -72,35 +91,57 @@ pub fn a2_fusion(chain_lengths: &[usize], n: usize) -> Experiment {
             let t0 = dev.now();
             run_af_chain(&arr, k);
             let stats = dev.stats();
-            exp.push(Sample {
+            Sample {
                 backend: "ArrayFire".into(),
                 x: k as u64,
                 nanos: (dev.now() - t0).as_nanos(),
                 cold_nanos: 0,
                 launches: stats.total_launches(),
                 kernel_bytes: stats.total_kernel_bytes(),
-            });
+            }
         }
         // Thrust: k eager transform calls.
-        {
-            let dev = gpu_sim::Device::new(crate::paper_device());
+        "Thrust" => {
             let v = thrust_sim::DeviceVector::from_host(&dev, &data).expect("upload");
             run_thrust_chain(&v, k); // warm pools
             dev.reset_stats();
             let t0 = dev.now();
             run_thrust_chain(&v, k);
             let stats = dev.stats();
-            exp.push(Sample {
+            Sample {
                 backend: "Thrust".into(),
                 x: k as u64,
                 nanos: (dev.now() - t0).as_nanos(),
                 cold_nanos: 0,
                 launches: stats.total_launches(),
                 kernel_bytes: stats.total_kernel_bytes(),
-            });
+            }
+        }
+        other => panic!("A2 compares ArrayFire and Thrust, not {other}"),
+    }
+}
+
+/// Assemble A2 from its cells, in `(k, lib)` serial order.
+pub fn a2_assemble(cells: Vec<Sample>) -> Experiment {
+    let mut exp = Experiment::new(
+        "A2",
+        "Element-wise chain: fused (ArrayFire) vs. eager (Thrust)",
+        "chain_length",
+    );
+    exp.samples = cells;
+    exp
+}
+
+/// A2 — ArrayFire lazy fusion: an element-wise chain of length `k` costs
+/// one fused kernel on ArrayFire and `k` kernels on Thrust.
+pub fn a2_fusion(chain_lengths: &[usize], n: usize) -> Experiment {
+    let mut cells = Vec::new();
+    for &k in chain_lengths {
+        for lib in A2_LIBS {
+            cells.push(a2_cell(lib, k, n));
         }
     }
-    exp
+    a2_assemble(cells)
 }
 
 fn arrayfire_backend(
@@ -124,32 +165,49 @@ fn run_thrust_chain(v: &thrust_sim::DeviceVector<f64>, k: usize) {
     }
 }
 
-/// A3 — JIT program cache: cold vs. warm operator latency per backend.
-/// x = 0 reports the cold run, x = 1 the warm run. Builds a *fresh*
-/// framework internally so caches really are cold, whatever ran before.
-pub fn a3_jit_cache(_fw: &proto_core::framework::Framework, n: usize) -> Experiment {
-    let fw = proto_core::framework::Framework::with_all_backends(&crate::paper_device());
-    let mut exp = Experiment::new("A3", "Cold (x=0) vs. warm (x=1) selection latency", "run");
-    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
-    for b in fw.backends() {
-        let c = b.upload_u32(&col).expect("upload");
-        let s = proto_core::runner::measure(b.as_ref(), 1, || {
-            let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
-            b.free(ids)
-        })
-        .expect("measure");
-        exp.push(Sample {
+/// One A3 measurement cell: backend `name` (a
+/// [`PAPER_BACKENDS`](proto_core::backends::PAPER_BACKENDS) name) on a
+/// fresh device, returning its cold (x=0) and warm (x=1) rows.
+pub fn a3_cell(name: &str, n: usize) -> Vec<Sample> {
+    let b = proto_core::framework::Framework::single_backend(&crate::paper_device(), name);
+    let (col, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED);
+    let c = b.upload_u32(&col).expect("upload");
+    let s = proto_core::runner::measure(b.as_ref(), 1, || {
+        let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+        b.free(ids)
+    })
+    .expect("measure");
+    b.free(c).expect("free");
+    vec![
+        Sample {
             backend: s.backend.clone(),
             x: 0,
             nanos: s.cold_nanos,
             cold_nanos: s.cold_nanos,
             launches: s.launches,
             kernel_bytes: s.kernel_bytes,
-        });
-        exp.push(s);
-        b.free(c).expect("free");
-    }
+        },
+        s,
+    ]
+}
+
+/// Assemble A3 from per-backend cells.
+pub fn a3_assemble(cells: Vec<Vec<Sample>>) -> Experiment {
+    let mut exp = Experiment::new("A3", "Cold (x=0) vs. warm (x=1) selection latency", "run");
+    exp.samples = merge_backend_major(cells);
     exp
+}
+
+/// A3 — JIT program cache: cold vs. warm operator latency per backend.
+/// x = 0 reports the cold run, x = 1 the warm run. Builds *fresh*
+/// backends internally so caches really are cold, whatever ran before.
+pub fn a3_jit_cache(_fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+    a3_assemble(
+        proto_core::backends::PAPER_BACKENDS
+            .iter()
+            .map(|name| a3_cell(name, n))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

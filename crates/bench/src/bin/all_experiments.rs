@@ -1,154 +1,35 @@
-//! Run every experiment (E1–E12, A1–A3) in sequence — the full paper
-//! regeneration. Pass `--csv DIR` to also write per-experiment CSVs.
-//! Host wall time per experiment is collected into `BENCH_host.json`
+//! Run every experiment (E1–E17, A1–A4) — the full paper regeneration.
+//!
+//! Cells are scheduled over the deterministic parallel grid
+//! (`bench::grid`): `--jobs N` (or `GPU_SIM_HOST_JOBS`) picks the worker
+//! count, defaulting to every available core; output is byte-identical
+//! at any job count. Pass `--csv DIR` to also write per-experiment CSVs.
+//! Host wall time per experiment and per cell is collected into
+//! `BENCH_host.json` together with a scheduler-efficiency summary
 //! (simulated results are unaffected — this measures the runner itself).
 fn main() {
     let csv = bench::report::csv_dir_from_args();
-    let fw = bench::paper_framework();
+    let jobs = bench::sched::jobs_from_args();
     let mut host = bench::report::HostTimer::new();
 
-    println!("{}", proto_core::survey::render_table());
-    println!("{}", fw.support_matrix());
-
-    let sizes = bench::default_sizes();
-    host.time("E3", || {
-        bench::report::emit(
-            &bench::operators::e3_selection_scaling(&fw, &sizes),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    let sels = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
-    host.time("E4", || {
-        bench::report::emit(
-            &bench::operators::e4_selection_selectivity(&fw, 1 << 20, &sels),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    for by_key in [false, true] {
-        let label = if by_key { "E5b" } else { "E5a" };
-        host.time(label, || {
-            bench::report::emit(
-                &bench::operators::e5_sort_scaling(&fw, &sizes, by_key),
-                csv.as_deref(),
-            )
-            .unwrap()
-        });
-    }
-    let groups = [16, 256, 4_096, 65_536, 1 << 20];
-    host.time("E6", || {
-        bench::report::emit(
-            &bench::operators::e6_group_aggregation(&fw, 1 << 20, &groups),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    host.time("E7", || {
-        for exp in bench::operators::e7_primitives(&fw, &sizes) {
-            bench::report::emit(&exp, csv.as_deref()).unwrap();
+    let run = bench::grid::run(bench::grid::GridConfig::default(), jobs);
+    print!("{}", run.stdout);
+    if let Some(dir) = &csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        for (name, contents) in &run.artifacts {
+            std::fs::write(dir.join(name), contents).expect("write csv");
         }
-    });
-    host.time("E8", || {
-        bench::report::emit(
-            &bench::operators::e8_joins(&fw, &[1 << 12, 1 << 14, 1 << 16, 1 << 18]),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    for conn in [
-        proto_core::ops::Connective::And,
-        proto_core::ops::Connective::Or,
-    ] {
-        let label = match conn {
-            proto_core::ops::Connective::And => "E9-and",
-            proto_core::ops::Connective::Or => "E9-or",
-        };
-        host.time(label, || {
-            bench::report::emit(
-                &bench::operators::e9_conjunction(&fw, 1 << 20, &[1, 2, 3, 4], conn),
-                csv.as_deref(),
-            )
-            .unwrap()
-        });
     }
 
-    host.time("validate", || {
-        bench::queries::validate_all(&fw, &tpch::generate(0.001)).expect("query validation")
+    for (label, ms) in &run.sections {
+        host.record(label, *ms);
+    }
+    host.set_cells(run.cells);
+    host.set_scheduler(bench::report::SchedulerSummary {
+        jobs: run.jobs,
+        busy_ms: run.busy_ms,
+        wall_ms: run.wall_ms,
     });
-    let sfs = bench::queries::default_scale_factors();
-    host.time("E10", || {
-        bench::report::emit(&bench::queries::e10_q6(&fw, &sfs), csv.as_deref()).unwrap()
-    });
-    host.time("E11", || {
-        bench::report::emit(&bench::queries::e11_q1(&fw, &sfs), csv.as_deref()).unwrap()
-    });
-    host.time("E12", || {
-        for exp in bench::queries::e12_join_queries(&fw, &sfs) {
-            bench::report::emit(&exp, csv.as_deref()).unwrap();
-        }
-    });
-
-    host.time("E13", || {
-        bench::report::emit(
-            &bench::extensions::e13_transfer_inclusive(&fw, 0.02),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    host.time("E15", || {
-        bench::report::emit(
-            &bench::operators::e15_launch_anatomy(&fw, 1 << 20),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    host.time("E14", || {
-        bench::report::emit(
-            &bench::extensions::e14_multi_aggregate(&fw, &sizes),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    host.time("E17", || {
-        bench::report::emit(
-            &bench::extensions::e17_fault_resilience(0.01, &[0, 10, 50, 100]),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-
-    host.time("A1", || {
-        let a1 = bench::ablations::a1_chaining(&fw, 1 << 20);
-        println!("{}", bench::ablations::render_a1(&a1));
-        if let Some(dir) = &csv {
-            std::fs::create_dir_all(dir).unwrap();
-            std::fs::write(dir.join("A1.csv"), a1.to_csv()).unwrap();
-        }
-    });
-    host.time("A2", || {
-        bench::report::emit(
-            &bench::ablations::a2_fusion(&[1, 2, 4, 8], 1 << 20),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    host.time("A3", || {
-        bench::report::emit(
-            &bench::ablations::a3_jit_cache(&fw, 1 << 20),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-    let sels = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
-    host.time("A4", || {
-        bench::report::emit(
-            &bench::extensions::a4_materialization(&fw, 1 << 20, &sels),
-            csv.as_deref(),
-        )
-        .unwrap()
-    });
-
     host.write_json(std::path::Path::new("BENCH_host.json"))
         .expect("write BENCH_host.json");
 }

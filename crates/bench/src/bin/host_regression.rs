@@ -1,0 +1,106 @@
+//! Compare two `BENCH_host.json` files and warn about regressions.
+//!
+//! ```text
+//! host_regression <baseline.json> <current.json> [--threshold-pct N] [--floor-ms N]
+//! ```
+//!
+//! Reads the `host_wall_ms` section of both files and prints a warning
+//! for every experiment whose host wall time grew by more than
+//! `--threshold-pct` (default 30%) *and* by more than `--floor-ms`
+//! (default 100 ms — sub-floor sections are noise on shared runners).
+//! Warnings use the `::warning::` annotation syntax so they surface on
+//! the workflow summary, but the exit status is always 0: host wall
+//! time is hardware-dependent, so this check informs and never gates.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extract the `"host_wall_ms": { ... }` object from a `BENCH_host.json`
+/// rendering. The file is written by `bench::report::HostTimer::to_json`
+/// with one `"key": value` pair per line, which is all this expects.
+fn parse_host_wall_ms(text: &str) -> Option<BTreeMap<String, u128>> {
+    let start = text.find("\"host_wall_ms\"")?;
+    let open = start + text[start..].find('{')?;
+    let close = open + text[open..].find('}')?;
+    let mut out = BTreeMap::new();
+    for line in text[open + 1..close].split(',') {
+        let mut halves = line.splitn(2, ':');
+        let key = halves.next()?.trim().trim_matches('"').to_string();
+        let val = halves.next()?.trim().parse::<u128>().ok()?;
+        out.insert(key, val);
+    }
+    Some(out)
+}
+
+fn load(path: &str) -> BTreeMap<String, u128> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_host_wall_ms(&text).unwrap_or_else(|| panic!("no host_wall_ms object in {path}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 30.0f64;
+    let mut floor_ms = 100u128;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold-pct N")
+            }
+            "--floor-ms" => {
+                floor_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--floor-ms N")
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: host_regression <baseline.json> <current.json> [--threshold-pct N] [--floor-ms N]");
+        return ExitCode::FAILURE;
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut regressions = 0;
+    for (name, &base_ms) in &baseline {
+        let Some(&cur_ms) = current.get(name) else {
+            println!("note: {name} present in baseline but not in current run");
+            continue;
+        };
+        let grew_ms = cur_ms.saturating_sub(base_ms);
+        let grew_pct = if base_ms > 0 {
+            grew_ms as f64 / base_ms as f64 * 100.0
+        } else if grew_ms > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        if grew_pct > threshold_pct && grew_ms > floor_ms {
+            println!(
+                "::warning::host regression in {name}: {base_ms} ms -> {cur_ms} ms (+{grew_pct:.0}%)"
+            );
+            regressions += 1;
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("note: {name} is new (no baseline entry)");
+        }
+    }
+    if regressions == 0 {
+        println!(
+            "host timings OK: no experiment regressed >{threshold_pct}% (+{floor_ms} ms floor) vs {baseline_path}"
+        );
+    } else {
+        println!(
+            "{regressions} experiment(s) regressed >{threshold_pct}% vs {baseline_path} (non-gating)"
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -11,116 +11,143 @@
 //!   pipeline across selectivities, on the same (Thrust) backend.
 //! * **E17** — resilience under injected transient faults: Q6 per backend
 //!   across fault rates, with retries/backoff charged to simulated time.
+//!
+//! Like `crate::operators`, each experiment is split into per-backend
+//! part functions (or, for E17, fully independent per-cell functions)
+//! that the parallel grid schedules; the public experiment functions
+//! merge parts back into the serial emission order.
 
 use gpu_sim::FaultPlan;
-use proto_core::backend::Pred;
+use proto_core::backend::{GpuBackend, Pred};
 use proto_core::framework::Framework;
 use proto_core::ops::{CmpOp, Connective};
 use proto_core::resilient::RetryPolicy;
 use proto_core::runner::{Experiment, Sample};
 use proto_core::workload;
 
-/// E13 — TPC-H Q6 cost, device-resident (x=0) vs. including host→device
-/// column transfers (x=1), per backend.
-pub fn e13_transfer_inclusive(fw: &proto_core::framework::Framework, sf: f64) -> Experiment {
+use crate::sched::{merge_backend_major, merge_x_major, Part};
+
+/// E13 part — one backend's resident (x=0) and transfer-inclusive (x=1)
+/// Q6 samples.
+pub fn e13_part(b: &dyn GpuBackend, sf: f64) -> Vec<Sample> {
+    use tpch::queries::q6::Q6Data;
+    let db = tpch::cached(sf);
+    let mut out = Vec::new();
+    // Warm caches with a throwaway round.
+    let warm = Q6Data::upload(b, &db).expect("upload");
+    warm.execute(b).expect("warm");
+    warm.free(b).expect("free");
+    let dev = b.device();
+    // Resident: data already on device, measure execution only.
+    let data = Q6Data::upload(b, &db).expect("upload");
+    dev.reset_stats();
+    let t0 = dev.now();
+    data.execute(b).expect("execute");
+    let resident = dev.now() - t0;
+    let stats = dev.stats();
+    out.push(Sample {
+        backend: b.name().to_string(),
+        x: 0,
+        nanos: resident.as_nanos(),
+        cold_nanos: resident.as_nanos(),
+        launches: stats.total_launches(),
+        kernel_bytes: stats.total_kernel_bytes(),
+    });
+    data.free(b).expect("free");
+    // Transfer-inclusive: upload + execute.
+    dev.reset_stats();
+    let t1 = dev.now();
+    let data = Q6Data::upload(b, &db).expect("upload");
+    data.execute(b).expect("execute");
+    let inclusive = dev.now() - t1;
+    let stats = dev.stats();
+    out.push(Sample {
+        backend: b.name().to_string(),
+        x: 1,
+        nanos: inclusive.as_nanos(),
+        cold_nanos: inclusive.as_nanos(),
+        launches: stats.total_launches(),
+        kernel_bytes: stats.total_kernel_bytes(),
+    });
+    data.free(b).expect("free");
+    out
+}
+
+/// Assemble E13 from per-backend parts.
+pub fn e13_assemble(parts: Vec<Vec<Sample>>) -> Experiment {
     let mut exp = Experiment::new(
         "E13",
         "Q6: device-resident (x=0) vs. transfer-inclusive (x=1)",
         "mode",
     );
-    let db = tpch::generate(sf);
-    for b in fw.backends() {
-        use tpch::queries::q6::Q6Data;
-        // Warm caches with a throwaway round.
-        let warm = Q6Data::upload(b.as_ref(), &db).expect("upload");
-        warm.execute(b.as_ref()).expect("warm");
-        warm.free(b.as_ref()).expect("free");
-        let dev = b.device();
-        // Resident: data already on device, measure execution only.
-        let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
-        dev.reset_stats();
-        let t0 = dev.now();
-        data.execute(b.as_ref()).expect("execute");
-        let resident = dev.now() - t0;
-        let stats = dev.stats();
-        exp.push(Sample {
-            backend: b.name().to_string(),
-            x: 0,
-            nanos: resident.as_nanos(),
-            cold_nanos: resident.as_nanos(),
-            launches: stats.total_launches(),
-            kernel_bytes: stats.total_kernel_bytes(),
-        });
-        data.free(b.as_ref()).expect("free");
-        // Transfer-inclusive: upload + execute.
-        dev.reset_stats();
-        let t1 = dev.now();
-        let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
-        data.execute(b.as_ref()).expect("execute");
-        let inclusive = dev.now() - t1;
-        let stats = dev.stats();
-        exp.push(Sample {
-            backend: b.name().to_string(),
-            x: 1,
-            nanos: inclusive.as_nanos(),
-            cold_nanos: inclusive.as_nanos(),
-            launches: stats.total_launches(),
-            kernel_bytes: stats.total_kernel_bytes(),
-        });
-        data.free(b.as_ref()).expect("free");
+    exp.samples = merge_backend_major(parts);
+    exp
+}
+
+/// E13 — TPC-H Q6 cost, device-resident (x=0) vs. including host→device
+/// column transfers (x=1), per backend.
+pub fn e13_transfer_inclusive(fw: &proto_core::framework::Framework, sf: f64) -> Experiment {
+    e13_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e13_part(b.as_ref(), sf))
+            .collect(),
+    )
+}
+
+/// E14 part — one backend's grouped SUM+COUNT samples across `sizes`.
+pub fn e14_part(b: &dyn GpuBackend, sizes: &[usize]) -> Part {
+    let mut part = Part::new();
+    for &n in sizes {
+        let keys = workload::cache::zipf_keys(n, 64, 0.5, workload::SEED);
+        let vals = workload::cache::uniform_f64(n, workload::SEED ^ 30);
+        let k = b.upload_u32(&keys).expect("upload");
+        let v = b.upload_f64(&vals).expect("upload");
+        let s = proto_core::runner::measure(b, n as u64, || {
+            let (gk, sums, counts) = b.grouped_sum_count(&k, &v)?;
+            for c in [gk, sums, counts] {
+                b.free(c)?;
+            }
+            Ok(())
+        })
+        .expect("measure");
+        part.push(vec![s]);
+        b.free(k).expect("free");
+        b.free(v).expect("free");
     }
+    part
+}
+
+/// Assemble E14 from per-backend parts.
+pub fn e14_assemble(parts: Vec<Part>) -> Experiment {
+    let mut exp = Experiment::new(
+        "E14",
+        "Grouped SUM+COUNT (multi-aggregate) vs. rows",
+        "rows",
+    );
+    exp.samples = merge_x_major(parts);
     exp
 }
 
 /// E14 — grouped SUM+COUNT: library composition (one pass per aggregate)
 /// vs. the handwritten fused pass, vs. rows.
 pub fn e14_multi_aggregate(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
-    let mut exp = Experiment::new(
-        "E14",
-        "Grouped SUM+COUNT (multi-aggregate) vs. rows",
-        "rows",
-    );
-    for &n in sizes {
-        let keys = workload::zipf_keys(n, 64, 0.5, workload::SEED);
-        let vals = workload::uniform_f64(n, workload::SEED ^ 30);
-        for b in fw.backends() {
-            let k = b.upload_u32(&keys).expect("upload");
-            let v = b.upload_f64(&vals).expect("upload");
-            let s = proto_core::runner::measure(b.as_ref(), n as u64, || {
-                let (gk, sums, counts) = b.grouped_sum_count(&k, &v)?;
-                for c in [gk, sums, counts] {
-                    b.free(c)?;
-                }
-                Ok(())
-            })
-            .expect("measure");
-            exp.push(s);
-            b.free(k).expect("free");
-            b.free(v).expect("free");
-        }
-    }
-    exp
+    e14_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e14_part(b.as_ref(), sizes))
+            .collect(),
+    )
 }
 
-/// A4 — early vs. late materialisation on the Thrust backend:
-/// `SUM(a·b) WHERE key < θ` as (early) select → gather both columns →
-/// product → reduce, vs. (late) product over the full columns → gather
-/// the products → reduce. x = selectivity in permille.
-pub fn a4_materialization(
-    fw: &proto_core::framework::Framework,
-    n: usize,
-    selectivities: &[f64],
-) -> Experiment {
-    let mut exp = Experiment::new(
-        "A4",
-        "Early vs. late materialisation (Thrust), selection+product+sum",
-        "sel_permille",
-    );
-    let b = fw.backend("Thrust").expect("Thrust registered");
-    let a_vals = workload::uniform_f64(n, workload::SEED ^ 40);
-    let b_vals = workload::uniform_f64(n, workload::SEED ^ 41);
+/// A4 part — the Thrust early/late materialisation samples across
+/// `selectivities` (two samples per selectivity, early first).
+pub fn a4_part(b: &dyn GpuBackend, n: usize, selectivities: &[f64]) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let a_vals = workload::cache::uniform_f64(n, workload::SEED ^ 40);
+    let b_vals = workload::cache::uniform_f64(n, workload::SEED ^ 41);
     for &sel in selectivities {
-        let (keys, thr) = workload::selectivity_column(n, sel, workload::SEED);
+        let (keys, thr) = workload::cache::selectivity_column(n, sel, workload::SEED);
         let ck = b.upload_u32(&keys).expect("upload");
         let ca = b.upload_f64(&a_vals).expect("upload");
         let cb = b.upload_f64(&b_vals).expect("upload");
@@ -144,7 +171,7 @@ pub fn a4_materialization(
         })
         .expect("measure");
         early.backend = "Thrust/early".into();
-        exp.push(early);
+        out.push(early);
         // Late materialisation.
         let mut late = proto_core::runner::measure(b, x, || {
             let prod = b.product(&ca, &cb)?;
@@ -158,11 +185,105 @@ pub fn a4_materialization(
         })
         .expect("measure");
         late.backend = "Thrust/late".into();
-        exp.push(late);
+        out.push(late);
         for c in [ck, ca, cb] {
             b.free(c).expect("free");
         }
     }
+    out
+}
+
+/// A4 — early vs. late materialisation on the Thrust backend:
+/// `SUM(a·b) WHERE key < θ` as (early) select → gather both columns →
+/// product → reduce, vs. (late) product over the full columns → gather
+/// the products → reduce. x = selectivity in permille.
+pub fn a4_materialization(
+    fw: &proto_core::framework::Framework,
+    n: usize,
+    selectivities: &[f64],
+) -> Experiment {
+    let b = fw.backend("Thrust").expect("Thrust registered");
+    a4_assemble(a4_part(b, n, selectivities))
+}
+
+/// Assemble A4 from its (Thrust-only) part.
+pub fn a4_assemble(samples: Vec<Sample>) -> Experiment {
+    let mut exp = Experiment::new(
+        "A4",
+        "Early vs. late materialisation (Thrust), selection+product+sum",
+        "sel_permille",
+    );
+    exp.samples = samples;
+    exp
+}
+
+/// One E17 measurement cell: backend `name` runs Q6 at fault rate
+/// `permille` on a fresh resilient device. Returns the sample, the
+/// revenue (asserted rate-invariant at assembly) and the number of faults
+/// observed in the two countable windows.
+///
+/// Every cell builds its own device — exactly what the serial sweep does
+/// (a fresh framework per rate) — so cells are independent jobs for the
+/// parallel grid.
+pub fn e17_cell(sf: f64, permille: u64, name: &str) -> (Sample, f64, u64) {
+    use tpch::queries::q6::Q6Data;
+    let db = tpch::cached(sf);
+    // A deep retry budget: backends run fused multi-kernel pipelines as
+    // one retry scope, and at a 10% per-site rate a ~17-site pipeline
+    // attempt fails ~5 times out of 6 — backoff is simulated time, so
+    // patience is cheap.
+    let policy = RetryPolicy {
+        max_retries: 60,
+        ..RetryPolicy::default()
+    };
+    let b = Framework::single_backend_resilient(&crate::paper_device(), name, policy);
+    let dev = b.device();
+    if permille > 0 {
+        dev.install_fault_plan(FaultPlan::uniform(
+            workload::SEED ^ permille,
+            permille as f64 / 1000.0,
+        ));
+    }
+    let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
+    // `measure` resets statistics between its cold and warm runs, so
+    // count injected faults in the two observable windows (upload, warm
+    // region); the cold window is lost to the reset.
+    let mut faults = dev.stats().faults_injected;
+    let mut revenue = 0.0;
+    let s = proto_core::runner::measure(b.as_ref(), permille, || {
+        revenue = data.execute(b.as_ref())?;
+        Ok(())
+    })
+    .expect("Q6 must complete under faults");
+    faults += dev.stats().faults_injected;
+    data.free(b.as_ref()).expect("free");
+    (s, revenue, faults)
+}
+
+/// Assemble E17 from its cells, in `(rate, backend)` serial order, and
+/// enforce the experiment's invariants: answers are identical across
+/// fault rates per backend (retried operators re-execute identically —
+/// backends differ from each other only by float summation order), and a
+/// sweep over nonzero rates must actually observe faults.
+pub fn e17_assemble(rates_permille: &[u64], cells: Vec<(Sample, f64, u64)>) -> Experiment {
+    let mut exp = Experiment::new(
+        "E17",
+        "Q6 under injected transient faults (resilient execution)",
+        "fault_permille",
+    );
+    let mut baseline: std::collections::HashMap<String, f64> = Default::default();
+    let mut observed_faults = 0;
+    let swept_nonzero_rate = rates_permille.iter().any(|&p| p > 0);
+    for (s, revenue, faults) in cells {
+        observed_faults += faults;
+        let expect = *baseline.entry(s.backend.clone()).or_insert(revenue);
+        assert_eq!(revenue, expect, "{}: faults changed the answer", s.backend);
+        exp.push(s);
+    }
+    assert!(
+        !swept_nonzero_rate || observed_faults > 0,
+        "nonzero fault rates swept but no fault ever observed"
+    );
     exp
 }
 
@@ -175,63 +296,16 @@ pub fn a4_materialization(
 /// plus exponential backoff, all charged to the simulated clock. The
 /// returned experiments' answers are asserted identical to the fault-free
 /// run — resilience must never change results, only timings.
+///
+/// [`ResilientBackend`]: proto_core::resilient::ResilientBackend
 pub fn e17_fault_resilience(sf: f64, rates_permille: &[u64]) -> Experiment {
-    let mut exp = Experiment::new(
-        "E17",
-        "Q6 under injected transient faults (resilient execution)",
-        "fault_permille",
-    );
-    let db = tpch::generate(sf);
-    // Retried operators re-execute identically, so each backend's answer
-    // must be bit-identical across every fault rate (backends differ from
-    // each other only by float summation order).
-    let mut baseline: std::collections::HashMap<String, f64> = Default::default();
-    let mut observed_faults = 0;
-    let mut swept_nonzero_rate = false;
+    let mut cells = Vec::new();
     for &permille in rates_permille {
-        // Fresh devices per rate so pools, JIT caches and fault schedules
-        // never leak across sweep points. A deep retry budget: backends
-        // run fused multi-kernel pipelines as one retry scope, and at a
-        // 10% per-site rate a ~17-site pipeline attempt fails ~5 times
-        // out of 6 — backoff is simulated time, so patience is cheap.
-        let policy = RetryPolicy {
-            max_retries: 60,
-            ..RetryPolicy::default()
-        };
-        let fw = Framework::with_all_backends_resilient(&crate::paper_device(), policy);
-        swept_nonzero_rate |= permille > 0;
-        for b in fw.backends() {
-            let dev = b.device();
-            if permille > 0 {
-                dev.install_fault_plan(FaultPlan::uniform(
-                    workload::SEED ^ permille,
-                    permille as f64 / 1000.0,
-                ));
-            }
-            use tpch::queries::q6::Q6Data;
-            let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
-            // `measure` resets statistics between its cold and warm runs,
-            // so count injected faults in the two observable windows
-            // (upload, warm region); the cold window is lost to the reset.
-            observed_faults += dev.stats().faults_injected;
-            let mut revenue = 0.0;
-            let s = proto_core::runner::measure(b.as_ref(), permille, || {
-                revenue = data.execute(b.as_ref())?;
-                Ok(())
-            })
-            .expect("Q6 must complete under faults");
-            observed_faults += dev.stats().faults_injected;
-            let expect = *baseline.entry(b.name().to_string()).or_insert(revenue);
-            assert_eq!(revenue, expect, "{}: faults changed the answer", b.name());
-            exp.push(s);
-            data.free(b.as_ref()).expect("free");
+        for name in proto_core::backends::PAPER_BACKENDS {
+            cells.push(e17_cell(sf, permille, name));
         }
     }
-    assert!(
-        !swept_nonzero_rate || observed_faults > 0,
-        "nonzero fault rates swept but no fault ever observed"
-    );
-    exp
+    e17_assemble(rates_permille, cells)
 }
 
 #[cfg(test)]

@@ -1,0 +1,577 @@
+//! The benchmark grid: every experiment cell of the paper regeneration,
+//! scheduled over the deterministic parallel [`Plan`](crate::sched::Plan)
+//! and emitted in canonical serial order.
+//!
+//! ## Decomposition
+//!
+//! A backend's device accumulates state (JIT program cache, memory-pool
+//! free lists) that the `cold_nanos` column of later samples observes, so
+//! the cells of one backend form a serial **lane** executed in the exact
+//! order of the historical serial runner. The four lanes are mutually
+//! independent — devices are per-backend — and run concurrently. Cells
+//! that build fresh devices by design (the fault sweep E17, the fusion
+//! ablation A2, the JIT ablation A3) are fully independent jobs.
+//!
+//! ## Determinism
+//!
+//! Every cell computes simulated measurements from its own device clock;
+//! the scheduler only decides *when on the host* a cell runs, never what
+//! it computes. Results are stored per cell and assembled in the fixed
+//! emission order below, so stdout and every CSV artifact are
+//! byte-identical at any `--jobs` count — and identical to the serial
+//! runner's output (experiments are emitted in numeric order; the lanes
+//! still *execute* E15 before E14, preserving the per-device operation
+//! sequence the historical runner used).
+
+use proto_core::backend::GpuBackend;
+use proto_core::framework::Framework;
+use proto_core::ops::Connective;
+use proto_core::runner::Sample;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{Part, Plan};
+use crate::{ablations, extensions, operators, queries};
+
+/// Parameters of the full regeneration grid. [`GridConfig::default`] is
+/// the paper grid (what `all_experiments` runs); tests shrink the fields
+/// for fast sweeps.
+#[derive(Clone)]
+pub struct GridConfig {
+    /// Row-count sweep for the scaling experiments (E3, E5, E7, E14).
+    pub sizes: Vec<usize>,
+    /// Selectivity sweep for E4 (and A4).
+    pub sels: Vec<f64>,
+    /// Fixed row count for E4.
+    pub e4_n: usize,
+    /// Group-count sweep for E6.
+    pub groups: Vec<usize>,
+    /// Fixed row count for E6.
+    pub e6_n: usize,
+    /// Row-count sweep for E8 joins.
+    pub join_sizes: Vec<usize>,
+    /// Fixed row count for E9.
+    pub e9_n: usize,
+    /// Predicate-count sweep for E9.
+    pub e9_preds: Vec<usize>,
+    /// Scale factor validated before the query experiments.
+    pub validate_sf: f64,
+    /// Scale-factor sweep for E10–E12.
+    pub sfs: Vec<f64>,
+    /// Scale factor for E13.
+    pub e13_sf: f64,
+    /// Fixed row count for E15.
+    pub e15_n: usize,
+    /// Scale factor for E17.
+    pub e17_sf: f64,
+    /// Fault-rate sweep (permille) for E17.
+    pub e17_rates: Vec<u64>,
+    /// Fixed row count for A1.
+    pub a1_n: usize,
+    /// Chain-length sweep for A2.
+    pub a2_ks: Vec<usize>,
+    /// Fixed row count for A2.
+    pub a2_n: usize,
+    /// Fixed row count for A3.
+    pub a3_n: usize,
+    /// Fixed row count for A4.
+    pub a4_n: usize,
+    /// Selectivity sweep for A4.
+    pub a4_sels: Vec<f64>,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        let sels = vec![0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+        GridConfig {
+            sizes: crate::default_sizes(),
+            sels: sels.clone(),
+            e4_n: 1 << 20,
+            groups: vec![16, 256, 4_096, 65_536, 1 << 20],
+            e6_n: 1 << 20,
+            join_sizes: vec![1 << 12, 1 << 14, 1 << 16, 1 << 18],
+            e9_n: 1 << 20,
+            e9_preds: vec![1, 2, 3, 4],
+            validate_sf: 0.001,
+            sfs: queries::default_scale_factors(),
+            e13_sf: 0.02,
+            e15_n: 1 << 20,
+            e17_sf: 0.01,
+            e17_rates: vec![0, 10, 50, 100],
+            a1_n: 1 << 20,
+            a2_ks: vec![1, 2, 4, 8],
+            a2_n: 1 << 20,
+            a3_n: 1 << 20,
+            a4_n: 1 << 20,
+            a4_sels: sels,
+        }
+    }
+}
+
+/// The outcome of one full grid run.
+pub struct GridRun {
+    /// Exactly what the serial runner prints (modulo the documented
+    /// numeric experiment order), as one string.
+    pub stdout: String,
+    /// CSV artifacts: `(file name, contents)` in emission order.
+    pub artifacts: Vec<(String, String)>,
+    /// Per-experiment host wall time (sum of the experiment's cell
+    /// times), using the serial runner's section labels and order.
+    pub sections: Vec<(String, u128)>,
+    /// Per-cell host wall time, in canonical cell order.
+    pub cells: Vec<(String, u128)>,
+    /// Host wall time of the scheduled portion (the `Plan::run` call).
+    pub wall_ms: u128,
+    /// Summed cell time — what a serial execution of the same cells
+    /// costs. `busy_ms / (wall_ms · jobs)` is pool efficiency.
+    pub busy_ms: u128,
+    /// Worker count the grid ran with.
+    pub jobs: usize,
+}
+
+/// One cell's result — the per-backend part (or independent-cell output)
+/// each experiment defines.
+enum CellOut {
+    Part(Part),
+    Rows5(Vec<[Sample; 5]>),
+    Quad([Part; 4]),
+    Flat(Vec<Sample>),
+    Fault(Sample, f64, u64),
+    One(Sample),
+    Unit,
+}
+
+struct Builder {
+    plan: Plan,
+    specs: Vec<(String, &'static str)>,
+    results: Arc<Mutex<HashMap<usize, CellOut>>>,
+    times: Arc<Mutex<HashMap<usize, u128>>>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            plan: Plan::new(),
+            specs: Vec::new(),
+            results: Arc::new(Mutex::new(HashMap::new())),
+            times: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Register a cell: `after` chains it on a lane predecessor (a task
+    /// id); returns `(task id, cell index)`.
+    fn cell(
+        &mut self,
+        after: Option<usize>,
+        label: String,
+        section: &'static str,
+        f: impl FnOnce() -> CellOut + Send + 'static,
+    ) -> (usize, usize) {
+        let idx = self.specs.len();
+        self.specs.push((label, section));
+        let results = self.results.clone();
+        let times = self.times.clone();
+        let task = self.plan.add(after, move || {
+            let t = std::time::Instant::now();
+            let out = f();
+            let ms = t.elapsed().as_millis();
+            results.lock().unwrap().insert(idx, out);
+            times.lock().unwrap().insert(idx, ms);
+        });
+        (task, idx)
+    }
+}
+
+/// Cell indices per experiment, in the experiment's own assembly order.
+#[derive(Default)]
+struct Ids {
+    e3: Vec<usize>,
+    e4: Vec<usize>,
+    e5a: Vec<usize>,
+    e5b: Vec<usize>,
+    e6: Vec<usize>,
+    e7: Vec<usize>,
+    e8: Vec<usize>,
+    e9a: Vec<usize>,
+    e9b: Vec<usize>,
+    e10: Vec<usize>,
+    e11: Vec<usize>,
+    e12: Vec<usize>,
+    e13: Vec<usize>,
+    e14: Vec<usize>,
+    e15: Vec<usize>,
+    e17: Vec<usize>,
+    a1: Vec<usize>,
+    a2: Vec<usize>,
+    a3: Vec<usize>,
+    a4: Vec<usize>,
+}
+
+/// Section labels in the serial runner's order (its `host.time` labels).
+pub const SECTIONS: [&str; 21] = [
+    "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9-and", "E9-or", "validate", "E10", "E11", "E12",
+    "E13", "E15", "E14", "E17", "A1", "A2", "A3", "A4",
+];
+
+/// Run the whole grid on `jobs` workers and return its assembled output.
+///
+/// Also divides the host-thread budget of the `gpu-sim` host-execution
+/// engine across workers, so cell workers × per-cell `hostexec` threads
+/// never oversubscribe the machine.
+pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
+    let jobs = jobs.max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    gpu_sim::hostexec::set_worker_budget(std::cmp::max(1, cores / jobs));
+
+    let cfg = Arc::new(cfg);
+    let mut b = Builder::new();
+    let mut ids = Ids::default();
+
+    // ---- Per-backend lanes: the serial per-device operation order. ----
+    for name in proto_core::backends::PAPER_BACKENDS {
+        let backend: Arc<dyn GpuBackend> =
+            Arc::from(Framework::single_backend(&crate::paper_device(), name));
+        let mut prev = None;
+        macro_rules! lane {
+            ($list:expr, $section:expr, $body:expr) => {{
+                let bk = backend.clone();
+                let c = cfg.clone();
+                // Silence unused-variable lints for bodies that ignore cfg.
+                let (task, idx) =
+                    b.cell(prev, format!("{}/{name}", $section), $section, move || {
+                        let _ = &c;
+                        ($body)(bk.as_ref(), &c)
+                    });
+                prev = Some(task);
+                $list.push(idx);
+            }};
+        }
+        lane!(ids.e3, "E3", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e3_part(bk, &c.sizes))
+        });
+        lane!(ids.e4, "E4", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e4_part(bk, c.e4_n, &c.sels))
+        });
+        lane!(ids.e5a, "E5a", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e5_part(bk, &c.sizes, false))
+        });
+        lane!(ids.e5b, "E5b", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e5_part(bk, &c.sizes, true))
+        });
+        lane!(ids.e6, "E6", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e6_part(bk, c.e6_n, &c.groups))
+        });
+        lane!(ids.e7, "E7", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Rows5(operators::e7_part(bk, &c.sizes))
+        });
+        lane!(ids.e8, "E8", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e8_part(bk, &c.join_sizes))
+        });
+        lane!(ids.e9a, "E9-and", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e9_part(bk, c.e9_n, &c.e9_preds, Connective::And))
+        });
+        lane!(ids.e9b, "E9-or", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(operators::e9_part(bk, c.e9_n, &c.e9_preds, Connective::Or))
+        });
+        {
+            let bk = backend.clone();
+            let c = cfg.clone();
+            let (task, _) = b.cell(prev, format!("validate/{name}"), "validate", move || {
+                queries::validate_backend(bk.as_ref(), &tpch::cached(c.validate_sf))
+                    .expect("query validation");
+                CellOut::Unit
+            });
+            prev = Some(task);
+        }
+        lane!(ids.e10, "E10", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(queries::e10_part(bk, &c.sfs))
+        });
+        lane!(ids.e11, "E11", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(queries::e11_part(bk, &c.sfs))
+        });
+        lane!(ids.e12, "E12", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Quad(queries::e12_part(bk, &c.sfs))
+        });
+        lane!(ids.e13, "E13", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Flat(extensions::e13_part(bk, c.e13_sf))
+        });
+        // The serial runner executes E15 before E14; the lanes preserve
+        // that per-device order even though emission is numeric.
+        lane!(ids.e15, "E15", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Flat(operators::e15_part(bk, c.e15_n))
+        });
+        lane!(ids.e14, "E14", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(extensions::e14_part(bk, &c.sizes))
+        });
+        lane!(ids.a1, "A1", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Flat(ablations::a1_part(bk, c.a1_n))
+        });
+        if name == "Thrust" {
+            lane!(ids.a4, "A4", |bk: &dyn GpuBackend, c: &GridConfig| {
+                CellOut::Flat(extensions::a4_part(bk, c.a4_n, &c.a4_sels))
+            });
+        }
+        let _ = prev; // each lane's tail has no successor
+    }
+
+    // ---- Independent cells (fresh devices by design). ----
+    for &permille in &cfg.e17_rates {
+        for name in proto_core::backends::PAPER_BACKENDS {
+            let c = cfg.clone();
+            let (_, idx) = b.cell(None, format!("E17/r{permille}/{name}"), "E17", move || {
+                let (s, revenue, faults) = extensions::e17_cell(c.e17_sf, permille, name);
+                CellOut::Fault(s, revenue, faults)
+            });
+            ids.e17.push(idx);
+        }
+    }
+    for &k in &cfg.a2_ks {
+        for lib in ablations::A2_LIBS {
+            let c = cfg.clone();
+            let (_, idx) = b.cell(None, format!("A2/k{k}/{lib}"), "A2", move || {
+                CellOut::One(ablations::a2_cell(lib, k, c.a2_n))
+            });
+            ids.a2.push(idx);
+        }
+    }
+    for name in proto_core::backends::PAPER_BACKENDS {
+        let c = cfg.clone();
+        let (_, idx) = b.cell(None, format!("A3/{name}"), "A3", move || {
+            CellOut::Flat(ablations::a3_cell(name, c.a3_n))
+        });
+        ids.a3.push(idx);
+    }
+
+    // ---- Execute. ----
+    let Builder {
+        plan,
+        specs,
+        results,
+        times,
+    } = b;
+    let t0 = std::time::Instant::now();
+    plan.run(jobs);
+    let wall_ms = t0.elapsed().as_millis();
+
+    // ---- Assemble in canonical (numeric) emission order. ----
+    let results = &mut *results.lock().unwrap();
+
+    let mut exps = vec![
+        operators::e3_assemble(take_parts(results, &ids.e3)),
+        operators::e4_assemble(take_parts(results, &ids.e4)),
+        operators::e5_assemble(take_parts(results, &ids.e5a), false),
+        operators::e5_assemble(take_parts(results, &ids.e5b), true),
+        operators::e6_assemble(take_parts(results, &ids.e6)),
+    ];
+    let e7_parts = ids
+        .e7
+        .iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::Rows5(rows)) => rows,
+            _ => unreachable!("E7 cell"),
+        })
+        .collect();
+    exps.extend(operators::e7_assemble(e7_parts));
+    exps.push(operators::e8_assemble(take_parts(results, &ids.e8)));
+    exps.push(operators::e9_assemble(
+        take_parts(results, &ids.e9a),
+        Connective::And,
+    ));
+    exps.push(operators::e9_assemble(
+        take_parts(results, &ids.e9b),
+        Connective::Or,
+    ));
+    exps.push(queries::e10_assemble(take_parts(results, &ids.e10)));
+    exps.push(queries::e11_assemble(take_parts(results, &ids.e11)));
+    let e12_parts = ids
+        .e12
+        .iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::Quad(q)) => q,
+            _ => unreachable!("E12 cell"),
+        })
+        .collect();
+    exps.extend(queries::e12_assemble(e12_parts));
+    exps.push(extensions::e13_assemble(take_flats(results, &ids.e13)));
+    exps.push(extensions::e14_assemble(take_parts(results, &ids.e14)));
+    exps.push(operators::e15_assemble(take_flats(results, &ids.e15)));
+    let e17_cells = ids
+        .e17
+        .iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::Fault(s, rev, f)) => (s, rev, f),
+            _ => unreachable!("E17 cell"),
+        })
+        .collect();
+    exps.push(extensions::e17_assemble(&cfg.e17_rates, e17_cells));
+    let a1 = ablations::a1_assemble(take_flats(results, &ids.a1));
+    let a2_cells = ids
+        .a2
+        .iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::One(s)) => s,
+            _ => unreachable!("A2 cell"),
+        })
+        .collect();
+    let a2 = ablations::a2_assemble(a2_cells);
+    let a3 = ablations::a3_assemble(take_flats(results, &ids.a3));
+    let a4 = extensions::a4_assemble(take_flats(results, &ids.a4).pop().unwrap_or_default());
+
+    // ---- Render. ----
+    let fw = crate::paper_framework();
+    let mut stdout = String::new();
+    stdout.push_str(&format!("{}\n", proto_core::survey::render_table()));
+    stdout.push_str(&format!("{}\n", fw.support_matrix()));
+    let mut artifacts = Vec::new();
+    for exp in &exps {
+        stdout.push_str(&format!("{}\n", exp.render()));
+        artifacts.push((format!("{}.csv", exp.id), exp.to_csv()));
+    }
+    stdout.push_str(&format!("{}\n", ablations::render_a1(&a1)));
+    artifacts.push(("A1.csv".to_string(), a1.to_csv()));
+    for exp in [&a2, &a3, &a4] {
+        stdout.push_str(&format!("{}\n", exp.render()));
+        artifacts.push((format!("{}.csv", exp.id), exp.to_csv()));
+    }
+
+    // ---- Host-cost accounting. ----
+    let times = times.lock().unwrap();
+    let cells: Vec<(String, u128)> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| (label.clone(), times.get(&i).copied().unwrap_or(0)))
+        .collect();
+    let busy_ms = cells.iter().map(|(_, ms)| ms).sum();
+    let sections = SECTIONS
+        .iter()
+        .map(|&sec| {
+            let total = specs
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, s))| *s == sec)
+                .map(|(i, _)| times.get(&i).copied().unwrap_or(0))
+                .sum();
+            (sec.to_string(), total)
+        })
+        .collect();
+
+    GridRun {
+        stdout,
+        artifacts,
+        sections,
+        cells,
+        wall_ms,
+        busy_ms,
+        jobs,
+    }
+}
+
+fn take_parts(results: &mut HashMap<usize, CellOut>, idxs: &[usize]) -> Vec<Part> {
+    idxs.iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::Part(p)) => p,
+            _ => unreachable!("cell produced a part"),
+        })
+        .collect()
+}
+
+fn take_flats(results: &mut HashMap<usize, CellOut>, idxs: &[usize]) -> Vec<Vec<Sample>> {
+    idxs.iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::Flat(v)) => v,
+            _ => unreachable!("cell produced a flat sample list"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> GridConfig {
+        GridConfig {
+            sizes: vec![1 << 12, 1 << 13],
+            sels: vec![0.25, 0.75],
+            e4_n: 1 << 12,
+            groups: vec![16, 64],
+            e6_n: 1 << 12,
+            join_sizes: vec![1 << 10],
+            e9_n: 1 << 12,
+            e9_preds: vec![1, 2],
+            validate_sf: 0.001,
+            sfs: vec![0.001],
+            e13_sf: 0.002,
+            e15_n: 1 << 12,
+            e17_sf: 0.001,
+            e17_rates: vec![0, 50],
+            a1_n: 1 << 12,
+            a2_ks: vec![1, 4],
+            a2_n: 1 << 12,
+            a3_n: 1 << 12,
+            a4_n: 1 << 12,
+            a4_sels: vec![0.25, 0.75],
+        }
+    }
+
+    #[test]
+    fn grid_output_is_jobs_invariant() {
+        let one = run(tiny_config(), 1);
+        let four = run(tiny_config(), 4);
+        assert_eq!(one.stdout, four.stdout);
+        assert_eq!(one.artifacts, four.artifacts);
+        assert_eq!(one.jobs, 1);
+        assert_eq!(four.jobs, 4);
+    }
+
+    #[test]
+    fn grid_emits_numeric_order_and_all_artifacts() {
+        let r = run(tiny_config(), 2);
+        let names: Vec<&str> = r.artifacts.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "E3.csv", "E4.csv", "E5a.csv", "E5b.csv", "E6.csv", "E7a.csv", "E7b.csv",
+                "E7c.csv", "E7d.csv", "E7e.csv", "E8.csv", "E9a.csv", "E9b.csv", "E10.csv",
+                "E11.csv", "E12a.csv", "E12b.csv", "E12c.csv", "E12d.csv", "E13.csv", "E14.csv",
+                "E15.csv", "E17.csv", "A1.csv", "A2.csv", "A3.csv", "A4.csv"
+            ]
+        );
+        // E14 is emitted before E15 (numeric order).
+        let e14 = r.stdout.find("## E14 —").unwrap();
+        let e15 = r.stdout.find("## E15 —").unwrap();
+        assert!(e14 < e15, "numeric emission order");
+        // Accounting covers every cell and section.
+        assert_eq!(r.sections.len(), SECTIONS.len());
+        assert!(r.cells.len() > 70, "lanes + independent cells");
+    }
+
+    #[test]
+    fn grid_matches_the_serial_experiment_functions() {
+        // The grid's assembled samples equal the public (serial)
+        // experiment functions — same parts, same merge, different
+        // scheduling. Compare cells whose device state is fresh in both
+        // paths: E3 (first lane operation) and the fresh-device A2/A3.
+        let cfg = tiny_config();
+        let r = run(cfg.clone(), 3);
+        let csv = |name: &str| {
+            r.artifacts
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c.clone())
+                .unwrap()
+        };
+        let fw = crate::paper_framework();
+        assert_eq!(
+            csv("E3.csv"),
+            operators::e3_selection_scaling(&fw, &cfg.sizes).to_csv()
+        );
+        assert_eq!(
+            csv("A2.csv"),
+            ablations::a2_fusion(&cfg.a2_ks, cfg.a2_n).to_csv()
+        );
+        assert_eq!(
+            csv("A3.csv"),
+            ablations::a3_jit_cache(&fw, cfg.a3_n).to_csv()
+        );
+    }
+}

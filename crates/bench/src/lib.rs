@@ -10,9 +10,11 @@
 
 pub mod ablations;
 pub mod extensions;
+pub mod grid;
 pub mod operators;
 pub mod queries;
 pub mod report;
+pub mod sched;
 
 use proto_core::framework::Framework;
 

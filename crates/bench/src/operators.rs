@@ -1,26 +1,83 @@
-//! Operator micro-benchmarks (experiments E3–E9).
+//! Operator micro-benchmarks (experiments E3–E9, E15).
+//!
+//! Every experiment is built from a **per-backend part function**
+//! (`*_part`): the sample sequence one backend contributes, in the same
+//! per-device order the original serial sweep executed. The public
+//! experiment functions run the parts over a framework's backends and
+//! merge them back into the serial emission order, so their output is
+//! byte-identical to the historical nested loops — and the parallel grid
+//! scheduler (`crate::grid`) can run each part as an independent job on
+//! its own device. Synthetic input columns come from
+//! [`workload::cache`](proto_core::workload::cache), so concurrent parts
+//! share one generation per column.
 
-use proto_core::backend::Pred;
+use proto_core::backend::{GpuBackend, Pred};
 use proto_core::ops::{CmpOp, Connective, JoinAlgo, Support};
 use proto_core::runner::{measure, Experiment};
 use proto_core::workload;
 
+use crate::sched::{merge_backend_major, merge_x_major, Part};
+
+/// E3 part — one backend's selection-scaling samples, one per size.
+pub fn e3_part(b: &dyn GpuBackend, sizes: &[usize]) -> Part {
+    let mut part = Part::new();
+    for &n in sizes {
+        let (col, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED);
+        let c = b.upload_u32(&col).expect("upload");
+        let s = measure(b, n as u64, || {
+            let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+            b.free(ids)
+        })
+        .expect("measure");
+        b.free(c).expect("free");
+        part.push(vec![s]);
+    }
+    part
+}
+
+/// Assemble E3 from per-backend parts.
+pub fn e3_assemble(parts: Vec<Part>) -> Experiment {
+    let mut exp = Experiment::new("E3", "Selection runtime vs. rows (50% selectivity)", "rows");
+    exp.samples = merge_x_major(parts);
+    exp
+}
+
 /// E3 — selection runtime vs. rows at a fixed 50% selectivity.
 pub fn e3_selection_scaling(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
-    let mut exp = Experiment::new("E3", "Selection runtime vs. rows (50% selectivity)", "rows");
-    for &n in sizes {
-        let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
-        for b in fw.backends() {
-            let c = b.upload_u32(&col).expect("upload");
-            let s = measure(b.as_ref(), n as u64, || {
-                let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
-                b.free(ids)
-            })
-            .expect("measure");
-            exp.push(s);
-            b.free(c).expect("free");
-        }
+    e3_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e3_part(b.as_ref(), sizes))
+            .collect(),
+    )
+}
+
+/// E4 part — one backend's selectivity-sweep samples, one per selectivity.
+pub fn e4_part(b: &dyn GpuBackend, n: usize, selectivities: &[f64]) -> Part {
+    let mut part = Part::new();
+    for &sel in selectivities {
+        let (col, thr) = workload::cache::selectivity_column(n, sel, workload::SEED);
+        let x = (sel * 1000.0).round() as u64;
+        let c = b.upload_u32(&col).expect("upload");
+        let s = measure(b, x, || {
+            let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
+            b.free(ids)
+        })
+        .expect("measure");
+        b.free(c).expect("free");
+        part.push(vec![s]);
     }
+    part
+}
+
+/// Assemble E4 from per-backend parts.
+pub fn e4_assemble(parts: Vec<Part>) -> Experiment {
+    let mut exp = Experiment::new(
+        "E4",
+        "Selection runtime vs. selectivity (fixed rows)",
+        "sel_permille",
+    );
+    exp.samples = merge_x_major(parts);
     exp
 }
 
@@ -31,25 +88,49 @@ pub fn e4_selection_selectivity(
     n: usize,
     selectivities: &[f64],
 ) -> Experiment {
-    let mut exp = Experiment::new(
-        "E4",
-        "Selection runtime vs. selectivity (fixed rows)",
-        "sel_permille",
-    );
-    for &sel in selectivities {
-        let (col, thr) = workload::selectivity_column(n, sel, workload::SEED);
-        let x = (sel * 1000.0).round() as u64;
-        for b in fw.backends() {
-            let c = b.upload_u32(&col).expect("upload");
-            let s = measure(b.as_ref(), x, || {
-                let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
-                b.free(ids)
-            })
-            .expect("measure");
-            exp.push(s);
-            b.free(c).expect("free");
-        }
+    e4_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e4_part(b.as_ref(), n, selectivities))
+            .collect(),
+    )
+}
+
+/// E5 part — one backend's sort (or sort-by-key) samples, one per size.
+pub fn e5_part(b: &dyn GpuBackend, sizes: &[usize], by_key: bool) -> Part {
+    let mut part = Part::new();
+    for &n in sizes {
+        let keys = workload::cache::uniform_u32(n, u32::MAX, workload::SEED);
+        let vals = workload::cache::uniform_f64(n, workload::SEED ^ 1);
+        let k = b.upload_u32(&keys).expect("upload");
+        let v = b.upload_f64(&vals).expect("upload");
+        let s = measure(b, n as u64, || {
+            if by_key {
+                let (sk, sv) = b.sort_by_key(&k, &v)?;
+                b.free(sk)?;
+                b.free(sv)
+            } else {
+                let sk = b.sort(&k)?;
+                b.free(sk)
+            }
+        })
+        .expect("measure");
+        b.free(k).expect("free");
+        b.free(v).expect("free");
+        part.push(vec![s]);
     }
+    part
+}
+
+/// Assemble E5a/E5b from per-backend parts.
+pub fn e5_assemble(parts: Vec<Part>, by_key: bool) -> Experiment {
+    let (id, title) = if by_key {
+        ("E5b", "Sort-by-key runtime vs. rows")
+    } else {
+        ("E5a", "Sort runtime vs. rows")
+    };
+    let mut exp = Experiment::new(id, title, "rows");
+    exp.samples = merge_x_major(parts);
     exp
 }
 
@@ -59,34 +140,40 @@ pub fn e5_sort_scaling(
     sizes: &[usize],
     by_key: bool,
 ) -> Experiment {
-    let (id, title) = if by_key {
-        ("E5b", "Sort-by-key runtime vs. rows")
-    } else {
-        ("E5a", "Sort runtime vs. rows")
-    };
-    let mut exp = Experiment::new(id, title, "rows");
-    for &n in sizes {
-        let keys = workload::uniform_u32(n, u32::MAX, workload::SEED);
-        let vals = workload::uniform_f64(n, workload::SEED ^ 1);
-        for b in fw.backends() {
-            let k = b.upload_u32(&keys).expect("upload");
-            let v = b.upload_f64(&vals).expect("upload");
-            let s = measure(b.as_ref(), n as u64, || {
-                if by_key {
-                    let (sk, sv) = b.sort_by_key(&k, &v)?;
-                    b.free(sk)?;
-                    b.free(sv)
-                } else {
-                    let sk = b.sort(&k)?;
-                    b.free(sk)
-                }
-            })
-            .expect("measure");
-            exp.push(s);
-            b.free(k).expect("free");
-            b.free(v).expect("free");
-        }
+    e5_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e5_part(b.as_ref(), sizes, by_key))
+            .collect(),
+        by_key,
+    )
+}
+
+/// E6 part — one backend's grouped-aggregation samples, one per group count.
+pub fn e6_part(b: &dyn GpuBackend, n: usize, group_counts: &[usize]) -> Part {
+    let vals = workload::cache::uniform_f64(n, workload::SEED ^ 2);
+    let mut part = Part::new();
+    for &g in group_counts {
+        let keys = workload::cache::zipf_keys(n, g, 0.5, workload::SEED);
+        let k = b.upload_u32(&keys).expect("upload");
+        let v = b.upload_f64(&vals).expect("upload");
+        let s = measure(b, g as u64, || {
+            let (gk, gv) = b.grouped_sum(&k, &v)?;
+            b.free(gk)?;
+            b.free(gv)
+        })
+        .expect("measure");
+        b.free(k).expect("free");
+        b.free(v).expect("free");
+        part.push(vec![s]);
     }
+    part
+}
+
+/// Assemble E6 from per-backend parts.
+pub fn e6_assemble(parts: Vec<Part>) -> Experiment {
+    let mut exp = Experiment::new("E6", "Grouped aggregation (SUM) vs. group count", "groups");
+    exp.samples = merge_x_major(parts);
     exp
 }
 
@@ -96,121 +183,189 @@ pub fn e6_group_aggregation(
     n: usize,
     group_counts: &[usize],
 ) -> Experiment {
-    let mut exp = Experiment::new("E6", "Grouped aggregation (SUM) vs. group count", "groups");
-    let vals = workload::uniform_f64(n, workload::SEED ^ 2);
-    for &g in group_counts {
-        let keys = workload::zipf_keys(n, g, 0.5, workload::SEED);
-        for b in fw.backends() {
-            let k = b.upload_u32(&keys).expect("upload");
-            let v = b.upload_f64(&vals).expect("upload");
-            let s = measure(b.as_ref(), g as u64, || {
-                let (gk, gv) = b.grouped_sum(&k, &v)?;
-                b.free(gk)?;
-                b.free(gv)
-            })
-            .expect("measure");
-            exp.push(s);
-            b.free(k).expect("free");
-            b.free(v).expect("free");
+    e6_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e6_part(b.as_ref(), n, group_counts))
+            .collect(),
+    )
+}
+
+/// E7 part — one backend's primitive-panel samples: per size, one sample
+/// for each of [reduction, prefix sum, gather, scatter, product].
+pub fn e7_part(b: &dyn GpuBackend, sizes: &[usize]) -> Vec<[proto_core::runner::Sample; 5]> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let f = workload::cache::uniform_f64(n, workload::SEED ^ 3);
+        let g = workload::cache::uniform_f64(n, workload::SEED ^ 4);
+        // Scan inputs stay small so Σ fits u32 (wrap semantics differ across
+        // the f64-lane and integer-lane backends).
+        let u = workload::cache::uniform_u32(n, 256, workload::SEED ^ 5);
+        // Deterministic shuffle for a random-access index vector.
+        let perm = workload::cache::shuffled_indices(n);
+        let cf = b.upload_f64(&f).expect("upload");
+        let cg = b.upload_f64(&g).expect("upload");
+        let cu = b.upload_u32(&u).expect("upload");
+        let cidx = b.upload_u32(&perm).expect("upload");
+        let reduction = measure(b, n as u64, || b.reduction(&cf).map(drop)).expect("measure");
+        let prefix = measure(b, n as u64, || {
+            let p = b.prefix_sum(&cu)?;
+            b.free(p)
+        })
+        .expect("measure");
+        let gather = measure(b, n as u64, || {
+            let o = b.gather(&cf, &cidx)?;
+            b.free(o)
+        })
+        .expect("measure");
+        let scatter = measure(b, n as u64, || {
+            let o = b.scatter(&cu, &cidx, n)?;
+            b.free(o)
+        })
+        .expect("measure");
+        let product = measure(b, n as u64, || {
+            let o = b.product(&cf, &cg)?;
+            b.free(o)
+        })
+        .expect("measure");
+        for c in [cf, cg, cu, cidx] {
+            b.free(c).expect("free");
         }
+        rows.push([reduction, prefix, gather, scatter, product]);
     }
-    exp
+    rows
 }
 
 /// E7 — the parallel-primitive panel: reduction, prefix sum, gather,
 /// scatter, product; one experiment per primitive, all vs. rows.
 pub fn e7_primitives(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Vec<Experiment> {
-    let mut reduction = Experiment::new("E7a", "Reduction (SUM) vs. rows", "rows");
-    let mut prefix = Experiment::new("E7b", "Prefix sum vs. rows", "rows");
-    let mut gather = Experiment::new("E7c", "Gather vs. rows", "rows");
-    let mut scatter = Experiment::new("E7d", "Scatter vs. rows", "rows");
-    let mut product = Experiment::new("E7e", "Product vs. rows", "rows");
+    let parts: Vec<_> = fw
+        .backends()
+        .iter()
+        .map(|b| e7_part(b.as_ref(), sizes))
+        .collect();
+    e7_assemble(parts)
+}
+
+/// Assemble the five E7 experiments from per-backend parts.
+pub fn e7_assemble(parts: Vec<Vec<[proto_core::runner::Sample; 5]>>) -> Vec<Experiment> {
+    let titles = [
+        ("E7a", "Reduction (SUM) vs. rows"),
+        ("E7b", "Prefix sum vs. rows"),
+        ("E7c", "Gather vs. rows"),
+        ("E7d", "Scatter vs. rows"),
+        ("E7e", "Product vs. rows"),
+    ];
+    titles
+        .iter()
+        .enumerate()
+        .map(|(i, (id, title))| {
+            let mut exp = Experiment::new(id, title, "rows");
+            exp.samples = merge_x_major(
+                parts
+                    .iter()
+                    .map(|p| p.iter().map(|row| vec![row[i].clone()]).collect())
+                    .collect(),
+            );
+            exp
+        })
+        .collect()
+}
+
+/// E8 part — one backend's join samples: per size, one sample per
+/// supported algorithm (labelled `backend/algorithm`).
+pub fn e8_part(b: &dyn GpuBackend, sizes: &[usize]) -> Part {
+    let mut part = Part::new();
     for &n in sizes {
-        let f = workload::uniform_f64(n, workload::SEED ^ 3);
-        let g = workload::uniform_f64(n, workload::SEED ^ 4);
-        // Scan inputs stay small so Σ fits u32 (wrap semantics differ across
-        // the f64-lane and integer-lane backends).
-        let u = workload::uniform_u32(n, 256, workload::SEED ^ 5);
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        // Deterministic shuffle for a random-access index vector.
-        for i in (1..perm.len()).rev() {
-            let j = (workload::SEED as usize)
-                .wrapping_mul(i)
-                .wrapping_add(i >> 3)
-                % (i + 1);
-            perm.swap(i, j);
-        }
-        for b in fw.backends() {
-            let cf = b.upload_f64(&f).expect("upload");
-            let cg = b.upload_f64(&g).expect("upload");
-            let cu = b.upload_u32(&u).expect("upload");
-            let cidx = b.upload_u32(&perm).expect("upload");
-            reduction.push(
-                measure(b.as_ref(), n as u64, || b.reduction(&cf).map(drop)).expect("measure"),
-            );
-            prefix.push(
-                measure(b.as_ref(), n as u64, || {
-                    let p = b.prefix_sum(&cu)?;
-                    b.free(p)
-                })
-                .expect("measure"),
-            );
-            gather.push(
-                measure(b.as_ref(), n as u64, || {
-                    let o = b.gather(&cf, &cidx)?;
-                    b.free(o)
-                })
-                .expect("measure"),
-            );
-            scatter.push(
-                measure(b.as_ref(), n as u64, || {
-                    let o = b.scatter(&cu, &cidx, n)?;
-                    b.free(o)
-                })
-                .expect("measure"),
-            );
-            product.push(
-                measure(b.as_ref(), n as u64, || {
-                    let o = b.product(&cf, &cg)?;
-                    b.free(o)
-                })
-                .expect("measure"),
-            );
-            for c in [cf, cg, cu, cidx] {
-                b.free(c).expect("free");
+        let join = workload::cache::fk_join(n, n, workload::SEED);
+        let (outer, inner) = (&join.0, &join.1);
+        let mut row = Vec::new();
+        for algo in [JoinAlgo::NestedLoops, JoinAlgo::Merge, JoinAlgo::Hash] {
+            if b.support(algo.operator()) == Support::None {
+                continue;
             }
+            let o = b.upload_u32(outer).expect("upload");
+            let i = b.upload_u32(inner).expect("upload");
+            let mut s = measure(b, n as u64, || {
+                let (l, r) = b.join(&o, &i, algo)?;
+                b.free(l)?;
+                b.free(r)
+            })
+            .expect("measure");
+            s.backend = format!("{}/{:?}", b.name(), algo);
+            row.push(s);
+            b.free(o).expect("free");
+            b.free(i).expect("free");
         }
+        part.push(row);
     }
-    vec![reduction, prefix, gather, scatter, product]
+    part
+}
+
+/// Assemble E8 from per-backend parts.
+pub fn e8_assemble(parts: Vec<Part>) -> Experiment {
+    let mut exp = Experiment::new("E8", "Join runtime vs. |R|=|S| (FK→PK)", "rows");
+    exp.samples = merge_x_major(parts);
+    exp
 }
 
 /// E8 — joins: every backend's supported algorithms on an FK→PK workload,
 /// labelled `backend/algorithm`. The handwritten hash join is the
 /// primitive no library has.
 pub fn e8_joins(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
-    let mut exp = Experiment::new("E8", "Join runtime vs. |R|=|S| (FK→PK)", "rows");
-    for &n in sizes {
-        let (outer, inner) = workload::fk_join(n, n, workload::SEED);
-        for b in fw.backends() {
-            for algo in [JoinAlgo::NestedLoops, JoinAlgo::Merge, JoinAlgo::Hash] {
-                if b.support(algo.operator()) == Support::None {
-                    continue;
-                }
-                let o = b.upload_u32(&outer).expect("upload");
-                let i = b.upload_u32(&inner).expect("upload");
-                let mut s = measure(b.as_ref(), n as u64, || {
-                    let (l, r) = b.join(&o, &i, algo)?;
-                    b.free(l)?;
-                    b.free(r)
+    e8_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e8_part(b.as_ref(), sizes))
+            .collect(),
+    )
+}
+
+/// E9 part — one backend's multi-predicate samples, one per predicate
+/// count.
+pub fn e9_part(b: &dyn GpuBackend, n: usize, pred_counts: &[usize], conn: Connective) -> Part {
+    let cols: Vec<_> = (0..*pred_counts.iter().max().unwrap_or(&1))
+        .map(|i| workload::cache::uniform_u32(n, 1 << 20, workload::SEED ^ (10 + i as u64)))
+        .collect();
+    let mut part = Part::new();
+    for &k in pred_counts {
+        let device_cols: Vec<_> = cols[..k]
+            .iter()
+            .map(|c| b.upload_u32(c).expect("upload"))
+            .collect();
+        let s = measure(b, k as u64, || {
+            let preds: Vec<Pred<'_>> = device_cols
+                .iter()
+                .map(|c| Pred {
+                    col: c,
+                    cmp: CmpOp::Lt,
+                    lit: (1 << 19) as f64, // 50% each
                 })
-                .expect("measure");
-                s.backend = format!("{}/{:?}", b.name(), algo);
-                exp.push(s);
-                b.free(o).expect("free");
-                b.free(i).expect("free");
-            }
+                .collect();
+            let ids = b.selection_multi(&preds, conn)?;
+            b.free(ids)
+        })
+        .expect("measure");
+        for c in device_cols {
+            b.free(c).expect("free");
         }
+        part.push(vec![s]);
     }
+    part
+}
+
+/// Assemble E9a/E9b from per-backend parts.
+pub fn e9_assemble(parts: Vec<Part>, conn: Connective) -> Experiment {
+    let id = match conn {
+        Connective::And => "E9a",
+        Connective::Or => "E9b",
+    };
+    let mut exp = Experiment::new(
+        id,
+        "Multi-predicate selection vs. predicate count",
+        "predicates",
+    );
+    exp.samples = merge_x_major(parts);
     exp
 }
 
@@ -221,48 +376,91 @@ pub fn e9_conjunction(
     pred_counts: &[usize],
     conn: Connective,
 ) -> Experiment {
-    let id = match conn {
-        Connective::And => "E9a",
-        Connective::Or => "E9b",
-    };
-    let mut exp = Experiment::new(
-        id,
-        "Multi-predicate selection vs. predicate count",
-        "predicates",
-    );
-    let cols: Vec<Vec<u32>> = (0..*pred_counts.iter().max().unwrap_or(&1))
-        .map(|i| workload::uniform_u32(n, 1 << 20, workload::SEED ^ (10 + i as u64)))
-        .collect();
-    for &k in pred_counts {
-        for b in fw.backends() {
-            let device_cols: Vec<_> = cols[..k]
-                .iter()
-                .map(|c| b.upload_u32(c).expect("upload"))
-                .collect();
-            let s = measure(b.as_ref(), k as u64, || {
-                let preds: Vec<Pred<'_>> = device_cols
-                    .iter()
-                    .map(|c| Pred {
-                        col: c,
-                        cmp: CmpOp::Lt,
-                        lit: (1 << 19) as f64, // 50% each
-                    })
-                    .collect();
-                let ids = b.selection_multi(&preds, conn)?;
-                b.free(ids)
-            })
-            .expect("measure");
-            exp.push(s);
-            for c in device_cols {
-                b.free(c).expect("free");
-            }
-        }
-    }
-    exp
+    e9_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e9_part(b.as_ref(), n, pred_counts, conn))
+            .collect(),
+        conn,
+    )
 }
 
 /// One measurable operator invocation (boxed for the E15 table).
 type OpThunk<'a> = Box<dyn Fn() -> gpu_sim::Result<()> + 'a>;
+
+/// E15 part — one backend's launch-anatomy samples, one per operator.
+pub fn e15_part(b: &dyn GpuBackend, n: usize) -> Vec<proto_core::runner::Sample> {
+    let (col, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED);
+    let keys = workload::cache::zipf_keys(n, 256, 0.5, workload::SEED);
+    let vals = workload::cache::uniform_f64(n, workload::SEED ^ 50);
+    let idx: Vec<u32> = (0..n as u32).collect();
+    let c = b.upload_u32(&col).expect("upload");
+    let k = b.upload_u32(&keys).expect("upload");
+    let v = b.upload_f64(&vals).expect("upload");
+    let w = b.upload_f64(&vals).expect("upload");
+    let ix = b.upload_u32(&idx).expect("upload");
+    let lit = thr as f64;
+    let ops: Vec<(u64, OpThunk<'_>)> = vec![
+        (
+            0,
+            Box::new(|| b.selection(&c, CmpOp::Lt, lit).and_then(|r| b.free(r))),
+        ),
+        (
+            1,
+            Box::new(|| {
+                let preds = [
+                    Pred {
+                        col: &c,
+                        cmp: CmpOp::Lt,
+                        lit,
+                    },
+                    Pred {
+                        col: &k,
+                        cmp: CmpOp::Lt,
+                        lit: 128.0,
+                    },
+                ];
+                b.selection_multi(&preds, Connective::And)
+                    .and_then(|r| b.free(r))
+            }),
+        ),
+        (2, Box::new(|| b.product(&v, &w).and_then(|r| b.free(r)))),
+        (3, Box::new(|| b.reduction(&v).map(drop))),
+        (4, Box::new(|| b.prefix_sum(&k).and_then(|r| b.free(r)))),
+        (5, Box::new(|| b.sort(&c).and_then(|r| b.free(r)))),
+        (
+            6,
+            Box::new(|| {
+                let (a, bb) = b.sort_by_key(&k, &v)?;
+                b.free(a)?;
+                b.free(bb)
+            }),
+        ),
+        (
+            7,
+            Box::new(|| {
+                let (a, bb) = b.grouped_sum(&k, &v)?;
+                b.free(a)?;
+                b.free(bb)
+            }),
+        ),
+        (8, Box::new(|| b.gather(&v, &ix).and_then(|r| b.free(r)))),
+        (
+            9,
+            Box::new(|| b.scatter(&c, &ix, n).and_then(|r| b.free(r))),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (x, op) in &ops {
+        let s = measure(b, *x, op.as_ref()).expect("measure");
+        out.push(s);
+    }
+    drop(ops);
+    for colh in [c, k, v, w, ix] {
+        b.free(colh).expect("free");
+    }
+    out
+}
 
 /// E15 — kernel-launch anatomy per Table-II operator: how many launches
 /// (and how much device traffic) each backend spends realising one call
@@ -272,81 +470,22 @@ type OpThunk<'a> = Box<dyn Fn() -> gpu_sim::Result<()> + 'a>;
 /// 4 = prefix sum, 5 = sort, 6 = sort-by-key, 7 = grouped sum,
 /// 8 = gather, 9 = scatter).
 pub fn e15_launch_anatomy(fw: &proto_core::framework::Framework, n: usize) -> Experiment {
+    e15_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e15_part(b.as_ref(), n))
+            .collect(),
+    )
+}
+
+/// Assemble E15 from per-backend parts.
+pub fn e15_assemble(parts: Vec<Vec<proto_core::runner::Sample>>) -> Experiment {
     let mut exp = Experiment::new(
         "E15",
         "Kernel launches per operator call (x = operator index)",
         "op_index",
     );
-    let (col, thr) = workload::selectivity_column(n, 0.5, workload::SEED);
-    let keys = workload::zipf_keys(n, 256, 0.5, workload::SEED);
-    let vals = workload::uniform_f64(n, workload::SEED ^ 50);
-    let idx: Vec<u32> = (0..n as u32).collect();
-    for b in fw.backends() {
-        let c = b.upload_u32(&col).expect("upload");
-        let k = b.upload_u32(&keys).expect("upload");
-        let v = b.upload_f64(&vals).expect("upload");
-        let w = b.upload_f64(&vals).expect("upload");
-        let ix = b.upload_u32(&idx).expect("upload");
-        let lit = thr as f64;
-        let ops: Vec<(u64, OpThunk<'_>)> = vec![
-            (
-                0,
-                Box::new(|| b.selection(&c, CmpOp::Lt, lit).and_then(|r| b.free(r))),
-            ),
-            (
-                1,
-                Box::new(|| {
-                    let preds = [
-                        Pred {
-                            col: &c,
-                            cmp: CmpOp::Lt,
-                            lit,
-                        },
-                        Pred {
-                            col: &k,
-                            cmp: CmpOp::Lt,
-                            lit: 128.0,
-                        },
-                    ];
-                    b.selection_multi(&preds, Connective::And)
-                        .and_then(|r| b.free(r))
-                }),
-            ),
-            (2, Box::new(|| b.product(&v, &w).and_then(|r| b.free(r)))),
-            (3, Box::new(|| b.reduction(&v).map(drop))),
-            (4, Box::new(|| b.prefix_sum(&k).and_then(|r| b.free(r)))),
-            (5, Box::new(|| b.sort(&c).and_then(|r| b.free(r)))),
-            (
-                6,
-                Box::new(|| {
-                    let (a, bb) = b.sort_by_key(&k, &v)?;
-                    b.free(a)?;
-                    b.free(bb)
-                }),
-            ),
-            (
-                7,
-                Box::new(|| {
-                    let (a, bb) = b.grouped_sum(&k, &v)?;
-                    b.free(a)?;
-                    b.free(bb)
-                }),
-            ),
-            (8, Box::new(|| b.gather(&v, &ix).and_then(|r| b.free(r)))),
-            (
-                9,
-                Box::new(|| b.scatter(&c, &ix, n).and_then(|r| b.free(r))),
-            ),
-        ];
-        for (x, op) in &ops {
-            let s = measure(b.as_ref(), *x, op.as_ref()).expect("measure");
-            exp.push(s);
-        }
-        drop(ops);
-        for colh in [c, k, v, w, ix] {
-            b.free(colh).expect("free");
-        }
-    }
+    exp.samples = merge_backend_major(parts);
     exp
 }
 
@@ -387,6 +526,26 @@ mod tests {
         // Thrust launches 4 kernels, handwritten 1.
         assert!(exp.get("Thrust", 1 << 12).unwrap().launches > 1);
         assert_eq!(exp.get("Handwritten", 1 << 12).unwrap().launches, 1);
+    }
+
+    #[test]
+    fn e3_sample_order_is_x_major() {
+        // The merged experiment preserves the serial emission order:
+        // sizes outermost, backends in registration order within a size.
+        let fw = paper_framework();
+        let exp = e3_selection_scaling(&fw, &small_sizes());
+        let order: Vec<(u64, &str)> = exp
+            .samples
+            .iter()
+            .map(|s| (s.x, s.backend.as_str()))
+            .collect();
+        let mut expect = Vec::new();
+        for &n in &small_sizes() {
+            for b in fw.backends() {
+                expect.push((n as u64, b.name()));
+            }
+        }
+        assert_eq!(order, expect);
     }
 
     #[test]

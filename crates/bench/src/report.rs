@@ -34,15 +34,27 @@ pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
 #[derive(Default)]
 pub struct HostTimer {
     sections: Vec<(String, u128)>,
+    cells: Vec<(String, u128)>,
+    scheduler: Option<SchedulerSummary>,
     started: Option<std::time::Instant>,
+}
+
+/// Pool accounting of a parallel grid run, rendered into the JSON report.
+pub struct SchedulerSummary {
+    /// Worker count.
+    pub jobs: usize,
+    /// Summed per-cell wall time (serial-equivalent work).
+    pub busy_ms: u128,
+    /// Wall time of the scheduled portion.
+    pub wall_ms: u128,
 }
 
 impl HostTimer {
     /// A timer with the total-clock running.
     pub fn new() -> Self {
         HostTimer {
-            sections: Vec::new(),
             started: Some(std::time::Instant::now()),
+            ..HostTimer::default()
         }
     }
 
@@ -55,24 +67,62 @@ impl HostTimer {
         out
     }
 
+    /// Record an externally measured section (the parallel grid times its
+    /// cells itself).
+    pub fn record(&mut self, label: &str, ms: u128) {
+        self.sections.push((label.to_string(), ms));
+    }
+
+    /// Attach per-cell wall times (finer than sections).
+    pub fn set_cells(&mut self, cells: Vec<(String, u128)>) {
+        self.cells = cells;
+    }
+
+    /// Attach the scheduler-efficiency summary.
+    pub fn set_scheduler(&mut self, summary: SchedulerSummary) {
+        self.scheduler = Some(summary);
+    }
+
     /// The recorded `(label, milliseconds)` sections, in run order.
     pub fn sections(&self) -> &[(String, u128)] {
         &self.sections
     }
 
-    /// Render the report as JSON: per-section milliseconds in run order
-    /// plus the total since construction.
+    /// Render the report as JSON: per-section milliseconds in run order,
+    /// optional per-cell times and scheduler summary, plus the total
+    /// since construction.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"host_wall_ms\": {\n");
-        for (i, (label, ms)) in self.sections.iter().enumerate() {
-            let comma = if i + 1 < self.sections.len() { "," } else { "" };
-            out.push_str(&format!("    \"{label}\": {ms}{comma}\n"));
+        fn object(entries: &[(String, u128)]) -> String {
+            let mut out = String::from("{\n");
+            for (i, (label, ms)) in entries.iter().enumerate() {
+                let comma = if i + 1 < entries.len() { "," } else { "" };
+                out.push_str(&format!("    \"{label}\": {ms}{comma}\n"));
+            }
+            out.push_str("  }");
+            out
+        }
+        let mut out = String::from("{\n  \"host_wall_ms\": ");
+        out.push_str(&object(&self.sections));
+        if !self.cells.is_empty() {
+            out.push_str(",\n  \"cell_wall_ms\": ");
+            out.push_str(&object(&self.cells));
+        }
+        if let Some(s) = &self.scheduler {
+            let efficiency = if s.wall_ms > 0 && s.jobs > 0 {
+                s.busy_ms as f64 / (s.wall_ms as f64 * s.jobs as f64)
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                ",\n  \"scheduler\": {{\n    \"jobs\": {},\n    \"busy_ms\": {},\n    \"wall_ms\": {},\n    \"efficiency\": {:.3}\n  }}",
+                s.jobs, s.busy_ms, s.wall_ms, efficiency
+            ));
         }
         let total = self
             .started
             .map(|t| t.elapsed().as_millis())
             .unwrap_or_else(|| self.sections.iter().map(|(_, ms)| ms).sum());
-        out.push_str(&format!("  }},\n  \"total_ms\": {total}\n}}\n"));
+        out.push_str(&format!(",\n  \"total_ms\": {total}\n}}\n"));
         out
     }
 

@@ -9,11 +9,17 @@
 //! CSVs — which encode backend, simulated ns and launch counts — plus
 //! the query answers.
 //!
-//! This is deliberately the only test in this binary: it mutates the
-//! process-wide `GPU_SIM_HOST_THREADS` variable, which must not race
-//! other tests.
+//! The second test covers the other process-wide knob: the scheduler's
+//! `--jobs` worker count. Both tests mutate process-global state
+//! (`GPU_SIM_HOST_THREADS`, the hostexec worker budget), so they are
+//! kept in this binary alone and serialized through [`GLOBAL_KNOBS`].
+
+use std::sync::Mutex;
 
 use proto_core::ops::Connective;
+
+/// Serializes tests that touch process-wide execution knobs.
+static GLOBAL_KNOBS: Mutex<()> = Mutex::new(());
 
 /// One full mini-run of the pipeline: returns every CSV rendering plus
 /// the validated query answers, all of which must be invariant.
@@ -43,6 +49,7 @@ fn run_pipeline() -> (Vec<String>, String) {
 
 #[test]
 fn results_and_simulated_time_are_thread_count_invariant() {
+    let _guard = GLOBAL_KNOBS.lock().unwrap();
     let mut runs = Vec::new();
     for threads in ["1", "2", "8"] {
         std::env::set_var("GPU_SIM_HOST_THREADS", threads);
@@ -59,5 +66,56 @@ fn results_and_simulated_time_are_thread_count_invariant() {
             run.1, baseline.1,
             "query answers changed at GPU_SIM_HOST_THREADS={threads}"
         );
+    }
+}
+
+/// Invariance across scheduler worker counts: the full experiment grid
+/// — every CSV artifact and the rendered stdout — must be bit-identical
+/// at `--jobs 1`, `2` and `8`, because results are assembled in
+/// canonical serial order no matter which worker ran which cell.
+#[test]
+fn grid_artifacts_and_stdout_are_jobs_invariant() {
+    let _guard = GLOBAL_KNOBS.lock().unwrap();
+    let cfg = || bench::grid::GridConfig {
+        sizes: vec![1 << 12, 1 << 14],
+        sels: vec![0.1, 0.9],
+        e4_n: 1 << 12,
+        groups: vec![16, 256],
+        e6_n: 1 << 12,
+        join_sizes: vec![1 << 10],
+        e9_n: 1 << 12,
+        e9_preds: vec![1, 3],
+        validate_sf: 0.001,
+        sfs: vec![0.001],
+        e13_sf: 0.002,
+        e15_n: 1 << 12,
+        e17_sf: 0.001,
+        e17_rates: vec![0, 100],
+        a1_n: 1 << 12,
+        a2_ks: vec![1, 2],
+        a2_n: 1 << 12,
+        a3_n: 1 << 12,
+        a4_n: 1 << 12,
+        a4_sels: vec![0.1, 0.9],
+    };
+    let digest = |s: &str| {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    };
+    let baseline = bench::grid::run(cfg(), 1);
+    for jobs in [2, 8] {
+        let run = bench::grid::run(cfg(), jobs);
+        assert_eq!(
+            run.artifacts, baseline.artifacts,
+            "CSV artifacts changed at --jobs {jobs}"
+        );
+        assert_eq!(
+            digest(&run.stdout),
+            digest(&baseline.stdout),
+            "stdout digest changed at --jobs {jobs}"
+        );
+        assert_eq!(run.jobs, jobs);
     }
 }

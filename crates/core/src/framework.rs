@@ -29,19 +29,23 @@ impl Framework {
     /// per-library statistics don't mix).
     pub fn with_all_backends(spec: &DeviceSpec) -> Self {
         let mut fw = Framework::new();
-        fw.register(Box::new(crate::backends::ArrayFireBackend::new(
-            &Device::new(spec.clone()),
-        )));
-        fw.register(Box::new(crate::backends::BoostBackend::new(&Device::new(
-            spec.clone(),
-        ))));
-        fw.register(Box::new(crate::backends::ThrustBackend::new(&Device::new(
-            spec.clone(),
-        ))));
-        fw.register(Box::new(crate::backends::HandwrittenBackend::new(
-            &Device::new(spec.clone()),
-        )));
+        for name in crate::backends::PAPER_BACKENDS {
+            fw.register(crate::backends::make_backend(
+                name,
+                &Device::new(spec.clone()),
+            ));
+        }
         fw
+    }
+
+    /// Build exactly one paper backend (by [`PAPER_BACKENDS`]
+    /// name) on a fresh instance of `spec` — the per-cell constructor for
+    /// independent benchmark jobs. Equivalent in state to the same-named
+    /// backend of [`Framework::with_all_backends`].
+    ///
+    /// [`PAPER_BACKENDS`]: crate::backends::PAPER_BACKENDS
+    pub fn single_backend(spec: &DeviceSpec, name: &str) -> Box<dyn GpuBackend> {
+        crate::backends::make_backend(name, &Device::new(spec.clone()))
     }
 
     /// The paper configuration with every backend wrapped in a
@@ -60,6 +64,22 @@ impl Framework {
             )));
         }
         fw
+    }
+
+    /// [`Framework::single_backend`] wrapped in a
+    /// [`ResilientBackend`](crate::resilient::ResilientBackend) under
+    /// `policy` — the per-cell constructor for fault-injection jobs.
+    /// Equivalent in state to the same-named backend of
+    /// [`Framework::with_all_backends_resilient`].
+    pub fn single_backend_resilient(
+        spec: &DeviceSpec,
+        name: &str,
+        policy: crate::resilient::RetryPolicy,
+    ) -> Box<dyn GpuBackend> {
+        Box::new(crate::resilient::ResilientBackend::with_policy(
+            Framework::single_backend(spec, name),
+            policy,
+        ))
     }
 
     /// Plug in a backend.

@@ -40,11 +40,32 @@ pub const PAR_CHUNK: usize = 1 << 16;
 /// Below this input size the parallel helpers always run sequentially.
 const DEFAULT_MIN_SEQ: usize = 1 << 12;
 
+/// Global concurrency budget for the chunk helpers: the maximum number of
+/// host threads *one* parallel region may use (0 = uncapped). A scheduler
+/// running several simulator instances concurrently (e.g. the benchmark
+/// grid's cell workers) sets this to `total_cores / workers` so nested
+/// parallelism — cell workers × chunk threads — never oversubscribes the
+/// host. The cap changes only how fast chunks execute, never which chunks
+/// exist, so results stay bit-identical at any budget.
+static WORKER_BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the per-region worker count of the parallel helpers (0 lifts the
+/// cap). See [`host_threads`].
+pub fn set_worker_budget(threads_per_region: usize) {
+    WORKER_BUDGET.store(threads_per_region, Ordering::Relaxed);
+}
+
+/// The current per-region budget set by [`set_worker_budget`] (0 = none).
+pub fn worker_budget() -> usize {
+    WORKER_BUDGET.load(Ordering::Relaxed)
+}
+
 /// Number of worker threads for the parallel helpers:
 /// `GPU_SIM_HOST_THREADS` when set to a positive integer, otherwise
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]; in both cases capped by
+/// [`set_worker_budget`] when a budget is installed.
 pub fn host_threads() -> usize {
-    match std::env::var("GPU_SIM_HOST_THREADS") {
+    let base = match std::env::var("GPU_SIM_HOST_THREADS") {
         Ok(v) => v
             .trim()
             .parse::<usize>()
@@ -52,6 +73,10 @@ pub fn host_threads() -> usize {
             .filter(|&n| n > 0)
             .unwrap_or(1),
         Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    match WORKER_BUDGET.load(Ordering::Relaxed) {
+        0 => base,
+        cap => base.min(cap.max(1)),
     }
 }
 

@@ -40,6 +40,29 @@ pub fn generate(scale_factor: f64) -> Database {
     generate_seeded(scale_factor, SEED)
 }
 
+/// Memoized [`generate`]: the first request at a scale factor generates
+/// (bit-identically to `generate`), later requests — including concurrent
+/// ones from parallel experiment cells — share the `Arc`. E10, E11, E12,
+/// E13, E17 and query validation all read the same database per scale
+/// factor, so the grid generates each one exactly once per process.
+pub fn cached(scale_factor: f64) -> std::sync::Arc<Database> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Slot = Arc<OnceLock<Arc<Database>>>;
+    static CACHE: OnceLock<Mutex<HashMap<u64, Slot>>> = OnceLock::new();
+    let map = CACHE.get_or_init(Default::default);
+    let slot = map
+        .lock()
+        .unwrap()
+        .entry(scale_factor.to_bits())
+        .or_default()
+        .clone();
+    // Generation happens outside the map lock: distinct scale factors
+    // generate concurrently, one generation per scale factor.
+    slot.get_or_init(|| Arc::new(generate(scale_factor)))
+        .clone()
+}
+
 /// Generate with an explicit seed (property tests vary it).
 pub fn generate_seeded(scale_factor: f64, seed: u64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -31,5 +31,5 @@ pub mod queries;
 pub mod schema;
 pub mod tbl;
 
-pub use gen::{generate, generate_seeded};
+pub use gen::{cached, generate, generate_seeded};
 pub use schema::Database;
