@@ -51,6 +51,7 @@ pub use ops::{
     sort_by_key, sum, sum_by_key, where_,
 };
 pub use ops_ext::{diff1, histogram, max_all, mean, min_all, set_unique, shift};
+pub use program::{InstrSpec, Program, ProgramSpec};
 
 /// Kernel-name prefix for device statistics.
 pub const KERNEL_PREFIX: &str = "af";

@@ -25,6 +25,122 @@ use std::sync::Arc;
 /// buffers stay cache-resident, large enough to amortise dispatch.
 const LANE: usize = 2048;
 
+/// Analysis-friendly mirror of one [`Program`] instruction, exposed for
+/// static verification (`gpu-lint`'s Program pass). Carries the operator
+/// identity but not the execution plumbing, so checkers can abstractly
+/// interpret stack effects and dtypes without access to column data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InstrSpec {
+    /// Push leaf slot `slot`'s lane.
+    Load {
+        /// Index into the program's leaf table.
+        slot: usize,
+    },
+    /// Apply a unary op to the top of stack.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+    },
+    /// Pop the right operand, apply to the left in place.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+    },
+    /// Top-of-stack `op` scalar constant.
+    ScalarRhs {
+        /// The operator.
+        op: BinaryOp,
+    },
+    /// Scalar constant `op` top-of-stack.
+    ScalarLhs {
+        /// The operator.
+        op: BinaryOp,
+    },
+    /// Dtype-cast the top of stack.
+    Cast {
+        /// Target dtype.
+        dtype: DType,
+    },
+}
+
+impl InstrSpec {
+    /// Net stack effect: pushes minus pops.
+    pub fn stack_effect(&self) -> isize {
+        match self {
+            InstrSpec::Load { .. } => 1,
+            InstrSpec::Binary { .. } => -1,
+            _ => 0,
+        }
+    }
+
+    /// Operands consumed from the stack before any push.
+    pub fn pops(&self) -> usize {
+        match self {
+            InstrSpec::Load { .. } => 0,
+            InstrSpec::Binary { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Public description of a compiled [`Program`]: the instruction list plus
+/// the leaf table's dtypes and the stack depth the executor will reserve.
+/// Produced by [`Program::spec`]; checkers (and hazard-injection tests)
+/// can also build one directly since all fields are public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// Post-order instruction list.
+    pub instrs: Vec<InstrSpec>,
+    /// Dtype of each leaf slot (`InstrSpec::Load` indexes this).
+    pub leaf_dtypes: Vec<DType>,
+    /// Stack depth the executor allocates; must cover the true maximum.
+    pub declared_stack_depth: usize,
+}
+
+impl ProgramSpec {
+    /// Check the structural invariants `Program::compile` guarantees:
+    /// every `Load` slot is bound, no instruction underflows the stack,
+    /// exactly one value remains at the end, and the declared stack depth
+    /// covers the true maximum. Returns a description of the first
+    /// violation. This is the cheap self-check behind the `debug_assert!`
+    /// in [`Program::compile`]; `gpu-lint` layers rule ids, spans and
+    /// dtype analysis on top.
+    pub fn well_formed(&self) -> std::result::Result<(), String> {
+        let mut depth = 0usize;
+        let mut max_depth = 0usize;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let InstrSpec::Load { slot } = instr {
+                if *slot >= self.leaf_dtypes.len() {
+                    return Err(format!(
+                        "instr {i}: load of unbound leaf slot {slot} ({} bound)",
+                        self.leaf_dtypes.len()
+                    ));
+                }
+            }
+            if depth < instr.pops() {
+                return Err(format!(
+                    "instr {i}: {instr:?} pops {} with stack depth {depth}",
+                    instr.pops()
+                ));
+            }
+            depth = (depth as isize + instr.stack_effect()) as usize;
+            max_depth = max_depth.max(depth);
+        }
+        if depth != 1 {
+            return Err(format!(
+                "program leaves {depth} values on the stack (want exactly 1)"
+            ));
+        }
+        if max_depth > self.declared_stack_depth {
+            return Err(format!(
+                "true stack depth {max_depth} exceeds declared {}",
+                self.declared_stack_depth
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One stack-machine instruction of a compiled tree.
 enum Instr {
     /// Push leaf slot `n`'s lane.
@@ -42,11 +158,24 @@ enum Instr {
 }
 
 /// A lazy tree compiled to a flat post-order program.
+///
+/// `Debug` summarizes shape only (instruction/leaf counts); use
+/// [`Program::spec`] for a structural view.
 pub struct Program {
     instrs: Vec<Instr>,
     /// Distinct leaf columns in slot order (`Instr::Load` indexes this).
     leaves: Vec<Arc<ColumnData>>,
     stack_depth: usize,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("instrs", &self.instrs.len())
+            .field("leaves", &self.leaves.len())
+            .field("stack_depth", &self.stack_depth)
+            .finish()
+    }
 }
 
 impl Program {
@@ -61,7 +190,32 @@ impl Program {
         let mut slots: HashMap<u64, usize> = HashMap::new();
         let mut cur = 0usize;
         prog.emit(root, &mut slots, &mut cur);
+        debug_assert!(
+            matches!(prog.spec().well_formed(), Ok(())),
+            "Program::compile produced an ill-formed program: {}",
+            prog.spec().well_formed().unwrap_err()
+        );
         prog
+    }
+
+    /// Analysis view of this program (see [`ProgramSpec`]).
+    pub fn spec(&self) -> ProgramSpec {
+        ProgramSpec {
+            instrs: self
+                .instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::Load(slot) => InstrSpec::Load { slot: *slot },
+                    Instr::Unary(op) => InstrSpec::Unary { op: *op },
+                    Instr::Binary(op) => InstrSpec::Binary { op: *op },
+                    Instr::ScalarRhs(op, _) => InstrSpec::ScalarRhs { op: *op },
+                    Instr::ScalarLhs(op, _) => InstrSpec::ScalarLhs { op: *op },
+                    Instr::Cast(dt) => InstrSpec::Cast { dtype: *dt },
+                })
+                .collect(),
+            leaf_dtypes: self.leaves.iter().map(|c| c.dtype()).collect(),
+            declared_stack_depth: self.stack_depth,
+        }
     }
 
     fn emit(&mut self, node: &Node, slots: &mut HashMap<u64, usize>, cur: &mut usize) {
@@ -226,6 +380,74 @@ mod tests {
         let prog = Program::compile(&tree);
         assert_eq!(prog.leaves.len(), 1, "one conversion for a shared leaf");
         assert_eq!(prog.eval(3), vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn spec_mirrors_instructions_and_passes_self_check() {
+        let a = leaf(1, vec![1.0, 2.0]);
+        let b = leaf(2, vec![3.0, 4.0]);
+        let tree = Node::Cast(
+            DType::U32,
+            Arc::new(Node::Binary(
+                BinaryOp::Add,
+                Arc::new(Node::Unary(UnaryOp::Abs, a)),
+                Arc::new(Node::ScalarRhs(BinaryOp::Mul, b, Scalar::F64(2.0))),
+            )),
+        );
+        let spec = Program::compile(&tree).spec();
+        assert_eq!(
+            spec.instrs,
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Unary { op: UnaryOp::Abs },
+                InstrSpec::Load { slot: 1 },
+                InstrSpec::ScalarRhs { op: BinaryOp::Mul },
+                InstrSpec::Binary { op: BinaryOp::Add },
+                InstrSpec::Cast { dtype: DType::U32 },
+            ]
+        );
+        assert_eq!(spec.leaf_dtypes, vec![DType::F64, DType::F64]);
+        assert_eq!(spec.declared_stack_depth, 2);
+        assert!(spec.well_formed().is_ok());
+    }
+
+    #[test]
+    fn well_formed_rejects_broken_specs() {
+        let ok = ProgramSpec {
+            instrs: vec![InstrSpec::Load { slot: 0 }],
+            leaf_dtypes: vec![DType::F64],
+            declared_stack_depth: 1,
+        };
+        assert!(ok.well_formed().is_ok());
+
+        let unbound = ProgramSpec {
+            instrs: vec![InstrSpec::Load { slot: 3 }],
+            ..ok.clone()
+        };
+        assert!(unbound.well_formed().unwrap_err().contains("unbound"));
+
+        let underflow = ProgramSpec {
+            instrs: vec![InstrSpec::Binary { op: BinaryOp::Add }],
+            ..ok.clone()
+        };
+        assert!(underflow.well_formed().unwrap_err().contains("pops"));
+
+        let unbalanced = ProgramSpec {
+            instrs: vec![InstrSpec::Load { slot: 0 }, InstrSpec::Load { slot: 0 }],
+            ..ok.clone()
+        };
+        assert!(unbalanced.well_formed().unwrap_err().contains("stack"));
+
+        let shallow = ProgramSpec {
+            instrs: vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Binary { op: BinaryOp::Add },
+            ],
+            declared_stack_depth: 1,
+            ..ok
+        };
+        assert!(shallow.well_formed().unwrap_err().contains("exceeds"));
     }
 
     #[test]

@@ -78,12 +78,18 @@ pub const A2_LIBS: [&str; 2] = ["ArrayFire", "Thrust"];
 /// One A2 measurement cell: an element-wise chain of length `k` over `n`
 /// rows on `lib` (an [`A2_LIBS`] name), on a fresh device.
 pub fn a2_cell(lib: &str, k: usize, n: usize) -> Sample {
+    a2_cell_on(&gpu_sim::Device::new(crate::paper_device()), lib, k, n)
+}
+
+/// [`a2_cell`] on a caller-supplied device — the hook the trace-replay
+/// path uses to enable tracing before the cell runs. The device must be
+/// fresh (A2 measures cold fusion behaviour).
+pub fn a2_cell_on(dev: &std::sync::Arc<gpu_sim::Device>, lib: &str, k: usize, n: usize) -> Sample {
     let data = workload::cache::uniform_f64(n, workload::SEED ^ 21);
-    let dev = gpu_sim::Device::new(crate::paper_device());
     match lib {
         // ArrayFire: lazy chain, one fused kernel at eval.
         "ArrayFire" => {
-            let rt = arrayfire_backend(&dev);
+            let rt = arrayfire_backend(dev);
             let arr = rt.array_f64(&data).expect("upload");
             // Warm the JIT shape.
             run_af_chain(&arr, k);
@@ -102,7 +108,7 @@ pub fn a2_cell(lib: &str, k: usize, n: usize) -> Sample {
         }
         // Thrust: k eager transform calls.
         "Thrust" => {
-            let v = thrust_sim::DeviceVector::from_host(&dev, &data).expect("upload");
+            let v = thrust_sim::DeviceVector::from_host(dev, &data).expect("upload");
             run_thrust_chain(&v, k); // warm pools
             dev.reset_stats();
             let t0 = dev.now();
@@ -170,9 +176,16 @@ fn run_thrust_chain(v: &thrust_sim::DeviceVector<f64>, k: usize) {
 /// fresh device, returning its cold (x=0) and warm (x=1) rows.
 pub fn a3_cell(name: &str, n: usize) -> Vec<Sample> {
     let b = proto_core::framework::Framework::single_backend(&crate::paper_device(), name);
+    a3_cell_on(b.as_ref(), n)
+}
+
+/// [`a3_cell`] on a caller-supplied backend — the hook the trace-replay
+/// path uses to enable tracing before the cell runs. The backend must be
+/// fresh (A3 measures the cold run's JIT cost).
+pub fn a3_cell_on(b: &dyn GpuBackend, n: usize) -> Vec<Sample> {
     let (col, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED);
     let c = b.upload_u32(&col).expect("upload");
-    let s = proto_core::runner::measure(b.as_ref(), 1, || {
+    let s = proto_core::runner::measure(b, 1, || {
         let ids = b.selection(&c, CmpOp::Lt, thr as f64)?;
         b.free(ids)
     })

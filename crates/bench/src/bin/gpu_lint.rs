@@ -1,0 +1,161 @@
+//! `gpu_lint` — replay experiments on tracing backends and statically
+//! analyze every artifact: device traces (buffer lifetimes, stream
+//! ordering), the grid's scheduler plan, and representative compiled
+//! Programs.
+//!
+//! ```text
+//! gpu_lint [EXPERIMENT ...] [--deny-warnings] [--timeline]
+//! ```
+//!
+//! With no experiment ids, lints the full grid (see
+//! `bench::traced::EXPERIMENTS`) plus the plan and Program targets.
+//! Exits nonzero if any `Severity::Error` diagnostic fires — or any
+//! warning, under `--deny-warnings`. `--timeline` prints an annotated
+//! timeline for every unclean trace; `--dump` prints every event of
+//! every unclean trace with its index (for diagnosing findings).
+
+use gpu_lint::{PlanTask, Report};
+
+fn plan_report() -> Report {
+    let spec = bench::grid::plan_spec(bench::traced::lint_config());
+    let tasks: Vec<PlanTask> = spec
+        .tasks
+        .into_iter()
+        .map(|t| PlanTask {
+            id: t.id,
+            lane: t.lane,
+            after: t.after,
+        })
+        .collect();
+    gpu_lint::lint_plan(format!("plan({} tasks)", tasks.len()), &tasks)
+}
+
+/// Compile the predicate shapes the ArrayFire experiments JIT (Q6-style
+/// conjunction, Q1-ish arithmetic) and verify each one.
+fn program_reports() -> Vec<Report> {
+    use arrayfire_sim::node::Node;
+    use arrayfire_sim::{BinaryOp, ColumnData, Program, Scalar, UnaryOp};
+    use std::sync::Arc;
+
+    let dev = gpu_sim::Device::with_defaults();
+    let leaf = |id: u64, data: Vec<f64>| {
+        Arc::new(Node::Leaf(
+            id,
+            Arc::new(ColumnData::from_f64(&dev, data).unwrap()),
+        ))
+    };
+    let data: Vec<f64> = (0..256).map(|i| f64::from(i) * 0.5).collect();
+    let q6 = Node::Binary(
+        BinaryOp::And,
+        Arc::new(Node::Binary(
+            BinaryOp::And,
+            Arc::new(Node::ScalarRhs(
+                BinaryOp::Ge,
+                leaf(1, data.clone()),
+                Scalar::F64(16.0),
+            )),
+            Arc::new(Node::ScalarRhs(
+                BinaryOp::Lt,
+                leaf(1, data.clone()),
+                Scalar::F64(64.0),
+            )),
+        )),
+        Arc::new(Node::ScalarRhs(
+            BinaryOp::Lt,
+            leaf(2, data.clone()),
+            Scalar::F64(100.0),
+        )),
+    );
+    let revenue = Node::Binary(
+        BinaryOp::Mul,
+        leaf(1, data.clone()),
+        Arc::new(Node::ScalarLhs(
+            BinaryOp::Sub,
+            Scalar::F64(1.0),
+            Arc::new(Node::Unary(UnaryOp::Abs, leaf(2, data))),
+        )),
+    );
+    vec![
+        gpu_lint::lint_program("program(q6-predicate)", &Program::compile(&q6).spec()),
+        gpu_lint::lint_program("program(q1-revenue)", &Program::compile(&revenue).spec()),
+    ]
+}
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut timeline = false;
+    let mut dump = false;
+    let mut wanted: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--timeline" => timeline = true,
+            "--dump" => dump = true,
+            "--help" | "-h" => {
+                println!("usage: gpu_lint [EXPERIMENT ...] [--deny-warnings] [--timeline]");
+                println!("experiments: {}", bench::traced::EXPERIMENTS.join(", "));
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    let experiments: Vec<&str> = if wanted.is_empty() {
+        bench::traced::EXPERIMENTS.to_vec()
+    } else {
+        wanted.iter().map(String::as_str).collect()
+    };
+    if let Some(bad) = experiments
+        .iter()
+        .find(|e| !bench::traced::EXPERIMENTS.contains(e))
+    {
+        eprintln!("gpu_lint: unknown experiment {bad:?}");
+        eprintln!("experiments: {}", bench::traced::EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+
+    let cfg = bench::traced::lint_config();
+    let waivers = bench::traced::golden_waivers();
+    let mut waived = 0;
+    let mut reports: Vec<Report> = Vec::new();
+    for exp in &experiments {
+        for cell in bench::traced::traced_experiment(&cfg, exp) {
+            let mut report = gpu_lint::lint_trace(&cell.label, &cell.trace);
+            waived += report.waive(&waivers);
+            if timeline && !report.is_clean() {
+                print!(
+                    "{}",
+                    gpu_lint::annotated_timeline(&cell.trace, &report.diagnostics)
+                );
+            }
+            if dump && !report.is_clean() {
+                for (i, e) in cell.trace.iter().enumerate() {
+                    println!("#{i}: s{} {}", e.stream, e.kind.label());
+                }
+            }
+            reports.push(report);
+        }
+    }
+    if wanted.is_empty() {
+        reports.push(plan_report());
+        reports.extend(program_reports());
+    }
+
+    let mut errors = 0;
+    let mut warnings = 0;
+    for r in &reports {
+        errors += r.errors();
+        warnings += r.warnings();
+        if r.is_clean() {
+            println!("{}: clean", r.target);
+        } else {
+            print!("{}", r.render());
+        }
+    }
+    println!(
+        "gpu_lint: {} target(s), {errors} error(s), {warnings} warning(s), {waived} waived",
+        reports.len()
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -226,8 +226,6 @@ pub fn a4_assemble(samples: Vec<Sample>) -> Experiment {
 /// (a fresh framework per rate) — so cells are independent jobs for the
 /// parallel grid.
 pub fn e17_cell(sf: f64, permille: u64, name: &str) -> (Sample, f64, u64) {
-    use tpch::queries::q6::Q6Data;
-    let db = tpch::cached(sf);
     // A deep retry budget: backends run fused multi-kernel pipelines as
     // one retry scope, and at a 10% per-site rate a ~17-site pipeline
     // attempt fails ~5 times out of 6 — backoff is simulated time, so
@@ -237,6 +235,15 @@ pub fn e17_cell(sf: f64, permille: u64, name: &str) -> (Sample, f64, u64) {
         ..RetryPolicy::default()
     };
     let b = Framework::single_backend_resilient(&crate::paper_device(), name, policy);
+    e17_cell_on(b.as_ref(), sf, permille)
+}
+
+/// [`e17_cell`] on a caller-supplied resilient backend — the hook the
+/// trace-replay path uses to enable tracing before the cell runs. The
+/// backend must be fresh; this installs the fault plan for `permille`.
+pub fn e17_cell_on(b: &dyn GpuBackend, sf: f64, permille: u64) -> (Sample, f64, u64) {
+    use tpch::queries::q6::Q6Data;
+    let db = tpch::cached(sf);
     let dev = b.device();
     if permille > 0 {
         dev.install_fault_plan(FaultPlan::uniform(
@@ -244,19 +251,19 @@ pub fn e17_cell(sf: f64, permille: u64, name: &str) -> (Sample, f64, u64) {
             permille as f64 / 1000.0,
         ));
     }
-    let data = Q6Data::upload(b.as_ref(), &db).expect("upload");
+    let data = Q6Data::upload(b, &db).expect("upload");
     // `measure` resets statistics between its cold and warm runs, so
     // count injected faults in the two observable windows (upload, warm
     // region); the cold window is lost to the reset.
     let mut faults = dev.stats().faults_injected;
     let mut revenue = 0.0;
-    let s = proto_core::runner::measure(b.as_ref(), permille, || {
-        revenue = data.execute(b.as_ref())?;
+    let s = proto_core::runner::measure(b, permille, || {
+        revenue = data.execute(b)?;
         Ok(())
     })
     .expect("Q6 must complete under faults");
     faults += dev.stats().faults_injected;
-    data.free(b.as_ref()).expect("free");
+    data.free(b).expect("free");
     (s, revenue, faults)
 }
 

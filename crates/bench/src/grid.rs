@@ -36,7 +36,7 @@ use crate::{ablations, extensions, operators, queries};
 /// Parameters of the full regeneration grid. [`GridConfig::default`] is
 /// the paper grid (what `all_experiments` runs); tests shrink the fields
 /// for fast sweeps.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct GridConfig {
     /// Row-count sweep for the scaling experiments (E3, E5, E7, E14).
     pub sizes: Vec<usize>,
@@ -109,6 +109,7 @@ impl Default for GridConfig {
 }
 
 /// The outcome of one full grid run.
+#[derive(Debug)]
 pub struct GridRun {
     /// Exactly what the serial runner prints (modulo the documented
     /// numeric experiment order), as one string.
@@ -158,10 +159,12 @@ impl Builder {
         }
     }
 
-    /// Register a cell: `after` chains it on a lane predecessor (a task
-    /// id); returns `(task id, cell index)`.
+    /// Register a cell: `lane` tags the backend chain it belongs to (if
+    /// any), `after` chains it on a lane predecessor (a task id); returns
+    /// `(task id, cell index)`.
     fn cell(
         &mut self,
+        lane: Option<&str>,
         after: Option<usize>,
         label: String,
         section: &'static str,
@@ -171,13 +174,17 @@ impl Builder {
         self.specs.push((label, section));
         let results = self.results.clone();
         let times = self.times.clone();
-        let task = self.plan.add(after, move || {
+        let run = move || {
             let t = std::time::Instant::now();
             let out = f();
             let ms = t.elapsed().as_millis();
             results.lock().unwrap().insert(idx, out);
             times.lock().unwrap().insert(idx, ms);
-        });
+        };
+        let task = match lane {
+            Some(lane) => self.plan.add_on(lane, after, run),
+            None => self.plan.add(after, run),
+        };
         (task, idx)
     }
 }
@@ -213,17 +220,10 @@ pub const SECTIONS: [&str; 21] = [
     "E13", "E15", "E14", "E17", "A1", "A2", "A3", "A4",
 ];
 
-/// Run the whole grid on `jobs` workers and return its assembled output.
-///
-/// Also divides the host-thread budget of the `gpu-sim` host-execution
-/// engine across workers, so cell workers × per-cell `hostexec` threads
-/// never oversubscribe the machine.
-pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
-    let jobs = jobs.max(1);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    gpu_sim::hostexec::set_worker_budget(std::cmp::max(1, cores / jobs));
-
-    let cfg = Arc::new(cfg);
+/// Register every grid cell into a fresh [`Builder`]; shared between
+/// [`run`] (which executes the plan) and [`plan_spec`] (which only
+/// inspects its dependency structure).
+fn build(cfg: Arc<GridConfig>) -> (Builder, Ids) {
     let mut b = Builder::new();
     let mut ids = Ids::default();
 
@@ -237,11 +237,16 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
                 let bk = backend.clone();
                 let c = cfg.clone();
                 // Silence unused-variable lints for bodies that ignore cfg.
-                let (task, idx) =
-                    b.cell(prev, format!("{}/{name}", $section), $section, move || {
+                let (task, idx) = b.cell(
+                    Some(name),
+                    prev,
+                    format!("{}/{name}", $section),
+                    $section,
+                    move || {
                         let _ = &c;
                         ($body)(bk.as_ref(), &c)
-                    });
+                    },
+                );
                 prev = Some(task);
                 $list.push(idx);
             }};
@@ -276,11 +281,17 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
         {
             let bk = backend.clone();
             let c = cfg.clone();
-            let (task, _) = b.cell(prev, format!("validate/{name}"), "validate", move || {
-                queries::validate_backend(bk.as_ref(), &tpch::cached(c.validate_sf))
-                    .expect("query validation");
-                CellOut::Unit
-            });
+            let (task, _) = b.cell(
+                Some(name),
+                prev,
+                format!("validate/{name}"),
+                "validate",
+                move || {
+                    queries::validate_backend(bk.as_ref(), &tpch::cached(c.validate_sf))
+                        .expect("query validation");
+                    CellOut::Unit
+                },
+            );
             prev = Some(task);
         }
         lane!(ids.e10, "E10", |bk: &dyn GpuBackend, c: &GridConfig| {
@@ -318,17 +329,23 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
     for &permille in &cfg.e17_rates {
         for name in proto_core::backends::PAPER_BACKENDS {
             let c = cfg.clone();
-            let (_, idx) = b.cell(None, format!("E17/r{permille}/{name}"), "E17", move || {
-                let (s, revenue, faults) = extensions::e17_cell(c.e17_sf, permille, name);
-                CellOut::Fault(s, revenue, faults)
-            });
+            let (_, idx) = b.cell(
+                None,
+                None,
+                format!("E17/r{permille}/{name}"),
+                "E17",
+                move || {
+                    let (s, revenue, faults) = extensions::e17_cell(c.e17_sf, permille, name);
+                    CellOut::Fault(s, revenue, faults)
+                },
+            );
             ids.e17.push(idx);
         }
     }
     for &k in &cfg.a2_ks {
         for lib in ablations::A2_LIBS {
             let c = cfg.clone();
-            let (_, idx) = b.cell(None, format!("A2/k{k}/{lib}"), "A2", move || {
+            let (_, idx) = b.cell(None, None, format!("A2/k{k}/{lib}"), "A2", move || {
                 CellOut::One(ablations::a2_cell(lib, k, c.a2_n))
             });
             ids.a2.push(idx);
@@ -336,11 +353,35 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
     }
     for name in proto_core::backends::PAPER_BACKENDS {
         let c = cfg.clone();
-        let (_, idx) = b.cell(None, format!("A3/{name}"), "A3", move || {
+        let (_, idx) = b.cell(None, None, format!("A3/{name}"), "A3", move || {
             CellOut::Flat(ablations::a3_cell(name, c.a3_n))
         });
         ids.a3.push(idx);
     }
+
+    (b, ids)
+}
+
+/// The dependency structure of the grid's plan, for static verification
+/// (`gpu-lint`'s plan checker): one tagged serial lane per backend plus
+/// untagged independent cells. Registers every cell exactly as [`run`]
+/// does but executes nothing.
+pub fn plan_spec(cfg: GridConfig) -> crate::sched::PlanSpec {
+    build(Arc::new(cfg)).0.plan.spec()
+}
+
+/// Run the whole grid on `jobs` workers and return its assembled output.
+///
+/// Also divides the host-thread budget of the `gpu-sim` host-execution
+/// engine across workers, so cell workers × per-cell `hostexec` threads
+/// never oversubscribe the machine.
+pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
+    let jobs = jobs.max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    gpu_sim::hostexec::set_worker_budget(std::cmp::max(1, cores / jobs));
+
+    let cfg = Arc::new(cfg);
+    let (b, ids) = build(cfg.clone());
 
     // ---- Execute. ----
     let Builder {

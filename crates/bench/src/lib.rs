@@ -15,6 +15,7 @@ pub mod operators;
 pub mod queries;
 pub mod report;
 pub mod sched;
+pub mod traced;
 
 use proto_core::framework::Framework;
 

@@ -31,7 +31,7 @@ pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
 /// engine optimises. [`HostTimer::write_json`] renders the sections as a
 /// small JSON report (`BENCH_host.json` in CI) without needing a JSON
 /// dependency.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct HostTimer {
     sections: Vec<(String, u128)>,
     cells: Vec<(String, u128)>,
@@ -40,6 +40,7 @@ pub struct HostTimer {
 }
 
 /// Pool accounting of a parallel grid run, rendered into the JSON report.
+#[derive(Debug)]
 pub struct SchedulerSummary {
     /// Worker count.
     pub jobs: usize,

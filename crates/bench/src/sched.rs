@@ -77,12 +77,45 @@ struct TaskState {
     deps: usize,
     /// Tasks unblocked when this one completes.
     dependents: Vec<usize>,
+    /// Serial-chain tag (the backend whose device this task mutates);
+    /// `None` for independent tasks on fresh devices.
+    lane: Option<String>,
+    /// Chain predecessor, mirrored for [`Plan::spec`].
+    after: Option<usize>,
+}
+
+/// Analysis view of one [`Plan`] task, exposed for static verification
+/// (`gpu-lint`'s plan pass). All fields are public so checkers and
+/// hazard-injection tests can also construct specs directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// The task's id ([`Plan::add`]'s return value).
+    pub id: usize,
+    /// Serial-chain tag; tasks sharing a lane share mutable device state.
+    pub lane: Option<String>,
+    /// Ids this task waits for before starting.
+    pub after: Vec<usize>,
+}
+
+/// Public description of a [`Plan`]'s dependency structure (tasks in id
+/// order), produced by [`Plan::spec`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// Every task, ordered by id.
+    pub tasks: Vec<TaskSpec>,
 }
 
 /// A dependency-ordered set of tasks for [`Plan::run`].
 #[derive(Default)]
 pub struct Plan {
     tasks: Vec<TaskState>,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Task bodies are opaque closures; the structural view is spec().
+        write!(f, "Plan({} tasks)", self.tasks.len())
+    }
 }
 
 struct Queue {
@@ -101,11 +134,30 @@ impl Plan {
     /// its chain successor and will not start before it completes.
     /// Returns the task's id.
     pub fn add(&mut self, after: Option<usize>, f: impl FnOnce() + Send + 'static) -> usize {
+        self.push(None, after, Box::new(f))
+    }
+
+    /// [`Plan::add`] with a lane tag: tasks sharing a lane mutate the same
+    /// device, so each one must chain on the lane's previous task. The tag
+    /// only feeds [`Plan::spec`] (where `gpu-lint` checks that invariant);
+    /// scheduling behaviour is identical to [`Plan::add`].
+    pub fn add_on(
+        &mut self,
+        lane: &str,
+        after: Option<usize>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        self.push(Some(lane.to_string()), after, Box::new(f))
+    }
+
+    fn push(&mut self, lane: Option<String>, after: Option<usize>, f: TaskFn) -> usize {
         let id = self.tasks.len();
         self.tasks.push(TaskState {
-            run: Some(Box::new(f)),
+            run: Some(f),
             deps: 0,
             dependents: Vec::new(),
+            lane,
+            after,
         });
         if let Some(pred) = after {
             assert!(pred < id, "chain predecessor must already exist");
@@ -113,6 +165,22 @@ impl Plan {
             self.tasks[id].deps = 1;
         }
         id
+    }
+
+    /// Analysis view of the plan's dependency structure (see [`PlanSpec`]).
+    pub fn spec(&self) -> PlanSpec {
+        PlanSpec {
+            tasks: self
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(id, t)| TaskSpec {
+                    id,
+                    lane: t.lane.clone(),
+                    after: t.after.into_iter().collect(),
+                })
+                .collect(),
+        }
     }
 
     /// Number of tasks in the plan.
@@ -242,6 +310,36 @@ mod tests {
                 assert_eq!(steps, vec![0, 1, 2], "chain order at jobs={jobs}");
             }
         }
+    }
+
+    #[test]
+    fn spec_reports_lanes_and_chain_edges() {
+        let mut plan = Plan::new();
+        let a = plan.add_on("Thrust", None, || {});
+        let b = plan.add_on("Thrust", Some(a), || {});
+        let free = plan.add(None, || {});
+        let spec = plan.spec();
+        assert_eq!(
+            spec.tasks,
+            vec![
+                TaskSpec {
+                    id: a,
+                    lane: Some("Thrust".into()),
+                    after: vec![],
+                },
+                TaskSpec {
+                    id: b,
+                    lane: Some("Thrust".into()),
+                    after: vec![a],
+                },
+                TaskSpec {
+                    id: free,
+                    lane: None,
+                    after: vec![],
+                },
+            ]
+        );
+        plan.run(2); // tagging never changes execution
     }
 
     #[test]

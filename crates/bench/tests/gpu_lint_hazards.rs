@@ -1,0 +1,627 @@
+//! Hazard-injection property tests for `gpu-lint`.
+//!
+//! Each test starts from a *real* captured experiment trace (or the real
+//! grid plan / a really-compiled Program), verifies it is clean, then
+//! uses a seeded mutator to inject one hazard of a known class and
+//! asserts the analyzer flags exactly that rule, anchored on the
+//! injected events. Running every class across several seeds moves the
+//! injection site around the artifact, so the detectors are exercised at
+//! arbitrary positions, not one hand-picked spot.
+//!
+//! The golden-gate test at the bottom replays the full experiment grid
+//! and requires zero diagnostics (modulo the documented waiver table) —
+//! the no-false-positive half of the contract.
+
+use arrayfire_sim::{BinaryOp, DType, InstrSpec, ProgramSpec};
+use gpu_lint::{PlanTask, Rule};
+use gpu_sim::{BufferId, KernelIo, TraceEvent, TraceKind};
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+/// Deterministic xorshift64* — the mutator's only entropy source.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "picking from an empty candidate set");
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A real, clean, single-stream trace to mutate: E3's handwritten cell.
+fn golden_trace() -> Vec<TraceEvent> {
+    let mut cfg = bench::traced::lint_config();
+    cfg.sizes = vec![1 << 10];
+    let cells = bench::traced::traced_experiment(&cfg, "E3");
+    let cell = cells
+        .into_iter()
+        .find(|c| c.label == "E3/Handwritten")
+        .expect("E3 runs on the handwritten backend");
+    assert!(
+        gpu_lint::lint_trace(&cell.label, &cell.trace).is_clean(),
+        "baseline trace must be clean before mutation"
+    );
+    cell.trace
+}
+
+fn ev(kind: TraceKind) -> TraceEvent {
+    TraceEvent::new(0, 0, kind)
+}
+
+fn known_kernel(reads: &[BufferId], writes: &[BufferId]) -> TraceKind {
+    TraceKind::Kernel {
+        name: "injected".into(),
+        io: KernelIo::known(reads, writes),
+    }
+}
+
+/// A buffer id the trace has never seen (ids are never reused).
+fn fresh_buffer(trace: &[TraceEvent], offset: u64) -> BufferId {
+    let max = trace
+        .iter()
+        .flat_map(|e| match &e.kind {
+            TraceKind::Alloc { buf, .. }
+            | TraceKind::PoolAlloc { buf, .. }
+            | TraceKind::Free { buf }
+            | TraceKind::HtoD { buf, .. }
+            | TraceKind::DtoH { buf, .. } => vec![buf.0],
+            TraceKind::DtoD { src, dst, .. } => vec![src.0, dst.0],
+            TraceKind::Kernel { io, .. } => match io {
+                KernelIo::Known { reads, writes } => {
+                    reads.iter().chain(writes).map(|b| b.0).collect()
+                }
+                KernelIo::Unknown => vec![],
+            },
+            _ => vec![],
+        })
+        .max()
+        .unwrap_or(0);
+    BufferId(max + 1 + offset)
+}
+
+/// Indices of device-side *writes* (uploads or declared kernel writes),
+/// with the buffer written — race-injection anchor points.
+fn write_sites(trace: &[TraceEvent]) -> Vec<(usize, BufferId)> {
+    trace
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match &e.kind {
+            TraceKind::HtoD { buf, .. } => Some((i, *buf)),
+            TraceKind::Kernel {
+                io: KernelIo::Known { writes, .. },
+                ..
+            } if !writes.is_empty() => Some((i, writes[0])),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Indices of `Free` events, with the freed buffer.
+fn free_sites(trace: &[TraceEvent]) -> Vec<(usize, BufferId)> {
+    trace
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e.kind {
+            TraceKind::Free { buf } => Some((i, buf)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Assert `trace` produces a diagnostic of `rule` anchored on `events`.
+fn assert_flags(trace: &[TraceEvent], rule: Rule, events: &[usize]) {
+    let report = gpu_lint::lint_trace("mutated", trace);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == rule && d.events == events),
+        "expected {} at {events:?}, got: {:?}",
+        rule.id(),
+        report.diagnostics
+    );
+}
+
+#[test]
+fn injected_use_after_free_is_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut t = base.clone();
+        let sites = free_sites(&t);
+        let (f, buf) = sites[rng.pick(sites.len())];
+        t.insert(f + 1, ev(known_kernel(&[buf], &[])));
+        assert_flags(&t, Rule::UseAfterFree, &[f, f + 1]);
+    }
+}
+
+#[test]
+fn injected_double_free_is_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut t = base.clone();
+        let sites = free_sites(&t);
+        let (f, buf) = sites[rng.pick(sites.len())];
+        // Anywhere strictly after the first free works: ids are unique.
+        let g = f + 1 + rng.pick(t.len() - f);
+        t.insert(g, ev(TraceKind::Free { buf }));
+        assert_flags(&t, Rule::DoubleFree, &[f, g]);
+    }
+}
+
+#[test]
+fn injected_stream_race_is_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut t = base.clone();
+        // A host→device upload is a device-side write; read the same
+        // buffer from a second stream immediately after, with no
+        // ordering event between the two accesses.
+        let sites = write_sites(&t);
+        let (k, buf) = sites[rng.pick(sites.len())];
+        let mut racer = ev(known_kernel(&[buf], &[]));
+        racer.stream = 1;
+        t.insert(k + 1, racer);
+        assert_flags(&t, Rule::StreamRace, &[k, k + 1]);
+    }
+}
+
+#[test]
+fn ordered_cross_stream_access_is_not_a_race() {
+    // The same injection as above, but with a record/wait edge between
+    // the conflicting accesses: the detector must stay silent.
+    let base = golden_trace();
+    let sites = write_sites(&base);
+    let &(k, buf) = sites.last().expect("E3 uploads input columns");
+    let mut t = base.clone();
+    let mut racer = ev(known_kernel(&[buf], &[]));
+    racer.stream = 1;
+    // record on stream 0 → wait on stream 1 → read on stream 1.
+    t.insert(
+        k + 1,
+        ev(TraceKind::EventRecord {
+            stream: 0,
+            event: 900,
+        }),
+    );
+    t.insert(
+        k + 2,
+        ev(TraceKind::EventWait {
+            stream: 1,
+            event: 900,
+        }),
+    );
+    t.insert(k + 3, racer);
+    let report = gpu_lint::lint_trace("ordered", &t);
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::StreamRace),
+        "record/wait edge must order the streams: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn injected_wait_on_unrecorded_event_is_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut t = base.clone();
+        let pos = rng.pick(t.len());
+        t.insert(
+            pos,
+            ev(TraceKind::EventWait {
+                stream: 0,
+                event: 901,
+            }),
+        );
+        assert_flags(&t, Rule::WaitUnrecorded, &[pos]);
+    }
+}
+
+#[test]
+fn injected_dead_transfers_are_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+
+        // Dead D2H: download a buffer nothing ever wrote.
+        let mut t = base.clone();
+        let buf = fresh_buffer(&t, seed);
+        let pos = rng.pick(t.len());
+        t.insert(
+            pos,
+            ev(TraceKind::Alloc {
+                bytes: 64,
+                buf,
+                init: false,
+            }),
+        );
+        t.insert(pos + 1, ev(TraceKind::DtoH { bytes: 64, buf }));
+        t.insert(pos + 2, ev(TraceKind::Free { buf }));
+        assert_flags(&t, Rule::DeadDeviceToHost, &[pos + 1]);
+
+        // Dead H2D: upload a buffer no kernel or download ever reads,
+        // with compute (an empty-footprint kernel) in its live window.
+        let mut t = base.clone();
+        let buf = fresh_buffer(&t, seed);
+        let pos = rng.pick(t.len());
+        t.insert(
+            pos,
+            ev(TraceKind::Alloc {
+                bytes: 64,
+                buf,
+                init: true,
+            }),
+        );
+        t.insert(pos + 1, ev(TraceKind::HtoD { bytes: 64, buf }));
+        t.insert(pos + 2, ev(known_kernel(&[], &[])));
+        t.insert(pos + 3, ev(TraceKind::Free { buf }));
+        assert_flags(&t, Rule::DeadHostToDevice, &[pos + 1]);
+    }
+}
+
+#[test]
+fn injected_read_before_write_is_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut t = base.clone();
+        let buf = fresh_buffer(&t, seed);
+        let pos = rng.pick(t.len());
+        t.insert(
+            pos,
+            ev(TraceKind::Alloc {
+                bytes: 64,
+                buf,
+                init: false,
+            }),
+        );
+        t.insert(pos + 1, ev(known_kernel(&[buf], &[])));
+        t.insert(pos + 2, ev(TraceKind::Free { buf }));
+        assert_flags(&t, Rule::ReadBeforeWrite, &[pos + 1]);
+    }
+}
+
+#[test]
+fn injected_leak_and_unknown_free_are_flagged() {
+    let base = golden_trace();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+
+        // Leak: an allocation that is never freed.
+        let mut t = base.clone();
+        let buf = fresh_buffer(&t, seed);
+        let pos = rng.pick(t.len() + 1);
+        t.insert(
+            pos,
+            ev(TraceKind::Alloc {
+                bytes: 64,
+                buf,
+                init: true,
+            }),
+        );
+        assert_flags(&t, Rule::LeakedBuffer, &[pos]);
+
+        // Free of a buffer the trace never allocated.
+        let mut t = base.clone();
+        let buf = fresh_buffer(&t, seed);
+        let pos = rng.pick(t.len() + 1);
+        t.insert(pos, ev(TraceKind::Free { buf }));
+        assert_flags(&t, Rule::UnknownFree, &[pos]);
+    }
+}
+
+// ---- Program mutations -------------------------------------------------
+
+/// A really-compiled Q6-style predicate program.
+fn golden_program() -> ProgramSpec {
+    use arrayfire_sim::node::Node;
+    use arrayfire_sim::{ColumnData, Program, Scalar};
+    use std::sync::Arc;
+    let dev = gpu_sim::Device::with_defaults();
+    let leaf = |id: u64| {
+        Arc::new(Node::Leaf(
+            id,
+            Arc::new(ColumnData::from_f64(&dev, vec![1.0, 2.0, 3.0]).unwrap()),
+        ))
+    };
+    let tree = Node::Binary(
+        BinaryOp::And,
+        Arc::new(Node::ScalarRhs(BinaryOp::Ge, leaf(1), Scalar::F64(1.5))),
+        Arc::new(Node::Binary(
+            BinaryOp::And,
+            Arc::new(Node::ScalarRhs(BinaryOp::Lt, leaf(1), Scalar::F64(2.5))),
+            Arc::new(Node::ScalarRhs(BinaryOp::Lt, leaf(2), Scalar::F64(9.0))),
+        )),
+    );
+    let spec = Program::compile(&tree).spec();
+    assert!(
+        gpu_lint::lint_program("golden", &spec).is_clean(),
+        "baseline program must verify before mutation"
+    );
+    spec
+}
+
+#[test]
+fn injected_stack_imbalance_is_flagged() {
+    let base = golden_program();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+
+        // Extra operand: the stack ends with two values.
+        let mut p = base.clone();
+        let pos = rng.pick(p.instrs.len() + 1);
+        p.instrs.insert(pos, InstrSpec::Load { slot: 0 });
+        p.declared_stack_depth += 1; // isolate GL201 from GL205
+        let d = gpu_lint::lint_program("mutated", &p);
+        let hit = d
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::StackImbalance)
+            .unwrap_or_else(|| panic!("GL201 expected, got {:?}", d.diagnostics));
+        assert_eq!(hit.events.len(), 2, "two leftover producers: {hit:?}");
+        assert!(hit.events.iter().all(|&i| i < p.instrs.len()));
+
+        // Missing operand: some later instruction underflows.
+        let mut p = base.clone();
+        let loads: Vec<usize> = p
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ins)| matches!(ins, InstrSpec::Load { .. }).then_some(i))
+            .collect();
+        p.instrs.remove(loads[rng.pick(loads.len())]);
+        let d = gpu_lint::lint_program("mutated", &p);
+        assert!(
+            d.diagnostics.iter().any(|d| d.rule == Rule::StackImbalance),
+            "underflow must be an imbalance: {:?}",
+            d.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_unbound_leaf_is_flagged() {
+    let base = golden_program();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut p = base.clone();
+        let loads: Vec<usize> = p
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ins)| matches!(ins, InstrSpec::Load { .. }).then_some(i))
+            .collect();
+        let site = loads[rng.pick(loads.len())];
+        p.instrs[site] = InstrSpec::Load {
+            slot: p.leaf_dtypes.len() + rng.pick(3),
+        };
+        let d = gpu_lint::lint_program("mutated", &p);
+        assert!(
+            d.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::UnboundLeaf && d.events == [site]),
+            "GL202 at #{site} expected: {:?}",
+            d.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_dtype_mismatch_is_flagged() {
+    let base = golden_program();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut p = base.clone();
+        // Turn a comparison directly feeding an And into arithmetic:
+        // the And now consumes a definitely-numeric operand. Only Ands
+        // whose right operand is a scalar comparison qualify (an And
+        // fed by another And has no comparison to corrupt).
+        let ands: Vec<usize> = p
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ins)| {
+                (matches!(ins, InstrSpec::Binary { op: BinaryOp::And })
+                    && i > 0
+                    && matches!(p.instrs[i - 1], InstrSpec::ScalarRhs { .. }))
+                .then_some(i)
+            })
+            .collect();
+        let and = ands[rng.pick(ands.len())];
+        p.instrs[and - 1] = InstrSpec::ScalarRhs { op: BinaryOp::Add };
+        let d = gpu_lint::lint_program("mutated", &p);
+        assert!(
+            d.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::DtypeMismatch && d.events == [and - 1, and]),
+            "GL203 at #{} expected: {:?}",
+            and - 1,
+            d.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_dead_leaf_and_depth_overflow_are_flagged() {
+    let base = golden_program();
+    // A leaf bound in the table that no instruction loads.
+    let mut p = base.clone();
+    p.leaf_dtypes.push(DType::F64);
+    let dead_slot = p.leaf_dtypes.len() - 1;
+    let d = gpu_lint::lint_program("mutated", &p);
+    assert!(
+        d.diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DeadLeaf && d.events == [dead_slot]),
+        "GL204 for slot {dead_slot} expected: {:?}",
+        d.diagnostics
+    );
+
+    // Executor reserves less stack than the program truly needs.
+    let mut p = base;
+    p.declared_stack_depth = 0;
+    let d = gpu_lint::lint_program("mutated", &p);
+    assert!(
+        d.diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::StackDepthExceeded),
+        "GL205 expected: {:?}",
+        d.diagnostics
+    );
+}
+
+// ---- Plan mutations ----------------------------------------------------
+
+/// The real experiment grid's plan, converted to the analyzer's shape.
+fn golden_plan() -> Vec<PlanTask> {
+    let spec = bench::grid::plan_spec(bench::traced::lint_config());
+    let tasks: Vec<PlanTask> = spec
+        .tasks
+        .into_iter()
+        .map(|t| PlanTask {
+            id: t.id,
+            lane: t.lane,
+            after: t.after,
+        })
+        .collect();
+    assert!(
+        gpu_lint::lint_plan("golden", &tasks).is_clean(),
+        "the real grid plan must be clean before mutation"
+    );
+    tasks
+}
+
+#[test]
+fn injected_plan_cycle_is_flagged() {
+    let base = golden_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut plan = base.clone();
+        // Reverse one real dependency edge: t runs after d, so adding
+        // d.after += [t] closes a cycle through both.
+        let edges: Vec<(usize, usize)> = plan
+            .iter()
+            .flat_map(|t| t.after.iter().map(move |&d| (t.id, d)))
+            .collect();
+        let (t, d) = edges[rng.pick(edges.len())];
+        plan.iter_mut()
+            .find(|task| task.id == d)
+            .expect("edge target exists")
+            .after
+            .push(t);
+        let report = gpu_lint::lint_plan("mutated", &plan);
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|x| x.rule == Rule::PlanCycle)
+            .unwrap_or_else(|| panic!("GL301 expected: {:?}", report.diagnostics));
+        assert!(
+            hit.events.contains(&t) && hit.events.contains(&d),
+            "cycle must pass through the injected edge {t}→{d}: {hit:?}"
+        );
+    }
+}
+
+#[test]
+fn injected_lane_order_violation_is_flagged() {
+    let base = golden_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut plan = base.clone();
+        // Pick a lane pair (a, b) adjacent in id order and cut every
+        // inbound edge of b: nothing orders b after a any more.
+        let mut lanes: std::collections::HashMap<&str, Vec<usize>> =
+            std::collections::HashMap::new();
+        for t in &plan {
+            if let Some(lane) = &t.lane {
+                lanes.entry(lane).or_default().push(t.id);
+            }
+        }
+        let mut pairs: Vec<(usize, usize)> = lanes
+            .values()
+            .flat_map(|ids| {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                ids.windows(2).map(|w| (w[0], w[1])).collect::<Vec<_>>()
+            })
+            .collect();
+        pairs.sort_unstable();
+        let (a, b) = pairs[rng.pick(pairs.len())];
+        plan.iter_mut()
+            .find(|task| task.id == b)
+            .expect("lane member exists")
+            .after
+            .clear();
+        let report = gpu_lint::lint_plan("mutated", &plan);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::LaneOrderViolation && d.events == [a, b]),
+            "GL302 on ({a}, {b}) expected: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_orphan_dependency_is_flagged() {
+    let base = golden_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut plan = base.clone();
+        let ghost = plan.iter().map(|t| t.id).max().unwrap_or(0) + 1 + seed as usize;
+        let victim = rng.pick(plan.len());
+        let id = plan[victim].id;
+        plan[victim].after.push(ghost);
+        let report = gpu_lint::lint_plan("mutated", &plan);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::OrphanDependency && d.events == [id, ghost]),
+            "GL303 on ({id}, {ghost}) expected: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+// ---- Golden gate -------------------------------------------------------
+
+#[test]
+fn golden_grid_traces_produce_zero_diagnostics() {
+    let cfg = bench::traced::lint_config();
+    let waivers = bench::traced::golden_waivers();
+    for exp in bench::traced::EXPERIMENTS {
+        for cell in bench::traced::traced_experiment(&cfg, exp) {
+            let mut report = gpu_lint::lint_trace(&cell.label, &cell.trace);
+            report.waive(&waivers);
+            assert!(
+                report.is_clean(),
+                "golden trace is not clean:\n{}",
+                report.render()
+            );
+        }
+    }
+    let plan = golden_plan();
+    assert!(gpu_lint::lint_plan("plan", &plan).is_clean());
+}

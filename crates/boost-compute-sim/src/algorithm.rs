@@ -36,10 +36,12 @@ where
         .device()
         .alloc_map_with(src.len(), gpu_sim::AllocPolicy::Raw, |i| op(input[i]))?;
     let out = Vector::from_buffer(buf);
-    queue.enqueue(
+    queue.enqueue_io(
         "transform",
         tkey::<(T, U)>(),
         KernelCost::map::<T, U>(src.len()),
+        &[src.id()],
+        &[out.id()],
     )?;
     Ok(out)
 }
@@ -70,11 +72,13 @@ where
         .alloc_map_with(a.len(), gpu_sim::AllocPolicy::Raw, |i| op(xa[i], xb[i]))?;
     let out = Vector::from_buffer(buf);
     let n = a.len();
-    queue.enqueue(
+    queue.enqueue_io(
         "transform_binary",
         tkey::<(A, B, U)>(),
         KernelCost::map::<A, U>(n)
             .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64),
+        &[a.id(), b.id()],
+        &[out.id()],
     )?;
     Ok(out)
 }
@@ -86,7 +90,13 @@ pub fn fill<T: DeviceCopy>(vec: &mut Vector<T>, value: T, queue: &CommandQueue) 
             *x = value;
         }
     });
-    queue.enqueue("fill", tkey::<T>(), KernelCost::map::<(), T>(vec.len()))?;
+    queue.enqueue_io(
+        "fill",
+        tkey::<T>(),
+        KernelCost::map::<(), T>(vec.len()),
+        &[],
+        &[vec.id()],
+    )?;
     Ok(())
 }
 
@@ -96,7 +106,13 @@ pub fn iota(len: usize, queue: &CommandQueue) -> Result<Vector<u32>> {
         .device()
         .alloc_map_with(len, gpu_sim::AllocPolicy::Raw, |i| i as u32)?;
     let out = Vector::from_buffer(buf);
-    queue.enqueue("iota", "u32", KernelCost::map::<(), u32>(len))?;
+    queue.enqueue_io(
+        "iota",
+        "u32",
+        KernelCost::map::<(), u32>(len),
+        &[],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -115,10 +131,12 @@ where
     for &x in src.as_slice() {
         acc = op(acc, x);
     }
-    queue.enqueue(
+    queue.enqueue_io(
         "reduce",
         tkey::<(T, A)>(),
         KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
     )?;
     // Scalar result read back by the host.
     let dev = queue.device();
@@ -164,10 +182,12 @@ where
         }
     }
     let groups = out_keys.len();
-    queue.enqueue(
+    queue.enqueue_io(
         "reduce_by_key",
         tkey::<(K, V)>(),
         presets::reduce_by_key::<K, V>(keys.len(), groups),
+        &[keys.id(), vals.id()],
+        &[],
     )?;
     let dev = queue.device();
     let kb = dev.buffer_from_vec(out_keys, gpu_sim::AllocPolicy::Raw)?;
@@ -201,12 +221,14 @@ where
         acc = combine(acc, multiply(xa[i], xb[i]));
     }
     let n = a.len();
-    queue.enqueue(
+    queue.enqueue_io(
         "inner_product",
         tkey::<(A, B, R)>(),
         KernelCost::reduce::<A>(n)
             .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64)
             .with_flops(2 * n as u64),
+        &[a.id(), b.id()],
+        &[],
     )?;
     Ok(acc)
 }
@@ -226,7 +248,13 @@ where
         .device()
         .buffer_from_vec(data, gpu_sim::AllocPolicy::Raw)?;
     let out = Vector::from_buffer(buf);
-    queue.enqueue("exclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()))?;
+    queue.enqueue_io(
+        "exclusive_scan",
+        tkey::<T>(),
+        presets::scan::<T>(src.len()),
+        &[src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -245,7 +273,13 @@ where
         .device()
         .buffer_from_vec(data, gpu_sim::AllocPolicy::Raw)?;
     let out = Vector::from_buffer(buf);
-    queue.enqueue("inclusive_scan", tkey::<T>(), presets::scan::<T>(src.len()))?;
+    queue.enqueue_io(
+        "inclusive_scan",
+        tkey::<T>(),
+        presets::scan::<T>(src.len()),
+        &[src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -260,7 +294,14 @@ where
         .enumerate()
     {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        queue.enqueue(&format!("sort/{phase}"), tkey::<T>(), cost)?;
+        let writes: &[gpu_sim::BufferId] = if i % 3 == 2 { &[vec.id()] } else { &[] };
+        queue.enqueue_io(
+            &format!("sort/{phase}"),
+            tkey::<T>(),
+            cost,
+            &[vec.id()],
+            writes,
+        )?;
     }
     Ok(())
 }
@@ -288,7 +329,15 @@ where
         .enumerate()
     {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        queue.enqueue(&format!("sort_by_key/{phase}"), tkey::<(K, V)>(), cost)?;
+        let kv = [keys.id(), vals.id()];
+        let writes: &[gpu_sim::BufferId] = if i % 3 == 2 { &kv } else { &[] };
+        queue.enqueue_io(
+            &format!("sort_by_key/{phase}"),
+            tkey::<(K, V)>(),
+            cost,
+            &kv,
+            writes,
+        )?;
     }
     Ok(())
 }
@@ -310,7 +359,13 @@ where
         .device()
         .alloc_map_with(m.len(), gpu_sim::AllocPolicy::Raw, |i| s[m[i] as usize])?;
     let out = Vector::from_buffer(buf);
-    queue.enqueue("gather", tkey::<T>(), presets::gather::<T>(map.len()))?;
+    queue.enqueue_io(
+        "gather",
+        tkey::<T>(),
+        presets::gather::<T>(map.len()),
+        &[map.id(), src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -346,7 +401,13 @@ where
             d[idx] = s[i];
         }
     }
-    queue.enqueue("scatter", tkey::<T>(), presets::scatter::<T>(src.len()))?;
+    queue.enqueue_io(
+        "scatter",
+        tkey::<T>(),
+        presets::scatter::<T>(src.len()),
+        &[src.id(), map.id()],
+        &[dst.id()],
+    )?;
     Ok(())
 }
 
@@ -392,7 +453,7 @@ where
     let n = src.len();
     let elem = std::mem::size_of::<T>();
     let kept = stencil.as_slice().iter().filter(|&&f| f != 0).count();
-    queue.enqueue(
+    queue.enqueue_io(
         "scatter_if",
         tkey::<T>(),
         KernelCost::map::<T, ()>(n)
@@ -400,6 +461,8 @@ where
             .with_write((kept * elem) as u64)
             .with_pattern(gpu_sim::AccessPattern::Strided)
             .with_divergence(0.3),
+        &[src.id(), map.id(), stencil.id()],
+        &[dst.id()],
     )?;
     Ok(())
 }
@@ -422,13 +485,21 @@ where
         .collect();
     let n = src.len();
     let out_bytes = (kept.len() * std::mem::size_of::<T>()) as u64;
-    queue.enqueue("copy_if/scan", tkey::<T>(), presets::scan::<T>(n))?;
-    queue.enqueue(
+    queue.enqueue_io(
+        "copy_if/scan",
+        tkey::<T>(),
+        presets::scan::<T>(n),
+        &[src.id()],
+        &[],
+    )?;
+    queue.enqueue_io(
         "copy_if/compact",
         tkey::<T>(),
         KernelCost::map::<T, ()>(n)
             .with_write(out_bytes)
             .with_divergence(0.3),
+        &[src.id()],
+        &[],
     )?;
     let buf = queue
         .device()
@@ -442,7 +513,13 @@ where
     T: DeviceCopy,
 {
     let n = src.as_slice().iter().filter(|&&x| pred(x)).count();
-    queue.enqueue("count_if", tkey::<T>(), KernelCost::reduce::<T>(src.len()))?;
+    queue.enqueue_io(
+        "count_if",
+        tkey::<T>(),
+        KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     Ok(n)
 }
 
@@ -542,7 +619,7 @@ mod tests {
         let i = iota(4, &q).unwrap();
         assert_eq!(i.to_host(&q).unwrap(), vec![0, 1, 2, 3]);
         let mut f: Vector<u8> = Vector::zeroed(3, &q).unwrap();
-        fill(&mut f, 9, &q);
+        fill(&mut f, 9, &q).unwrap();
         assert_eq!(f.to_host(&q).unwrap(), vec![9, 9, 9]);
     }
 

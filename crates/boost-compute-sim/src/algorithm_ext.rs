@@ -29,10 +29,12 @@ where
     for &x in src.as_slice() {
         acc = op(acc, x);
     }
-    queue.enqueue(
+    queue.enqueue_io(
         "accumulate",
         tkey::<(T, A)>(),
         KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
     )?;
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
@@ -55,10 +57,12 @@ where
     for &x in src.as_slice() {
         acc = fold(acc, map(x));
     }
-    queue.enqueue(
+    queue.enqueue_io(
         "transform_reduce",
         tkey::<(T, U, A)>(),
         KernelCost::reduce::<T>(src.len()).with_flops(2 * src.len() as u64),
+        &[src.id()],
+        &[],
     )?;
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
@@ -77,10 +81,12 @@ where
         }
     }
     let kept = out.len();
-    queue.enqueue(
+    queue.enqueue_io(
         "unique",
         tkey::<T>(),
         presets::scan::<T>(src.len()).with_write((kept * std::mem::size_of::<T>()) as u64),
+        &[src.id()],
+        &[],
     )?;
     let buf = queue
         .device()
@@ -101,10 +107,12 @@ where
             o[i] = if i == 0 { s[0] } else { s[i] - s[i - 1] };
         }
     }
-    queue.enqueue(
+    queue.enqueue_io(
         "adjacent_difference",
         tkey::<T>(),
         KernelCost::map::<T, T>(src.len()),
+        &[src.id()],
+        &[out.id()],
     )?;
     Ok(out)
 }
@@ -115,7 +123,13 @@ where
     T: DeviceCopy + PartialEq,
 {
     let n = src.as_slice().iter().filter(|&&x| x == value).count();
-    queue.enqueue("count", tkey::<T>(), KernelCost::reduce::<T>(src.len()))?;
+    queue.enqueue_io(
+        "count",
+        tkey::<T>(),
+        KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     Ok(n)
 }
 
@@ -125,10 +139,12 @@ where
     T: DeviceCopy + PartialEq,
 {
     let pos = src.as_slice().iter().position(|&x| x == value);
-    queue.enqueue(
+    queue.enqueue_io(
         "find",
         tkey::<T>(),
         KernelCost::reduce::<T>(src.len()).with_divergence(0.2),
+        &[src.id()],
+        &[],
     )?;
     Ok(pos)
 }
@@ -168,7 +184,13 @@ where
             best = i;
         }
     }
-    queue.enqueue(name, tkey::<T>(), KernelCost::reduce::<T>(src.len()))?;
+    queue.enqueue_io(
+        name,
+        tkey::<T>(),
+        KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     let dev = queue.device();
     dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
     Ok(best)
@@ -200,10 +222,12 @@ where
     }
     out.extend_from_slice(&xs[i..]);
     out.extend_from_slice(&ys[j..]);
-    queue.enqueue(
+    queue.enqueue_io(
         "merge",
         tkey::<T>(),
         KernelCost::map::<T, T>(out.len()).with_divergence(0.15),
+        &[a.id(), b.id()],
+        &[],
     )?;
     let buf = queue
         .device()

@@ -91,11 +91,31 @@ impl CommandQueue {
         type_key: &str,
         cost: gpu_sim::KernelCost,
     ) -> gpu_sim::Result<()> {
+        self.enqueue_io(name, type_key, cost, &[], &[])
+    }
+
+    /// [`CommandQueue::enqueue`] with the kernel's declared read/write
+    /// buffer sets, recorded into the trace for `gpu-lint`. Passing two
+    /// empty slices records an unknown footprint (conservative analysis);
+    /// cost accounting is identical either way.
+    pub fn enqueue_io(
+        &self,
+        name: &str,
+        type_key: &str,
+        cost: gpu_sim::KernelCost,
+        reads: &[gpu_sim::BufferId],
+        writes: &[gpu_sim::BufferId],
+    ) -> gpu_sim::Result<()> {
         let key = format!("{}::{name}<{type_key}>", crate::KERNEL_PREFIX);
         self.context.ensure_program(&key);
         let cost = cost.with_launch_overhead(self.device().spec().opencl_enqueue_latency_ns);
-        self.device()
-            .try_charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost)?;
+        let full = format!("{}::{name}", crate::KERNEL_PREFIX);
+        if reads.is_empty() && writes.is_empty() {
+            self.device().try_charge_kernel(&full, cost)?;
+        } else {
+            self.device()
+                .try_charge_kernel_io(&full, cost, reads, writes)?;
+        }
         Ok(())
     }
 
@@ -113,9 +133,9 @@ mod tests {
         let dev = Device::with_defaults();
         let ctx = Context::new(&dev);
         let q = CommandQueue::new(&ctx);
-        q.enqueue("transform", "u32", KernelCost::empty());
+        q.enqueue("transform", "u32", KernelCost::empty()).unwrap();
         assert_eq!(dev.stats().jit_compiles, 1);
-        q.enqueue("transform", "u32", KernelCost::empty());
+        q.enqueue("transform", "u32", KernelCost::empty()).unwrap();
         assert_eq!(dev.stats().jit_compiles, 1, "cache hit");
         assert_eq!(ctx.cached_programs(), 1);
     }
@@ -125,8 +145,8 @@ mod tests {
         let dev = Device::with_defaults();
         let ctx = Context::new(&dev);
         let q = CommandQueue::new(&ctx);
-        q.enqueue("transform", "u32", KernelCost::empty());
-        q.enqueue("transform", "u64", KernelCost::empty());
+        q.enqueue("transform", "u32", KernelCost::empty()).unwrap();
+        q.enqueue("transform", "u64", KernelCost::empty()).unwrap();
         assert_eq!(dev.stats().jit_compiles, 2);
     }
 
@@ -134,9 +154,13 @@ mod tests {
     fn fresh_context_has_cold_cache() {
         let dev = Device::with_defaults();
         let ctx1 = Context::new(&dev);
-        CommandQueue::new(&ctx1).enqueue("sort", "u32", KernelCost::empty());
+        CommandQueue::new(&ctx1)
+            .enqueue("sort", "u32", KernelCost::empty())
+            .unwrap();
         let ctx2 = Context::new(&dev);
-        CommandQueue::new(&ctx2).enqueue("sort", "u32", KernelCost::empty());
+        CommandQueue::new(&ctx2)
+            .enqueue("sort", "u32", KernelCost::empty())
+            .unwrap();
         assert_eq!(
             dev.stats().jit_compiles,
             2,

@@ -67,6 +67,11 @@ impl<T: DeviceCopy> Vector<T> {
         self.buf.truncate(len);
     }
 
+    /// The underlying buffer's trace identity (see [`gpu_sim::BufferId`]).
+    pub fn id(&self) -> gpu_sim::BufferId {
+        self.buf.id()
+    }
+
     /// The underlying buffer.
     pub fn buffer(&self) -> &DeviceBuffer<T> {
         &self.buf

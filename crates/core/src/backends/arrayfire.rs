@@ -23,6 +23,12 @@ pub struct ArrayFireBackend {
     slab: Slab<Array>,
 }
 
+impl std::fmt::Debug for ArrayFireBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayFireBackend").finish_non_exhaustive()
+    }
+}
+
 const NAME: &str = "ArrayFire";
 
 impl ArrayFireBackend {

@@ -26,6 +26,12 @@ pub struct BoostBackend {
     slab: Slab<Stored>,
 }
 
+impl std::fmt::Debug for BoostBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoostBackend").finish_non_exhaustive()
+    }
+}
+
 const NAME: &str = "Boost.Compute";
 
 impl BoostBackend {

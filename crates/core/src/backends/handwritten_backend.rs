@@ -22,6 +22,12 @@ pub struct HandwrittenBackend {
     slab: Slab<Stored>,
 }
 
+impl std::fmt::Debug for HandwrittenBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandwrittenBackend").finish_non_exhaustive()
+    }
+}
+
 const NAME: &str = "Handwritten";
 
 impl HandwrittenBackend {
@@ -53,6 +59,14 @@ impl HandwrittenBackend {
         self.slab.with(col.id, |s| match s {
             Stored::U32(v) => v.host().iter().map(|&x| x as f64).collect(),
             Stored::F64(v) => v.host().to_vec(),
+        })
+    }
+
+    /// Device buffer backing `col`, for declaring kernel footprints.
+    fn buf_id(&self, col: &Col) -> Result<gpu_sim::BufferId> {
+        self.slab.with(col.id, |s| match s {
+            Stored::U32(v) => v.id(),
+            Stored::F64(v) => v.id(),
         })
     }
 }
@@ -375,13 +389,15 @@ impl GpuBackend for HandwrittenBackend {
         check_col(b, NAME, ColType::F64)?;
         let mut width = 0;
         let mut cols = Vec::with_capacity(preds.len());
+        let mut pred_ids = Vec::with_capacity(preds.len());
         for p in preds {
             width += p.col.dtype().width();
             cols.push((self.values(p.col)?, p.cmp, p.lit));
+            pred_ids.push(self.buf_id(p.col)?);
         }
         self.slab.with2(a.id, b.id, |x, y| match (x, y) {
             (Stored::F64(va), Stored::F64(vb)) => {
-                hw::fused_filter_dot(&self.device, va, vb, width, |i| {
+                hw::fused_filter_dot(&self.device, va, vb, width, &pred_ids, |i| {
                     cols.iter().all(|(v, c, l)| c.eval(v[i], *l))
                 })
             }

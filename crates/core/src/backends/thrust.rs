@@ -26,6 +26,12 @@ pub struct ThrustBackend {
     slab: Slab<Stored>,
 }
 
+impl std::fmt::Debug for ThrustBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThrustBackend").finish_non_exhaustive()
+    }
+}
+
 const NAME: &str = "Thrust";
 
 impl ThrustBackend {

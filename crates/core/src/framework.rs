@@ -18,6 +18,15 @@ pub struct Framework {
     backends: Vec<Box<dyn GpuBackend>>,
 }
 
+impl std::fmt::Debug for Framework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.backends.iter().map(|b| b.name()).collect();
+        f.debug_struct("Framework")
+            .field("backends", &names)
+            .finish()
+    }
+}
+
 impl Framework {
     /// An empty framework.
     pub fn new() -> Self {

@@ -371,6 +371,16 @@ pub struct Bindings<'a> {
     len: Option<usize>,
 }
 
+impl std::fmt::Debug for Bindings<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bindings")
+            .field("backend", &self.backend.name())
+            .field("cols", &self.cols)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
 impl<'a> Bindings<'a> {
     /// Empty bindings on `backend`.
     pub fn new(backend: &'a dyn GpuBackend) -> Self {

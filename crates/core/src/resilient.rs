@@ -110,6 +110,15 @@ pub struct ResilientBackend {
     policy: RetryPolicy,
 }
 
+impl std::fmt::Debug for ResilientBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientBackend")
+            .field("inner", &self.inner.name())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
 impl ResilientBackend {
     /// Wrap `inner` with the default [`RetryPolicy`].
     pub fn new(inner: Box<dyn GpuBackend>) -> Self {
@@ -280,6 +289,7 @@ impl GpuBackend for ResilientBackend {
 /// the host. Chunks halve (down to [`min_chunk`](Self::set_min_chunk))
 /// until the operator fits; only when splitting is exhausted does the
 /// executor fall back to the next backend in the chain.
+#[derive(Debug)]
 pub struct ResilientExecutor {
     chain: Vec<ResilientBackend>,
     min_chunk: usize,

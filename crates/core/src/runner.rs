@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One measured cell: a backend × workload-point sample.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
     /// Backend that produced the sample.
     pub backend: String,

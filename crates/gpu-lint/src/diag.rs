@@ -1,0 +1,306 @@
+//! The diagnostics core: stable rule identities, severities, event
+//! spans, and rendered reports.
+//!
+//! Every pass emits [`Diagnostic`]s keyed by a [`Rule`] with a stable
+//! `GLxxx` id — ids never change meaning, so CI gates, suppressions and
+//! the hazard-injection tests can match on them across versions. Rule
+//! numbering is grouped by pass family: `GL0xx` buffer lifetimes,
+//! `GL1xx` stream ordering, `GL2xx` compiled Programs, `GL3xx`
+//! scheduler plans.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but semantically defined in the simulator (wasted
+    /// work, leaked resources at teardown).
+    Warning,
+    /// A genuine hazard: on real hardware this is undefined behaviour,
+    /// corruption, or a crash.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Every rule the analyzer knows, with a stable `GLxxx` id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// GL001 — access to a buffer after its free.
+    UseAfterFree,
+    /// GL002 — second free of an already-freed buffer.
+    DoubleFree,
+    /// GL003 — kernel reads a buffer that was never written.
+    ReadBeforeWrite,
+    /// GL004 — buffer never freed by the end of the trace.
+    LeakedBuffer,
+    /// GL005 — device→host copy of a buffer nothing ever wrote.
+    DeadDeviceToHost,
+    /// GL006 — host→device upload of a buffer nothing ever read.
+    DeadHostToDevice,
+    /// GL007 — free of a buffer the trace never saw allocated.
+    UnknownFree,
+    /// GL101 — conflicting accesses on concurrent streams without an
+    /// ordering event between them.
+    StreamRace,
+    /// GL102 — wait on an event that was never recorded.
+    WaitUnrecorded,
+    /// GL201 — program stack underflows or does not end with exactly
+    /// one value.
+    StackImbalance,
+    /// GL202 — load of a leaf slot outside the program's leaf table.
+    UnboundLeaf,
+    /// GL203 — logical operator applied to a non-boolean operand.
+    DtypeMismatch,
+    /// GL204 — leaf bound in the table but never loaded (dead
+    /// subexpression: its host→f64 conversion is pure waste).
+    DeadLeaf,
+    /// GL205 — true stack depth exceeds what the executor reserves.
+    StackDepthExceeded,
+    /// GL301 — dependency cycle in the plan graph.
+    PlanCycle,
+    /// GL302 — tasks sharing a lane without a chain edge ordering them.
+    LaneOrderViolation,
+    /// GL303 — dependency on a task id the plan does not contain.
+    OrphanDependency,
+}
+
+impl Rule {
+    /// The stable diagnostic id, e.g. `"GL001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UseAfterFree => "GL001",
+            Rule::DoubleFree => "GL002",
+            Rule::ReadBeforeWrite => "GL003",
+            Rule::LeakedBuffer => "GL004",
+            Rule::DeadDeviceToHost => "GL005",
+            Rule::DeadHostToDevice => "GL006",
+            Rule::UnknownFree => "GL007",
+            Rule::StreamRace => "GL101",
+            Rule::WaitUnrecorded => "GL102",
+            Rule::StackImbalance => "GL201",
+            Rule::UnboundLeaf => "GL202",
+            Rule::DtypeMismatch => "GL203",
+            Rule::DeadLeaf => "GL204",
+            Rule::StackDepthExceeded => "GL205",
+            Rule::PlanCycle => "GL301",
+            Rule::LaneOrderViolation => "GL302",
+            Rule::OrphanDependency => "GL303",
+        }
+    }
+
+    /// The rule's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::ReadBeforeWrite
+            | Rule::LeakedBuffer
+            | Rule::DeadDeviceToHost
+            | Rule::DeadHostToDevice
+            | Rule::DtypeMismatch
+            | Rule::DeadLeaf => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One finding: a rule, where in the analyzed artifact it anchors, and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Indices of the implicated events — trace-event indices for trace
+    /// passes, instruction indices for Program passes, task ids for plan
+    /// passes. Ordered; the first index is the anchor.
+    pub events: Vec<usize>,
+    /// What went wrong, with buffer/stream/slot identities inline.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic over `events` (kept sorted for stable output).
+    pub fn new(rule: Rule, events: Vec<usize>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            events,
+            message: message.into(),
+        }
+    }
+
+    /// The rule's severity.
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}",
+            self.severity(),
+            self.rule.id(),
+            self.message
+        )?;
+        if !self.events.is_empty() {
+            let spans: Vec<String> = self.events.iter().map(|e| format!("#{e}")).collect();
+            write!(f, " (at {})", spans.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A documented allowance: findings of `rule` on targets whose name
+/// starts with `target_prefix` are expected **by design** and removed
+/// by [`Report::waive`]. Every waiver must carry the why — the table of
+/// waivers is part of the analyzer's contract, not an escape hatch.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Target-name prefix the waiver applies to (e.g. `"E5a/"`).
+    pub target_prefix: String,
+    /// The single rule being waived.
+    pub rule: Rule,
+    /// Why the finding is intended behaviour.
+    pub reason: String,
+}
+
+impl Waiver {
+    /// Build a waiver.
+    pub fn new(target_prefix: impl Into<String>, rule: Rule, reason: impl Into<String>) -> Waiver {
+        Waiver {
+            target_prefix: target_prefix.into(),
+            rule,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// All findings for one analyzed artifact.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// What was analyzed, e.g. `"E3/Thrust"`.
+    pub target: String,
+    /// Findings in detection order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// A report over `diagnostics` for `target`.
+    pub fn new(target: impl Into<String>, diagnostics: Vec<Diagnostic>) -> Report {
+        Report {
+            target: target.into(),
+            diagnostics,
+        }
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// Whether nothing fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Drop findings covered by `waivers`; returns how many were waived.
+    pub fn waive(&mut self, waivers: &[Waiver]) -> usize {
+        let applicable: Vec<Rule> = waivers
+            .iter()
+            .filter(|w| self.target.starts_with(&w.target_prefix))
+            .map(|w| w.rule)
+            .collect();
+        let before = self.diagnostics.len();
+        self.diagnostics.retain(|d| !applicable.contains(&d.rule));
+        before - self.diagnostics.len()
+    }
+
+    /// Render the report: one headline plus one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str(&format!("{}: clean\n", self.target));
+        } else {
+            out.push_str(&format!(
+                "{}: {} error(s), {} warning(s)\n",
+                self.target,
+                self.errors(),
+                self.warnings()
+            ));
+            for d in &self.diagnostics {
+                out.push_str(&format!("  {d}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_stable_and_unique() {
+        let all = [
+            Rule::UseAfterFree,
+            Rule::DoubleFree,
+            Rule::ReadBeforeWrite,
+            Rule::LeakedBuffer,
+            Rule::DeadDeviceToHost,
+            Rule::DeadHostToDevice,
+            Rule::UnknownFree,
+            Rule::StreamRace,
+            Rule::WaitUnrecorded,
+            Rule::StackImbalance,
+            Rule::UnboundLeaf,
+            Rule::DtypeMismatch,
+            Rule::DeadLeaf,
+            Rule::StackDepthExceeded,
+            Rule::PlanCycle,
+            Rule::LaneOrderViolation,
+            Rule::OrphanDependency,
+        ];
+        let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), all.len(), "ids collide");
+        assert_eq!(Rule::UseAfterFree.id(), "GL001");
+        assert_eq!(Rule::StreamRace.id(), "GL101");
+        assert_eq!(Rule::StackImbalance.id(), "GL201");
+        assert_eq!(Rule::PlanCycle.id(), "GL301");
+    }
+
+    #[test]
+    fn report_counts_and_renders() {
+        let r = Report::new(
+            "t",
+            vec![
+                Diagnostic::new(Rule::UseAfterFree, vec![3, 7], "b1 used after free"),
+                Diagnostic::new(Rule::LeakedBuffer, vec![2], "b2 leaked"),
+            ],
+        );
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean());
+        let text = r.render();
+        assert!(text.contains("error [GL001] b1 used after free (at #3, #7)"));
+        assert!(text.contains("warning [GL004]"));
+        assert!(Report::new("x", vec![]).render().contains("clean"));
+    }
+}

@@ -1,0 +1,122 @@
+//! # gpu-lint — static hazard analysis for the simulated GPU stack
+//!
+//! A multi-pass analyzer over three artifact families the workspace
+//! produces:
+//!
+//! * **Device traces** ([`gpu_sim::TraceEvent`] streams) — the
+//!   buffer-lifetime pass ([`buffer::lint_buffers`], rules `GL0xx`) and
+//!   the stream-ordering pass ([`stream::lint_streams`], `GL1xx`).
+//! * **Compiled Programs** ([`arrayfire_sim::ProgramSpec`]) — the
+//!   stack-machine verifier ([`program::lint_program`], `GL2xx`).
+//! * **Scheduler plans** ([`plan::PlanTask`] graphs) — the plan checker
+//!   ([`plan::lint_plan`], `GL3xx`).
+//!
+//! Every pass is a pure function from artifact to [`Diagnostic`]s; the
+//! analyzer never mutates what it observes, so linting a trace can
+//! never change an experiment's measurements. [`lint_trace`] bundles
+//! both trace passes into a [`Report`]; [`annotated_timeline`] renders a
+//! trace with rule-id annotations on the implicated events.
+//!
+//! Severities are fixed per rule (see [`Rule::severity`]): errors are
+//! hazards that mean corruption or deadlock on real hardware;
+//! warnings are defined-but-wasteful (dead transfers, leaks at
+//! teardown, dead subexpressions). The CI gate fails on errors only.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod diag;
+pub mod plan;
+pub mod program;
+pub mod stream;
+
+pub use diag::{Diagnostic, Report, Rule, Severity, Waiver};
+pub use plan::PlanTask;
+
+use std::collections::BTreeMap;
+
+/// Run both trace passes (buffer lifetimes, stream ordering) over one
+/// trace window and bundle the findings for `target`.
+pub fn lint_trace(target: impl Into<String>, events: &[gpu_sim::TraceEvent]) -> Report {
+    let mut diags = buffer::lint_buffers(events);
+    diags.extend(stream::lint_streams(events));
+    Report::new(target, diags)
+}
+
+/// Verify a compiled program spec and bundle the findings.
+pub fn lint_program(target: impl Into<String>, spec: &arrayfire_sim::ProgramSpec) -> Report {
+    Report::new(target, program::lint_program(spec))
+}
+
+/// Check a plan graph and bundle the findings.
+pub fn lint_plan(target: impl Into<String>, tasks: &[PlanTask]) -> Report {
+    Report::new(target, plan::lint_plan(tasks))
+}
+
+/// Render `events` as a timeline with each diagnostic's rule id
+/// annotated on the trace events it implicates.
+pub fn annotated_timeline(events: &[gpu_sim::TraceEvent], diagnostics: &[Diagnostic]) -> String {
+    let mut notes: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for d in diagnostics {
+        for &i in &d.events {
+            if i < events.len() {
+                let tags = notes.entry(i).or_default();
+                let id = d.rule.id().to_string();
+                if !tags.contains(&id) {
+                    tags.push(id);
+                }
+            }
+        }
+    }
+    gpu_sim::render_timeline_annotated(events, &notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BufferId, TraceEvent, TraceKind};
+
+    #[test]
+    fn lint_trace_merges_both_pass_families() {
+        let t = vec![
+            TraceEvent::new(
+                0,
+                0,
+                TraceKind::Free { buf: BufferId(1) }, // GL007
+            ),
+            TraceEvent::new(
+                0,
+                0,
+                TraceKind::EventWait {
+                    stream: 0,
+                    event: 5,
+                }, // GL102
+            ),
+        ];
+        let r = lint_trace("t", &t);
+        let ids: Vec<_> = r.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert_eq!(ids, vec!["GL007", "GL102"]);
+        assert_eq!(r.errors(), 2);
+    }
+
+    #[test]
+    fn annotated_timeline_tags_implicated_events() {
+        let t = vec![
+            TraceEvent::new(
+                0,
+                10,
+                TraceKind::Alloc {
+                    bytes: 64,
+                    buf: BufferId(1),
+                    init: true,
+                },
+            ),
+            TraceEvent::new(10, 10, TraceKind::Free { buf: BufferId(1) }),
+            TraceEvent::new(10, 10, TraceKind::Free { buf: BufferId(1) }),
+        ];
+        let r = lint_trace("t", &t);
+        assert_eq!(r.errors(), 1, "{:?}", r.diagnostics);
+        let text = annotated_timeline(&t, &r.diagnostics);
+        assert!(text.contains("GL002"), "{text}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Program verifier: abstract interpretation of a compiled
+//! [`arrayfire_sim::ProgramSpec`]'s stack machine.
+//!
+//! Instead of values, the interpreter pushes abstract dtypes
+//! ([`AbstractTy`]) and tracks the producing instruction index, which
+//! lets it report *where* an imbalance or mismatch originates. Checks:
+//! stack underflow / non-singleton final stack (GL201), loads of slots
+//! outside the leaf table (GL202), logical operators over operands that
+//! are definitely numeric (GL203), leaf slots bound but never loaded —
+//! dead subexpressions whose host conversion is wasted work (GL204) —
+//! and a true maximum depth above what the executor reserves (GL205).
+//!
+//! The dtype lattice is deliberately two-point (`Bool` / `Num`): the
+//! simulator computes over `f64`, so the only mismatch that changes
+//! semantics is feeding a genuine number into `And`/`Or`/`Not`, which
+//! on real ArrayFire silently reinterprets nonzero-ness.
+
+use crate::diag::{Diagnostic, Rule};
+use arrayfire_sim::{BinaryOp, DType, InstrSpec, ProgramSpec, UnaryOp};
+
+/// The two-point abstract dtype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbstractTy {
+    /// Definitely a b8 mask (leaf declared B8, comparison or logical
+    /// result, or a cast to B8).
+    Bool,
+    /// Everything else.
+    Num,
+}
+
+fn leaf_ty(dt: DType) -> AbstractTy {
+    if dt == DType::B8 {
+        AbstractTy::Bool
+    } else {
+        AbstractTy::Num
+    }
+}
+
+fn binary_is_logical(op: BinaryOp) -> bool {
+    matches!(op, BinaryOp::And | BinaryOp::Or)
+}
+
+fn binary_result(op: BinaryOp) -> AbstractTy {
+    match op {
+        BinaryOp::And
+        | BinaryOp::Or
+        | BinaryOp::Lt
+        | BinaryOp::Le
+        | BinaryOp::Gt
+        | BinaryOp::Ge
+        | BinaryOp::Eq
+        | BinaryOp::Ne => AbstractTy::Bool,
+        _ => AbstractTy::Num,
+    }
+}
+
+/// Verify one compiled program spec.
+pub fn lint_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // (type, producing instruction index)
+    let mut stack: Vec<(AbstractTy, usize)> = Vec::new();
+    let mut max_depth = 0usize;
+    let mut loaded = vec![false; spec.leaf_dtypes.len()];
+
+    let check_logical = |diags: &mut Vec<Diagnostic>, i: usize, operand: (AbstractTy, usize)| {
+        if operand.0 == AbstractTy::Num {
+            diags.push(Diagnostic::new(
+                Rule::DtypeMismatch,
+                vec![operand.1, i],
+                format!(
+                    "logical operator at #{i} consumes a numeric value from #{}",
+                    operand.1
+                ),
+            ));
+        }
+    };
+
+    for (i, instr) in spec.instrs.iter().enumerate() {
+        let pops = instr.pops();
+        if stack.len() < pops {
+            diags.push(Diagnostic::new(
+                Rule::StackImbalance,
+                vec![i],
+                format!(
+                    "instruction #{i} pops {pops} value(s) but the stack holds {}",
+                    stack.len()
+                ),
+            ));
+            return diags; // everything after an underflow is garbage
+        }
+        match instr {
+            InstrSpec::Load { slot } => {
+                let ty = match spec.leaf_dtypes.get(*slot) {
+                    Some(&dt) => {
+                        loaded[*slot] = true;
+                        leaf_ty(dt)
+                    }
+                    None => {
+                        diags.push(Diagnostic::new(
+                            Rule::UnboundLeaf,
+                            vec![i],
+                            format!(
+                                "load of leaf slot {slot}, but the table binds only {}",
+                                spec.leaf_dtypes.len()
+                            ),
+                        ));
+                        AbstractTy::Num
+                    }
+                };
+                stack.push((ty, i));
+            }
+            InstrSpec::Unary { op } => {
+                let operand = stack.pop().expect("pops checked");
+                let ty = match op {
+                    UnaryOp::Not => {
+                        check_logical(&mut diags, i, operand);
+                        AbstractTy::Bool
+                    }
+                    UnaryOp::Neg | UnaryOp::Abs => AbstractTy::Num,
+                };
+                stack.push((ty, i));
+            }
+            InstrSpec::Binary { op } => {
+                let rhs = stack.pop().expect("pops checked");
+                let lhs = stack.pop().expect("pops checked");
+                if binary_is_logical(*op) {
+                    check_logical(&mut diags, i, lhs);
+                    check_logical(&mut diags, i, rhs);
+                }
+                stack.push((binary_result(*op), i));
+            }
+            InstrSpec::ScalarRhs { op } | InstrSpec::ScalarLhs { op } => {
+                let operand = stack.pop().expect("pops checked");
+                if binary_is_logical(*op) {
+                    check_logical(&mut diags, i, operand);
+                }
+                stack.push((binary_result(*op), i));
+            }
+            InstrSpec::Cast { dtype } => {
+                let _ = stack.pop().expect("pops checked");
+                stack.push((leaf_ty(*dtype), i));
+            }
+        }
+        max_depth = max_depth.max(stack.len());
+    }
+
+    if stack.len() != 1 {
+        let producers: Vec<usize> = stack.iter().map(|&(_, i)| i).collect();
+        diags.push(Diagnostic::new(
+            Rule::StackImbalance,
+            producers,
+            format!(
+                "program ends with {} value(s) on the stack, expected exactly 1",
+                stack.len()
+            ),
+        ));
+    }
+    if max_depth > spec.declared_stack_depth {
+        diags.push(Diagnostic::new(
+            Rule::StackDepthExceeded,
+            vec![],
+            format!(
+                "true stack depth {max_depth} exceeds the declared reserve of {}",
+                spec.declared_stack_depth
+            ),
+        ));
+    }
+    for (slot, was_loaded) in loaded.iter().enumerate() {
+        if !was_loaded {
+            diags.push(Diagnostic::new(
+                Rule::DeadLeaf,
+                vec![slot],
+                format!("leaf slot {slot} is bound but never loaded (dead subexpression)"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(instrs: Vec<InstrSpec>, leaves: Vec<DType>, depth: usize) -> ProgramSpec {
+        ProgramSpec {
+            instrs,
+            leaf_dtypes: leaves,
+            declared_stack_depth: depth,
+        }
+    }
+
+    fn rules(spec: &ProgramSpec) -> Vec<&'static str> {
+        lint_program(spec).iter().map(|d| d.rule.id()).collect()
+    }
+
+    #[test]
+    fn compiled_q6_style_program_is_clean() {
+        // (a < s) && (b >= s): the shape Q6 predicates compile to.
+        let p = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::ScalarRhs { op: BinaryOp::Lt },
+                InstrSpec::Load { slot: 1 },
+                InstrSpec::ScalarRhs { op: BinaryOp::Ge },
+                InstrSpec::Binary { op: BinaryOp::And },
+            ],
+            vec![DType::F64, DType::F64],
+            2,
+        );
+        assert!(rules(&p).is_empty(), "{:?}", lint_program(&p));
+    }
+
+    #[test]
+    fn real_compiled_programs_are_clean() {
+        use arrayfire_sim::node::Node;
+        use arrayfire_sim::{ColumnData, Program, Scalar};
+        use std::sync::Arc;
+        let dev = gpu_sim::Device::with_defaults();
+        let leaf = |id: u64, data: Vec<f64>| {
+            Arc::new(Node::Leaf(
+                id,
+                Arc::new(ColumnData::from_f64(&dev, data).unwrap()),
+            ))
+        };
+        // (a < 2.5) && (b >= 5.0), compiled by the real pipeline.
+        let tree = Node::Binary(
+            BinaryOp::And,
+            Arc::new(Node::ScalarRhs(
+                BinaryOp::Lt,
+                leaf(1, vec![1.0, 2.0, 3.0]),
+                Scalar::F64(2.5),
+            )),
+            Arc::new(Node::ScalarRhs(
+                BinaryOp::Ge,
+                leaf(2, vec![4.0, 5.0, 6.0]),
+                Scalar::F64(5.0),
+            )),
+        );
+        let prog = Program::compile(&tree);
+        assert!(lint_program(&prog.spec()).is_empty());
+    }
+
+    #[test]
+    fn underflow_is_caught_and_analysis_stops() {
+        let p = spec(
+            vec![InstrSpec::Binary { op: BinaryOp::Add }],
+            vec![DType::F64],
+            4,
+        );
+        assert_eq!(rules(&p), vec!["GL201"]);
+    }
+
+    #[test]
+    fn leftover_stack_values_are_an_imbalance() {
+        let p = spec(
+            vec![InstrSpec::Load { slot: 0 }, InstrSpec::Load { slot: 0 }],
+            vec![DType::F64],
+            4,
+        );
+        let d = lint_program(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule.id(), "GL201");
+        assert_eq!(d[0].events, vec![0, 1]);
+    }
+
+    #[test]
+    fn unbound_leaf_slot_errors() {
+        let p = spec(vec![InstrSpec::Load { slot: 3 }], vec![DType::F64], 4);
+        assert_eq!(rules(&p), vec!["GL202", "GL204"]);
+    }
+
+    #[test]
+    fn logical_over_numeric_warns_with_producer_span() {
+        let p = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Load { slot: 1 },
+                InstrSpec::Binary { op: BinaryOp::And },
+            ],
+            vec![DType::B8, DType::F64],
+            4,
+        );
+        let d = lint_program(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule.id(), "GL203");
+        assert_eq!(d[0].events, vec![1, 2]);
+    }
+
+    #[test]
+    fn not_over_numeric_warns_but_comparisons_launder() {
+        let clean = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::ScalarRhs { op: BinaryOp::Gt },
+                InstrSpec::Unary { op: UnaryOp::Not },
+            ],
+            vec![DType::F64],
+            4,
+        );
+        assert!(rules(&clean).is_empty());
+        let dirty = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Unary { op: UnaryOp::Not },
+            ],
+            vec![DType::F64],
+            4,
+        );
+        assert_eq!(rules(&dirty), vec!["GL203"]);
+    }
+
+    #[test]
+    fn dead_leaf_slot_warns() {
+        let p = spec(
+            vec![InstrSpec::Load { slot: 0 }],
+            vec![DType::F64, DType::U64],
+            4,
+        );
+        let d = lint_program(&p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule.id(), "GL204");
+        assert_eq!(d[0].events, vec![1]);
+    }
+
+    #[test]
+    fn depth_above_declared_reserve_errors() {
+        let p = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Binary { op: BinaryOp::Add },
+            ],
+            vec![DType::F64],
+            1,
+        );
+        assert_eq!(rules(&p), vec!["GL205"]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Stream-ordering pass: reconstruct the happens-before relation from a
+//! trace's stream/event records and flag conflicting buffer accesses no
+//! ordering edge separates (GL101), plus waits on events nothing ever
+//! recorded (GL102).
+//!
+//! Happens-before is the union of same-stream program order and the
+//! edges `EventRecord(s, e) → EventWait(t, e)`; it is computed with
+//! per-stream vector clocks: a stream's clock maps every other stream to
+//! the highest event index of that stream it is ordered after. An
+//! `EventRecord` snapshots the recorder's clock; an `EventWait` joins
+//! the snapshot into the waiter's clock.
+//!
+//! Only accesses with a *known* footprint participate (declared kernel
+//! io and explicit transfers); `KernelIo::Unknown` launches are skipped
+//! so partial wiring cannot fabricate races. Single-stream traces are
+//! trivially race-free and short-circuit immediately.
+
+use crate::diag::{Diagnostic, Rule};
+use gpu_sim::{BufferId, KernelIo, TraceEvent, TraceKind};
+use std::collections::HashMap;
+
+type Clock = HashMap<u64, usize>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    for (&s, &idx) in other {
+        let slot = into.entry(s).or_insert(idx);
+        *slot = (*slot).max(idx);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Access {
+    event: usize,
+    stream: u64,
+    write: bool,
+}
+
+/// Run the stream-ordering pass over one trace window.
+pub fn lint_streams(events: &[TraceEvent]) -> Vec<Diagnostic> {
+    let mut streams_seen: Option<u64> = None;
+    let mut multi = false;
+    for e in events {
+        let s = match &e.kind {
+            TraceKind::EventRecord { stream, .. } | TraceKind::EventWait { stream, .. } => *stream,
+            _ => e.stream,
+        };
+        match streams_seen {
+            None => streams_seen = Some(s),
+            Some(prev) if prev != s => {
+                multi = true;
+                break;
+            }
+            Some(_) => {}
+        }
+    }
+    let mut diags = Vec::new();
+    if !multi {
+        // One stream: program order totally orders everything. Waits on
+        // unrecorded events are still worth flagging.
+        let mut recorded: HashMap<u64, usize> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            match &e.kind {
+                TraceKind::EventRecord { event, .. } => {
+                    recorded.insert(*event, i);
+                }
+                TraceKind::EventWait { event, .. } if !recorded.contains_key(event) => {
+                    diags.push(Diagnostic::new(
+                        Rule::WaitUnrecorded,
+                        vec![i],
+                        format!("wait on event {event}, which was never recorded"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        return diags;
+    }
+
+    let mut clocks: HashMap<u64, Clock> = HashMap::new();
+    let mut snapshots: HashMap<u64, Clock> = HashMap::new();
+    // Per buffer: every known access so far (traces with real
+    // multi-stream overlap are short; exhaustive pairing keeps the pass
+    // simple and the spans exact).
+    let mut accesses: HashMap<BufferId, Vec<Access>> = HashMap::new();
+
+    let touch = |clocks: &HashMap<u64, Clock>,
+                 accesses: &mut HashMap<BufferId, Vec<Access>>,
+                 diags: &mut Vec<Diagnostic>,
+                 buf: BufferId,
+                 cur: Access| {
+        let clock = clocks.get(&cur.stream);
+        for prev in accesses.entry(buf).or_default().iter() {
+            if !(prev.write || cur.write) || prev.stream == cur.stream {
+                continue;
+            }
+            let ordered = clock
+                .and_then(|c| c.get(&prev.stream))
+                .is_some_and(|&known| known >= prev.event);
+            if !ordered {
+                diags.push(Diagnostic::new(
+                    Rule::StreamRace,
+                    vec![prev.event, cur.event],
+                    format!(
+                        "unordered conflicting accesses to {buf} on streams {} and {}",
+                        prev.stream, cur.stream
+                    ),
+                ));
+            }
+        }
+        accesses.get_mut(&buf).expect("entry above").push(cur);
+    };
+
+    for (i, e) in events.iter().enumerate() {
+        match &e.kind {
+            TraceKind::EventRecord { stream, event } => {
+                let mut snap = clocks.get(stream).cloned().unwrap_or_default();
+                snap.insert(*stream, i);
+                snapshots.insert(*event, snap);
+                clocks.entry(*stream).or_default().insert(*stream, i);
+            }
+            TraceKind::EventWait { stream, event } => match snapshots.get(event) {
+                Some(snap) => {
+                    let snap = snap.clone();
+                    let clock = clocks.entry(*stream).or_default();
+                    join(clock, &snap);
+                    clock.insert(*stream, i);
+                }
+                None => diags.push(Diagnostic::new(
+                    Rule::WaitUnrecorded,
+                    vec![i],
+                    format!("wait on event {event}, which was never recorded"),
+                )),
+            },
+            TraceKind::HtoD { buf, .. } => {
+                let a = Access {
+                    event: i,
+                    stream: e.stream,
+                    write: true,
+                };
+                touch(&clocks, &mut accesses, &mut diags, *buf, a);
+                clocks.entry(e.stream).or_default().insert(e.stream, i);
+            }
+            TraceKind::DtoH { buf, .. } => {
+                let a = Access {
+                    event: i,
+                    stream: e.stream,
+                    write: false,
+                };
+                touch(&clocks, &mut accesses, &mut diags, *buf, a);
+                clocks.entry(e.stream).or_default().insert(e.stream, i);
+            }
+            TraceKind::DtoD { src, dst, .. } => {
+                let read = Access {
+                    event: i,
+                    stream: e.stream,
+                    write: false,
+                };
+                let write = Access {
+                    write: true,
+                    ..read
+                };
+                touch(&clocks, &mut accesses, &mut diags, *src, read);
+                touch(&clocks, &mut accesses, &mut diags, *dst, write);
+                clocks.entry(e.stream).or_default().insert(e.stream, i);
+            }
+            TraceKind::Kernel { io, .. } => {
+                if let KernelIo::Known { reads, writes } = io {
+                    for r in reads {
+                        let a = Access {
+                            event: i,
+                            stream: e.stream,
+                            write: false,
+                        };
+                        touch(&clocks, &mut accesses, &mut diags, *r, a);
+                    }
+                    for w in writes {
+                        let a = Access {
+                            event: i,
+                            stream: e.stream,
+                            write: true,
+                        };
+                        touch(&clocks, &mut accesses, &mut diags, *w, a);
+                    }
+                }
+                clocks.entry(e.stream).or_default().insert(e.stream, i);
+            }
+            _ => {
+                clocks.entry(e.stream).or_default().insert(e.stream, i);
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on(stream: u64, kind: TraceKind) -> TraceEvent {
+        let mut e = TraceEvent::new(0, 0, kind);
+        e.stream = stream;
+        e
+    }
+
+    fn write_kernel(stream: u64, buf: u64) -> TraceEvent {
+        on(
+            stream,
+            TraceKind::Kernel {
+                name: "k".into(),
+                io: KernelIo::known(&[], &[BufferId(buf)]),
+            },
+        )
+    }
+
+    fn read_kernel(stream: u64, buf: u64) -> TraceEvent {
+        on(
+            stream,
+            TraceKind::Kernel {
+                name: "k".into(),
+                io: KernelIo::known(&[BufferId(buf)], &[]),
+            },
+        )
+    }
+
+    #[test]
+    fn single_stream_trace_short_circuits_clean() {
+        let t = vec![write_kernel(0, 1), read_kernel(0, 1), write_kernel(0, 1)];
+        assert!(lint_streams(&t).is_empty());
+    }
+
+    #[test]
+    fn unordered_cross_stream_conflict_races() {
+        let t = vec![write_kernel(0, 1), read_kernel(1, 1)];
+        let d = lint_streams(&t);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule.id(), "GL101");
+        assert_eq!(d[0].events, vec![0, 1]);
+    }
+
+    #[test]
+    fn record_wait_edge_orders_streams() {
+        let t = vec![
+            write_kernel(0, 1),
+            on(
+                0,
+                TraceKind::EventRecord {
+                    stream: 0,
+                    event: 7,
+                },
+            ),
+            on(
+                1,
+                TraceKind::EventWait {
+                    stream: 1,
+                    event: 7,
+                },
+            ),
+            read_kernel(1, 1),
+        ];
+        assert!(lint_streams(&t).is_empty());
+    }
+
+    #[test]
+    fn ordering_is_transitive_through_streams() {
+        let t = vec![
+            write_kernel(0, 1),
+            on(
+                0,
+                TraceKind::EventRecord {
+                    stream: 0,
+                    event: 1,
+                },
+            ),
+            on(
+                1,
+                TraceKind::EventWait {
+                    stream: 1,
+                    event: 1,
+                },
+            ),
+            on(
+                1,
+                TraceKind::EventRecord {
+                    stream: 1,
+                    event: 2,
+                },
+            ),
+            on(
+                2,
+                TraceKind::EventWait {
+                    stream: 2,
+                    event: 2,
+                },
+            ),
+            write_kernel(2, 1),
+        ];
+        assert!(lint_streams(&t).is_empty());
+    }
+
+    #[test]
+    fn reads_on_two_streams_do_not_race() {
+        let t = vec![read_kernel(0, 1), read_kernel(1, 1)];
+        assert!(lint_streams(&t).is_empty());
+    }
+
+    #[test]
+    fn unknown_io_kernels_never_race() {
+        let unknown = |s: u64| {
+            on(
+                s,
+                TraceKind::Kernel {
+                    name: "k".into(),
+                    io: KernelIo::Unknown,
+                },
+            )
+        };
+        let t = vec![unknown(0), unknown(1), write_kernel(0, 1)];
+        assert!(lint_streams(&t).is_empty());
+    }
+
+    #[test]
+    fn wait_on_unrecorded_event_errors_even_single_stream() {
+        let t = vec![on(
+            0,
+            TraceKind::EventWait {
+                stream: 0,
+                event: 3,
+            },
+        )];
+        let d = lint_streams(&t);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule.id(), "GL102");
+    }
+
+    #[test]
+    fn wait_before_record_is_unordered() {
+        // The wait precedes the record in issue order: no edge, races.
+        let t = vec![
+            write_kernel(0, 1),
+            on(
+                1,
+                TraceKind::EventWait {
+                    stream: 1,
+                    event: 7,
+                },
+            ),
+            on(
+                0,
+                TraceKind::EventRecord {
+                    stream: 0,
+                    event: 7,
+                },
+            ),
+            read_kernel(1, 1),
+        ];
+        let rules: Vec<_> = lint_streams(&t).iter().map(|d| d.rule.id()).collect();
+        assert_eq!(rules, vec!["GL102", "GL101"]);
+    }
+}

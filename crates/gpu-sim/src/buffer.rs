@@ -9,6 +9,7 @@
 
 use crate::device::Device;
 use crate::pool::AllocPolicy;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Marker for element types that may live in device memory.
@@ -18,6 +19,25 @@ use std::sync::Arc;
 pub trait DeviceCopy: Copy + Send + Sync + 'static {}
 impl<T: Copy + Send + Sync + 'static> DeviceCopy for T {}
 
+/// Identity of a device buffer, unique per device for the device's
+/// lifetime (ids are never reused, so a trace can tell a use-after-free
+/// from a fresh allocation that recycled the same memory).
+///
+/// This is the currency of the trace IR: allocation, free and transfer
+/// events name the buffers they touch by id, and io-aware kernel
+/// launches declare their read/write sets as id lists (see
+/// [`crate::trace::KernelIo`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct BufferId(pub u64);
+
+impl std::fmt::Display for BufferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
 /// A typed allocation in simulated device global memory.
 #[derive(Debug)]
 pub struct DeviceBuffer<T: DeviceCopy> {
@@ -26,6 +46,7 @@ pub struct DeviceBuffer<T: DeviceCopy> {
     policy: AllocPolicy,
     /// Bytes charged against device memory (size-class rounded).
     alloc_bytes: u64,
+    id: BufferId,
 }
 
 impl<T: DeviceCopy> DeviceBuffer<T> {
@@ -34,13 +55,21 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
         device: Arc<Device>,
         policy: AllocPolicy,
         alloc_bytes: u64,
+        id: BufferId,
     ) -> Self {
         DeviceBuffer {
             data,
             device,
             policy,
             alloc_bytes,
+            id,
         }
+    }
+
+    /// This buffer's device-unique identity (what trace events and
+    /// kernel read/write sets refer to).
+    pub fn id(&self) -> BufferId {
+        self.id
     }
 
     /// Number of elements.
@@ -104,7 +133,8 @@ impl<T: DeviceCopy> Drop for DeviceBuffer<T> {
         // Recycle the host storage: faulting fresh pages for the next
         // buffer is far more expensive than reusing these warm ones.
         crate::hostmem::put_vec(std::mem::take(&mut self.data));
-        self.device.on_buffer_free(self.alloc_bytes, self.policy);
+        self.device
+            .on_buffer_free(self.id, self.alloc_bytes, self.policy);
     }
 }
 

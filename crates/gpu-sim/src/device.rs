@@ -6,7 +6,7 @@
 //! single in-order timeline, which matches how the paper benchmarks each
 //! library (one stream, synchronous timing around each operator).
 
-use crate::buffer::{DeviceBuffer, DeviceCopy};
+use crate::buffer::{BufferId, DeviceBuffer, DeviceCopy};
 use crate::clock::{SimDuration, SimTime, VirtualClock};
 use crate::cost::KernelCost;
 use crate::error::{Result, SimError};
@@ -14,11 +14,14 @@ use crate::fault::{fault_error, FaultPlan, FaultSite, FaultState};
 use crate::pool::{rounded_size, AllocPolicy, MemoryPool, PoolStats};
 use crate::spec::DeviceSpec;
 use crate::stats::DeviceStats;
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::{KernelIo, TraceEvent, TraceKind};
 use crate::transfer::{transfer_time, Direction};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The id of the default stream all device-level operations issue on.
+pub const DEFAULT_STREAM: u64 = 0;
 
 /// A simulated GPU.
 #[derive(Debug)]
@@ -26,6 +29,13 @@ pub struct Device {
     spec: DeviceSpec,
     clock: VirtualClock,
     tracing: AtomicBool,
+    /// Next [`BufferId`]; ids start at 1 and are never reused.
+    next_buffer: AtomicU64,
+    /// Next `Stream` id; 0 is the default stream, explicit streams
+    /// start at 1.
+    next_stream: AtomicU64,
+    /// Next `Event` id.
+    next_event: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -35,6 +45,9 @@ struct Inner {
     pool: MemoryPool,
     trace: Vec<TraceEvent>,
     faults: Option<FaultState>,
+    /// Number of live `DeviceBuffer`s — the teardown self-check
+    /// (`Device::drop`) asserts this is zero in debug builds.
+    live_buffers: u64,
 }
 
 impl Device {
@@ -44,6 +57,9 @@ impl Device {
             spec,
             clock: VirtualClock::new(),
             tracing: AtomicBool::new(false),
+            next_buffer: AtomicU64::new(1),
+            next_stream: AtomicU64::new(1),
+            next_event: AtomicU64::new(1),
             inner: Mutex::new(Inner::default()),
         })
     }
@@ -180,12 +196,14 @@ impl Device {
         policy: AllocPolicy,
     ) -> Result<DeviceBuffer<T>> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
-        self.account_alloc(bytes, policy)?;
+        let id = self.mint_buffer_id();
+        self.account_alloc(bytes, policy, id, false)?;
         Ok(DeviceBuffer::from_parts(
             crate::hostmem::take_zeroed(len),
             Arc::clone(self),
             policy,
             rounded_size(bytes),
+            id,
         ))
     }
 
@@ -198,13 +216,29 @@ impl Device {
         policy: AllocPolicy,
     ) -> Result<DeviceBuffer<T>> {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        self.account_alloc(bytes, policy)?;
+        let id = self.mint_buffer_id();
+        // Born initialised: the buffer carries its host contents from the
+        // start (uploads and materialised kernel outputs come this way).
+        self.account_alloc(bytes, policy, id, true)?;
         Ok(DeviceBuffer::from_parts(
             data,
             Arc::clone(self),
             policy,
             rounded_size(bytes),
+            id,
         ))
+    }
+
+    fn mint_buffer_id(&self) -> BufferId {
+        BufferId(self.next_buffer.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn mint_stream_id(&self) -> u64 {
+        self.next_stream.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn mint_event_id(&self) -> u64 {
+        self.next_event.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Allocate a buffer whose element `i` is `f(i)` — the write-only
@@ -223,15 +257,34 @@ impl Device {
         self.buffer_from_vec(data, policy)
     }
 
-    fn account_alloc(&self, bytes: u64, policy: AllocPolicy) -> Result<()> {
+    fn account_alloc(
+        &self,
+        bytes: u64,
+        policy: AllocPolicy,
+        id: BufferId,
+        init: bool,
+    ) -> Result<()> {
         let rounded = rounded_size(bytes);
         let mut inner = self.inner.lock();
         // Pool hits reuse already-reserved memory; misses must fit.
         let hit = policy == AllocPolicy::Pooled && inner.pool.try_acquire(rounded);
         if hit {
             inner.stats.pool_hits += 1;
+            inner.live_buffers += 1;
             // Cached bytes were already counted in mem_in_use.
+            drop(inner);
+            let start = self.now();
             self.clock.advance(SimDuration::from_nanos(500));
+            // Meta event: hidden from timelines, but gives the lint passes
+            // a birth record for pool-served buffers.
+            self.record(
+                start,
+                TraceKind::PoolAlloc {
+                    bytes: rounded,
+                    buf: id,
+                    init,
+                },
+            );
             return Ok(());
         }
         // Pool misses go to the driver, which is where injected memory
@@ -262,16 +315,25 @@ impl Device {
         inner.stats.allocs += 1;
         inner.stats.mem_in_use += rounded;
         inner.stats.mem_peak = inner.stats.mem_peak.max(inner.stats.mem_in_use);
+        inner.live_buffers += 1;
         drop(inner);
         let start = self.now();
         self.clock
             .advance(SimDuration::from_nanos(self.spec.malloc_latency_ns));
-        self.record(start, TraceKind::Alloc(rounded));
+        self.record(
+            start,
+            TraceKind::Alloc {
+                bytes: rounded,
+                buf: id,
+                init,
+            },
+        );
         Ok(())
     }
 
-    pub(crate) fn on_buffer_free(&self, alloc_bytes: u64, policy: AllocPolicy) {
+    pub(crate) fn on_buffer_free(&self, id: BufferId, alloc_bytes: u64, policy: AllocPolicy) {
         let mut inner = self.inner.lock();
+        inner.live_buffers = inner.live_buffers.saturating_sub(1);
         match policy {
             AllocPolicy::Pooled => {
                 // Memory stays reserved in the cache: mem_in_use unchanged.
@@ -283,6 +345,17 @@ impl Device {
                     .advance(SimDuration::from_nanos(self.spec.free_latency_ns));
             }
         }
+        drop(inner);
+        // Meta event: the end of the buffer's lifetime for the lifetime
+        // pass. Zero-width (frees charge no device time beyond the Raw
+        // latency above, which predates the event).
+        let start = self.now();
+        self.record(start, TraceKind::Free { buf: id });
+    }
+
+    /// Number of currently live [`DeviceBuffer`]s on this device.
+    pub fn live_buffers(&self) -> u64 {
+        self.inner.lock().live_buffers
     }
 
     // ----------------------------------------------------------------
@@ -312,7 +385,13 @@ impl Device {
         }
         let start = self.now();
         self.clock.advance(t);
-        self.record(start, TraceKind::HtoD(bytes));
+        self.record(
+            start,
+            TraceKind::HtoD {
+                bytes,
+                buf: buf.id(),
+            },
+        );
         Ok(buf)
     }
 
@@ -328,7 +407,13 @@ impl Device {
         }
         let start = self.now();
         self.clock.advance(t);
-        self.record(start, TraceKind::DtoH(bytes));
+        self.record(
+            start,
+            TraceKind::DtoH {
+                bytes,
+                buf: buf.id(),
+            },
+        );
         Ok(buf.host().to_vec())
     }
 
@@ -346,7 +431,14 @@ impl Device {
         }
         let start = self.now();
         self.clock.advance(t);
-        self.record(start, TraceKind::DtoD(bytes));
+        self.record(
+            start,
+            TraceKind::DtoD {
+                bytes,
+                src: src.id(),
+                dst: buf.id(),
+            },
+        );
         Ok(buf)
     }
 
@@ -361,6 +453,29 @@ impl Device {
     ///
     /// Returns the simulated duration of the launch.
     pub fn charge_kernel(&self, name: &str, cost: KernelCost) -> SimDuration {
+        self.charge_kernel_traced(DEFAULT_STREAM, name, cost, KernelIo::Unknown)
+    }
+
+    /// [`Device::charge_kernel`] with a declared read/write buffer set, so
+    /// the trace carries data-flow information the lint passes can use.
+    /// Identical cost accounting; the io sets are observation-only.
+    pub fn charge_kernel_io(
+        &self,
+        name: &str,
+        cost: KernelCost,
+        reads: &[BufferId],
+        writes: &[BufferId],
+    ) -> SimDuration {
+        self.charge_kernel_traced(DEFAULT_STREAM, name, cost, KernelIo::known(reads, writes))
+    }
+
+    pub(crate) fn charge_kernel_traced(
+        &self,
+        stream: u64,
+        name: &str,
+        cost: KernelCost,
+        io: KernelIo,
+    ) -> SimDuration {
         let d = cost.duration(&self.spec);
         {
             let mut inner = self.inner.lock();
@@ -372,7 +487,14 @@ impl Device {
         }
         let start = self.now();
         self.clock.advance(d);
-        self.record(start, TraceKind::Kernel(name.to_string()));
+        self.record_on(
+            stream,
+            start,
+            TraceKind::Kernel {
+                name: name.to_string(),
+                io,
+            },
+        );
         d
     }
 
@@ -385,6 +507,24 @@ impl Device {
     pub fn try_charge_kernel(&self, name: &str, cost: KernelCost) -> Result<SimDuration> {
         self.maybe_inject(FaultSite::Kernel, name, 0)?;
         Ok(self.charge_kernel(name, cost))
+    }
+
+    /// Draw a kernel-site fault decision for `name` without charging a
+    /// launch — the stream-level fallible launch path uses this.
+    pub(crate) fn try_kernel_fault(&self, name: &str) -> Result<()> {
+        self.maybe_inject(FaultSite::Kernel, name, 0)
+    }
+
+    /// Fallible variant of [`Device::charge_kernel_io`].
+    pub fn try_charge_kernel_io(
+        &self,
+        name: &str,
+        cost: KernelCost,
+        reads: &[BufferId],
+        writes: &[BufferId],
+    ) -> Result<SimDuration> {
+        self.maybe_inject(FaultSite::Kernel, name, 0)?;
+        Ok(self.charge_kernel_io(name, cost, reads, writes))
     }
 
     /// Account a JIT compilation taking `ns` nanoseconds (OpenCL program
@@ -434,13 +574,18 @@ impl Device {
     }
 
     fn record(&self, start: crate::clock::SimTime, kind: TraceKind) {
+        self.record_on(DEFAULT_STREAM, start, kind);
+    }
+
+    pub(crate) fn record_on(&self, stream: u64, start: crate::clock::SimTime, kind: TraceKind) {
         if self.tracing.load(Ordering::SeqCst) {
             let end = self.now();
-            self.inner.lock().trace.push(TraceEvent {
-                start: start.into(),
-                end: end.into(),
+            self.inner.lock().trace.push(TraceEvent::on_stream(
+                start.as_nanos(),
+                end.as_nanos(),
                 kind,
-            });
+                stream,
+            ));
         }
     }
 
@@ -452,6 +597,20 @@ impl Device {
     /// Device memory currently reserved (live buffers + pool cache).
     pub fn mem_in_use(&self) -> u64 {
         self.inner.lock().stats.mem_in_use
+    }
+}
+
+impl Drop for Device {
+    fn drop(&mut self) {
+        // Teardown self-check (debug builds): every DeviceBuffer holds an
+        // Arc<Device>, so by the time the device itself drops they must
+        // all be gone. A nonzero count means a buffer was leaked via
+        // mem::forget or a reference cycle — the static-analysis
+        // counterpart is gpu-lint's GL004 leak rule.
+        if !std::thread::panicking() {
+            let live = self.inner.get_mut().live_buffers;
+            debug_assert_eq!(live, 0, "device dropped with {live} live buffer(s)");
+        }
     }
 }
 

@@ -161,6 +161,7 @@ fn push_block(idx: usize, block: *mut u8) -> bool {
 /// Global allocator that recycles large blocks through per-size free
 /// lists. Installed by the `gpu-sim` crate for every binary that links
 /// it; see the module docs for the rationale.
+#[derive(Debug)]
 pub struct RecyclingAlloc;
 
 // SAFETY: delegates to `System` for everything it does not cache; cached
@@ -176,10 +177,15 @@ unsafe impl GlobalAlloc for RecyclingAlloc {
                     cached
                 } else {
                     MISSES.fetch_add(1, Ordering::Relaxed);
-                    System.alloc(bucket_layout(idx))
+                    // SAFETY: bucket_layout(idx) has nonzero power-of-two
+                    // size covering layout.size() and align 16 >=
+                    // layout.align() (bucket_index rejects larger aligns).
+                    unsafe { System.alloc(bucket_layout(idx)) }
                 }
             }
-            None => System.alloc(layout),
+            // SAFETY: caller upholds GlobalAlloc::alloc's contract
+            // (nonzero size); the layout is forwarded untouched.
+            None => unsafe { System.alloc(layout) },
         }
     }
 
@@ -188,10 +194,16 @@ unsafe impl GlobalAlloc for RecyclingAlloc {
             Some(idx) => {
                 if !push_block(idx, ptr) {
                     EVICTIONS.fetch_add(1, Ordering::Relaxed);
-                    System.dealloc(ptr, bucket_layout(idx));
+                    // SAFETY: every block of this class was allocated with
+                    // bucket_layout(idx) (see alloc/alloc_zeroed), so
+                    // freeing with the same layout is correct.
+                    unsafe { System.dealloc(ptr, bucket_layout(idx)) };
                 }
             }
-            None => System.dealloc(ptr, layout),
+            // SAFETY: non-recyclable blocks were forwarded to System with
+            // this exact layout in alloc; the caller guarantees ptr came
+            // from this allocator with this layout.
+            None => unsafe { System.dealloc(ptr, layout) },
         }
     }
 
@@ -201,14 +213,21 @@ unsafe impl GlobalAlloc for RecyclingAlloc {
                 let cached = pop_block(idx);
                 if !cached.is_null() {
                     HITS.fetch_add(1, Ordering::Relaxed);
-                    ptr::write_bytes(cached, 0, layout.size());
+                    // SAFETY: cached is a live block of bucket_size(idx)
+                    // >= layout.size() bytes owned by the free list, so
+                    // zeroing layout.size() bytes stays in bounds.
+                    unsafe { ptr::write_bytes(cached, 0, layout.size()) };
                     cached
                 } else {
                     MISSES.fetch_add(1, Ordering::Relaxed);
-                    System.alloc_zeroed(bucket_layout(idx))
+                    // SAFETY: as in alloc — the bucket layout covers the
+                    // requested layout's size and alignment.
+                    unsafe { System.alloc_zeroed(bucket_layout(idx)) }
                 }
             }
-            None => System.alloc_zeroed(layout),
+            // SAFETY: caller upholds GlobalAlloc::alloc_zeroed's contract;
+            // the layout is forwarded untouched.
+            None => unsafe { System.alloc_zeroed(layout) },
         }
     }
 
@@ -220,15 +239,28 @@ unsafe impl GlobalAlloc for RecyclingAlloc {
             (Some(a), Some(b)) if a == b => p,
             // Class change (or crossing the recycle threshold): move.
             (Some(_), _) | (_, Some(_)) => {
-                let new_layout = Layout::from_size_align_unchecked(new_size, layout.align());
-                let dst = self.alloc(new_layout);
+                // SAFETY: layout.align() came from a valid Layout and
+                // new_size is the caller-requested size, which the
+                // GlobalAlloc contract requires to round up validly.
+                let new_layout =
+                    unsafe { Layout::from_size_align_unchecked(new_size, layout.align()) };
+                // SAFETY: new_layout is valid per above; alloc's own
+                // contract requirements are met by the caller's.
+                let dst = unsafe { self.alloc(new_layout) };
                 if !dst.is_null() {
-                    ptr::copy_nonoverlapping(p, dst, layout.size().min(new_size));
-                    self.dealloc(p, layout);
+                    // SAFETY: p is live with layout.size() readable bytes,
+                    // dst was just allocated with >= min(old, new) bytes,
+                    // and the two blocks are distinct allocations.
+                    unsafe { ptr::copy_nonoverlapping(p, dst, layout.size().min(new_size)) };
+                    // SAFETY: p was allocated by this allocator with
+                    // `layout` (caller contract) and is no longer used.
+                    unsafe { self.dealloc(p, layout) };
                 }
                 dst
             }
-            (None, None) => System.realloc(p, layout, new_size),
+            // SAFETY: non-recyclable in both classes means the block was
+            // forwarded to System originally; forwarding realloc is sound.
+            (None, None) => unsafe { System.realloc(p, layout, new_size) },
         }
     }
 }

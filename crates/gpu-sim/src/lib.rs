@@ -71,10 +71,10 @@ pub mod stream;
 pub mod trace;
 pub mod transfer;
 
-pub use buffer::{DeviceBuffer, DeviceCopy};
+pub use buffer::{BufferId, DeviceBuffer, DeviceCopy};
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::{AccessPattern, KernelCost};
-pub use device::Device;
+pub use device::{Device, DEFAULT_STREAM};
 pub use error::{Result, SimError};
 pub use fault::{FaultPlan, FaultSite};
 pub use hostexec::{
@@ -85,4 +85,6 @@ pub use pool::PoolStats;
 pub use spec::DeviceSpec;
 pub use stats::{DeviceStats, KernelStat};
 pub use stream::{Event, Stream};
-pub use trace::{render_timeline, TraceEvent, TraceKind};
+pub use trace::{
+    busy_time, render_timeline, render_timeline_annotated, KernelIo, TraceEvent, TraceKind,
+};

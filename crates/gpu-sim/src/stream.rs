@@ -1,35 +1,63 @@
-//! Streams and events — CUDA-style timing scaffolding.
+//! Streams and events — CUDA-style timing and ordering scaffolding.
 //!
 //! The paper times operators with event pairs around each library call.
 //! The simulator exposes the same idiom: a [`Stream`] is an in-order handle
 //! on the device timeline; an [`Event`] records the virtual instant at
 //! which it was enqueued. `elapsed` between two events is exact (the clock
 //! is deterministic), so benchmark numbers carry no measurement noise.
+//!
+//! Streams and events also carry *identities* that feed the trace IR:
+//! every `record`/`wait_event` call emits a meta trace event
+//! ([`crate::trace::TraceKind::EventRecord`] / `EventWait`), and
+//! stream-level launches tag their kernel events with the stream id. The
+//! `gpu-lint` stream-race pass reconstructs the happens-before relation
+//! from exactly these records. Device work remains serialised on one
+//! timeline — streams do not add simulated concurrency, only the ordering
+//! metadata a real multi-queue device would have.
 
+use crate::buffer::BufferId;
 use crate::clock::{SimDuration, SimTime};
-use crate::device::Device;
+use crate::cost::KernelCost;
+use crate::device::{Device, DEFAULT_STREAM};
+use crate::error::Result;
+use crate::trace::{KernelIo, TraceKind};
 use std::sync::Arc;
 
 /// An in-order command stream on a device.
 ///
 /// The simulator serialises all device work on one timeline, so streams do
-/// not add concurrency; they provide the event/timing API and a natural
-/// place to hang future extensions (async transfers, multi-queue models).
+/// not add concurrency; they provide the event/timing API, tag trace
+/// events with their id, and give the race detector a dependency graph to
+/// check.
 #[derive(Debug, Clone)]
 pub struct Stream {
     device: Arc<Device>,
+    id: u64,
 }
 
 /// A recorded point on the device timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     at: SimTime,
+    id: u64,
+    stream: u64,
 }
 
 impl Stream {
-    /// Create a stream on `device`.
+    /// The device's default stream (id 0) — what all device-level
+    /// operations implicitly issue on.
     pub fn new(device: Arc<Device>) -> Self {
-        Stream { device }
+        Stream {
+            device,
+            id: DEFAULT_STREAM,
+        }
+    }
+
+    /// Create an explicit stream with a fresh device-unique id (ids start
+    /// at 1; 0 is the default stream).
+    pub fn create(device: Arc<Device>) -> Self {
+        let id = device.mint_stream_id();
+        Stream { device, id }
     }
 
     /// The device this stream issues to.
@@ -37,11 +65,78 @@ impl Stream {
         &self.device
     }
 
-    /// Record an event at the current virtual instant.
+    /// This stream's device-unique id (0 for the default stream).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Record an event at the current virtual instant. Emits a meta
+    /// `EventRecord` trace event (no simulated-time charge).
     pub fn record(&self) -> Event {
+        let id = self.device.mint_event_id();
+        let start = self.device.now();
+        self.device.record_on(
+            self.id,
+            start,
+            TraceKind::EventRecord {
+                stream: self.id,
+                event: id,
+            },
+        );
         Event {
-            at: self.device.now(),
+            at: start,
+            id,
+            stream: self.id,
         }
+    }
+
+    /// Make subsequent work on this stream wait for `event`. Device work
+    /// is synchronous in the simulator so no time is charged, but the
+    /// dependency edge is traced (meta `EventWait`) — it is what the
+    /// stream-race pass uses to order work across streams.
+    pub fn wait_event(&self, event: &Event) {
+        let start = self.device.now();
+        self.device.record_on(
+            self.id,
+            start,
+            TraceKind::EventWait {
+                stream: self.id,
+                event: event.id,
+            },
+        );
+    }
+
+    /// Launch a kernel on this stream (cost accounting identical to
+    /// [`Device::charge_kernel`]; the trace event carries this stream's
+    /// id and an unknown io set).
+    pub fn launch(&self, name: &str, cost: KernelCost) -> SimDuration {
+        self.device
+            .charge_kernel_traced(self.id, name, cost, KernelIo::Unknown)
+    }
+
+    /// [`Stream::launch`] with a declared read/write buffer set.
+    pub fn launch_io(
+        &self,
+        name: &str,
+        cost: KernelCost,
+        reads: &[BufferId],
+        writes: &[BufferId],
+    ) -> SimDuration {
+        self.device
+            .charge_kernel_traced(self.id, name, cost, KernelIo::known(reads, writes))
+    }
+
+    /// Fallible [`Stream::launch_io`] drawing a kernel-site fault decision
+    /// first, mirroring [`Device::try_charge_kernel_io`].
+    pub fn try_launch_io(
+        &self,
+        name: &str,
+        cost: KernelCost,
+        reads: &[BufferId],
+        writes: &[BufferId],
+    ) -> Result<SimDuration> {
+        self.device.try_kernel_fault(name)?;
+        Ok(self.launch_io(name, cost, reads, writes))
     }
 
     /// Block until all enqueued work completes. Device work is synchronous
@@ -61,6 +156,16 @@ impl Event {
     /// The virtual instant of this event.
     pub fn at(&self) -> SimTime {
         self.at
+    }
+
+    /// This event's device-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the stream this event was recorded on.
+    pub fn stream(&self) -> u64 {
+        self.stream
     }
 
     /// Simulated time elapsed since `earlier` (saturating).
@@ -107,5 +212,36 @@ mod tests {
         let b = s.record();
         assert!(b.at() > a.at());
         assert_eq!(a.elapsed_since(b), SimDuration::ZERO, "saturates");
+    }
+
+    #[test]
+    fn explicit_streams_get_fresh_ids_and_trace_ordering_metadata() {
+        let dev = Device::with_defaults();
+        let s1 = Stream::create(Arc::clone(&dev));
+        let s2 = Stream::create(Arc::clone(&dev));
+        assert_ne!(s1.id(), 0);
+        assert_ne!(s1.id(), s2.id());
+
+        dev.set_tracing(true);
+        let t0 = dev.now();
+        let e = s1.record();
+        s2.wait_event(&e);
+        assert_eq!(dev.now(), t0, "record/wait charge no simulated time");
+        assert_eq!(e.stream(), s1.id());
+
+        s2.launch("k2", KernelCost::empty());
+        let trace = dev.take_trace();
+        assert!(matches!(
+            trace[0].kind,
+            TraceKind::EventRecord { stream, event } if stream == s1.id() && event == e.id()
+        ));
+        assert!(matches!(
+            trace[1].kind,
+            TraceKind::EventWait { stream, event } if stream == s2.id() && event == e.id()
+        ));
+        assert!(
+            matches!(&trace[2].kind, TraceKind::Kernel { name, .. } if name == "k2")
+                && trace[2].stream == s2.id()
+        );
     }
 }

@@ -1,30 +1,142 @@
 //! Execution tracing — an ordered event log of everything the device did.
 //!
 //! Statistics (`stats.rs`) aggregate; traces *sequence*. With tracing
-//! enabled, every kernel, transfer, JIT compilation and allocation is
-//! recorded with its virtual start/end instants, so an operator or query
-//! can be rendered as a timeline — which makes the difference between a
-//! 1-kernel fused plan and a 4-kernel library chain *visible*, not just
-//! countable. Disabled by default (zero overhead beyond a branch).
+//! enabled, every kernel, transfer, JIT compilation, allocation and free
+//! is recorded with its virtual start/end instants, so an operator or
+//! query can be rendered as a timeline — which makes the difference
+//! between a 1-kernel fused plan and a 4-kernel library chain *visible*,
+//! not just countable. Disabled by default (zero overhead beyond a
+//! branch).
+//!
+//! The trace doubles as the input IR of the `gpu-lint` static analyzer:
+//! events carry the identities of the buffers they touch
+//! ([`crate::buffer::BufferId`]), kernels declare their read/write sets
+//! ([`KernelIo`]) where the launching library knows them, and
+//! stream/event bookkeeping ([`TraceKind::EventRecord`],
+//! [`TraceKind::EventWait`]) lets a checker reconstruct the
+//! happens-before order between streams. All of that is observation-only
+//! metadata: recording it never advances the simulated clock, so enabling
+//! tracing cannot change any measured number.
 
+use crate::buffer::BufferId;
 use crate::clock::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The buffers a kernel launch touches, as declared by the launching
+/// library.
+///
+/// The legacy launch paths ([`crate::Device::charge_kernel`]) record
+/// [`KernelIo::Unknown`]; analysis passes must treat such launches
+/// conservatively (they may read and write every live buffer). The
+/// io-aware paths ([`crate::Device::charge_kernel_io`]) record the exact
+/// sets, which is what makes read-before-write, dead-transfer and
+/// stream-race analysis possible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelIo {
+    /// The launch site did not declare its footprint.
+    Unknown,
+    /// Declared read and write sets (a buffer may appear in both).
+    Known {
+        /// Buffers the kernel reads.
+        reads: Vec<BufferId>,
+        /// Buffers the kernel writes.
+        writes: Vec<BufferId>,
+    },
+}
+
+impl KernelIo {
+    /// Build a [`KernelIo::Known`] from id slices.
+    pub fn known(reads: &[BufferId], writes: &[BufferId]) -> KernelIo {
+        KernelIo::Known {
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+        }
+    }
+}
 
 /// What a trace event was.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceKind {
-    /// A kernel launch (name as recorded in statistics).
-    Kernel(String),
-    /// A host→device transfer of `n` bytes.
-    HtoD(u64),
-    /// A device→host transfer of `n` bytes.
-    DtoH(u64),
-    /// A device→device copy of `n` bytes.
-    DtoD(u64),
+    /// A kernel launch (name as recorded in statistics) with its declared
+    /// buffer footprint.
+    Kernel {
+        /// Kernel name as recorded in statistics.
+        name: String,
+        /// Declared read/write buffer sets.
+        io: KernelIo,
+    },
+    /// A host→device transfer of `bytes` into buffer `buf`.
+    HtoD {
+        /// Payload size.
+        bytes: u64,
+        /// Destination buffer.
+        buf: BufferId,
+    },
+    /// A device→host transfer of `bytes` out of buffer `buf`.
+    DtoH {
+        /// Payload size.
+        bytes: u64,
+        /// Source buffer.
+        buf: BufferId,
+    },
+    /// A device→device copy of `bytes` from `src` into `dst`.
+    DtoD {
+        /// Payload size.
+        bytes: u64,
+        /// Source buffer.
+        src: BufferId,
+        /// Destination buffer.
+        dst: BufferId,
+    },
     /// A JIT compilation.
     Jit(String),
-    /// A driver allocation of `n` bytes.
-    Alloc(u64),
+    /// A driver allocation of `bytes` (size-class rounded) for buffer
+    /// `buf`.
+    Alloc {
+        /// Reserved bytes.
+        bytes: u64,
+        /// The buffer created.
+        buf: BufferId,
+        /// Whether the buffer is born holding meaningful data (created
+        /// from host contents or a device copy) as opposed to a plain
+        /// zeroed allocation. Read-before-write and dead-transfer
+        /// analysis keys off this.
+        init: bool,
+    },
+    /// A pool-cache allocation (no driver round-trip) of `bytes` for
+    /// buffer `buf`. Bookkeeping event: pool hits were never timeline
+    /// rows, but the lifetime analysis needs every buffer's creation on
+    /// record.
+    PoolAlloc {
+        /// Reserved bytes (size-class rounded).
+        bytes: u64,
+        /// The buffer created.
+        buf: BufferId,
+        /// See [`TraceKind::Alloc::init`].
+        init: bool,
+    },
+    /// Buffer `buf` was released (zero-duration bookkeeping event).
+    Free {
+        /// The buffer released.
+        buf: BufferId,
+    },
+    /// `Stream::record` captured event `event` on stream `stream`
+    /// (zero-duration bookkeeping event).
+    EventRecord {
+        /// Recording stream.
+        stream: u64,
+        /// Event id.
+        event: u64,
+    },
+    /// Stream `stream` waited on event `event` (zero-duration
+    /// bookkeeping event; establishes a happens-before edge).
+    EventWait {
+        /// Waiting stream.
+        stream: u64,
+        /// Event id.
+        event: u64,
+    },
     /// An injected fault firing (site and error description).
     Fault(String),
     /// A resilience action above the device: retry, fallback or batch
@@ -36,15 +148,35 @@ impl TraceKind {
     /// Short label for timeline rendering.
     pub fn label(&self) -> String {
         match self {
-            TraceKind::Kernel(name) => name.clone(),
-            TraceKind::HtoD(b) => format!("htod {b}B"),
-            TraceKind::DtoH(b) => format!("dtoh {b}B"),
-            TraceKind::DtoD(b) => format!("dtod {b}B"),
+            TraceKind::Kernel { name, .. } => name.clone(),
+            TraceKind::HtoD { bytes, .. } => format!("htod {bytes}B"),
+            TraceKind::DtoH { bytes, .. } => format!("dtoh {bytes}B"),
+            TraceKind::DtoD { bytes, .. } => format!("dtod {bytes}B"),
             TraceKind::Jit(name) => format!("jit {name}"),
-            TraceKind::Alloc(b) => format!("alloc {b}B"),
+            TraceKind::Alloc { bytes, .. } => format!("alloc {bytes}B"),
+            TraceKind::PoolAlloc { bytes, .. } => format!("pool-alloc {bytes}B"),
+            TraceKind::Free { buf } => format!("free b{}", buf.0),
+            TraceKind::EventRecord { stream, event } => {
+                format!("record s{stream}/e{event}")
+            }
+            TraceKind::EventWait { stream, event } => format!("wait s{stream}/e{event}"),
             TraceKind::Fault(what) => format!("fault {what}"),
             TraceKind::Resilience(what) => format!("resilience {what}"),
         }
+    }
+
+    /// Whether this is a zero-cost bookkeeping event (buffer frees,
+    /// stream/event records) rather than timed device work. Meta events
+    /// exist for analysis; [`render_timeline`] hides them so timelines
+    /// show exactly the costed work they always showed.
+    pub fn is_meta(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::PoolAlloc { .. }
+                | TraceKind::Free { .. }
+                | TraceKind::EventRecord { .. }
+                | TraceKind::EventWait { .. }
+        )
     }
 }
 
@@ -57,6 +189,9 @@ pub struct TraceEvent {
     pub end: SimTimeNs,
     /// What happened.
     pub kind: TraceKind,
+    /// The stream the event was issued on (0 = the default stream all
+    /// device-level operations use).
+    pub stream: u64,
 }
 
 /// Serializable nanosecond instant.
@@ -70,52 +205,111 @@ impl From<SimTime> for SimTimeNs {
 }
 
 impl TraceEvent {
+    /// An event on the default stream.
+    pub fn new(start: u64, end: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            start: SimTimeNs(start),
+            end: SimTimeNs(end),
+            kind,
+            stream: 0,
+        }
+    }
+
+    /// An event on an explicit stream.
+    pub fn on_stream(start: u64, end: u64, kind: TraceKind, stream: u64) -> TraceEvent {
+        TraceEvent {
+            start: SimTimeNs(start),
+            end: SimTimeNs(end),
+            kind,
+            stream,
+        }
+    }
+
     /// Event duration.
     pub fn duration(&self) -> SimDuration {
         SimDuration::from_nanos(self.end.0 - self.start.0)
     }
 }
 
-/// Render a trace as an ASCII timeline, one row per event, bar widths
-/// proportional to simulated duration.
+/// Render a trace as an ASCII timeline, one row per costed event, bar
+/// widths proportional to simulated duration. Zero-cost bookkeeping
+/// events ([`TraceKind::is_meta`]) are hidden.
 pub fn render_timeline(events: &[TraceEvent]) -> String {
+    render_timeline_annotated(events, &BTreeMap::new())
+}
+
+/// [`render_timeline`] with cross-references: `notes` maps an event's
+/// index in `events` to annotation tags (e.g. the `gpu-lint` rule ids
+/// that reference it), appended to the event's row. Annotated
+/// bookkeeping events are shown even though the plain renderer hides
+/// them, so every event a diagnostic points at has a visible row. With
+/// empty `notes` the output is byte-identical to [`render_timeline`].
+pub fn render_timeline_annotated(
+    events: &[TraceEvent],
+    notes: &BTreeMap<usize, Vec<String>>,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let Some(first) = events.first() else {
+    let shown: Vec<(usize, &TraceEvent)> = events
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| !e.kind.is_meta() || notes.contains_key(i))
+        .collect();
+    let Some((_, first)) = shown.first() else {
         return "(empty trace)\n".into();
     };
     let t0 = first.start.0;
-    let t_end = events.iter().map(|e| e.end.0).max().unwrap_or(t0);
+    let t_end = shown.iter().map(|(_, e)| e.end.0).max().unwrap_or(t0);
     let span = (t_end - t0).max(1);
     const WIDTH: usize = 48;
     let _ = writeln!(
         out,
         "timeline over {} ({} events)",
         SimDuration::from_nanos(span),
-        events.len()
+        shown.len()
     );
-    for e in events {
-        let from = ((e.start.0 - t0) as u128 * WIDTH as u128 / span as u128) as usize;
+    for (idx, e) in shown {
+        // A zero-duration event at the very end of the span would start
+        // at column WIDTH; cap it so its 1-cell bar stays on the canvas.
+        let from =
+            (((e.start.0 - t0) as u128 * WIDTH as u128 / span as u128) as usize).min(WIDTH - 1);
         let to = (((e.end.0 - t0) as u128 * WIDTH as u128).div_ceil(span as u128) as usize)
             .clamp(from + 1, WIDTH);
         let mut bar = String::with_capacity(WIDTH);
         for i in 0..WIDTH {
             bar.push(if (from..to).contains(&i) { '█' } else { '·' });
         }
-        let _ = writeln!(
-            out,
-            "{bar} {:>10}  {}",
-            e.duration().to_string(),
-            e.kind.label()
-        );
+        match notes.get(&idx) {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{bar} {:>10}  {}",
+                    e.duration().to_string(),
+                    e.kind.label()
+                );
+            }
+            Some(tags) => {
+                let _ = writeln!(
+                    out,
+                    "{bar} {:>10}  {}  [{}]",
+                    e.duration().to_string(),
+                    e.kind.label(),
+                    tags.join(",")
+                );
+            }
+        }
     }
     out
 }
 
-/// Total busy time (sum of event durations; events never overlap on the
-/// in-order timeline).
+/// Total busy time (sum of costed event durations; events never overlap
+/// on the in-order timeline).
 pub fn busy_time(events: &[TraceEvent]) -> SimDuration {
-    events.iter().map(TraceEvent::duration).sum()
+    events
+        .iter()
+        .filter(|e| !e.kind.is_meta())
+        .map(TraceEvent::duration)
+        .sum()
 }
 
 #[cfg(test)]
@@ -131,22 +325,67 @@ mod tests {
         assert!(dev.take_trace().is_empty(), "off by default");
         dev.set_tracing(true);
         let buf = dev.htod(&[1u32, 2, 3]).unwrap();
+        let buf_id = buf.id();
         dev.charge_kernel("work", KernelCost::map::<u32, u32>(3));
         let _ = dev.dtoh(&buf).unwrap();
         dev.set_tracing(false);
         let trace = dev.take_trace();
         // htod does an allocation first, then the transfer.
         let kinds: Vec<&TraceKind> = trace.iter().map(|e| &e.kind).collect();
-        assert!(matches!(kinds[0], TraceKind::Alloc(_)), "{kinds:?}");
-        assert!(matches!(kinds[1], TraceKind::HtoD(12)), "{kinds:?}");
-        assert!(matches!(&kinds[2], TraceKind::Kernel(n) if n == "work"));
-        assert!(matches!(kinds[3], TraceKind::DtoH(12)));
-        // Events are ordered and non-overlapping.
+        assert!(
+            matches!(kinds[0], TraceKind::Alloc { buf, .. } if *buf == buf_id),
+            "{kinds:?}"
+        );
+        assert!(
+            matches!(kinds[1], TraceKind::HtoD { bytes: 12, buf } if *buf == buf_id),
+            "{kinds:?}"
+        );
+        assert!(matches!(&kinds[2], TraceKind::Kernel { name, io }
+            if name == "work" && *io == KernelIo::Unknown));
+        assert!(matches!(kinds[3], TraceKind::DtoH { bytes: 12, buf } if *buf == buf_id));
+        // Events are ordered and non-overlapping, all on the default
+        // stream.
         for w in trace.windows(2) {
             assert!(w[0].end <= w[1].start);
         }
+        assert!(trace.iter().all(|e| e.stream == 0));
         // take_trace drains.
         assert!(dev.take_trace().is_empty());
+    }
+
+    #[test]
+    fn buffer_free_is_traced_as_meta() {
+        let dev = Device::with_defaults();
+        dev.set_tracing(true);
+        let buf = dev.htod(&[1u64, 2]).unwrap();
+        let id = buf.id();
+        drop(buf);
+        let trace = dev.take_trace();
+        let free = trace.last().unwrap();
+        assert!(matches!(free.kind, TraceKind::Free { buf } if buf == id));
+        assert!(free.kind.is_meta());
+        assert_eq!(free.duration().as_nanos(), 0, "frees are zero-cost");
+    }
+
+    #[test]
+    fn io_kernel_records_read_write_sets() {
+        let dev = Device::with_defaults();
+        dev.set_tracing(true);
+        let a = dev.htod(&[1u32, 2]).unwrap();
+        let b = dev.htod(&[0u32, 0]).unwrap();
+        dev.charge_kernel_io("copy", KernelCost::map::<u32, u32>(2), &[a.id()], &[b.id()]);
+        let trace = dev.take_trace();
+        let kernel = trace
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Kernel { .. }))
+            .unwrap();
+        assert_eq!(
+            kernel.kind,
+            TraceKind::Kernel {
+                name: "copy".into(),
+                io: KernelIo::known(&[a.id()], &[b.id()]),
+            }
+        );
     }
 
     #[test]
@@ -163,16 +402,22 @@ mod tests {
     #[test]
     fn timeline_renders_proportional_bars() {
         let events = vec![
-            TraceEvent {
-                start: SimTimeNs(0),
-                end: SimTimeNs(100),
-                kind: TraceKind::Kernel("short".into()),
-            },
-            TraceEvent {
-                start: SimTimeNs(100),
-                end: SimTimeNs(1_000),
-                kind: TraceKind::Kernel("long".into()),
-            },
+            TraceEvent::new(
+                0,
+                100,
+                TraceKind::Kernel {
+                    name: "short".into(),
+                    io: KernelIo::Unknown,
+                },
+            ),
+            TraceEvent::new(
+                100,
+                1_000,
+                TraceKind::Kernel {
+                    name: "long".into(),
+                    io: KernelIo::Unknown,
+                },
+            ),
         ];
         let r = render_timeline(&events);
         assert!(r.contains("short") && r.contains("long"));
@@ -181,5 +426,32 @@ mod tests {
         assert!(long_bar > 3 * short_bar, "{r}");
         assert_eq!(busy_time(&events).as_nanos(), 1_000);
         assert_eq!(render_timeline(&[]), "(empty trace)\n");
+    }
+
+    #[test]
+    fn timeline_hides_meta_events_unless_annotated() {
+        let events = vec![
+            TraceEvent::new(
+                0,
+                100,
+                TraceKind::Kernel {
+                    name: "k".into(),
+                    io: KernelIo::Unknown,
+                },
+            ),
+            TraceEvent::new(100, 100, TraceKind::Free { buf: BufferId(7) }),
+        ];
+        let plain = render_timeline(&events);
+        assert!(plain.contains("(1 events)"), "{plain}");
+        assert!(!plain.contains("free"), "{plain}");
+        // Annotated: the referenced free event becomes visible with its
+        // rule tag, and the kernel row is unchanged.
+        let mut notes = BTreeMap::new();
+        notes.insert(1usize, vec!["GL002".to_string()]);
+        let annotated = render_timeline_annotated(&events, &notes);
+        assert!(annotated.contains("(2 events)"), "{annotated}");
+        assert!(annotated.contains("free b7  [GL002]"), "{annotated}");
+        // Empty notes reproduce the plain rendering byte-for-byte.
+        assert_eq!(render_timeline_annotated(&events, &BTreeMap::new()), plain);
     }
 }

@@ -6,7 +6,7 @@
 //! compact the table), which is dramatically cheaper when the group count
 //! is far below the row count — the common analytical case.
 
-use crate::charge;
+use crate::charge_io;
 use gpu_sim::{presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, SimError};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -95,14 +95,22 @@ pub fn hash_group_aggregate(
     } else {
         presets::hash_build::<u32, f64>(n).with_flops(8 * n as u64)
     };
-    charge(device, "hash_agg/accumulate", accumulate)?;
-    charge(
+    charge_io(
+        device,
+        "hash_agg/accumulate",
+        accumulate,
+        &[keys.id(), values.id()],
+        &[],
+    )?;
+    charge_io(
         device,
         "hash_agg/compact",
         KernelCost::map::<(), ()>(groups)
             .with_read((groups * 40) as u64)
             .with_write((groups * 40) as u64)
             .with_flops(groups as u64),
+        &[],
+        &[],
     )?;
     let (mut ks, mut sums, mut counts, mut mins, mut maxs) = (
         Vec::with_capacity(groups),

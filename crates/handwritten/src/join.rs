@@ -7,7 +7,7 @@
 //! (`for_each_n`), so experiments can quantify what the missing hash
 //! support costs.
 
-use crate::charge;
+use crate::charge_io;
 use gpu_sim::{presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result};
 use std::sync::Arc;
 
@@ -84,10 +84,12 @@ pub fn hash_join(
     build_keys: &DeviceBuffer<u32>,
 ) -> Result<JoinResult> {
     let table = ProbeTable::build(build_keys.host());
-    charge(
+    charge_io(
         device,
         "hash_join/build",
         presets::hash_build::<u32, u32>(build_keys.len()),
+        &[build_keys.id()],
+        &[],
     )?;
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -100,11 +102,13 @@ pub fn hash_join(
             right.push(b);
         }
     }
-    charge(
+    charge_io(
         device,
         "hash_join/probe",
         presets::hash_probe::<u32, u32>(probe_keys.len(), build_keys.len())
             .with_write((left.len() * 8) as u64),
+        &[probe_keys.id(), build_keys.id()],
+        &[],
     )?;
     Ok(JoinResult {
         left: device.buffer_from_vec(left, AllocPolicy::Pooled)?,
@@ -155,13 +159,15 @@ pub fn merge_join(
             }
         }
     }
-    charge(
+    charge_io(
         device,
         "merge_join",
         KernelCost::map::<u32, ()>(ls.len() + rs.len())
             .with_write((left.len() * 8) as u64)
             .with_flops((ls.len() + rs.len()) as u64 * 2)
             .with_divergence(0.15),
+        &[left_keys.id(), right_keys.id()],
+        &[],
     )?;
     Ok(JoinResult {
         left: device.buffer_from_vec(left, AllocPolicy::Pooled)?,
@@ -196,11 +202,13 @@ pub fn nested_loops_join(
     order.sort_by_key(|&p| (left[p], right[p]));
     let left: Vec<u32> = order.iter().map(|&p| left[p]).collect();
     let right: Vec<u32> = order.iter().map(|&p| right[p]).collect();
-    charge(
+    charge_io(
         device,
         "nested_loops_join",
         presets::nested_loops::<u32>(outer_keys.len(), inner_keys.len())
             .with_write((left.len() * 8) as u64),
+        &[outer_keys.id(), inner_keys.id()],
+        &[],
     )?;
     Ok(JoinResult {
         left: device.buffer_from_vec(left, AllocPolicy::Pooled)?,

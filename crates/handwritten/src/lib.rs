@@ -46,3 +46,17 @@ pub(crate) fn charge(
     device.try_charge_kernel(&format!("{KERNEL_PREFIX}::{name}"), cost)?;
     Ok(())
 }
+
+/// [`charge`] with the launch's declared read/write buffer sets recorded
+/// into the trace for `gpu-lint`. Cost-identical to [`charge`].
+pub(crate) fn charge_io(
+    device: &gpu_sim::Device,
+    name: &str,
+    cost: gpu_sim::KernelCost,
+    reads: &[gpu_sim::BufferId],
+    writes: &[gpu_sim::BufferId],
+) -> gpu_sim::Result<()> {
+    let cost = cost.with_launch_overhead(device.spec().cuda_launch_latency_ns);
+    device.try_charge_kernel_io(&format!("{KERNEL_PREFIX}::{name}"), cost, reads, writes)?;
+    Ok(())
+}

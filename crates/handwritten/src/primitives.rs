@@ -1,13 +1,19 @@
 //! Handwritten parallel primitives and fused pipelines.
 
-use crate::charge;
+use crate::charge_io;
 use gpu_sim::{hostexec, presets, AllocPolicy, Device, DeviceBuffer, KernelCost, Result, SimError};
 use std::sync::Arc;
 
 /// Tree reduction (sum) of an `f64` column — one kernel.
 pub fn reduce_f64(device: &Arc<Device>, src: &DeviceBuffer<f64>) -> Result<f64> {
     let total = src.host().iter().sum();
-    charge(device, "reduce", KernelCost::reduce::<f64>(src.len()))?;
+    charge_io(
+        device,
+        "reduce",
+        KernelCost::reduce::<f64>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     Ok(total)
 }
 
@@ -25,12 +31,14 @@ pub fn exclusive_scan_u32(
         acc = acc.wrapping_add(x);
     }
     let b = src.size_bytes();
-    charge(
+    charge_io(
         device,
         "scan_lookback",
         KernelCost::map::<u32, u32>(src.len())
             .with_read(b)
             .with_write(b),
+        &[src.id()],
+        &[],
     )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
@@ -53,7 +61,13 @@ pub fn gather_u32(
         }
         out.push(s[i]);
     }
-    charge(device, "gather", presets::gather::<u32>(idx.len()))?;
+    charge_io(
+        device,
+        "gather",
+        presets::gather::<u32>(idx.len()),
+        &[src.id(), idx.id()],
+        &[],
+    )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -75,7 +89,13 @@ pub fn gather_f64(
         }
         out.push(s[i]);
     }
-    charge(device, "gather", presets::gather::<f64>(idx.len()))?;
+    charge_io(
+        device,
+        "gather",
+        presets::gather::<f64>(idx.len()),
+        &[src.id(), idx.id()],
+        &[],
+    )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -94,9 +114,11 @@ pub fn radix_sort_pairs(
     }
     let n = keys.len();
     hostexec::sort_pairs(keys.host_mut(), vals.host_mut());
+    let kv = [keys.id(), vals.id()];
     for (i, cost) in presets::radix_sort::<u32>(n, 4).into_iter().enumerate() {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        charge(device, &format!("radix_sort/{phase}"), cost)?;
+        let writes: &[gpu_sim::BufferId] = if i % 3 == 2 { &kv } else { &[] };
+        charge_io(device, &format!("radix_sort/{phase}"), cost, &kv, writes)?;
     }
     Ok(())
 }
@@ -120,10 +142,12 @@ pub fn product_f64(
         .map(|(&x, &y)| x * y)
         .collect();
     let n = a.len();
-    charge(
+    charge_io(
         device,
         "product",
         KernelCost::map::<f64, f64>(n).with_read((n * 16) as u64),
+        &[a.id(), b.id()],
+        &[],
     )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
@@ -137,7 +161,13 @@ pub fn sort_u32(device: &Arc<Device>, src: &DeviceBuffer<u32>) -> Result<DeviceB
         .enumerate()
     {
         let phase = ["histogram", "digit_scan", "scatter"][i % 3];
-        charge(device, &format!("radix_sort/{phase}"), cost)?;
+        charge_io(
+            device,
+            &format!("radix_sort/{phase}"),
+            cost,
+            &[src.id()],
+            &[],
+        )?;
     }
     device.buffer_from_vec(v, AllocPolicy::Pooled)
 }
@@ -167,7 +197,13 @@ pub fn scatter_u32(
         }
         out[i] = v;
     }
-    charge(device, "scatter", presets::scatter::<u32>(src.len()))?;
+    charge_io(
+        device,
+        "scatter",
+        presets::scatter::<u32>(src.len()),
+        &[src.id(), idx.id()],
+        &[],
+    )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }
 
@@ -183,7 +219,13 @@ pub fn top_k_f64(
     let v = vals.host();
     let k = k.min(v.len());
     if k == 0 {
-        charge(device, "top_k", KernelCost::reduce::<f64>(v.len()))?;
+        charge_io(
+            device,
+            "top_k",
+            KernelCost::reduce::<f64>(v.len()),
+            &[vals.id()],
+            &[],
+        )?;
         return device.buffer_from_vec(Vec::new(), AllocPolicy::Pooled);
     }
     let mut idx: Vec<u32> = (0..v.len() as u32).collect();
@@ -201,25 +243,30 @@ pub fn top_k_f64(
             .then(a.cmp(&b))
     });
     let n = vals.len();
-    charge(
+    charge_io(
         device,
         "top_k",
         KernelCost::reduce::<f64>(n)
             .with_write((k * 4) as u64)
             .with_flops(n as u64 + (k as u64) * 16)
             .with_divergence(0.1),
+        &[vals.id()],
+        &[],
     )?;
     device.buffer_from_vec(idx, AllocPolicy::Pooled)
 }
 
 /// The fused TPC-H Q6 shape: `SUM(a[i] * b[i])` over rows passing `pred`,
 /// in **one** kernel — predicate, product and reduction share the pass.
-/// `bytes_per_row` covers the predicate's extra column reads.
+/// `bytes_per_row` covers the predicate's extra column reads, and
+/// `pred_cols` names the device buffers those reads come from so the
+/// launch's declared footprint is complete.
 pub fn fused_filter_dot(
     device: &Arc<Device>,
     a: &DeviceBuffer<f64>,
     b: &DeviceBuffer<f64>,
     bytes_per_row: usize,
+    pred_cols: &[gpu_sim::BufferId],
     pred: impl Fn(usize) -> bool,
 ) -> Result<f64> {
     if a.len() != b.len() {
@@ -236,13 +283,17 @@ pub fn fused_filter_dot(
         }
     }
     let n = xa.len();
-    charge(
+    let mut reads = vec![a.id(), b.id()];
+    reads.extend_from_slice(pred_cols);
+    charge_io(
         device,
         "fused_filter_dot",
         KernelCost::reduce::<f64>(n)
             .with_read((n * (16 + bytes_per_row)) as u64)
             .with_flops(4 * n as u64)
             .with_divergence(0.2),
+        &reads,
+        &[],
     )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
@@ -295,7 +346,7 @@ mod tests {
         let price = dev.htod(&[10.0f64, 20.0, 30.0]).unwrap();
         let disc = dev.htod(&[0.1f64, 0.2, 0.3]).unwrap();
         let keep = [true, false, true];
-        let r = fused_filter_dot(&dev, &price, &disc, 8, |i| keep[i]).unwrap();
+        let r = fused_filter_dot(&dev, &price, &disc, 8, &[], |i| keep[i]).unwrap();
         assert_eq!(r, 1.0 + 9.0);
         assert_eq!(dev.stats().launches_of("hw::fused_filter_dot"), 1);
     }

@@ -6,7 +6,7 @@
 //! (`transform`, `exclusive_scan`, `gather`), reading and writing the
 //! column multiple times. The ablation experiment A1 quantifies the gap.
 
-use crate::charge;
+use crate::{charge, charge_io};
 use gpu_sim::{AllocPolicy, Device, DeviceBuffer, KernelCost, Result};
 use std::sync::Arc;
 
@@ -72,7 +72,7 @@ pub fn select_gather_f64(
     .flatten()
     .collect();
     let out_bytes = (out.len() * 8) as u64;
-    charge(
+    charge_io(
         device,
         "select_gather",
         KernelCost::map::<(), ()>(src.len())
@@ -80,6 +80,8 @@ pub fn select_gather_f64(
             .with_write(out_bytes)
             .with_flops(2 * src.len() as u64)
             .with_divergence(0.25),
+        &[payload.id()],
+        &[],
     )?;
     device.buffer_from_vec(out, AllocPolicy::Pooled)
 }

@@ -99,7 +99,7 @@ proptest! {
         let keys: Vec<u32> = rows.iter().map(|r| r.2).collect();
         let ab = dev.htod(&a).unwrap();
         let bb = dev.htod(&b).unwrap();
-        let fused = hw::fused_filter_dot(&dev, &ab, &bb, 4, |i| keys[i] < threshold).unwrap();
+        let fused = hw::fused_filter_dot(&dev, &ab, &bb, 4, &[], |i| keys[i] < threshold).unwrap();
         let expect: f64 = rows
             .iter()
             .filter(|r| r.2 < threshold)

@@ -5,7 +5,7 @@
 //! (via atomics on real hardware). Because the functor is arbitrary, the
 //! caller supplies the kernel footprint.
 
-use super::charge;
+use super::{charge, charge_io};
 use crate::vector::DeviceVector;
 use gpu_sim::{Device, DeviceCopy, KernelCost, Result, SimError};
 use std::sync::Arc;
@@ -22,10 +22,12 @@ where
     }
     let n = vec.len();
     let b = (n * std::mem::size_of::<T>()) as u64;
-    charge(
+    charge_io(
         &device,
         "for_each",
         KernelCost::map::<T, T>(n).with_read(b).with_write(b),
+        &[vec.id()],
+        &[vec.id()],
     )
 }
 

@@ -3,7 +3,7 @@
 //! `equal`, `merge`. Rapid prototyping leans on these for DISTINCT,
 //! windowed deltas, fused projections and result verification.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{presets, DeviceCopy, KernelCost, Result, SimError};
 use std::sync::Arc;
@@ -23,10 +23,12 @@ where
     }
     let n = src.len();
     let kept = out.len();
-    charge(
+    charge_io(
         &device,
         "unique",
         presets::scan::<T>(n).with_write((kept * std::mem::size_of::<T>()) as u64),
+        &[src.id()],
+        &[],
     )?;
     let buf = device.buffer_from_vec(out, gpu_sim::AllocPolicy::Pooled)?;
     Ok(DeviceVector::from_buffer(buf))
@@ -47,10 +49,12 @@ where
             o[i] = if i == 0 { s[0] } else { s[i] - s[i - 1] };
         }
     }
-    charge(
+    charge_io(
         &device,
         "adjacent_difference",
         KernelCost::map::<T, T>(src.len()),
+        &[src.id()],
+        &[out.id()],
     )?;
     Ok(out)
 }
@@ -72,10 +76,12 @@ where
     for &x in src.as_slice() {
         acc = fold(acc, map(x));
     }
-    charge(
+    charge_io(
         &device,
         "transform_reduce",
         KernelCost::reduce::<T>(src.len()).with_flops(2 * src.len() as u64),
+        &[src.id()],
+        &[],
     )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
@@ -114,10 +120,12 @@ where
             best = i;
         }
     }
-    charge(
+    charge_io(
         &device,
         "extreme_element",
         KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
     )?;
     device.advance(gpu_sim::SimDuration::from_nanos(
         device.spec().pcie_latency_ns,
@@ -132,7 +140,13 @@ where
 {
     let device = Arc::clone(src.device());
     let n = src.as_slice().iter().filter(|&&x| x == value).count();
-    charge(&device, "count", KernelCost::reduce::<T>(src.len()))?;
+    charge_io(
+        &device,
+        "count",
+        KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     Ok(n)
 }
 
@@ -147,10 +161,12 @@ where
     }
     let device = Arc::clone(a.device());
     let eq = a.as_slice() == b.as_slice();
-    charge(
+    charge_io(
         &device,
         "equal",
         KernelCost::reduce::<T>(a.len()).with_read(2 * a.buffer().size_bytes()),
+        &[a.id(), b.id()],
+        &[],
     )?;
     Ok(eq)
 }
@@ -184,10 +200,12 @@ where
     out.extend_from_slice(&xs[i..]);
     out.extend_from_slice(&ys[j..]);
     let total = out.len();
-    charge(
+    charge_io(
         &device,
         "merge",
         KernelCost::map::<T, T>(total).with_divergence(0.15),
+        &[a.id(), b.id()],
+        &[],
     )?;
     let buf = device.buffer_from_vec(out, gpu_sim::AllocPolicy::Pooled)?;
     Ok(DeviceVector::from_buffer(buf))

@@ -14,7 +14,7 @@ pub mod scan;
 pub mod sort;
 pub mod transform;
 
-use gpu_sim::{Device, KernelCost, Result};
+use gpu_sim::{BufferId, Device, KernelCost, Result};
 
 /// Stamp Thrust's launch overhead onto a kernel footprint and charge it.
 /// Fallible: with a fault plan installed on the device, the launch can
@@ -22,5 +22,25 @@ use gpu_sim::{Device, KernelCost, Result};
 pub(crate) fn charge(device: &Device, name: &str, cost: KernelCost) -> Result<()> {
     let cost = cost.with_launch_overhead(device.spec().cuda_launch_latency_ns);
     device.try_charge_kernel(&format!("{}::{name}", crate::KERNEL_PREFIX), cost)?;
+    Ok(())
+}
+
+/// [`charge`] with the launch's declared read/write buffer sets, so the
+/// trace carries data-flow edges for `gpu-lint`. Cost-identical to
+/// [`charge`]; the io sets are observation-only.
+pub(crate) fn charge_io(
+    device: &Device,
+    name: &str,
+    cost: KernelCost,
+    reads: &[BufferId],
+    writes: &[BufferId],
+) -> Result<()> {
+    let cost = cost.with_launch_overhead(device.spec().cuda_launch_latency_ns);
+    device.try_charge_kernel_io(
+        &format!("{}::{name}", crate::KERNEL_PREFIX),
+        cost,
+        reads,
+        writes,
+    )?;
     Ok(())
 }

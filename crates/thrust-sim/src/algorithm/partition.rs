@@ -1,7 +1,7 @@
 //! `thrust::copy_if` / `count_if` and flag-vector helpers — stream
 //! compaction, the library building block of selection.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{presets, DeviceCopy, KernelCost, Result};
 use std::sync::Arc;
@@ -24,18 +24,22 @@ where
     let n = src.len();
     let out_bytes = (kept.len() * std::mem::size_of::<T>()) as u64;
     // Kernel 1: block-local predicate + scan.
-    charge(
+    charge_io(
         &device,
         "copy_if/scan",
         presets::scan::<T>(n).with_flops(2 * n as u64),
+        &[src.id()],
+        &[],
     )?;
     // Kernel 2: compaction writes only survivors.
-    charge(
+    charge_io(
         &device,
         "copy_if/compact",
         KernelCost::map::<T, ()>(n)
             .with_write(out_bytes)
             .with_divergence(0.3),
+        &[src.id()],
+        &[],
     )?;
     let buf = device.buffer_from_vec(kept, gpu_sim::AllocPolicy::Pooled)?;
     Ok(DeviceVector::from_buffer(buf))
@@ -49,7 +53,13 @@ where
 {
     let device = Arc::clone(src.device());
     let n = src.as_slice().iter().filter(|&&x| pred(x)).count();
-    charge(&device, "count_if", KernelCost::reduce::<T>(src.len()))?;
+    charge_io(
+        &device,
+        "count_if",
+        KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     Ok(n)
 }
 

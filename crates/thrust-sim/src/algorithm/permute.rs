@@ -4,7 +4,7 @@
 //! qualifying rows through computed offsets, and scatter writes rows to
 //! computed positions.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{presets, AllocPolicy, DeviceCopy, Result, SimError};
 use std::sync::Arc;
@@ -25,7 +25,13 @@ where
     }
     let buf = device.alloc_map_with(m.len(), AllocPolicy::Pooled, |i| s[m[i] as usize])?;
     let out = DeviceVector::from_buffer(buf);
-    charge(&device, "gather", presets::gather::<T>(map.len()))?;
+    charge_io(
+        &device,
+        "gather",
+        presets::gather::<T>(map.len()),
+        &[map.id(), src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -61,7 +67,13 @@ where
             d[idx] = s[i];
         }
     }
-    charge(&device, "scatter", presets::scatter::<T>(src.len()))?;
+    charge_io(
+        &device,
+        "scatter",
+        presets::scatter::<T>(src.len()),
+        &[src.id(), map.id()],
+        &[dst.id()],
+    )?;
     Ok(())
 }
 
@@ -108,7 +120,7 @@ where
     let n = src.len();
     let elem = std::mem::size_of::<T>();
     let kept = stencil.as_slice().iter().filter(|&&f| f != 0).count();
-    charge(
+    charge_io(
         &device,
         "scatter_if",
         gpu_sim::KernelCost::map::<T, ()>(n)
@@ -116,6 +128,8 @@ where
             .with_write((kept * elem) as u64)
             .with_pattern(gpu_sim::AccessPattern::Strided)
             .with_divergence(0.3),
+        &[src.id(), map.id(), stencil.id()],
+        &[dst.id()],
     )?;
     Ok(())
 }

@@ -1,6 +1,6 @@
 //! `thrust::reduce`, `reduce_by_key`, `inner_product`.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{presets, DeviceCopy, KernelCost, Result, SimError};
 use std::sync::Arc;
@@ -18,7 +18,13 @@ where
     for &x in src.as_slice() {
         acc = op(acc, x);
     }
-    charge(&device, "reduce", KernelCost::reduce::<T>(src.len()))?;
+    charge_io(
+        &device,
+        "reduce",
+        KernelCost::reduce::<T>(src.len()),
+        &[src.id()],
+        &[],
+    )?;
     // The scalar result returns to the host — Thrust's reduce does a small
     // implicit device→host copy.
     device.advance(gpu_sim::SimDuration::from_nanos(
@@ -66,10 +72,12 @@ where
         }
     }
     let groups = out_keys.len();
-    charge(
+    charge_io(
         &device,
         "reduce_by_key",
         presets::reduce_by_key::<K, V>(keys.len(), groups),
+        &[keys.id(), vals.id()],
+        &[],
     )?;
     let kbuf = device.buffer_from_vec(out_keys, gpu_sim::AllocPolicy::Pooled)?;
     let vbuf = device.buffer_from_vec(out_vals, gpu_sim::AllocPolicy::Pooled)?;
@@ -109,7 +117,7 @@ where
     let cost = KernelCost::reduce::<A>(n)
         .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64)
         .with_flops(2 * n as u64);
-    charge(&device, "inner_product", cost)?;
+    charge_io(&device, "inner_product", cost, &[a.id(), b.id()], &[])?;
     Ok(acc)
 }
 

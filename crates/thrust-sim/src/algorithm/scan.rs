@@ -4,7 +4,7 @@
 //! selection (predicate flags → output offsets) and as the *Prefix Sum*
 //! operator itself.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{presets, AllocPolicy, DeviceCopy, Result};
 use std::ops::Add;
@@ -27,7 +27,13 @@ where
         acc = acc + x;
     }
     let out = DeviceVector::from_buffer(device.buffer_from_vec(data, AllocPolicy::Pooled)?);
-    charge(&device, "exclusive_scan", presets::scan::<T>(src.len()))?;
+    charge_io(
+        &device,
+        "exclusive_scan",
+        presets::scan::<T>(src.len()),
+        &[src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -44,7 +50,13 @@ where
         *o = acc;
     }
     let out = DeviceVector::from_buffer(device.buffer_from_vec(data, AllocPolicy::Pooled)?);
-    charge(&device, "inclusive_scan", presets::scan::<T>(src.len()))?;
+    charge_io(
+        &device,
+        "inclusive_scan",
+        presets::scan::<T>(src.len()),
+        &[src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 

@@ -4,7 +4,7 @@
 //! histogram/scan/scatter kernel triple per 8-bit digit. The functional
 //! effect uses a stable host sort; the charge model is the radix footprint.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{hostexec, presets, Device, DeviceCopy, RadixKey, Result, SimError};
 use std::sync::Arc;
@@ -14,6 +14,7 @@ fn charge_radix<K>(
     n: usize,
     payload_bytes: usize,
     label: &str,
+    bufs: &[gpu_sim::BufferId],
 ) -> Result<()> {
     for (i, cost) in presets::radix_sort::<K>(n, payload_bytes)
         .into_iter()
@@ -24,7 +25,11 @@ fn charge_radix<K>(
             1 => "digit_scan",
             _ => "scatter",
         };
-        charge(device, &format!("{label}/{phase}"), cost)?;
+        // Every radix phase reads the key/value buffers; the scatter
+        // phase writes them back (the sort is in-place at the buffer
+        // level — ping-pong scratch is internal to the pass).
+        let writes: &[gpu_sim::BufferId] = if i % 3 == 2 { bufs } else { &[] };
+        charge_io(device, &format!("{label}/{phase}"), cost, bufs, writes)?;
     }
     Ok(())
 }
@@ -38,7 +43,7 @@ where
 {
     let device = Arc::clone(vec.device());
     hostexec::sort_keys(vec.as_mut_slice());
-    charge_radix::<T>(&device, vec.len(), 0, "sort")?;
+    charge_radix::<T>(&device, vec.len(), 0, "sort", &[vec.id()])?;
     Ok(())
 }
 
@@ -58,7 +63,13 @@ where
     let device = Arc::clone(keys.device());
     let n = keys.len();
     hostexec::sort_pairs(keys.as_mut_slice(), vals.as_mut_slice());
-    charge_radix::<K>(&device, n, std::mem::size_of::<V>(), "sort_by_key")?;
+    charge_radix::<K>(
+        &device,
+        n,
+        std::mem::size_of::<V>(),
+        "sort_by_key",
+        &[keys.id(), vals.id()],
+    )?;
     Ok(())
 }
 
@@ -69,10 +80,12 @@ where
 {
     let device = Arc::clone(vec.device());
     let sorted = vec.as_slice().windows(2).all(|w| w[0] <= w[1]);
-    charge(
+    charge_io(
         &device,
         "is_sorted",
         gpu_sim::KernelCost::reduce::<T>(vec.len()),
+        &[vec.id()],
+        &[],
     )?;
     Ok(sorted)
 }
@@ -159,7 +172,7 @@ mod tests {
             .take_trace()
             .into_iter()
             .filter_map(|e| match e.kind {
-                gpu_sim::TraceKind::Kernel(name) => Some(name),
+                gpu_sim::TraceKind::Kernel { name, .. } => Some(name),
                 _ => None,
             })
             .collect();

@@ -1,6 +1,6 @@
 //! `thrust::transform`, `fill`, `sequence` — element-wise kernels.
 
-use super::charge;
+use super::charge_io;
 use crate::vector::DeviceVector;
 use gpu_sim::{AllocPolicy, Device, DeviceCopy, KernelCost, Result, SimError};
 use std::sync::Arc;
@@ -21,7 +21,13 @@ where
     let input = src.as_slice();
     let buf = device.alloc_map_with(src.len(), AllocPolicy::Pooled, |i| op(input[i]))?;
     let out = DeviceVector::from_buffer(buf);
-    charge(&device, "transform", KernelCost::map::<T, U>(src.len()))?;
+    charge_io(
+        &device,
+        "transform",
+        KernelCost::map::<T, U>(src.len()),
+        &[src.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -49,7 +55,13 @@ where
     let n = a.len();
     let cost = KernelCost::map::<A, U>(n)
         .with_read((n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64);
-    charge(&device, "transform_binary", cost)?;
+    charge_io(
+        &device,
+        "transform_binary",
+        cost,
+        &[a.id(), b.id()],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 
@@ -62,14 +74,20 @@ pub fn fill<T: DeviceCopy>(vec: &mut DeviceVector<T>, value: T) -> Result<()> {
         }
     });
     let cost = KernelCost::map::<(), T>(vec.len());
-    charge(&device, "fill", cost)
+    charge_io(&device, "fill", cost, &[], &[vec.id()])
 }
 
 /// `thrust::sequence` — write `0, 1, 2, …` (row-id generation).
 pub fn sequence(device: &Arc<Device>, len: usize) -> Result<DeviceVector<u32>> {
     let buf = device.alloc_map_with(len, AllocPolicy::Pooled, |i| i as u32)?;
     let out = DeviceVector::from_buffer(buf);
-    charge(device, "sequence", KernelCost::map::<(), u32>(len))?;
+    charge_io(
+        device,
+        "sequence",
+        KernelCost::map::<(), u32>(len),
+        &[],
+        &[out.id()],
+    )?;
     Ok(out)
 }
 

@@ -76,6 +76,11 @@ impl<T: DeviceCopy> DeviceVector<T> {
         &self.buf
     }
 
+    /// The underlying buffer's trace identity (see [`gpu_sim::BufferId`]).
+    pub fn id(&self) -> gpu_sim::BufferId {
+        self.buf.id()
+    }
+
     /// Take ownership of the underlying buffer.
     pub fn into_buffer(self) -> DeviceBuffer<T> {
         self.buf

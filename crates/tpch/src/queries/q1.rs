@@ -67,6 +67,7 @@ fn group_key(rf: u32, ls: u32) -> u32 {
 }
 
 /// Device-resident Q1 working set.
+#[derive(Debug)]
 pub struct Q1Data {
     shipdate: Col,
     groupkey: Col,

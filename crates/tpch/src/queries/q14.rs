@@ -28,6 +28,7 @@ use proto_core::ops::{CmpOp, Connective};
 pub const PROMO_SIZE_MAX: u32 = 10;
 
 /// Device-resident Q14 working set.
+#[derive(Debug)]
 pub struct Q14Data {
     l_shipdate: Col,
     l_partkey: Col,

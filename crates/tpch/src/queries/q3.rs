@@ -41,6 +41,7 @@ pub struct Q3Row {
 }
 
 /// Device-resident Q3 working set.
+#[derive(Debug)]
 pub struct Q3Data {
     // customer
     c_mktsegment: Col,

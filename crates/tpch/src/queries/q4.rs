@@ -39,6 +39,7 @@ impl Q4Row {
 }
 
 /// Device-resident Q4 working set.
+#[derive(Debug)]
 pub struct Q4Data {
     o_orderdate: Col,
     o_orderkey: Col,

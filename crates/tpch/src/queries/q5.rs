@@ -54,6 +54,7 @@ fn region_code() -> u32 {
 }
 
 /// Device-resident Q5 working set.
+#[derive(Debug)]
 pub struct Q5Data {
     // nation / region are joined via the nation table's region column.
     n_nationkey: Col,

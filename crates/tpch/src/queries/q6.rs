@@ -23,6 +23,7 @@ use proto_core::backend::{Col, GpuBackend, Pred};
 use proto_core::ops::CmpOp;
 
 /// Device-resident Q6 working set.
+#[derive(Debug)]
 pub struct Q6Data {
     shipdate: Col,
     discount: Col,
