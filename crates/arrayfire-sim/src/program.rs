@@ -14,7 +14,7 @@
 //! results are bit-for-bit those of `eval_at`, at a fraction of the host
 //! cost. Simulated time is charged by the caller exactly as before —
 //! compilation here is pure host-side mechanics, not the modelled JIT
-//! (which [`crate::array::Backend::ensure_jit`] accounts separately).
+//! (which `crate::array::Backend::ensure_jit` accounts separately).
 
 use crate::dtype::{ColumnData, DType};
 use crate::node::{BinaryOp, Node, UnaryOp};

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! With no experiment ids, lints the full grid (see
-//! `bench::traced::EXPERIMENTS`) plus the plan and Program targets.
+//! `bench::traced::EXPERIMENTS`) plus the plan, Program, and TPC-H
+//! physical-query-plan targets (GL4xx).
 //! Exits nonzero if any `Severity::Error` diagnostic fires — or any
 //! warning, under `--deny-warnings`. `--timeline` prints an annotated
 //! timeline for every unclean trace; `--dump` prints every event of
@@ -138,6 +139,7 @@ fn main() {
     if wanted.is_empty() {
         reports.push(plan_report());
         reports.extend(program_reports());
+        reports.extend(bench::plan_lint::query_plan_reports());
     }
 
     let mut errors = 0;

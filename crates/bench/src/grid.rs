@@ -1,5 +1,5 @@
 //! The benchmark grid: every experiment cell of the paper regeneration,
-//! scheduled over the deterministic parallel [`Plan`](crate::sched::Plan)
+//! scheduled over the deterministic parallel [`Plan`]
 //! and emitted in canonical serial order.
 //!
 //! ## Decomposition

@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod extensions;
 pub mod grid;
 pub mod operators;
+pub mod plan_lint;
 pub mod queries;
 pub mod report;
 pub mod sched;

@@ -8,7 +8,7 @@
 //! byte-identical to the historical nested loops — and the parallel grid
 //! scheduler (`crate::grid`) can run each part as an independent job on
 //! its own device. Synthetic input columns come from
-//! [`workload::cache`](proto_core::workload::cache), so concurrent parts
+//! [`workload::cache`], so concurrent parts
 //! share one generation per column.
 
 use proto_core::backend::{GpuBackend, Pred};

@@ -1,0 +1,282 @@
+//! Adapter from [`proto_core::physical::PhysicalPlan`] to the
+//! `gpu-lint` GL4xx physical-plan checker.
+//!
+//! `gpu-lint` deliberately does not depend on the planner (the same
+//! decoupling its scheduler-plan pass uses), so this module translates
+//! a compiled plan into [`gpu_lint::PlanStep`]s: one lint step per plan
+//! step, with each operand's required dtype taken from the
+//! [`GpuBackend`](proto_core::backend::GpuBackend) call it lowers to.
+//! Bound base columns become pseudo-slots above the plan's own slot
+//! range — the lint exempts them from lifetime rules, mirroring the
+//! executor contract (the plan borrows its inputs, it never frees
+//! them).
+//!
+//! [`query_plan_reports`] compiles all six TPC-H queries for every
+//! backend that can plan them and lints each result — the CI gate that
+//! keeps the planner's slot lifetimes and operand shapes honest.
+
+use gpu_lint::{PlanColumn, PlanDtype, PlanStep, PlanUse, Report};
+use proto_core::backend::ColType;
+use proto_core::ops::JoinAlgo;
+use proto_core::physical::{ColRef, PhysicalPlan, SlotKind, Step};
+
+fn dtype(ct: ColType) -> PlanDtype {
+    match ct {
+        ColType::U32 => PlanDtype::U32,
+        ColType::F64 => PlanDtype::F64,
+    }
+}
+
+/// Translate one compiled plan into the lint's shape: the borrowed
+/// input columns and one [`PlanStep`] per plan step.
+pub fn convert(plan: &PhysicalPlan) -> (Vec<PlanColumn>, Vec<PlanStep>) {
+    let n_slots = plan.slots().len();
+    let inputs: Vec<PlanColumn> = plan
+        .base_columns()
+        .iter()
+        .enumerate()
+        .map(|(i, (name, &ct))| PlanColumn {
+            slot: n_slots + i,
+            name: name.clone(),
+            dtype: dtype(ct),
+            sorted: false,
+        })
+        .collect();
+    let base_slot = |name: &str| {
+        inputs
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.slot)
+            .expect("bound base column")
+    };
+    let slot_of = |r: &ColRef| match r {
+        ColRef::Base(name) => base_slot(name),
+        ColRef::Slot(i) => *i,
+    };
+    // A def only exists for device slots; scalar and downloaded host
+    // slots have no device lifetime.
+    let def_of = |slot: usize| -> Option<PlanColumn> {
+        let meta = &plan.slots()[slot];
+        match meta.kind {
+            SlotKind::Device { dtype: ct, sorted } => Some(PlanColumn {
+                slot,
+                name: meta.name.clone(),
+                dtype: dtype(ct),
+                sorted,
+            }),
+            _ => None,
+        }
+    };
+
+    let steps = plan
+        .steps()
+        .iter()
+        .map(|step| match step {
+            Step::Selection { input, out, .. } => PlanStep {
+                label: "selection".into(),
+                reads: vec![PlanUse::any(slot_of(input))],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::SelectionMulti { preds, out, .. } => PlanStep {
+                label: "selection_multi".into(),
+                reads: preds
+                    .iter()
+                    .map(|p| PlanUse::any(slot_of(&p.col)))
+                    .collect(),
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::SelectionCmpCols { a, b, out, .. } => PlanStep {
+                label: "selection_cmp_cols".into(),
+                reads: vec![PlanUse::any(slot_of(a)), PlanUse::any(slot_of(b))],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::Gather { data, ids, out } => PlanStep {
+                label: "gather".into(),
+                reads: vec![
+                    PlanUse::any(slot_of(data)),
+                    PlanUse::typed(slot_of(ids), PlanDtype::U32),
+                ],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::Affine { input, out, .. } => PlanStep {
+                label: "affine".into(),
+                reads: vec![PlanUse::typed(slot_of(input), PlanDtype::F64)],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::Product { a, b, out } => PlanStep {
+                label: "product".into(),
+                reads: vec![
+                    PlanUse::typed(slot_of(a), PlanDtype::F64),
+                    PlanUse::typed(slot_of(b), PlanDtype::F64),
+                ],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::DenseMask { input, out, .. } => PlanStep {
+                label: "dense_mask".into(),
+                reads: vec![PlanUse::any(slot_of(input))],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::ConstantOnes { like, out } => PlanStep {
+                label: "constant_ones".into(),
+                reads: vec![PlanUse::any(slot_of(like))],
+                defs: def_of(*out).into_iter().collect(),
+                frees: vec![],
+            },
+            Step::Join {
+                outer,
+                inner,
+                algo,
+                out_left,
+                out_right,
+            } => {
+                let key = |r: &ColRef| PlanUse {
+                    slot: slot_of(r),
+                    want: Some(PlanDtype::U32),
+                    want_sorted: *algo == JoinAlgo::Merge,
+                };
+                PlanStep {
+                    label: format!("join[{algo:?}]"),
+                    reads: vec![key(outer), key(inner)],
+                    defs: def_of(*out_left)
+                        .into_iter()
+                        .chain(def_of(*out_right))
+                        .collect(),
+                    frees: vec![],
+                }
+            }
+            Step::GroupedSum {
+                keys,
+                vals,
+                out_keys,
+                out_vals,
+            } => PlanStep {
+                label: "grouped_sum".into(),
+                reads: vec![
+                    PlanUse::typed(slot_of(keys), PlanDtype::U32),
+                    PlanUse::typed(slot_of(vals), PlanDtype::F64),
+                ],
+                defs: def_of(*out_keys)
+                    .into_iter()
+                    .chain(def_of(*out_vals))
+                    .collect(),
+                frees: vec![],
+            },
+            Step::Reduce { input, .. } => PlanStep {
+                label: "reduction".into(),
+                reads: vec![PlanUse::typed(slot_of(input), PlanDtype::F64)],
+                defs: vec![],
+                frees: vec![],
+            },
+            Step::FilterSumProduct { a, b, preds, .. } => PlanStep {
+                label: "filter_sum_product".into(),
+                reads: vec![
+                    PlanUse::typed(slot_of(a), PlanDtype::F64),
+                    PlanUse::typed(slot_of(b), PlanDtype::F64),
+                ]
+                .into_iter()
+                .chain(preds.iter().map(|p| PlanUse::any(slot_of(&p.col))))
+                .collect(),
+                defs: vec![],
+                frees: vec![],
+            },
+            Step::DownloadU32 { input, .. } => PlanStep {
+                label: "download_u32".into(),
+                reads: vec![PlanUse::typed(slot_of(input), PlanDtype::U32)],
+                defs: vec![],
+                frees: vec![],
+            },
+            Step::DownloadF64 { input, .. } => PlanStep {
+                label: "download_f64".into(),
+                reads: vec![PlanUse::typed(slot_of(input), PlanDtype::F64)],
+                defs: vec![],
+                frees: vec![],
+            },
+            // Host-side reorder of already-downloaded vectors: no
+            // device reads, defs, or frees.
+            Step::HostSort { .. } => PlanStep {
+                label: "host_sort".into(),
+                ..PlanStep::default()
+            },
+            Step::Free { slot } => PlanStep {
+                label: "free".into(),
+                reads: vec![],
+                defs: vec![],
+                frees: vec![*slot],
+            },
+        })
+        .collect();
+    (inputs, steps)
+}
+
+/// Lint one compiled plan.
+pub fn lint_plan(plan: &PhysicalPlan) -> Report {
+    let (inputs, steps) = convert(plan);
+    gpu_lint::lint_physical_plan(
+        format!("query-plan({}/{})", plan.query(), plan.backend_name()),
+        &inputs,
+        &steps,
+    )
+}
+
+/// Compile all six TPC-H queries on every backend that can plan them
+/// and lint each physical plan. ArrayFire is skipped for the
+/// join-bearing queries — it has no join algorithm (Table II), so the
+/// planner refuses at compile time and there is no plan to lint.
+pub fn query_plan_reports() -> Vec<Report> {
+    use tpch::queries::{q1, q14, q3, q4, q5, q6};
+    type Planner = fn(&dyn proto_core::backend::GpuBackend) -> gpu_sim::Result<PhysicalPlan>;
+    let queries: [(&str, Planner); 6] = [
+        ("Q1", q1::physical_plan),
+        ("Q3", q3::physical_plan),
+        ("Q4", q4::physical_plan),
+        ("Q5", q5::physical_plan),
+        ("Q6", q6::physical_plan),
+        ("Q14", q14::physical_plan),
+    ];
+    let fw = crate::paper_framework();
+    let mut reports = Vec::new();
+    for (_, build) in &queries {
+        for b in fw.backends() {
+            match build(b.as_ref()) {
+                Ok(plan) => reports.push(lint_plan(&plan)),
+                Err(_) => assert_eq!(b.name(), "ArrayFire", "only ArrayFire may fail to plan"),
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_tpch_query_plan_is_clean_on_every_backend() {
+        let reports = query_plan_reports();
+        // 6 queries × 4 backends, minus ArrayFire on the 4 join queries.
+        assert_eq!(reports.len(), 6 * 4 - 4);
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn base_columns_become_exempt_pseudo_slots() {
+        let fw = crate::paper_framework();
+        let b = fw.backend("Thrust").unwrap();
+        let plan = tpch::queries::q6::physical_plan(b).unwrap();
+        let (inputs, steps) = convert(&plan);
+        assert_eq!(inputs.len(), plan.base_columns().len());
+        for c in &inputs {
+            assert!(c.slot >= plan.slots().len(), "pseudo-slot above plan range");
+        }
+        assert_eq!(steps.len(), plan.steps().len());
+    }
+}

@@ -605,6 +605,179 @@ fn injected_orphan_dependency_is_flagged() {
     }
 }
 
+// ---- Physical-query-plan mutations -------------------------------------
+
+/// A real compiled TPC-H plan in the analyzer's shape: Q5 on the
+/// handwritten backend — the largest plan (four joins, 37 slots), so
+/// seeded injection sites spread widely.
+fn golden_physical_plan() -> (Vec<gpu_lint::PlanColumn>, Vec<gpu_lint::PlanStep>) {
+    let fw = bench::paper_framework();
+    let b = fw.backend("Handwritten").expect("handwritten backend");
+    let plan = tpch::queries::q5::physical_plan(b).expect("Q5 plans on Handwritten");
+    let (inputs, steps) = bench::plan_lint::convert(&plan);
+    assert!(
+        gpu_lint::lint_physical_plan("golden", &inputs, &steps).is_clean(),
+        "baseline physical plan must be clean before mutation"
+    );
+    (inputs, steps)
+}
+
+#[test]
+fn injected_unfreed_column_is_flagged() {
+    let (inputs, base) = golden_physical_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut steps = base.clone();
+        // Drop one free: the column it released now leaks.
+        let frees: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (!s.frees.is_empty()).then_some(i))
+            .collect();
+        let victim = frees[rng.pick(frees.len())];
+        let slot = steps[victim].frees[0];
+        steps[victim].frees.clear();
+        let def_site = steps
+            .iter()
+            .position(|s| s.defs.iter().any(|d| d.slot == slot))
+            .expect("freed slots are defined");
+        let report = gpu_lint::lint_physical_plan("mutated", &inputs, &steps);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::UnfreedPlanColumn && d.events == [def_site]),
+            "GL401 anchored at #{def_site} expected: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.errors(), 0, "a leak is a warning, not an error");
+    }
+}
+
+#[test]
+fn injected_dtype_mismatch_in_plan_is_flagged() {
+    let (inputs, base) = golden_physical_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut steps = base.clone();
+        // Flip one typed operand's requirement: the call now demands
+        // the dtype the column does not hold (a u32 key column fed to
+        // arithmetic, or measures used as gather indices).
+        let typed: Vec<(usize, usize)> = steps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.reads
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(j, r)| r.want.is_some().then_some((i, j)))
+            })
+            .collect();
+        let (i, j) = typed[rng.pick(typed.len())];
+        steps[i].reads[j].want = Some(match steps[i].reads[j].want.unwrap() {
+            gpu_lint::PlanDtype::U32 => gpu_lint::PlanDtype::F64,
+            gpu_lint::PlanDtype::F64 => gpu_lint::PlanDtype::U32,
+        });
+        let report = gpu_lint::lint_physical_plan("mutated", &inputs, &steps);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::PlanDtypeMismatch && d.events == [i]),
+            "GL402 anchored at #{i} expected: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_merge_join_on_unsorted_keys_is_flagged() {
+    let (inputs, base) = golden_physical_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut steps = base.clone();
+        // Retarget one hash join to a sort-requiring merge variant
+        // without sorting its inputs (scan-order base keys stay
+        // unsorted), modelling a lowering that picks the wrong
+        // algorithm for its operands.
+        let joins: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.label.starts_with("join").then_some(i))
+            .collect();
+        let site = joins[rng.pick(joins.len())];
+        steps[site].label = "join[Merge]".into();
+        for r in &mut steps[site].reads {
+            r.want_sorted = true;
+        }
+        let report = gpu_lint::lint_physical_plan("mutated", &inputs, &steps);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::MergeJoinUnsorted && d.events == [site]),
+            "GL403 anchored at #{site} expected: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_plan_use_after_free_is_flagged() {
+    let (inputs, base) = golden_physical_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        // Double free: repeat one free step at the plan's end.
+        let mut steps = base.clone();
+        let frees: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (!s.frees.is_empty()).then_some(i))
+            .collect();
+        let victim = frees[rng.pick(frees.len())];
+        steps.push(steps[victim].clone());
+        let site = steps.len() - 1;
+        let report = gpu_lint::lint_physical_plan("mutated", &inputs, &steps);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::PlanUseAfterFree && d.events == [site]),
+            "GL404 (double free) at #{site} expected: {:?}",
+            report.diagnostics
+        );
+
+        // Read of a slot no step defines.
+        let mut steps = base.clone();
+        let ghost = steps
+            .iter()
+            .flat_map(|s| &s.defs)
+            .map(|d| d.slot)
+            .max()
+            .unwrap_or(0)
+            + 1000
+            + seed as usize;
+        let site = rng.pick(steps.len() + 1);
+        steps.insert(
+            site,
+            gpu_lint::PlanStep {
+                label: "gather".into(),
+                reads: vec![gpu_lint::PlanUse::any(ghost)],
+                ..gpu_lint::PlanStep::default()
+            },
+        );
+        let report = gpu_lint::lint_physical_plan("mutated", &inputs, &steps);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::PlanUseAfterFree && d.events == [site]),
+            "GL404 (undefined read) at #{site} expected: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
 // ---- Golden gate -------------------------------------------------------
 
 #[test]
@@ -624,4 +797,11 @@ fn golden_grid_traces_produce_zero_diagnostics() {
     }
     let plan = golden_plan();
     assert!(gpu_lint::lint_plan("plan", &plan).is_clean());
+    for report in bench::plan_lint::query_plan_reports() {
+        assert!(
+            report.is_clean(),
+            "TPC-H physical plan is not clean:\n{}",
+            report.render()
+        );
+    }
 }

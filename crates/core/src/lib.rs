@@ -15,7 +15,12 @@
 //! * [`framework`] — the registry + generated support matrix (Table II);
 //! * [`survey`] — the 43-library catalogue (Table I);
 //! * [`runner`] — deterministic simulated-time measurement;
-//! * [`workload`] — seeded data generators for all experiments.
+//! * [`workload`] — seeded data generators for all experiments;
+//! * [`logical`] — the backend-free logical query IR;
+//! * [`optimizer`] — rewrite passes + the planner lowering logical
+//!   plans onto backends;
+//! * [`physical`] — compiled [`PhysicalPlan`](physical::PhysicalPlan)s:
+//!   inspectable step lists with an interpreter.
 //!
 //! ```
 //! use proto_core::prelude::*;
@@ -39,7 +44,10 @@ pub mod advisor;
 pub mod backend;
 pub mod backends;
 pub mod framework;
+pub mod logical;
 pub mod ops;
+pub mod optimizer;
+pub mod physical;
 pub mod plan;
 pub mod resilient;
 pub mod runner;
@@ -52,7 +60,10 @@ pub mod prelude {
     pub use crate::backend::{Col, ColType, GpuBackend, Pred};
     pub use crate::backends::{ArrayFireBackend, BoostBackend, HandwrittenBackend, ThrustBackend};
     pub use crate::framework::Framework;
+    pub use crate::logical::{AggExpr, ColumnDecl, JoinCol, JoinSide, LogicalPlan, ResultOrder};
     pub use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
+    pub use crate::optimizer::{PassTrace, PlannerOptions};
+    pub use crate::physical::{PhysicalPlan, PlanBindings, PlanOutput, PlanValue, Step};
     pub use crate::plan::{Agg, AggQuery, Bindings, Expr, Predicate, QueryResult};
     pub use crate::resilient::{ResilientBackend, ResilientExecutor, RetryPolicy};
     pub use crate::runner::{measure, Experiment, Sample};

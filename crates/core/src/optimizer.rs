@@ -1,0 +1,1708 @@
+//! The planner: rewrite passes over [`LogicalPlan`] and the lowering
+//! onto a backend-specific [`PhysicalPlan`].
+//!
+//! Compilation runs in two stages:
+//!
+//! 1. **Optimize** ([`optimize`] / [`optimize_traced`]) — backend-free,
+//!    rule-based rewrites: [`predicate_pushdown`] sinks filter conjuncts
+//!    towards their scans (through projects, and into exactly one side
+//!    of a join when every referenced column resolves there), and
+//!    [`projection_pruning`] drops scan columns nothing downstream
+//!    reads.
+//! 2. **Lower** ([`plan`] / [`plan_with`]) — pick the best supported
+//!    [`JoinAlgo`] (hash > merge > nested loops, erroring with the
+//!    Table-II message when a backend supports none), then translate the
+//!    tree into straight-line [`crate::physical::Step`]s. The lowering
+//!    deduplicates structurally identical subtrees (Q5's shared
+//!    region-filtered nations), caches common aggregate subexpressions,
+//!    mirrors [`crate::plan::Expr`]'s constant folding and affine
+//!    shortcuts, and — when [`PlannerOptions::fuse_fast_paths`] is on —
+//!    fuses conjunctive-filter + product + sum aggregates into the
+//!    single [`crate::physical::Step::FilterSumProduct`] fast path (Q6).
+//!
+//! Adding a pass: write a `fn my_pass(&LogicalPlan) -> LogicalPlan`
+//! rewriting the tree, append it to the chain in [`optimize`] and
+//! [`optimize_traced`] (so golden tests can snapshot its effect), and
+//! cover it with a structural unit test here — plans are `PartialEq`.
+
+use crate::backend::{ColType, GpuBackend};
+use crate::logical::{AggExpr, JoinSide, LogicalPlan};
+use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
+use crate::physical::{ColRef, PhysicalPlan, PlanPred, SlotKind, SlotMeta, Step};
+use crate::plan::{Expr, Predicate};
+use gpu_sim::{Result, SimError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pick the best join algorithm `backend` supports: hash beats merge
+/// beats nested loops. `None` when the backend cannot join at all
+/// (ArrayFire, per Table II).
+pub fn best_join(backend: &dyn GpuBackend) -> Option<JoinAlgo> {
+    [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops]
+        .into_iter()
+        .find(|algo| backend.support(algo.operator()) != Support::None)
+}
+
+/// Knobs of [`plan_with`].
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Rewrite eligible scalar aggregates into the fused
+    /// `filter_sum_product` fast path (default on; turn off to inspect
+    /// the unfused operator chain).
+    pub fuse_fast_paths: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            fuse_fast_paths: true,
+        }
+    }
+}
+
+/// One rewrite-pass snapshot from [`optimize_traced`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTrace {
+    /// Pass name (`"initial"` for the input plan).
+    pub pass: &'static str,
+    /// [`LogicalPlan::render`] of the tree after the pass.
+    pub plan: String,
+}
+
+/// Run every rewrite pass in order: predicate pushdown, then projection
+/// pruning.
+pub fn optimize(plan: &LogicalPlan) -> LogicalPlan {
+    projection_pruning(&predicate_pushdown(plan))
+}
+
+/// [`optimize`], returning the rendered tree after each pass for
+/// inspection and golden tests.
+pub fn optimize_traced(plan: &LogicalPlan) -> (LogicalPlan, Vec<PassTrace>) {
+    let mut traces = vec![PassTrace {
+        pass: "initial",
+        plan: plan.render(),
+    }];
+    let pushed = predicate_pushdown(plan);
+    traces.push(PassTrace {
+        pass: "predicate_pushdown",
+        plan: pushed.render(),
+    });
+    let pruned = projection_pruning(&pushed);
+    traces.push(PassTrace {
+        pass: "projection_pruning",
+        plan: pruned.render(),
+    });
+    (pruned, traces)
+}
+
+/// Sink filter conjuncts as close to their scans as possible.
+///
+/// Filters dissolve into individual conjuncts that travel down through
+/// projects (when every referenced column resolves below) and into the
+/// single join side whose scope covers them; conjuncts naming a join's
+/// own output columns (or spanning both sides) re-materialise as a
+/// `Filter` right above the node that produces those names.
+pub fn predicate_pushdown(plan: &LogicalPlan) -> LogicalPlan {
+    push(plan, Vec::new())
+}
+
+fn conjuncts(p: &Predicate, out: &mut Vec<Predicate>) {
+    match p {
+        Predicate::And(parts) => {
+            for q in parts {
+                conjuncts(q, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn and_of(mut preds: Vec<Predicate>) -> Predicate {
+    if preds.len() == 1 {
+        preds.pop().expect("non-empty")
+    } else {
+        Predicate::And(preds)
+    }
+}
+
+fn wrap(plan: LogicalPlan, pending: Vec<Predicate>) -> LogicalPlan {
+    if pending.is_empty() {
+        plan
+    } else {
+        plan.filter(and_of(pending))
+    }
+}
+
+fn push(plan: &LogicalPlan, pending: Vec<Predicate>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            // Dissolve: this filter's conjuncts (evaluated first) join
+            // whatever arrived from above.
+            let mut own = Vec::new();
+            conjuncts(predicate, &mut own);
+            own.extend(pending);
+            push(input, own)
+        }
+        LogicalPlan::Scan { .. } => wrap(plan.clone(), pending),
+        LogicalPlan::Project { input, columns } => {
+            let deep = input.deep_columns();
+            let (below, above): (Vec<_>, Vec<_>) = pending
+                .into_iter()
+                .partition(|p| p.columns().iter().all(|c| deep.contains(*c)));
+            wrap(
+                LogicalPlan::Project {
+                    input: Box::new(push(input, below)),
+                    columns: columns.clone(),
+                },
+                above,
+            )
+        }
+        LogicalPlan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            semi_distinct,
+            project,
+        } => {
+            let bdeep = build.deep_columns();
+            let pdeep = probe.deep_columns();
+            let (mut to_build, mut to_probe, mut stay) = (Vec::new(), Vec::new(), Vec::new());
+            for p in pending {
+                let cols = p.columns();
+                let in_b = cols.iter().all(|c| bdeep.contains(*c));
+                let in_p = cols.iter().all(|c| pdeep.contains(*c));
+                match (in_b, in_p) {
+                    (true, false) => to_build.push(p),
+                    (false, true) => to_probe.push(p),
+                    // Ambiguous, cross-side, or over this join's own
+                    // output names: evaluate at this level.
+                    _ => stay.push(p),
+                }
+            }
+            wrap(
+                LogicalPlan::Join {
+                    build: Box::new(push(build, to_build)),
+                    probe: Box::new(push(probe, to_probe)),
+                    build_key: build_key.clone(),
+                    probe_key: probe_key.clone(),
+                    semi_distinct: *semi_distinct,
+                    project: project.clone(),
+                },
+                stay,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => wrap(
+            LogicalPlan::Aggregate {
+                input: Box::new(push(input, Vec::new())),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            pending,
+        ),
+        LogicalPlan::SortLimit {
+            input,
+            order,
+            limit,
+        } => wrap(
+            LogicalPlan::SortLimit {
+                input: Box::new(push(input, Vec::new())),
+                order: *order,
+                limit: *limit,
+            },
+            pending,
+        ),
+    }
+}
+
+/// Drop scan columns nothing in the plan references (predicates,
+/// expressions, projections, join keys and sources, group keys).
+pub fn projection_pruning(plan: &LogicalPlan) -> LogicalPlan {
+    let mut used = BTreeSet::new();
+    collect_used(plan, &mut used);
+    prune(plan, &used)
+}
+
+fn collect_used(plan: &LogicalPlan, used: &mut BTreeSet<String>) {
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Filter { input, predicate } => {
+            for c in predicate.columns() {
+                used.insert(c.to_string());
+            }
+            collect_used(input, used);
+        }
+        LogicalPlan::Project { input, columns } => {
+            for c in columns {
+                used.insert(c.clone());
+            }
+            collect_used(input, used);
+        }
+        LogicalPlan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            project,
+            ..
+        } => {
+            used.insert(build_key.clone());
+            used.insert(probe_key.clone());
+            for jc in project {
+                used.insert(jc.source.clone());
+            }
+            collect_used(build, used);
+            collect_used(probe, used);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            if let Some(k) = group_by {
+                used.insert(k.clone());
+            }
+            for (_, agg) in aggs {
+                if let AggExpr::Sum(e) = agg {
+                    for c in e.columns() {
+                        used.insert(c.to_string());
+                    }
+                }
+            }
+            collect_used(input, used);
+        }
+        LogicalPlan::SortLimit { input, .. } => collect_used(input, used),
+    }
+}
+
+fn prune(plan: &LogicalPlan, used: &BTreeSet<String>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table, columns } => LogicalPlan::Scan {
+            table: table.clone(),
+            columns: columns
+                .iter()
+                .filter(|c| used.contains(&format!("{table}.{}", c.name)))
+                .cloned()
+                .collect(),
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(prune(input, used)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(prune(input, used)),
+            columns: columns.clone(),
+        },
+        LogicalPlan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            semi_distinct,
+            project,
+        } => LogicalPlan::Join {
+            build: Box::new(prune(build, used)),
+            probe: Box::new(prune(probe, used)),
+            build_key: build_key.clone(),
+            probe_key: probe_key.clone(),
+            semi_distinct: *semi_distinct,
+            project: project.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(prune(input, used)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::SortLimit {
+            input,
+            order,
+            limit,
+        } => LogicalPlan::SortLimit {
+            input: Box::new(prune(input, used)),
+            order: *order,
+            limit: *limit,
+        },
+    }
+}
+
+/// Compile `logical` for `backend` with default [`PlannerOptions`]:
+/// optimize, select the join algorithm, lower to a [`PhysicalPlan`].
+pub fn plan(query: &str, logical: &LogicalPlan, backend: &dyn GpuBackend) -> Result<PhysicalPlan> {
+    plan_with(query, logical, backend, &PlannerOptions::default())
+}
+
+/// [`plan`] with explicit [`PlannerOptions`].
+pub fn plan_with(
+    query: &str,
+    logical: &LogicalPlan,
+    backend: &dyn GpuBackend,
+    opts: &PlannerOptions,
+) -> Result<PhysicalPlan> {
+    let optimized = optimize(logical);
+    let join_algo = if optimized.contains_join() {
+        match best_join(backend) {
+            Some(a) => Some(a),
+            None => {
+                return Err(SimError::Unsupported(format!(
+                    "{} supports no join algorithm (Table II)",
+                    backend.name()
+                )))
+            }
+        }
+    } else {
+        None
+    };
+    let mut lw = Lowerer {
+        backend,
+        fuse: opts.fuse_fast_paths,
+        join_algo,
+        fused: false,
+        steps: Vec::new(),
+        realize: Vec::new(),
+        slots: Vec::new(),
+        freed: Vec::new(),
+        outputs: Vec::new(),
+        base: BTreeMap::new(),
+        rel_cache: Vec::new(),
+    };
+    lw.lower_root(&optimized)?;
+    Ok(PhysicalPlan {
+        query: query.to_string(),
+        backend: backend.name().to_string(),
+        join_algo,
+        fused: lw.fused,
+        steps: lw.steps,
+        realize: lw.realize,
+        slots: lw.slots,
+        outputs: lw.outputs,
+        base: lw.base,
+    })
+}
+
+/// A lowered relation: how the rows of a logical subtree exist on the
+/// device at this point of the step list.
+#[derive(Clone)]
+enum Rel {
+    /// A bare scan — columns resolved by qualified base name.
+    Base(Vec<(String, ColType)>),
+    /// Filtered rows of `source`, selected by the row-id column `ids`.
+    Ids { source: Box<Rel>, ids: usize },
+    /// Materialised columns (name → slot), with the producing join's
+    /// context kept for late build-side resolution (Q14's mask).
+    Mat {
+        cols: Vec<(String, usize)>,
+        join: Option<JoinCtx>,
+    },
+}
+
+/// Join context a [`Rel::Mat`] carries: the build relation and the slot
+/// holding build-side row indices, so expressions can still pull
+/// build-side base columns through the match list.
+#[derive(Clone)]
+struct JoinCtx {
+    build: Box<Rel>,
+    right_idx: usize,
+}
+
+fn join_of(rel: &Rel) -> Option<&JoinCtx> {
+    match rel {
+        Rel::Mat {
+            join: Some(ctx), ..
+        } => Some(ctx),
+        _ => None,
+    }
+}
+
+/// Either a device column reference or a folded constant, while
+/// lowering an expression.
+enum LowerVal {
+    Ref(ColRef),
+    Const(f64),
+}
+
+enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+/// Expression-lowering context: the subexpression cache plus the
+/// eager-free bookkeeping for scalar aggregates.
+struct ExprCtx {
+    cache: Vec<(Expr, ColRef)>,
+    /// Grouped mode caches every composite result; scalar mode caches
+    /// only subtrees shared between aggregates (the rest is freed
+    /// eagerly after each reduction).
+    cache_all: bool,
+    /// Composite subtrees appearing in more than one aggregate.
+    shared: Vec<Expr>,
+    /// While > 0, newly created slots belong to a shared subtree and
+    /// must survive until plan end.
+    defer_depth: usize,
+    /// Slots exempt from the per-aggregate eager free.
+    deferred: Vec<usize>,
+}
+
+impl ExprCtx {
+    fn grouped() -> Self {
+        ExprCtx {
+            cache: Vec::new(),
+            cache_all: true,
+            shared: Vec::new(),
+            defer_depth: 0,
+            deferred: Vec::new(),
+        }
+    }
+
+    fn scalar(shared: Vec<Expr>) -> Self {
+        ExprCtx {
+            cache: Vec::new(),
+            cache_all: false,
+            shared,
+            defer_depth: 0,
+            deferred: Vec::new(),
+        }
+    }
+
+    fn lookup(&self, e: &Expr) -> Option<ColRef> {
+        self.cache
+            .iter()
+            .find(|(k, _)| k == e)
+            .map(|(_, r)| r.clone())
+    }
+}
+
+struct Lowerer<'a> {
+    backend: &'a dyn GpuBackend,
+    fuse: bool,
+    join_algo: Option<JoinAlgo>,
+    fused: bool,
+    steps: Vec<Step>,
+    realize: Vec<String>,
+    slots: Vec<SlotMeta>,
+    /// Parallel to `slots`: whether a Free step has been emitted.
+    freed: Vec<bool>,
+    outputs: Vec<(String, usize)>,
+    base: BTreeMap<String, ColType>,
+    /// Structural CSE: identical logical subtrees lower once (Q5 shares
+    /// the region-filtered nations between two joins).
+    rel_cache: Vec<(LogicalPlan, Rel)>,
+}
+
+fn unknown(name: &str) -> SimError {
+    SimError::Unsupported(format!("unknown plan column `{name}`"))
+}
+
+/// Unqualified tail of a column name, for slot labels.
+fn short(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
+impl Lowerer<'_> {
+    fn how(&self, op: DbOperator) -> String {
+        self.backend.realization(op).to_string()
+    }
+
+    fn new_slot(&mut self, name: &str, kind: SlotKind) -> usize {
+        self.slots.push(SlotMeta {
+            name: name.to_string(),
+            kind,
+        });
+        self.freed.push(false);
+        self.slots.len() - 1
+    }
+
+    fn emit(&mut self, step: Step, how: String) {
+        self.steps.push(step);
+        self.realize.push(how);
+    }
+
+    fn device(dtype: ColType, sorted: bool) -> SlotKind {
+        SlotKind::Device { dtype, sorted }
+    }
+
+    fn slot_dtype(&self, slot: usize) -> ColType {
+        match self.slots[slot].kind {
+            SlotKind::Device { dtype, .. } => dtype,
+            _ => ColType::F64,
+        }
+    }
+
+    /// Resolve `name` in an already-materialised relation.
+    fn rel_ref(&self, rel: &Rel, name: &str) -> Result<(ColRef, ColType)> {
+        match rel {
+            Rel::Base(cols) => cols
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(n, t)| (ColRef::Base(n.clone()), *t))
+                .ok_or_else(|| unknown(name)),
+            Rel::Mat { cols, .. } => cols
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| (ColRef::Slot(*s), self.slot_dtype(*s)))
+                .ok_or_else(|| unknown(name)),
+            Rel::Ids { .. } => Err(SimError::Unsupported(format!(
+                "column `{name}` must be materialised (Project) before use"
+            ))),
+        }
+    }
+
+    fn emit_gather(&mut self, data: ColRef, dtype: ColType, ids: usize, label: &str) -> usize {
+        let out = self.new_slot(label, Self::device(dtype, false));
+        let how = self.how(DbOperator::ScatterGather);
+        self.emit(
+            Step::Gather {
+                data,
+                ids: ColRef::Slot(ids),
+                out,
+            },
+            how,
+        );
+        out
+    }
+
+    fn free_now(&mut self, slot: usize) {
+        if !self.freed[slot] && matches!(self.slots[slot].kind, SlotKind::Device { .. }) {
+            self.freed[slot] = true;
+            self.steps.push(Step::Free { slot });
+            self.realize.push(String::new());
+        }
+    }
+
+    /// Release every still-live device column, in creation order — the
+    /// convention the hand-tuned queries follow at plan end.
+    fn free_all_live(&mut self) {
+        for slot in 0..self.slots.len() {
+            self.free_now(slot);
+        }
+    }
+
+    fn lower_root(&mut self, plan: &LogicalPlan) -> Result<()> {
+        match plan {
+            LogicalPlan::SortLimit {
+                input,
+                order,
+                limit,
+            } => {
+                let LogicalPlan::Aggregate {
+                    input: agg_in,
+                    group_by,
+                    aggs,
+                } = input.as_ref()
+                else {
+                    return Err(SimError::Unsupported(
+                        "SortLimit must wrap an Aggregate".into(),
+                    ));
+                };
+                let downloads = self.lower_aggregate(agg_in, group_by.as_deref(), aggs)?;
+                self.free_all_live();
+                let Some((keys, vals)) = downloads else {
+                    return Err(SimError::Unsupported(
+                        "SortLimit over a scalar aggregate".into(),
+                    ));
+                };
+                self.emit(
+                    Step::HostSort {
+                        keys,
+                        vals,
+                        order: *order,
+                        limit: *limit,
+                    },
+                    "host sort".to_string(),
+                );
+                Ok(())
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                self.lower_aggregate(input, group_by.as_deref(), aggs)?;
+                self.free_all_live();
+                Ok(())
+            }
+            _ => Err(SimError::Unsupported(
+                "plan root must be an Aggregate (optionally under SortLimit)".into(),
+            )),
+        }
+    }
+
+    /// Lower an aggregate node. Returns the download slots
+    /// `(keys, values)` for grouped aggregates (for a later HostSort),
+    /// `None` for scalar ones.
+    fn lower_aggregate(
+        &mut self,
+        input: &LogicalPlan,
+        group_by: Option<&str>,
+        aggs: &[(String, AggExpr)],
+    ) -> Result<Option<(usize, Vec<usize>)>> {
+        if self.fuse && group_by.is_none() && aggs.len() == 1 {
+            if let Some(slot) = self.try_fuse(input, aggs)? {
+                self.outputs.push((aggs[0].0.clone(), slot));
+                return Ok(None);
+            }
+        }
+        let rel = self.lower_rel(input)?;
+        match group_by {
+            Some(key) => self.lower_grouped(&rel, key, aggs).map(Some),
+            None => {
+                self.lower_scalar(&rel, aggs)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// The Q6 fast path: `SUM(a · b)` over a conjunctive literal filter
+    /// on a bare scan fuses into one `filter_sum_product` call.
+    fn try_fuse(
+        &mut self,
+        input: &LogicalPlan,
+        aggs: &[(String, AggExpr)],
+    ) -> Result<Option<usize>> {
+        let LogicalPlan::Filter {
+            input: scan,
+            predicate,
+        } = input
+        else {
+            return Ok(None);
+        };
+        if !matches!(scan.as_ref(), LogicalPlan::Scan { .. }) {
+            return Ok(None);
+        }
+        let AggExpr::Sum(Expr::Mul(a, b)) = &aggs[0].1 else {
+            return Ok(None);
+        };
+        let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) else {
+            return Ok(None);
+        };
+        let cmps: Vec<(String, CmpOp, f64)> = match predicate {
+            Predicate::Cmp(c, op, lit) => vec![(c.clone(), *op, *lit)],
+            Predicate::And(parts) => {
+                let simple: Option<Vec<_>> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Predicate::Cmp(c, op, lit) => Some((c.clone(), *op, *lit)),
+                        _ => None,
+                    })
+                    .collect();
+                match simple {
+                    Some(s) => s,
+                    None => return Ok(None),
+                }
+            }
+            _ => return Ok(None),
+        };
+        let rel = self.lower_rel(scan)?;
+        let (ra, _) = self.rel_ref(&rel, ca)?;
+        let (rb, _) = self.rel_ref(&rel, cb)?;
+        let preds: Vec<PlanPred> = cmps
+            .iter()
+            .map(|(c, op, lit)| {
+                let (col, _) = self.rel_ref(&rel, c)?;
+                Ok(PlanPred {
+                    col,
+                    cmp: *op,
+                    lit: *lit,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let out = self.new_slot(&aggs[0].0, SlotKind::Scalar);
+        let how = format!(
+            "{} ; {}",
+            self.backend.realization(DbOperator::Selection),
+            self.backend.realization(DbOperator::Reduction)
+        );
+        self.emit(
+            Step::FilterSumProduct {
+                a: ra,
+                b: rb,
+                preds,
+                out,
+            },
+            how,
+        );
+        self.fused = true;
+        Ok(Some(out))
+    }
+
+    fn lower_rel(&mut self, plan: &LogicalPlan) -> Result<Rel> {
+        if let Some((_, rel)) = self.rel_cache.iter().find(|(p, _)| p == plan) {
+            return Ok(rel.clone());
+        }
+        let rel = match plan {
+            LogicalPlan::Scan { table, columns } => {
+                let cols: Vec<(String, ColType)> = columns
+                    .iter()
+                    .map(|c| (format!("{table}.{}", c.name), c.dtype))
+                    .collect();
+                for (n, t) in &cols {
+                    self.base.insert(n.clone(), *t);
+                }
+                Rel::Base(cols)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let src = self.lower_rel(input)?;
+                let ids = self.lower_filter(&src, predicate)?;
+                Rel::Ids {
+                    source: Box::new(src),
+                    ids,
+                }
+            }
+            LogicalPlan::Project { input, columns } => {
+                let src = self.lower_rel(input)?;
+                match src {
+                    Rel::Ids { source, ids } => {
+                        let mut cols = Vec::new();
+                        for name in columns {
+                            let (data, dtype) = self.rel_ref(&source, name)?;
+                            let slot = self.emit_gather(data, dtype, ids, short(name));
+                            cols.push((name.clone(), slot));
+                        }
+                        Rel::Mat { cols, join: None }
+                    }
+                    Rel::Base(cols) => {
+                        let kept: Vec<(String, ColType)> = columns
+                            .iter()
+                            .map(|name| {
+                                cols.iter()
+                                    .find(|(n, _)| n == name)
+                                    .cloned()
+                                    .ok_or_else(|| unknown(name))
+                            })
+                            .collect::<Result<_>>()?;
+                        Rel::Base(kept)
+                    }
+                    Rel::Mat { cols, join } => {
+                        let kept: Vec<(String, usize)> = columns
+                            .iter()
+                            .map(|name| {
+                                cols.iter()
+                                    .find(|(n, _)| n == name)
+                                    .cloned()
+                                    .ok_or_else(|| unknown(name))
+                            })
+                            .collect::<Result<_>>()?;
+                        Rel::Mat { cols: kept, join }
+                    }
+                }
+            }
+            LogicalPlan::Join { .. } => self.lower_join(plan)?,
+            LogicalPlan::Aggregate { .. } | LogicalPlan::SortLimit { .. } => {
+                return Err(SimError::Unsupported(
+                    "nested aggregates are not lowerable; aggregate at the plan root".into(),
+                ))
+            }
+        };
+        self.rel_cache.push((plan.clone(), rel.clone()));
+        Ok(rel)
+    }
+
+    fn lower_filter(&mut self, rel: &Rel, pred: &Predicate) -> Result<usize> {
+        match pred {
+            Predicate::Cmp(col, cmp, lit) => {
+                let (input, _) = self.rel_ref(rel, col)?;
+                let out = self.new_slot("ids", Self::device(ColType::U32, true));
+                let how = self.how(DbOperator::Selection);
+                self.emit(
+                    Step::Selection {
+                        input,
+                        cmp: *cmp,
+                        lit: *lit,
+                        out,
+                    },
+                    how,
+                );
+                Ok(out)
+            }
+            Predicate::ColCmp(a, cmp, b) => {
+                let (ra, _) = self.rel_ref(rel, a)?;
+                let (rb, _) = self.rel_ref(rel, b)?;
+                let out = self.new_slot("ids", Self::device(ColType::U32, true));
+                let how = self.how(DbOperator::Selection);
+                self.emit(
+                    Step::SelectionCmpCols {
+                        a: ra,
+                        b: rb,
+                        cmp: *cmp,
+                        out,
+                    },
+                    how,
+                );
+                Ok(out)
+            }
+            Predicate::And(parts) | Predicate::Or(parts) => {
+                let conn = if matches!(pred, Predicate::And(_)) {
+                    Connective::And
+                } else {
+                    Connective::Or
+                };
+                let preds: Vec<PlanPred> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Predicate::Cmp(c, cmp, lit) => {
+                            let (col, _) = self.rel_ref(rel, c)?;
+                            Ok(PlanPred {
+                                col,
+                                cmp: *cmp,
+                                lit: *lit,
+                            })
+                        }
+                        _ => Err(SimError::Unsupported(
+                            "only literal comparisons compose under AND/OR in a plan filter".into(),
+                        )),
+                    })
+                    .collect::<Result<_>>()?;
+                let out = self.new_slot("ids", Self::device(ColType::U32, true));
+                let how = self.how(DbOperator::ConjunctionDisjunction);
+                self.emit(Step::SelectionMulti { preds, conn, out }, how);
+                Ok(out)
+            }
+        }
+    }
+
+    fn lower_join(&mut self, plan: &LogicalPlan) -> Result<Rel> {
+        let LogicalPlan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            semi_distinct,
+            project,
+        } = plan
+        else {
+            unreachable!("lower_join is only called on Join nodes");
+        };
+        let algo = self
+            .join_algo
+            .expect("join algorithm pre-selected for join-bearing plans");
+        // Build side first, then probe — the hand-tuned plan order.
+        let build_rel = self.lower_rel(build)?;
+        let probe_rel = self.lower_rel(probe)?;
+        let (outer, _) = self.rel_ref(&probe_rel, probe_key)?;
+        let (inner, _) = self.rel_ref(&build_rel, build_key)?;
+        let how = self.how(algo.operator());
+        // Outer-row indices come out non-decreasing; inner-row ones do
+        // not (hash/probe order).
+        let out_left = self.new_slot("join_l", Self::device(ColType::U32, true));
+        let out_right = self.new_slot("join_r", Self::device(ColType::U32, false));
+        self.emit(
+            Step::Join {
+                outer,
+                inner,
+                algo,
+                out_left,
+                out_right,
+            },
+            how,
+        );
+        if *semi_distinct {
+            // EXISTS: collapse matches to distinct build rows by grouping
+            // the build-side indices over a ones column.
+            let ones = self.new_slot("ones", Self::device(ColType::F64, false));
+            let how = self.how(DbOperator::Product);
+            self.emit(
+                Step::ConstantOnes {
+                    like: ColRef::Slot(out_right),
+                    out: ones,
+                },
+                how,
+            );
+            let dk = self.new_slot("distinct", Self::device(ColType::U32, true));
+            let dn = self.new_slot("distinct_n", Self::device(ColType::F64, false));
+            let how = self.how(DbOperator::GroupedAggregation);
+            self.emit(
+                Step::GroupedSum {
+                    keys: ColRef::Slot(out_right),
+                    vals: ColRef::Slot(ones),
+                    out_keys: dk,
+                    out_vals: dn,
+                },
+                how,
+            );
+            let mut cols = Vec::new();
+            for jc in project {
+                if jc.side != JoinSide::Build {
+                    return Err(SimError::Unsupported(
+                        "a semi-distinct join projects build-side columns only".into(),
+                    ));
+                }
+                let (data, dtype) = self.rel_ref(&build_rel, &jc.source)?;
+                let slot = self.emit_gather(data, dtype, dk, &jc.output);
+                cols.push((jc.output.clone(), slot));
+            }
+            Ok(Rel::Mat { cols, join: None })
+        } else {
+            let mut cols = Vec::new();
+            for jc in project {
+                let (src_rel, idx) = match jc.side {
+                    JoinSide::Probe => (&probe_rel, out_left),
+                    JoinSide::Build => (&build_rel, out_right),
+                };
+                let (data, dtype) = self.rel_ref(src_rel, &jc.source)?;
+                let slot = self.emit_gather(data, dtype, idx, &jc.output);
+                cols.push((jc.output.clone(), slot));
+            }
+            Ok(Rel::Mat {
+                cols,
+                join: Some(JoinCtx {
+                    build: Box::new(build_rel),
+                    right_idx: out_right,
+                }),
+            })
+        }
+    }
+
+    /// Columns an aggregate needs materialised: the group key (if any)
+    /// first, then each aggregate expression's plain column reads in
+    /// first-use order. Mask inputs are *not* materialised — a dense
+    /// mask reads its source column in place (scope or join build
+    /// side), by construction.
+    fn needed_columns(group_by: Option<&str>, aggs: &[(String, AggExpr)]) -> Vec<String> {
+        fn cols(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Col(name) => {
+                    if !out.iter().any(|n| n == name) {
+                        out.push(name.clone());
+                    }
+                }
+                Expr::Lit(_) | Expr::Mask(..) => {}
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                    cols(a, out);
+                    cols(b, out);
+                }
+            }
+        }
+        let mut needed: Vec<String> = Vec::new();
+        if let Some(k) = group_by {
+            needed.push(k.to_string());
+        }
+        for (_, agg) in aggs {
+            if let AggExpr::Sum(e) = agg {
+                cols(e, &mut needed);
+            }
+        }
+        needed
+    }
+
+    /// Materialise (or resolve in place) the columns an aggregate reads.
+    /// Filtered inputs gather each column through the row ids; join
+    /// outputs and bare scans resolve directly.
+    fn aggregate_scope(
+        &mut self,
+        rel: &Rel,
+        needed: &[String],
+    ) -> Result<Vec<(String, ColRef, ColType)>> {
+        let mut scope = Vec::new();
+        match rel {
+            Rel::Ids { source, ids } => {
+                let ids = *ids;
+                for name in needed {
+                    let (data, dtype) = self.rel_ref(source, name)?;
+                    let slot = self.emit_gather(data, dtype, ids, short(name));
+                    scope.push((name.clone(), ColRef::Slot(slot), dtype));
+                }
+            }
+            Rel::Base(_) | Rel::Mat { .. } => {
+                for name in needed {
+                    let (r, dtype) = self.rel_ref(rel, name)?;
+                    scope.push((name.clone(), r, dtype));
+                }
+            }
+        }
+        Ok(scope)
+    }
+
+    fn lower_grouped(
+        &mut self,
+        rel: &Rel,
+        key: &str,
+        aggs: &[(String, AggExpr)],
+    ) -> Result<(usize, Vec<usize>)> {
+        let needed = Self::needed_columns(Some(key), aggs);
+        let scope = self.aggregate_scope(rel, &needed)?;
+        let key_ref = scope[0].1.clone();
+        let first_f64 = scope
+            .iter()
+            .find(|(_, _, t)| *t == ColType::F64)
+            .map(|(_, r, _)| r.clone());
+        // Evaluate every aggregate's value column (shared subexpressions
+        // lower once), then run one grouped reduction per aggregate.
+        let mut ctx = ExprCtx::grouped();
+        let mut val_refs = Vec::new();
+        for (name, agg) in aggs {
+            let v = match agg {
+                AggExpr::Sum(e) => match self.lower_expr(e, &scope, join_of(rel), &mut ctx)? {
+                    LowerVal::Ref(r) => r,
+                    LowerVal::Const(_) => {
+                        return Err(SimError::Unsupported(format!(
+                            "aggregate `{name}` reduces a constant expression"
+                        )))
+                    }
+                },
+                AggExpr::Count => {
+                    // COUNT(*) sums a ones column: derived from the first
+                    // f64 input via `0·x + 1` when one exists (no fresh
+                    // allocation path), otherwise filled to key length.
+                    let out = self.new_slot("ones", Self::device(ColType::F64, false));
+                    let how = self.how(DbOperator::Product);
+                    match &first_f64 {
+                        Some(r) => self.emit(
+                            Step::Affine {
+                                input: r.clone(),
+                                mul: 0.0,
+                                add: 1.0,
+                                out,
+                            },
+                            how,
+                        ),
+                        None => self.emit(
+                            Step::ConstantOnes {
+                                like: key_ref.clone(),
+                                out,
+                            },
+                            how,
+                        ),
+                    }
+                    ColRef::Slot(out)
+                }
+            };
+            val_refs.push(v);
+        }
+        let mut pairs = Vec::new();
+        for ((name, _), val) in aggs.iter().zip(&val_refs) {
+            let out_keys = self.new_slot("group_keys", Self::device(ColType::U32, true));
+            let out_vals = self.new_slot(name, Self::device(ColType::F64, false));
+            let how = self.how(DbOperator::GroupedAggregation);
+            self.emit(
+                Step::GroupedSum {
+                    keys: key_ref.clone(),
+                    vals: val.clone(),
+                    out_keys,
+                    out_vals,
+                },
+                how,
+            );
+            pairs.push((out_keys, out_vals));
+        }
+        // Download the (small) result: keys from the first reduction,
+        // then every aggregate column.
+        let key_dl = self.new_slot("keys", SlotKind::HostU32);
+        self.emit(
+            Step::DownloadU32 {
+                input: ColRef::Slot(pairs[0].0),
+                out: key_dl,
+            },
+            "device→host".to_string(),
+        );
+        self.outputs.push(("keys".to_string(), key_dl));
+        let mut val_dls = Vec::new();
+        for ((name, _), (_, vals)) in aggs.iter().zip(&pairs) {
+            let dl = self.new_slot(name, SlotKind::HostF64);
+            self.emit(
+                Step::DownloadF64 {
+                    input: ColRef::Slot(*vals),
+                    out: dl,
+                },
+                "device→host".to_string(),
+            );
+            self.outputs.push((name.clone(), dl));
+            val_dls.push(dl);
+        }
+        Ok((key_dl, val_dls))
+    }
+
+    fn lower_scalar(&mut self, rel: &Rel, aggs: &[(String, AggExpr)]) -> Result<()> {
+        let needed = Self::needed_columns(None, aggs);
+        let scope = self.aggregate_scope(rel, &needed)?;
+        let mut ctx = ExprCtx::scalar(shared_subtrees(aggs));
+        for (name, agg) in aggs {
+            let AggExpr::Sum(e) = agg else {
+                return Err(SimError::Unsupported(
+                    "COUNT(*) requires a GROUP BY in a physical plan".into(),
+                ));
+            };
+            let start = self.slots.len();
+            let val = match self.lower_expr(e, &scope, join_of(rel), &mut ctx)? {
+                LowerVal::Ref(r) => r,
+                LowerVal::Const(_) => {
+                    return Err(SimError::Unsupported(format!(
+                        "aggregate `{name}` reduces a constant expression"
+                    )))
+                }
+            };
+            let out = self.new_slot(name, SlotKind::Scalar);
+            let how = self.how(DbOperator::Reduction);
+            self.emit(Step::Reduce { input: val, out }, how);
+            self.outputs.push((name.clone(), out));
+            // Eagerly release this aggregate's private intermediates;
+            // shared subexpressions stay live for later aggregates.
+            for slot in start..self.slots.len() {
+                if !ctx.deferred.contains(&slot) {
+                    self.free_now(slot);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_expr(
+        &mut self,
+        e: &Expr,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &mut ExprCtx,
+    ) -> Result<LowerVal> {
+        match e {
+            Expr::Col(name) => scope
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, r, _)| LowerVal::Ref(r.clone()))
+                .ok_or_else(|| unknown(name)),
+            Expr::Lit(v) => Ok(LowerVal::Const(*v)),
+            Expr::Mask(name, cmp, lit) => {
+                if let Some(hit) = ctx.lookup(e) {
+                    return Ok(LowerVal::Ref(hit));
+                }
+                let shared = ctx.shared.contains(e);
+                if shared {
+                    ctx.defer_depth += 1;
+                }
+                let result = if let Some((_, r, _)) = scope.iter().find(|(n, _, _)| n == name) {
+                    let input = r.clone();
+                    self.emit_expr_slot(
+                        "mask",
+                        |out| Step::DenseMask {
+                            input,
+                            cmp: *cmp,
+                            lit: *lit,
+                            out,
+                        },
+                        ctx,
+                    )
+                } else if let Some(jc) = join {
+                    // A build-side base column, reached through the join's
+                    // match list: mask the dimension column in place, then
+                    // gather the indicator per matched row (Q14's CASE).
+                    let (data, _) = self.rel_ref(&jc.build, name)?;
+                    let ind = self.emit_expr_slot(
+                        "mask",
+                        |out| Step::DenseMask {
+                            input: data,
+                            cmp: *cmp,
+                            lit: *lit,
+                            out,
+                        },
+                        ctx,
+                    );
+                    let right = jc.right_idx;
+                    let ColRef::Slot(ind_slot) = ind else {
+                        unreachable!("emit_expr_slot returns a slot")
+                    };
+                    let how = self.how(DbOperator::ScatterGather);
+                    let out = self.new_slot(short(name), Self::device(ColType::F64, false));
+                    if ctx.defer_depth > 0 {
+                        ctx.deferred.push(out);
+                    }
+                    self.emit(
+                        Step::Gather {
+                            data: ColRef::Slot(ind_slot),
+                            ids: ColRef::Slot(right),
+                            out,
+                        },
+                        how,
+                    );
+                    ColRef::Slot(out)
+                } else {
+                    return Err(unknown(name));
+                };
+                if shared {
+                    ctx.defer_depth -= 1;
+                }
+                if ctx.cache_all || shared {
+                    ctx.cache.push((e.clone(), result.clone()));
+                }
+                Ok(LowerVal::Ref(result))
+            }
+            Expr::Add(a, b) => self.lower_arith(e, a, b, ArithOp::Add, scope, join, ctx),
+            Expr::Sub(a, b) => self.lower_arith(e, a, b, ArithOp::Sub, scope, join, ctx),
+            Expr::Mul(a, b) => self.lower_arith(e, a, b, ArithOp::Mul, scope, join, ctx),
+        }
+    }
+
+    /// Emit an expression-producing step whose output is a fresh f64
+    /// device slot, honouring the deferral bookkeeping.
+    fn emit_expr_slot(
+        &mut self,
+        label: &str,
+        step: impl FnOnce(usize) -> Step,
+        ctx: &mut ExprCtx,
+    ) -> ColRef {
+        let out = self.new_slot(label, Self::device(ColType::F64, false));
+        if ctx.defer_depth > 0 {
+            ctx.deferred.push(out);
+        }
+        let how = self.how(DbOperator::Product);
+        self.emit(step(out), how);
+        ColRef::Slot(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_arith(
+        &mut self,
+        whole: &Expr,
+        a: &Expr,
+        b: &Expr,
+        op: ArithOp,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &mut ExprCtx,
+    ) -> Result<LowerVal> {
+        if let Some(hit) = ctx.lookup(whole) {
+            return Ok(LowerVal::Ref(hit));
+        }
+        let shared = ctx.shared.contains(whole);
+        if shared {
+            ctx.defer_depth += 1;
+        }
+        let la = self.lower_expr(a, scope, join, ctx)?;
+        let lb = self.lower_expr(b, scope, join, ctx)?;
+        // Mirror `plan::Expr`'s constant folding and affine shortcuts —
+        // same call count, same operand order, but no eager frees (the
+        // plan's free schedule is decided by the aggregate lowering).
+        let result = match (la, lb, op) {
+            (LowerVal::Const(x), LowerVal::Const(y), ArithOp::Add) => LowerVal::Const(x + y),
+            (LowerVal::Const(x), LowerVal::Const(y), ArithOp::Sub) => LowerVal::Const(x - y),
+            (LowerVal::Const(x), LowerVal::Const(y), ArithOp::Mul) => LowerVal::Const(x * y),
+            (LowerVal::Ref(x), LowerVal::Const(c), ArithOp::Add) => {
+                LowerVal::Ref(self.emit_affine(x, 1.0, c, ctx))
+            }
+            (LowerVal::Const(c), LowerVal::Ref(x), ArithOp::Add) => {
+                LowerVal::Ref(self.emit_affine(x, 1.0, c, ctx))
+            }
+            (LowerVal::Ref(x), LowerVal::Const(c), ArithOp::Sub) => {
+                LowerVal::Ref(self.emit_affine(x, 1.0, -c, ctx))
+            }
+            (LowerVal::Const(c), LowerVal::Ref(x), ArithOp::Sub) => {
+                LowerVal::Ref(self.emit_affine(x, -1.0, c, ctx))
+            }
+            (LowerVal::Ref(x), LowerVal::Const(c), ArithOp::Mul) => {
+                LowerVal::Ref(self.emit_affine(x, c, 0.0, ctx))
+            }
+            (LowerVal::Const(c), LowerVal::Ref(x), ArithOp::Mul) => {
+                LowerVal::Ref(self.emit_affine(x, c, 0.0, ctx))
+            }
+            (LowerVal::Ref(x), LowerVal::Ref(y), ArithOp::Mul) => LowerVal::Ref(
+                self.emit_expr_slot("product", |out| Step::Product { a: x, b: y, out }, ctx),
+            ),
+            (LowerVal::Ref(_), LowerVal::Ref(_), ArithOp::Add | ArithOp::Sub) => {
+                return Err(SimError::Unsupported(
+                    "column±column addition is not in the Table-II operator set; \
+                     rewrite with literals or products"
+                        .into(),
+                ))
+            }
+        };
+        if shared {
+            ctx.defer_depth -= 1;
+        }
+        if let LowerVal::Ref(r) = &result {
+            if ctx.cache_all || shared {
+                ctx.cache.push((whole.clone(), r.clone()));
+            }
+        }
+        Ok(result)
+    }
+
+    fn emit_affine(&mut self, input: ColRef, mul: f64, add: f64, ctx: &mut ExprCtx) -> ColRef {
+        self.emit_expr_slot(
+            "affine",
+            |out| Step::Affine {
+                input,
+                mul,
+                add,
+                out,
+            },
+            ctx,
+        )
+    }
+}
+
+/// Composite subtrees (arithmetic or masks) appearing in more than one
+/// aggregate expression — these lower once and stay live until plan
+/// end.
+fn shared_subtrees(aggs: &[(String, AggExpr)]) -> Vec<Expr> {
+    let exprs: Vec<&Expr> = aggs
+        .iter()
+        .filter_map(|(_, a)| match a {
+            AggExpr::Sum(e) => Some(e),
+            AggExpr::Count => None,
+        })
+        .collect();
+    let mut shared: Vec<Expr> = Vec::new();
+    for (i, e) in exprs.iter().enumerate() {
+        let mut subs = Vec::new();
+        collect_composite(e, &mut subs);
+        for s in subs {
+            if shared.iter().any(|x| x == s) {
+                continue;
+            }
+            if exprs
+                .iter()
+                .enumerate()
+                .any(|(j, f)| j != i && contains_subtree(f, s))
+            {
+                shared.push(s.clone());
+            }
+        }
+    }
+    shared
+}
+
+fn collect_composite<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            out.push(e);
+            collect_composite(a, out);
+            collect_composite(b, out);
+        }
+        Expr::Mask(..) => out.push(e),
+        Expr::Col(_) | Expr::Lit(_) => {}
+    }
+}
+
+fn contains_subtree(hay: &Expr, needle: &Expr) -> bool {
+    if hay == needle {
+        return true;
+    }
+    match hay {
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            contains_subtree(a, needle) || contains_subtree(b, needle)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Framework;
+    use crate::logical::{ColumnDecl, JoinCol};
+    use crate::physical::PlanBindings;
+    use gpu_sim::DeviceSpec;
+
+    fn fw() -> Framework {
+        Framework::with_all_backends(&DeviceSpec::gtx1080())
+    }
+
+    fn q6ish() -> LogicalPlan {
+        LogicalPlan::scan(
+            "t",
+            vec![
+                ColumnDecl::f64("price"),
+                ColumnDecl::f64("disc"),
+                ColumnDecl::f64("qty"),
+            ],
+        )
+        .filter(Predicate::And(vec![
+            Predicate::cmp("t.qty", CmpOp::Lt, 24.0),
+            Predicate::cmp("t.disc", CmpOp::Ge, 0.05),
+        ]))
+        .aggregate(
+            None,
+            vec![(
+                "revenue",
+                AggExpr::Sum(Expr::col("t.price") * Expr::col("t.disc")),
+            )],
+        )
+    }
+
+    #[test]
+    fn pushdown_routes_conjuncts_through_projects_and_joins() {
+        let build = LogicalPlan::scan("d", vec![ColumnDecl::u32("k"), ColumnDecl::u32("size")]);
+        let probe = LogicalPlan::scan("f", vec![ColumnDecl::u32("k"), ColumnDecl::f64("v")])
+            .project(&["f.k", "f.v"]);
+        let joined = LogicalPlan::join(
+            build,
+            probe,
+            "d.k",
+            "f.k",
+            vec![JoinCol::probe("val", "f.v")],
+        )
+        .filter(Predicate::And(vec![
+            Predicate::cmp("d.size", CmpOp::Le, 10.0),
+            Predicate::cmp("f.v", CmpOp::Gt, 0.0),
+        ]));
+        let pushed = predicate_pushdown(&joined);
+        let LogicalPlan::Join { build, probe, .. } = &pushed else {
+            panic!("filter should dissolve into the join: {}", pushed.render());
+        };
+        assert!(
+            matches!(build.as_ref(), LogicalPlan::Filter { .. }),
+            "build-side conjunct sinks to the build scan: {}",
+            pushed.render()
+        );
+        let LogicalPlan::Project { input, .. } = probe.as_ref() else {
+            panic!("probe project survives: {}", pushed.render());
+        };
+        assert!(
+            matches!(input.as_ref(), LogicalPlan::Filter { .. }),
+            "probe-side conjunct sinks below the project: {}",
+            pushed.render()
+        );
+    }
+
+    #[test]
+    fn pushdown_keeps_output_name_predicates_above_the_join() {
+        let build = LogicalPlan::scan("d", vec![ColumnDecl::u32("k")]);
+        let probe = LogicalPlan::scan("f", vec![ColumnDecl::u32("k"), ColumnDecl::f64("v")]);
+        let joined = LogicalPlan::join(
+            build,
+            probe,
+            "d.k",
+            "f.k",
+            vec![JoinCol::probe("val", "f.v")],
+        )
+        .filter(Predicate::cmp("val", CmpOp::Gt, 1.0));
+        let pushed = predicate_pushdown(&joined);
+        assert_eq!(pushed, joined, "{}", pushed.render());
+    }
+
+    #[test]
+    fn pushdown_is_identity_on_filters_already_at_their_scans() {
+        let plan = q6ish();
+        assert_eq!(predicate_pushdown(&plan), plan);
+    }
+
+    #[test]
+    fn pruning_drops_unused_scan_columns() {
+        let plan = LogicalPlan::scan(
+            "t",
+            vec![
+                ColumnDecl::f64("used"),
+                ColumnDecl::f64("unused"),
+                ColumnDecl::u32("ignored"),
+            ],
+        )
+        .aggregate(None, vec![("s", AggExpr::Sum(Expr::col("t.used")))]);
+        let pruned = projection_pruning(&plan);
+        let LogicalPlan::Aggregate { input, .. } = &pruned else {
+            panic!()
+        };
+        let LogicalPlan::Scan { columns, .. } = input.as_ref() else {
+            panic!()
+        };
+        assert_eq!(columns, &vec![ColumnDecl::f64("used")]);
+    }
+
+    #[test]
+    fn fusion_emits_a_single_filter_sum_product_step() {
+        let fw = fw();
+        let b = fw.backend("Thrust").unwrap();
+        let p = plan("Fused", &q6ish(), b).unwrap();
+        assert!(p.explain().contains("fast paths: on"), "{}", p.explain());
+        assert_eq!(
+            p.steps().len(),
+            1,
+            "fused plans are one step: {}",
+            p.explain()
+        );
+        assert!(matches!(p.steps()[0], Step::FilterSumProduct { .. }));
+
+        let unfused = plan_with(
+            "Unfused",
+            &q6ish(),
+            b,
+            &PlannerOptions {
+                fuse_fast_paths: false,
+            },
+        )
+        .unwrap();
+        assert!(
+            unfused.explain().contains("fast paths: off"),
+            "{}",
+            unfused.explain()
+        );
+        assert!(unfused.steps().len() > 3, "{}", unfused.explain());
+    }
+
+    #[test]
+    fn fused_and_unfused_plans_agree_on_every_backend() {
+        let fw = fw();
+        let price = [100.0, 200.0, 300.0, 400.0];
+        let disc = [0.10, 0.02, 0.06, 0.08];
+        let qty = [10.0, 5.0, 30.0, 20.0];
+        let expect = 100.0 * 0.10 + 400.0 * 0.08;
+        for b in fw.backends() {
+            let cp = b.upload_f64(&price).unwrap();
+            let cd = b.upload_f64(&disc).unwrap();
+            let cq = b.upload_f64(&qty).unwrap();
+            let mut binds = PlanBindings::new();
+            binds
+                .bind("t.price", &cp)
+                .bind("t.disc", &cd)
+                .bind("t.qty", &cq);
+            for opts in [
+                PlannerOptions::default(),
+                PlannerOptions {
+                    fuse_fast_paths: false,
+                },
+            ] {
+                let p = plan_with("Q6ish", &q6ish(), b.as_ref(), &opts).unwrap();
+                let out = p.execute(b.as_ref(), &binds).unwrap();
+                let got = out.scalar("revenue").unwrap();
+                assert!((got - expect).abs() < 1e-9, "{}: {got}", b.name());
+            }
+            for c in [cp, cd, cq] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_plan_executes_with_count_and_shared_subexpressions() {
+        let fw = fw();
+        let plan_tree = LogicalPlan::scan(
+            "t",
+            vec![
+                ColumnDecl::u32("dept"),
+                ColumnDecl::f64("salary"),
+                ColumnDecl::f64("bonus"),
+            ],
+        )
+        .filter(Predicate::cmp("t.salary", CmpOp::Gt, 0.0))
+        .aggregate(
+            Some("t.dept"),
+            vec![
+                (
+                    "total",
+                    AggExpr::Sum(Expr::col("t.salary") + Expr::lit(0.0)),
+                ),
+                (
+                    "scaled",
+                    AggExpr::Sum((Expr::col("t.salary") + Expr::lit(0.0)) * Expr::lit(2.0)),
+                ),
+                ("n", AggExpr::Count),
+            ],
+        );
+        for b in fw.backends() {
+            let dept = b.upload_u32(&[1, 2, 1, 2, 2]).unwrap();
+            let salary = b.upload_f64(&[10.0, 20.0, 30.0, 40.0, 60.0]).unwrap();
+            let bonus = b.upload_f64(&[1.0; 5]).unwrap();
+            let mut binds = PlanBindings::new();
+            binds
+                .bind("t.dept", &dept)
+                .bind("t.salary", &salary)
+                .bind("t.bonus", &bonus);
+            let p = plan("Grouped", &plan_tree, b.as_ref()).unwrap();
+            let out = p.execute(b.as_ref(), &binds).unwrap();
+            assert_eq!(out.u32s("keys").unwrap(), &[1, 2], "{}", b.name());
+            assert_eq!(out.f64s("total").unwrap(), &[40.0, 120.0], "{}", b.name());
+            assert_eq!(out.f64s("scaled").unwrap(), &[80.0, 240.0], "{}", b.name());
+            assert_eq!(out.f64s("n").unwrap(), &[2.0, 3.0], "{}", b.name());
+            for c in [dept, salary, bonus] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn joinless_backends_get_the_table_ii_error() {
+        let fw = fw();
+        let af = fw.backend("ArrayFire").unwrap();
+        let joined = LogicalPlan::join(
+            LogicalPlan::scan("d", vec![ColumnDecl::u32("k")]),
+            LogicalPlan::scan("f", vec![ColumnDecl::u32("k"), ColumnDecl::f64("v")]),
+            "d.k",
+            "f.k",
+            vec![JoinCol::probe("val", "f.v")],
+        )
+        .aggregate(None, vec![("s", AggExpr::Sum(Expr::col("val")))]);
+        let err = plan("J", &joined, af).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unsupported operation: ArrayFire supports no join algorithm (Table II)"
+        );
+    }
+
+    #[test]
+    fn identical_subtrees_lower_once() {
+        let fw = fw();
+        let b = fw.backend("Handwritten").unwrap();
+        let dims = LogicalPlan::scan("n", vec![ColumnDecl::u32("k"), ColumnDecl::u32("r")])
+            .filter(Predicate::cmp("n.r", CmpOp::Eq, 2.0))
+            .project(&["n.k"]);
+        let j1 = LogicalPlan::join(
+            dims.clone(),
+            LogicalPlan::scan("s", vec![ColumnDecl::u32("nk"), ColumnDecl::u32("sk")]),
+            "n.k",
+            "s.nk",
+            vec![JoinCol::probe("sk", "s.sk")],
+        );
+        let j2 = LogicalPlan::join(
+            j1,
+            LogicalPlan::join(
+                dims,
+                LogicalPlan::scan("c", vec![ColumnDecl::u32("nk"), ColumnDecl::f64("v")]),
+                "n.k",
+                "c.nk",
+                vec![JoinCol::probe("ck", "c.nk"), JoinCol::probe("v", "c.v")],
+            ),
+            "sk",
+            "ck",
+            vec![JoinCol::probe("vv", "v")],
+        )
+        .aggregate(None, vec![("s", AggExpr::Sum(Expr::col("vv")))]);
+        let p = plan("CSE", &j2, b).unwrap();
+        let selections = p
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, Step::Selection { .. }))
+            .count();
+        assert_eq!(
+            selections,
+            1,
+            "shared dim subplan lowers once: {}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn plans_free_every_column_they_create() {
+        let fw = fw();
+        let b = fw.backend("Boost.Compute").unwrap();
+        let p = plan(
+            "Grouped",
+            &LogicalPlan::scan("t", vec![ColumnDecl::u32("k"), ColumnDecl::f64("v")])
+                .filter(Predicate::cmp("t.v", CmpOp::Gt, 0.0))
+                .aggregate(
+                    Some("t.k"),
+                    vec![("s", AggExpr::Sum(Expr::col("t.v") * Expr::lit(2.0)))],
+                ),
+            b,
+        )
+        .unwrap();
+        let device_slots: Vec<usize> = p
+            .slots()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m.kind, SlotKind::Device { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let freed: Vec<usize> = p
+            .steps()
+            .iter()
+            .filter_map(|s| match s {
+                Step::Free { slot } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(freed, device_slots, "{}", p.explain());
+    }
+}

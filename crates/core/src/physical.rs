@@ -1,0 +1,807 @@
+//! The physical query IR: a backend-specific step list plus its
+//! interpreter.
+//!
+//! A [`PhysicalPlan`] is what [`crate::optimizer::plan`] produces from a
+//! [`crate::logical::LogicalPlan`]: a straight-line register program
+//! whose every [`Step`] is exactly one [`crate::backend::GpuBackend`]
+//! call (or a host-side sort). Steps read base columns (bound by name at
+//! execution time through [`PlanBindings`]) and numbered *slots* —
+//! device columns, scalars, or downloaded host vectors produced by
+//! earlier steps.
+//!
+//! The executor contract:
+//!
+//! * the plan owns every device column it creates — each is released by
+//!   an explicit [`Step::Free`] (eagerly where the hand-tuned queries
+//!   freed eagerly, otherwise at plan end in creation order), so traced
+//!   runs stay alloc/free balanced;
+//! * bound base columns are borrowed, never freed;
+//! * with a [`RetryPolicy`] configured
+//!   ([`PhysicalPlan::execute_with_policy`]) every backend call runs in
+//!   the same bounded-backoff retry loop
+//!   [`ResilientBackend`](crate::resilient::ResilientBackend) uses;
+//! * on error the step's failure propagates unchanged (no unwinding
+//!   cleanup), matching the hand-rolled lowering it replaced;
+//! * all device work goes through the bound backend, so the
+//!   `gpu_sim::trace` windows lint passes consume are emitted exactly as
+//!   before.
+//!
+//! [`PhysicalPlan::explain`] renders the per-backend Table-II lowering
+//! (each step with the realising library call), which the optimizer
+//! golden tests snapshot.
+
+use crate::backend::{Col, ColType, GpuBackend, Pred};
+use crate::ops::{CmpOp, Connective, JoinAlgo};
+use crate::resilient::RetryPolicy;
+use gpu_sim::{Result, SimError};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A step operand: either a named bound base column or the output slot
+/// of an earlier step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColRef {
+    /// A base column, resolved through [`PlanBindings`] at execution.
+    Base(String),
+    /// A slot produced by an earlier step.
+    Slot(usize),
+}
+
+/// What a slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// A device column.
+    Device {
+        /// Element dtype.
+        dtype: ColType,
+        /// Whether the values are known to ascend (selection outputs,
+        /// grouped keys) — consumed by the GL4xx merge-join-order lint.
+        sorted: bool,
+    },
+    /// A host scalar (reduction output).
+    Scalar,
+    /// A downloaded host `u32` vector.
+    HostU32,
+    /// A downloaded host `f64` vector.
+    HostF64,
+}
+
+/// Metadata of one plan slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMeta {
+    /// Debug name (shown by `explain()`).
+    pub name: String,
+    /// What the slot holds.
+    pub kind: SlotKind,
+}
+
+/// A literal comparison against a plan operand, the element of
+/// [`Step::SelectionMulti`] / [`Step::FilterSumProduct`] predicate
+/// lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanPred {
+    /// Column operand.
+    pub col: ColRef,
+    /// Comparison operator.
+    pub cmp: CmpOp,
+    /// Literal right-hand side.
+    pub lit: f64,
+}
+
+/// One backend call (or host sort) of a [`PhysicalPlan`].
+///
+/// Each variant maps 1:1 onto a [`crate::backend::GpuBackend`] method;
+/// `out*` fields name the slot(s) the result is stored in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `selection(input, cmp, lit)` → sorted row-id column.
+    Selection {
+        /// Filtered column.
+        input: ColRef,
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Literal right-hand side.
+        lit: f64,
+        /// Output slot (`u32` row ids).
+        out: usize,
+    },
+    /// `selection_multi(preds, conn)` → sorted row-id column.
+    SelectionMulti {
+        /// Literal comparisons, in declaration order.
+        preds: Vec<PlanPred>,
+        /// Connective joining them.
+        conn: Connective,
+        /// Output slot (`u32` row ids).
+        out: usize,
+    },
+    /// `selection_cmp_cols(a, b, cmp)` → sorted row-id column.
+    SelectionCmpCols {
+        /// Left column.
+        a: ColRef,
+        /// Right column.
+        b: ColRef,
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Output slot (`u32` row ids).
+        out: usize,
+    },
+    /// `gather(data, ids)` → `data[ids[i]]`.
+    Gather {
+        /// Source column.
+        data: ColRef,
+        /// `u32` index column.
+        ids: ColRef,
+        /// Output slot (same dtype as `data`).
+        out: usize,
+    },
+    /// `affine(input, mul, add)` → `input·mul + add` elementwise.
+    Affine {
+        /// Input `f64` column.
+        input: ColRef,
+        /// Multiplier.
+        mul: f64,
+        /// Addend.
+        add: f64,
+        /// Output slot (`f64`).
+        out: usize,
+    },
+    /// `product(a, b)` → elementwise product.
+    Product {
+        /// Left `f64` column.
+        a: ColRef,
+        /// Right `f64` column.
+        b: ColRef,
+        /// Output slot (`f64`).
+        out: usize,
+    },
+    /// `dense_mask(input, cmp, lit)` → 0.0/1.0 indicator column.
+    DenseMask {
+        /// Masked column (`u32` or `f64`).
+        input: ColRef,
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Literal right-hand side.
+        lit: f64,
+        /// Output slot (`f64`).
+        out: usize,
+    },
+    /// `constant_f64(len(like), 1.0)` — the COUNT(*) ones column.
+    ConstantOnes {
+        /// Column whose length sizes the output.
+        like: ColRef,
+        /// Output slot (`f64`).
+        out: usize,
+    },
+    /// `join(outer, inner, algo)` → matching (outer, inner) row-index
+    /// pairs.
+    Join {
+        /// Probe-side `u32` key column.
+        outer: ColRef,
+        /// Build-side `u32` key column.
+        inner: ColRef,
+        /// Join algorithm chosen for the backend.
+        algo: JoinAlgo,
+        /// Output slot for outer-row indices (`u32`, non-decreasing).
+        out_left: usize,
+        /// Output slot for inner-row indices (`u32`).
+        out_right: usize,
+    },
+    /// `grouped_sum(keys, vals)` → ascending distinct keys and per-key
+    /// sums.
+    GroupedSum {
+        /// `u32` group-key column.
+        keys: ColRef,
+        /// `f64` value column.
+        vals: ColRef,
+        /// Output slot for distinct keys (`u32`, ascending).
+        out_keys: usize,
+        /// Output slot for per-key sums (`f64`).
+        out_vals: usize,
+    },
+    /// `reduction(input)` → scalar sum.
+    Reduce {
+        /// Input `f64` column.
+        input: ColRef,
+        /// Output slot (scalar).
+        out: usize,
+    },
+    /// `filter_sum_product(a, b, preds)` — the fused Q6 fast path.
+    FilterSumProduct {
+        /// Left factor column.
+        a: ColRef,
+        /// Right factor column.
+        b: ColRef,
+        /// Conjunctive literal predicates.
+        preds: Vec<PlanPred>,
+        /// Output slot (scalar).
+        out: usize,
+    },
+    /// `download_u32(input)` → host vector.
+    DownloadU32 {
+        /// Downloaded `u32` column.
+        input: ColRef,
+        /// Output slot (host `u32`s).
+        out: usize,
+    },
+    /// `download_f64(input)` → host vector.
+    DownloadF64 {
+        /// Downloaded `f64` column.
+        input: ColRef,
+        /// Output slot (host `f64`s).
+        out: usize,
+    },
+    /// Jointly reorder downloaded result vectors host-side.
+    HostSort {
+        /// Slot of the downloaded key vector.
+        keys: usize,
+        /// Slots of the downloaded value vectors, co-sorted with the
+        /// keys; `vals[0]` is the primary for value-ordered sorts.
+        vals: Vec<usize>,
+        /// Row ordering.
+        order: crate::logical::ResultOrder,
+        /// Keep at most this many rows.
+        limit: Option<usize>,
+    },
+    /// Release the device column in `slot`.
+    Free {
+        /// Slot to free.
+        slot: usize,
+    },
+}
+
+/// Named base columns a [`PhysicalPlan`] executes against (borrowed,
+/// never freed by the plan).
+#[derive(Debug, Default)]
+pub struct PlanBindings<'a> {
+    cols: BTreeMap<String, &'a Col>,
+}
+
+impl<'a> PlanBindings<'a> {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `col` under the qualified name `table.column`.
+    pub fn bind(&mut self, name: &str, col: &'a Col) -> &mut Self {
+        self.cols.insert(name.to_string(), col);
+        self
+    }
+
+    fn get(&self, name: &str) -> Result<&'a Col> {
+        self.cols
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::Unsupported(format!("unbound plan column `{name}`")))
+    }
+}
+
+/// One named result of an executed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanValue {
+    /// Scalar aggregate.
+    Scalar(f64),
+    /// Downloaded `u32` vector (group keys).
+    U32(Vec<u32>),
+    /// Downloaded `f64` vector (aggregate values).
+    F64(Vec<f64>),
+}
+
+/// The named outputs of [`PhysicalPlan::execute`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanOutput {
+    values: BTreeMap<String, PlanValue>,
+}
+
+impl PlanOutput {
+    /// The scalar output `name`.
+    pub fn scalar(&self, name: &str) -> Result<f64> {
+        match self.values.get(name) {
+            Some(PlanValue::Scalar(v)) => Ok(*v),
+            _ => Err(SimError::Unsupported(format!(
+                "plan output `{name}` is not a scalar"
+            ))),
+        }
+    }
+
+    /// The `u32` vector output `name`.
+    pub fn u32s(&self, name: &str) -> Result<&[u32]> {
+        match self.values.get(name) {
+            Some(PlanValue::U32(v)) => Ok(v),
+            _ => Err(SimError::Unsupported(format!(
+                "plan output `{name}` is not a u32 vector"
+            ))),
+        }
+    }
+
+    /// The `f64` vector output `name`.
+    pub fn f64s(&self, name: &str) -> Result<&[f64]> {
+        match self.values.get(name) {
+            Some(PlanValue::F64(v)) => Ok(v),
+            _ => Err(SimError::Unsupported(format!(
+                "plan output `{name}` is not an f64 vector"
+            ))),
+        }
+    }
+}
+
+/// A compiled, backend-specific query: straight-line [`Step`]s over
+/// numbered slots, with named outputs.
+///
+/// Produced by [`crate::optimizer::plan`]; run with
+/// [`PhysicalPlan::execute`]. Inspect with [`PhysicalPlan::explain`]
+/// (the Table-II lowering) or walk [`PhysicalPlan::steps`] directly —
+/// the GL4xx gpu-lint passes do.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub(crate) query: String,
+    pub(crate) backend: String,
+    pub(crate) join_algo: Option<JoinAlgo>,
+    pub(crate) fused: bool,
+    pub(crate) steps: Vec<Step>,
+    /// Per-step realising library call, parallel to `steps`.
+    pub(crate) realize: Vec<String>,
+    pub(crate) slots: Vec<SlotMeta>,
+    pub(crate) outputs: Vec<(String, usize)>,
+    pub(crate) base: BTreeMap<String, ColType>,
+}
+
+impl PhysicalPlan {
+    /// The query name this plan was compiled from.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// Name of the backend the plan was lowered for.
+    pub fn backend_name(&self) -> &str {
+        &self.backend
+    }
+
+    /// The join algorithm the planner selected (None for join-free
+    /// plans).
+    pub fn join_algo(&self) -> Option<JoinAlgo> {
+        self.join_algo
+    }
+
+    /// The step list, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Metadata of every slot the steps write.
+    pub fn slots(&self) -> &[SlotMeta] {
+        &self.slots
+    }
+
+    /// Named outputs: `(name, slot)` pairs.
+    pub fn outputs(&self) -> &[(String, usize)] {
+        &self.outputs
+    }
+
+    /// Qualified base columns the plan reads, with their dtypes.
+    pub fn base_columns(&self) -> &BTreeMap<String, ColType> {
+        &self.base
+    }
+
+    fn fmt_ref(&self, r: &ColRef) -> String {
+        match r {
+            ColRef::Base(name) => name.clone(),
+            ColRef::Slot(i) => format!("%{i}"),
+        }
+    }
+
+    fn fmt_preds(&self, preds: &[PlanPred]) -> String {
+        preds
+            .iter()
+            .map(|p| format!("{} {:?} {}", self.fmt_ref(&p.col), p.cmp, p.lit))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
+    /// Render the plan: one line per step with its realising library
+    /// call, plus the named outputs — the per-backend Table-II lowering
+    /// the optimizer golden tests snapshot.
+    pub fn explain(&self) -> String {
+        let join = match self.join_algo {
+            Some(JoinAlgo::Hash) => "hash",
+            Some(JoinAlgo::Merge) => "merge",
+            Some(JoinAlgo::NestedLoops) => "nested-loops",
+            None => "none",
+        };
+        let mut out = format!(
+            "PhysicalPlan {} on {} (join: {join}, fast paths: {})\n",
+            self.query,
+            self.backend,
+            if self.fused { "on" } else { "off" }
+        );
+        for (step, how) in self.steps.iter().zip(&self.realize) {
+            let text = match step {
+                Step::Selection {
+                    input,
+                    cmp,
+                    lit,
+                    out,
+                } => {
+                    format!("%{out} = selection({} {cmp:?} {lit})", self.fmt_ref(input))
+                }
+                Step::SelectionMulti { preds, conn, out } => format!(
+                    "%{out} = selection_multi({}; {conn:?})",
+                    self.fmt_preds(preds)
+                ),
+                Step::SelectionCmpCols { a, b, cmp, out } => format!(
+                    "%{out} = selection({} {cmp:?} {})",
+                    self.fmt_ref(a),
+                    self.fmt_ref(b)
+                ),
+                Step::Gather { data, ids, out } => format!(
+                    "%{out} = gather({}, {})",
+                    self.fmt_ref(data),
+                    self.fmt_ref(ids)
+                ),
+                Step::Affine {
+                    input,
+                    mul,
+                    add,
+                    out,
+                } => format!("%{out} = {} * {mul} + {add}", self.fmt_ref(input)),
+                Step::Product { a, b, out } => {
+                    format!("%{out} = {} * {}", self.fmt_ref(a), self.fmt_ref(b))
+                }
+                Step::DenseMask {
+                    input,
+                    cmp,
+                    lit,
+                    out,
+                } => format!("%{out} = mask({} {cmp:?} {lit})", self.fmt_ref(input)),
+                Step::ConstantOnes { like, out } => {
+                    format!("%{out} = ones(len {})", self.fmt_ref(like))
+                }
+                Step::Join {
+                    outer,
+                    inner,
+                    algo,
+                    out_left,
+                    out_right,
+                } => format!(
+                    "%{out_left}, %{out_right} = join[{algo:?}]({}, {})",
+                    self.fmt_ref(outer),
+                    self.fmt_ref(inner)
+                ),
+                Step::GroupedSum {
+                    keys,
+                    vals,
+                    out_keys,
+                    out_vals,
+                } => format!(
+                    "%{out_keys}, %{out_vals} = grouped_sum({}, {})",
+                    self.fmt_ref(keys),
+                    self.fmt_ref(vals)
+                ),
+                Step::Reduce { input, out } => {
+                    format!("%{out} = sum({})", self.fmt_ref(input))
+                }
+                Step::FilterSumProduct { a, b, preds, out } => format!(
+                    "%{out} = filter_sum_product({}, {}; {})",
+                    self.fmt_ref(a),
+                    self.fmt_ref(b),
+                    self.fmt_preds(preds)
+                ),
+                Step::DownloadU32 { input, out } | Step::DownloadF64 { input, out } => {
+                    format!("%{out} = download({})", self.fmt_ref(input))
+                }
+                Step::HostSort {
+                    keys,
+                    vals,
+                    order,
+                    limit,
+                } => {
+                    let ord = match order {
+                        crate::logical::ResultOrder::KeyAsc => "key asc",
+                        crate::logical::ResultOrder::ValueDescKeyAsc => "value desc, key asc",
+                    };
+                    let cosort: Vec<String> = vals.iter().map(|v| format!("%{v}")).collect();
+                    let lim = limit.map_or(String::new(), |n| format!(" limit {n}"));
+                    format!("sort %{keys} with [{}] {ord}{lim}", cosort.join(", "))
+                }
+                Step::Free { slot } => format!("free %{slot} ({})", self.slots[*slot].name),
+            };
+            if how.is_empty() {
+                let _ = writeln!(out, "  {text}");
+            } else {
+                let _ = writeln!(out, "  {text:<55} [{how}]");
+            }
+        }
+        for (name, slot) in &self.outputs {
+            let _ = writeln!(out, "  output {name} = %{slot}");
+        }
+        out
+    }
+
+    /// Execute on `backend` against `binds`. Equivalent to
+    /// [`PhysicalPlan::execute_with_policy`] with no policy.
+    pub fn execute(
+        &self,
+        backend: &dyn GpuBackend,
+        binds: &PlanBindings<'_>,
+    ) -> Result<PlanOutput> {
+        self.execute_with_policy(backend, binds, None)
+    }
+
+    /// Execute on `backend` against `binds`, optionally retrying every
+    /// backend call under `policy` (the
+    /// [`ResilientBackend`](crate::resilient::ResilientBackend) loop,
+    /// shared via
+    /// [`retry_with_policy`](crate::resilient::retry_with_policy)).
+    pub fn execute_with_policy(
+        &self,
+        backend: &dyn GpuBackend,
+        binds: &PlanBindings<'_>,
+        policy: Option<&RetryPolicy>,
+    ) -> Result<PlanOutput> {
+        enum SlotVal {
+            Col(Col),
+            Scalar(f64),
+            U32s(Vec<u32>),
+            F64s(Vec<f64>),
+        }
+        let mut store: Vec<Option<SlotVal>> = Vec::with_capacity(self.slots.len());
+        store.resize_with(self.slots.len(), || None);
+
+        fn run<T>(
+            backend: &dyn GpuBackend,
+            policy: Option<&RetryPolicy>,
+            what: &str,
+            f: impl Fn() -> Result<T>,
+        ) -> Result<T> {
+            match policy {
+                Some(p) => crate::resilient::retry_with_policy(&backend.device(), p, what, f),
+                None => f(),
+            }
+        }
+
+        // Handles are opaque ids; reconstructing one borrows nothing from
+        // the slot store, which keeps operand resolution and result
+        // storage disjoint.
+        fn remint(c: &Col) -> Col {
+            Col::from_raw(c.raw_id(), c.dtype(), c.len(), c.backend())
+        }
+        // Resolve an operand to a device column.
+        let resolve = |store: &[Option<SlotVal>], r: &ColRef| -> Result<Col> {
+            match r {
+                ColRef::Base(name) => binds.get(name).map(remint),
+                ColRef::Slot(i) => match store.get(*i).and_then(Option::as_ref) {
+                    Some(SlotVal::Col(c)) => Ok(remint(c)),
+                    _ => Err(SimError::Unsupported(format!(
+                        "plan slot %{i} ({}) does not hold a device column",
+                        self.slots[*i].name
+                    ))),
+                },
+            }
+        };
+
+        for step in &self.steps {
+            match step {
+                Step::Selection {
+                    input,
+                    cmp,
+                    lit,
+                    out,
+                } => {
+                    let c = resolve(&store, input)?;
+                    let r = run(backend, policy, "selection", || {
+                        backend.selection(&c, *cmp, *lit)
+                    })?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::SelectionMulti { preds, conn, out } => {
+                    let cols: Vec<Col> = preds
+                        .iter()
+                        .map(|p| resolve(&store, &p.col))
+                        .collect::<Result<_>>()?;
+                    let ps: Vec<Pred<'_>> = preds
+                        .iter()
+                        .zip(&cols)
+                        .map(|(p, col)| Pred {
+                            col,
+                            cmp: p.cmp,
+                            lit: p.lit,
+                        })
+                        .collect();
+                    let r = run(backend, policy, "selection_multi", || {
+                        backend.selection_multi(&ps, *conn)
+                    })?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::SelectionCmpCols { a, b, cmp, out } => {
+                    let (ca, cb) = (resolve(&store, a)?, resolve(&store, b)?);
+                    let r = run(backend, policy, "selection_cmp_cols", || {
+                        backend.selection_cmp_cols(&ca, &cb, *cmp)
+                    })?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::Gather { data, ids, out } => {
+                    let (cd, ci) = (resolve(&store, data)?, resolve(&store, ids)?);
+                    let r = run(backend, policy, "gather", || backend.gather(&cd, &ci))?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::Affine {
+                    input,
+                    mul,
+                    add,
+                    out,
+                } => {
+                    let c = resolve(&store, input)?;
+                    let r = run(backend, policy, "affine", || backend.affine(&c, *mul, *add))?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::Product { a, b, out } => {
+                    let (ca, cb) = (resolve(&store, a)?, resolve(&store, b)?);
+                    let r = run(backend, policy, "product", || backend.product(&ca, &cb))?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::DenseMask {
+                    input,
+                    cmp,
+                    lit,
+                    out,
+                } => {
+                    let c = resolve(&store, input)?;
+                    let r = run(backend, policy, "dense_mask", || {
+                        backend.dense_mask(&c, *cmp, *lit)
+                    })?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::ConstantOnes { like, out } => {
+                    let c = resolve(&store, like)?;
+                    let r = run(backend, policy, "constant_f64", || {
+                        backend.constant_f64(c.len(), 1.0)
+                    })?;
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::Join {
+                    outer,
+                    inner,
+                    algo,
+                    out_left,
+                    out_right,
+                } => {
+                    let (co, ci) = (resolve(&store, outer)?, resolve(&store, inner)?);
+                    let (l, r) = run(backend, policy, "join", || backend.join(&co, &ci, *algo))?;
+                    store[*out_left] = Some(SlotVal::Col(l));
+                    store[*out_right] = Some(SlotVal::Col(r));
+                }
+                Step::GroupedSum {
+                    keys,
+                    vals,
+                    out_keys,
+                    out_vals,
+                } => {
+                    let (ck, cv) = (resolve(&store, keys)?, resolve(&store, vals)?);
+                    let (k, v) = run(backend, policy, "grouped_sum", || {
+                        backend.grouped_sum(&ck, &cv)
+                    })?;
+                    store[*out_keys] = Some(SlotVal::Col(k));
+                    store[*out_vals] = Some(SlotVal::Col(v));
+                }
+                Step::Reduce { input, out } => {
+                    let c = resolve(&store, input)?;
+                    let r = run(backend, policy, "reduction", || backend.reduction(&c))?;
+                    store[*out] = Some(SlotVal::Scalar(r));
+                }
+                Step::FilterSumProduct { a, b, preds, out } => {
+                    let (ca, cb) = (resolve(&store, a)?, resolve(&store, b)?);
+                    let cols: Vec<Col> = preds
+                        .iter()
+                        .map(|p| resolve(&store, &p.col))
+                        .collect::<Result<_>>()?;
+                    let ps: Vec<Pred<'_>> = preds
+                        .iter()
+                        .zip(&cols)
+                        .map(|(p, col)| Pred {
+                            col,
+                            cmp: p.cmp,
+                            lit: p.lit,
+                        })
+                        .collect();
+                    let r = run(backend, policy, "filter_sum_product", || {
+                        backend.filter_sum_product(&ca, &cb, &ps)
+                    })?;
+                    store[*out] = Some(SlotVal::Scalar(r));
+                }
+                Step::DownloadU32 { input, out } => {
+                    let c = resolve(&store, input)?;
+                    let r = run(backend, policy, "download_u32", || backend.download_u32(&c))?;
+                    store[*out] = Some(SlotVal::U32s(r));
+                }
+                Step::DownloadF64 { input, out } => {
+                    let c = resolve(&store, input)?;
+                    let r = run(backend, policy, "download_f64", || backend.download_f64(&c))?;
+                    store[*out] = Some(SlotVal::F64s(r));
+                }
+                Step::HostSort {
+                    keys,
+                    vals,
+                    order,
+                    limit,
+                } => {
+                    let key_vec = match store[*keys].take() {
+                        Some(SlotVal::U32s(v)) => v,
+                        _ => {
+                            return Err(SimError::Unsupported(
+                                "host sort key slot is not a downloaded u32 vector".into(),
+                            ))
+                        }
+                    };
+                    let mut val_vecs: Vec<Vec<f64>> = Vec::with_capacity(vals.len());
+                    for &v in vals {
+                        match store[v].take() {
+                            Some(SlotVal::F64s(x)) => val_vecs.push(x),
+                            _ => {
+                                return Err(SimError::Unsupported(
+                                    "host sort value slot is not a downloaded f64 vector".into(),
+                                ))
+                            }
+                        }
+                    }
+                    let mut order_ix: Vec<usize> = (0..key_vec.len()).collect();
+                    match order {
+                        crate::logical::ResultOrder::KeyAsc => {
+                            order_ix.sort_by_key(|&i| key_vec[i]);
+                        }
+                        crate::logical::ResultOrder::ValueDescKeyAsc => {
+                            let primary = &val_vecs[0];
+                            order_ix.sort_by(|&i, &j| {
+                                primary[j]
+                                    .partial_cmp(&primary[i])
+                                    .expect("aggregate values are comparable")
+                                    .then(key_vec[i].cmp(&key_vec[j]))
+                            });
+                        }
+                    }
+                    if let Some(n) = limit {
+                        order_ix.truncate(*n);
+                    }
+                    store[*keys] = Some(SlotVal::U32s(
+                        order_ix.iter().map(|&i| key_vec[i]).collect(),
+                    ));
+                    for (slot, vec) in vals.iter().zip(val_vecs) {
+                        store[*slot] =
+                            Some(SlotVal::F64s(order_ix.iter().map(|&i| vec[i]).collect()));
+                    }
+                }
+                Step::Free { slot } => {
+                    let c = match store[*slot].take() {
+                        Some(SlotVal::Col(c)) => c,
+                        _ => {
+                            return Err(SimError::Unsupported(format!(
+                                "plan frees slot %{slot} ({}) which holds no device column",
+                                self.slots[*slot].name
+                            )))
+                        }
+                    };
+                    run(backend, policy, "free", || {
+                        // `free` consumes the column; rebuild the handle per
+                        // attempt so a retried free stays well-formed.
+                        backend.free(Col::from_raw(c.raw_id(), c.dtype(), c.len(), c.backend()))
+                    })?;
+                }
+            }
+        }
+
+        let mut out = PlanOutput::default();
+        for (name, slot) in &self.outputs {
+            let v = match store[*slot].take() {
+                Some(SlotVal::Scalar(v)) => PlanValue::Scalar(v),
+                Some(SlotVal::U32s(v)) => PlanValue::U32(v),
+                Some(SlotVal::F64s(v)) => PlanValue::F64(v),
+                Some(SlotVal::Col(_)) | None => {
+                    return Err(SimError::Unsupported(format!(
+                        "plan output `{name}` (%{slot}) was not downloaded"
+                    )))
+                }
+            };
+            out.values.insert(name.clone(), v);
+        }
+        Ok(out)
+    }
+}

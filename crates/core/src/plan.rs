@@ -48,6 +48,10 @@ pub enum Expr {
     Sub(Box<Expr>, Box<Expr>),
     /// Elementwise multiplication.
     Mul(Box<Expr>, Box<Expr>),
+    /// A 0.0/1.0 indicator column: `1.0` where `column CMP literal`
+    /// holds, else `0.0` — the declarative form of the Table-II
+    /// `dense_mask` fast path (a CASE WHEN … THEN 1 ELSE 0 END).
+    Mask(String, CmpOp, f64),
 }
 
 impl Expr {
@@ -61,17 +65,21 @@ impl Expr {
         Expr::Lit(v)
     }
 
-    /// Column names referenced by the expression.
+    /// Column names referenced by the expression, in first-occurrence
+    /// order with duplicates removed (`Vec::dedup` would only drop
+    /// *adjacent* repeats, so `price*qty + price` used to report
+    /// `price` twice).
     pub fn columns(&self) -> Vec<&str> {
         let mut out = Vec::new();
         self.collect_columns(&mut out);
-        out.dedup();
+        let mut seen = std::collections::BTreeSet::new();
+        out.retain(|name| seen.insert(*name));
         out
     }
 
     fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Expr::Col(name) => out.push(name),
+            Expr::Col(name) | Expr::Mask(name, _, _) => out.push(name),
             Expr::Lit(_) => {}
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
                 a.collect_columns(out);
@@ -98,6 +106,13 @@ impl Expr {
                 Lowered::Borrowed(name.clone())
             }
             Expr::Lit(v) => Lowered::Constant(*v),
+            Expr::Mask(name, cmp, lit) => {
+                let col = cols
+                    .get(name.as_str())
+                    .copied()
+                    .ok_or_else(|| SimError::Unsupported(format!("unbound column `{name}`")))?;
+                Lowered::Owned(backend.dense_mask(col, *cmp, *lit)?)
+            }
             Expr::Add(a, b) => combine(backend, cols, len, a, b, Op::Add)?,
             Expr::Sub(a, b) => combine(backend, cols, len, a, b, Op::Sub)?,
             Expr::Mul(a, b) => combine(backend, cols, len, a, b, Op::Mul)?,
@@ -134,6 +149,7 @@ impl fmt::Display for Expr {
             Expr::Add(a, b) => write!(f, "({a} + {b})"),
             Expr::Sub(a, b) => write!(f, "({a} - {b})"),
             Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Mask(name, cmp, lit) => write!(f, "mask({name} {cmp:?} {lit})"),
         }
     }
 }
@@ -335,7 +351,32 @@ impl Predicate {
         }
     }
 
-    fn describe(&self) -> String {
+    /// Column names referenced by the predicate, in first-occurrence
+    /// order with duplicates removed.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        let mut seen = std::collections::BTreeSet::new();
+        out.retain(|name| seen.insert(*name));
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Cmp(c, _, _) => out.push(c),
+            Predicate::ColCmp(a, _, b) => {
+                out.push(a);
+                out.push(b);
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn describe(&self) -> String {
         match self {
             Predicate::Cmp(c, op, lit) => format!("{c} {op:?} {lit}"),
             Predicate::ColCmp(a, op, b) => format!("{a} {op:?} {b}"),
@@ -834,5 +875,32 @@ mod tests {
         let e = (Expr::col("a") + Expr::lit(1.0)) * Expr::col("b") - Expr::lit(2.0);
         assert_eq!(e.to_string(), "(((a + 1) * b) - 2)");
         assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn columns_dedups_non_adjacent_repeats_in_first_use_order() {
+        // `price*qty + price` interleaves the repeat — Vec::dedup (the
+        // old implementation) only removes adjacent duplicates and kept
+        // both `price` occurrences.
+        let e = Expr::col("price") * Expr::col("qty") + Expr::col("price");
+        assert_eq!(e.columns(), vec!["price", "qty"]);
+        let e = (Expr::col("b") * Expr::col("a")) * (Expr::col("b") * Expr::col("c"));
+        assert_eq!(e.columns(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn mask_expression_is_a_dense_indicator() {
+        let fw = fw();
+        for b in fw.backends() {
+            let mut binding = Bindings::new(b.as_ref());
+            binding.bind_f64("v", &[2.0, 4.0, 6.0]).unwrap();
+            binding.bind_f64("size", &[1.0, 10.0, 3.0]).unwrap();
+            // SUM(v * CASE WHEN size <= 5 THEN 1 ELSE 0 END) = 2 + 6.
+            let q = AggQuery::new(Agg::Sum(
+                Expr::col("v") * Expr::Mask("size".into(), CmpOp::Le, 5.0),
+            ));
+            let r = q.execute(&binding).unwrap();
+            assert_eq!(r.scalar().unwrap(), 8.0, "{}", b.name());
+        }
     }
 }

@@ -145,18 +145,35 @@ impl ResilientBackend {
     /// The fast path is a single straight-through call: with no failure
     /// there is no bookkeeping and no simulated-time cost.
     fn run<T>(&self, what: &str, f: impl Fn() -> Result<T>) -> Result<T> {
-        let mut attempt = 0;
-        loop {
-            match f() {
-                Ok(v) => return Ok(v),
-                Err(e) if attempt < self.policy.max_retries && self.policy.wants_retry(&e) => {
-                    self.inner
-                        .device()
-                        .note_retry(what, self.policy.backoff(attempt));
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
+        retry_with_policy(&self.inner.device(), &self.policy, what, f)
+    }
+}
+
+/// Run `f` in a bounded retry loop under `policy`, charging each backoff
+/// to `device`'s simulated clock (via
+/// [`Device::note_retry`](gpu_sim::Device::note_retry)).
+///
+/// This is the single retry primitive the whole crate shares:
+/// [`ResilientBackend`] routes every operator call through it, and the
+/// physical-plan executor
+/// ([`PhysicalPlan::execute_with_policy`](crate::physical::PhysicalPlan::execute_with_policy))
+/// uses it when a caller hands the planner a [`RetryPolicy`] without
+/// wrapping the backend.
+pub fn retry_with_policy<T>(
+    device: &Device,
+    policy: &RetryPolicy,
+    what: &str,
+    f: impl Fn() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < policy.max_retries && policy.wants_retry(&e) => {
+                device.note_retry(what, policy.backoff(attempt));
+                attempt += 1;
             }
+            Err(e) => return Err(e),
         }
     }
 }

@@ -9,11 +9,20 @@ use proto_core::prelude::*;
 /// A random expression over columns "a", "b" and literals, kept within
 /// the supported lowering (no column±column adds).
 fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::col("a")),
-        Just(Expr::col("b")),
-        (-8.0..8.0f64).prop_map(Expr::lit),
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
     ];
+    let leaf =
+        prop_oneof![
+            Just(Expr::col("a")),
+            Just(Expr::col("b")),
+            (-8.0..8.0f64).prop_map(Expr::lit),
+            (prop_oneof![Just("a"), Just("b")], cmp, -8.0..8.0f64)
+                .prop_map(|(c, op, lit)| Expr::Mask(c.to_string(), op, lit)),
+        ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             (inner.clone(), -8.0..8.0f64).prop_map(|(e, c)| e + Expr::lit(c)),
@@ -36,6 +45,26 @@ fn eval_host(e: &Expr, a: &[f64], b: &[f64], i: usize) -> f64 {
         Expr::Add(x, y) => eval_host(x, a, b, i) + eval_host(y, a, b, i),
         Expr::Sub(x, y) => eval_host(x, a, b, i) - eval_host(y, a, b, i),
         Expr::Mul(x, y) => eval_host(x, a, b, i) * eval_host(y, a, b, i),
+        Expr::Mask(name, cmp, lit) => {
+            let v = match name.as_str() {
+                "a" => a[i],
+                "b" => b[i],
+                other => panic!("unknown column {other}"),
+            };
+            let hit = match cmp {
+                CmpOp::Lt => v < *lit,
+                CmpOp::Le => v <= *lit,
+                CmpOp::Gt => v > *lit,
+                CmpOp::Ge => v >= *lit,
+                CmpOp::Eq => v == *lit,
+                CmpOp::Ne => v != *lit,
+            };
+            if hit {
+                1.0
+            } else {
+                0.0
+            }
+        }
     }
 }
 

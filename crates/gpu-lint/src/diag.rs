@@ -6,7 +6,7 @@
 //! the hazard-injection tests can match on them across versions. Rule
 //! numbering is grouped by pass family: `GL0xx` buffer lifetimes,
 //! `GL1xx` stream ordering, `GL2xx` compiled Programs, `GL3xx`
-//! scheduler plans.
+//! scheduler plans, `GL4xx` compiled physical query plans.
 
 use std::fmt;
 
@@ -70,6 +70,16 @@ pub enum Rule {
     LaneOrderViolation,
     /// GL303 — dependency on a task id the plan does not contain.
     OrphanDependency,
+    /// GL401 — device column a physical plan creates but never frees.
+    UnfreedPlanColumn,
+    /// GL402 — step operand whose dtype does not match what the call
+    /// requires (e.g. `f64` gather indices, `u32` arithmetic input).
+    PlanDtypeMismatch,
+    /// GL403 — merge join over a key column not known to be sorted.
+    MergeJoinUnsorted,
+    /// GL404 — step reads or frees a slot that is undefined or already
+    /// freed at that point in the plan.
+    PlanUseAfterFree,
 }
 
 impl Rule {
@@ -93,6 +103,10 @@ impl Rule {
             Rule::PlanCycle => "GL301",
             Rule::LaneOrderViolation => "GL302",
             Rule::OrphanDependency => "GL303",
+            Rule::UnfreedPlanColumn => "GL401",
+            Rule::PlanDtypeMismatch => "GL402",
+            Rule::MergeJoinUnsorted => "GL403",
+            Rule::PlanUseAfterFree => "GL404",
         }
     }
 
@@ -104,7 +118,8 @@ impl Rule {
             | Rule::DeadDeviceToHost
             | Rule::DeadHostToDevice
             | Rule::DtypeMismatch
-            | Rule::DeadLeaf => Severity::Warning,
+            | Rule::DeadLeaf
+            | Rule::UnfreedPlanColumn => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -277,6 +292,10 @@ mod tests {
             Rule::PlanCycle,
             Rule::LaneOrderViolation,
             Rule::OrphanDependency,
+            Rule::UnfreedPlanColumn,
+            Rule::PlanDtypeMismatch,
+            Rule::MergeJoinUnsorted,
+            Rule::PlanUseAfterFree,
         ];
         let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len(), "ids collide");
@@ -284,6 +303,10 @@ mod tests {
         assert_eq!(Rule::StreamRace.id(), "GL101");
         assert_eq!(Rule::StackImbalance.id(), "GL201");
         assert_eq!(Rule::PlanCycle.id(), "GL301");
+        assert_eq!(Rule::UnfreedPlanColumn.id(), "GL401");
+        assert_eq!(Rule::PlanUseAfterFree.id(), "GL404");
+        assert_eq!(Rule::UnfreedPlanColumn.severity(), Severity::Warning);
+        assert_eq!(Rule::PlanDtypeMismatch.severity(), Severity::Error);
     }
 
     #[test]

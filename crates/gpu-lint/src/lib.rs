@@ -10,6 +10,9 @@
 //!   stack-machine verifier ([`program::lint_program`], `GL2xx`).
 //! * **Scheduler plans** ([`plan::PlanTask`] graphs) — the plan checker
 //!   ([`plan::lint_plan`], `GL3xx`).
+//! * **Compiled physical query plans** ([`physplan::PlanStep`] lists) —
+//!   the slot-lifetime/operand-shape checker
+//!   ([`physplan::lint_physical_plan`], `GL4xx`).
 //!
 //! Every pass is a pure function from artifact to [`Diagnostic`]s; the
 //! analyzer never mutates what it observes, so linting a trace can
@@ -26,11 +29,13 @@
 
 pub mod buffer;
 pub mod diag;
+pub mod physplan;
 pub mod plan;
 pub mod program;
 pub mod stream;
 
 pub use diag::{Diagnostic, Report, Rule, Severity, Waiver};
+pub use physplan::{PlanColumn, PlanDtype, PlanStep, PlanUse};
 pub use plan::PlanTask;
 
 use std::collections::BTreeMap;
@@ -51,6 +56,15 @@ pub fn lint_program(target: impl Into<String>, spec: &arrayfire_sim::ProgramSpec
 /// Check a plan graph and bundle the findings.
 pub fn lint_plan(target: impl Into<String>, tasks: &[PlanTask]) -> Report {
     Report::new(target, plan::lint_plan(tasks))
+}
+
+/// Check a compiled physical query plan and bundle the findings.
+pub fn lint_physical_plan(
+    target: impl Into<String>,
+    inputs: &[PlanColumn],
+    steps: &[PlanStep],
+) -> Report {
+    Report::new(target, physplan::lint_physical_plan(inputs, steps))
 }
 
 /// Render `events` as a timeline with each diagnostic's rule id

@@ -2,7 +2,7 @@
 //! [`arrayfire_sim::ProgramSpec`]'s stack machine.
 //!
 //! Instead of values, the interpreter pushes abstract dtypes
-//! ([`AbstractTy`]) and tracks the producing instruction index, which
+//! (`AbstractTy`) and tracks the producing instruction index, which
 //! lets it report *where* an imbalance or mismatch originates. Checks:
 //! stack underflow / non-singleton final stack (GL201), loads of slots
 //! outside the leaf table (GL202), logical operators over operands that

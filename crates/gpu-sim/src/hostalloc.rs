@@ -11,7 +11,7 @@
 //!
 //! The allocator is purely a host-side mechanism: it changes *when* the
 //! process asks the OS for memory, never what any simulation computes or
-//! charges. Small allocations (below [`MIN_RECYCLE_BYTES`]) and unusual
+//! charges. Small allocations (below `MIN_RECYCLE_BYTES`, 64 KiB) and unusual
 //! alignments pass straight through to the system allocator.
 //!
 //! Design notes:

@@ -1,14 +1,24 @@
-//! The studied TPC-H queries, lowered onto the operator framework.
+//! The studied TPC-H queries, expressed as logical plans.
 //!
-//! Each query module provides three things:
+//! Each query module provides four things:
 //!
 //! 1. a **reference** host implementation (ground truth for tests),
-//! 2. an **upload** step building the device-resident working set
+//! 2. a **`logical_plan`** builder declaring the query as a
+//!    [`proto_core::logical::LogicalPlan`] tree — what the query *is*,
+//!    with no backend calls in sight,
+//! 3. an **upload** step building the device-resident working set
 //!    (columns a warmed system would already hold — the paper measures
 //!    operator/query execution, not cold PCIe transfers),
-//! 3. an **execute** step that runs the query through
-//!    [`proto_core::backend::GpuBackend`] calls only, so the
-//!    same plan runs on every library and the handwritten baseline.
+//! 4. an **execute** step that compiles the logical plan through
+//!    [`proto_core::optimizer::plan`] and interprets the resulting
+//!    [`proto_core::physical::PhysicalPlan`] over
+//!    [`proto_core::backend::GpuBackend`] calls only, so the same plan
+//!    runs on every library and the handwritten baseline.
+//!
+//! The pre-planner hand-rolled lowerings survive verbatim as
+//! `#[cfg(test)] mod oracle` in each module; every query carries a
+//! trace-equality test proving the planned execution issues the exact
+//! same backend call sequence.
 
 pub mod q1;
 pub mod q14;
@@ -18,15 +28,16 @@ pub mod q5;
 pub mod q6;
 
 use proto_core::backend::GpuBackend;
-use proto_core::ops::{JoinAlgo, Support};
+use proto_core::ops::JoinAlgo;
 
 /// Pick the best join algorithm the backend supports: hash beats merge
 /// beats nested loops (what a query planner would do). `None` when the
 /// backend cannot join at all (ArrayFire, per Table II).
+///
+/// Delegates to [`proto_core::optimizer::best_join`], the same choice
+/// the planner makes when compiling a join.
 pub fn best_join(backend: &dyn GpuBackend) -> Option<JoinAlgo> {
-    [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops]
-        .into_iter()
-        .find(|algo| backend.support(algo.operator()) != Support::None)
+    proto_core::optimizer::best_join(backend)
 }
 
 /// Whether the backend can run join-bearing queries (Q3/Q4).

@@ -14,18 +14,23 @@
 //! ORDER BY revenue DESC LIMIT 10;
 //! ```
 //!
-//! Q3 is the join stress test. The plan selects on all three tables,
-//! joins orders⋈customer then lineitem⋈orders, and group-aggregates the
-//! revenue. Backends join with the best algorithm they support —
-//! handwritten uses its hash join, Thrust/Boost fall back to the
-//! `for_each_n` nested-loops join (the paper's "tuning potential unused"),
-//! and ArrayFire cannot run the query at all.
+//! Q3 is the join stress test. The logical plan selects on all three
+//! tables, joins orders⋈customer then lineitem⋈orders, and
+//! group-aggregates the revenue. The planner picks the best join
+//! algorithm each backend supports — handwritten uses its hash join,
+//! Thrust/Boost fall back to the `for_each_n` nested-loops join (the
+//! paper's "tuning potential unused"), and ArrayFire cannot run the
+//! query at all.
 
 use crate::dates::date;
 use crate::schema::{segment_code, Database};
-use gpu_sim::{Result, SimError};
+use gpu_sim::Result;
 use proto_core::backend::{Col, GpuBackend};
+use proto_core::logical::{AggExpr, ColumnDecl, JoinCol, LogicalPlan};
 use proto_core::ops::CmpOp;
+use proto_core::optimizer;
+use proto_core::physical::{PhysicalPlan, PlanBindings};
+use proto_core::plan::{Expr, Predicate};
 
 /// One Q3 result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +43,78 @@ pub struct Q3Row {
     pub orderdate: u32,
     /// `o_shippriority`.
     pub shippriority: u32,
+}
+
+/// The Q3 query tree: customers filtered to BUILDING feed the orders
+/// join, whose output keys feed the lineitem join, grouped by orderkey.
+///
+/// The final host-side decoration (orderdate/shippriority lookup), sort
+/// and LIMIT stay outside the plan — they read the `orders` table on
+/// the host, which device plans cannot express.
+pub fn logical_plan() -> LogicalPlan {
+    let cut = date(1995, 3, 15) as f64;
+    let building = segment_code("BUILDING").expect("dictionary") as f64;
+    let customer = LogicalPlan::scan(
+        "customer",
+        vec![ColumnDecl::u32("mktsegment"), ColumnDecl::u32("custkey")],
+    )
+    .filter(Predicate::cmp("customer.mktsegment", CmpOp::Eq, building))
+    .project(&["customer.custkey"]);
+    let orders = LogicalPlan::scan(
+        "orders",
+        vec![
+            ColumnDecl::u32("orderdate"),
+            ColumnDecl::u32("custkey"),
+            ColumnDecl::u32("orderkey"),
+        ],
+    )
+    .filter(Predicate::cmp("orders.orderdate", CmpOp::Lt, cut))
+    .project(&["orders.custkey", "orders.orderkey"]);
+    let building_orders = LogicalPlan::join(
+        customer,
+        orders,
+        "customer.custkey",
+        "orders.custkey",
+        vec![JoinCol::probe("okey", "orders.orderkey")],
+    );
+    let lineitem = LogicalPlan::scan(
+        "lineitem",
+        vec![
+            ColumnDecl::u32("shipdate"),
+            ColumnDecl::u32("orderkey"),
+            ColumnDecl::f64("extendedprice"),
+            ColumnDecl::f64("discount"),
+        ],
+    )
+    .filter(Predicate::cmp("lineitem.shipdate", CmpOp::Gt, cut))
+    .project(&[
+        "lineitem.orderkey",
+        "lineitem.extendedprice",
+        "lineitem.discount",
+    ]);
+    LogicalPlan::join(
+        building_orders,
+        lineitem,
+        "okey",
+        "lineitem.orderkey",
+        vec![
+            JoinCol::probe("rev_ext", "lineitem.extendedprice"),
+            JoinCol::probe("rev_disc", "lineitem.discount"),
+            JoinCol::probe("okey2", "lineitem.orderkey"),
+        ],
+    )
+    .aggregate(
+        Some("okey2"),
+        vec![(
+            "revenue",
+            AggExpr::Sum(Expr::col("rev_ext") * (Expr::lit(1.0) - Expr::col("rev_disc"))),
+        )],
+    )
+}
+
+/// Compile Q3 for `backend`.
+pub fn physical_plan(backend: &dyn GpuBackend) -> Result<PhysicalPlan> {
+    optimizer::plan("Q3", &logical_plan(), backend)
 }
 
 /// Device-resident Q3 working set.
@@ -73,81 +150,35 @@ impl Q3Data {
         })
     }
 
-    /// Execute Q3. Returns the top-10 rows by revenue; errors with
-    /// [`SimError::Unsupported`] on backends that cannot join.
+    fn bindings(&self) -> PlanBindings<'_> {
+        let mut binds = PlanBindings::new();
+        binds
+            .bind("customer.mktsegment", &self.c_mktsegment)
+            .bind("customer.custkey", &self.c_custkey)
+            .bind("orders.orderdate", &self.o_orderdate)
+            .bind("orders.custkey", &self.o_custkey)
+            .bind("orders.orderkey", &self.o_orderkey)
+            .bind("lineitem.shipdate", &self.l_shipdate)
+            .bind("lineitem.orderkey", &self.l_orderkey)
+            .bind("lineitem.extendedprice", &self.l_extendedprice)
+            .bind("lineitem.discount", &self.l_discount);
+        binds
+    }
+
+    /// Execute Q3 through the planner. Returns the top-10 rows by
+    /// revenue; errors with [`gpu_sim::SimError::Unsupported`] on
+    /// backends that cannot join.
     pub fn execute(&self, backend: &dyn GpuBackend, db: &Database) -> Result<Vec<Q3Row>> {
-        let Some(join_algo) = super::best_join(backend) else {
-            return Err(SimError::Unsupported(format!(
-                "{} supports no join algorithm (Table II)",
-                backend.name()
-            )));
-        };
-        let cut = date(1995, 3, 15) as f64;
-        let building = segment_code("BUILDING").expect("dictionary") as f64;
-
-        // σ(customer): BUILDING customers' keys.
-        let c_ids = backend.selection(&self.c_mktsegment, CmpOp::Eq, building)?;
-        let cust_keys = backend.gather(&self.c_custkey, &c_ids)?;
-
-        // σ(orders): orders before the cut, project (custkey, orderkey).
-        let o_ids = backend.selection(&self.o_orderdate, CmpOp::Lt, cut)?;
-        let o_cust = backend.gather(&self.o_custkey, &o_ids)?;
-        let o_key = backend.gather(&self.o_orderkey, &o_ids)?;
-
-        // orders ⋈ customer on custkey (FK → at most one match).
-        let (oc_l, oc_r) = backend.join(&o_cust, &cust_keys, join_algo)?;
-        let sel_order_keys = backend.gather(&o_key, &oc_l)?;
-
-        // σ(lineitem): shipped after the cut.
-        let l_ids = backend.selection(&self.l_shipdate, CmpOp::Gt, cut)?;
-        let l_ok = backend.gather(&self.l_orderkey, &l_ids)?;
-        let l_ext = backend.gather(&self.l_extendedprice, &l_ids)?;
-        let l_disc = backend.gather(&self.l_discount, &l_ids)?;
-
-        // lineitem ⋈ orders on orderkey.
-        let (ll, _lr) = backend.join(&l_ok, &sel_order_keys, join_algo)?;
-
-        // revenue per surviving line, grouped by orderkey.
-        let m_ext = backend.gather(&l_ext, &ll)?;
-        let m_disc = backend.gather(&l_disc, &ll)?;
-        let m_key = backend.gather(&l_ok, &ll)?;
-        let one_minus = backend.affine(&m_disc, -1.0, 1.0)?;
-        let revenue = backend.product(&m_ext, &one_minus)?;
-        let (g_keys, g_rev) = backend.grouped_sum(&m_key, &revenue)?;
-
-        let keys = backend.download_u32(&g_keys)?;
-        let revs = backend.download_f64(&g_rev)?;
-        for c in [
-            c_ids,
-            cust_keys,
-            o_ids,
-            o_cust,
-            o_key,
-            oc_l,
-            oc_r,
-            sel_order_keys,
-            l_ids,
-            l_ok,
-            l_ext,
-            l_disc,
-            ll,
-            _lr,
-            m_ext,
-            m_disc,
-            m_key,
-            one_minus,
-            revenue,
-            g_keys,
-            g_rev,
-        ] {
-            backend.free(c)?;
-        }
+        let plan = physical_plan(backend)?;
+        let out = plan.execute(backend, &self.bindings())?;
+        let keys = out.u32s("keys")?;
+        let revs = out.f64s("revenue")?;
 
         // Attach orderdate/shippriority (host-side key lookup on the tiny
         // result set) and take the top 10.
         let mut rows: Vec<Q3Row> = keys
             .iter()
-            .zip(&revs)
+            .zip(revs)
             .map(|(&orderkey, &revenue)| {
                 let row = (orderkey - 1) as usize; // dense keys
                 Q3Row {
@@ -237,6 +268,109 @@ pub fn reference(db: &Database) -> Vec<Q3Row> {
 }
 
 #[cfg(test)]
+mod oracle {
+    //! The pre-planner hand-rolled lowering, kept verbatim as the
+    //! equivalence oracle for the planned execution.
+
+    use super::*;
+    use gpu_sim::SimError;
+
+    pub fn execute(data: &Q3Data, backend: &dyn GpuBackend, db: &Database) -> Result<Vec<Q3Row>> {
+        let Some(join_algo) = crate::queries::best_join(backend) else {
+            return Err(SimError::Unsupported(format!(
+                "{} supports no join algorithm (Table II)",
+                backend.name()
+            )));
+        };
+        let cut = date(1995, 3, 15) as f64;
+        let building = segment_code("BUILDING").expect("dictionary") as f64;
+
+        // σ(customer): BUILDING customers' keys.
+        let c_ids = backend.selection(&data.c_mktsegment, CmpOp::Eq, building)?;
+        let cust_keys = backend.gather(&data.c_custkey, &c_ids)?;
+
+        // σ(orders): orders before the cut, project (custkey, orderkey).
+        let o_ids = backend.selection(&data.o_orderdate, CmpOp::Lt, cut)?;
+        let o_cust = backend.gather(&data.o_custkey, &o_ids)?;
+        let o_key = backend.gather(&data.o_orderkey, &o_ids)?;
+
+        // orders ⋈ customer on custkey (FK → at most one match).
+        let (oc_l, oc_r) = backend.join(&o_cust, &cust_keys, join_algo)?;
+        let sel_order_keys = backend.gather(&o_key, &oc_l)?;
+
+        // σ(lineitem): shipped after the cut.
+        let l_ids = backend.selection(&data.l_shipdate, CmpOp::Gt, cut)?;
+        let l_ok = backend.gather(&data.l_orderkey, &l_ids)?;
+        let l_ext = backend.gather(&data.l_extendedprice, &l_ids)?;
+        let l_disc = backend.gather(&data.l_discount, &l_ids)?;
+
+        // lineitem ⋈ orders on orderkey.
+        let (ll, _lr) = backend.join(&l_ok, &sel_order_keys, join_algo)?;
+
+        // revenue per surviving line, grouped by orderkey.
+        let m_ext = backend.gather(&l_ext, &ll)?;
+        let m_disc = backend.gather(&l_disc, &ll)?;
+        let m_key = backend.gather(&l_ok, &ll)?;
+        let one_minus = backend.affine(&m_disc, -1.0, 1.0)?;
+        let revenue = backend.product(&m_ext, &one_minus)?;
+        let (g_keys, g_rev) = backend.grouped_sum(&m_key, &revenue)?;
+
+        let keys = backend.download_u32(&g_keys)?;
+        let revs = backend.download_f64(&g_rev)?;
+        for c in [
+            c_ids,
+            cust_keys,
+            o_ids,
+            o_cust,
+            o_key,
+            oc_l,
+            oc_r,
+            sel_order_keys,
+            l_ids,
+            l_ok,
+            l_ext,
+            l_disc,
+            ll,
+            _lr,
+            m_ext,
+            m_disc,
+            m_key,
+            one_minus,
+            revenue,
+            g_keys,
+            g_rev,
+        ] {
+            backend.free(c)?;
+        }
+
+        // Attach orderdate/shippriority (host-side key lookup on the tiny
+        // result set) and take the top 10.
+        let mut rows: Vec<Q3Row> = keys
+            .iter()
+            .zip(&revs)
+            .map(|(&orderkey, &revenue)| {
+                let row = (orderkey - 1) as usize; // dense keys
+                Q3Row {
+                    orderkey,
+                    revenue,
+                    orderdate: db.orders.orderdate[row],
+                    shippriority: db.orders.shippriority[row],
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.revenue
+                .partial_cmp(&a.revenue)
+                .expect("finite revenue")
+                .then(a.orderdate.cmp(&b.orderdate))
+                .then(a.orderkey.cmp(&b.orderkey))
+        });
+        rows.truncate(10);
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::generate;
@@ -266,6 +400,37 @@ mod tests {
                 }
             }
             data.free(b.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn planned_execution_matches_the_handwritten_lowering_exactly() {
+        for sf in [0.001, 0.01] {
+            let db = generate(sf);
+            for name in ["Thrust", "Boost.Compute", "ArrayFire", "Handwritten"] {
+                let spec = DeviceSpec::gtx1080();
+                let b_old = Framework::single_backend(&spec, name);
+                let b_new = Framework::single_backend(&spec, name);
+                let d_old = Q3Data::upload(b_old.as_ref(), &db).unwrap();
+                let d_new = Q3Data::upload(b_new.as_ref(), &db).unwrap();
+                b_old.device().set_tracing(true);
+                b_new.device().set_tracing(true);
+                match (
+                    oracle::execute(&d_old, b_old.as_ref(), &db),
+                    d_new.execute(b_new.as_ref(), &db),
+                ) {
+                    (Ok(expect), Ok(got)) => assert_eq!(got, expect, "{name} @ sf {sf}"),
+                    (Err(e_old), Err(e_new)) => {
+                        assert_eq!(e_new.to_string(), e_old.to_string(), "{name} @ sf {sf}")
+                    }
+                    (old, new) => panic!("{name} @ sf {sf}: diverged: {old:?} vs {new:?}"),
+                }
+                assert_eq!(
+                    b_new.device().take_trace(),
+                    b_old.device().take_trace(),
+                    "{name} @ sf {sf}: planned trace deviates from the hand-rolled one"
+                );
+            }
         }
     }
 

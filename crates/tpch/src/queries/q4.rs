@@ -13,14 +13,19 @@
 //!
 //! Q4 adds two twists to the join story: a column-vs-column selection
 //! (`l_commitdate < l_receiptdate`) and EXISTS semantics (each qualifying
-//! order counts once however many late lines it has), realised on the
-//! framework as join → distinct-by-grouping → regroup by priority.
+//! order counts once however many late lines it has), declared as a
+//! semi-distinct join in the logical plan and lowered by the planner to
+//! join → distinct-by-grouping → regroup by priority.
 
 use crate::dates::date;
 use crate::schema::{Database, PRIORITIES};
-use gpu_sim::{Result, SimError};
-use proto_core::backend::{Col, GpuBackend, Pred};
-use proto_core::ops::{CmpOp, Connective};
+use gpu_sim::Result;
+use proto_core::backend::{Col, GpuBackend};
+use proto_core::logical::{AggExpr, ColumnDecl, JoinCol, LogicalPlan};
+use proto_core::ops::CmpOp;
+use proto_core::optimizer;
+use proto_core::physical::{PhysicalPlan, PlanBindings};
+use proto_core::plan::Predicate;
 
 /// One Q4 result row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +41,51 @@ impl Q4Row {
     pub fn label(&self) -> &'static str {
         PRIORITIES[self.priority as usize]
     }
+}
+
+/// The Q4 query tree: a semi-distinct join of late lineitems against
+/// the 1993-Q3 order window, counted per priority.
+pub fn logical_plan() -> LogicalPlan {
+    let orders = LogicalPlan::scan(
+        "orders",
+        vec![
+            ColumnDecl::u32("orderdate"),
+            ColumnDecl::u32("orderkey"),
+            ColumnDecl::u32("orderpriority"),
+        ],
+    )
+    .filter(Predicate::And(vec![
+        Predicate::cmp("orders.orderdate", CmpOp::Ge, date(1993, 7, 1) as f64),
+        Predicate::cmp("orders.orderdate", CmpOp::Lt, date(1993, 10, 1) as f64),
+    ]))
+    .project(&["orders.orderkey", "orders.orderpriority"]);
+    let lineitem = LogicalPlan::scan(
+        "lineitem",
+        vec![
+            ColumnDecl::u32("orderkey"),
+            ColumnDecl::u32("commitdate"),
+            ColumnDecl::u32("receiptdate"),
+        ],
+    )
+    .filter(Predicate::col_cmp(
+        "lineitem.commitdate",
+        CmpOp::Lt,
+        "lineitem.receiptdate",
+    ))
+    .project(&["lineitem.orderkey"]);
+    LogicalPlan::semi_join(
+        orders,
+        lineitem,
+        "orders.orderkey",
+        "lineitem.orderkey",
+        vec![JoinCol::build("prio", "orders.orderpriority")],
+    )
+    .aggregate(Some("prio"), vec![("order_count", AggExpr::Count)])
+}
+
+/// Compile Q4 for `backend`.
+pub fn physical_plan(backend: &dyn GpuBackend) -> Result<PhysicalPlan> {
+    optimizer::plan("Q4", &logical_plan(), backend)
 }
 
 /// Device-resident Q4 working set.
@@ -62,70 +112,29 @@ impl Q4Data {
         })
     }
 
-    /// Execute Q4, returning counts per priority (ascending code).
+    fn bindings(&self) -> PlanBindings<'_> {
+        let mut binds = PlanBindings::new();
+        binds
+            .bind("orders.orderdate", &self.o_orderdate)
+            .bind("orders.orderkey", &self.o_orderkey)
+            .bind("orders.orderpriority", &self.o_priority)
+            .bind("lineitem.orderkey", &self.l_orderkey)
+            .bind("lineitem.commitdate", &self.l_commitdate)
+            .bind("lineitem.receiptdate", &self.l_receiptdate);
+        binds
+    }
+
+    /// Execute Q4 through the planner, returning counts per priority
+    /// (ascending code).
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q4Row>> {
-        let Some(join_algo) = super::best_join(backend) else {
-            return Err(SimError::Unsupported(format!(
-                "{} supports no join algorithm (Table II)",
-                backend.name()
-            )));
-        };
-        // σ(orders): the Q3/1993 window.
-        let preds = [
-            Pred {
-                col: &self.o_orderdate,
-                cmp: CmpOp::Ge,
-                lit: date(1993, 7, 1) as f64,
-            },
-            Pred {
-                col: &self.o_orderdate,
-                cmp: CmpOp::Lt,
-                lit: date(1993, 10, 1) as f64,
-            },
-        ];
-        let o_ids = backend.selection_multi(&preds, Connective::And)?;
-        let o_keys = backend.gather(&self.o_orderkey, &o_ids)?;
-        let o_prio = backend.gather(&self.o_priority, &o_ids)?;
-
-        // σ(lineitem): late lines (column-vs-column predicate).
-        let l_ids =
-            backend.selection_cmp_cols(&self.l_commitdate, &self.l_receiptdate, CmpOp::Lt)?;
-        let l_keys = backend.gather(&self.l_orderkey, &l_ids)?;
-
-        // Semi join: lines ⋈ orders, then collapse to distinct orders.
-        let (_jl, jr) = backend.join(&l_keys, &o_keys, join_algo)?;
-        let ones_src = backend.constant_f64(jr.len(), 1.0)?;
-        let (distinct_orders, _cnt) = backend.grouped_sum(&jr, &ones_src)?;
-
-        // Regroup the distinct orders by priority.
-        let prio_of_match = backend.gather(&o_prio, &distinct_orders)?;
-        let ones2 = backend.constant_f64(prio_of_match.len(), 1.0)?;
-        let (prio_keys, prio_counts) = backend.grouped_sum(&prio_of_match, &ones2)?;
-
-        let codes = backend.download_u32(&prio_keys)?;
-        let counts = backend.download_f64(&prio_counts)?;
-        for c in [
-            o_ids,
-            o_keys,
-            o_prio,
-            l_ids,
-            l_keys,
-            _jl,
-            jr,
-            ones_src,
-            distinct_orders,
-            _cnt,
-            prio_of_match,
-            ones2,
-            prio_keys,
-            prio_counts,
-        ] {
-            backend.free(c)?;
-        }
+        let plan = physical_plan(backend)?;
+        let out = plan.execute(backend, &self.bindings())?;
+        let codes = out.u32s("keys")?;
+        let counts = out.f64s("order_count")?;
         Ok(codes
-            .into_iter()
+            .iter()
             .zip(counts)
-            .map(|(priority, n)| Q4Row {
+            .map(|(&priority, &n)| Q4Row {
                 priority,
                 order_count: n as u64,
             })
@@ -173,6 +182,86 @@ pub fn reference(db: &Database) -> Vec<Q4Row> {
 }
 
 #[cfg(test)]
+mod oracle {
+    //! The pre-planner hand-rolled lowering, kept verbatim as the
+    //! equivalence oracle for the planned execution.
+
+    use super::*;
+    use gpu_sim::SimError;
+    use proto_core::backend::Pred;
+    use proto_core::ops::Connective;
+
+    pub fn execute(data: &Q4Data, backend: &dyn GpuBackend) -> Result<Vec<Q4Row>> {
+        let Some(join_algo) = crate::queries::best_join(backend) else {
+            return Err(SimError::Unsupported(format!(
+                "{} supports no join algorithm (Table II)",
+                backend.name()
+            )));
+        };
+        // σ(orders): the Q3/1993 window.
+        let preds = [
+            Pred {
+                col: &data.o_orderdate,
+                cmp: CmpOp::Ge,
+                lit: date(1993, 7, 1) as f64,
+            },
+            Pred {
+                col: &data.o_orderdate,
+                cmp: CmpOp::Lt,
+                lit: date(1993, 10, 1) as f64,
+            },
+        ];
+        let o_ids = backend.selection_multi(&preds, Connective::And)?;
+        let o_keys = backend.gather(&data.o_orderkey, &o_ids)?;
+        let o_prio = backend.gather(&data.o_priority, &o_ids)?;
+
+        // σ(lineitem): late lines (column-vs-column predicate).
+        let l_ids =
+            backend.selection_cmp_cols(&data.l_commitdate, &data.l_receiptdate, CmpOp::Lt)?;
+        let l_keys = backend.gather(&data.l_orderkey, &l_ids)?;
+
+        // Semi join: lines ⋈ orders, then collapse to distinct orders.
+        let (_jl, jr) = backend.join(&l_keys, &o_keys, join_algo)?;
+        let ones_src = backend.constant_f64(jr.len(), 1.0)?;
+        let (distinct_orders, _cnt) = backend.grouped_sum(&jr, &ones_src)?;
+
+        // Regroup the distinct orders by priority.
+        let prio_of_match = backend.gather(&o_prio, &distinct_orders)?;
+        let ones2 = backend.constant_f64(prio_of_match.len(), 1.0)?;
+        let (prio_keys, prio_counts) = backend.grouped_sum(&prio_of_match, &ones2)?;
+
+        let codes = backend.download_u32(&prio_keys)?;
+        let counts = backend.download_f64(&prio_counts)?;
+        for c in [
+            o_ids,
+            o_keys,
+            o_prio,
+            l_ids,
+            l_keys,
+            _jl,
+            jr,
+            ones_src,
+            distinct_orders,
+            _cnt,
+            prio_of_match,
+            ones2,
+            prio_keys,
+            prio_counts,
+        ] {
+            backend.free(c)?;
+        }
+        Ok(codes
+            .into_iter()
+            .zip(counts)
+            .map(|(priority, n)| Q4Row {
+                priority,
+                order_count: n as u64,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::generate;
@@ -192,6 +281,37 @@ mod tests {
                 Err(_) => assert_eq!(b.name(), "ArrayFire"),
             }
             data.free(b.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn planned_execution_matches_the_handwritten_lowering_exactly() {
+        for sf in [0.001, 0.01] {
+            let db = generate(sf);
+            for name in ["Thrust", "Boost.Compute", "ArrayFire", "Handwritten"] {
+                let spec = DeviceSpec::gtx1080();
+                let b_old = Framework::single_backend(&spec, name);
+                let b_new = Framework::single_backend(&spec, name);
+                let d_old = Q4Data::upload(b_old.as_ref(), &db).unwrap();
+                let d_new = Q4Data::upload(b_new.as_ref(), &db).unwrap();
+                b_old.device().set_tracing(true);
+                b_new.device().set_tracing(true);
+                match (
+                    oracle::execute(&d_old, b_old.as_ref()),
+                    d_new.execute(b_new.as_ref()),
+                ) {
+                    (Ok(expect), Ok(got)) => assert_eq!(got, expect, "{name} @ sf {sf}"),
+                    (Err(e_old), Err(e_new)) => {
+                        assert_eq!(e_new.to_string(), e_old.to_string(), "{name} @ sf {sf}")
+                    }
+                    (old, new) => panic!("{name} @ sf {sf}: diverged: {old:?} vs {new:?}"),
+                }
+                assert_eq!(
+                    b_new.device().take_trace(),
+                    b_old.device().take_trace(),
+                    "{name} @ sf {sf}: planned trace deviates from the hand-rolled one"
+                );
+            }
         }
     }
 

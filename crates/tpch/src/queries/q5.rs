@@ -15,17 +15,23 @@
 //! GROUP BY n_name ORDER BY revenue DESC;
 //! ```
 //!
-//! The heaviest query in the study: six tables, three equi joins, a
+//! The heaviest query in the study: six tables, four equi joins, a
 //! column-vs-column filter (`c_nationkey = s_nationkey` after both sides
 //! are joined in) and a grouped aggregation. It is exactly the workload
 //! class where the libraries' missing hash join hurts most — every join
-//! degrades to `for_each_n` nested loops on Thrust/Boost.Compute.
+//! degrades to `for_each_n` nested loops on Thrust/Boost.Compute. The
+//! region-filtered nation subplan feeds both the supplier and the
+//! customer join; the planner's structural dedup lowers it once.
 
 use crate::dates::date;
 use crate::schema::{Database, NATIONS, REGIONS};
-use gpu_sim::{Result, SimError};
-use proto_core::backend::{Col, GpuBackend, Pred};
-use proto_core::ops::{CmpOp, Connective};
+use gpu_sim::Result;
+use proto_core::backend::{Col, GpuBackend};
+use proto_core::logical::{AggExpr, ColumnDecl, JoinCol, LogicalPlan, ResultOrder};
+use proto_core::ops::CmpOp;
+use proto_core::optimizer;
+use proto_core::physical::{PhysicalPlan, PlanBindings};
+use proto_core::plan::{Expr, Predicate};
 
 /// One Q5 result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +57,124 @@ fn region_code() -> u32 {
         .iter()
         .position(|&r| r == TARGET_REGION)
         .expect("region dictionary") as u32
+}
+
+/// The Q5 query tree: the region-filtered nation list (shared by the
+/// supplier and customer joins), the 1994 order window, the
+/// lineitem⋈orders⋈supplier join chain, the "local" customer=supplier
+/// nation filter, and a revenue sum per nation, descending.
+pub fn logical_plan() -> LogicalPlan {
+    let nations = LogicalPlan::scan(
+        "nation",
+        vec![ColumnDecl::u32("nationkey"), ColumnDecl::u32("regionkey")],
+    )
+    .filter(Predicate::cmp(
+        "nation.regionkey",
+        CmpOp::Eq,
+        region_code() as f64,
+    ))
+    .project(&["nation.nationkey"]);
+    // Region-filtered suppliers and customers: dimension ⋈ fact keeps
+    // the fact table's key/nation pairs for the region.
+    let suppliers = LogicalPlan::join(
+        nations.clone(),
+        LogicalPlan::scan(
+            "supplier",
+            vec![ColumnDecl::u32("suppkey"), ColumnDecl::u32("nationkey")],
+        ),
+        "nation.nationkey",
+        "supplier.nationkey",
+        vec![
+            JoinCol::probe("supp_suppkey", "supplier.suppkey"),
+            JoinCol::probe("supp_nation", "supplier.nationkey"),
+        ],
+    );
+    let customers = LogicalPlan::join(
+        nations,
+        LogicalPlan::scan(
+            "customer",
+            vec![ColumnDecl::u32("custkey"), ColumnDecl::u32("nationkey")],
+        ),
+        "nation.nationkey",
+        "customer.nationkey",
+        vec![
+            JoinCol::probe("cust_custkey", "customer.custkey"),
+            JoinCol::probe("cust_nation", "customer.nationkey"),
+        ],
+    );
+    let orders = LogicalPlan::scan(
+        "orders",
+        vec![
+            ColumnDecl::u32("orderdate"),
+            ColumnDecl::u32("custkey"),
+            ColumnDecl::u32("orderkey"),
+        ],
+    )
+    .filter(Predicate::And(vec![
+        Predicate::cmp("orders.orderdate", CmpOp::Ge, date(1994, 1, 1) as f64),
+        Predicate::cmp("orders.orderdate", CmpOp::Lt, date(1995, 1, 1) as f64),
+    ]))
+    .project(&["orders.custkey", "orders.orderkey"]);
+    let region_orders = LogicalPlan::join(
+        customers,
+        orders,
+        "cust_custkey",
+        "orders.custkey",
+        vec![
+            JoinCol::probe("okey", "orders.orderkey"),
+            JoinCol::build("ocust_nation", "cust_nation"),
+        ],
+    );
+    let lines = LogicalPlan::join(
+        region_orders,
+        LogicalPlan::scan(
+            "lineitem",
+            vec![
+                ColumnDecl::u32("orderkey"),
+                ColumnDecl::u32("suppkey"),
+                ColumnDecl::f64("extendedprice"),
+                ColumnDecl::f64("discount"),
+            ],
+        ),
+        "okey",
+        "lineitem.orderkey",
+        vec![
+            JoinCol::probe("line_supp", "lineitem.suppkey"),
+            JoinCol::build("line_cust_nation", "ocust_nation"),
+            JoinCol::probe("line_ext", "lineitem.extendedprice"),
+            JoinCol::probe("line_disc", "lineitem.discount"),
+        ],
+    );
+    LogicalPlan::join(
+        suppliers,
+        lines,
+        "supp_suppkey",
+        "line_supp",
+        vec![
+            JoinCol::build("m_supp_nation", "supp_nation"),
+            JoinCol::probe("m_cust_nation", "line_cust_nation"),
+            JoinCol::probe("m_ext", "line_ext"),
+            JoinCol::probe("m_disc", "line_disc"),
+        ],
+    )
+    .filter(Predicate::col_cmp(
+        "m_cust_nation",
+        CmpOp::Eq,
+        "m_supp_nation",
+    ))
+    .aggregate(
+        Some("m_supp_nation"),
+        vec![(
+            "revenue",
+            AggExpr::Sum(Expr::col("m_ext") * (Expr::lit(1.0) - Expr::col("m_disc"))),
+        )],
+    )
+    .sort_limit(ResultOrder::ValueDescKeyAsc, None)
+}
+
+/// Compile Q5 for `backend`.
+pub fn physical_plan(backend: &dyn GpuBackend) -> Result<PhysicalPlan> {
+    optimizer::plan("Q5", &logical_plan(), backend)
 }
 
 /// Device-resident Q5 working set.
@@ -96,131 +220,37 @@ impl Q5Data {
         })
     }
 
-    /// Execute Q5, returning rows ordered by revenue descending.
+    fn bindings(&self) -> PlanBindings<'_> {
+        let mut binds = PlanBindings::new();
+        binds
+            .bind("nation.nationkey", &self.n_nationkey)
+            .bind("nation.regionkey", &self.n_regionkey)
+            .bind("supplier.suppkey", &self.s_suppkey)
+            .bind("supplier.nationkey", &self.s_nationkey)
+            .bind("customer.custkey", &self.c_custkey)
+            .bind("customer.nationkey", &self.c_nationkey)
+            .bind("orders.orderdate", &self.o_orderdate)
+            .bind("orders.custkey", &self.o_custkey)
+            .bind("orders.orderkey", &self.o_orderkey)
+            .bind("lineitem.orderkey", &self.l_orderkey)
+            .bind("lineitem.suppkey", &self.l_suppkey)
+            .bind("lineitem.extendedprice", &self.l_extendedprice)
+            .bind("lineitem.discount", &self.l_discount);
+        binds
+    }
+
+    /// Execute Q5 through the planner, returning rows ordered by
+    /// revenue descending.
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q5Row>> {
-        let Some(join_algo) = super::best_join(backend) else {
-            return Err(SimError::Unsupported(format!(
-                "{} supports no join algorithm (Table II)",
-                backend.name()
-            )));
-        };
-        // σ(nation): nations of the target region.
-        let n_ids = backend.selection(&self.n_regionkey, CmpOp::Eq, region_code() as f64)?;
-        let asia_nations = backend.gather(&self.n_nationkey, &n_ids)?;
-
-        // σ(supplier) by region: supplier ⋈ asia_nations on nationkey.
-        let (s_rows, _n1) = backend.join(&self.s_nationkey, &asia_nations, join_algo)?;
-        let asia_suppkeys = backend.gather(&self.s_suppkey, &s_rows)?;
-        let asia_supp_nation = backend.gather(&self.s_nationkey, &s_rows)?;
-
-        // σ(customer) by region: customer ⋈ asia_nations on nationkey.
-        let (c_rows, _n2) = backend.join(&self.c_nationkey, &asia_nations, join_algo)?;
-        let asia_custkeys = backend.gather(&self.c_custkey, &c_rows)?;
-        let asia_cust_nation = backend.gather(&self.c_nationkey, &c_rows)?;
-
-        // σ(orders): the 1994 window.
-        let date_preds = [
-            Pred {
-                col: &self.o_orderdate,
-                cmp: CmpOp::Ge,
-                lit: date(1994, 1, 1) as f64,
-            },
-            Pred {
-                col: &self.o_orderdate,
-                cmp: CmpOp::Lt,
-                lit: date(1995, 1, 1) as f64,
-            },
-        ];
-        let o_ids = backend.selection_multi(&date_preds, Connective::And)?;
-        let o_cust = backend.gather(&self.o_custkey, &o_ids)?;
-        let o_key = backend.gather(&self.o_orderkey, &o_ids)?;
-
-        // orders ⋈ customer (region-filtered) on custkey.
-        let (oc_l, oc_r) = backend.join(&o_cust, &asia_custkeys, join_algo)?;
-        let sel_order_keys = backend.gather(&o_key, &oc_l)?;
-        let order_cust_nation = backend.gather(&asia_cust_nation, &oc_r)?;
-
-        // lineitem ⋈ orders on orderkey.
-        let (ll, lr) = backend.join(&self.l_orderkey, &sel_order_keys, join_algo)?;
-        let line_supp = backend.gather(&self.l_suppkey, &ll)?;
-        let line_cust_nation = backend.gather(&order_cust_nation, &lr)?;
-        let line_ext = backend.gather(&self.l_extendedprice, &ll)?;
-        let line_disc = backend.gather(&self.l_discount, &ll)?;
-
-        // lineitem ⋈ supplier (region-filtered) on suppkey.
-        let (sl, sr) = backend.join(&line_supp, &asia_suppkeys, join_algo)?;
-        let m_supp_nation = backend.gather(&asia_supp_nation, &sr)?;
-        let m_cust_nation = backend.gather(&line_cust_nation, &sl)?;
-        let m_ext = backend.gather(&line_ext, &sl)?;
-        let m_disc = backend.gather(&line_disc, &sl)?;
-
-        // "local" condition: customer and supplier share the nation.
-        let local_ids = backend.selection_cmp_cols(&m_cust_nation, &m_supp_nation, CmpOp::Eq)?;
-        let f_nation = backend.gather(&m_supp_nation, &local_ids)?;
-        let f_ext = backend.gather(&m_ext, &local_ids)?;
-        let f_disc = backend.gather(&m_disc, &local_ids)?;
-
-        // revenue = ext · (1 − disc), grouped by nation.
-        let one_minus = backend.affine(&f_disc, -1.0, 1.0)?;
-        let revenue = backend.product(&f_ext, &one_minus)?;
-        let (g_keys, g_rev) = backend.grouped_sum(&f_nation, &revenue)?;
-        let keys = backend.download_u32(&g_keys)?;
-        let revs = backend.download_f64(&g_rev)?;
-
-        for c in [
-            n_ids,
-            asia_nations,
-            s_rows,
-            _n1,
-            asia_suppkeys,
-            asia_supp_nation,
-            c_rows,
-            _n2,
-            asia_custkeys,
-            asia_cust_nation,
-            o_ids,
-            o_cust,
-            o_key,
-            oc_l,
-            oc_r,
-            sel_order_keys,
-            order_cust_nation,
-            ll,
-            lr,
-            line_supp,
-            line_cust_nation,
-            line_ext,
-            line_disc,
-            sl,
-            sr,
-            m_supp_nation,
-            m_cust_nation,
-            m_ext,
-            m_disc,
-            local_ids,
-            f_nation,
-            f_ext,
-            f_disc,
-            one_minus,
-            revenue,
-            g_keys,
-            g_rev,
-        ] {
-            backend.free(c)?;
-        }
-
-        let mut rows: Vec<Q5Row> = keys
-            .into_iter()
+        let plan = physical_plan(backend)?;
+        let out = plan.execute(backend, &self.bindings())?;
+        let keys = out.u32s("keys")?;
+        let revs = out.f64s("revenue")?;
+        Ok(keys
+            .iter()
             .zip(revs)
-            .map(|(nationkey, revenue)| Q5Row { nationkey, revenue })
-            .collect();
-        rows.sort_by(|a, b| {
-            b.revenue
-                .partial_cmp(&a.revenue)
-                .expect("finite revenue")
-                .then(a.nationkey.cmp(&b.nationkey))
-        });
-        Ok(rows)
+            .map(|(&nationkey, &revenue)| Q5Row { nationkey, revenue })
+            .collect())
     }
 
     /// Free the working set.
@@ -302,6 +332,143 @@ pub fn reference(db: &Database) -> Vec<Q5Row> {
 }
 
 #[cfg(test)]
+mod oracle {
+    //! The pre-planner hand-rolled lowering, kept verbatim as the
+    //! equivalence oracle for the planned execution.
+
+    use super::*;
+    use gpu_sim::SimError;
+    use proto_core::backend::Pred;
+    use proto_core::ops::Connective;
+
+    pub fn execute(data: &Q5Data, backend: &dyn GpuBackend) -> Result<Vec<Q5Row>> {
+        let Some(join_algo) = crate::queries::best_join(backend) else {
+            return Err(SimError::Unsupported(format!(
+                "{} supports no join algorithm (Table II)",
+                backend.name()
+            )));
+        };
+        // σ(nation): nations of the target region.
+        let n_ids = backend.selection(&data.n_regionkey, CmpOp::Eq, region_code() as f64)?;
+        let asia_nations = backend.gather(&data.n_nationkey, &n_ids)?;
+
+        // σ(supplier) by region: supplier ⋈ asia_nations on nationkey.
+        let (s_rows, _n1) = backend.join(&data.s_nationkey, &asia_nations, join_algo)?;
+        let asia_suppkeys = backend.gather(&data.s_suppkey, &s_rows)?;
+        let asia_supp_nation = backend.gather(&data.s_nationkey, &s_rows)?;
+
+        // σ(customer) by region: customer ⋈ asia_nations on nationkey.
+        let (c_rows, _n2) = backend.join(&data.c_nationkey, &asia_nations, join_algo)?;
+        let asia_custkeys = backend.gather(&data.c_custkey, &c_rows)?;
+        let asia_cust_nation = backend.gather(&data.c_nationkey, &c_rows)?;
+
+        // σ(orders): the 1994 window.
+        let date_preds = [
+            Pred {
+                col: &data.o_orderdate,
+                cmp: CmpOp::Ge,
+                lit: date(1994, 1, 1) as f64,
+            },
+            Pred {
+                col: &data.o_orderdate,
+                cmp: CmpOp::Lt,
+                lit: date(1995, 1, 1) as f64,
+            },
+        ];
+        let o_ids = backend.selection_multi(&date_preds, Connective::And)?;
+        let o_cust = backend.gather(&data.o_custkey, &o_ids)?;
+        let o_key = backend.gather(&data.o_orderkey, &o_ids)?;
+
+        // orders ⋈ customer (region-filtered) on custkey.
+        let (oc_l, oc_r) = backend.join(&o_cust, &asia_custkeys, join_algo)?;
+        let sel_order_keys = backend.gather(&o_key, &oc_l)?;
+        let order_cust_nation = backend.gather(&asia_cust_nation, &oc_r)?;
+
+        // lineitem ⋈ orders on orderkey.
+        let (ll, lr) = backend.join(&data.l_orderkey, &sel_order_keys, join_algo)?;
+        let line_supp = backend.gather(&data.l_suppkey, &ll)?;
+        let line_cust_nation = backend.gather(&order_cust_nation, &lr)?;
+        let line_ext = backend.gather(&data.l_extendedprice, &ll)?;
+        let line_disc = backend.gather(&data.l_discount, &ll)?;
+
+        // lineitem ⋈ supplier (region-filtered) on suppkey.
+        let (sl, sr) = backend.join(&line_supp, &asia_suppkeys, join_algo)?;
+        let m_supp_nation = backend.gather(&asia_supp_nation, &sr)?;
+        let m_cust_nation = backend.gather(&line_cust_nation, &sl)?;
+        let m_ext = backend.gather(&line_ext, &sl)?;
+        let m_disc = backend.gather(&line_disc, &sl)?;
+
+        // "local" condition: customer and supplier share the nation.
+        let local_ids = backend.selection_cmp_cols(&m_cust_nation, &m_supp_nation, CmpOp::Eq)?;
+        let f_nation = backend.gather(&m_supp_nation, &local_ids)?;
+        let f_ext = backend.gather(&m_ext, &local_ids)?;
+        let f_disc = backend.gather(&m_disc, &local_ids)?;
+
+        // revenue = ext · (1 − disc), grouped by nation.
+        let one_minus = backend.affine(&f_disc, -1.0, 1.0)?;
+        let revenue = backend.product(&f_ext, &one_minus)?;
+        let (g_keys, g_rev) = backend.grouped_sum(&f_nation, &revenue)?;
+        let keys = backend.download_u32(&g_keys)?;
+        let revs = backend.download_f64(&g_rev)?;
+
+        for c in [
+            n_ids,
+            asia_nations,
+            s_rows,
+            _n1,
+            asia_suppkeys,
+            asia_supp_nation,
+            c_rows,
+            _n2,
+            asia_custkeys,
+            asia_cust_nation,
+            o_ids,
+            o_cust,
+            o_key,
+            oc_l,
+            oc_r,
+            sel_order_keys,
+            order_cust_nation,
+            ll,
+            lr,
+            line_supp,
+            line_cust_nation,
+            line_ext,
+            line_disc,
+            sl,
+            sr,
+            m_supp_nation,
+            m_cust_nation,
+            m_ext,
+            m_disc,
+            local_ids,
+            f_nation,
+            f_ext,
+            f_disc,
+            one_minus,
+            revenue,
+            g_keys,
+            g_rev,
+        ] {
+            backend.free(c)?;
+        }
+
+        let mut rows: Vec<Q5Row> = keys
+            .into_iter()
+            .zip(revs)
+            .map(|(nationkey, revenue)| Q5Row { nationkey, revenue })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.revenue
+                .partial_cmp(&a.revenue)
+                .expect("finite revenue")
+                .then(a.nationkey.cmp(&b.nationkey))
+        });
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::generate;
@@ -344,6 +511,51 @@ mod tests {
             }
             data.free(b.as_ref()).unwrap();
         }
+    }
+
+    #[test]
+    fn planned_execution_matches_the_handwritten_lowering_exactly() {
+        for sf in [0.001, 0.01] {
+            let db = generate(sf);
+            for name in ["Thrust", "Boost.Compute", "ArrayFire", "Handwritten"] {
+                let spec = DeviceSpec::gtx1080();
+                let b_old = Framework::single_backend(&spec, name);
+                let b_new = Framework::single_backend(&spec, name);
+                let d_old = Q5Data::upload(b_old.as_ref(), &db).unwrap();
+                let d_new = Q5Data::upload(b_new.as_ref(), &db).unwrap();
+                b_old.device().set_tracing(true);
+                b_new.device().set_tracing(true);
+                match (
+                    oracle::execute(&d_old, b_old.as_ref()),
+                    d_new.execute(b_new.as_ref()),
+                ) {
+                    (Ok(expect), Ok(got)) => assert_eq!(got, expect, "{name} @ sf {sf}"),
+                    (Err(e_old), Err(e_new)) => {
+                        assert_eq!(e_new.to_string(), e_old.to_string(), "{name} @ sf {sf}")
+                    }
+                    (old, new) => panic!("{name} @ sf {sf}: diverged: {old:?} vs {new:?}"),
+                }
+                assert_eq!(
+                    b_new.device().take_trace(),
+                    b_old.device().take_trace(),
+                    "{name} @ sf {sf}: planned trace deviates from the hand-rolled one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_shared_nation_subplan_lowers_once() {
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        let b = fw.backend("Handwritten").unwrap();
+        let plan = physical_plan(b).unwrap();
+        let selections = plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, Step::Selection { .. }))
+            .count();
+        // Only the region filter; the nations list feeds both joins.
+        assert_eq!(selections, 1, "{}", plan.explain());
     }
 
     #[test]

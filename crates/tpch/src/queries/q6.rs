@@ -10,17 +10,60 @@
 //! ```
 //!
 //! Q6 is the canonical selection+product+reduction pipeline: four
-//! predicates, one arithmetic projection, one aggregate. Every backend
-//! runs it through [`GpuBackend::filter_sum_product`] — the handwritten
-//! kernel fuses the whole query into one pass, ArrayFire fuses predicates
+//! predicates, one arithmetic projection, one aggregate. The query is
+//! declared as a [`LogicalPlan`] and compiled per backend; the planner's
+//! fusion pass recognises the filter+product+sum shape and lowers the
+//! whole query to one [`GpuBackend::filter_sum_product`] call — the
+//! handwritten kernel fuses it into one pass, ArrayFire fuses predicates
 //! and product into one JIT kernel plus a reduction, and Thrust /
 //! Boost.Compute chain selection → gather → inner_product.
 
 use crate::dates::date;
 use crate::schema::Database;
 use gpu_sim::Result;
-use proto_core::backend::{Col, GpuBackend, Pred};
+use proto_core::backend::{Col, GpuBackend};
+use proto_core::logical::{AggExpr, ColumnDecl, LogicalPlan};
 use proto_core::ops::CmpOp;
+use proto_core::optimizer;
+use proto_core::physical::{PhysicalPlan, PlanBindings};
+use proto_core::plan::{Expr, Predicate};
+
+/// The Q6 query tree: one conjunctive filter over lineitem, one
+/// `SUM(extendedprice · discount)` aggregate.
+///
+/// Discounts are hundredths; the BETWEEN bounds are widened by half a
+/// cent to dodge float-representation edges, exactly like the C
+/// implementations do.
+pub fn logical_plan() -> LogicalPlan {
+    LogicalPlan::scan(
+        "lineitem",
+        vec![
+            ColumnDecl::u32("shipdate"),
+            ColumnDecl::f64("discount"),
+            ColumnDecl::f64("quantity"),
+            ColumnDecl::f64("extendedprice"),
+        ],
+    )
+    .filter(Predicate::And(vec![
+        Predicate::cmp("lineitem.shipdate", CmpOp::Ge, date(1994, 1, 1) as f64),
+        Predicate::cmp("lineitem.shipdate", CmpOp::Lt, date(1995, 1, 1) as f64),
+        Predicate::cmp("lineitem.discount", CmpOp::Ge, 0.045),
+        Predicate::cmp("lineitem.discount", CmpOp::Le, 0.075),
+        Predicate::cmp("lineitem.quantity", CmpOp::Lt, 24.0),
+    ]))
+    .aggregate(
+        None,
+        vec![(
+            "revenue",
+            AggExpr::Sum(Expr::col("lineitem.extendedprice") * Expr::col("lineitem.discount")),
+        )],
+    )
+}
+
+/// Compile Q6 for `backend`.
+pub fn physical_plan(backend: &dyn GpuBackend) -> Result<PhysicalPlan> {
+    optimizer::plan("Q6", &logical_plan(), backend)
+}
 
 /// Device-resident Q6 working set.
 #[derive(Debug)]
@@ -43,39 +86,20 @@ impl Q6Data {
         })
     }
 
-    /// Execute Q6, returning the revenue aggregate.
+    fn bindings(&self) -> PlanBindings<'_> {
+        let mut binds = PlanBindings::new();
+        binds
+            .bind("lineitem.shipdate", &self.shipdate)
+            .bind("lineitem.discount", &self.discount)
+            .bind("lineitem.quantity", &self.quantity)
+            .bind("lineitem.extendedprice", &self.extendedprice);
+        binds
+    }
+
+    /// Execute Q6 through the planner, returning the revenue aggregate.
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<f64> {
-        // Discounts are hundredths; widen the BETWEEN bounds by half a
-        // cent to dodge float-representation edges, exactly like the
-        // C implementations do.
-        let preds = [
-            Pred {
-                col: &self.shipdate,
-                cmp: CmpOp::Ge,
-                lit: date(1994, 1, 1) as f64,
-            },
-            Pred {
-                col: &self.shipdate,
-                cmp: CmpOp::Lt,
-                lit: date(1995, 1, 1) as f64,
-            },
-            Pred {
-                col: &self.discount,
-                cmp: CmpOp::Ge,
-                lit: 0.045,
-            },
-            Pred {
-                col: &self.discount,
-                cmp: CmpOp::Le,
-                lit: 0.075,
-            },
-            Pred {
-                col: &self.quantity,
-                cmp: CmpOp::Lt,
-                lit: 24.0,
-            },
-        ];
-        backend.filter_sum_product(&self.extendedprice, &self.discount, &preds)
+        let plan = physical_plan(backend)?;
+        plan.execute(backend, &self.bindings())?.scalar("revenue")
     }
 
     /// Free the working set.
@@ -111,6 +135,46 @@ pub fn reference(db: &Database) -> f64 {
 }
 
 #[cfg(test)]
+mod oracle {
+    //! The pre-planner hand-rolled lowering, kept verbatim as the
+    //! equivalence oracle for the planned execution.
+
+    use super::*;
+    use proto_core::backend::Pred;
+
+    pub fn execute(data: &Q6Data, backend: &dyn GpuBackend) -> Result<f64> {
+        let preds = [
+            Pred {
+                col: &data.shipdate,
+                cmp: CmpOp::Ge,
+                lit: date(1994, 1, 1) as f64,
+            },
+            Pred {
+                col: &data.shipdate,
+                cmp: CmpOp::Lt,
+                lit: date(1995, 1, 1) as f64,
+            },
+            Pred {
+                col: &data.discount,
+                cmp: CmpOp::Ge,
+                lit: 0.045,
+            },
+            Pred {
+                col: &data.discount,
+                cmp: CmpOp::Le,
+                lit: 0.075,
+            },
+            Pred {
+                col: &data.quantity,
+                cmp: CmpOp::Lt,
+                lit: 24.0,
+            },
+        ];
+        backend.filter_sum_product(&data.extendedprice, &data.discount, &preds)
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::generate;
@@ -133,6 +197,40 @@ mod tests {
                 b.name()
             );
             data.free(b.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn planned_execution_matches_the_handwritten_lowering_exactly() {
+        for sf in [0.001, 0.01] {
+            let db = generate(sf);
+            for name in ["Thrust", "Boost.Compute", "ArrayFire", "Handwritten"] {
+                let spec = DeviceSpec::gtx1080();
+                let b_old = Framework::single_backend(&spec, name);
+                let b_new = Framework::single_backend(&spec, name);
+                let d_old = Q6Data::upload(b_old.as_ref(), &db).unwrap();
+                let d_new = Q6Data::upload(b_new.as_ref(), &db).unwrap();
+                b_old.device().set_tracing(true);
+                b_new.device().set_tracing(true);
+                let expect = oracle::execute(&d_old, b_old.as_ref()).unwrap();
+                let got = d_new.execute(b_new.as_ref()).unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits(), "{name} @ sf {sf}");
+                assert_eq!(
+                    b_new.device().take_trace(),
+                    b_old.device().take_trace(),
+                    "{name} @ sf {sf}: planned trace deviates from the hand-rolled one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_planner_fuses_q6_on_every_backend() {
+        let fw = Framework::with_all_backends(&DeviceSpec::gtx1080());
+        for b in fw.backends() {
+            let plan = physical_plan(b.as_ref()).unwrap();
+            assert_eq!(plan.steps().len(), 1, "{}:\n{}", b.name(), plan.explain());
+            assert!(plan.explain().contains("fast paths: on"));
         }
     }
 
