@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E17, A1–A4) — the full paper regeneration.
+//! Run every experiment (E1–E19, A1–A4) — the full paper regeneration.
 //!
 //! Cells are scheduled over the deterministic parallel grid
 //! (`bench::grid`): `--jobs N` (or `GPU_SIM_HOST_JOBS`) picks the worker

@@ -66,6 +66,10 @@ pub struct GridConfig {
     pub e17_sf: f64,
     /// Fault-rate sweep (permille) for E17.
     pub e17_rates: Vec<u64>,
+    /// Scale factor for E19.
+    pub e19_sf: f64,
+    /// Fault-rate sweep (permille) for E19.
+    pub e19_rates: Vec<u64>,
     /// Fixed row count for A1.
     pub a1_n: usize,
     /// Chain-length sweep for A2.
@@ -98,6 +102,8 @@ impl Default for GridConfig {
             e15_n: 1 << 20,
             e17_sf: 0.01,
             e17_rates: vec![0, 10, 50, 100],
+            e19_sf: 0.01,
+            e19_rates: vec![0, 50],
             a1_n: 1 << 20,
             a2_ks: vec![1, 2, 4, 8],
             a2_n: 1 << 20,
@@ -138,6 +144,7 @@ enum CellOut {
     Quad([Part; 4]),
     Flat(Vec<Sample>),
     Fault(Sample, f64, u64),
+    PlanFault(Sample, Vec<tpch::queries::q1::Q1Row>, u64),
     One(Sample),
     Unit,
 }
@@ -208,6 +215,7 @@ struct Ids {
     e14: Vec<usize>,
     e15: Vec<usize>,
     e17: Vec<usize>,
+    e19: Vec<usize>,
     a1: Vec<usize>,
     a2: Vec<usize>,
     a3: Vec<usize>,
@@ -215,9 +223,9 @@ struct Ids {
 }
 
 /// Section labels in the serial runner's order (its `host.time` labels).
-pub const SECTIONS: [&str; 21] = [
+pub const SECTIONS: [&str; 22] = [
     "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9-and", "E9-or", "validate", "E10", "E11", "E12",
-    "E13", "E15", "E14", "E17", "A1", "A2", "A3", "A4",
+    "E13", "E15", "E14", "E17", "E19", "A1", "A2", "A3", "A4",
 ];
 
 /// Register every grid cell into a fresh [`Builder`]; shared between
@@ -342,6 +350,25 @@ fn build(cfg: Arc<GridConfig>) -> (Builder, Ids) {
             ids.e17.push(idx);
         }
     }
+    for &permille in &cfg.e19_rates {
+        for mode in extensions::E19_MODES {
+            for name in proto_core::backends::PAPER_BACKENDS {
+                let c = cfg.clone();
+                let (_, idx) = b.cell(
+                    None,
+                    None,
+                    format!("E19/r{permille}/{mode}/{name}"),
+                    "E19",
+                    move || {
+                        let (s, rows, recoveries) =
+                            extensions::e19_cell(c.e19_sf, mode, permille, name);
+                        CellOut::PlanFault(s, rows, recoveries)
+                    },
+                );
+                ids.e19.push(idx);
+            }
+        }
+    }
     for &k in &cfg.a2_ks {
         for lib in ablations::A2_LIBS {
             let c = cfg.clone();
@@ -445,6 +472,15 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
         })
         .collect();
     exps.push(extensions::e17_assemble(&cfg.e17_rates, e17_cells));
+    let e19_cells = ids
+        .e19
+        .iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::PlanFault(s, rows, r)) => (s, rows, r),
+            _ => unreachable!("E19 cell"),
+        })
+        .collect();
+    exps.push(extensions::e19_assemble(&cfg.e19_rates, e19_cells));
     let a1 = ablations::a1_assemble(take_flats(results, &ids.a1));
     let a2_cells = ids
         .a2
@@ -545,6 +581,8 @@ mod tests {
             e15_n: 1 << 12,
             e17_sf: 0.001,
             e17_rates: vec![0, 50],
+            e19_sf: 0.001,
+            e19_rates: vec![0, 50],
             a1_n: 1 << 12,
             a2_ks: vec![1, 4],
             a2_n: 1 << 12,
@@ -574,7 +612,7 @@ mod tests {
                 "E3.csv", "E4.csv", "E5a.csv", "E5b.csv", "E6.csv", "E7a.csv", "E7b.csv",
                 "E7c.csv", "E7d.csv", "E7e.csv", "E8.csv", "E9a.csv", "E9b.csv", "E10.csv",
                 "E11.csv", "E12a.csv", "E12b.csv", "E12c.csv", "E12d.csv", "E13.csv", "E14.csv",
-                "E15.csv", "E17.csv", "A1.csv", "A2.csv", "A3.csv", "A4.csv"
+                "E15.csv", "E17.csv", "E19.csv", "A1.csv", "A2.csv", "A3.csv", "A4.csv"
             ]
         );
         // E14 is emitted before E15 (numeric order).

@@ -14,11 +14,19 @@
 //! [`query_plan_reports`] compiles all six TPC-H queries for every
 //! backend that can plan them and lints each result — the CI gate that
 //! keeps the planner's slot lifetimes and operand shapes honest.
+//!
+//! The same decoupling covers the GL5xx recovery checker:
+//! [`convert_recovery`] translates a
+//! [`proto_core::resilient_plan::RecoveryLog`] into the lint's
+//! [`RecoveryTimeline`], and [`recovery_reports`] executes all six
+//! queries through the resilient plan executor under injected faults
+//! and lints each run's recovery history.
 
-use gpu_lint::{PlanColumn, PlanDtype, PlanStep, PlanUse, Report};
+use gpu_lint::{PlanColumn, PlanDtype, PlanStep, PlanUse, RecoveryTimeline, Report};
 use proto_core::backend::ColType;
 use proto_core::ops::JoinAlgo;
 use proto_core::physical::{ColRef, PhysicalPlan, SlotKind, Step};
+use proto_core::resilient_plan::RecoveryLog;
 
 fn dtype(ct: ColType) -> PlanDtype {
     match ct {
@@ -253,6 +261,98 @@ pub fn query_plan_reports() -> Vec<Report> {
     reports
 }
 
+/// Translate a resilient-plan-executor recovery log into the lint's
+/// [`RecoveryTimeline`] shape, losslessly.
+pub fn convert_recovery(log: &RecoveryLog) -> RecoveryTimeline {
+    use gpu_lint::RecoveryEventKind as L;
+    use proto_core::resilient_plan::RecoveryEventKind as K;
+    RecoveryTimeline {
+        max_retries: log.max_retries,
+        backoff_budget_ns: log.backoff_budget_ns,
+        events: log
+            .events
+            .iter()
+            .map(|e| gpu_lint::RecoveryEvent {
+                step: e.step,
+                kind: match &e.kind {
+                    K::AttemptStart => L::AttemptStart,
+                    K::Checkpoint { slot } => L::Checkpoint { slot: *slot },
+                    K::Freed { slot } => L::Freed { slot: *slot },
+                    K::Retry { backoff_ns } => L::Retry {
+                        backoff_ns: *backoff_ns,
+                    },
+                    K::Fallback { from, to } => L::Fallback {
+                        from: from.clone(),
+                        to: to.clone(),
+                    },
+                    K::Partition { parts } => L::Partition { parts: *parts },
+                },
+            })
+            .collect(),
+    }
+}
+
+/// Execute all six TPC-H queries through the resilient plan executor
+/// under a 5% uniform fault plan and lint each run's recovery timeline
+/// (GL5xx) — the CI gate that keeps the executor's checkpoint/free
+/// ordering and retry budgeting honest.
+pub fn recovery_reports() -> Vec<Report> {
+    use proto_core::resilient::RetryPolicy;
+    use proto_core::resilient_plan::{PlanRecovery, ResilientPlanExecutor};
+    use tpch::queries::{q1::Q1Data, q14::Q14Data, q3::Q3Data, q4::Q4Data, q5::Q5Data, q6::Q6Data};
+
+    let db = tpch::cached(0.001);
+    let b = proto_core::framework::Framework::single_backend(&crate::paper_device(), "Handwritten");
+    let b = b.as_ref();
+    // Fault the plan-step site only: uploads/frees happen outside the
+    // executor's recovery scope, so faulting them would just kill the
+    // harness, not exercise recovery.
+    let mut fp = gpu_sim::FaultPlan::uniform(proto_core::workload::SEED, 0.0);
+    fp.rates[gpu_sim::FaultSite::PlanStep.index()] = 0.1;
+    b.device().install_fault_plan(fp);
+    let exec = ResilientPlanExecutor::new(PlanRecovery {
+        retry: RetryPolicy {
+            max_retries: 60,
+            ..RetryPolicy::default()
+        },
+        ..PlanRecovery::default()
+    });
+    let mut reports = Vec::new();
+    let mut lint = |query: &str, log: Option<RecoveryLog>| {
+        let log = log.unwrap_or_else(|| panic!("{query}: no recovery log"));
+        reports.push(gpu_lint::lint_recovery(
+            format!("recovery({query}/Handwritten)"),
+            &convert_recovery(&log),
+        ));
+    };
+    let d = Q1Data::upload(b, &db).expect("upload");
+    d.execute_with(b, &exec).expect("Q1");
+    lint("Q1", exec.take_log());
+    d.free(b).expect("free");
+    let d = Q3Data::upload(b, &db).expect("upload");
+    d.execute_with(b, &db, &exec).expect("Q3");
+    lint("Q3", exec.take_log());
+    d.free(b).expect("free");
+    let d = Q4Data::upload(b, &db).expect("upload");
+    d.execute_with(b, &exec).expect("Q4");
+    lint("Q4", exec.take_log());
+    d.free(b).expect("free");
+    let d = Q5Data::upload(b, &db).expect("upload");
+    d.execute_with(b, &exec).expect("Q5");
+    lint("Q5", exec.take_log());
+    d.free(b).expect("free");
+    let d = Q6Data::upload(b, &db).expect("upload");
+    d.execute_with(b, &exec).expect("Q6");
+    lint("Q6", exec.take_log());
+    d.free(b).expect("free");
+    let d = Q14Data::upload(b, &db).expect("upload");
+    d.execute_with(b, &exec).expect("Q14");
+    lint("Q14", exec.take_log());
+    d.free(b).expect("free");
+    b.device().clear_fault_plan();
+    reports
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +362,15 @@ mod tests {
         let reports = query_plan_reports();
         // 6 queries × 4 backends, minus ArrayFire on the 4 join queries.
         assert_eq!(reports.len(), 6 * 4 - 4);
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn recovery_timelines_of_all_queries_are_clean_under_faults() {
+        let reports = recovery_reports();
+        assert_eq!(reports.len(), 6);
         for r in &reports {
             assert!(r.is_clean(), "{}", r.render());
         }

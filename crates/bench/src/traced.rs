@@ -32,9 +32,9 @@ impl std::fmt::Debug for TracedCell {
 }
 
 /// Experiment ids the traced runner can replay, in emission order.
-pub const EXPERIMENTS: [&str; 20] = [
+pub const EXPERIMENTS: [&str; 21] = [
     "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9a", "E9b", "E10", "E11", "E12", "E13", "E14",
-    "E15", "E17", "A1", "A2", "A3", "A4",
+    "E15", "E17", "E19", "A1", "A2", "A3", "A4",
 ];
 
 /// A complete-coverage configuration small enough for the lint gate:
@@ -56,6 +56,8 @@ pub fn lint_config() -> GridConfig {
         e15_n: 1 << 12,
         e17_sf: 0.001,
         e17_rates: vec![0, 50],
+        e19_sf: 0.001,
+        e19_rates: vec![0, 50],
         a1_n: 1 << 12,
         a2_ks: vec![1, 4],
         a2_n: 1 << 12,
@@ -173,6 +175,37 @@ pub fn traced_experiment(cfg: &GridConfig, exp: &str) -> Vec<TracedCell> {
                         label: format!("E17/r{permille}/{name}"),
                         trace: b.device().take_trace(),
                     });
+                }
+            }
+            cells
+        }
+        "E19" => {
+            let mut cells = Vec::new();
+            for &permille in &cfg.e19_rates {
+                for mode in extensions::E19_MODES {
+                    for name in proto_core::backends::PAPER_BACKENDS {
+                        let b = traced_backend(name);
+                        let spare = (mode == "fallback").then(|| traced_backend(name));
+                        extensions::e19_cell_on(
+                            b.as_ref(),
+                            spare.as_deref(),
+                            cfg.e19_sf,
+                            mode,
+                            permille,
+                        );
+                        cells.push(TracedCell {
+                            label: format!("E19/r{permille}/{mode}/{name}"),
+                            trace: b.device().take_trace(),
+                        });
+                        if let Some(sb) = spare {
+                            // The replica device is its own buffer-id
+                            // namespace: lint its trace as its own cell.
+                            cells.push(TracedCell {
+                                label: format!("E19/r{permille}/{mode}/{name}/replica"),
+                                trace: sb.device().take_trace(),
+                            });
+                        }
+                    }
                 }
             }
             cells

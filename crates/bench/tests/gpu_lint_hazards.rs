@@ -778,6 +778,106 @@ fn injected_plan_use_after_free_is_flagged() {
     }
 }
 
+// ---- Recovery-timeline hazards (GL5xx) ---------------------------------
+
+/// A real, clean recovery timeline to mutate: Q1 on the handwritten
+/// backend through the resilient plan executor under plan-step faults,
+/// captured via the executor's recovery log.
+fn golden_timeline() -> gpu_lint::RecoveryTimeline {
+    use proto_core::resilient::RetryPolicy;
+    use proto_core::resilient_plan::{PlanRecovery, ResilientPlanExecutor};
+    use tpch::queries::q1::Q1Data;
+    let db = tpch::cached(0.001);
+    let b = proto_core::framework::Framework::single_backend(&bench::paper_device(), "Handwritten");
+    let b = b.as_ref();
+    let mut fp = gpu_sim::FaultPlan::uniform(proto_core::workload::SEED, 0.0);
+    fp.rates[gpu_sim::FaultSite::PlanStep.index()] = 0.1;
+    b.device().install_fault_plan(fp);
+    let exec = ResilientPlanExecutor::new(PlanRecovery {
+        retry: RetryPolicy {
+            max_retries: 60,
+            ..RetryPolicy::default()
+        },
+        ..PlanRecovery::default()
+    });
+    let data = Q1Data::upload(b, &db).expect("upload");
+    data.execute_with(b, &exec).expect("Q1 under faults");
+    data.free(b).expect("free");
+    let timeline = bench::plan_lint::convert_recovery(&exec.take_log().expect("recovery log"));
+    assert!(
+        gpu_lint::lint_recovery("golden", &timeline).is_clean(),
+        "baseline timeline must be clean before mutation"
+    );
+    assert!(
+        timeline
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, gpu_lint::RecoveryEventKind::Freed { .. })),
+        "Q1's plan must free intermediates for the mutator to target"
+    );
+    timeline
+}
+
+#[test]
+fn injected_checkpoint_after_free_is_flagged() {
+    let base = golden_timeline();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut t = base.clone();
+        // Pick a Freed event, then re-checkpoint its slot somewhere
+        // later inside the same attempt (before the next AttemptStart).
+        let frees: Vec<(usize, usize)> = t
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e.kind {
+                gpu_lint::RecoveryEventKind::Freed { slot } => Some((i, slot)),
+                _ => None,
+            })
+            .collect();
+        let (free_ix, slot) = frees[rng.pick(frees.len())];
+        let attempt_end = t.events[free_ix + 1..]
+            .iter()
+            .position(|e| matches!(e.kind, gpu_lint::RecoveryEventKind::AttemptStart))
+            .map(|off| free_ix + 1 + off)
+            .unwrap_or(t.events.len());
+        let site = free_ix + 1 + rng.pick(attempt_end - free_ix);
+        t.events.insert(
+            site,
+            gpu_lint::RecoveryEvent {
+                step: t.events[free_ix].step,
+                kind: gpu_lint::RecoveryEventKind::Checkpoint { slot },
+            },
+        );
+        let report = gpu_lint::lint_recovery("mutated", &t);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::CheckpointAfterFree && d.events.contains(&site)),
+            "seed {seed}: GL501 at #{site} expected: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn zeroed_backoff_budget_is_flagged() {
+    let mut t = golden_timeline();
+    assert!(t.max_retries > 0 && t.backoff_budget_ns > 0);
+    t.backoff_budget_ns = 0;
+    let report = gpu_lint::lint_recovery("mutated", &t);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::RetryWithoutBackoff),
+        "GL502 expected: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.errors(), 0, "GL502 is a warning");
+}
+
 // ---- Golden gate -------------------------------------------------------
 
 #[test]
@@ -801,6 +901,13 @@ fn golden_grid_traces_produce_zero_diagnostics() {
         assert!(
             report.is_clean(),
             "TPC-H physical plan is not clean:\n{}",
+            report.render()
+        );
+    }
+    for report in bench::plan_lint::recovery_reports() {
+        assert!(
+            report.is_clean(),
+            "recovery timeline is not clean:\n{}",
             report.render()
         );
     }

@@ -271,12 +271,18 @@ impl GpuBackend for ThrustBackend {
 
     fn grouped_sum(&self, keys: &Col, vals: &Col) -> Result<(Col, Col)> {
         let (sk, sv) = self.sort_by_key(keys, vals)?;
-        let (gk, gv) = self.slab.with2(sk.id, sv.id, |a, b| match (a, b) {
-            (Stored::U32(k), Stored::F64(v)) => thrust::reduce_by_key(k, v, |x, y| x + y),
-            _ => unreachable!("dtype checked"),
-        })??;
+        let reduced = self
+            .slab
+            .with2(sk.id, sv.id, |a, b| match (a, b) {
+                (Stored::U32(k), Stored::F64(v)) => thrust::reduce_by_key(k, v, |x, y| x + y),
+                _ => unreachable!("dtype checked"),
+            })
+            .and_then(|r| r);
+        // Release the sorted scratch on the fault path too: a caller
+        // retrying the op must not inherit leaked intermediates.
         self.free(sk)?;
         self.free(sv)?;
+        let (gk, gv) = reduced?;
         Ok((self.mint(Stored::U32(gk)), self.mint(Stored::F64(gv))))
     }
 
@@ -350,20 +356,38 @@ impl GpuBackend for ThrustBackend {
 
     fn filter_sum_product(&self, a: &Col, b: &Col, preds: &[Pred<'_>]) -> Result<f64> {
         // Thrust's best pipeline fuses the final product+sum into one
-        // inner_product call after materialising survivors.
+        // inner_product call after materialising survivors. Each stage
+        // frees every already-minted intermediate before propagating a
+        // fault, so a retrying caller starts clean.
         let ids = self.selection_multi(preds, Connective::And)?;
-        let ga = self.gather(a, &ids)?;
-        let gb = self.gather(b, &ids)?;
-        let total = self.slab.with2(ga.id, gb.id, |x, y| match (x, y) {
-            (Stored::F64(va), Stored::F64(vb)) => {
-                thrust::inner_product(va, vb, 0.0f64, |p, q| p + q, |p, q| p * q)
+        let ga = match self.gather(a, &ids) {
+            Ok(c) => c,
+            Err(e) => {
+                self.free(ids)?;
+                return Err(e);
             }
-            _ => unreachable!("dtype checked"),
-        })??;
+        };
+        let gb = match self.gather(b, &ids) {
+            Ok(c) => c,
+            Err(e) => {
+                self.free(ids)?;
+                self.free(ga)?;
+                return Err(e);
+            }
+        };
+        let total = self
+            .slab
+            .with2(ga.id, gb.id, |x, y| match (x, y) {
+                (Stored::F64(va), Stored::F64(vb)) => {
+                    thrust::inner_product(va, vb, 0.0f64, |p, q| p + q, |p, q| p * q)
+                }
+                _ => unreachable!("dtype checked"),
+            })
+            .and_then(|r| r);
         for c in [ids, ga, gb] {
             self.free(c)?;
         }
-        Ok(total)
+        total
     }
 }
 

@@ -20,7 +20,10 @@
 //! * [`optimizer`] — rewrite passes + the planner lowering logical
 //!   plans onto backends;
 //! * [`physical`] — compiled [`PhysicalPlan`](physical::PhysicalPlan)s:
-//!   inspectable step lists with an interpreter.
+//!   inspectable step lists with an interpreter;
+//! * [`resilient`] / [`resilient_plan`] — fault recovery at operator and
+//!   plan granularity (retry, checkpointing, partitioned re-execution,
+//!   fallback chains, deadlines).
 //!
 //! ```
 //! use proto_core::prelude::*;
@@ -50,6 +53,7 @@ pub mod optimizer;
 pub mod physical;
 pub mod plan;
 pub mod resilient;
+pub mod resilient_plan;
 pub mod runner;
 pub mod survey;
 pub mod workload;
@@ -66,5 +70,9 @@ pub mod prelude {
     pub use crate::physical::{PhysicalPlan, PlanBindings, PlanOutput, PlanValue, Step};
     pub use crate::plan::{Agg, AggQuery, Bindings, Expr, Predicate, QueryResult};
     pub use crate::resilient::{ResilientBackend, ResilientExecutor, RetryPolicy};
+    pub use crate::resilient_plan::{
+        PartitionSource, PlanLane, PlanRecovery, RecoveryEvent, RecoveryEventKind, RecoveryLog,
+        ResilientPlanExecutor,
+    };
     pub use crate::runner::{measure, Experiment, Sample};
 }

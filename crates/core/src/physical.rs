@@ -274,6 +274,12 @@ impl<'a> PlanBindings<'a> {
             .copied()
             .ok_or_else(|| SimError::Unsupported(format!("unbound plan column `{name}`")))
     }
+
+    /// Iterate the bound `(name, column)` pairs — the resilient plan
+    /// executor rebinds the non-partitioned columns per chunk from these.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&str, &'a Col)> + '_ {
+        self.cols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
 }
 
 /// One named result of an executed plan.
@@ -294,6 +300,16 @@ pub struct PlanOutput {
 }
 
 impl PlanOutput {
+    /// Rebuild an output set from named values (partition merge).
+    pub(crate) fn from_values(values: BTreeMap<String, PlanValue>) -> Self {
+        PlanOutput { values }
+    }
+
+    /// Consume into the named value map (partition merge).
+    pub(crate) fn into_values(self) -> BTreeMap<String, PlanValue> {
+        self.values
+    }
+
     /// The scalar output `name`.
     pub fn scalar(&self, name: &str) -> Result<f64> {
         match self.values.get(name) {
@@ -324,6 +340,26 @@ impl PlanOutput {
         }
     }
 }
+
+/// A materialised slot value during execution — the unit of plan-level
+/// checkpointing: completed slots survive a step retry or backend
+/// fallback (host-resident values verbatim; device columns only within
+/// the backend that created them).
+#[derive(Debug)]
+pub(crate) enum SlotVal {
+    /// A live device column.
+    Col(Col),
+    /// A host scalar.
+    Scalar(f64),
+    /// A downloaded host `u32` vector.
+    U32s(Vec<u32>),
+    /// A downloaded host `f64` vector.
+    F64s(Vec<f64>),
+}
+
+/// The slot store one plan execution writes — `None` until a step
+/// produces the slot (and again after [`Step::Free`] releases it).
+pub(crate) type SlotStore = Vec<Option<SlotVal>>;
 
 /// A compiled, backend-specific query: straight-line [`Step`]s over
 /// numbered slots, with named outputs.
@@ -538,15 +574,37 @@ impl PhysicalPlan {
         binds: &PlanBindings<'_>,
         policy: Option<&RetryPolicy>,
     ) -> Result<PlanOutput> {
-        enum SlotVal {
-            Col(Col),
-            Scalar(f64),
-            U32s(Vec<u32>),
-            F64s(Vec<f64>),
+        let mut store = self.new_store();
+        for ix in 0..self.steps.len() {
+            self.exec_step(backend, binds, policy, &mut store, ix)?;
         }
-        let mut store: Vec<Option<SlotVal>> = Vec::with_capacity(self.slots.len());
-        store.resize_with(self.slots.len(), || None);
+        self.collect_outputs(&mut store)
+    }
 
+    /// An empty slot store sized for this plan.
+    pub(crate) fn new_store(&self) -> SlotStore {
+        let mut store: SlotStore = Vec::with_capacity(self.slots.len());
+        store.resize_with(self.slots.len(), || None);
+        store
+    }
+
+    /// Execute step `ix` against `store`, issuing exactly the backend
+    /// calls the straight-line interpreter always issued (the
+    /// zero-overhead contract: recovery layers drive this per step, and
+    /// at fault rate 0 the emitted trace is byte-identical to plain
+    /// execution).
+    ///
+    /// A failing step leaves `store` untouched for every transiently
+    /// fallible path, so recovery layers can replay the step against the
+    /// surviving slot checkpoints.
+    pub(crate) fn exec_step(
+        &self,
+        backend: &dyn GpuBackend,
+        binds: &PlanBindings<'_>,
+        policy: Option<&RetryPolicy>,
+        store: &mut SlotStore,
+        ix: usize,
+    ) -> Result<()> {
         fn run<T>(
             backend: &dyn GpuBackend,
             policy: Option<&RetryPolicy>,
@@ -579,7 +637,8 @@ impl PhysicalPlan {
             }
         };
 
-        for step in &self.steps {
+        {
+            let step = &self.steps[ix];
             match step {
                 Step::Selection {
                     input,
@@ -587,7 +646,7 @@ impl PhysicalPlan {
                     lit,
                     out,
                 } => {
-                    let c = resolve(&store, input)?;
+                    let c = resolve(store, input)?;
                     let r = run(backend, policy, "selection", || {
                         backend.selection(&c, *cmp, *lit)
                     })?;
@@ -596,7 +655,7 @@ impl PhysicalPlan {
                 Step::SelectionMulti { preds, conn, out } => {
                     let cols: Vec<Col> = preds
                         .iter()
-                        .map(|p| resolve(&store, &p.col))
+                        .map(|p| resolve(store, &p.col))
                         .collect::<Result<_>>()?;
                     let ps: Vec<Pred<'_>> = preds
                         .iter()
@@ -613,14 +672,14 @@ impl PhysicalPlan {
                     store[*out] = Some(SlotVal::Col(r));
                 }
                 Step::SelectionCmpCols { a, b, cmp, out } => {
-                    let (ca, cb) = (resolve(&store, a)?, resolve(&store, b)?);
+                    let (ca, cb) = (resolve(store, a)?, resolve(store, b)?);
                     let r = run(backend, policy, "selection_cmp_cols", || {
                         backend.selection_cmp_cols(&ca, &cb, *cmp)
                     })?;
                     store[*out] = Some(SlotVal::Col(r));
                 }
                 Step::Gather { data, ids, out } => {
-                    let (cd, ci) = (resolve(&store, data)?, resolve(&store, ids)?);
+                    let (cd, ci) = (resolve(store, data)?, resolve(store, ids)?);
                     let r = run(backend, policy, "gather", || backend.gather(&cd, &ci))?;
                     store[*out] = Some(SlotVal::Col(r));
                 }
@@ -630,12 +689,12 @@ impl PhysicalPlan {
                     add,
                     out,
                 } => {
-                    let c = resolve(&store, input)?;
+                    let c = resolve(store, input)?;
                     let r = run(backend, policy, "affine", || backend.affine(&c, *mul, *add))?;
                     store[*out] = Some(SlotVal::Col(r));
                 }
                 Step::Product { a, b, out } => {
-                    let (ca, cb) = (resolve(&store, a)?, resolve(&store, b)?);
+                    let (ca, cb) = (resolve(store, a)?, resolve(store, b)?);
                     let r = run(backend, policy, "product", || backend.product(&ca, &cb))?;
                     store[*out] = Some(SlotVal::Col(r));
                 }
@@ -645,14 +704,14 @@ impl PhysicalPlan {
                     lit,
                     out,
                 } => {
-                    let c = resolve(&store, input)?;
+                    let c = resolve(store, input)?;
                     let r = run(backend, policy, "dense_mask", || {
                         backend.dense_mask(&c, *cmp, *lit)
                     })?;
                     store[*out] = Some(SlotVal::Col(r));
                 }
                 Step::ConstantOnes { like, out } => {
-                    let c = resolve(&store, like)?;
+                    let c = resolve(store, like)?;
                     let r = run(backend, policy, "constant_f64", || {
                         backend.constant_f64(c.len(), 1.0)
                     })?;
@@ -665,7 +724,7 @@ impl PhysicalPlan {
                     out_left,
                     out_right,
                 } => {
-                    let (co, ci) = (resolve(&store, outer)?, resolve(&store, inner)?);
+                    let (co, ci) = (resolve(store, outer)?, resolve(store, inner)?);
                     let (l, r) = run(backend, policy, "join", || backend.join(&co, &ci, *algo))?;
                     store[*out_left] = Some(SlotVal::Col(l));
                     store[*out_right] = Some(SlotVal::Col(r));
@@ -676,7 +735,7 @@ impl PhysicalPlan {
                     out_keys,
                     out_vals,
                 } => {
-                    let (ck, cv) = (resolve(&store, keys)?, resolve(&store, vals)?);
+                    let (ck, cv) = (resolve(store, keys)?, resolve(store, vals)?);
                     let (k, v) = run(backend, policy, "grouped_sum", || {
                         backend.grouped_sum(&ck, &cv)
                     })?;
@@ -684,15 +743,15 @@ impl PhysicalPlan {
                     store[*out_vals] = Some(SlotVal::Col(v));
                 }
                 Step::Reduce { input, out } => {
-                    let c = resolve(&store, input)?;
+                    let c = resolve(store, input)?;
                     let r = run(backend, policy, "reduction", || backend.reduction(&c))?;
                     store[*out] = Some(SlotVal::Scalar(r));
                 }
                 Step::FilterSumProduct { a, b, preds, out } => {
-                    let (ca, cb) = (resolve(&store, a)?, resolve(&store, b)?);
+                    let (ca, cb) = (resolve(store, a)?, resolve(store, b)?);
                     let cols: Vec<Col> = preds
                         .iter()
-                        .map(|p| resolve(&store, &p.col))
+                        .map(|p| resolve(store, &p.col))
                         .collect::<Result<_>>()?;
                     let ps: Vec<Pred<'_>> = preds
                         .iter()
@@ -709,12 +768,12 @@ impl PhysicalPlan {
                     store[*out] = Some(SlotVal::Scalar(r));
                 }
                 Step::DownloadU32 { input, out } => {
-                    let c = resolve(&store, input)?;
+                    let c = resolve(store, input)?;
                     let r = run(backend, policy, "download_u32", || backend.download_u32(&c))?;
                     store[*out] = Some(SlotVal::U32s(r));
                 }
                 Step::DownloadF64 { input, out } => {
-                    let c = resolve(&store, input)?;
+                    let c = resolve(store, input)?;
                     let r = run(backend, policy, "download_f64", || backend.download_f64(&c))?;
                     store[*out] = Some(SlotVal::F64s(r));
                 }
@@ -750,10 +809,17 @@ impl PhysicalPlan {
                         }
                         crate::logical::ResultOrder::ValueDescKeyAsc => {
                             let primary = &val_vecs[0];
+                            // NaN admits no total order: refuse with a
+                            // typed error instead of panicking mid-sort.
+                            if let Some(row) = primary.iter().position(|v| v.is_nan()) {
+                                return Err(SimError::Unsupported(format!(
+                                    "host sort: aggregate value column is NaN at row {row}"
+                                )));
+                            }
                             order_ix.sort_by(|&i, &j| {
                                 primary[j]
                                     .partial_cmp(&primary[i])
-                                    .expect("aggregate values are comparable")
+                                    .expect("NaN-free values are comparable")
                                     .then(key_vec[i].cmp(&key_vec[j]))
                             });
                         }
@@ -770,8 +836,8 @@ impl PhysicalPlan {
                     }
                 }
                 Step::Free { slot } => {
-                    let c = match store[*slot].take() {
-                        Some(SlotVal::Col(c)) => c,
+                    let c = match store[*slot].as_ref() {
+                        Some(SlotVal::Col(c)) => remint(c),
                         _ => {
                             return Err(SimError::Unsupported(format!(
                                 "plan frees slot %{slot} ({}) which holds no device column",
@@ -784,10 +850,17 @@ impl PhysicalPlan {
                         // attempt so a retried free stays well-formed.
                         backend.free(Col::from_raw(c.raw_id(), c.dtype(), c.len(), c.backend()))
                     })?;
+                    // Clear the slot only once the release succeeded, so a
+                    // replayed Free still sees the column.
+                    store[*slot] = None;
                 }
             }
         }
+        Ok(())
+    }
 
+    /// Drain the named outputs from an executed `store`.
+    pub(crate) fn collect_outputs(&self, store: &mut SlotStore) -> Result<PlanOutput> {
         let mut out = PlanOutput::default();
         for (name, slot) in &self.outputs {
             let v = match store[*slot].take() {
@@ -803,5 +876,93 @@ impl PhysicalPlan {
             out.values.insert(name.clone(), v);
         }
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::HandwrittenBackend;
+    use gpu_sim::Device;
+
+    /// A minimal download + host-sort plan over two bound base columns.
+    fn sort_plan(order: crate::logical::ResultOrder) -> PhysicalPlan {
+        PhysicalPlan {
+            query: "sort-test".into(),
+            backend: "Handwritten".into(),
+            join_algo: None,
+            fused: false,
+            steps: vec![
+                Step::DownloadU32 {
+                    input: ColRef::Base("t.k".into()),
+                    out: 0,
+                },
+                Step::DownloadF64 {
+                    input: ColRef::Base("t.v".into()),
+                    out: 1,
+                },
+                Step::HostSort {
+                    keys: 0,
+                    vals: vec![1],
+                    order,
+                    limit: None,
+                },
+            ],
+            realize: vec![String::new(); 3],
+            slots: vec![
+                SlotMeta {
+                    name: "keys".into(),
+                    kind: SlotKind::HostU32,
+                },
+                SlotMeta {
+                    name: "vals".into(),
+                    kind: SlotKind::HostF64,
+                },
+            ],
+            outputs: vec![("keys".into(), 0), ("vals".into(), 1)],
+            base: [
+                ("t.k".to_string(), ColType::U32),
+                ("t.v".to_string(), ColType::F64),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn nan_aggregate_key_is_a_clean_error_not_a_panic() {
+        let dev = Device::with_defaults();
+        let b = HandwrittenBackend::new(&dev);
+        let k = b.upload_u32(&[1, 2, 3]).unwrap();
+        let v = b.upload_f64(&[2.0, f64::NAN, 1.0]).unwrap();
+        let mut binds = PlanBindings::new();
+        binds.bind("t.k", &k).bind("t.v", &v);
+        let plan = sort_plan(crate::logical::ResultOrder::ValueDescKeyAsc);
+        let err = plan.execute(&b, &binds).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Unsupported(m) if m.contains("NaN at row 1")),
+            "{err}"
+        );
+        for c in [k, v] {
+            b.free(c).unwrap();
+        }
+    }
+
+    #[test]
+    fn value_ordered_host_sort_still_sorts_nan_free_data() {
+        let dev = Device::with_defaults();
+        let b = HandwrittenBackend::new(&dev);
+        let k = b.upload_u32(&[3, 1, 2]).unwrap();
+        let v = b.upload_f64(&[5.0, 9.0, 5.0]).unwrap();
+        let mut binds = PlanBindings::new();
+        binds.bind("t.k", &k).bind("t.v", &v);
+        let plan = sort_plan(crate::logical::ResultOrder::ValueDescKeyAsc);
+        let out = plan.execute(&b, &binds).unwrap();
+        // Value descending, ties broken by ascending key.
+        assert_eq!(out.u32s("keys").unwrap(), &[1, 2, 3]);
+        assert_eq!(out.f64s("vals").unwrap(), &[9.0, 5.0, 5.0]);
+        for c in [k, v] {
+            b.free(c).unwrap();
+        }
     }
 }

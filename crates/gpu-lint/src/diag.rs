@@ -80,6 +80,12 @@ pub enum Rule {
     /// GL404 — step reads or frees a slot that is undefined or already
     /// freed at that point in the plan.
     PlanUseAfterFree,
+    /// GL501 — recovery checkpoint of a slot freed earlier in the same
+    /// execution attempt: a resume would replay recycled memory.
+    CheckpointAfterFree,
+    /// GL502 — retry policy allows retries but budgets zero backoff
+    /// (an immediate retry storm under persistent transients).
+    RetryWithoutBackoff,
 }
 
 impl Rule {
@@ -107,6 +113,8 @@ impl Rule {
             Rule::PlanDtypeMismatch => "GL402",
             Rule::MergeJoinUnsorted => "GL403",
             Rule::PlanUseAfterFree => "GL404",
+            Rule::CheckpointAfterFree => "GL501",
+            Rule::RetryWithoutBackoff => "GL502",
         }
     }
 
@@ -119,7 +127,8 @@ impl Rule {
             | Rule::DeadHostToDevice
             | Rule::DtypeMismatch
             | Rule::DeadLeaf
-            | Rule::UnfreedPlanColumn => Severity::Warning,
+            | Rule::UnfreedPlanColumn
+            | Rule::RetryWithoutBackoff => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -296,6 +305,8 @@ mod tests {
             Rule::PlanDtypeMismatch,
             Rule::MergeJoinUnsorted,
             Rule::PlanUseAfterFree,
+            Rule::CheckpointAfterFree,
+            Rule::RetryWithoutBackoff,
         ];
         let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len(), "ids collide");
@@ -305,8 +316,12 @@ mod tests {
         assert_eq!(Rule::PlanCycle.id(), "GL301");
         assert_eq!(Rule::UnfreedPlanColumn.id(), "GL401");
         assert_eq!(Rule::PlanUseAfterFree.id(), "GL404");
+        assert_eq!(Rule::CheckpointAfterFree.id(), "GL501");
+        assert_eq!(Rule::RetryWithoutBackoff.id(), "GL502");
         assert_eq!(Rule::UnfreedPlanColumn.severity(), Severity::Warning);
         assert_eq!(Rule::PlanDtypeMismatch.severity(), Severity::Error);
+        assert_eq!(Rule::CheckpointAfterFree.severity(), Severity::Error);
+        assert_eq!(Rule::RetryWithoutBackoff.severity(), Severity::Warning);
     }
 
     #[test]

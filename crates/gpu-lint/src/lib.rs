@@ -13,6 +13,9 @@
 //! * **Compiled physical query plans** ([`physplan::PlanStep`] lists) —
 //!   the slot-lifetime/operand-shape checker
 //!   ([`physplan::lint_physical_plan`], `GL4xx`).
+//! * **Recovery timelines** ([`resilience::RecoveryTimeline`] from the
+//!   resilient plan executor) — the recovery-lifecycle checker
+//!   ([`resilience::lint_recovery`], `GL5xx`).
 //!
 //! Every pass is a pure function from artifact to [`Diagnostic`]s; the
 //! analyzer never mutates what it observes, so linting a trace can
@@ -32,11 +35,13 @@ pub mod diag;
 pub mod physplan;
 pub mod plan;
 pub mod program;
+pub mod resilience;
 pub mod stream;
 
 pub use diag::{Diagnostic, Report, Rule, Severity, Waiver};
 pub use physplan::{PlanColumn, PlanDtype, PlanStep, PlanUse};
 pub use plan::PlanTask;
+pub use resilience::{RecoveryEvent, RecoveryEventKind, RecoveryTimeline};
 
 use std::collections::BTreeMap;
 
@@ -65,6 +70,11 @@ pub fn lint_physical_plan(
     steps: &[PlanStep],
 ) -> Report {
     Report::new(target, physplan::lint_physical_plan(inputs, steps))
+}
+
+/// Check a recovery timeline and bundle the findings.
+pub fn lint_recovery(target: impl Into<String>, timeline: &RecoveryTimeline) -> Report {
+    Report::new(target, resilience::lint_recovery(timeline))
 }
 
 /// Render `events` as a timeline with each diagnostic's rule id

@@ -145,6 +145,17 @@ impl Device {
         Err(err)
     }
 
+    /// Draw the next plan-step fault decision — the hook the resilient
+    /// plan executor calls once per step attempt, *before* interpreting
+    /// the step. With no plan installed (or a zero `plan-step` rate) this
+    /// draws nothing and is free: no clock or trace effect, so the
+    /// fault-free path stays byte-identical to plain execution. On a
+    /// fire it counts the fault, charges the detection latency, traces
+    /// it, and returns the injected [`SimError::DeviceLost`].
+    pub fn inject_plan_step_fault(&self, label: &str) -> Result<()> {
+        self.maybe_inject(FaultSite::PlanStep, label, 0)
+    }
+
     // ----------------------------------------------------------------
     // Resilience accounting (called by recovery layers above the
     // simulator so retries/fallbacks/splits appear in stats and traces)
@@ -175,6 +186,17 @@ impl Device {
         self.record(
             start,
             TraceKind::Resilience(format!("split {what} into {parts}")),
+        );
+    }
+
+    /// Record one partitioned re-execution of plan `what` over `parts`
+    /// horizontal row partitions.
+    pub fn note_plan_partition(&self, what: &str, parts: usize) {
+        self.inner.lock().stats.plan_partitions += 1;
+        let start = self.now();
+        self.record(
+            start,
+            TraceKind::Resilience(format!("partition {what} into {parts}")),
         );
     }
 
@@ -840,18 +862,48 @@ mod tests {
         dev.note_retry("selection", SimDuration::from_nanos(5_000));
         dev.note_fallback("Thrust", "Handwritten");
         dev.note_batch_split("join", 4);
+        dev.note_plan_partition("Q1", 8);
         let s = dev.stats();
-        assert_eq!((s.retries, s.fallbacks, s.batch_splits), (1, 1, 1));
+        assert_eq!(
+            (s.retries, s.fallbacks, s.batch_splits, s.plan_partitions),
+            (1, 1, 1, 1)
+        );
         assert_eq!(
             (dev.now() - t0).as_nanos(),
             5_000,
             "only backoff costs time"
         );
         let trace = dev.take_trace();
-        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.len(), 4);
         assert!(trace
             .iter()
             .all(|e| matches!(e.kind, TraceKind::Resilience(_))));
+    }
+
+    #[test]
+    fn plan_step_faults_fire_only_when_drawn() {
+        // No plan installed: free in every observable dimension.
+        let dev = Device::with_defaults();
+        dev.set_tracing(true);
+        assert!(dev.inject_plan_step_fault("Q6 step 0").is_ok());
+        assert_eq!(dev.now().as_nanos(), 0);
+        assert!(dev.take_trace().is_empty());
+        assert_eq!(dev.stats().faults_injected, 0);
+        // Certain plan-step fault: DeviceLost carrying the step label,
+        // counted, traced, and charged the detection latency.
+        dev.install_fault_plan(FaultPlan::new(5).with_rate(crate::fault::FaultSite::PlanStep, 1.0));
+        let r = dev.inject_plan_step_fault("Q6 step 0");
+        assert!(
+            matches!(r, Err(SimError::DeviceLost(ref k)) if k == "Q6 step 0"),
+            "{r:?}"
+        );
+        assert_eq!(dev.stats().faults_injected, 1);
+        assert!(dev.now().as_nanos() > 0, "detection latency is charged");
+        let trace = dev.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert!(matches!(trace[0].kind, TraceKind::Fault(_)));
+        // Other sites never consult the plan-step schedule.
+        assert!(dev.try_charge_kernel("k", KernelCost::empty()).is_ok());
     }
 
     #[test]

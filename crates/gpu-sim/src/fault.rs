@@ -4,9 +4,10 @@
 //! exercises: allocations fail under memory pressure from co-tenants,
 //! DMA transfers time out, kernels take the context down. A
 //! [`FaultPlan`] installed on a [`crate::Device`] injects exactly those
-//! failures at four site classes — allocation, host↔device transfer,
-//! device↔device copy, kernel launch — with an independently
-//! configurable probability per site.
+//! failures at five site classes — allocation, host↔device transfer,
+//! device↔device copy, kernel launch, plus the *plan-step* boundary the
+//! resilient plan executor consults before interpreting each physical
+//! plan step — with an independently configurable probability per site.
 //!
 //! ## Determinism
 //!
@@ -40,16 +41,23 @@ pub enum FaultSite {
     DtoD,
     /// Kernel launches. Injects [`SimError::DeviceLost`].
     Kernel,
+    /// Physical-plan step boundaries. Drawn only by the resilient plan
+    /// executor, once per step attempt, *before* the step runs — the
+    /// plain `PhysicalPlan::execute` path never consults this site, so
+    /// its schedule is indexed purely by resilient step attempts.
+    /// Injects [`SimError::DeviceLost`] (transient; step retry recovers).
+    PlanStep,
 }
 
 impl FaultSite {
     /// All sites, in counter-array order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::Alloc,
         FaultSite::HtoD,
         FaultSite::DtoH,
         FaultSite::DtoD,
         FaultSite::Kernel,
+        FaultSite::PlanStep,
     ];
 
     /// Index into per-site arrays.
@@ -60,6 +68,7 @@ impl FaultSite {
             FaultSite::DtoH => 2,
             FaultSite::DtoD => 3,
             FaultSite::Kernel => 4,
+            FaultSite::PlanStep => 5,
         }
     }
 
@@ -71,6 +80,7 @@ impl FaultSite {
             FaultSite::DtoH => "dtoh",
             FaultSite::DtoD => "dtod",
             FaultSite::Kernel => "kernel",
+            FaultSite::PlanStep => "plan-step",
         }
     }
 }
@@ -92,7 +102,7 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Per-site fault probability in `[0, 1]`, indexed by
     /// [`FaultSite::index`].
-    pub rates: [f64; 5],
+    pub rates: [f64; 6],
     /// Fraction of currently-available device memory hidden by an
     /// injected memory-pressure event, in `[0, 1]`. At the default 1.0
     /// every alloc-site fault fails the allocation outright; at lower
@@ -109,7 +119,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            rates: [0.0; 5],
+            rates: [0.0; 6],
             mem_pressure_shrink: 1.0,
             fault_latency_ns: 20_000,
         }
@@ -205,14 +215,14 @@ fn splitmix64(mut z: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
-    pub(crate) counters: [u64; 5],
+    pub(crate) counters: [u64; 6],
 }
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> FaultState {
         FaultState {
             plan,
-            counters: [0; 5],
+            counters: [0; 6],
         }
     }
 
@@ -253,7 +263,7 @@ pub(crate) fn fault_error(
         FaultSite::HtoD | FaultSite::DtoH | FaultSite::DtoD => {
             Some(SimError::TransferTimeout { bytes: requested })
         }
-        FaultSite::Kernel => Some(SimError::DeviceLost(label.to_string())),
+        FaultSite::Kernel | FaultSite::PlanStep => Some(SimError::DeviceLost(label.to_string())),
     }
 }
 
@@ -332,6 +342,25 @@ mod tests {
             fault_error(&plan, FaultSite::Kernel, "scan", 0, 0),
             Some(SimError::DeviceLost(k)) if k == "scan"
         ));
+        assert!(matches!(
+            fault_error(&plan, FaultSite::PlanStep, "Q1 step 3", 0, 0),
+            Some(SimError::DeviceLost(k)) if k == "Q1 step 3"
+        ));
+    }
+
+    #[test]
+    fn plan_step_site_draws_its_own_schedule() {
+        let plan = FaultPlan::uniform(11, 0.5);
+        assert_eq!(plan.rate(FaultSite::PlanStep), 0.5);
+        assert_ne!(
+            plan.schedule(FaultSite::PlanStep, 256),
+            plan.schedule(FaultSite::Kernel, 256)
+        );
+        // Targeted plans can strike only plan steps.
+        let only = FaultPlan::new(11).with_rate(FaultSite::PlanStep, 1.0);
+        assert!(only.is_active());
+        assert!(only.schedule(FaultSite::Kernel, 64).iter().all(|&b| !b));
+        assert!(only.schedule(FaultSite::PlanStep, 64).iter().all(|&b| b));
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub struct DeviceStats {
     /// Batch splits performed to ride out memory pressure
     /// ([`crate::Device::note_batch_split`]).
     pub batch_splits: u64,
+    /// Partitioned plan re-executions performed by the resilient plan
+    /// executor ([`crate::Device::note_plan_partition`]).
+    pub plan_partitions: u64,
 }
 
 impl DeviceStats {
@@ -138,11 +141,17 @@ impl DeviceStats {
             self.pool_hits,
             self.mem_peak
         );
-        if self.faults_injected + self.retries + self.fallbacks + self.batch_splits > 0 {
+        if self.faults_injected
+            + self.retries
+            + self.fallbacks
+            + self.batch_splits
+            + self.plan_partitions
+            > 0
+        {
             let _ = writeln!(
                 out,
-                "resilience: {} faults injected, {} retries, {} fallbacks, {} batch splits",
-                self.faults_injected, self.retries, self.fallbacks, self.batch_splits
+                "resilience: {} faults injected, {} retries, {} fallbacks, {} batch splits, {} plan partitions",
+                self.faults_injected, self.retries, self.fallbacks, self.batch_splits, self.plan_partitions
             );
         }
         out

@@ -29,8 +29,9 @@ use proto_core::backend::{Col, GpuBackend};
 use proto_core::logical::{AggExpr, ColumnDecl, LogicalPlan, ResultOrder};
 use proto_core::ops::CmpOp;
 use proto_core::optimizer;
-use proto_core::physical::{PhysicalPlan, PlanBindings};
+use proto_core::physical::{PhysicalPlan, PlanBindings, PlanOutput};
 use proto_core::plan::{Expr, Predicate};
+use proto_core::resilient_plan::{PartitionSource, PlanLane, ResilientPlanExecutor};
 
 /// One Q1 result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,8 +165,108 @@ impl Q1Data {
     /// Execute Q1 through the planner, returning rows ordered by
     /// (returnflag, linestatus).
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q1Row>> {
+        self.execute_with(backend, &ResilientPlanExecutor::default())
+    }
+
+    /// Execute Q1 through `exec`, recovering from transient faults at
+    /// plan granularity (see [`proto_core::resilient_plan`]).
+    pub fn execute_with(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+    ) -> Result<Vec<Q1Row>> {
         let plan = physical_plan(backend)?;
-        let out = plan.execute(backend, &self.bindings())?;
+        let out = exec.execute(backend, &plan, &self.bindings())?;
+        Self::rows(&out)
+    }
+
+    /// Execute Q1 through a backend fallback chain: if `backend`
+    /// cannot complete the plan, `spare` (a second backend with its own
+    /// uploaded working set) replays it, carrying forward every
+    /// host-resident checkpoint when the lowered step lists agree.
+    pub fn execute_with_fallback(
+        &self,
+        backend: &dyn GpuBackend,
+        spare: (&Q1Data, &dyn GpuBackend),
+        exec: &ResilientPlanExecutor,
+    ) -> Result<Vec<Q1Row>> {
+        let plan_a = physical_plan(backend)?;
+        let plan_b = physical_plan(spare.1)?;
+        let binds_a = self.bindings();
+        let binds_b = spare.0.bindings();
+        let lanes = [
+            PlanLane {
+                backend,
+                plan: &plan_a,
+                binds: &binds_a,
+            },
+            PlanLane {
+                backend: spare.1,
+                plan: &plan_b,
+                binds: &binds_b,
+            },
+        ];
+        let out = exec.execute_lanes(&lanes, None)?;
+        Self::rows(&out)
+    }
+
+    /// Execute Q1 over horizontal partitions of `lineitem`: `exec`
+    /// partitions up front when a memory budget is configured, or as
+    /// the OOM escalation path otherwise.
+    pub fn execute_partitioned(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+        db: &Database,
+    ) -> Result<Vec<Q1Row>> {
+        let plan = physical_plan(backend)?;
+        let src = Self::partition_source(db);
+        let out = exec.execute_partitionable(backend, &plan, &self.bindings(), &src)?;
+        Self::rows(&out)
+    }
+
+    /// Execute Q1 entirely from the host partition source: no
+    /// full-table upload; every chunk stages its own window. Requires
+    /// `exec` to carry a memory budget — without one the executor's
+    /// first attempt runs unpartitioned from the (empty) device
+    /// bindings and fails.
+    pub fn execute_budgeted(
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+        db: &Database,
+    ) -> Result<Vec<Q1Row>> {
+        debug_assert!(
+            exec.recovery().mem_budget_bytes.is_some(),
+            "execute_budgeted needs a memory budget"
+        );
+        let plan = physical_plan(backend)?;
+        let src = Self::partition_source(db);
+        let out = exec.execute_partitionable(backend, &plan, &PlanBindings::new(), &src)?;
+        Self::rows(&out)
+    }
+
+    /// The host-side `lineitem` columns Q1 can be horizontally
+    /// partitioned over. The composite group key is re-encoded here,
+    /// matching [`Q1Data::upload`].
+    pub fn partition_source(db: &Database) -> PartitionSource<'_> {
+        let li = &db.lineitem;
+        let keys: Vec<u32> = li
+            .returnflag
+            .iter()
+            .zip(&li.linestatus)
+            .map(|(&rf, &ls)| group_key(rf, ls))
+            .collect();
+        let mut src = PartitionSource::new();
+        src.bind_u32("lineitem.shipdate", li.shipdate.as_slice())
+            .bind_u32("lineitem.groupkey", keys)
+            .bind_f64("lineitem.quantity", li.quantity.as_slice())
+            .bind_f64("lineitem.extendedprice", li.extendedprice.as_slice())
+            .bind_f64("lineitem.discount", li.discount.as_slice())
+            .bind_f64("lineitem.tax", li.tax.as_slice());
+        src
+    }
+
+    fn rows(out: &PlanOutput) -> Result<Vec<Q1Row>> {
         let codes = out.u32s("keys")?;
         let v_qty = out.f64s("sum_qty")?;
         let v_base = out.f64s("sum_base_price")?;

@@ -28,8 +28,9 @@ use proto_core::backend::{Col, GpuBackend};
 use proto_core::logical::{AggExpr, ColumnDecl, JoinCol, LogicalPlan};
 use proto_core::ops::CmpOp;
 use proto_core::optimizer;
-use proto_core::physical::{PhysicalPlan, PlanBindings};
+use proto_core::physical::{PhysicalPlan, PlanBindings, PlanOutput};
 use proto_core::plan::{Expr, Predicate};
+use proto_core::resilient_plan::{PartitionSource, ResilientPlanExecutor};
 
 /// Size threshold standing in for `p_type LIKE 'PROMO%'`.
 pub const PROMO_SIZE_MAX: u32 = 10;
@@ -124,8 +125,50 @@ impl Q14Data {
     /// Execute Q14 through the planner, returning the promo-revenue
     /// percentage.
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<f64> {
+        self.execute_with(backend, &ResilientPlanExecutor::default())
+    }
+
+    /// Execute Q14 through `exec`, recovering from transient faults at
+    /// plan granularity (see [`proto_core::resilient_plan`]).
+    pub fn execute_with(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+    ) -> Result<f64> {
         let plan = physical_plan(backend)?;
-        let out = plan.execute(backend, &self.bindings())?;
+        let out = exec.execute(backend, &plan, &self.bindings())?;
+        Self::ratio(&out)
+    }
+
+    /// Execute Q14 over horizontal partitions of `lineitem` (the probe
+    /// side of the join; the `part` build side stays whole — the
+    /// executor's partition-safety analysis enforces this).
+    pub fn execute_partitioned(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+        db: &Database,
+    ) -> Result<f64> {
+        let plan = physical_plan(backend)?;
+        let src = Self::partition_source(db);
+        let out = exec.execute_partitionable(backend, &plan, &self.bindings(), &src)?;
+        Self::ratio(&out)
+    }
+
+    /// The host-side `lineitem` columns Q14 can be horizontally
+    /// partitioned over. Only the probe side: partitioning `part` would
+    /// change per-partition join results.
+    pub fn partition_source(db: &Database) -> PartitionSource<'_> {
+        let li = &db.lineitem;
+        let mut src = PartitionSource::new();
+        src.bind_u32("lineitem.shipdate", li.shipdate.as_slice())
+            .bind_u32("lineitem.partkey", li.partkey.as_slice())
+            .bind_f64("lineitem.extendedprice", li.extendedprice.as_slice())
+            .bind_f64("lineitem.discount", li.discount.as_slice());
+        src
+    }
+
+    fn ratio(out: &PlanOutput) -> Result<f64> {
         let promo_rev = out.scalar("promo_rev")?;
         let total_rev = out.scalar("total_rev")?;
         if total_rev == 0.0 {

@@ -31,6 +31,7 @@ use proto_core::ops::CmpOp;
 use proto_core::optimizer;
 use proto_core::physical::{PhysicalPlan, PlanBindings};
 use proto_core::plan::{Expr, Predicate};
+use proto_core::resilient_plan::ResilientPlanExecutor;
 
 /// One Q3 result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,8 +170,19 @@ impl Q3Data {
     /// revenue; errors with [`gpu_sim::SimError::Unsupported`] on
     /// backends that cannot join.
     pub fn execute(&self, backend: &dyn GpuBackend, db: &Database) -> Result<Vec<Q3Row>> {
+        self.execute_with(backend, db, &ResilientPlanExecutor::default())
+    }
+
+    /// Execute Q3 through `exec`, recovering from transient faults at
+    /// plan granularity (see [`proto_core::resilient_plan`]).
+    pub fn execute_with(
+        &self,
+        backend: &dyn GpuBackend,
+        db: &Database,
+        exec: &ResilientPlanExecutor,
+    ) -> Result<Vec<Q3Row>> {
         let plan = physical_plan(backend)?;
-        let out = plan.execute(backend, &self.bindings())?;
+        let out = exec.execute(backend, &plan, &self.bindings())?;
         let keys = out.u32s("keys")?;
         let revs = out.f64s("revenue")?;
 

@@ -26,6 +26,7 @@ use proto_core::ops::CmpOp;
 use proto_core::optimizer;
 use proto_core::physical::{PhysicalPlan, PlanBindings};
 use proto_core::plan::Predicate;
+use proto_core::resilient_plan::ResilientPlanExecutor;
 
 /// One Q4 result row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,8 +128,18 @@ impl Q4Data {
     /// Execute Q4 through the planner, returning counts per priority
     /// (ascending code).
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q4Row>> {
+        self.execute_with(backend, &ResilientPlanExecutor::default())
+    }
+
+    /// Execute Q4 through `exec`, recovering from transient faults at
+    /// plan granularity (see [`proto_core::resilient_plan`]).
+    pub fn execute_with(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+    ) -> Result<Vec<Q4Row>> {
         let plan = physical_plan(backend)?;
-        let out = plan.execute(backend, &self.bindings())?;
+        let out = exec.execute(backend, &plan, &self.bindings())?;
         let codes = out.u32s("keys")?;
         let counts = out.f64s("order_count")?;
         Ok(codes

@@ -32,6 +32,7 @@ use proto_core::ops::CmpOp;
 use proto_core::optimizer;
 use proto_core::physical::{PhysicalPlan, PlanBindings};
 use proto_core::plan::{Expr, Predicate};
+use proto_core::resilient_plan::ResilientPlanExecutor;
 
 /// One Q5 result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -242,8 +243,18 @@ impl Q5Data {
     /// Execute Q5 through the planner, returning rows ordered by
     /// revenue descending.
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<Vec<Q5Row>> {
+        self.execute_with(backend, &ResilientPlanExecutor::default())
+    }
+
+    /// Execute Q5 through `exec`, recovering from transient faults at
+    /// plan granularity (see [`proto_core::resilient_plan`]).
+    pub fn execute_with(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+    ) -> Result<Vec<Q5Row>> {
         let plan = physical_plan(backend)?;
-        let out = plan.execute(backend, &self.bindings())?;
+        let out = exec.execute(backend, &plan, &self.bindings())?;
         let keys = out.u32s("keys")?;
         let revs = out.f64s("revenue")?;
         Ok(keys

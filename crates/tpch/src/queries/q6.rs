@@ -27,6 +27,7 @@ use proto_core::ops::CmpOp;
 use proto_core::optimizer;
 use proto_core::physical::{PhysicalPlan, PlanBindings};
 use proto_core::plan::{Expr, Predicate};
+use proto_core::resilient_plan::{PartitionSource, PlanLane, ResilientPlanExecutor};
 
 /// The Q6 query tree: one conjunctive filter over lineitem, one
 /// `SUM(extendedprice · discount)` aggregate.
@@ -98,8 +99,75 @@ impl Q6Data {
 
     /// Execute Q6 through the planner, returning the revenue aggregate.
     pub fn execute(&self, backend: &dyn GpuBackend) -> Result<f64> {
+        self.execute_with(backend, &ResilientPlanExecutor::default())
+    }
+
+    /// Execute Q6 through `exec`, recovering from transient faults at
+    /// plan granularity (see [`proto_core::resilient_plan`]).
+    pub fn execute_with(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+    ) -> Result<f64> {
         let plan = physical_plan(backend)?;
-        plan.execute(backend, &self.bindings())?.scalar("revenue")
+        exec.execute(backend, &plan, &self.bindings())?
+            .scalar("revenue")
+    }
+
+    /// Execute Q6 through a backend fallback chain: if `backend`
+    /// cannot complete the plan, `spare` (a second backend with its own
+    /// uploaded working set) replays it, carrying forward every
+    /// host-resident checkpoint when the lowered step lists agree.
+    pub fn execute_with_fallback(
+        &self,
+        backend: &dyn GpuBackend,
+        spare: (&Q6Data, &dyn GpuBackend),
+        exec: &ResilientPlanExecutor,
+    ) -> Result<f64> {
+        let plan_a = physical_plan(backend)?;
+        let plan_b = physical_plan(spare.1)?;
+        let binds_a = self.bindings();
+        let binds_b = spare.0.bindings();
+        let lanes = [
+            PlanLane {
+                backend,
+                plan: &plan_a,
+                binds: &binds_a,
+            },
+            PlanLane {
+                backend: spare.1,
+                plan: &plan_b,
+                binds: &binds_b,
+            },
+        ];
+        exec.execute_lanes(&lanes, None)?.scalar("revenue")
+    }
+
+    /// Execute Q6 over horizontal partitions of `lineitem`: `exec`
+    /// partitions up front when a memory budget is configured, or as
+    /// the OOM escalation path otherwise.
+    pub fn execute_partitioned(
+        &self,
+        backend: &dyn GpuBackend,
+        exec: &ResilientPlanExecutor,
+        db: &Database,
+    ) -> Result<f64> {
+        let plan = physical_plan(backend)?;
+        let src = Self::partition_source(db);
+        exec.execute_partitionable(backend, &plan, &self.bindings(), &src)?
+            .scalar("revenue")
+    }
+
+    /// The host-side `lineitem` columns Q6 can be horizontally
+    /// partitioned over.
+    pub fn partition_source(db: &Database) -> PartitionSource<'_> {
+        let li = &db.lineitem;
+        let mut src = PartitionSource::new();
+        src.bind_u32("lineitem.shipdate", li.shipdate.as_slice())
+            .bind_f64("lineitem.discount", li.discount.as_slice())
+            .bind_f64("lineitem.quantity", li.quantity.as_slice())
+            .bind_f64("lineitem.extendedprice", li.extendedprice.as_slice());
+        src
     }
 
     /// Free the working set.

@@ -6,8 +6,11 @@
 use gpu_proto_db::core::backend::GpuBackend;
 use gpu_proto_db::core::framework::Framework;
 use gpu_proto_db::core::prelude::*;
-use gpu_proto_db::sim::{DeviceSpec, FaultPlan, FaultSite};
-use gpu_proto_db::tpch::{self, queries::q1::Q1Data, queries::q6::Q6Data};
+use gpu_proto_db::sim::{DeviceSpec, FaultPlan, FaultSite, SimError};
+use gpu_proto_db::tpch::{
+    self, queries::q1::Q1Data, queries::q14::Q14Data, queries::q3::Q3Data, queries::q4::Q4Data,
+    queries::q5::Q5Data, queries::q6::Q6Data, Database,
+};
 use proptest::prelude::*;
 
 /// A retry budget sized for fused pipelines: a backend's Q6 override runs
@@ -154,6 +157,191 @@ fn executor_degrades_to_handwritten_for_joins_under_faults() {
         assert!(
             lib_dev.stats().fallbacks > 0,
             "{primary}: join must fall back to Handwritten"
+        );
+    }
+}
+
+/// Run all six planner-routed TPC-H queries through one resilient plan
+/// executor, returning each answer as a debug rendering (`None` where
+/// the backend cannot plan the query — ArrayFire lacks the join algos
+/// Q3/Q4/Q5 lower to). Panics on any error that is not a clean
+/// `Unsupported` plan rejection.
+fn plan_all_six(
+    b: &dyn GpuBackend,
+    db: &Database,
+    exec: &ResilientPlanExecutor,
+    fault: Option<FaultPlan>,
+) -> [Option<String>; 6] {
+    fn wrap<T: std::fmt::Debug>(name: &str, r: Result<T, SimError>) -> Option<String> {
+        match r {
+            Ok(v) => Some(format!("{v:?}")),
+            Err(SimError::Unsupported(_)) => None,
+            Err(e) => panic!("{name}: unexpected failure {e}"),
+        }
+    }
+    let q1 = Q1Data::upload(b, db).unwrap();
+    let q3 = Q3Data::upload(b, db).unwrap();
+    let q4 = Q4Data::upload(b, db).unwrap();
+    let q5 = Q5Data::upload(b, db).unwrap();
+    let q6 = Q6Data::upload(b, db).unwrap();
+    let q14 = Q14Data::upload(b, db).unwrap();
+    // Faults start once the working sets are staged: uploads are
+    // outside the plan executor's recovery scope.
+    if let Some(fp) = fault {
+        b.device().install_fault_plan(fp);
+    }
+    let out = [
+        wrap("Q1", q1.execute_with(b, exec)),
+        wrap("Q3", q3.execute_with(b, db, exec)),
+        wrap("Q4", q4.execute_with(b, exec)),
+        wrap("Q5", q5.execute_with(b, exec)),
+        wrap("Q6", q6.execute_with(b, exec)),
+        wrap("Q14", q14.execute_with(b, exec)),
+    ];
+    q14.free(b).unwrap();
+    q6.free(b).unwrap();
+    q5.free(b).unwrap();
+    q4.free(b).unwrap();
+    q3.free(b).unwrap();
+    q1.free(b).unwrap();
+    out
+}
+
+#[test]
+fn all_six_planner_queries_survive_plan_level_faults_on_every_backend() {
+    let db = tpch::generate(0.002);
+    // (backend, six answers, recovery actions) per backend, on fresh
+    // devices; fault plans install after the working sets are staged.
+    let answers = |rate: f64| -> Vec<(String, [Option<String>; 6], u64)> {
+        let fw = gpu_proto_db::paper_setup();
+        fw.backends()
+            .iter()
+            .map(|b| {
+                let exec = ResilientPlanExecutor::new(PlanRecovery {
+                    retry: deep_policy(),
+                    ..PlanRecovery::default()
+                });
+                let fp = (rate > 0.0).then(|| FaultPlan::uniform(0x6E19, rate));
+                let six = plan_all_six(b.as_ref(), &db, &exec, fp);
+                let st = b.device().stats();
+                (b.name().to_string(), six, st.faults_injected + st.retries)
+            })
+            .collect()
+    };
+    let clean = answers(0.0);
+    let faulty = answers(0.05);
+    // Identical seeds replay the identical recovery story, counters
+    // included.
+    assert_eq!(faulty, answers(0.05), "seed replay must be bit-identical");
+    let mut recoveries = 0;
+    for ((name, want, _), (_, got, r)) in clean.iter().zip(&faulty) {
+        assert_eq!(got, want, "{name}: plan-level faults changed an answer");
+        recoveries += r;
+    }
+    assert!(recoveries > 0, "5% faults must force recoveries somewhere");
+}
+
+#[test]
+fn partitioned_execution_matches_whole_plan_answers() {
+    let db = tpch::generate(0.002);
+    let rows = db.lineitem.len() as u64;
+    let approx = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+    for b in gpu_proto_db::paper_setup().backends() {
+        let b = b.as_ref();
+        let whole = ResilientPlanExecutor::default();
+        // ~4-way split of Q1's 40 B/row partition source (the executor
+        // budgets 8x slack per staged row).
+        let parts = ResilientPlanExecutor::new(PlanRecovery {
+            mem_budget_bytes: Some(rows * 80),
+            ..PlanRecovery::default()
+        });
+        let q1 = Q1Data::upload(b, &db).unwrap();
+        let expect = q1.execute_with(b, &whole).unwrap();
+        let got = q1.execute_partitioned(b, &parts, &db).unwrap();
+        q1.free(b).unwrap();
+        assert_eq!(got.len(), expect.len(), "{}: Q1 group count", b.name());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!((g.returnflag, g.linestatus), (e.returnflag, e.linestatus));
+            assert!(
+                approx(g.sum_qty, e.sum_qty)
+                    && approx(g.sum_base_price, e.sum_base_price)
+                    && approx(g.sum_disc_price, e.sum_disc_price)
+                    && approx(g.sum_charge, e.sum_charge)
+                    && approx(g.avg_qty, e.avg_qty)
+                    && approx(g.avg_price, e.avg_price)
+                    && approx(g.avg_disc, e.avg_disc)
+                    && g.count == e.count,
+                "{}: Q1 partitioned aggregates diverged",
+                b.name()
+            );
+        }
+        let q6 = Q6Data::upload(b, &db).unwrap();
+        let expect = q6.execute_with(b, &whole).unwrap();
+        let got = q6.execute_partitioned(b, &parts, &db).unwrap();
+        q6.free(b).unwrap();
+        assert!(approx(got, expect), "{}: Q6 partitioned revenue", b.name());
+        let mut partitioned = 2;
+        let q14 = Q14Data::upload(b, &db).unwrap();
+        match q14.execute_with(b, &whole) {
+            Ok(expect) => {
+                let got = q14.execute_partitioned(b, &parts, &db).unwrap();
+                assert!(approx(got, expect), "{}: Q14 partitioned ratio", b.name());
+                partitioned += 1;
+            }
+            // ArrayFire cannot plan Q14's join (no join algorithm).
+            Err(SimError::Unsupported(_)) => {}
+            Err(e) => panic!("{}: Q14 failed: {e}", b.name()),
+        }
+        q14.free(b).unwrap();
+        assert!(
+            b.device().stats().plan_partitions >= partitioned,
+            "{}: every partition-safe query must actually partition",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn plan_fallback_chain_replays_on_the_spare_backend() {
+    // A library lane with no in-place retries dies on its first
+    // transient; the handwritten spare must complete the plan and the
+    // answer must be the spare's own bit-exact result (the lowerings
+    // differ, so no checkpoint transfers between these lanes).
+    let db = tpch::generate(0.002);
+    let spec = DeviceSpec::gtx1080();
+    let fw = Framework::with_all_backends(&spec);
+    let hw = fw.backend("Handwritten").unwrap();
+    let hw_clean = {
+        let data = Q6Data::upload(hw, &db).unwrap();
+        let v = data.execute(hw).unwrap();
+        data.free(hw).unwrap();
+        v
+    };
+    for primary in ["Thrust", "Boost.Compute", "ArrayFire"] {
+        let fw = Framework::with_all_backends(&spec);
+        let lib = fw.backend(primary).unwrap();
+        let spare = fw.backend("Handwritten").unwrap();
+        let exec = ResilientPlanExecutor::new(PlanRecovery {
+            retry: RetryPolicy::no_retry(),
+            ..PlanRecovery::default()
+        });
+        let data = Q6Data::upload(lib, &db).unwrap();
+        let spare_data = Q6Data::upload(spare, &db).unwrap();
+        lib.device().install_fault_plan(FaultPlan::uniform(3, 0.2));
+        let got = data
+            .execute_with_fallback(lib, (&spare_data, spare), &exec)
+            .unwrap();
+        spare_data.free(spare).unwrap();
+        data.free(lib).unwrap();
+        assert_eq!(
+            got.to_bits(),
+            hw_clean.to_bits(),
+            "{primary}: fallback answer must be the handwritten result"
+        );
+        assert_eq!(
+            spare.device().stats().fallbacks,
+            1,
+            "{primary}: exactly one fallback to the spare"
         );
     }
 }
