@@ -1,6 +1,6 @@
 //! `af::array` equivalent: lazily evaluated, JIT-fused device arrays.
 
-use crate::dtype::{column_from_f64, ColumnData, DType, Scalar};
+use crate::dtype::{ColumnData, DType, Scalar};
 use crate::node::{BinaryOp, Node, UnaryOp};
 use gpu_sim::{Device, KernelCost, Result, SimError};
 use parking_lot::Mutex;
@@ -321,9 +321,12 @@ impl Array {
         self.backend.ensure_jit(&sig);
         // Execute functionally through the compiled post-order program —
         // bit-identical to the recursive interpreter, op-at-a-time over
-        // chunked lanes instead of a tree walk per element.
-        let out = crate::program::Program::compile(&self.node).eval(self.len);
-        let col = Arc::new(column_from_f64(device, self.dtype, out)?);
+        // typed chunked lanes instead of a tree walk per element. The
+        // result materialises in the array's dtype directly: integer
+        // outputs never round-trip through a whole-column f64 buffer.
+        let col = Arc::new(
+            crate::program::Program::compile(&self.node).eval_into(device, self.dtype, self.len)?,
+        );
         // One fused kernel: read each distinct leaf once, write once.
         let cost = KernelCost {
             bytes_read: self.node.leaf_bytes(),

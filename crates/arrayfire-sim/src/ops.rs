@@ -88,7 +88,10 @@ pub fn sum(a: &Array) -> Result<f64> {
     let af = backend_of(a);
     let device = af.device();
     let col = a.eval()?;
-    let total = col.to_f64_vec().iter().sum();
+    // Fold from +0.0 explicitly: std's `Sum for f64` seeds with -0.0,
+    // which leaks into empty-selection totals and breaks bit-equality
+    // with the fused kernels' 0.0-seeded accumulators.
+    let total = col.to_f64_vec().iter().fold(0.0, |acc, &x| acc + x);
     device.try_charge_kernel(
         "af::sum",
         KernelCost::reduce::<u64>(0)
@@ -315,8 +318,46 @@ fn by_key(
     }
     let af = backend_of(keys);
     let device = af.device();
-    let kv = keys.eval()?.to_f64_vec();
-    let vv = vals.eval()?.to_f64_vec();
+    let kcol = keys.eval()?;
+    let vcol = vals.eval()?;
+    let charge = |groups: usize| {
+        device.try_charge_kernel(
+            label,
+            presets::reduce_by_key::<u64, u64>(keys.len(), groups)
+                .with_launch_overhead(device.spec().cuda_launch_latency_ns),
+        )
+    };
+    // Native fast path for the dominant pairing (u32 group keys, f64
+    // measures): keys compare and flow into the output column in their
+    // own width instead of round-tripping through an f64 working lane.
+    // Grouping and sums are bit-identical to the generic path — u32→f64
+    // widening is exact, so run boundaries land in the same places and
+    // the fold sees the same f64 sequence.
+    if let (ColumnData::U32(kb), ColumnData::F64(vb)) = (&*kcol, &*vcol) {
+        let (ks, vs) = (kb.host(), vb.host());
+        let mut out_k: Vec<u32> = Vec::new();
+        let mut out_v: Vec<f64> = Vec::new();
+        let mut i = 0;
+        while i < ks.len() {
+            let k = ks[i];
+            let mut acc = vs[i];
+            let mut j = i + 1;
+            while j < ks.len() && ks[j] == k {
+                acc = fold(acc, vs[j]);
+                j += 1;
+            }
+            out_k.push(k);
+            out_v.push(acc);
+            i = j;
+        }
+        charge(out_k.len())?;
+        return Ok((
+            af.wrap(ColumnData::from_u32(device, out_k)?)?,
+            af.wrap(ColumnData::from_f64(device, out_v)?)?,
+        ));
+    }
+    let kv = kcol.to_f64_vec();
+    let vv = vcol.to_f64_vec();
     let mut out_k = Vec::new();
     let mut out_v = Vec::new();
     let mut i = 0;
@@ -332,11 +373,7 @@ fn by_key(
         out_v.push(acc);
         i = j;
     }
-    device.try_charge_kernel(
-        label,
-        presets::reduce_by_key::<u64, u64>(keys.len(), out_k.len())
-            .with_launch_overhead(device.spec().cuda_launch_latency_ns),
-    )?;
+    charge(out_k.len())?;
     Ok((
         af.wrap(crate::dtype::column_from_f64(device, keys.dtype(), out_k)?)?,
         af.wrap(crate::dtype::column_from_f64(device, vals.dtype(), out_v)?)?,
@@ -495,6 +532,27 @@ mod tests {
         let (ck, cv) = count_by_key(&k).unwrap();
         assert_eq!(ck.host_u32().unwrap(), vec![1, 2]);
         assert_eq!(cv.host_u64().unwrap(), vec![2, 3]);
+    }
+
+    /// The u32-key/f64-value fast path must group, fold and charge
+    /// exactly like the generic f64-lane path — including keys at the
+    /// top of the u32 range and fractional measures.
+    #[test]
+    fn sum_by_key_native_u32_path_matches_generic() {
+        let (dev, af) = af();
+        let k = af.array_u32(&[7, 7, u32::MAX, u32::MAX, 3]).unwrap();
+        let v = af.array_f64(&[0.1, 0.2, 5.5, 4.5, 9.0]).unwrap();
+        dev.reset_stats();
+        let (gk, gv) = sum_by_key(&k, &v).unwrap();
+        assert_eq!(gk.dtype(), DType::U32);
+        assert_eq!(gk.host_u32().unwrap(), vec![7, u32::MAX, 3]);
+        let sums = gv.host_f64().unwrap();
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(sums[1].to_bits(), 10.0f64.to_bits());
+        assert_eq!(sums[2].to_bits(), 9.0f64.to_bits());
+        // Same single segmented-reduce launch as the generic path.
+        assert_eq!(dev.stats().launches_of("af::sumByKey"), 1);
     }
 
     #[test]

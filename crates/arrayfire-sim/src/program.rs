@@ -4,20 +4,33 @@
 //! per-element recursive walk ([`Node::eval_at`]) — one tree traversal and
 //! one leaf-lane lookup *per element per leaf*. This module compiles the
 //! tree once per evaluation into a flat post-order [`Program`] (a stack
-//! machine over `f64` lane buffers) and executes it op-at-a-time over
+//! machine over **typed** lane buffers) and executes it op-at-a-time over
 //! fixed-size chunks: every instruction streams through a cache-resident
-//! lane, leaf columns are converted to `f64` exactly once, and leaf ids
-//! are resolved to dense slot indices at compile time.
+//! lane and leaf ids are resolved to dense slot indices at compile time.
 //!
-//! The instruction order is the same post-order the recursive interpreter
-//! used, so every element sees the identical sequence of `f64` operations:
-//! results are bit-for-bit those of `eval_at`, at a fraction of the host
-//! cost. Simulated time is charged by the caller exactly as before —
-//! compilation here is pure host-side mechanics, not the modelled JIT
-//! (which `crate::array::Backend::ensure_jit` accounts separately).
+//! Lanes carry their native width end to end: integer leaf columns load
+//! without an up-front whole-column `f64` materialisation, comparisons
+//! and `And`/`Or`/`Not` produce one-byte `b8` masks, and a trailing
+//! `Cast` stores its native type — so an integer-keyed pipeline never
+//! round-trips through an `f64` buffer ([`Program::eval_into`] hands the
+//! result to [`ColumnData`] in the output dtype directly). *Arithmetic*
+//! is still `f64` exactly as the recursive interpreter's: a lane's
+//! observable value (`Lane::get`) widens precisely the way
+//! [`Node::lanes`] widened the leaf, and the instruction order is the
+//! same post-order, so every element sees the identical sequence of
+//! `f64` operations and results are bit-for-bit those of `eval_at`.
+//!
+//! Execution splits across host threads at fixed chunk granularity
+//! ([`gpu_sim::hostexec::par_map_chunks`]) — chunk boundaries don't
+//! depend on thread count, so results are deterministic at any
+//! parallelism. Simulated time is charged by the caller exactly as
+//! before — compilation here is pure host-side mechanics, not the
+//! modelled JIT (which `crate::array::Backend::ensure_jit` accounts
+//! separately).
 
 use crate::dtype::{ColumnData, DType};
 use crate::node::{BinaryOp, Node, UnaryOp};
+use gpu_sim::{Device, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -254,83 +267,292 @@ impl Program {
         }
     }
 
-    /// Execute the program over `len` elements, returning the result lane.
-    /// Leaf columns are converted to `f64` once; the element loops are
-    /// split across host threads at fixed chunk granularity (bit-identical
-    /// at any thread count — each element depends only on itself).
+    /// Execute the program over `len` elements, widening the final lane
+    /// to the interpreter's observable `f64` values. Kept for callers and
+    /// tests that want the working representation; [`Program::eval_into`]
+    /// materialises a typed column without this widening step.
     pub fn eval(&self, len: usize) -> Vec<f64> {
-        let lanes: Vec<Vec<f64>> = self.leaves.iter().map(|c| c.to_f64_vec()).collect();
-        let mut out = gpu_sim::hostmem::take_scratch(len);
-        gpu_sim::par_chunks_mut(&mut out, LANE, |base, chunk| {
-            self.eval_chunk(&lanes, base, chunk);
-        });
-        for lane in lanes {
-            gpu_sim::hostmem::put_vec(lane);
+        let views: Vec<LeafView<'_>> = self.leaves.iter().map(LeafView::of).collect();
+        let chunks =
+            gpu_sim::par_map_chunks(len, 1 << 12, |r| self.eval_range(&views, r, DType::F64));
+        let mut out = Vec::with_capacity(len);
+        for lane in chunks {
+            match lane {
+                Lane::F64(v) => out.extend_from_slice(&v),
+                _ => unreachable!("eval_range honours the requested f64 accumulator"),
+            }
         }
         out
     }
 
-    /// Run the instruction list over one output window, `LANE` elements at
-    /// a time with a per-call lane stack.
-    fn eval_chunk(&self, lanes: &[Vec<f64>], base: usize, out: &mut [f64]) {
-        let width = LANE.min(out.len()).max(1);
-        let mut stack = vec![vec![0.0f64; width]; self.stack_depth];
-        let mut off = 0usize;
-        while off < out.len() {
-            let w = width.min(out.len() - off);
-            let start = base + off;
-            let mut sp = 0usize;
+    /// Execute the program and materialise the result directly as a
+    /// `dtype` column — the native-width path `Array::eval` uses. Each
+    /// `LANE` window's typed lane appends straight into a native
+    /// accumulator, so an integer result never detours through a
+    /// whole-column `f64` buffer. Values are bit-identical to
+    /// `column_from_f64(device, dtype, self.eval(len))`.
+    pub fn eval_into(&self, device: &Arc<Device>, dtype: DType, len: usize) -> Result<ColumnData> {
+        let views: Vec<LeafView<'_>> = self.leaves.iter().map(LeafView::of).collect();
+        let chunks = gpu_sim::par_map_chunks(len, 1 << 12, |r| self.eval_range(&views, r, dtype));
+        macro_rules! assemble {
+            ($variant:ident, $from:ident) => {{
+                let mut v = Vec::with_capacity(len);
+                for lane in chunks {
+                    match lane {
+                        Lane::$variant(c) => v.extend_from_slice(&c),
+                        _ => unreachable!("eval_range honours the requested accumulator dtype"),
+                    }
+                }
+                ColumnData::$from(device, v)
+            }};
+        }
+        match dtype {
+            DType::F64 => assemble!(F64, from_f64),
+            DType::U64 => assemble!(U64, from_u64),
+            DType::U32 => assemble!(U32, from_u32),
+            DType::I64 => assemble!(I64, from_i64),
+            DType::B8 => assemble!(B8, from_b8),
+        }
+    }
+
+    /// Evaluate one parallel chunk, accumulating the output in `dtype`'s
+    /// native representation. Runs the instruction list `LANE` elements
+    /// at a time over a typed lane stack.
+    fn eval_range(&self, views: &[LeafView<'_>], r: std::ops::Range<usize>, dtype: DType) -> Lane {
+        let mut acc = Lane::with_capacity(dtype, r.len());
+        let mut start = r.start;
+        while start < r.end {
+            let w = LANE.min(r.end - start);
+            let mut stack: Vec<Lane> = Vec::with_capacity(self.stack_depth);
             for instr in &self.instrs {
                 match instr {
-                    Instr::Load(slot) => {
-                        stack[sp][..w].copy_from_slice(&lanes[*slot][start..start + w]);
-                        sp += 1;
-                    }
+                    Instr::Load(slot) => stack.push(views[*slot].load(start, w)),
                     Instr::Unary(op) => {
-                        for x in &mut stack[sp - 1][..w] {
-                            *x = op.apply(*x);
-                        }
+                        let a = stack.pop().expect("well-formed program");
+                        stack.push(unary_lane(*op, a, w));
                     }
                     Instr::Binary(op) => {
-                        let (lo, hi) = stack.split_at_mut(sp - 1);
-                        let dst = &mut lo[sp - 2];
-                        let src = &hi[0];
-                        for i in 0..w {
-                            dst[i] = op.apply(dst[i], src[i]);
-                        }
-                        sp -= 1;
+                        let rhs = stack.pop().expect("well-formed program");
+                        let lhs = stack.pop().expect("well-formed program");
+                        stack.push(binary_lane(*op, lhs, &rhs, w));
                     }
                     Instr::ScalarRhs(op, s) => {
-                        for x in &mut stack[sp - 1][..w] {
-                            *x = op.apply(*x, *s);
-                        }
+                        let a = stack.pop().expect("well-formed program");
+                        stack.push(scalar_lane(*op, a, *s, false, w));
                     }
                     Instr::ScalarLhs(op, s) => {
-                        for x in &mut stack[sp - 1][..w] {
-                            *x = op.apply(*s, *x);
-                        }
+                        let a = stack.pop().expect("well-formed program");
+                        stack.push(scalar_lane(*op, a, *s, true, w));
                     }
                     Instr::Cast(dt) => {
-                        for x in &mut stack[sp - 1][..w] {
-                            *x = cast_f64(*dt, *x);
-                        }
+                        let a = stack.pop().expect("well-formed program");
+                        stack.push(cast_lane(*dt, a, w));
                     }
                 }
             }
-            out[off..off + w].copy_from_slice(&stack[0][..w]);
-            off += w;
+            acc.append_from(&stack.pop().expect("program yields one lane"), w);
+            start += w;
+        }
+        acc
+    }
+}
+
+/// One typed working buffer of the stack machine — a `LANE`-wide window
+/// of values in their native representation. Arithmetic observes lanes
+/// through [`Lane::get`] (the interpreter's `f64` working value), but
+/// storage stays native: integer leaves load without conversion,
+/// comparisons hold one-byte masks, and a trailing cast keeps its target
+/// width all the way into the output column.
+enum Lane {
+    F64(Vec<f64>),
+    U64(Vec<u64>),
+    U32(Vec<u32>),
+    I64(Vec<i64>),
+    B8(Vec<u8>),
+}
+
+impl Lane {
+    fn with_capacity(dt: DType, cap: usize) -> Lane {
+        match dt {
+            DType::F64 => Lane::F64(Vec::with_capacity(cap)),
+            DType::U64 => Lane::U64(Vec::with_capacity(cap)),
+            DType::U32 => Lane::U32(Vec::with_capacity(cap)),
+            DType::I64 => Lane::I64(Vec::with_capacity(cap)),
+            DType::B8 => Lane::B8(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Observable value of element `i` — exactly the `f64` the recursive
+    /// interpreter holds at this point (native lanes widen the way
+    /// [`ColumnData::to_f64_vec`] widens leaves).
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            Lane::F64(v) => v[i],
+            Lane::U64(v) => v[i] as f64,
+            Lane::U32(v) => f64::from(v[i]),
+            Lane::I64(v) => v[i] as f64,
+            Lane::B8(v) => f64::from(v[i]),
+        }
+    }
+
+    /// Append `w` elements of `lane`, cast to `self`'s representation
+    /// with [`column_from_f64`](crate::dtype::column_from_f64)'s rules
+    /// applied to the observable values. Same-width fast paths exist only
+    /// where they are provably bit-identical to the `f64` detour:
+    /// `f64`/`u32` round-trip exactly, `b8` after normalising to 0/1;
+    /// 64-bit integers always re-cast because `(x as f64) as u64` is
+    /// lossy above 2^53.
+    fn append_from(&mut self, lane: &Lane, w: usize) {
+        match (self, lane) {
+            (Lane::F64(a), Lane::F64(v)) => a.extend_from_slice(&v[..w]),
+            (Lane::U32(a), Lane::U32(v)) => a.extend_from_slice(&v[..w]),
+            (Lane::B8(a), Lane::B8(v)) => a.extend(v[..w].iter().map(|&x| u8::from(x != 0))),
+            (Lane::F64(a), l) => a.extend((0..w).map(|i| l.get(i))),
+            (Lane::U64(a), l) => a.extend((0..w).map(|i| l.get(i) as u64)),
+            (Lane::U32(a), l) => a.extend((0..w).map(|i| l.get(i) as u32)),
+            (Lane::I64(a), l) => a.extend((0..w).map(|i| l.get(i) as i64)),
+            (Lane::B8(a), l) => a.extend((0..w).map(|i| u8::from(l.get(i) != 0.0))),
         }
     }
 }
 
-/// The `f64`-lane cast semantics of [`Node::eval_at`], verbatim.
-fn cast_f64(dt: DType, x: f64) -> f64 {
+/// Borrowed native view of one leaf column; `Load` copies a window of it
+/// into a typed lane with no dtype conversion (the old engine converted
+/// every leaf to a whole-column `f64` lane up front).
+enum LeafView<'a> {
+    F64(&'a [f64]),
+    U64(&'a [u64]),
+    U32(&'a [u32]),
+    I64(&'a [i64]),
+    B8(&'a [u8]),
+}
+
+impl<'a> LeafView<'a> {
+    fn of(col: &Arc<ColumnData>) -> LeafView<'_> {
+        match col.as_ref() {
+            ColumnData::F64(b) => LeafView::F64(b.host()),
+            ColumnData::U64(b) => LeafView::U64(b.host()),
+            ColumnData::U32(b) => LeafView::U32(b.host()),
+            ColumnData::I64(b) => LeafView::I64(b.host()),
+            ColumnData::B8(b) => LeafView::B8(b.host()),
+        }
+    }
+
+    fn load(&self, start: usize, w: usize) -> Lane {
+        match self {
+            LeafView::F64(s) => Lane::F64(s[start..start + w].to_vec()),
+            LeafView::U64(s) => Lane::U64(s[start..start + w].to_vec()),
+            LeafView::U32(s) => Lane::U32(s[start..start + w].to_vec()),
+            LeafView::I64(s) => Lane::I64(s[start..start + w].to_vec()),
+            LeafView::B8(s) => Lane::B8(s[start..start + w].to_vec()),
+        }
+    }
+}
+
+/// Whether `op` produces a boolean mask (stored as a `b8` lane).
+fn mask_out(op: BinaryOp) -> bool {
+    op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or)
+}
+
+fn binary_lane(op: BinaryOp, lhs: Lane, rhs: &Lane, w: usize) -> Lane {
+    if mask_out(op) {
+        // Comparisons/And/Or yield exactly 0.0 or 1.0, so the byte mask
+        // is an exact encoding of the interpreter's working value.
+        Lane::B8(
+            (0..w)
+                .map(|i| u8::from(op.apply(lhs.get(i), rhs.get(i)) != 0.0))
+                .collect(),
+        )
+    } else if let Lane::F64(mut v) = lhs {
+        for (i, x) in v[..w].iter_mut().enumerate() {
+            *x = op.apply(*x, rhs.get(i));
+        }
+        Lane::F64(v)
+    } else {
+        Lane::F64((0..w).map(|i| op.apply(lhs.get(i), rhs.get(i))).collect())
+    }
+}
+
+fn scalar_lane(op: BinaryOp, lane: Lane, s: f64, scalar_is_lhs: bool, w: usize) -> Lane {
+    let ap = |x: f64| {
+        if scalar_is_lhs {
+            op.apply(s, x)
+        } else {
+            op.apply(x, s)
+        }
+    };
+    if mask_out(op) {
+        Lane::B8((0..w).map(|i| u8::from(ap(lane.get(i)) != 0.0)).collect())
+    } else if let Lane::F64(mut v) = lane {
+        for x in &mut v[..w] {
+            *x = ap(*x);
+        }
+        Lane::F64(v)
+    } else {
+        Lane::F64((0..w).map(|i| ap(lane.get(i))).collect())
+    }
+}
+
+fn unary_lane(op: UnaryOp, lane: Lane, w: usize) -> Lane {
+    match op {
+        UnaryOp::Not => match lane {
+            // `Not` is x == 0.0 on the observable value; for a byte lane
+            // that is exactly x == 0.
+            Lane::B8(mut v) => {
+                for x in &mut v[..w] {
+                    *x = u8::from(*x == 0);
+                }
+                Lane::B8(v)
+            }
+            l => Lane::B8(
+                (0..w)
+                    .map(|i| u8::from(op.apply(l.get(i)) != 0.0))
+                    .collect(),
+            ),
+        },
+        UnaryOp::Neg | UnaryOp::Abs => {
+            if let Lane::F64(mut v) = lane {
+                for x in &mut v[..w] {
+                    *x = op.apply(*x);
+                }
+                Lane::F64(v)
+            } else {
+                Lane::F64((0..w).map(|i| op.apply(lane.get(i))).collect())
+            }
+        }
+    }
+}
+
+/// Apply [`Node::eval_at`]'s cast semantics to a lane. `F64`/`U32`/`B8`
+/// keep (or adopt) a native representation — at those widths the native
+/// value and the interpreter's post-cast `f64` working value are in
+/// exact bijection (`b8` after normalising to 0/1). `U64`/`I64` always
+/// recompute from the observable `f64`: the interpreter's cast is
+/// `(x as u64) as f64`, lossy above 2^53, so a native passthrough (e.g.
+/// of a large `u64` leaf) would be *more* precise than `eval_at` and
+/// break bit-identity.
+fn cast_lane(dt: DType, lane: Lane, w: usize) -> Lane {
     match dt {
-        DType::F64 => x,
-        DType::U64 => x as u64 as f64,
-        DType::U32 => x as u32 as f64,
-        DType::I64 => x as i64 as f64,
-        DType::B8 => f64::from(x != 0.0),
+        DType::F64 => match lane {
+            Lane::F64(v) => Lane::F64(v),
+            l => Lane::F64((0..w).map(|i| l.get(i)).collect()),
+        },
+        DType::U32 => match lane {
+            Lane::U32(v) => Lane::U32(v),
+            l => Lane::U32((0..w).map(|i| l.get(i) as u32).collect()),
+        },
+        DType::B8 => match lane {
+            Lane::B8(mut v) => {
+                for x in &mut v[..w] {
+                    *x = u8::from(*x != 0);
+                }
+                Lane::B8(v)
+            }
+            l => Lane::B8((0..w).map(|i| u8::from(l.get(i) != 0.0)).collect()),
+        },
+        DType::U64 => Lane::U64((0..w).map(|i| lane.get(i) as u64).collect()),
+        DType::I64 => Lane::I64((0..w).map(|i| lane.get(i) as i64).collect()),
     }
 }
 
@@ -448,6 +670,94 @@ mod tests {
             ..ok
         };
         assert!(shallow.well_formed().unwrap_err().contains("exceeds"));
+    }
+
+    /// Integer and boolean leaves run on native lanes; every observable
+    /// value must still match the `f64` recursive interpreter bit for
+    /// bit — including `u64` keys above 2^53, where the interpreter's
+    /// widening is lossy and the typed engine must reproduce the loss.
+    #[test]
+    fn typed_lanes_match_interpreter_on_integer_leaves() {
+        let dev = Device::with_defaults();
+        let n = 9_000;
+        let keys = Arc::new(Node::Leaf(
+            10,
+            Arc::new(
+                ColumnData::from_u32(&dev, (0..n).map(|i| (i as u32 * 13) % 1009).collect())
+                    .unwrap(),
+            ),
+        ));
+        let big = Arc::new(Node::Leaf(
+            11,
+            Arc::new(
+                ColumnData::from_u64(
+                    &dev,
+                    (0..n).map(|i| (1u64 << 53) + 7 * i as u64 + 3).collect(),
+                )
+                .unwrap(),
+            ),
+        ));
+        let flags = Arc::new(Node::Leaf(
+            12,
+            Arc::new(
+                ColumnData::from_b8(&dev, (0..n).map(|i| (i % 3 == 0) as u8).collect()).unwrap(),
+            ),
+        ));
+        // (keys < 500 && !flags) widened, times (big cast to i64), plus keys.
+        let tree = Node::Binary(
+            BinaryOp::Add,
+            Arc::new(Node::Binary(
+                BinaryOp::Mul,
+                Arc::new(Node::Cast(
+                    DType::F64,
+                    Arc::new(Node::Binary(
+                        BinaryOp::And,
+                        Arc::new(Node::ScalarRhs(
+                            BinaryOp::Lt,
+                            keys.clone(),
+                            Scalar::F64(500.0),
+                        )),
+                        Arc::new(Node::Unary(UnaryOp::Not, flags)),
+                    )),
+                )),
+                Arc::new(Node::Cast(DType::I64, big)),
+            )),
+            keys,
+        );
+        let lanes = tree.lanes();
+        let want: Vec<f64> = (0..n).map(|i| tree.eval_at(i, &lanes)).collect();
+        let got = Program::compile(&tree).eval(n);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// `eval_into` must hand back a native column equal to what the old
+    /// `eval` → `column_from_f64` detour produced, for every dtype.
+    #[test]
+    fn eval_into_materialises_native_columns() {
+        let dev = Device::with_defaults();
+        let n = 5_000;
+        let a = leaf(1, (0..n).map(|i| i as f64 * 0.5 - 700.0).collect());
+        let tree = Node::Cast(
+            DType::U32,
+            Arc::new(Node::ScalarRhs(BinaryOp::Mul, a.clone(), Scalar::F64(3.0))),
+        );
+        let prog = Program::compile(&tree);
+        for dt in [DType::F64, DType::U64, DType::U32, DType::I64, DType::B8] {
+            let got = prog.eval_into(&dev, dt, n).unwrap();
+            assert_eq!(got.dtype(), dt);
+            assert_eq!(got.len(), n);
+            let via_f64 = crate::dtype::column_from_f64(&dev, dt, prog.eval(n)).unwrap();
+            match dt {
+                DType::F64 => assert_eq!(got.as_f64().unwrap(), via_f64.as_f64().unwrap()),
+                DType::U64 => assert_eq!(got.as_u64().unwrap(), via_f64.as_u64().unwrap()),
+                DType::U32 => assert_eq!(got.as_u32().unwrap(), via_f64.as_u32().unwrap()),
+                DType::I64 => assert_eq!(got.as_i64().unwrap(), via_f64.as_i64().unwrap()),
+                DType::B8 => assert_eq!(got.as_b8().unwrap(), via_f64.as_b8().unwrap()),
+            }
+        }
     }
 
     #[test]

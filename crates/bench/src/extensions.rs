@@ -14,6 +14,11 @@
 //! * **E19** — plan-level recovery modes: Q1 per backend across fault
 //!   rates, once per recovery mode of the resilient plan executor
 //!   (step retry, budgeted partitioned re-execution, replica fallback).
+//! * **E20** — general operator fusion: the same filter → project →
+//!   aggregate chain compiled twice per backend (composed Table-II
+//!   operator chain vs. one `FusedFilterAgg` single-pass kernel),
+//!   swept across row counts to locate the fusion break-even the
+//!   planner's size-adaptive threshold defaults to.
 //!
 //! Like `crate::operators`, each experiment is split into per-backend
 //! part functions (or, for E17, fully independent per-cell functions)
@@ -320,6 +325,132 @@ pub fn e17_fault_resilience(sf: f64, rates_permille: &[u64]) -> Experiment {
     e17_assemble(rates_permille, cells)
 }
 
+/// Default row-count sweep for E20 — spans the fused-kernel break-even
+/// (the planner's `DEFAULT_FUSION_THRESHOLD` of 25K rows sits between
+/// 2^14 and 2^15).
+pub fn e20_default_sizes() -> Vec<usize> {
+    vec![1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20]
+}
+
+/// The E20 query: a two-predicate conjunctive filter over a synthetic
+/// three-column table and one compound arithmetic aggregate —
+/// `SUM(a · (1 − 0.5·b)) WHERE key < θ AND a < 0.9`. Unfused this
+/// lowers to selection → 2× gather → 2× affine map → product → reduce;
+/// the general fusion pass collapses the whole chain into a single
+/// [`proto_core::physical::Step::FusedFilterAgg`] kernel. The `key`
+/// column is `u32` and read mask-only, so the fused kernels consume it
+/// natively (no f64 round-trip).
+pub fn e20_logical_plan(threshold: f64) -> proto_core::logical::LogicalPlan {
+    use proto_core::logical::{AggExpr, ColumnDecl, LogicalPlan};
+    use proto_core::plan::{Expr, Predicate};
+    LogicalPlan::scan(
+        "t",
+        vec![
+            ColumnDecl::u32("key"),
+            ColumnDecl::f64("a"),
+            ColumnDecl::f64("b"),
+        ],
+    )
+    .filter(Predicate::And(vec![
+        Predicate::cmp("t.key", proto_core::ops::CmpOp::Lt, threshold),
+        Predicate::cmp("t.a", proto_core::ops::CmpOp::Lt, 0.9),
+    ]))
+    .aggregate(
+        None,
+        vec![(
+            "acc",
+            AggExpr::Sum(Expr::col("t.a") * (Expr::lit(1.0) - Expr::lit(0.5) * Expr::col("t.b"))),
+        )],
+    )
+}
+
+/// E20 part — one backend's fused-vs-unfused samples across `sizes`
+/// (two samples per size, unfused first, labelled `"{name}/unfused"` /
+/// `"{name}/fused"`).
+///
+/// Per size the [`e20_logical_plan`] chain is compiled twice: once with
+/// every fusion knob off (the composed operator chain the library
+/// interface forces) and once with the general fusion pass on at
+/// threshold 0, so the single-pass kernel dispatches at every size.
+/// Both compilations execute against the same device columns and their
+/// answers are asserted bit-identical — fusion is a pure cost knob.
+pub fn e20_part(b: &dyn GpuBackend, sizes: &[usize]) -> Part {
+    use proto_core::optimizer::{plan_with, FusionPolicy, PlannerOptions};
+    use proto_core::physical::{PlanBindings, Step};
+    let mut part = Part::new();
+    for &n in sizes {
+        let (keys, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED ^ 50);
+        let a_vals = workload::cache::uniform_f64(n, workload::SEED ^ 51);
+        let b_vals = workload::cache::uniform_f64(n, workload::SEED ^ 52);
+        let logical = e20_logical_plan(f64::from(thr));
+        let ck = b.upload_u32(&keys).expect("upload");
+        let ca = b.upload_f64(&a_vals).expect("upload");
+        let cb = b.upload_f64(&b_vals).expect("upload");
+        let mut binds = PlanBindings::new();
+        binds.bind("t.key", &ck).bind("t.a", &ca).bind("t.b", &cb);
+        let mut answers: Vec<f64> = Vec::new();
+        let mut row = Vec::new();
+        for fused in [false, true] {
+            let opts = PlannerOptions {
+                fuse_fast_paths: false,
+                fusion: FusionPolicy {
+                    enabled: fused,
+                    threshold: 0,
+                },
+            };
+            let tag = if fused { "fused" } else { "unfused" };
+            let plan = plan_with(&format!("E20/{tag}"), &logical, b, &opts).expect("plan");
+            let has_fused_step = plan
+                .steps()
+                .iter()
+                .any(|s| matches!(s, Step::FusedFilterAgg { .. }));
+            assert_eq!(has_fused_step, fused, "E20/{tag}:\n{}", plan.explain());
+            let mut s = proto_core::runner::measure(b, n as u64, || {
+                answers.push(plan.execute(b, &binds)?.scalar("acc")?);
+                Ok(())
+            })
+            .expect("measure");
+            s.backend = format!("{}/{tag}", s.backend);
+            row.push(s);
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+            "{} @ {n}: fusion changed the answer: {answers:?}",
+            b.name()
+        );
+        part.push(row);
+        for c in [ck, ca, cb] {
+            b.free(c).expect("free");
+        }
+    }
+    part
+}
+
+/// Assemble E20 from per-backend parts.
+pub fn e20_assemble(parts: Vec<Part>) -> Experiment {
+    let mut exp = Experiment::new(
+        "E20",
+        "General operator fusion: composed chain vs. fused single-pass kernel vs. rows",
+        "rows",
+    );
+    exp.samples = merge_x_major(parts);
+    exp
+}
+
+/// E20 — fused vs. unfused execution of the same filter → project →
+/// aggregate chain, per backend, vs. rows. The fused line dispatches
+/// the single-pass kernel at every size (threshold 0), so the crossover
+/// against the unfused line *is* the measured break-even that
+/// calibrates [`proto_core::optimizer::DEFAULT_FUSION_THRESHOLD`].
+pub fn e20_fusion_scaling(fw: &proto_core::framework::Framework, sizes: &[usize]) -> Experiment {
+    e20_assemble(
+        fw.backends()
+            .iter()
+            .map(|b| e20_part(b.as_ref(), sizes))
+            .collect(),
+    )
+}
+
 /// The recovery modes E19 sweeps — one resilient-plan-executor
 /// configuration each.
 pub const E19_MODES: [&str; 3] = ["retry", "partition", "fallback"];
@@ -541,6 +672,32 @@ mod tests {
         }
         for w in answers.windows(2) {
             assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn e20_fused_chain_wins_at_scale_on_every_backend() {
+        let fw = paper_framework();
+        let exp = e20_fusion_scaling(&fw, &[1 << 12, 1 << 18]);
+        // 2 sizes × 4 backends × {unfused, fused}; answer bit-equality
+        // is asserted inside the parts.
+        assert_eq!(exp.samples.len(), 16);
+        for name in proto_core::backends::PAPER_BACKENDS {
+            let unfused = exp.get(&format!("{name}/unfused"), 1 << 18).unwrap();
+            let fused = exp.get(&format!("{name}/fused"), 1 << 18).unwrap();
+            assert!(
+                fused.nanos < unfused.nanos,
+                "{name}: fused {} vs unfused {} at 2^18 rows",
+                fused.nanos,
+                unfused.nanos
+            );
+            assert!(
+                fused.launches < unfused.launches,
+                "{name}: the fused plan must launch fewer kernels \
+                 ({} vs {})",
+                fused.launches,
+                unfused.launches
+            );
         }
     }
 

@@ -70,6 +70,8 @@ pub struct GridConfig {
     pub e19_sf: f64,
     /// Fault-rate sweep (permille) for E19.
     pub e19_rates: Vec<u64>,
+    /// Row-count sweep for E20 (spans the fusion break-even).
+    pub e20_sizes: Vec<usize>,
     /// Fixed row count for A1.
     pub a1_n: usize,
     /// Chain-length sweep for A2.
@@ -104,6 +106,7 @@ impl Default for GridConfig {
             e17_rates: vec![0, 10, 50, 100],
             e19_sf: 0.01,
             e19_rates: vec![0, 50],
+            e20_sizes: extensions::e20_default_sizes(),
             a1_n: 1 << 20,
             a2_ks: vec![1, 2, 4, 8],
             a2_n: 1 << 20,
@@ -216,6 +219,7 @@ struct Ids {
     e15: Vec<usize>,
     e17: Vec<usize>,
     e19: Vec<usize>,
+    e20: Vec<usize>,
     a1: Vec<usize>,
     a2: Vec<usize>,
     a3: Vec<usize>,
@@ -223,9 +227,9 @@ struct Ids {
 }
 
 /// Section labels in the serial runner's order (its `host.time` labels).
-pub const SECTIONS: [&str; 22] = [
+pub const SECTIONS: [&str; 23] = [
     "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9-and", "E9-or", "validate", "E10", "E11", "E12",
-    "E13", "E15", "E14", "E17", "E19", "A1", "A2", "A3", "A4",
+    "E13", "E15", "E14", "E17", "E19", "E20", "A1", "A2", "A3", "A4",
 ];
 
 /// Register every grid cell into a fresh [`Builder`]; shared between
@@ -330,6 +334,11 @@ fn build(cfg: Arc<GridConfig>) -> (Builder, Ids) {
                 CellOut::Flat(extensions::a4_part(bk, c.a4_n, &c.a4_sels))
             });
         }
+        // E20 runs at each lane's tail: earlier cells keep the exact
+        // device-state history the serial runner produced.
+        lane!(ids.e20, "E20", |bk: &dyn GpuBackend, c: &GridConfig| {
+            CellOut::Part(extensions::e20_part(bk, &c.e20_sizes))
+        });
         let _ = prev; // each lane's tail has no successor
     }
 
@@ -481,6 +490,7 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
         })
         .collect();
     exps.push(extensions::e19_assemble(&cfg.e19_rates, e19_cells));
+    exps.push(extensions::e20_assemble(take_parts(results, &ids.e20)));
     let a1 = ablations::a1_assemble(take_flats(results, &ids.a1));
     let a2_cells = ids
         .a2
@@ -583,6 +593,7 @@ mod tests {
             e17_rates: vec![0, 50],
             e19_sf: 0.001,
             e19_rates: vec![0, 50],
+            e20_sizes: vec![1 << 12, 1 << 13],
             a1_n: 1 << 12,
             a2_ks: vec![1, 4],
             a2_n: 1 << 12,
@@ -612,7 +623,7 @@ mod tests {
                 "E3.csv", "E4.csv", "E5a.csv", "E5b.csv", "E6.csv", "E7a.csv", "E7b.csv",
                 "E7c.csv", "E7d.csv", "E7e.csv", "E8.csv", "E9a.csv", "E9b.csv", "E10.csv",
                 "E11.csv", "E12a.csv", "E12b.csv", "E12c.csv", "E12d.csv", "E13.csv", "E14.csv",
-                "E15.csv", "E17.csv", "E19.csv", "A1.csv", "A2.csv", "A3.csv", "A4.csv"
+                "E15.csv", "E17.csv", "E19.csv", "E20.csv", "A1.csv", "A2.csv", "A3.csv", "A4.csv"
             ]
         );
         // E14 is emitted before E15 (numeric order).

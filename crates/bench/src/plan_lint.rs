@@ -145,9 +145,8 @@ pub fn convert(plan: &PhysicalPlan) -> (Vec<PlanColumn>, Vec<PlanStep>) {
                 out_right,
             } => {
                 let key = |r: &ColRef| PlanUse {
-                    slot: slot_of(r),
-                    want: Some(PlanDtype::U32),
                     want_sorted: *algo == JoinAlgo::Merge,
+                    ..PlanUse::typed(slot_of(r), PlanDtype::U32)
                 };
                 PlanStep {
                     label: format!("join[{algo:?}]"),
@@ -194,6 +193,53 @@ pub fn convert(plan: &PhysicalPlan) -> (Vec<PlanColumn>, Vec<PlanStep>) {
                 defs: vec![],
                 frees: vec![],
             },
+            // Fused steps read every input column; the ones the
+            // expression touches arithmetically must be f64 (the same
+            // contract `check_fused_inputs` enforces at run time and
+            // GL405 checks statically), while predicate/mask-only
+            // columns compare in their native dtype.
+            Step::FusedMap {
+                inputs, expr, out, ..
+            } => {
+                let arith = expr.arith_inputs();
+                PlanStep {
+                    label: "fused_map".into(),
+                    reads: inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            if arith.contains(&i) {
+                                PlanUse::fused_f64(slot_of(r))
+                            } else {
+                                PlanUse::any(slot_of(r))
+                            }
+                        })
+                        .collect(),
+                    defs: def_of(*out).into_iter().collect(),
+                    frees: vec![],
+                }
+            }
+            Step::FusedFilterAgg {
+                inputs, expr, out, ..
+            } => {
+                let arith = expr.arith_inputs();
+                PlanStep {
+                    label: "fused_filter_agg".into(),
+                    reads: inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            if arith.contains(&i) {
+                                PlanUse::fused_f64(slot_of(r))
+                            } else {
+                                PlanUse::any(slot_of(r))
+                            }
+                        })
+                        .collect(),
+                    defs: def_of(*out).into_iter().collect(),
+                    frees: vec![],
+                }
+            }
             Step::DownloadU32 { input, .. } => PlanStep {
                 label: "download_u32".into(),
                 reads: vec![PlanUse::typed(slot_of(input), PlanDtype::U32)],
@@ -233,28 +279,48 @@ pub fn lint_plan(plan: &PhysicalPlan) -> Report {
     )
 }
 
-/// Compile all six TPC-H queries on every backend that can plan them
-/// and lint each physical plan. ArrayFire is skipped for the
-/// join-bearing queries — it has no join algorithm (Table II), so the
-/// planner refuses at compile time and there is no plan to lint.
+/// Compile all six TPC-H queries on every backend that can plan them —
+/// once with default options and once with the general fusion pass on,
+/// so the fused-step lint arms (including GL405) see real plans — and
+/// lint each physical plan. ArrayFire is skipped for the join-bearing
+/// queries — it has no join algorithm (Table II), so the planner
+/// refuses at compile time and there is no plan to lint.
 pub fn query_plan_reports() -> Vec<Report> {
+    use proto_core::optimizer::{self, FusionPolicy, PlannerOptions};
     use tpch::queries::{q1, q14, q3, q4, q5, q6};
-    type Planner = fn(&dyn proto_core::backend::GpuBackend) -> gpu_sim::Result<PhysicalPlan>;
-    let queries: [(&str, Planner); 6] = [
-        ("Q1", q1::physical_plan),
-        ("Q3", q3::physical_plan),
-        ("Q4", q4::physical_plan),
-        ("Q5", q5::physical_plan),
-        ("Q6", q6::physical_plan),
-        ("Q14", q14::physical_plan),
+    type Logical = fn() -> proto_core::logical::LogicalPlan;
+    let queries: [(&str, Logical); 6] = [
+        ("Q1", q1::logical_plan),
+        ("Q3", q3::logical_plan),
+        ("Q4", q4::logical_plan),
+        ("Q5", q5::logical_plan),
+        ("Q6", q6::logical_plan),
+        ("Q14", q14::logical_plan),
     ];
     let fw = crate::paper_framework();
     let mut reports = Vec::new();
-    for (_, build) in &queries {
-        for b in fw.backends() {
-            match build(b.as_ref()) {
-                Ok(plan) => reports.push(lint_plan(&plan)),
-                Err(_) => assert_eq!(b.name(), "ArrayFire", "only ArrayFire may fail to plan"),
+    for (q, logical) in &queries {
+        for fused in [false, true] {
+            let opts = if fused {
+                PlannerOptions {
+                    fusion: FusionPolicy::on(),
+                    ..PlannerOptions::default()
+                }
+            } else {
+                PlannerOptions::default()
+            };
+            let name = if fused {
+                format!("{q}+fused")
+            } else {
+                (*q).to_string()
+            };
+            for b in fw.backends() {
+                match optimizer::plan_with(&name, &logical(), b.as_ref(), &opts) {
+                    Ok(plan) => reports.push(lint_plan(&plan)),
+                    Err(_) => {
+                        assert_eq!(b.name(), "ArrayFire", "only ArrayFire may fail to plan")
+                    }
+                }
             }
         }
     }
@@ -360,8 +426,9 @@ mod tests {
     #[test]
     fn every_tpch_query_plan_is_clean_on_every_backend() {
         let reports = query_plan_reports();
-        // 6 queries × 4 backends, minus ArrayFire on the 4 join queries.
-        assert_eq!(reports.len(), 6 * 4 - 4);
+        // (6 queries × 4 backends, minus ArrayFire on the 4 join
+        // queries) × {unfused, fused}.
+        assert_eq!(reports.len(), 2 * (6 * 4 - 4));
         for r in &reports {
             assert!(r.is_clean(), "{}", r.render());
         }

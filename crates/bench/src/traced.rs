@@ -32,9 +32,9 @@ impl std::fmt::Debug for TracedCell {
 }
 
 /// Experiment ids the traced runner can replay, in emission order.
-pub const EXPERIMENTS: [&str; 21] = [
+pub const EXPERIMENTS: [&str; 22] = [
     "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9a", "E9b", "E10", "E11", "E12", "E13", "E14",
-    "E15", "E17", "E19", "A1", "A2", "A3", "A4",
+    "E15", "E17", "E19", "E20", "A1", "A2", "A3", "A4",
 ];
 
 /// A complete-coverage configuration small enough for the lint gate:
@@ -58,6 +58,7 @@ pub fn lint_config() -> GridConfig {
         e17_rates: vec![0, 50],
         e19_sf: 0.001,
         e19_rates: vec![0, 50],
+        e20_sizes: vec![1 << 12, 1 << 14],
         a1_n: 1 << 12,
         a2_ks: vec![1, 4],
         a2_n: 1 << 12,
@@ -155,6 +156,9 @@ pub fn traced_experiment(cfg: &GridConfig, exp: &str) -> Vec<TracedCell> {
         }),
         "E15" => per_backend(&|b| {
             operators::e15_part(b, cfg.e15_n);
+        }),
+        "E20" => per_backend(&|b| {
+            extensions::e20_part(b, &cfg.e20_sizes);
         }),
         "A1" => per_backend(&|b| {
             ablations::a1_part(b, cfg.a1_n);

@@ -690,6 +690,72 @@ fn injected_dtype_mismatch_in_plan_is_flagged() {
     }
 }
 
+/// A fused TPC-H plan: Q6 compiled with the general fusion pass on, so
+/// the plan carries a `fused_filter_agg` step whose arithmetic reads
+/// are marked `fused_arith` — the GL405 injection surface.
+fn golden_fused_physical_plan() -> (Vec<gpu_lint::PlanColumn>, Vec<gpu_lint::PlanStep>) {
+    use proto_core::optimizer::{plan_with, FusionPolicy, PlannerOptions};
+    let fw = bench::paper_framework();
+    let b = fw.backend("Handwritten").expect("handwritten backend");
+    let opts = PlannerOptions {
+        fusion: FusionPolicy::on(),
+        ..PlannerOptions::default()
+    };
+    let plan =
+        plan_with("Q6+fused", &tpch::queries::q6::logical_plan(), b, &opts).expect("Q6 plans");
+    let (inputs, steps) = bench::plan_lint::convert(&plan);
+    assert!(
+        steps.iter().any(|s| s.label.starts_with("fused_")),
+        "fusion-enabled Q6 must contain a fused step"
+    );
+    assert!(
+        gpu_lint::lint_physical_plan("golden", &inputs, &steps).is_clean(),
+        "baseline fused plan must be clean before mutation"
+    );
+    (inputs, steps)
+}
+
+#[test]
+fn injected_fused_arith_dtype_mismatch_is_flagged() {
+    let (base_inputs, base) = golden_fused_physical_plan();
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let mut inputs = base_inputs.clone();
+        let steps = base.clone();
+        // Retype the column behind one fused arithmetic read to u32:
+        // the generated kernel would now read integer keys as f64 —
+        // the mismatch `check_fused_inputs` rejects at run time.
+        let arith: Vec<(usize, usize)> = steps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.reads
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(j, r)| r.fused_arith.then_some((i, j)))
+            })
+            .collect();
+        assert!(!arith.is_empty(), "fused plan must have arithmetic reads");
+        let (i, j) = arith[rng.pick(arith.len())];
+        let slot = steps[i].reads[j].slot;
+        let col = inputs
+            .iter_mut()
+            .find(|c| c.slot == slot)
+            .unwrap_or_else(|| panic!("fused read slot {slot} must be a base input in Q6"));
+        col.dtype = gpu_lint::PlanDtype::U32;
+        let report = gpu_lint::lint_physical_plan("mutated", &inputs, &steps);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::FusedArithNotF64 && d.events == [i]),
+            "GL405 anchored at #{i} expected: {:?}",
+            report.diagnostics
+        );
+        assert!(report.errors() > 0, "GL405 is an error");
+    }
+}
+
 #[test]
 fn injected_merge_join_on_unsorted_keys_is_flagged() {
     let (inputs, base) = golden_physical_plan();

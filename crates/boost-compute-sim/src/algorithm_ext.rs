@@ -69,6 +69,75 @@ where
     Ok(acc)
 }
 
+/// `boost::compute::transform` over a `zip_iterator` of N ranges,
+/// expressed as a row functor. The caller supplies the aggregate read
+/// footprint and the zip's constituent buffer ids (the arity is only
+/// known at run time), plus the program key: each distinct fused
+/// expression JIT-compiles its own OpenCL kernel on first use, exactly
+/// like the lambda-generated kernels in real Boost.Compute.
+pub fn transform_zip<U>(
+    len: usize,
+    expr_key: &str,
+    read_bytes: u64,
+    reads: &[gpu_sim::BufferId],
+    op: impl Fn(usize) -> U + Sync,
+    queue: &CommandQueue,
+) -> Result<Vector<U>>
+where
+    U: DeviceCopy + Default,
+{
+    let buf = queue
+        .device()
+        .alloc_map_with(len, gpu_sim::AllocPolicy::Raw, &op)?;
+    let out = Vector::from_buffer(buf);
+    queue.enqueue_io(
+        "transform_zip",
+        expr_key,
+        KernelCost::map::<(), U>(len).with_read(read_bytes),
+        reads,
+        &[out.id()],
+    )?;
+    Ok(out)
+}
+
+/// `boost::compute::transform_reduce` over a zip of ranges with a
+/// predicate-gated row functor: rows for which `op` returns `None`
+/// contribute nothing to the fold (rather than a padded identity), so
+/// the accumulation sequence matches the composed
+/// `selection → gather → reduce` chain bit-for-bit. JIT-keyed per fused
+/// expression, like [`transform_zip`].
+#[allow(clippy::too_many_arguments)]
+pub fn transform_reduce_zip<R>(
+    len: usize,
+    expr_key: &str,
+    read_bytes: u64,
+    reads: &[gpu_sim::BufferId],
+    init: R,
+    combine: impl Fn(R, R) -> R,
+    op: impl Fn(usize) -> Option<R>,
+    queue: &CommandQueue,
+) -> Result<R>
+where
+    R: DeviceCopy,
+{
+    let mut acc = init;
+    for i in 0..len {
+        if let Some(v) = op(i) {
+            acc = combine(acc, v);
+        }
+    }
+    queue.enqueue_io(
+        "transform_reduce_zip",
+        expr_key,
+        KernelCost::reduce::<R>(len).with_read(read_bytes),
+        reads,
+        &[],
+    )?;
+    let dev = queue.device();
+    dev.advance(gpu_sim::SimDuration::from_nanos(dev.spec().pcie_latency_ns));
+    Ok(acc)
+}
+
 /// `boost::compute::unique` — collapse consecutive duplicates.
 pub fn unique<T>(src: &Vector<T>, queue: &CommandQueue) -> Result<Vector<T>>
 where

@@ -50,7 +50,7 @@ pub use algorithm::{
 };
 pub use algorithm_ext::{
     accumulate, adjacent_difference, count, find, max_element, merge, min_element,
-    transform_reduce, unique,
+    transform_reduce, transform_reduce_zip, transform_zip, unique,
 };
 pub use context::{CommandQueue, Context};
 pub use vector::Vector;

@@ -8,6 +8,7 @@
 //! without re-paying PCIe transfers on every call — matching how the paper
 //! times operators in isolation.
 
+use crate::fused::{FusedExpr, FusedPred};
 use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
 use gpu_sim::{Device, Result, SimError};
 use parking_lot::Mutex;
@@ -204,6 +205,31 @@ pub trait GpuBackend: Send + Sync {
         }
         Ok(total)
     }
+
+    /// Fused element-wise chain: evaluate `expr` once per row over
+    /// `inputs` into a fresh `f64` column. The default realisation
+    /// composes the library operators node by node (one call per
+    /// operator, exactly the unfused plan's chain); backends override it
+    /// with a single-pass kernel — results are bit-equal either way
+    /// because every node applies the identical `f64` operation per
+    /// element ([`crate::fused::FusedExpr::eval_row`]).
+    fn fused_map(&self, inputs: &[&Col], expr: &FusedExpr) -> Result<Col> {
+        crate::fused::composed_map_impl(self, inputs, expr)
+    }
+
+    /// Fused filter + aggregate: `SUM(expr(row)) WHERE preds` (AND-
+    /// conjunctive), the general form of [`Self::filter_sum_product`]
+    /// with an arbitrary value expression. The default composes
+    /// selection → gather → chain → reduction; backends override with
+    /// one pass.
+    fn fused_filter_agg(
+        &self,
+        inputs: &[&Col],
+        preds: &[FusedPred],
+        expr: &FusedExpr,
+    ) -> Result<f64> {
+        crate::fused::composed_filter_agg_impl(self, inputs, preds, expr)
+    }
 }
 
 /// Shared handle-slab implementation used by the concrete backends.
@@ -255,6 +281,21 @@ impl<S> Slab<S> {
             .get(&b)
             .ok_or_else(|| SimError::Unsupported(format!("dangling column handle {b}")))?;
         Ok(f(va, vb))
+    }
+
+    /// Run `f` with shared views of many stored values at once (fused
+    /// kernels zip several input columns into one launch). Duplicate
+    /// ids are allowed and resolve to the same view.
+    pub fn with_many<R>(&self, ids: &[u64], f: impl FnOnce(&[&S]) -> R) -> Result<R> {
+        let map = self.map.lock();
+        let mut views = Vec::with_capacity(ids.len());
+        for id in ids {
+            views
+                .push(map.get(id).ok_or_else(|| {
+                    SimError::Unsupported(format!("dangling column handle {id}"))
+                })?);
+        }
+        Ok(f(&views))
     }
 
     /// Remove and return the stored value.

@@ -65,16 +65,43 @@ impl ArrayFireBackend {
     }
 
     fn mask(&self, p: &Pred<'_>) -> Result<Array> {
-        let a = self.arr(p.col)?;
-        Ok(match p.cmp {
-            CmpOp::Lt => a.lt_scalar(p.lit),
-            CmpOp::Le => a.le_scalar(p.lit),
-            CmpOp::Gt => a.gt_scalar(p.lit),
-            CmpOp::Ge => a.ge_scalar(p.lit),
-            CmpOp::Eq => a.eq_scalar(p.lit),
-            CmpOp::Ne => a.eq_scalar(p.lit).not(),
-        })
+        Ok(cmp_node(&self.arr(p.col)?, p.cmp, p.lit))
     }
+}
+
+/// Lazy comparison node `a CMP lit` (B8 mask).
+fn cmp_node(a: &Array, cmp: CmpOp, lit: f64) -> Array {
+    match cmp {
+        CmpOp::Lt => a.lt_scalar(lit),
+        CmpOp::Le => a.le_scalar(lit),
+        CmpOp::Gt => a.gt_scalar(lit),
+        CmpOp::Ge => a.ge_scalar(lit),
+        CmpOp::Eq => a.eq_scalar(lit),
+        CmpOp::Ne => a.eq_scalar(lit).not(),
+    }
+}
+
+/// Translate a [`crate::fused::FusedExpr`] into ArrayFire's lazy node
+/// DAG without evaluating: `Affine` is the scalar multiply-add chain,
+/// `Mul` the element-wise product, `Mask` a comparison cast to `f64` —
+/// each exactly the node the unfused `affine`/`product`/`dense_mask`
+/// operators build, so evaluation is element-wise identical. The whole
+/// tree collapses into one generated kernel at `eval()`.
+fn fuse_node(inputs: &[Array], expr: &crate::fused::FusedExpr) -> Result<Array> {
+    use crate::fused::FusedExpr;
+    Ok(match expr {
+        FusedExpr::Col(i) => inputs[*i].clone(),
+        FusedExpr::Affine { input, mul, add } => {
+            let a = fuse_node(inputs, input)?;
+            &(&a * *mul) + *add
+        }
+        FusedExpr::Mul(a, b) => {
+            fuse_node(inputs, a)?.try_binary(af::BinaryOp::Mul, &fuse_node(inputs, b)?)?
+        }
+        FusedExpr::Mask { input, cmp, lit } => {
+            cmp_node(&fuse_node(inputs, input)?, *cmp, *lit).cast(DType::F64)
+        }
+    })
 }
 
 impl GpuBackend for ArrayFireBackend {
@@ -299,6 +326,50 @@ impl GpuBackend for ArrayFireBackend {
         let masked = &(&xa * &xb) * &mask.cast(DType::F64);
         af::sum(&masked)
     }
+
+    fn fused_map(&self, inputs: &[&Col], expr: &crate::fused::FusedExpr) -> Result<Col> {
+        crate::fused::check_fused_inputs(NAME, inputs, &[], expr)?;
+        let arrs: Vec<Array> = inputs
+            .iter()
+            .map(|c| self.arr(c))
+            .collect::<Result<Vec<_>>>()?;
+        // The whole chain stays lazy until one eval(): ArrayFire's JIT
+        // generates a single fused kernel for the entire expression.
+        let out = fuse_node(&arrs, expr)?;
+        out.eval()?;
+        Ok(self.mint(out))
+    }
+
+    fn fused_filter_agg(
+        &self,
+        inputs: &[&Col],
+        preds: &[crate::fused::FusedPred],
+        expr: &crate::fused::FusedExpr,
+    ) -> Result<f64> {
+        crate::fused::check_fused_inputs(NAME, inputs, preds, expr)?;
+        let arrs: Vec<Array> = inputs
+            .iter()
+            .map(|c| self.arr(c))
+            .collect::<Result<Vec<_>>>()?;
+        // ArrayFire's native shape, generalising filter_sum_product: the
+        // predicate masks, the value expression and the mask multiply all
+        // fuse into ONE generated kernel; only the reduction is a second
+        // launch.
+        let mut mask: Option<Array> = None;
+        for p in preds {
+            let m = cmp_node(&arrs[p.input], p.cmp, p.lit);
+            mask = Some(match mask {
+                None => m,
+                Some(acc) => acc.and(&m)?,
+            });
+        }
+        let node = fuse_node(&arrs, expr)?;
+        let masked = match mask {
+            Some(m) => node.try_binary(af::BinaryOp::Mul, &m.cast(DType::F64))?,
+            None => node,
+        };
+        af::sum(&masked)
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +465,45 @@ mod tests {
         let s = b.device().stats();
         assert_eq!(s.launches_of("af::jit_fused"), 1, "mask+product fused");
         assert_eq!(s.launches_of("af::sum"), 1);
+    }
+
+    #[test]
+    fn fused_chain_is_one_generated_kernel_plus_sum() {
+        use crate::fused::{FusedExpr, FusedPred};
+        let b = backend();
+        let price = b.upload_f64(&[100.0, 50.0, 20.0, 80.0]).unwrap();
+        let disc = b.upload_f64(&[0.05, 0.1, 0.0, 0.2]).unwrap();
+        let qty = b.upload_u32(&[10, 30, 5, 20]).unwrap();
+        // price * (1 - disc)
+        let expr = FusedExpr::Mul(
+            Box::new(FusedExpr::Col(0)),
+            Box::new(FusedExpr::Affine {
+                input: Box::new(FusedExpr::Col(1)),
+                mul: -1.0,
+                add: 1.0,
+            }),
+        );
+        b.device().reset_stats();
+        let m = b.fused_map(&[&price, &disc], &expr).unwrap();
+        assert_eq!(
+            b.device().stats().launches_of("af::jit_fused"),
+            1,
+            "whole chain collapses into one generated kernel"
+        );
+        assert_eq!(b.download_f64(&m).unwrap(), vec![95.0, 45.0, 20.0, 64.0]);
+        let preds = [FusedPred {
+            input: 2,
+            cmp: CmpOp::Lt,
+            lit: 25.0,
+        }];
+        b.device().reset_stats();
+        let total = b
+            .fused_filter_agg(&[&price, &disc, &qty], &preds, &expr)
+            .unwrap();
+        let s = b.device().stats();
+        assert_eq!(s.launches_of("af::jit_fused"), 1, "mask+expr fused");
+        assert_eq!(s.launches_of("af::sum"), 1);
+        assert_eq!(total, 95.0 + 20.0 + 64.0);
     }
 
     #[test]

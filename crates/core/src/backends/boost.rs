@@ -19,6 +19,62 @@ enum Stored {
     F64(Vector<f64>),
 }
 
+impl Stored {
+    fn view(&self) -> View<'_> {
+        match self {
+            Stored::U32(v) => View::U32(v.as_slice()),
+            Stored::F64(v) => View::F64(v.as_slice()),
+        }
+    }
+
+    fn buffer_id(&self) -> gpu_sim::BufferId {
+        match self {
+            Stored::U32(v) => v.id(),
+            Stored::F64(v) => v.id(),
+        }
+    }
+
+    fn byte_len(&self) -> u64 {
+        match self {
+            Stored::U32(v) => (v.len() * std::mem::size_of::<u32>()) as u64,
+            Stored::F64(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+        }
+    }
+}
+
+/// Borrowed per-row view of a stored column, read as `f64` — the leaves
+/// of a fused kernel's zip iterator. `u32` widens exactly as the flag /
+/// `dense_mask` kernels do.
+enum View<'a> {
+    U32(&'a [u32]),
+    F64(&'a [f64]),
+}
+
+impl View<'_> {
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            View::U32(v) => v[i] as f64,
+            View::F64(v) => v[i],
+        }
+    }
+}
+
+/// Program key for a fused kernel: each distinct expression (and
+/// predicate list) JIT-compiles once and is cached thereafter, exactly
+/// like Boost.Compute's lambda-generated kernels.
+fn fused_key(preds: &[crate::fused::FusedPred], expr: &crate::fused::FusedExpr) -> String {
+    let body = expr.render(&|i| format!("c{i}"));
+    if preds.is_empty() {
+        body
+    } else {
+        let ps: Vec<String> = preds
+            .iter()
+            .map(|p| format!("c{} {:?} {}", p.input, p.cmp, p.lit))
+            .collect();
+        format!("{} where {}", body, ps.join(" && "))
+    }
+}
+
 /// The Boost.Compute library plugged into the framework.
 pub struct BoostBackend {
     device: Arc<Device>,
@@ -405,6 +461,63 @@ impl GpuBackend for BoostBackend {
         }
         total
     }
+
+    fn fused_map(&self, inputs: &[&Col], expr: &crate::fused::FusedExpr) -> Result<Col> {
+        let len = crate::fused::check_fused_inputs(NAME, inputs, &[], expr)?;
+        let ids: Vec<u64> = inputs.iter().map(|c| c.id).collect();
+        let key = fused_key(&[], expr);
+        // One enqueue over a zip of all operand ranges — the whole
+        // element-wise chain in a single JIT-cached kernel.
+        let out = self.slab.with_many(&ids, |stored| {
+            let views: Vec<View<'_>> = stored.iter().map(|s| s.view()).collect();
+            let reads: Vec<gpu_sim::BufferId> = stored.iter().map(|s| s.buffer_id()).collect();
+            let read_bytes: u64 = stored.iter().map(|s| s.byte_len()).sum();
+            compute::transform_zip(
+                len,
+                &key,
+                read_bytes,
+                &reads,
+                |i| expr.eval_row(&|k| views[k].get(i)),
+                &self.queue,
+            )
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn fused_filter_agg(
+        &self,
+        inputs: &[&Col],
+        preds: &[crate::fused::FusedPred],
+        expr: &crate::fused::FusedExpr,
+    ) -> Result<f64> {
+        let len = crate::fused::check_fused_inputs(NAME, inputs, preds, expr)?;
+        let ids: Vec<u64> = inputs.iter().map(|c| c.id).collect();
+        let key = fused_key(preds, expr);
+        // Single predicate-gated transform_reduce: failing rows
+        // contribute nothing, so the fold sequence is the composed
+        // selection→gather→reduce chain's exactly (bit-equal, signed
+        // zeros included).
+        self.slab.with_many(&ids, |stored| {
+            let views: Vec<View<'_>> = stored.iter().map(|s| s.view()).collect();
+            let reads: Vec<gpu_sim::BufferId> = stored.iter().map(|s| s.buffer_id()).collect();
+            let read_bytes: u64 = stored.iter().map(|s| s.byte_len()).sum();
+            compute::transform_reduce_zip(
+                len,
+                &key,
+                read_bytes,
+                &reads,
+                0.0f64,
+                |a, b| a + b,
+                |i| {
+                    preds
+                        .iter()
+                        .all(|p| p.cmp.eval(views[p.input].get(i), p.lit))
+                        .then(|| expr.eval_row(&|k| views[k].get(i)))
+                },
+                &self.queue,
+            )
+        })?
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +585,46 @@ mod tests {
             lit: 25.0,
         }];
         assert_eq!(b.filter_sum_product(&a, &c, &preds).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn fused_kernels_are_single_launch_and_jit_once() {
+        use crate::fused::{composed_filter_agg, FusedExpr, FusedPred};
+        let b = backend();
+        let price = b.upload_f64(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        let qty = b.upload_u32(&[1, 2, 3, 4]).unwrap();
+        let expr = FusedExpr::Affine {
+            input: Box::new(FusedExpr::Col(0)),
+            mul: 0.5,
+            add: 1.0,
+        };
+        let preds = [FusedPred {
+            input: 1,
+            cmp: CmpOp::Ge,
+            lit: 2.0,
+        }];
+        let inputs = [&price, &qty];
+        let reference = composed_filter_agg(&b, &inputs, &preds, &expr).unwrap();
+        let dev = b.device();
+        dev.reset_stats();
+        let first = b.fused_filter_agg(&inputs, &preds, &expr).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.total_launches(), 1, "fused agg must be a single launch");
+        let jits = s.jit_compiles;
+        assert!(jits >= 1, "first fused call JIT-compiles its kernel");
+        let second = b.fused_filter_agg(&inputs, &preds, &expr).unwrap();
+        assert_eq!(
+            dev.stats().jit_compiles,
+            jits,
+            "repeat of the same expression reuses the cached program"
+        );
+        assert_eq!(first.to_bits(), reference.to_bits());
+        assert_eq!(second.to_bits(), reference.to_bits());
+        // fused_map too: one launch, bit-equal to the composed chain.
+        dev.reset_stats();
+        let m = b.fused_map(&[&price], &expr).unwrap();
+        assert_eq!(dev.stats().total_launches(), 1);
+        assert_eq!(b.download_f64(&m).unwrap(), vec![6.0, 11.0, 16.0, 21.0]);
     }
 
     #[test]

@@ -404,6 +404,49 @@ impl GpuBackend for HandwrittenBackend {
             _ => unreachable!("dtype checked"),
         })?
     }
+
+    fn fused_map(&self, inputs: &[&Col], expr: &crate::fused::FusedExpr) -> Result<Col> {
+        let len = crate::fused::check_fused_inputs(NAME, inputs, &[], expr)?;
+        let mut vals = Vec::with_capacity(inputs.len());
+        let mut ids = Vec::with_capacity(inputs.len());
+        let mut bytes_per_row = 0;
+        for c in inputs {
+            bytes_per_row += c.dtype().width();
+            vals.push(self.values(c)?);
+            ids.push(self.buf_id(c)?);
+        }
+        // The whole element-wise chain as one purpose-built kernel.
+        let out = hw::fused_map_expr(&self.device, len, bytes_per_row, &ids, |i| {
+            expr.eval_row(&|k| vals[k][i])
+        })?;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn fused_filter_agg(
+        &self,
+        inputs: &[&Col],
+        preds: &[crate::fused::FusedPred],
+        expr: &crate::fused::FusedExpr,
+    ) -> Result<f64> {
+        let len = crate::fused::check_fused_inputs(NAME, inputs, preds, expr)?;
+        let mut vals = Vec::with_capacity(inputs.len());
+        let mut ids = Vec::with_capacity(inputs.len());
+        let mut bytes_per_row = 0;
+        for c in inputs {
+            bytes_per_row += c.dtype().width();
+            vals.push(self.values(c)?);
+            ids.push(self.buf_id(c)?);
+        }
+        // Predicate, value expression and reduction share one pass;
+        // failing rows are skipped, not zero-padded, so the fold order
+        // is the composed chain's exactly.
+        hw::fused_filter_sum(&self.device, len, bytes_per_row, &ids, |i| {
+            preds
+                .iter()
+                .all(|p| p.cmp.eval(vals[p.input][i], p.lit))
+                .then(|| expr.eval_row(&|k| vals[k][i]))
+        })
+    }
 }
 
 /// Charge a single fused `f64` map kernel (CUDA launch overhead).
@@ -531,6 +574,43 @@ mod tests {
         let r = b.filter_sum_product(&a, &c, &preds).unwrap();
         assert_eq!(r, 6.0);
         assert_eq!(b.device().stats().total_launches(), 1);
+    }
+
+    #[test]
+    fn general_fused_kernels_are_one_launch() {
+        use crate::fused::{composed_filter_agg, composed_map, FusedExpr, FusedPred};
+        let b = backend();
+        let price = b.upload_f64(&[100.0, 50.0, 20.0, 80.0]).unwrap();
+        let disc = b.upload_f64(&[0.05, 0.1, 0.0, 0.2]).unwrap();
+        let qty = b.upload_u32(&[10, 30, 5, 20]).unwrap();
+        // price * (1 - disc)
+        let expr = FusedExpr::Mul(
+            Box::new(FusedExpr::Col(0)),
+            Box::new(FusedExpr::Affine {
+                input: Box::new(FusedExpr::Col(1)),
+                mul: -1.0,
+                add: 1.0,
+            }),
+        );
+        let map_ref = composed_map(&b, &[&price, &disc], &expr).unwrap();
+        b.device().reset_stats();
+        let fused = b.fused_map(&[&price, &disc], &expr).unwrap();
+        assert_eq!(b.device().stats().total_launches(), 1);
+        assert_eq!(
+            b.download_f64(&fused).unwrap(),
+            b.download_f64(&map_ref).unwrap()
+        );
+        let preds = [FusedPred {
+            input: 2,
+            cmp: CmpOp::Lt,
+            lit: 25.0,
+        }];
+        let inputs = [&price, &disc, &qty];
+        let agg_ref = composed_filter_agg(&b, &inputs, &preds, &expr).unwrap();
+        b.device().reset_stats();
+        let total = b.fused_filter_agg(&inputs, &preds, &expr).unwrap();
+        assert_eq!(b.device().stats().total_launches(), 1);
+        assert_eq!(total.to_bits(), agg_ref.to_bits());
     }
 
     #[test]

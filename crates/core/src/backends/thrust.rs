@@ -20,6 +20,47 @@ enum Stored {
     F64(DeviceVector<f64>),
 }
 
+impl Stored {
+    fn view(&self) -> View<'_> {
+        match self {
+            Stored::U32(v) => View::U32(v.as_slice()),
+            Stored::F64(v) => View::F64(v.as_slice()),
+        }
+    }
+
+    fn buffer_id(&self) -> gpu_sim::BufferId {
+        match self {
+            Stored::U32(v) => v.id(),
+            Stored::F64(v) => v.id(),
+        }
+    }
+
+    fn byte_len(&self) -> u64 {
+        match self {
+            Stored::U32(v) => (v.len() * std::mem::size_of::<u32>()) as u64,
+            Stored::F64(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+        }
+    }
+}
+
+/// Borrowed per-row view of a stored column, read as `f64` — the leaves
+/// of a fused kernel's zip iterator. `u32` widens exactly as `flags`/
+/// `dense_mask` do, so a fused comparison sees the same operand values
+/// as the composed chain.
+enum View<'a> {
+    U32(&'a [u32]),
+    F64(&'a [f64]),
+}
+
+impl View<'_> {
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            View::U32(v) => v[i] as f64,
+            View::F64(v) => v[i],
+        }
+    }
+}
+
 /// The Thrust library plugged into the framework.
 pub struct ThrustBackend {
     device: Arc<Device>,
@@ -389,6 +430,56 @@ impl GpuBackend for ThrustBackend {
         }
         total
     }
+
+    fn fused_map(&self, inputs: &[&Col], expr: &crate::fused::FusedExpr) -> Result<Col> {
+        let len = crate::fused::check_fused_inputs(NAME, inputs, &[], expr)?;
+        let ids: Vec<u64> = inputs.iter().map(|c| c.id).collect();
+        // One transform over a zip of all operand ranges: the whole
+        // element-wise chain runs as a single launch with no
+        // materialised intermediates.
+        let out = self.slab.with_many(&ids, |stored| {
+            let views: Vec<View<'_>> = stored.iter().map(|s| s.view()).collect();
+            let reads: Vec<gpu_sim::BufferId> = stored.iter().map(|s| s.buffer_id()).collect();
+            let read_bytes: u64 = stored.iter().map(|s| s.byte_len()).sum();
+            thrust::transform_zip(&self.device, len, read_bytes, &reads, |i| {
+                expr.eval_row(&|k| views[k].get(i))
+            })
+        })??;
+        Ok(self.mint(Stored::F64(out)))
+    }
+
+    fn fused_filter_agg(
+        &self,
+        inputs: &[&Col],
+        preds: &[crate::fused::FusedPred],
+        expr: &crate::fused::FusedExpr,
+    ) -> Result<f64> {
+        let len = crate::fused::check_fused_inputs(NAME, inputs, preds, expr)?;
+        let ids: Vec<u64> = inputs.iter().map(|c| c.id).collect();
+        // Single transform_reduce over the zip: rows failing a predicate
+        // contribute nothing (rather than adding 0.0), so the fold is
+        // the composed selection→gather→reduce sequence exactly —
+        // bit-equal including signed zeros.
+        self.slab.with_many(&ids, |stored| {
+            let views: Vec<View<'_>> = stored.iter().map(|s| s.view()).collect();
+            let reads: Vec<gpu_sim::BufferId> = stored.iter().map(|s| s.buffer_id()).collect();
+            let read_bytes: u64 = stored.iter().map(|s| s.byte_len()).sum();
+            thrust::transform_reduce_zip(
+                &self.device,
+                len,
+                read_bytes,
+                &reads,
+                0.0f64,
+                |a, b| a + b,
+                |i| {
+                    preds
+                        .iter()
+                        .all(|p| p.cmp.eval(views[p.input].get(i), p.lit))
+                        .then(|| expr.eval_row(&|k| views[k].get(i)))
+                },
+            )
+        })?
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +603,92 @@ mod tests {
         assert!(b.free(other).is_err());
         let mine = b.upload_u32(&[1]).unwrap();
         assert!(b.free(mine).is_ok());
+    }
+
+    #[test]
+    fn fused_map_is_one_launch_and_matches_composed() {
+        use crate::fused::{composed_map, FusedExpr};
+        let b = backend();
+        let price = b.upload_f64(&[100.0, 50.0, 20.0]).unwrap();
+        let disc = b.upload_f64(&[0.05, 0.1, 0.0]).unwrap();
+        // price * (1 - disc)
+        let expr = FusedExpr::Mul(
+            Box::new(FusedExpr::Col(0)),
+            Box::new(FusedExpr::Affine {
+                input: Box::new(FusedExpr::Col(1)),
+                mul: -1.0,
+                add: 1.0,
+            }),
+        );
+        let reference = composed_map(&b, &[&price, &disc], &expr).unwrap();
+        b.device().reset_stats();
+        let fused = b.fused_map(&[&price, &disc], &expr).unwrap();
+        let s = b.device().stats();
+        assert_eq!(s.launches_of("thrust::transform_zip"), 1);
+        assert_eq!(s.total_launches(), 1, "fused map must be a single launch");
+        let want: Vec<u64> = b
+            .download_f64(&reference)
+            .unwrap()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let got: Vec<u64> = b
+            .download_f64(&fused)
+            .unwrap()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_filter_agg_is_one_launch_and_matches_composed() {
+        use crate::fused::{composed_filter_agg, FusedExpr, FusedPred};
+        let b = backend();
+        let price = b.upload_f64(&[100.0, 50.0, 20.0, 80.0]).unwrap();
+        let qty = b.upload_u32(&[10, 30, 5, 20]).unwrap();
+        let expr = FusedExpr::Affine {
+            input: Box::new(FusedExpr::Col(0)),
+            mul: 2.0,
+            add: 0.0,
+        };
+        let preds = [FusedPred {
+            input: 1,
+            cmp: CmpOp::Lt,
+            lit: 25.0,
+        }];
+        let inputs = [&price, &qty];
+        let reference = composed_filter_agg(&b, &inputs, &preds, &expr).unwrap();
+        b.device().reset_stats();
+        let fused = b.fused_filter_agg(&inputs, &preds, &expr).unwrap();
+        let s = b.device().stats();
+        assert_eq!(s.launches_of("thrust::transform_reduce_zip"), 1);
+        assert_eq!(s.total_launches(), 1, "fused agg must be a single launch");
+        assert_eq!(fused.to_bits(), reference.to_bits());
+        assert_eq!(fused, 2.0 * (100.0 + 20.0 + 80.0));
+    }
+
+    #[test]
+    fn fused_kernels_reject_what_the_composed_chain_rejects() {
+        use crate::fused::FusedExpr;
+        let b = backend();
+        let u = b.upload_u32(&[1, 2, 3]).unwrap();
+        // Arithmetic over a u32 column fails in `affine` on the composed
+        // path; the fused kernel must agree (GL405).
+        let expr = FusedExpr::Affine {
+            input: Box::new(FusedExpr::Col(0)),
+            mul: 2.0,
+            add: 0.0,
+        };
+        assert!(b.fused_map(&[&u], &expr).is_err());
+        // But a comparison over u32 is fine, as in `dense_mask`.
+        let mask = FusedExpr::Mask {
+            input: Box::new(FusedExpr::Col(0)),
+            cmp: CmpOp::Ge,
+            lit: 2.0,
+        };
+        let out = b.fused_map(&[&u], &mask).unwrap();
+        assert_eq!(b.download_f64(&out).unwrap(), vec![0.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   and opaque device-column handles;
 //! * [`backends`] — adapters for Thrust, Boost.Compute, ArrayFire and the
 //!   handwritten baseline;
+//! * [`fused`] — the cross-operator fusion IR ([`FusedExpr`](fused::FusedExpr))
+//!   and its composed reference realisation;
 //! * [`framework`] — the registry + generated support matrix (Table II);
 //! * [`survey`] — the 43-library catalogue (Table I);
 //! * [`runner`] — deterministic simulated-time measurement;
@@ -47,6 +49,7 @@ pub mod advisor;
 pub mod backend;
 pub mod backends;
 pub mod framework;
+pub mod fused;
 pub mod logical;
 pub mod ops;
 pub mod optimizer;
@@ -64,9 +67,10 @@ pub mod prelude {
     pub use crate::backend::{Col, ColType, GpuBackend, Pred};
     pub use crate::backends::{ArrayFireBackend, BoostBackend, HandwrittenBackend, ThrustBackend};
     pub use crate::framework::Framework;
+    pub use crate::fused::{FusedExpr, FusedPred};
     pub use crate::logical::{AggExpr, ColumnDecl, JoinCol, JoinSide, LogicalPlan, ResultOrder};
     pub use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
-    pub use crate::optimizer::{PassTrace, PlannerOptions};
+    pub use crate::optimizer::{FusionPolicy, PassTrace, PlannerOptions};
     pub use crate::physical::{PhysicalPlan, PlanBindings, PlanOutput, PlanValue, Step};
     pub use crate::plan::{Agg, AggQuery, Bindings, Expr, Predicate, QueryResult};
     pub use crate::resilient::{ResilientBackend, ResilientExecutor, RetryPolicy};

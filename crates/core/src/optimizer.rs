@@ -26,6 +26,7 @@
 //! cover it with a structural unit test here — plans are `PartialEq`.
 
 use crate::backend::{ColType, GpuBackend};
+use crate::fused::{FusedExpr, FusedPred};
 use crate::logical::{AggExpr, JoinSide, LogicalPlan};
 use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
 use crate::physical::{ColRef, PhysicalPlan, PlanPred, SlotKind, SlotMeta, Step};
@@ -49,12 +50,63 @@ pub struct PlannerOptions {
     /// `filter_sum_product` fast path (default on; turn off to inspect
     /// the unfused operator chain).
     pub fuse_fast_paths: bool,
+    /// The general cross-operator fusion pass (filter→project→aggregate
+    /// and elementwise-map chains into single-pass
+    /// [`Step::FusedFilterAgg`] / [`Step::FusedMap`] kernels). Off by
+    /// default so existing plans stay byte-identical.
+    pub fusion: FusionPolicy,
 }
 
 impl Default for PlannerOptions {
     fn default() -> Self {
         PlannerOptions {
             fuse_fast_paths: true,
+            fusion: FusionPolicy::default(),
+        }
+    }
+}
+
+/// Default row-count break-even for the size-adaptive fused dispatch,
+/// calibrated by the `fig_fusion_scaling` experiment (E20). In steady
+/// state the fused kernel wins at every swept size (even 4K rows it
+/// saves 3–80× warm, launching 1 kernel instead of 7–13), so the
+/// threshold guards *cold-start* cost instead: the fused kernel is
+/// query-specific and JIT-compiles on first use (40ms on
+/// Boost.Compute, 15ms on ArrayFire at 4K rows), while the composed
+/// chain reuses the generic operator kernels every query shares.
+/// Below ~25K rows a one-shot query amortises nothing, so the
+/// composed realisation is the safer default; above it even a single
+/// execution recoups the compile.
+pub const DEFAULT_FUSION_THRESHOLD: usize = 25_000;
+
+/// Knobs of the general cross-operator fusion pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionPolicy {
+    /// Fuse eligible chains into `FusedMap` / `FusedFilterAgg` steps.
+    /// Defaults to off: default plans, traces and goldens are
+    /// unchanged until a caller opts in.
+    pub enabled: bool,
+    /// Row count above which the fused single-pass kernel dispatches;
+    /// at or below it the composed (unfused) realisation runs instead.
+    /// Both paths are bit-equal, so this is purely a performance knob.
+    pub threshold: usize,
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy {
+            enabled: false,
+            threshold: DEFAULT_FUSION_THRESHOLD,
+        }
+    }
+}
+
+impl FusionPolicy {
+    /// Fusion on, with the calibrated default threshold.
+    pub fn on() -> Self {
+        FusionPolicy {
+            enabled: true,
+            ..FusionPolicy::default()
         }
     }
 }
@@ -362,6 +414,7 @@ pub fn plan_with(
     let mut lw = Lowerer {
         backend,
         fuse: opts.fuse_fast_paths,
+        fusion: opts.fusion,
         join_algo,
         fused: false,
         steps: Vec::new(),
@@ -482,6 +535,7 @@ impl ExprCtx {
 struct Lowerer<'a> {
     backend: &'a dyn GpuBackend,
     fuse: bool,
+    fusion: FusionPolicy,
     join_algo: Option<JoinAlgo>,
     fused: bool,
     steps: Vec<Step>,
@@ -643,6 +697,12 @@ impl Lowerer<'_> {
         group_by: Option<&str>,
         aggs: &[(String, AggExpr)],
     ) -> Result<Option<(usize, Vec<usize>)>> {
+        if self.fusion.enabled && group_by.is_none() {
+            if let Some(outs) = self.try_fuse_general(input, aggs)? {
+                self.outputs.extend(outs);
+                return Ok(None);
+            }
+        }
         if self.fuse && group_by.is_none() && aggs.len() == 1 {
             if let Some(slot) = self.try_fuse(input, aggs)? {
                 self.outputs.push((aggs[0].0.clone(), slot));
@@ -682,22 +742,8 @@ impl Lowerer<'_> {
         let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) else {
             return Ok(None);
         };
-        let cmps: Vec<(String, CmpOp, f64)> = match predicate {
-            Predicate::Cmp(c, op, lit) => vec![(c.clone(), *op, *lit)],
-            Predicate::And(parts) => {
-                let simple: Option<Vec<_>> = parts
-                    .iter()
-                    .map(|p| match p {
-                        Predicate::Cmp(c, op, lit) => Some((c.clone(), *op, *lit)),
-                        _ => None,
-                    })
-                    .collect();
-                match simple {
-                    Some(s) => s,
-                    None => return Ok(None),
-                }
-            }
-            _ => return Ok(None),
+        let Some(cmps) = literal_conjuncts(predicate) else {
+            return Ok(None);
         };
         let rel = self.lower_rel(scan)?;
         let (ra, _) = self.rel_ref(&rel, ca)?;
@@ -730,6 +776,309 @@ impl Lowerer<'_> {
         );
         self.fused = true;
         Ok(Some(out))
+    }
+
+    /// The general fusion pass over scalar aggregates: `SUM(expr), …`
+    /// above a conjunctive literal filter on a bare scan fuses into one
+    /// [`Step::FusedFilterAgg`] per aggregate — the superset of the Q6
+    /// [`Step::FilterSumProduct`] special case, accepting arbitrary
+    /// mask/affine/product expressions and any number of aggregates.
+    ///
+    /// Everything is validated before anything is emitted, so an
+    /// ineligible shape falls back to the normal path untouched.
+    fn try_fuse_general(
+        &mut self,
+        input: &LogicalPlan,
+        aggs: &[(String, AggExpr)],
+    ) -> Result<Option<Vec<(String, usize)>>> {
+        let LogicalPlan::Filter {
+            input: scan,
+            predicate,
+        } = input
+        else {
+            return Ok(None);
+        };
+        if !matches!(scan.as_ref(), LogicalPlan::Scan { .. }) {
+            return Ok(None);
+        }
+        let Some(cmps) = literal_conjuncts(predicate) else {
+            return Ok(None);
+        };
+        let rel = self.lower_rel(scan)?;
+        let mut built = Vec::new();
+        for (name, agg) in aggs {
+            let AggExpr::Sum(e) = agg else {
+                return Ok(None);
+            };
+            let mut inputs: Vec<ColRef> = Vec::new();
+            let mut preds = Vec::new();
+            for (c, op, lit) in &cmps {
+                let Ok((r, _)) = self.rel_ref(&rel, c) else {
+                    return Ok(None);
+                };
+                preds.push(FusedPred {
+                    input: leaf_slot(&mut inputs, r),
+                    cmp: *op,
+                    lit: *lit,
+                });
+            }
+            let Some(FuseVal::Node(expr)) = self.fuse_expr_rel(e, &rel, &mut inputs) else {
+                return Ok(None);
+            };
+            built.push((name.clone(), inputs, preds, expr));
+        }
+        let threshold = self.fusion.threshold;
+        let mut outs = Vec::new();
+        for (name, inputs, preds, expr) in built {
+            let out = self.new_slot(&name, SlotKind::Scalar);
+            let how = format!(
+                "{} ; {}",
+                self.backend.realization(DbOperator::Selection),
+                self.backend.realization(DbOperator::Reduction)
+            );
+            self.emit(
+                Step::FusedFilterAgg {
+                    inputs,
+                    preds,
+                    expr,
+                    threshold,
+                    out,
+                },
+                how,
+            );
+            outs.push((name, out));
+        }
+        self.fused = true;
+        Ok(Some(outs))
+    }
+
+    /// Convert an aggregate expression over a bare-scan relation into a
+    /// [`FusedExpr`], mirroring [`Self::lower_arith`]'s constant folding
+    /// and affine shortcuts. `None` when the shape cannot fuse (the
+    /// caller falls back to the normal path, unknown-column errors
+    /// included).
+    fn fuse_expr_rel(&self, e: &Expr, rel: &Rel, inputs: &mut Vec<ColRef>) -> Option<FuseVal> {
+        match e {
+            Expr::Lit(v) => Some(FuseVal::Const(*v)),
+            Expr::Col(name) => {
+                let (r, _) = self.rel_ref(rel, name).ok()?;
+                Some(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, r))))
+            }
+            Expr::Mask(name, cmp, lit) => {
+                let (r, _) = self.rel_ref(rel, name).ok()?;
+                Some(FuseVal::Node(FusedExpr::Mask {
+                    input: Box::new(FusedExpr::Col(leaf_slot(inputs, r))),
+                    cmp: *cmp,
+                    lit: *lit,
+                }))
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                let op = arith_op(e);
+                let la = self.fuse_expr_rel(a, rel, inputs)?;
+                let lb = self.fuse_expr_rel(b, rel, inputs)?;
+                fuse_arith(la, lb, op)
+            }
+        }
+    }
+
+    /// Phase 1 of element-wise fusion: a pure probe deciding whether
+    /// `e` can fuse into a single [`Step::FusedMap`] and how many
+    /// per-element kernels that collapses. `None` means "not fusable
+    /// here" — the caller takes the normal lowering path, preserving
+    /// its exact behaviour (errors included).
+    fn fusable_ops(
+        &self,
+        e: &Expr,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &ExprCtx,
+    ) -> Option<FuseProbe> {
+        if ctx.lookup(e).is_some() {
+            return Some(FuseProbe {
+                konst: false,
+                ops: 0,
+            });
+        }
+        match e {
+            Expr::Lit(_) => Some(FuseProbe {
+                konst: true,
+                ops: 0,
+            }),
+            Expr::Col(name) => scope
+                .iter()
+                .any(|(n, _, _)| n == name)
+                .then_some(FuseProbe {
+                    konst: false,
+                    ops: 0,
+                }),
+            Expr::Mask(name, ..) => {
+                let in_scope = scope.iter().any(|(n, _, _)| n == name);
+                if in_scope && !ctx.shared.contains(e) {
+                    Some(FuseProbe {
+                        konst: false,
+                        ops: 1,
+                    })
+                } else if in_scope || join.is_some() {
+                    // Shared or join-side masks materialise separately
+                    // and enter the fused kernel as plain input columns.
+                    Some(FuseProbe {
+                        konst: false,
+                        ops: 0,
+                    })
+                } else {
+                    None
+                }
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                if ctx.shared.contains(e) {
+                    // Shared composites materialise once via the normal
+                    // path so later aggregates still hit the cache.
+                    return Some(FuseProbe {
+                        konst: false,
+                        ops: 0,
+                    });
+                }
+                let pa = self.fusable_ops(a, scope, join, ctx)?;
+                let pb = self.fusable_ops(b, scope, join, ctx)?;
+                if pa.konst && pb.konst {
+                    return Some(FuseProbe {
+                        konst: true,
+                        ops: 0,
+                    });
+                }
+                if !pa.konst && !pb.konst && !matches!(e, Expr::Mul(..)) {
+                    return None; // column±column: not in the operator set
+                }
+                Some(FuseProbe {
+                    konst: false,
+                    ops: pa.ops + pb.ops + 1,
+                })
+            }
+        }
+    }
+
+    /// Phase 2 of element-wise fusion: build the [`FusedExpr`] for a
+    /// subtree the probe approved, materialising cached/shared/join-side
+    /// parts through the normal lowering and referencing them as fused
+    /// inputs.
+    fn build_fused(
+        &mut self,
+        e: &Expr,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &mut ExprCtx,
+        inputs: &mut Vec<ColRef>,
+    ) -> Result<FuseVal> {
+        if let Some(hit) = ctx.lookup(e) {
+            return Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, hit))));
+        }
+        match e {
+            Expr::Lit(v) => Ok(FuseVal::Const(*v)),
+            Expr::Col(name) => {
+                let r = scope
+                    .iter()
+                    .find(|(n, _, _)| n == name)
+                    .map(|(_, r, _)| r.clone())
+                    .ok_or_else(|| unknown(name))?;
+                Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, r))))
+            }
+            Expr::Mask(name, cmp, lit) => {
+                let in_scope = scope
+                    .iter()
+                    .find(|(n, _, _)| n == name)
+                    .map(|(_, r, _)| r.clone());
+                match in_scope {
+                    Some(r) if !ctx.shared.contains(e) => Ok(FuseVal::Node(FusedExpr::Mask {
+                        input: Box::new(FusedExpr::Col(leaf_slot(inputs, r))),
+                        cmp: *cmp,
+                        lit: *lit,
+                    })),
+                    _ => self.fuse_leaf_via_lowering(e, scope, join, ctx, inputs),
+                }
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                if ctx.shared.contains(e) {
+                    return self.fuse_leaf_via_lowering(e, scope, join, ctx, inputs);
+                }
+                let op = arith_op(e);
+                let la = self.build_fused(a, scope, join, ctx, inputs)?;
+                let lb = self.build_fused(b, scope, join, ctx, inputs)?;
+                fuse_arith(la, lb, op).ok_or_else(|| {
+                    SimError::Unsupported(
+                        "column±column addition is not in the Table-II operator set; \
+                         rewrite with literals or products"
+                            .into(),
+                    )
+                })
+            }
+        }
+    }
+
+    /// Materialise a subtree through the normal lowering (it is cached,
+    /// shared across aggregates, or reads the join build side) and
+    /// reference the resulting column as a fused-kernel input.
+    fn fuse_leaf_via_lowering(
+        &mut self,
+        e: &Expr,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &mut ExprCtx,
+        inputs: &mut Vec<ColRef>,
+    ) -> Result<FuseVal> {
+        match self.lower_expr(e, scope, join, ctx)? {
+            LowerVal::Ref(r) => Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, r)))),
+            LowerVal::Const(v) => Ok(FuseVal::Const(v)),
+        }
+    }
+
+    /// Lower one aggregate's value expression, fusing eligible
+    /// element-wise chains (two or more per-element kernels) into a
+    /// single [`Step::FusedMap`] when the fusion pass is enabled.
+    fn lower_agg_expr(
+        &mut self,
+        e: &Expr,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &mut ExprCtx,
+    ) -> Result<LowerVal> {
+        if self.fusion.enabled {
+            if let Some(p) = self.fusable_ops(e, scope, join, ctx) {
+                if !p.konst && p.ops >= 2 {
+                    return self.emit_fused_map(e, scope, join, ctx).map(LowerVal::Ref);
+                }
+            }
+        }
+        self.lower_expr(e, scope, join, ctx)
+    }
+
+    fn emit_fused_map(
+        &mut self,
+        whole: &Expr,
+        scope: &[(String, ColRef, ColType)],
+        join: Option<&JoinCtx>,
+        ctx: &mut ExprCtx,
+    ) -> Result<ColRef> {
+        let mut inputs: Vec<ColRef> = Vec::new();
+        let expr = match self.build_fused(whole, scope, join, ctx, &mut inputs)? {
+            FuseVal::Node(n) => n,
+            FuseVal::Const(_) => unreachable!("the fusion probe rejects constant expressions"),
+        };
+        let threshold = self.fusion.threshold;
+        let r = self.emit_expr_slot(
+            "fused",
+            |out| Step::FusedMap {
+                inputs,
+                expr,
+                threshold,
+                out,
+            },
+            ctx,
+        );
+        if ctx.cache_all {
+            ctx.cache.push((whole.clone(), r.clone()));
+        }
+        self.fused = true;
+        Ok(r)
     }
 
     fn lower_rel(&mut self, plan: &LogicalPlan) -> Result<Rel> {
@@ -991,13 +1340,49 @@ impl Lowerer<'_> {
         needed
     }
 
+    /// Columns the aggregates read *only* through [`Expr::Mask`]
+    /// indicators. These join [`Self::aggregate_scope`] as soft members:
+    /// materialised when the relation can resolve them (so a mask over
+    /// an otherwise-untouched column still lowers), silently skipped
+    /// when it cannot — a build-side dimension column reached through a
+    /// join's match list takes [`Self::lower_expr`]'s dedicated gather
+    /// path instead.
+    fn mask_only_columns(needed: &[String], aggs: &[(String, AggExpr)]) -> Vec<String> {
+        fn masks(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Mask(name, _, _) => {
+                    if !out.iter().any(|n| n == name) {
+                        out.push(name.clone());
+                    }
+                }
+                Expr::Col(_) | Expr::Lit(_) => {}
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                    masks(a, out);
+                    masks(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (_, agg) in aggs {
+            if let AggExpr::Sum(e) = agg {
+                masks(e, &mut out);
+            }
+        }
+        out.retain(|n| !needed.iter().any(|m| m == n));
+        out
+    }
+
     /// Materialise (or resolve in place) the columns an aggregate reads.
     /// Filtered inputs gather each column through the row ids; join
-    /// outputs and bare scans resolve directly.
+    /// outputs and bare scans resolve directly. `soft` names (columns
+    /// read only through masks) are appended after the required set and
+    /// skipped — not errored — when the relation cannot resolve them,
+    /// leaving join-reachable masks to their dedicated lowering.
     fn aggregate_scope(
         &mut self,
         rel: &Rel,
         needed: &[String],
+        soft: &[String],
     ) -> Result<Vec<(String, ColRef, ColType)>> {
         let mut scope = Vec::new();
         match rel {
@@ -1008,11 +1393,22 @@ impl Lowerer<'_> {
                     let slot = self.emit_gather(data, dtype, ids, short(name));
                     scope.push((name.clone(), ColRef::Slot(slot), dtype));
                 }
+                for name in soft {
+                    if let Ok((data, dtype)) = self.rel_ref(source, name) {
+                        let slot = self.emit_gather(data, dtype, ids, short(name));
+                        scope.push((name.clone(), ColRef::Slot(slot), dtype));
+                    }
+                }
             }
             Rel::Base(_) | Rel::Mat { .. } => {
                 for name in needed {
                     let (r, dtype) = self.rel_ref(rel, name)?;
                     scope.push((name.clone(), r, dtype));
+                }
+                for name in soft {
+                    if let Ok((r, dtype)) = self.rel_ref(rel, name) {
+                        scope.push((name.clone(), r, dtype));
+                    }
                 }
             }
         }
@@ -1026,7 +1422,8 @@ impl Lowerer<'_> {
         aggs: &[(String, AggExpr)],
     ) -> Result<(usize, Vec<usize>)> {
         let needed = Self::needed_columns(Some(key), aggs);
-        let scope = self.aggregate_scope(rel, &needed)?;
+        let soft = Self::mask_only_columns(&needed, aggs);
+        let scope = self.aggregate_scope(rel, &needed, &soft)?;
         let key_ref = scope[0].1.clone();
         let first_f64 = scope
             .iter()
@@ -1038,7 +1435,7 @@ impl Lowerer<'_> {
         let mut val_refs = Vec::new();
         for (name, agg) in aggs {
             let v = match agg {
-                AggExpr::Sum(e) => match self.lower_expr(e, &scope, join_of(rel), &mut ctx)? {
+                AggExpr::Sum(e) => match self.lower_agg_expr(e, &scope, join_of(rel), &mut ctx)? {
                     LowerVal::Ref(r) => r,
                     LowerVal::Const(_) => {
                         return Err(SimError::Unsupported(format!(
@@ -1120,7 +1517,8 @@ impl Lowerer<'_> {
 
     fn lower_scalar(&mut self, rel: &Rel, aggs: &[(String, AggExpr)]) -> Result<()> {
         let needed = Self::needed_columns(None, aggs);
-        let scope = self.aggregate_scope(rel, &needed)?;
+        let soft = Self::mask_only_columns(&needed, aggs);
+        let scope = self.aggregate_scope(rel, &needed, &soft)?;
         let mut ctx = ExprCtx::scalar(shared_subtrees(aggs));
         for (name, agg) in aggs {
             let AggExpr::Sum(e) = agg else {
@@ -1129,7 +1527,7 @@ impl Lowerer<'_> {
                 ));
             };
             let start = self.slots.len();
-            let val = match self.lower_expr(e, &scope, join_of(rel), &mut ctx)? {
+            let val = match self.lower_agg_expr(e, &scope, join_of(rel), &mut ctx)? {
                 LowerVal::Ref(r) => r,
                 LowerVal::Const(_) => {
                     return Err(SimError::Unsupported(format!(
@@ -1334,6 +1732,95 @@ impl Lowerer<'_> {
     }
 }
 
+/// An in-construction fused expression: a folded constant or a
+/// [`FusedExpr`] node (the fusion-pass analogue of [`LowerVal`]).
+enum FuseVal {
+    Const(f64),
+    Node(FusedExpr),
+}
+
+/// What the phase-1 fusion probe learned about a subtree.
+struct FuseProbe {
+    /// The subtree folds to a constant.
+    konst: bool,
+    /// Per-element kernels the fused form collapses.
+    ops: usize,
+}
+
+/// A predicate's conjuncts when every one is a literal comparison — the
+/// filter shape the fused scalar fast paths accept.
+fn literal_conjuncts(predicate: &Predicate) -> Option<Vec<(String, CmpOp, f64)>> {
+    match predicate {
+        Predicate::Cmp(c, op, lit) => Some(vec![(c.clone(), *op, *lit)]),
+        Predicate::And(parts) => parts
+            .iter()
+            .map(|p| match p {
+                Predicate::Cmp(c, op, lit) => Some((c.clone(), *op, *lit)),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+/// Index of `r` in the fused-step input list, appending it on first
+/// use (inputs deduplicate so a column uploads into the kernel once).
+fn leaf_slot(inputs: &mut Vec<ColRef>, r: ColRef) -> usize {
+    if let Some(i) = inputs.iter().position(|x| *x == r) {
+        i
+    } else {
+        inputs.push(r);
+        inputs.len() - 1
+    }
+}
+
+fn arith_op(e: &Expr) -> ArithOp {
+    match e {
+        Expr::Add(..) => ArithOp::Add,
+        Expr::Sub(..) => ArithOp::Sub,
+        _ => ArithOp::Mul,
+    }
+}
+
+/// Combine two fused operands, mirroring [`Lowerer::lower_arith`]'s
+/// constant folding and affine shortcuts exactly (same per-element f64
+/// operations in the same order, so fused and unfused runs stay
+/// bit-equal). `None` for column±column, which the operator set lacks.
+fn fuse_arith(a: FuseVal, b: FuseVal, op: ArithOp) -> Option<FuseVal> {
+    use FuseVal::{Const, Node};
+    Some(match (a, b, op) {
+        (Const(x), Const(y), ArithOp::Add) => Const(x + y),
+        (Const(x), Const(y), ArithOp::Sub) => Const(x - y),
+        (Const(x), Const(y), ArithOp::Mul) => Const(x * y),
+        (Node(n), Const(c), ArithOp::Add) | (Const(c), Node(n), ArithOp::Add) => {
+            Node(FusedExpr::Affine {
+                input: Box::new(n),
+                mul: 1.0,
+                add: c,
+            })
+        }
+        (Node(n), Const(c), ArithOp::Sub) => Node(FusedExpr::Affine {
+            input: Box::new(n),
+            mul: 1.0,
+            add: -c,
+        }),
+        (Const(c), Node(n), ArithOp::Sub) => Node(FusedExpr::Affine {
+            input: Box::new(n),
+            mul: -1.0,
+            add: c,
+        }),
+        (Node(n), Const(c), ArithOp::Mul) | (Const(c), Node(n), ArithOp::Mul) => {
+            Node(FusedExpr::Affine {
+                input: Box::new(n),
+                mul: c,
+                add: 0.0,
+            })
+        }
+        (Node(x), Node(y), ArithOp::Mul) => Node(FusedExpr::Mul(Box::new(x), Box::new(y))),
+        (Node(_), Node(_), ArithOp::Add | ArithOp::Sub) => return None,
+    })
+}
+
 /// Composite subtrees (arithmetic or masks) appearing in more than one
 /// aggregate expression — these lower once and stay live until plan
 /// end.
@@ -1521,6 +2008,7 @@ mod tests {
             b,
             &PlannerOptions {
                 fuse_fast_paths: false,
+                ..PlannerOptions::default()
             },
         )
         .unwrap();
@@ -1552,6 +2040,7 @@ mod tests {
                 PlannerOptions::default(),
                 PlannerOptions {
                     fuse_fast_paths: false,
+                    ..PlannerOptions::default()
                 },
             ] {
                 let p = plan_with("Q6ish", &q6ish(), b.as_ref(), &opts).unwrap();
@@ -1563,6 +2052,182 @@ mod tests {
                 b.free(c).unwrap();
             }
         }
+    }
+
+    fn fusion_on() -> PlannerOptions {
+        PlannerOptions {
+            fusion: FusionPolicy::on(),
+            ..PlannerOptions::default()
+        }
+    }
+
+    #[test]
+    fn general_fusion_subsumes_the_q6_fast_path() {
+        let fw = fw();
+        let b = fw.backend("Thrust").unwrap();
+        let p = plan_with("FusedGeneral", &q6ish(), b, &fusion_on()).unwrap();
+        assert_eq!(p.steps().len(), 1, "{}", p.explain());
+        assert!(
+            matches!(p.steps()[0], Step::FusedFilterAgg { .. }),
+            "{}",
+            p.explain()
+        );
+        assert!(p.explain().contains("fused_filter_agg"), "{}", p.explain());
+    }
+
+    #[test]
+    fn general_fusion_handles_masks_and_multiple_aggregates() {
+        let fw = fw();
+        let tree = LogicalPlan::scan(
+            "t",
+            vec![
+                ColumnDecl::f64("price"),
+                ColumnDecl::f64("disc"),
+                ColumnDecl::f64("qty"),
+            ],
+        )
+        .filter(Predicate::cmp("t.qty", CmpOp::Lt, 24.0))
+        .aggregate(
+            None,
+            vec![
+                (
+                    "net",
+                    AggExpr::Sum(Expr::col("t.price") * (Expr::lit(1.0) - Expr::col("t.disc"))),
+                ),
+                (
+                    "promo",
+                    AggExpr::Sum(
+                        Expr::col("t.price") * Expr::Mask("t.disc".into(), CmpOp::Ge, 0.05),
+                    ),
+                ),
+            ],
+        );
+        for b in fw.backends() {
+            let price = b.upload_f64(&[100.0, 200.0, 300.0]).unwrap();
+            let disc = b.upload_f64(&[0.10, 0.02, 0.06]).unwrap();
+            let qty = b.upload_f64(&[10.0, 30.0, 20.0]).unwrap();
+            let mut binds = PlanBindings::new();
+            binds
+                .bind("t.price", &price)
+                .bind("t.disc", &disc)
+                .bind("t.qty", &qty);
+            let reference = plan("Ref", &tree, b.as_ref())
+                .unwrap()
+                .execute(b.as_ref(), &binds)
+                .unwrap();
+            // Both sides of the size-adaptive dispatch: always-fused
+            // (threshold 0) and always-composed (threshold usize::MAX).
+            for threshold in [0, usize::MAX] {
+                let opts = PlannerOptions {
+                    fusion: FusionPolicy {
+                        enabled: true,
+                        threshold,
+                    },
+                    ..PlannerOptions::default()
+                };
+                let p = plan_with("Fused", &tree, b.as_ref(), &opts).unwrap();
+                assert!(
+                    p.steps()
+                        .iter()
+                        .all(|s| matches!(s, Step::FusedFilterAgg { .. })),
+                    "{}",
+                    p.explain()
+                );
+                let out = p.execute(b.as_ref(), &binds).unwrap();
+                for name in ["net", "promo"] {
+                    let got = out.scalar(name).unwrap();
+                    let want = reference.scalar(name).unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{name} on {} (threshold {threshold}): {got} vs {want}",
+                        b.name()
+                    );
+                }
+            }
+            for c in [price, disc, qty] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn fused_map_collapses_elementwise_chains_in_grouped_plans() {
+        let fw = fw();
+        let tree = LogicalPlan::scan(
+            "t",
+            vec![
+                ColumnDecl::u32("k"),
+                ColumnDecl::f64("price"),
+                ColumnDecl::f64("disc"),
+            ],
+        )
+        .aggregate(
+            Some("t.k"),
+            vec![(
+                "net",
+                AggExpr::Sum(Expr::col("t.price") * (Expr::lit(1.0) - Expr::col("t.disc"))),
+            )],
+        );
+        for b in fw.backends() {
+            let k = b.upload_u32(&[1, 2, 1, 2]).unwrap();
+            let price = b.upload_f64(&[100.0, 200.0, 300.0, 400.0]).unwrap();
+            let disc = b.upload_f64(&[0.10, 0.25, 0.50, 0.75]).unwrap();
+            let mut binds = PlanBindings::new();
+            binds
+                .bind("t.k", &k)
+                .bind("t.price", &price)
+                .bind("t.disc", &disc);
+            let reference = plan("Ref", &tree, b.as_ref())
+                .unwrap()
+                .execute(b.as_ref(), &binds)
+                .unwrap();
+            for threshold in [0, usize::MAX] {
+                let opts = PlannerOptions {
+                    fusion: FusionPolicy {
+                        enabled: true,
+                        threshold,
+                    },
+                    ..PlannerOptions::default()
+                };
+                let p = plan_with("FusedMap", &tree, b.as_ref(), &opts).unwrap();
+                assert!(
+                    p.steps().iter().any(|s| matches!(s, Step::FusedMap { .. })),
+                    "{}",
+                    p.explain()
+                );
+                let out = p.execute(b.as_ref(), &binds).unwrap();
+                assert_eq!(
+                    out.f64s("net").unwrap(),
+                    reference.f64s("net").unwrap(),
+                    "{} (threshold {threshold})",
+                    b.name()
+                );
+            }
+            for c in [k, price, disc] {
+                b.free(c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_off_is_the_default_and_changes_nothing() {
+        let fw = fw();
+        let b = fw.backend("Boost.Compute").unwrap();
+        let with_default = plan("P", &q6ish(), b).unwrap();
+        let explicit = plan_with(
+            "P",
+            &q6ish(),
+            b,
+            &PlannerOptions {
+                fusion: FusionPolicy::default(),
+                ..PlannerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with_default.explain(), explicit.explain());
+        assert!(!FusionPolicy::default().enabled);
+        assert_eq!(FusionPolicy::default().threshold, DEFAULT_FUSION_THRESHOLD);
     }
 
     #[test]

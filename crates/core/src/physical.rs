@@ -31,6 +31,7 @@
 //! golden tests snapshot.
 
 use crate::backend::{Col, ColType, GpuBackend, Pred};
+use crate::fused::{FusedExpr, FusedPred};
 use crate::ops::{CmpOp, Connective, JoinAlgo};
 use crate::resilient::RetryPolicy;
 use gpu_sim::{Result, SimError};
@@ -213,6 +214,38 @@ pub enum Step {
         b: ColRef,
         /// Conjunctive literal predicates.
         preds: Vec<PlanPred>,
+        /// Output slot (scalar).
+        out: usize,
+    },
+    /// `fused_map(inputs, expr)` — a fused element-wise chain produced
+    /// by the general fusion pass: one single-pass kernel per backend
+    /// above `threshold` rows, the composed operator chain below it
+    /// (the size-adaptive dispatch; both are bit-equal).
+    FusedMap {
+        /// Input columns the expression reads (`FusedExpr::Col`
+        /// indexes this list).
+        inputs: Vec<ColRef>,
+        /// Per-row value expression.
+        expr: FusedExpr,
+        /// Row count above which the single-pass kernel wins
+        /// (from [`crate::optimizer::FusionPolicy::threshold`]).
+        threshold: usize,
+        /// Output slot (`f64`).
+        out: usize,
+    },
+    /// `fused_filter_agg(inputs, preds, expr)` — `SUM(expr) WHERE preds`
+    /// in one pass, the general form of [`Step::FilterSumProduct`].
+    /// Dispatches like [`Step::FusedMap`]: fused above `threshold`,
+    /// composed below.
+    FusedFilterAgg {
+        /// Input columns predicates and expression index into.
+        inputs: Vec<ColRef>,
+        /// Conjunctive literal predicates.
+        preds: Vec<FusedPred>,
+        /// Per-row value expression.
+        expr: FusedExpr,
+        /// Row count above which the single-pass kernel wins.
+        threshold: usize,
         /// Output slot (scalar).
         out: usize,
     },
@@ -434,6 +467,14 @@ impl PhysicalPlan {
             .join(" AND ")
     }
 
+    fn fmt_fused_preds(&self, inputs: &[ColRef], preds: &[FusedPred]) -> String {
+        preds
+            .iter()
+            .map(|p| format!("{} {:?} {}", self.fmt_ref(&inputs[p.input]), p.cmp, p.lit))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
     /// Render the plan: one line per step with its realising library
     /// call, plus the named outputs — the per-backend Table-II lowering
     /// the optimizer golden tests snapshot.
@@ -521,6 +562,26 @@ impl PhysicalPlan {
                     self.fmt_ref(a),
                     self.fmt_ref(b),
                     self.fmt_preds(preds)
+                ),
+                Step::FusedMap {
+                    inputs,
+                    expr,
+                    threshold,
+                    out,
+                } => format!(
+                    "%{out} = fused_map({}) [n>{threshold}]",
+                    expr.render(&|i| self.fmt_ref(&inputs[i]))
+                ),
+                Step::FusedFilterAgg {
+                    inputs,
+                    preds,
+                    expr,
+                    threshold,
+                    out,
+                } => format!(
+                    "%{out} = fused_filter_agg({}; {}) [n>{threshold}]",
+                    self.fmt_fused_preds(inputs, preds),
+                    expr.render(&|i| self.fmt_ref(&inputs[i]))
                 ),
                 Step::DownloadU32 { input, out } | Step::DownloadF64 { input, out } => {
                     format!("%{out} = download({})", self.fmt_ref(input))
@@ -765,6 +826,56 @@ impl PhysicalPlan {
                     let r = run(backend, policy, "filter_sum_product", || {
                         backend.filter_sum_product(&ca, &cb, &ps)
                     })?;
+                    store[*out] = Some(SlotVal::Scalar(r));
+                }
+                Step::FusedMap {
+                    inputs,
+                    expr,
+                    threshold,
+                    out,
+                } => {
+                    let cols: Vec<Col> = inputs
+                        .iter()
+                        .map(|r| resolve(store, r))
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Col> = cols.iter().collect();
+                    let len = refs.first().map_or(0, |c| c.len());
+                    // Size-adaptive dispatch: the single-pass kernel only
+                    // wins above the calibrated break-even; both paths are
+                    // bit-equal.
+                    let r = if len > *threshold {
+                        run(backend, policy, "fused_map", || {
+                            backend.fused_map(&refs, expr)
+                        })?
+                    } else {
+                        run(backend, policy, "fused_map", || {
+                            crate::fused::composed_map(backend, &refs, expr)
+                        })?
+                    };
+                    store[*out] = Some(SlotVal::Col(r));
+                }
+                Step::FusedFilterAgg {
+                    inputs,
+                    preds,
+                    expr,
+                    threshold,
+                    out,
+                } => {
+                    let cols: Vec<Col> = inputs
+                        .iter()
+                        .map(|r| resolve(store, r))
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Col> = cols.iter().collect();
+                    let len = refs.first().map_or(0, |c| c.len());
+                    let r = if len > *threshold {
+                        run(backend, policy, "fused_filter_agg", || {
+                            backend.fused_filter_agg(&refs, preds, expr)
+                        })?
+                    } else {
+                        run(backend, policy, "fused_filter_agg", || {
+                            crate::fused::composed_filter_agg(backend, &refs, preds, expr)
+                        })?
+                    };
                     store[*out] = Some(SlotVal::Scalar(r));
                 }
                 Step::DownloadU32 { input, out } => {

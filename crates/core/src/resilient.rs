@@ -295,6 +295,23 @@ impl GpuBackend for ResilientBackend {
             self.inner.filter_sum_product(a, b, preds)
         })
     }
+
+    fn fused_map(&self, inputs: &[&Col], expr: &crate::fused::FusedExpr) -> Result<Col> {
+        // Delegate (rather than use the trait default) so an inner
+        // backend's single-pass override is preserved under the wrapper.
+        self.run("fused_map", || self.inner.fused_map(inputs, expr))
+    }
+
+    fn fused_filter_agg(
+        &self,
+        inputs: &[&Col],
+        preds: &[crate::fused::FusedPred],
+        expr: &crate::fused::FusedExpr,
+    ) -> Result<f64> {
+        self.run("fused_filter_agg", || {
+            self.inner.fused_filter_agg(inputs, preds, expr)
+        })
+    }
 }
 
 /// Host-level resilient operator executor.

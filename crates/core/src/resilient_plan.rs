@@ -457,6 +457,8 @@ fn step_output_slots(step: &Step) -> Vec<usize> {
         | Step::ConstantOnes { out, .. }
         | Step::Reduce { out, .. }
         | Step::FilterSumProduct { out, .. }
+        | Step::FusedMap { out, .. }
+        | Step::FusedFilterAgg { out, .. }
         | Step::DownloadU32 { out, .. }
         | Step::DownloadF64 { out, .. } => vec![*out],
         Step::Join {
@@ -693,6 +695,27 @@ fn partition_merge_plan(plan: &PhysicalPlan, source: &PartitionSource<'_>) -> Re
                 for p in preds {
                     cs.push(data_of(&classes, &p.col)?);
                 }
+                same_align(&cs)?;
+                classes[*out] = Some(Class::Scalar {
+                    tainted: cs.iter().any(Class::tainted),
+                });
+            }
+            Step::FusedMap { inputs, out, .. } => {
+                let cs: Vec<Class> = inputs
+                    .iter()
+                    .map(|r| data_of(&classes, r))
+                    .collect::<Result<_>>()?;
+                let align = same_align(&cs)?;
+                classes[*out] = Some(Class::Data {
+                    align,
+                    tainted: cs.iter().any(Class::tainted),
+                });
+            }
+            Step::FusedFilterAgg { inputs, out, .. } => {
+                let cs: Vec<Class> = inputs
+                    .iter()
+                    .map(|r| data_of(&classes, r))
+                    .collect::<Result<_>>()?;
                 same_align(&cs)?;
                 classes[*out] = Some(Class::Scalar {
                     tainted: cs.iter().any(Class::tainted),

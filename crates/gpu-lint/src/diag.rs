@@ -80,6 +80,11 @@ pub enum Rule {
     /// GL404 — step reads or frees a slot that is undefined or already
     /// freed at that point in the plan.
     PlanUseAfterFree,
+    /// GL405 — a fused step's expression reads a column arithmetically
+    /// that does not hold `f64` (the fused-kernel contract
+    /// `check_fused_inputs` enforces at run time; mask-only comparisons
+    /// may stay native).
+    FusedArithNotF64,
     /// GL501 — recovery checkpoint of a slot freed earlier in the same
     /// execution attempt: a resume would replay recycled memory.
     CheckpointAfterFree,
@@ -113,6 +118,7 @@ impl Rule {
             Rule::PlanDtypeMismatch => "GL402",
             Rule::MergeJoinUnsorted => "GL403",
             Rule::PlanUseAfterFree => "GL404",
+            Rule::FusedArithNotF64 => "GL405",
             Rule::CheckpointAfterFree => "GL501",
             Rule::RetryWithoutBackoff => "GL502",
         }
@@ -305,6 +311,7 @@ mod tests {
             Rule::PlanDtypeMismatch,
             Rule::MergeJoinUnsorted,
             Rule::PlanUseAfterFree,
+            Rule::FusedArithNotF64,
             Rule::CheckpointAfterFree,
             Rule::RetryWithoutBackoff,
         ];
@@ -316,6 +323,8 @@ mod tests {
         assert_eq!(Rule::PlanCycle.id(), "GL301");
         assert_eq!(Rule::UnfreedPlanColumn.id(), "GL401");
         assert_eq!(Rule::PlanUseAfterFree.id(), "GL404");
+        assert_eq!(Rule::FusedArithNotF64.id(), "GL405");
+        assert_eq!(Rule::FusedArithNotF64.severity(), Severity::Error);
         assert_eq!(Rule::CheckpointAfterFree.id(), "GL501");
         assert_eq!(Rule::RetryWithoutBackoff.id(), "GL502");
         assert_eq!(Rule::UnfreedPlanColumn.severity(), Severity::Warning);

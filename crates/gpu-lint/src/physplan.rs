@@ -18,6 +18,12 @@
 //!   requires: `f64` gather/join indices, `u32` fed into arithmetic.
 //!   The simulator's typed columns catch this at runtime; the lint
 //!   catches it before anything executes.
+//! * **GL405** — a fused step's expression reads a column
+//!   arithmetically that does not hold `f64`. Same mechanics as GL402
+//!   but its own rule: the mismatch is inside a generated single-pass
+//!   kernel, so the runtime error surfaces from the fusion pass rather
+//!   than the operator the user wrote, and the fix is different
+//!   (exclude the column from fusion, not retype the operand).
 //! * **GL403** — a merge join over a key column not known to be sorted.
 //!   Backends whose merge join sorts internally never set the
 //!   requirement; the rule exists for lowering bugs where a
@@ -75,6 +81,10 @@ pub struct PlanUse {
     pub want: Option<PlanDtype>,
     /// Whether the call requires sorted input (merge-join keys).
     pub want_sorted: bool,
+    /// Whether the requirement comes from a fused expression reading
+    /// the column arithmetically — a mismatch then fires GL405 instead
+    /// of GL402.
+    pub fused_arith: bool,
 }
 
 impl PlanUse {
@@ -84,6 +94,7 @@ impl PlanUse {
             slot,
             want: None,
             want_sorted: false,
+            fused_arith: false,
         }
     }
 
@@ -93,6 +104,18 @@ impl PlanUse {
             slot,
             want: Some(want),
             want_sorted: false,
+            fused_arith: false,
+        }
+    }
+
+    /// An operand a fused expression reads arithmetically — must hold
+    /// `f64` (the `check_fused_inputs` contract).
+    pub fn fused_f64(slot: usize) -> PlanUse {
+        PlanUse {
+            slot,
+            want: Some(PlanDtype::F64),
+            want_sorted: false,
+            fused_arith: true,
         }
     }
 }
@@ -145,14 +168,25 @@ pub fn lint_physical_plan(inputs: &[PlanColumn], steps: &[PlanStep]) -> Vec<Diag
             }
             if let Some(want) = read.want {
                 if col.dtype != want {
-                    diags.push(Diagnostic::new(
-                        Rule::PlanDtypeMismatch,
-                        vec![i],
-                        format!(
-                            "{} requires {want} but {} (%{}) holds {}",
-                            step.label, col.name, read.slot, col.dtype
-                        ),
-                    ));
+                    if read.fused_arith {
+                        diags.push(Diagnostic::new(
+                            Rule::FusedArithNotF64,
+                            vec![i],
+                            format!(
+                                "{} expression reads {} (%{}) arithmetically but it holds {}",
+                                step.label, col.name, read.slot, col.dtype
+                            ),
+                        ));
+                    } else {
+                        diags.push(Diagnostic::new(
+                            Rule::PlanDtypeMismatch,
+                            vec![i],
+                            format!(
+                                "{} requires {want} but {} (%{}) holds {}",
+                                step.label, col.name, read.slot, col.dtype
+                            ),
+                        ));
+                    }
                 }
             }
             if read.want_sorted && !col.sorted {
@@ -306,15 +340,40 @@ mod tests {
     }
 
     #[test]
+    fn fused_arith_over_u32_is_gl405_plain_mismatch_stays_gl402() {
+        let inputs = [
+            col(10, "l_quantity", PlanDtype::U32, false),
+            col(11, "l_price", PlanDtype::F64, false),
+        ];
+        let steps = [step(
+            "fused_filter_agg",
+            vec![PlanUse::fused_f64(10), PlanUse::fused_f64(11)],
+            vec![],
+            vec![],
+        )];
+        let d = lint_physical_plan(&inputs, &steps);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule.id(), "GL405");
+        assert!(d[0].message.contains("arithmetically"), "{}", d[0].message);
+        // The same mismatch without the fused provenance is plain GL402.
+        let steps = [step(
+            "affine",
+            vec![PlanUse::typed(10, PlanDtype::F64)],
+            vec![],
+            vec![],
+        )];
+        assert_eq!(rules(&inputs, &steps), vec!["GL402"]);
+    }
+
+    #[test]
     fn merge_join_on_unsorted_keys_is_gl403() {
         let inputs = [
             col(10, "a", PlanDtype::U32, false),
             col(11, "b", PlanDtype::U32, true),
         ];
         let want_sorted = |slot| PlanUse {
-            slot,
-            want: Some(PlanDtype::U32),
             want_sorted: true,
+            ..PlanUse::typed(slot, PlanDtype::U32)
         };
         let steps = [step(
             "join[Merge]",

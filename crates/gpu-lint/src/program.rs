@@ -10,31 +10,22 @@
 //! dead subexpressions whose host conversion is wasted work (GL204) —
 //! and a true maximum depth above what the executor reserves (GL205).
 //!
-//! The dtype lattice is deliberately two-point (`Bool` / `Num`): the
-//! simulator computes over `f64`, so the only mismatch that changes
-//! semantics is feeding a genuine number into `And`/`Or`/`Not`, which
-//! on real ArrayFire silently reinterprets nonzero-ness.
+//! The abstract dtype mirrors the typed-lane executor exactly: loads
+//! push the leaf's declared [`DType`], arithmetic widens to `f64`
+//! lanes, comparisons and `And`/`Or`/`Not` produce `b8` masks, and a
+//! cast adopts its target — so a stack entry's abstract dtype is the
+//! native representation the executor's `Lane` will hold at that
+//! instruction. The only mismatch that changes semantics is feeding a
+//! non-mask into `And`/`Or`/`Not`, which on real ArrayFire silently
+//! reinterprets nonzero-ness; that check can now name the concrete
+//! offending dtype.
 
 use crate::diag::{Diagnostic, Rule};
 use arrayfire_sim::{BinaryOp, DType, InstrSpec, ProgramSpec, UnaryOp};
 
-/// The two-point abstract dtype.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AbstractTy {
-    /// Definitely a b8 mask (leaf declared B8, comparison or logical
-    /// result, or a cast to B8).
-    Bool,
-    /// Everything else.
-    Num,
-}
-
-fn leaf_ty(dt: DType) -> AbstractTy {
-    if dt == DType::B8 {
-        AbstractTy::Bool
-    } else {
-        AbstractTy::Num
-    }
-}
+/// Abstract stack dtype — the native lane representation the typed
+/// executor will hold at this point.
+type AbstractTy = DType;
 
 fn binary_is_logical(op: BinaryOp) -> bool {
     matches!(op, BinaryOp::And | BinaryOp::Or)
@@ -49,8 +40,8 @@ fn binary_result(op: BinaryOp) -> AbstractTy {
         | BinaryOp::Gt
         | BinaryOp::Ge
         | BinaryOp::Eq
-        | BinaryOp::Ne => AbstractTy::Bool,
-        _ => AbstractTy::Num,
+        | BinaryOp::Ne => DType::B8,
+        _ => DType::F64,
     }
 }
 
@@ -63,12 +54,13 @@ pub fn lint_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
     let mut loaded = vec![false; spec.leaf_dtypes.len()];
 
     let check_logical = |diags: &mut Vec<Diagnostic>, i: usize, operand: (AbstractTy, usize)| {
-        if operand.0 == AbstractTy::Num {
+        if operand.0 != DType::B8 {
             diags.push(Diagnostic::new(
                 Rule::DtypeMismatch,
                 vec![operand.1, i],
                 format!(
-                    "logical operator at #{i} consumes a numeric value from #{}",
+                    "logical operator at #{i} consumes a {} lane from #{}",
+                    operand.0.name(),
                     operand.1
                 ),
             ));
@@ -93,7 +85,7 @@ pub fn lint_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
                 let ty = match spec.leaf_dtypes.get(*slot) {
                     Some(&dt) => {
                         loaded[*slot] = true;
-                        leaf_ty(dt)
+                        dt
                     }
                     None => {
                         diags.push(Diagnostic::new(
@@ -104,7 +96,7 @@ pub fn lint_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
                                 spec.leaf_dtypes.len()
                             ),
                         ));
-                        AbstractTy::Num
+                        DType::F64
                     }
                 };
                 stack.push((ty, i));
@@ -114,9 +106,9 @@ pub fn lint_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
                 let ty = match op {
                     UnaryOp::Not => {
                         check_logical(&mut diags, i, operand);
-                        AbstractTy::Bool
+                        DType::B8
                     }
-                    UnaryOp::Neg | UnaryOp::Abs => AbstractTy::Num,
+                    UnaryOp::Neg | UnaryOp::Abs => DType::F64,
                 };
                 stack.push((ty, i));
             }
@@ -138,7 +130,7 @@ pub fn lint_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
             }
             InstrSpec::Cast { dtype } => {
                 let _ = stack.pop().expect("pops checked");
-                stack.push((leaf_ty(*dtype), i));
+                stack.push((*dtype, i));
             }
         }
         max_depth = max_depth.max(stack.len());
@@ -307,6 +299,38 @@ mod tests {
             4,
         );
         assert_eq!(rules(&dirty), vec!["GL203"]);
+    }
+
+    /// The abstract dtypes track the typed-lane executor: integer
+    /// leaves keep their native dtype (and are named in GL203
+    /// messages), while a `Cast` to b8 launders any lane for logical
+    /// use.
+    #[test]
+    fn typed_lanes_name_concrete_dtypes_and_casts_launder() {
+        let dirty = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Unary { op: UnaryOp::Not },
+            ],
+            vec![DType::U64],
+            4,
+        );
+        let d = lint_program(&dirty);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule.id(), "GL203");
+        assert!(d[0].message.contains("u64 lane"), "{}", d[0].message);
+
+        let clean = spec(
+            vec![
+                InstrSpec::Load { slot: 0 },
+                InstrSpec::Cast { dtype: DType::B8 },
+                InstrSpec::Load { slot: 1 },
+                InstrSpec::Binary { op: BinaryOp::And },
+            ],
+            vec![DType::U32, DType::B8],
+            4,
+        );
+        assert!(rules(&clean).is_empty(), "{:?}", lint_program(&clean));
     }
 
     #[test]

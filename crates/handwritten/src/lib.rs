@@ -29,8 +29,8 @@ pub mod selection;
 pub use aggregate::{hash_group_aggregate, GroupAggregate};
 pub use join::{hash_join, merge_join, nested_loops_join, JoinResult};
 pub use primitives::{
-    exclusive_scan_u32, fused_filter_dot, gather_f64, gather_u32, product_f64, radix_sort_pairs,
-    reduce_f64, scatter_u32, sort_u32, top_k_f64,
+    exclusive_scan_u32, fused_filter_dot, fused_filter_sum, fused_map_expr, gather_f64, gather_u32,
+    product_f64, radix_sort_pairs, reduce_f64, scatter_u32, sort_u32, top_k_f64,
 };
 pub use selection::{select_fused, select_gather_f64};
 

@@ -6,7 +6,10 @@ use std::sync::Arc;
 
 /// Tree reduction (sum) of an `f64` column — one kernel.
 pub fn reduce_f64(device: &Arc<Device>, src: &DeviceBuffer<f64>) -> Result<f64> {
-    let total = src.host().iter().sum();
+    // Fold from +0.0 explicitly: std's `Sum for f64` seeds with -0.0,
+    // which leaks into empty-selection totals and breaks bit-equality
+    // with the fused kernels' 0.0-seeded accumulators.
+    let total = src.host().iter().fold(0.0, |acc, &x| acc + x);
     charge_io(
         device,
         "reduce",
@@ -293,6 +296,63 @@ pub fn fused_filter_dot(
             .with_flops(4 * n as u64)
             .with_divergence(0.2),
         &reads,
+        &[],
+    )?;
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(acc)
+}
+
+/// A fully fused element-wise chain: evaluate `expr(i)` once per row
+/// into a fresh `f64` buffer — **one** kernel however long the chain.
+/// `bytes_per_row` is the per-row read footprint over every operand
+/// column and `in_cols` names their device buffers, so the launch
+/// declares its complete data flow.
+pub fn fused_map_expr(
+    device: &Arc<Device>,
+    len: usize,
+    bytes_per_row: usize,
+    in_cols: &[gpu_sim::BufferId],
+    expr: impl Fn(usize) -> f64 + Sync,
+) -> Result<DeviceBuffer<f64>> {
+    let out = device.alloc_map_with(len, AllocPolicy::Pooled, &expr)?;
+    charge_io(
+        device,
+        "fused_map",
+        KernelCost::map::<(), f64>(len).with_read((len * bytes_per_row) as u64),
+        in_cols,
+        &[out.id()],
+    )?;
+    Ok(out)
+}
+
+/// The general form of [`fused_filter_dot`]: `SUM(row(i))` where `row`
+/// returns `None` for rows the fused predicate drops — predicate, value
+/// expression and reduction share one pass. Skipped rows contribute
+/// nothing to the fold, so the accumulation order matches a
+/// select-then-reduce pipeline bit-for-bit.
+pub fn fused_filter_sum(
+    device: &Arc<Device>,
+    len: usize,
+    bytes_per_row: usize,
+    in_cols: &[gpu_sim::BufferId],
+    row: impl Fn(usize) -> Option<f64>,
+) -> Result<f64> {
+    let mut acc = 0.0;
+    for i in 0..len {
+        if let Some(v) = row(i) {
+            acc += v;
+        }
+    }
+    charge_io(
+        device,
+        "fused_filter_sum",
+        KernelCost::reduce::<f64>(len)
+            .with_read((len * bytes_per_row) as u64)
+            .with_flops(4 * len as u64)
+            .with_divergence(0.2),
+        in_cols,
         &[],
     )?;
     device.advance(gpu_sim::SimDuration::from_nanos(

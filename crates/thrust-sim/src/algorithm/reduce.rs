@@ -33,6 +33,41 @@ where
     Ok(acc)
 }
 
+/// `thrust::transform_reduce(zip_iterator(...), op, init, combine)` —
+/// fused map-reduce over a zip of device ranges, expressed as a row
+/// functor. `op(i)` returns `None` for rows the fused predicate drops;
+/// those contribute nothing to the fold, so the accumulation sequence is
+/// exactly the composed `selection → gather → reduce` chain's (same
+/// additions in the same order — bit-equal, including signed zeros).
+/// One kernel launch regardless of arity; the caller supplies the
+/// aggregate read footprint and the zip's constituent buffer ids.
+pub fn transform_reduce_zip<R>(
+    device: &Arc<gpu_sim::Device>,
+    len: usize,
+    read_bytes: u64,
+    reads: &[gpu_sim::BufferId],
+    init: R,
+    combine: impl Fn(R, R) -> R,
+    op: impl Fn(usize) -> Option<R>,
+) -> Result<R>
+where
+    R: DeviceCopy,
+{
+    let mut acc = init;
+    for i in 0..len {
+        if let Some(v) = op(i) {
+            acc = combine(acc, v);
+        }
+    }
+    let cost = KernelCost::reduce::<R>(len).with_read(read_bytes);
+    charge_io(device, "transform_reduce_zip", cost, reads, &[])?;
+    // Scalar result returns to the host, as in `reduce`.
+    device.advance(gpu_sim::SimDuration::from_nanos(
+        device.spec().pcie_latency_ns,
+    ));
+    Ok(acc)
+}
+
 /// `thrust::reduce_by_key` — segmented reduction over runs of *consecutive*
 /// equal keys (the standard GPU grouped-aggregation building block after a
 /// `sort_by_key`). Returns `(unique_keys, reduced_values)`.

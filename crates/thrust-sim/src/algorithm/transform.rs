@@ -65,6 +65,29 @@ where
     Ok(out)
 }
 
+/// `thrust::transform(zip_iterator(...), result, op)` — N-ary map over a
+/// zip of device ranges, expressed as a row functor `op(i)`. The caller
+/// supplies the aggregate read footprint and the zip's constituent
+/// buffer ids (for trace data-flow edges), since the arity is only known
+/// at run time. One kernel launch regardless of arity — this is the
+/// single-pass form fused element-wise chains lower to.
+pub fn transform_zip<U>(
+    device: &Arc<gpu_sim::Device>,
+    len: usize,
+    read_bytes: u64,
+    reads: &[gpu_sim::BufferId],
+    op: impl Fn(usize) -> U + Sync,
+) -> Result<DeviceVector<U>>
+where
+    U: DeviceCopy + Default,
+{
+    let buf = device.alloc_map_with(len, AllocPolicy::Pooled, &op)?;
+    let out = DeviceVector::from_buffer(buf);
+    let cost = KernelCost::map::<(), U>(len).with_read(read_bytes);
+    charge_io(device, "transform_zip", cost, reads, &[out.id()])?;
+    Ok(out)
+}
+
 /// `thrust::fill` — set every element to `value`.
 pub fn fill<T: DeviceCopy>(vec: &mut DeviceVector<T>, value: T) -> Result<()> {
     let device = Arc::clone(vec.device());

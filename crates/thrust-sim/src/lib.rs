@@ -43,10 +43,10 @@ pub use algorithm::misc::{
 };
 pub use algorithm::partition::{copy_if, count_if, partition_flags};
 pub use algorithm::permute::{gather, scatter, scatter_if};
-pub use algorithm::reduce::{inner_product, reduce, reduce_by_key};
+pub use algorithm::reduce::{inner_product, reduce, reduce_by_key, transform_reduce_zip};
 pub use algorithm::scan::{exclusive_scan, inclusive_scan};
 pub use algorithm::sort::{is_sorted, sort, sort_by_key};
-pub use algorithm::transform::{fill, sequence, transform, transform_binary};
+pub use algorithm::transform::{fill, sequence, transform, transform_binary, transform_zip};
 pub use vector::DeviceVector;
 
 /// Kernel-name prefix under which all Thrust launches are recorded in

@@ -33,6 +33,7 @@ fn snapshot() -> String {
     ));
     let opts = PlannerOptions {
         fuse_fast_paths: false,
+        ..PlannerOptions::default()
     };
     let q6_unfused = optimizer::plan_with("Q6", &q6::logical_plan(), b, &opts).unwrap();
     doc.push_str(&format!(
@@ -81,6 +82,7 @@ fn the_fused_and_unfused_q6_listings_differ_only_in_strategy() {
     let fused = optimizer::plan("Q6", &q6::logical_plan(), b).unwrap();
     let opts = PlannerOptions {
         fuse_fast_paths: false,
+        ..PlannerOptions::default()
     };
     let unfused = optimizer::plan_with("Q6", &q6::logical_plan(), b, &opts).unwrap();
     assert!(fused.explain().contains("fast paths: on"));
