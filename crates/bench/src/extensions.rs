@@ -28,7 +28,7 @@
 use gpu_sim::FaultPlan;
 use proto_core::backend::{GpuBackend, Pred};
 use proto_core::framework::Framework;
-use proto_core::ops::{CmpOp, Connective};
+use proto_core::ops::{CmpOp, Connective, JoinAlgo};
 use proto_core::resilient::RetryPolicy;
 use proto_core::resilient_plan::{PlanRecovery, ResilientPlanExecutor};
 use proto_core::runner::{Experiment, Sample};
@@ -397,6 +397,7 @@ pub fn e20_part(b: &dyn GpuBackend, sizes: &[usize]) -> Part {
                     enabled: fused,
                     threshold: 0,
                 },
+                costing: None,
             };
             let tag = if fused { "fused" } else { "unfused" };
             let plan = plan_with(&format!("E20/{tag}"), &logical, b, &opts).expect("plan");
@@ -449,6 +450,265 @@ pub fn e20_fusion_scaling(fw: &proto_core::framework::Framework, sizes: &[usize]
             .map(|b| e20_part(b.as_ref(), sizes))
             .collect(),
     )
+}
+
+/// Default row-count sweep for E21's fused-vs-composed accuracy cells.
+pub fn e21_default_sizes() -> Vec<usize> {
+    vec![1 << 12, 1 << 14, 1 << 16, 1 << 18]
+}
+
+/// Default probe-side row counts for E21's join-algorithm cells.
+pub fn e21_default_join_sizes() -> Vec<usize> {
+    vec![1 << 10, 1 << 12, 1 << 14]
+}
+
+/// Stated relative error band of the cost model: every E21 cell's
+/// predicted cold and warm totals must land within this fraction of the
+/// simulated measurement (asserted by [`e21_assemble`], tabulated in
+/// EXPERIMENTS.md). The symbolic walk reproduces the simulator's charge
+/// sequences exactly, so the only residual is cardinality estimation —
+/// observed worst-case ≈0.5% across the default grid; 5% leaves margin
+/// for other seeds and sizes.
+pub const E21_ERROR_BAND: f64 = 0.05;
+
+/// Decision regret bound: the candidate the cost model picks may be at
+/// most this factor slower than the empirically fastest alternative.
+pub const E21_REGRET: f64 = 1.05;
+
+/// Join algorithms the E21 join sweep prices — the full Table-II set,
+/// measured on the handwritten baseline (the one backend implementing
+/// all three).
+pub const E21_JOIN_ALGOS: [JoinAlgo; 3] = [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops];
+
+/// A measured sample's predicted counterpart: `nanos` carries the
+/// fully-warm prediction, `cold_nanos` the fresh-device prediction,
+/// `launches` the modelled kernel count and `kernel_bytes` the modelled
+/// global-memory traffic.
+fn e21_predicted(label: String, x: u64, report: &proto_core::costing::CostReport) -> Sample {
+    Sample {
+        backend: label,
+        x,
+        nanos: report.warm_ns(),
+        cold_nanos: report.cold_ns(),
+        launches: report.steps.iter().map(|s| u64::from(s.kernels)).sum(),
+        kernel_bytes: report
+            .steps
+            .iter()
+            .map(|s| s.bytes_read + s.bytes_written)
+            .sum(),
+    }
+}
+
+/// One E21 fusion cell on a fresh device: backend `name` runs the E20
+/// chain at `n` rows under one dispatch (`fused` pins the threshold to
+/// always-fused; otherwise the composed chain), returning the measured
+/// sample (`"{name}/{tag}"`) and its prediction (`"{name}/{tag}/pred"`).
+pub fn e21_fusion_cell(name: &str, n: usize, fused: bool) -> (Sample, Sample) {
+    let fw = Framework::single_backend(&crate::paper_device(), name);
+    e21_fusion_cell_on(fw.as_ref(), n, fused)
+}
+
+/// [`e21_fusion_cell`] on a caller-provided (fresh, possibly traced)
+/// backend.
+pub fn e21_fusion_cell_on(b: &dyn GpuBackend, n: usize, fused: bool) -> (Sample, Sample) {
+    use proto_core::costing::{CostModel, TableStats};
+    use proto_core::optimizer::{plan_with, FusionPolicy, PlannerOptions};
+    use proto_core::physical::PlanBindings;
+    let (keys, thr) = workload::cache::selectivity_column(n, 0.5, workload::SEED ^ 50);
+    let a_vals = workload::cache::uniform_f64(n, workload::SEED ^ 51);
+    let b_vals = workload::cache::uniform_f64(n, workload::SEED ^ 52);
+    let logical = e20_logical_plan(f64::from(thr));
+    let tag = if fused { "fused" } else { "composed" };
+    let opts = PlannerOptions {
+        fuse_fast_paths: false,
+        fusion: FusionPolicy {
+            enabled: fused,
+            threshold: 0,
+        },
+        costing: None,
+    };
+    let plan = plan_with(&format!("E21/{tag}"), &logical, b, &opts).expect("plan");
+    // The workload's true selectivities (the key column is drawn at
+    // 0.5, `a < 0.9` keeps 0.9 of a uniform column): E21 calibrates the
+    // *cost* model, so cardinality estimation is held at ground truth.
+    let stats = TableStats::new()
+        .with_rows("t", n)
+        .with_selectivity("t.key", 0.5)
+        .with_selectivity("t.a", 0.9);
+    let report = CostModel::new(&crate::paper_device(), &stats).cost_plan(&plan);
+    let ck = b.upload_u32(&keys).expect("upload");
+    let ca = b.upload_f64(&a_vals).expect("upload");
+    let cb = b.upload_f64(&b_vals).expect("upload");
+    let mut binds = PlanBindings::new();
+    binds.bind("t.key", &ck).bind("t.a", &ca).bind("t.b", &cb);
+    let mut s = proto_core::runner::measure(b, n as u64, || {
+        plan.execute(b, &binds)?.scalar("acc").map(drop)
+    })
+    .expect("measure");
+    s.backend = format!("{}/{tag}", b.name());
+    let pred = e21_predicted(format!("{}/{tag}/pred", b.name()), n as u64, &report);
+    for c in [ck, ca, cb] {
+        b.free(c).expect("free");
+    }
+    (s, pred)
+}
+
+/// The E21 join query: a foreign-key fact→dim join carrying one
+/// probe-side payload into a scalar sum — the smallest plan whose cost
+/// varies across all three Table-II join algorithms.
+pub fn e21_join_plan() -> proto_core::logical::LogicalPlan {
+    use proto_core::logical::{AggExpr, ColumnDecl, JoinCol, LogicalPlan};
+    use proto_core::plan::Expr;
+    LogicalPlan::join(
+        LogicalPlan::scan("dim", vec![ColumnDecl::u32("key")]),
+        LogicalPlan::scan("fact", vec![ColumnDecl::u32("key"), ColumnDecl::f64("val")]),
+        "dim.key",
+        "fact.key",
+        vec![JoinCol::probe("m_val", "fact.val")],
+    )
+    .aggregate(None, vec![("total", AggExpr::Sum(Expr::col("m_val")))])
+}
+
+/// One E21 join cell on a fresh Handwritten device: the FK join at
+/// `outer` probe rows (dim = outer/4) forced through `algo`.
+pub fn e21_join_cell(outer: usize, algo: JoinAlgo) -> (Sample, Sample) {
+    let fw = Framework::single_backend(&crate::paper_device(), "Handwritten");
+    e21_join_cell_on(fw.as_ref(), outer, algo)
+}
+
+/// [`e21_join_cell`] on a caller-provided (fresh, possibly traced)
+/// backend.
+pub fn e21_join_cell_on(b: &dyn GpuBackend, outer: usize, algo: JoinAlgo) -> (Sample, Sample) {
+    use proto_core::costing::{CostModel, TableStats};
+    use proto_core::optimizer::{plan_with_algo, PlannerOptions};
+    use proto_core::physical::PlanBindings;
+    let dim = (outer / 4).max(1);
+    let dim_keys: Vec<u32> = (0..dim as u32).collect();
+    let fact_keys: Vec<u32> = (0..outer)
+        .map(|i| (i as u32).wrapping_mul(2_654_435_761) % dim as u32)
+        .collect();
+    let vals = workload::cache::uniform_f64(outer, workload::SEED ^ 70);
+    let opts = PlannerOptions {
+        fuse_fast_paths: false,
+        ..PlannerOptions::default()
+    };
+    let plan = plan_with_algo("E21/join", &e21_join_plan(), b, &opts, algo).expect("plan");
+    let stats = TableStats::new()
+        .with_rows("dim", dim)
+        .with_rows("fact", outer);
+    let report = CostModel::new(&crate::paper_device(), &stats).cost_plan(&plan);
+    let dk = b.upload_u32(&dim_keys).expect("upload");
+    let fk = b.upload_u32(&fact_keys).expect("upload");
+    let fv = b.upload_f64(&vals).expect("upload");
+    let mut binds = PlanBindings::new();
+    binds
+        .bind("dim.key", &dk)
+        .bind("fact.key", &fk)
+        .bind("fact.val", &fv);
+    let mut s = proto_core::runner::measure(b, outer as u64, || {
+        plan.execute(b, &binds)?.scalar("total").map(drop)
+    })
+    .expect("measure");
+    s.backend = format!("{}/join-{algo:?}", b.name());
+    let pred = e21_predicted(
+        format!("{}/join-{algo:?}/pred", b.name()),
+        outer as u64,
+        &report,
+    );
+    for c in [dk, fk, fv] {
+        b.free(c).expect("free");
+    }
+    (s, pred)
+}
+
+/// Assemble E21 and enforce its two claims:
+///
+/// 1. **Accuracy** — every cell's predicted cold and warm totals land
+///    within [`E21_ERROR_BAND`] of the simulated measurement.
+/// 2. **Decisions** — replaying the costed planner's metric (the
+///    predicted cold total) over each candidate group picks an
+///    alternative whose *measured* cold time is within [`E21_REGRET`]
+///    of the empirically fastest.
+///
+/// `fusion` arrives as `[composed, fused]` pairs per (size, backend);
+/// `join` in [`E21_JOIN_ALGOS`] order per probe size — the orders the
+/// costed planner enumerates candidates in, so ties break identically.
+pub fn e21_assemble(fusion: Vec<(Sample, Sample)>, join: Vec<(Sample, Sample)>) -> Experiment {
+    let mut exp = Experiment::new(
+        "E21",
+        "Cost-model calibration: predicted vs. simulated, and the costed planner's picks",
+        "rows",
+    );
+    for (m, p) in fusion.iter().chain(join.iter()) {
+        for (what, measured, predicted) in [
+            ("cold", m.cold_nanos, p.cold_nanos),
+            ("warm", m.nanos, p.nanos),
+        ] {
+            let err = (predicted as f64 - measured as f64).abs() / measured as f64;
+            assert!(
+                err <= E21_ERROR_BAND,
+                "{} @ {} rows: {what} predicted {predicted} ns vs measured {measured} ns \
+                 ({:.0}% off, band {:.0}%)",
+                m.backend,
+                m.x,
+                err * 100.0,
+                E21_ERROR_BAND * 100.0
+            );
+        }
+    }
+    let check_group = |group: &[(Sample, Sample)]| {
+        let chosen = group
+            .iter()
+            .min_by_key(|(_, p)| p.cold_nanos)
+            .expect("non-empty candidate group");
+        let fastest = group
+            .iter()
+            .map(|(m, _)| m.cold_nanos)
+            .min()
+            .expect("non-empty candidate group");
+        assert!(
+            (chosen.0.cold_nanos as f64) <= fastest as f64 * E21_REGRET,
+            "{} @ {} rows: cost model picked a candidate measuring {} ns, \
+             fastest alternative measures {} ns (regret bound {E21_REGRET})",
+            chosen.0.backend,
+            chosen.0.x,
+            chosen.0.cold_nanos,
+            fastest
+        );
+    };
+    for pair in fusion.chunks(2) {
+        check_group(pair);
+    }
+    for group in join.chunks(E21_JOIN_ALGOS.len()) {
+        check_group(group);
+    }
+    for (m, p) in fusion.into_iter().chain(join) {
+        exp.push(m);
+        exp.push(p);
+    }
+    exp
+}
+
+/// E21 — cost-model calibration against the simulator: the E20 chain's
+/// fused and composed dispatches per backend across `sizes`, plus the
+/// FK join under every Table-II algorithm across `join_sizes`, each
+/// cell paired with the cost model's prediction on a fresh device.
+pub fn e21_cost_model(sizes: &[usize], join_sizes: &[usize]) -> Experiment {
+    let mut fusion = Vec::new();
+    for &n in sizes {
+        for name in proto_core::backends::PAPER_BACKENDS {
+            for fused in [false, true] {
+                fusion.push(e21_fusion_cell(name, n, fused));
+            }
+        }
+    }
+    let mut join = Vec::new();
+    for &outer in join_sizes {
+        for algo in E21_JOIN_ALGOS {
+            join.push(e21_join_cell(outer, algo));
+        }
+    }
+    e21_assemble(fusion, join)
 }
 
 /// The recovery modes E19 sweeps — one resilient-plan-executor

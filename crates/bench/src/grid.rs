@@ -72,6 +72,10 @@ pub struct GridConfig {
     pub e19_rates: Vec<u64>,
     /// Row-count sweep for E20 (spans the fusion break-even).
     pub e20_sizes: Vec<usize>,
+    /// Row-count sweep for E21's fused-vs-composed calibration cells.
+    pub e21_sizes: Vec<usize>,
+    /// Probe-side row counts for E21's join-algorithm cells.
+    pub e21_join_sizes: Vec<usize>,
     /// Fixed row count for A1.
     pub a1_n: usize,
     /// Chain-length sweep for A2.
@@ -107,6 +111,8 @@ impl Default for GridConfig {
             e19_sf: 0.01,
             e19_rates: vec![0, 50],
             e20_sizes: extensions::e20_default_sizes(),
+            e21_sizes: extensions::e21_default_sizes(),
+            e21_join_sizes: extensions::e21_default_join_sizes(),
             a1_n: 1 << 20,
             a2_ks: vec![1, 2, 4, 8],
             a2_n: 1 << 20,
@@ -143,6 +149,7 @@ pub struct GridRun {
 /// each experiment defines.
 enum CellOut {
     Part(Part),
+    Pair(Sample, Sample),
     Rows5(Vec<[Sample; 5]>),
     Quad([Part; 4]),
     Flat(Vec<Sample>),
@@ -220,6 +227,8 @@ struct Ids {
     e17: Vec<usize>,
     e19: Vec<usize>,
     e20: Vec<usize>,
+    e21_fusion: Vec<usize>,
+    e21_join: Vec<usize>,
     a1: Vec<usize>,
     a2: Vec<usize>,
     a3: Vec<usize>,
@@ -227,9 +236,9 @@ struct Ids {
 }
 
 /// Section labels in the serial runner's order (its `host.time` labels).
-pub const SECTIONS: [&str; 23] = [
+pub const SECTIONS: [&str; 24] = [
     "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9-and", "E9-or", "validate", "E10", "E11", "E12",
-    "E13", "E15", "E14", "E17", "E19", "E20", "A1", "A2", "A3", "A4",
+    "E13", "E15", "E14", "E17", "E19", "E20", "E21", "A1", "A2", "A3", "A4",
 ];
 
 /// Register every grid cell into a fresh [`Builder`]; shared between
@@ -378,6 +387,41 @@ fn build(cfg: Arc<GridConfig>) -> (Builder, Ids) {
             }
         }
     }
+    // E21 cells measure on fresh devices: each candidate's cold run is
+    // the exact quantity the cost model predicts.
+    for &n in &cfg.e21_sizes {
+        for name in proto_core::backends::PAPER_BACKENDS {
+            for fused in [false, true] {
+                let tag = if fused { "fused" } else { "composed" };
+                let (_, idx) = b.cell(
+                    None,
+                    None,
+                    format!("E21/n{n}/{name}/{tag}"),
+                    "E21",
+                    move || {
+                        let (m, p) = extensions::e21_fusion_cell(name, n, fused);
+                        CellOut::Pair(m, p)
+                    },
+                );
+                ids.e21_fusion.push(idx);
+            }
+        }
+    }
+    for &outer in &cfg.e21_join_sizes {
+        for algo in extensions::E21_JOIN_ALGOS {
+            let (_, idx) = b.cell(
+                None,
+                None,
+                format!("E21/j{outer}/{algo:?}"),
+                "E21",
+                move || {
+                    let (m, p) = extensions::e21_join_cell(outer, algo);
+                    CellOut::Pair(m, p)
+                },
+            );
+            ids.e21_join.push(idx);
+        }
+    }
     for &k in &cfg.a2_ks {
         for lib in ablations::A2_LIBS {
             let c = cfg.clone();
@@ -491,6 +535,10 @@ pub fn run(cfg: GridConfig, jobs: usize) -> GridRun {
         .collect();
     exps.push(extensions::e19_assemble(&cfg.e19_rates, e19_cells));
     exps.push(extensions::e20_assemble(take_parts(results, &ids.e20)));
+    exps.push(extensions::e21_assemble(
+        take_pairs(results, &ids.e21_fusion),
+        take_pairs(results, &ids.e21_join),
+    ));
     let a1 = ablations::a1_assemble(take_flats(results, &ids.a1));
     let a2_cells = ids
         .a2
@@ -562,6 +610,15 @@ fn take_parts(results: &mut HashMap<usize, CellOut>, idxs: &[usize]) -> Vec<Part
         .collect()
 }
 
+fn take_pairs(results: &mut HashMap<usize, CellOut>, idxs: &[usize]) -> Vec<(Sample, Sample)> {
+    idxs.iter()
+        .map(|i| match results.remove(i) {
+            Some(CellOut::Pair(m, p)) => (m, p),
+            _ => unreachable!("cell produced a sample pair"),
+        })
+        .collect()
+}
+
 fn take_flats(results: &mut HashMap<usize, CellOut>, idxs: &[usize]) -> Vec<Vec<Sample>> {
     idxs.iter()
         .map(|i| match results.remove(i) {
@@ -594,6 +651,8 @@ mod tests {
             e19_sf: 0.001,
             e19_rates: vec![0, 50],
             e20_sizes: vec![1 << 12, 1 << 13],
+            e21_sizes: vec![1 << 12],
+            e21_join_sizes: vec![1 << 10],
             a1_n: 1 << 12,
             a2_ks: vec![1, 4],
             a2_n: 1 << 12,
@@ -623,7 +682,8 @@ mod tests {
                 "E3.csv", "E4.csv", "E5a.csv", "E5b.csv", "E6.csv", "E7a.csv", "E7b.csv",
                 "E7c.csv", "E7d.csv", "E7e.csv", "E8.csv", "E9a.csv", "E9b.csv", "E10.csv",
                 "E11.csv", "E12a.csv", "E12b.csv", "E12c.csv", "E12d.csv", "E13.csv", "E14.csv",
-                "E15.csv", "E17.csv", "E19.csv", "E20.csv", "A1.csv", "A2.csv", "A3.csv", "A4.csv"
+                "E15.csv", "E17.csv", "E19.csv", "E20.csv", "E21.csv", "A1.csv", "A2.csv",
+                "A3.csv", "A4.csv"
             ]
         );
         // E14 is emitted before E15 (numeric order).

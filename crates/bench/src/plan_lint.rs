@@ -21,6 +21,13 @@
 //! [`RecoveryTimeline`], and [`recovery_reports`] executes all six
 //! queries through the resilient plan executor under injected faults
 //! and lints each run's recovery history.
+//!
+//! And the GL6xx resource checker: [`costed_plan_report`] summarizes a
+//! costed plan's estimated peak device bytes into the lint's
+//! [`gpu_lint::CostedPlan`] shape, and [`costed_plan_reports`] prices
+//! all six queries on every backend (the device's own capacity as the
+//! declared budget) — the CI gate that a costed plan's memory estimate
+//! stays inside what it will run on.
 
 use gpu_lint::{PlanColumn, PlanDtype, PlanStep, PlanUse, RecoveryTimeline, Report};
 use proto_core::backend::ColType;
@@ -327,6 +334,68 @@ pub fn query_plan_reports() -> Vec<Report> {
     reports
 }
 
+/// Lint one costed plan's memory estimate (GL6xx) against the budget an
+/// experiment declared and the device it targets. Returns `None` for a
+/// plan compiled without [`proto_core::optimizer::CostingOptions`] —
+/// there is no estimate to check.
+pub fn costed_plan_report(
+    plan: &PhysicalPlan,
+    mem_budget_bytes: Option<u64>,
+    spec: &gpu_sim::DeviceSpec,
+) -> Option<Report> {
+    let report = plan.cost_report()?;
+    Some(gpu_lint::lint_costed_plan(
+        format!("costed-plan({}/{})", plan.query(), plan.backend_name()),
+        &gpu_lint::CostedPlan {
+            peak_device_bytes: report.peak_device_bytes,
+            mem_budget_bytes,
+            device_mem_bytes: spec.global_mem_bytes,
+        },
+    ))
+}
+
+/// Compile all six TPC-H queries with costing on (default table stats)
+/// for every backend that can plan them and lint each plan's memory
+/// estimate, declaring the paper device's own capacity as the budget —
+/// the GL6xx CI gate. The ArrayFire skip mirrors
+/// [`query_plan_reports`].
+pub fn costed_plan_reports() -> Vec<Report> {
+    use proto_core::costing::TableStats;
+    use proto_core::optimizer::{self, CostingOptions, PlannerOptions};
+    use tpch::queries::{q1, q14, q3, q4, q5, q6};
+    type Logical = fn() -> proto_core::logical::LogicalPlan;
+    let queries: [(&str, Logical); 6] = [
+        ("Q1", q1::logical_plan),
+        ("Q3", q3::logical_plan),
+        ("Q4", q4::logical_plan),
+        ("Q5", q5::logical_plan),
+        ("Q6", q6::logical_plan),
+        ("Q14", q14::logical_plan),
+    ];
+    let spec = crate::paper_device();
+    let fw = crate::paper_framework();
+    let mut reports = Vec::new();
+    for (q, logical) in &queries {
+        let opts = PlannerOptions {
+            costing: Some(CostingOptions::new(&spec, TableStats::new())),
+            ..PlannerOptions::default()
+        };
+        for b in fw.backends() {
+            match optimizer::plan_with(q, &logical(), b.as_ref(), &opts) {
+                Ok(plan) => reports.extend(costed_plan_report(
+                    &plan,
+                    Some(spec.global_mem_bytes),
+                    &spec,
+                )),
+                Err(_) => {
+                    assert_eq!(b.name(), "ArrayFire", "only ArrayFire may fail to plan")
+                }
+            }
+        }
+    }
+    reports
+}
+
 /// Translate a resilient-plan-executor recovery log into the lint's
 /// [`RecoveryTimeline`] shape, losslessly.
 pub fn convert_recovery(log: &RecoveryLog) -> RecoveryTimeline {
@@ -441,6 +510,73 @@ mod tests {
         for r in &reports {
             assert!(r.is_clean(), "{}", r.render());
         }
+    }
+
+    #[test]
+    fn every_costed_tpch_plan_fits_the_paper_device() {
+        let reports = costed_plan_reports();
+        assert_eq!(reports.len(), 6 * 4 - 4);
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn injected_tiny_budget_is_flagged_gl601() {
+        use proto_core::costing::TableStats;
+        use proto_core::optimizer::{self, CostingOptions, PlannerOptions};
+        let spec = crate::paper_device();
+        let fw = crate::paper_framework();
+        let b = fw.backend("Thrust").unwrap();
+        let opts = PlannerOptions {
+            costing: Some(CostingOptions::new(
+                &spec,
+                TableStats::new().with_rows("lineitem", 1 << 16),
+            )),
+            ..PlannerOptions::default()
+        };
+        // Q1 (not Q6: Q6 fuses to a single pass with zero device
+        // intermediates, so its estimated peak is legitimately 0).
+        let plan =
+            optimizer::plan_with("Q1", &tpch::queries::q1::logical_plan(), b, &opts).unwrap();
+        // A 4 KiB budget is far below Q1's working set at 65K rows.
+        let r = costed_plan_report(&plan, Some(4 << 10), &spec).unwrap();
+        let ids: Vec<_> = r.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert_eq!(ids, vec!["GL601"], "{}", r.render());
+        assert_eq!(r.errors(), 0, "budget overrun is a warning, not an error");
+    }
+
+    #[test]
+    fn injected_giant_cardinality_is_flagged_gl602() {
+        use proto_core::costing::TableStats;
+        use proto_core::optimizer::{self, CostingOptions, PlannerOptions};
+        let spec = crate::paper_device();
+        let fw = crate::paper_framework();
+        let b = fw.backend("Thrust").unwrap();
+        // Q1 at 2^29 rows holds ~11 GB of intermediates — past the
+        // gtx1080's 8 GiB; the symbolic model prices it without
+        // allocating anything.
+        let opts = PlannerOptions {
+            costing: Some(CostingOptions::new(
+                &spec,
+                TableStats::new().with_rows("lineitem", 1 << 29),
+            )),
+            ..PlannerOptions::default()
+        };
+        let plan =
+            optimizer::plan_with("Q1", &tpch::queries::q1::logical_plan(), b, &opts).unwrap();
+        let r = costed_plan_report(&plan, None, &spec).unwrap();
+        let ids: Vec<_> = r.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert_eq!(ids, vec!["GL602"], "{}", r.render());
+        assert_eq!(r.errors(), 1);
+    }
+
+    #[test]
+    fn uncosted_plans_have_no_estimate_to_lint() {
+        let fw = crate::paper_framework();
+        let b = fw.backend("Thrust").unwrap();
+        let plan = tpch::queries::q6::physical_plan(b).unwrap();
+        assert!(costed_plan_report(&plan, Some(1), &crate::paper_device()).is_none());
     }
 
     #[test]

@@ -32,9 +32,9 @@ impl std::fmt::Debug for TracedCell {
 }
 
 /// Experiment ids the traced runner can replay, in emission order.
-pub const EXPERIMENTS: [&str; 22] = [
+pub const EXPERIMENTS: [&str; 23] = [
     "E3", "E4", "E5a", "E5b", "E6", "E7", "E8", "E9a", "E9b", "E10", "E11", "E12", "E13", "E14",
-    "E15", "E17", "E19", "E20", "A1", "A2", "A3", "A4",
+    "E15", "E17", "E19", "E20", "E21", "A1", "A2", "A3", "A4",
 ];
 
 /// A complete-coverage configuration small enough for the lint gate:
@@ -59,6 +59,8 @@ pub fn lint_config() -> GridConfig {
         e19_sf: 0.001,
         e19_rates: vec![0, 50],
         e20_sizes: vec![1 << 12, 1 << 14],
+        e21_sizes: vec![1 << 12],
+        e21_join_sizes: vec![1 << 10],
         a1_n: 1 << 12,
         a2_ks: vec![1, 4],
         a2_n: 1 << 12,
@@ -160,6 +162,33 @@ pub fn traced_experiment(cfg: &GridConfig, exp: &str) -> Vec<TracedCell> {
         "E20" => per_backend(&|b| {
             extensions::e20_part(b, &cfg.e20_sizes);
         }),
+        "E21" => {
+            let mut cells = Vec::new();
+            for &n in &cfg.e21_sizes {
+                for name in proto_core::backends::PAPER_BACKENDS {
+                    for fused in [false, true] {
+                        let b = traced_backend(name);
+                        extensions::e21_fusion_cell_on(b.as_ref(), n, fused);
+                        let tag = if fused { "fused" } else { "composed" };
+                        cells.push(TracedCell {
+                            label: format!("E21/n{n}/{name}/{tag}"),
+                            trace: b.device().take_trace(),
+                        });
+                    }
+                }
+            }
+            for &outer in &cfg.e21_join_sizes {
+                for algo in extensions::E21_JOIN_ALGOS {
+                    let b = traced_backend("Handwritten");
+                    extensions::e21_join_cell_on(b.as_ref(), outer, algo);
+                    cells.push(TracedCell {
+                        label: format!("E21/j{outer}/{algo:?}"),
+                        trace: b.device().take_trace(),
+                    });
+                }
+            }
+            cells
+        }
         "A1" => per_backend(&|b| {
             ablations::a1_part(b, cfg.a1_n);
         }),

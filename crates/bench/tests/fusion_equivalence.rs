@@ -155,6 +155,7 @@ fn random_chains_are_bit_equal_fused_and_unfused_on_every_backend() {
                         enabled: fused,
                         threshold: 0,
                     },
+                    costing: None,
                 };
                 let plan = plan_with("prop", &logical, b, &opts).unwrap_or_else(|e| {
                     panic!(

@@ -94,6 +94,8 @@ fn grid_artifacts_and_stdout_are_jobs_invariant() {
         e19_sf: 0.001,
         e19_rates: vec![0, 100],
         e20_sizes: vec![1 << 12, 1 << 13],
+        e21_sizes: vec![1 << 12],
+        e21_join_sizes: vec![1 << 10],
         a1_n: 1 << 12,
         a2_ks: vec![1, 2],
         a2_n: 1 << 12,

@@ -14,6 +14,8 @@
 //!   handwritten baseline;
 //! * [`fused`] — the cross-operator fusion IR ([`FusedExpr`](fused::FusedExpr))
 //!   and its composed reference realisation;
+//! * [`costing`] — symbolic plan pricing against the simulator's own
+//!   cost model, powering the cost-based planner;
 //! * [`framework`] — the registry + generated support matrix (Table II);
 //! * [`survey`] — the 43-library catalogue (Table I);
 //! * [`runner`] — deterministic simulated-time measurement;
@@ -48,6 +50,7 @@
 pub mod advisor;
 pub mod backend;
 pub mod backends;
+pub mod costing;
 pub mod framework;
 pub mod fused;
 pub mod logical;
@@ -66,11 +69,12 @@ pub mod prelude {
     pub use crate::advisor::{choose_materialization, ColumnStats, Materialization};
     pub use crate::backend::{Col, ColType, GpuBackend, Pred};
     pub use crate::backends::{ArrayFireBackend, BoostBackend, HandwrittenBackend, ThrustBackend};
+    pub use crate::costing::{CacheState, CostModel, CostReport, StepCost, TableStats};
     pub use crate::framework::Framework;
     pub use crate::fused::{FusedExpr, FusedPred};
     pub use crate::logical::{AggExpr, ColumnDecl, JoinCol, JoinSide, LogicalPlan, ResultOrder};
     pub use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
-    pub use crate::optimizer::{FusionPolicy, PassTrace, PlannerOptions};
+    pub use crate::optimizer::{CostingOptions, FusionPolicy, PassTrace, PlannerOptions};
     pub use crate::physical::{PhysicalPlan, PlanBindings, PlanOutput, PlanValue, Step};
     pub use crate::plan::{Agg, AggQuery, Bindings, Expr, Predicate, QueryResult};
     pub use crate::resilient::{ResilientBackend, ResilientExecutor, RetryPolicy};

@@ -26,6 +26,7 @@
 //! cover it with a structural unit test here — plans are `PartialEq`.
 
 use crate::backend::{ColType, GpuBackend};
+use crate::costing::{Alternative, CacheState, CostModel, TableStats};
 use crate::fused::{FusedExpr, FusedPred};
 use crate::logical::{AggExpr, JoinSide, LogicalPlan};
 use crate::ops::{CmpOp, Connective, DbOperator, JoinAlgo, Support};
@@ -43,6 +44,15 @@ pub fn best_join(backend: &dyn GpuBackend) -> Option<JoinAlgo> {
         .find(|algo| backend.support(algo.operator()) != Support::None)
 }
 
+/// Every join algorithm `backend` supports, in the Table-II preference
+/// order — the candidate set the cost-based planner prices.
+pub fn supported_joins(backend: &dyn GpuBackend) -> Vec<JoinAlgo> {
+    [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops]
+        .into_iter()
+        .filter(|algo| backend.support(algo.operator()) != Support::None)
+        .collect()
+}
+
 /// Knobs of [`plan_with`].
 #[derive(Debug, Clone)]
 pub struct PlannerOptions {
@@ -55,6 +65,13 @@ pub struct PlannerOptions {
     /// [`Step::FusedFilterAgg`] / [`Step::FusedMap`] kernels). Off by
     /// default so existing plans stay byte-identical.
     pub fusion: FusionPolicy,
+    /// Cost-based planning: when set, [`plan_with`] prices every
+    /// supported join algorithm and fused/composed dispatch against the
+    /// [`crate::costing::CostModel`] and keeps the cheapest candidate,
+    /// attaching its [`crate::costing::CostReport`] to the plan. `None`
+    /// (the default) keeps the heuristic path and its byte-identical
+    /// plans.
+    pub costing: Option<CostingOptions>,
 }
 
 impl Default for PlannerOptions {
@@ -62,9 +79,49 @@ impl Default for PlannerOptions {
         PlannerOptions {
             fuse_fast_paths: true,
             fusion: FusionPolicy::default(),
+            costing: None,
         }
     }
 }
+
+/// Knobs of the cost-based planner ([`PlannerOptions::costing`]).
+#[derive(Debug, Clone)]
+pub struct CostingOptions {
+    /// Device model candidates are priced against — normally the spec
+    /// of the device the plan will run on.
+    pub spec: gpu_sim::DeviceSpec,
+    /// Base-table row counts for cardinality estimation.
+    pub stats: TableStats,
+    /// Cache state the decision metric is evaluated under.
+    /// [`CacheState::Cold`] (the default) optimises the first run on a
+    /// fresh device; [`CacheState::Steady`] reproduces the trade the
+    /// fixed [`DEFAULT_FUSION_THRESHOLD`] encoded; [`CacheState::Warm`]
+    /// optimises a repeated query.
+    pub cache_state: CacheState,
+}
+
+impl CostingOptions {
+    /// Costing against `spec` with `stats`, deciding on first-run
+    /// (cold) totals.
+    pub fn new(spec: &gpu_sim::DeviceSpec, stats: TableStats) -> Self {
+        CostingOptions {
+            spec: spec.clone(),
+            stats,
+            cache_state: CacheState::Cold,
+        }
+    }
+
+    /// Builder: decide under `state` instead of [`CacheState::Cold`].
+    pub fn with_cache_state(mut self, state: CacheState) -> Self {
+        self.cache_state = state;
+        self
+    }
+}
+
+/// Environment variable overriding [`FusionPolicy::threshold`] for both
+/// the heuristic and the costed planner (the costed planner then skips
+/// its fused-vs-composed pricing and honours the pinned dispatch).
+pub const FUSION_THRESHOLD_ENV: &str = "PROTO_FUSION_THRESHOLD";
 
 /// Default row-count break-even for the size-adaptive fused dispatch,
 /// calibrated by the `fig_fusion_scaling` experiment (E20). In steady
@@ -391,26 +448,162 @@ pub fn plan(query: &str, logical: &LogicalPlan, backend: &dyn GpuBackend) -> Res
 }
 
 /// [`plan`] with explicit [`PlannerOptions`].
+///
+/// Honours the [`FUSION_THRESHOLD_ENV`] override for the fused-dispatch
+/// threshold, then follows the heuristic path ([`best_join`], the
+/// options' fusion threshold) or — when [`PlannerOptions::costing`] is
+/// set — prices every supported join algorithm × fused/composed
+/// dispatch and keeps the cheapest candidate.
 pub fn plan_with(
     query: &str,
     logical: &LogicalPlan,
     backend: &dyn GpuBackend,
     opts: &PlannerOptions,
 ) -> Result<PhysicalPlan> {
+    let mut opts = opts.clone();
+    let env_pinned = match std::env::var(FUSION_THRESHOLD_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) => {
+                opts.fusion.threshold = t;
+                true
+            }
+            Err(_) => false,
+        },
+        Err(_) => false,
+    };
     let optimized = optimize(logical);
+    if let Some(costing) = opts.costing.clone() {
+        return plan_costed(query, &optimized, backend, &opts, &costing, env_pinned);
+    }
     let join_algo = if optimized.contains_join() {
         match best_join(backend) {
             Some(a) => Some(a),
-            None => {
-                return Err(SimError::Unsupported(format!(
-                    "{} supports no join algorithm (Table II)",
-                    backend.name()
-                )))
-            }
+            None => return Err(no_join_support(backend)),
         }
     } else {
         None
     };
+    lower_with_algo(query, &optimized, backend, &opts, join_algo)
+}
+
+/// [`plan_with`] forcing `algo` as the join algorithm (the knob E21's
+/// join sweep uses to measure every candidate, not just the winner).
+/// Errors when `backend` does not support `algo` (Table II).
+pub fn plan_with_algo(
+    query: &str,
+    logical: &LogicalPlan,
+    backend: &dyn GpuBackend,
+    opts: &PlannerOptions,
+    algo: JoinAlgo,
+) -> Result<PhysicalPlan> {
+    if backend.support(algo.operator()) == Support::None {
+        return Err(SimError::Unsupported(format!(
+            "{} does not support {:?} joins (Table II)",
+            backend.name(),
+            algo
+        )));
+    }
+    let optimized = optimize(logical);
+    lower_with_algo(query, &optimized, backend, opts, Some(algo))
+}
+
+fn no_join_support(backend: &dyn GpuBackend) -> SimError {
+    SimError::Unsupported(format!(
+        "{} supports no join algorithm (Table II)",
+        backend.name()
+    ))
+}
+
+/// The cost-based candidate search: lower once per supported join
+/// algorithm × dispatch choice, price each candidate, keep the
+/// cheapest under the requested cache state and attach the report.
+fn plan_costed(
+    query: &str,
+    optimized: &LogicalPlan,
+    backend: &dyn GpuBackend,
+    opts: &PlannerOptions,
+    costing: &CostingOptions,
+    env_pinned: bool,
+) -> Result<PhysicalPlan> {
+    let model = CostModel::new(&costing.spec, &costing.stats);
+    let algos: Vec<Option<JoinAlgo>> = if optimized.contains_join() {
+        let supported = supported_joins(backend);
+        if supported.is_empty() {
+            return Err(no_join_support(backend));
+        }
+        supported.into_iter().map(Some).collect()
+    } else {
+        vec![None]
+    };
+    // Fused-vs-composed is a pure dispatch knob (both realisations are
+    // bit-equal), so the costed planner owns the decision outright:
+    // one candidate runs the fusion pass with the threshold pinned to
+    // always-fused, the other disables the pass entirely. The env
+    // override pins the threshold instead and suppresses enumeration.
+    let dispatches: &[(&str, Option<FusionPolicy>)] = if env_pinned {
+        &[("default", None)]
+    } else {
+        &[
+            (
+                "fused",
+                Some(FusionPolicy {
+                    enabled: true,
+                    threshold: 0,
+                }),
+            ),
+            (
+                "composed",
+                Some(FusionPolicy {
+                    enabled: false,
+                    threshold: usize::MAX,
+                }),
+            ),
+        ]
+    };
+    let mut best: Option<(PhysicalPlan, crate::costing::CostReport, u64, usize)> = None;
+    let mut alternatives = Vec::new();
+    for algo in &algos {
+        for (tag, policy) in dispatches {
+            let mut o = opts.clone();
+            o.costing = None;
+            if let Some(p) = policy {
+                o.fusion = *p;
+            }
+            let plan = lower_with_algo(query, optimized, backend, &o, *algo)?;
+            let report = model.cost_plan(&plan);
+            let name = match algo {
+                Some(a) => format!("join={a:?}, dispatch={tag}"),
+                None => format!("dispatch={tag}"),
+            };
+            let total = report.total_ns(costing.cache_state);
+            alternatives.push(Alternative {
+                name,
+                cold_ns: report.cold_ns(),
+                steady_ns: report.total_ns(CacheState::Steady),
+                warm_ns: report.warm_ns(),
+                chosen: false,
+            });
+            if best.as_ref().is_none_or(|(_, _, t, _)| total < *t) {
+                best = Some((plan, report, total, alternatives.len() - 1));
+            }
+        }
+    }
+    let (mut plan, mut report, _, chosen) = best.expect("at least one candidate");
+    alternatives[chosen].chosen = true;
+    report.alternatives = alternatives;
+    plan.cost = Some(report);
+    Ok(plan)
+}
+
+/// Lower `optimized` for `backend` with `join_algo` already selected —
+/// the shared tail of the heuristic and costed paths.
+fn lower_with_algo(
+    query: &str,
+    optimized: &LogicalPlan,
+    backend: &dyn GpuBackend,
+    opts: &PlannerOptions,
+    join_algo: Option<JoinAlgo>,
+) -> Result<PhysicalPlan> {
     let mut lw = Lowerer {
         backend,
         fuse: opts.fuse_fast_paths,
@@ -425,7 +618,7 @@ pub fn plan_with(
         base: BTreeMap::new(),
         rel_cache: Vec::new(),
     };
-    lw.lower_root(&optimized)?;
+    lw.lower_root(optimized)?;
     Ok(PhysicalPlan {
         query: query.to_string(),
         backend: backend.name().to_string(),
@@ -436,6 +629,7 @@ pub fn plan_with(
         slots: lw.slots,
         outputs: lw.outputs,
         base: lw.base,
+        cost: None,
     })
 }
 

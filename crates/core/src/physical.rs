@@ -413,6 +413,10 @@ pub struct PhysicalPlan {
     pub(crate) slots: Vec<SlotMeta>,
     pub(crate) outputs: Vec<(String, usize)>,
     pub(crate) base: BTreeMap<String, ColType>,
+    /// The cost report attached by the cost-based planner
+    /// ([`crate::optimizer::CostingOptions`]); `None` for heuristic
+    /// plans, keeping their `explain()` byte-identical.
+    pub(crate) cost: Option<crate::costing::CostReport>,
 }
 
 impl PhysicalPlan {
@@ -450,6 +454,12 @@ impl PhysicalPlan {
     /// Qualified base columns the plan reads, with their dtypes.
     pub fn base_columns(&self) -> &BTreeMap<String, ColType> {
         &self.base
+    }
+
+    /// The planner's cost report, when this plan was produced by the
+    /// cost-based path ([`crate::optimizer::CostingOptions`]).
+    pub fn cost_report(&self) -> Option<&crate::costing::CostReport> {
+        self.cost.as_ref()
     }
 
     fn fmt_ref(&self, r: &ColRef) -> String {
@@ -491,7 +501,7 @@ impl PhysicalPlan {
             self.backend,
             if self.fused { "on" } else { "off" }
         );
-        for (step, how) in self.steps.iter().zip(&self.realize) {
+        for (ix, (step, how)) in self.steps.iter().zip(&self.realize).enumerate() {
             let text = match step {
                 Step::Selection {
                     input,
@@ -602,14 +612,36 @@ impl PhysicalPlan {
                 }
                 Step::Free { slot } => format!("free %{slot} ({})", self.slots[*slot].name),
             };
-            if how.is_empty() {
-                let _ = writeln!(out, "  {text}");
+            let line = if how.is_empty() {
+                format!("  {text}")
             } else {
-                let _ = writeln!(out, "  {text:<55} [{how}]");
+                format!("  {text:<55} [{how}]")
+            };
+            // Costed plans carry per-step byte/time estimates so costed
+            // and uncosted listings diff cleanly in goldens; heuristic
+            // plans print exactly the historical listing.
+            match self.cost.as_ref().and_then(|c| c.steps.get(ix)) {
+                Some(sc) => {
+                    let _ = writeln!(
+                        out,
+                        "{line:<75} ~{{rows={}, r={} B, w={} B, cold={} ns, warm={} ns}}",
+                        sc.rows_out,
+                        sc.bytes_read,
+                        sc.bytes_written,
+                        sc.total_ns(crate::costing::CacheState::Cold),
+                        sc.total_ns(crate::costing::CacheState::Warm)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{line}");
+                }
             }
         }
         for (name, slot) in &self.outputs {
             let _ = writeln!(out, "  output {name} = %{slot}");
+        }
+        if let Some(cost) = &self.cost {
+            out.push_str(&cost.render());
         }
         out
     }
@@ -1003,6 +1035,7 @@ mod tests {
             backend: "Handwritten".into(),
             join_algo: None,
             fused: false,
+            cost: None,
             steps: vec![
                 Step::DownloadU32 {
                     input: ColRef::Base("t.k".into()),

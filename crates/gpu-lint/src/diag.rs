@@ -6,7 +6,8 @@
 //! the hazard-injection tests can match on them across versions. Rule
 //! numbering is grouped by pass family: `GL0xx` buffer lifetimes,
 //! `GL1xx` stream ordering, `GL2xx` compiled Programs, `GL3xx`
-//! scheduler plans, `GL4xx` compiled physical query plans.
+//! scheduler plans, `GL4xx` compiled physical query plans, `GL5xx`
+//! recovery timelines, `GL6xx` costed-plan resource estimates.
 
 use std::fmt;
 
@@ -91,6 +92,12 @@ pub enum Rule {
     /// GL502 — retry policy allows retries but budgets zero backoff
     /// (an immediate retry storm under persistent transients).
     RetryWithoutBackoff,
+    /// GL601 — a costed plan's estimated peak device bytes exceed the
+    /// declared memory budget: partitioned execution will engage.
+    CostExceedsMemBudget,
+    /// GL602 — a costed plan's estimated peak device bytes exceed the
+    /// device's physical memory: it cannot run un-partitioned.
+    CostExceedsDeviceMemory,
 }
 
 impl Rule {
@@ -121,6 +128,8 @@ impl Rule {
             Rule::FusedArithNotF64 => "GL405",
             Rule::CheckpointAfterFree => "GL501",
             Rule::RetryWithoutBackoff => "GL502",
+            Rule::CostExceedsMemBudget => "GL601",
+            Rule::CostExceedsDeviceMemory => "GL602",
         }
     }
 
@@ -134,7 +143,8 @@ impl Rule {
             | Rule::DtypeMismatch
             | Rule::DeadLeaf
             | Rule::UnfreedPlanColumn
-            | Rule::RetryWithoutBackoff => Severity::Warning,
+            | Rule::RetryWithoutBackoff
+            | Rule::CostExceedsMemBudget => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -314,6 +324,8 @@ mod tests {
             Rule::FusedArithNotF64,
             Rule::CheckpointAfterFree,
             Rule::RetryWithoutBackoff,
+            Rule::CostExceedsMemBudget,
+            Rule::CostExceedsDeviceMemory,
         ];
         let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len(), "ids collide");
@@ -331,6 +343,10 @@ mod tests {
         assert_eq!(Rule::PlanDtypeMismatch.severity(), Severity::Error);
         assert_eq!(Rule::CheckpointAfterFree.severity(), Severity::Error);
         assert_eq!(Rule::RetryWithoutBackoff.severity(), Severity::Warning);
+        assert_eq!(Rule::CostExceedsMemBudget.id(), "GL601");
+        assert_eq!(Rule::CostExceedsMemBudget.severity(), Severity::Warning);
+        assert_eq!(Rule::CostExceedsDeviceMemory.id(), "GL602");
+        assert_eq!(Rule::CostExceedsDeviceMemory.severity(), Severity::Error);
     }
 
     #[test]

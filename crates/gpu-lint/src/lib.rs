@@ -16,6 +16,9 @@
 //! * **Recovery timelines** ([`resilience::RecoveryTimeline`] from the
 //!   resilient plan executor) — the recovery-lifecycle checker
 //!   ([`resilience::lint_recovery`], `GL5xx`).
+//! * **Costed-plan estimates** ([`costing::CostedPlan`] summaries of
+//!   the planner's cost reports) — the resource-budget checker
+//!   ([`costing::lint_costed_plan`], `GL6xx`).
 //!
 //! Every pass is a pure function from artifact to [`Diagnostic`]s; the
 //! analyzer never mutates what it observes, so linting a trace can
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod costing;
 pub mod diag;
 pub mod physplan;
 pub mod plan;
@@ -38,6 +42,7 @@ pub mod program;
 pub mod resilience;
 pub mod stream;
 
+pub use costing::CostedPlan;
 pub use diag::{Diagnostic, Report, Rule, Severity, Waiver};
 pub use physplan::{PlanColumn, PlanDtype, PlanStep, PlanUse};
 pub use plan::PlanTask;
@@ -75,6 +80,11 @@ pub fn lint_physical_plan(
 /// Check a recovery timeline and bundle the findings.
 pub fn lint_recovery(target: impl Into<String>, timeline: &RecoveryTimeline) -> Report {
     Report::new(target, resilience::lint_recovery(timeline))
+}
+
+/// Check a costed plan's resource estimates and bundle the findings.
+pub fn lint_costed_plan(target: impl Into<String>, plan: &CostedPlan) -> Report {
+    Report::new(target, costing::lint_costed_plan(plan))
 }
 
 /// Render `events` as a timeline with each diagnostic's rule id

@@ -23,6 +23,12 @@ use std::sync::Arc;
 /// The id of the default stream all device-level operations issue on.
 pub const DEFAULT_STREAM: u64 = 0;
 
+/// Latency of serving a [`AllocPolicy::Pooled`] allocation from the
+/// sub-allocator cache (a free-list pop — no driver round trip).
+/// Exposed so plan costing prices warm allocations the same way
+/// [`Device::alloc`] charges them.
+pub const POOL_HIT_NS: u64 = 500;
+
 /// A simulated GPU.
 #[derive(Debug)]
 pub struct Device {
@@ -296,7 +302,7 @@ impl Device {
             // Cached bytes were already counted in mem_in_use.
             drop(inner);
             let start = self.now();
-            self.clock.advance(SimDuration::from_nanos(500));
+            self.clock.advance(SimDuration::from_nanos(POOL_HIT_NS));
             // Meta event: hidden from timelines, but gives the lint passes
             // a birth record for pool-served buffers.
             self.record(

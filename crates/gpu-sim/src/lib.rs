@@ -74,7 +74,7 @@ pub mod transfer;
 pub use buffer::{BufferId, DeviceBuffer, DeviceCopy};
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::{AccessPattern, KernelCost};
-pub use device::{Device, DEFAULT_STREAM};
+pub use device::{Device, DEFAULT_STREAM, POOL_HIT_NS};
 pub use error::{Result, SimError};
 pub use fault::{FaultPlan, FaultSite};
 pub use hostexec::{
@@ -82,7 +82,7 @@ pub use hostexec::{
 };
 pub use pool::AllocPolicy;
 pub use pool::PoolStats;
-pub use spec::DeviceSpec;
+pub use spec::{DeviceSpec, LaunchApi};
 pub use stats::{DeviceStats, KernelStat};
 pub use stream::{Event, Stream};
 pub use trace::{

@@ -7,6 +7,19 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which driver path issues a kernel launch — selects the per-launch
+/// overhead ([`DeviceSpec::launch_overhead_ns`]) and the JIT story
+/// ([`DeviceSpec::jit_compile_ns`]) a symbolic plan coster charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchApi {
+    /// CUDA runtime launches (Thrust, ArrayFire's CUDA build, the
+    /// handwritten kernels): ahead-of-time compiled, cheap launches.
+    Cuda,
+    /// OpenCL command-queue enqueues (Boost.Compute): dearer per
+    /// launch, and every distinct program key JIT-compiles once.
+    OpenCl,
+}
+
 /// Static description of a simulated GPU.
 ///
 /// Units are chosen so arithmetic stays in integers/nanoseconds where
@@ -147,6 +160,28 @@ impl DeviceSpec {
     /// Peak ALU throughput in simple operations per nanosecond.
     pub fn flops_per_ns(&self) -> f64 {
         self.sm_count as f64 * self.lanes_per_sm as f64 * self.clock_ghz * self.ipc
+    }
+
+    /// Per-launch driver overhead of `api` — the number every backend
+    /// stamps on its [`crate::KernelCost`]s. Exposed so plan costing can
+    /// price launches symbolically, without charging a live device.
+    pub fn launch_overhead_ns(&self, api: LaunchApi) -> u64 {
+        match api {
+            LaunchApi::Cuda => self.cuda_launch_latency_ns,
+            LaunchApi::OpenCl => self.opencl_enqueue_latency_ns,
+        }
+    }
+
+    /// One-time compile cost the runtime of `api` pays the first time a
+    /// distinct kernel/program shape is seen (zero for CUDA's ahead-of-
+    /// time toolchain, [`DeviceSpec::opencl_jit_compile_ns`] for
+    /// OpenCL). ArrayFire's lazy-tree JIT is priced separately via
+    /// [`DeviceSpec::arrayfire_jit_compile_ns`].
+    pub fn jit_compile_ns(&self, api: LaunchApi) -> u64 {
+        match api {
+            LaunchApi::Cuda => 0,
+            LaunchApi::OpenCl => self.opencl_jit_compile_ns,
+        }
     }
 
     /// Total SIMD lanes on the device.
