@@ -10,7 +10,8 @@
 //! With no experiment ids, lints the full grid (see
 //! `bench::traced::EXPERIMENTS`) plus the plan, Program, TPC-H
 //! physical-query-plan (GL4xx), costed-plan memory-estimate (GL6xx),
-//! and fault-recovery timeline (GL5xx) targets.
+//! fault-recovery timeline (GL5xx), and planner translation-validation
+//! (GL7xx: every query × every planner mode × every backend) targets.
 //! Exits nonzero if any `Severity::Error` diagnostic fires — or any
 //! warning, under `--deny-warnings`. `--timeline` prints an annotated
 //! timeline for every unclean trace; `--dump` prints every event of
@@ -143,6 +144,7 @@ fn main() {
         reports.extend(bench::plan_lint::query_plan_reports());
         reports.extend(bench::plan_lint::costed_plan_reports());
         reports.extend(bench::plan_lint::recovery_reports());
+        reports.extend(bench::plan_lint::translation_reports());
     }
 
     let mut errors = 0;

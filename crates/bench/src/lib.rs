@@ -13,6 +13,7 @@ pub mod extensions;
 pub mod grid;
 pub mod operators;
 pub mod plan_lint;
+pub mod plangen;
 pub mod queries;
 pub mod report;
 pub mod sched;

@@ -28,6 +28,14 @@
 //! all six queries on every backend (the device's own capacity as the
 //! declared budget) — the CI gate that a costed plan's memory estimate
 //! stays inside what it will run on.
+//!
+//! And the GL7xx translation validator: [`translation_reports`] runs
+//! every query through [`proto_core::optimizer::plan_traced`] under all
+//! three planner modes (heuristic, fusion, costing) on every backend,
+//! then replays the certificate-bearing rewrite trace through
+//! [`gpu_lint::lint_translation`] — the CI gate that each
+//! logical→physical rewrite the planner performs is semantically
+//! equivalent to the plan it replaced.
 
 use gpu_lint::{PlanColumn, PlanDtype, PlanStep, PlanUse, RecoveryTimeline, Report};
 use proto_core::backend::ColType;
@@ -396,6 +404,71 @@ pub fn costed_plan_reports() -> Vec<Report> {
     reports
 }
 
+/// Compile all six TPC-H queries with [`optimizer::plan_traced`] under
+/// all three planner modes — heuristic (defaults), fusion
+/// ([`FusionPolicy::on`]), and costing (default table stats) — on every
+/// backend that can plan them, and validate each run's rewrite trace
+/// against the compiled plan (GL7xx). The ArrayFire skip mirrors
+/// [`query_plan_reports`].
+///
+/// [`optimizer::plan_traced`]: proto_core::optimizer::plan_traced
+/// [`FusionPolicy::on`]: proto_core::optimizer::FusionPolicy::on
+pub fn translation_reports() -> Vec<Report> {
+    use proto_core::costing::TableStats;
+    use proto_core::optimizer::{self, CostingOptions, FusionPolicy, PlannerOptions};
+    use tpch::queries::{q1, q14, q3, q4, q5, q6};
+    type Logical = fn() -> proto_core::logical::LogicalPlan;
+    let queries: [(&str, Logical); 6] = [
+        ("Q1", q1::logical_plan),
+        ("Q3", q3::logical_plan),
+        ("Q4", q4::logical_plan),
+        ("Q5", q5::logical_plan),
+        ("Q6", q6::logical_plan),
+        ("Q14", q14::logical_plan),
+    ];
+    let spec = crate::paper_device();
+    let fw = crate::paper_framework();
+    let modes: [(&str, PlannerOptions); 3] = [
+        ("heuristic", PlannerOptions::default()),
+        (
+            "fusion",
+            PlannerOptions {
+                fusion: FusionPolicy::on(),
+                ..PlannerOptions::default()
+            },
+        ),
+        (
+            "costing",
+            PlannerOptions {
+                costing: Some(CostingOptions::new(&spec, TableStats::new())),
+                ..PlannerOptions::default()
+            },
+        ),
+    ];
+    let mut reports = Vec::new();
+    for (q, logical) in &queries {
+        for (mode, opts) in &modes {
+            for b in fw.backends() {
+                match optimizer::plan_traced(q, &logical(), b.as_ref(), opts) {
+                    Ok((plan, traces)) => {
+                        let view =
+                            gpu_lint::phys_view(&plan, optimizer::supported_joins(b.as_ref()));
+                        reports.push(gpu_lint::lint_translation(
+                            format!("translation({q}/{mode}/{})", b.name()),
+                            &traces,
+                            &view,
+                        ));
+                    }
+                    Err(_) => {
+                        assert_eq!(b.name(), "ArrayFire", "only ArrayFire may fail to plan")
+                    }
+                }
+            }
+        }
+    }
+    reports
+}
+
 /// Translate a resilient-plan-executor recovery log into the lint's
 /// [`RecoveryTimeline`] shape, losslessly.
 pub fn convert_recovery(log: &RecoveryLog) -> RecoveryTimeline {
@@ -498,6 +571,17 @@ mod tests {
         // (6 queries × 4 backends, minus ArrayFire on the 4 join
         // queries) × {unfused, fused}.
         assert_eq!(reports.len(), 2 * (6 * 4 - 4));
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn every_tpch_rewrite_trace_validates_on_every_backend() {
+        let reports = translation_reports();
+        // 3 planner modes × (6 queries × 4 backends, minus ArrayFire on
+        // the 4 join queries).
+        assert_eq!(reports.len(), 3 * (6 * 4 - 4));
         for r in &reports {
             assert!(r.is_clean(), "{}", r.render());
         }

@@ -7,118 +7,16 @@
 //! of columns, affine column maps and comparison masks (column±column
 //! sums are outside the Table-II operator set and excluded) — so every
 //! generated chain takes the real unfused path and the real
-//! single-pass `FusedFilterAgg` kernel.
+//! single-pass `FusedFilterAgg` kernel. The generator itself lives in
+//! [`bench::plangen`], shared with the translation property suite.
 
-use proto_core::logical::{AggExpr, ColumnDecl, LogicalPlan};
-use proto_core::ops::CmpOp;
+use bench::plangen::{random_chain, Rng, SEEDS};
+use proto_core::logical::LogicalPlan;
 use proto_core::optimizer::{plan_with, FusionPolicy, PlannerOptions};
 use proto_core::physical::{PlanBindings, Step};
-use proto_core::plan::{Expr, Predicate};
 use proto_core::workload;
 
-const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 const N: usize = 4096;
-
-/// xorshift64* — the deterministic generator the hazard-injection
-/// suites use.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn pick(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
-
-const F64_COLS: [&str; 3] = ["t.a", "t.b", "t.c"];
-
-fn random_cmp(rng: &mut Rng) -> CmpOp {
-    [
-        CmpOp::Lt,
-        CmpOp::Le,
-        CmpOp::Gt,
-        CmpOp::Ge,
-        CmpOp::Eq,
-        CmpOp::Ne,
-    ][rng.pick(6)]
-}
-
-/// One multiplicative factor: a column, an affine map of a column, or a
-/// comparison mask — the shapes `fuse_expr_rel` and `lower_arith` both
-/// accept (column±column sums are unsupported unfused, so the grammar
-/// never emits them).
-fn random_factor(rng: &mut Rng) -> Expr {
-    let col = F64_COLS[rng.pick(F64_COLS.len())];
-    match rng.pick(4) {
-        0 => Expr::col(col),
-        1 => Expr::col(col) * Expr::lit(0.5 + rng.unit()),
-        2 => Expr::lit(1.0 + rng.unit()) - Expr::lit(0.5 + rng.unit()) * Expr::col(col),
-        _ => Expr::Mask(col.to_string(), random_cmp(rng), rng.unit()),
-    }
-}
-
-/// A product of 1–3 random factors.
-fn random_expr(rng: &mut Rng) -> Expr {
-    let mut e = random_factor(rng);
-    for _ in 0..rng.pick(3) {
-        e = e * random_factor(rng);
-    }
-    e
-}
-
-/// 1–3 conjunctive literal predicates over the key and value columns.
-fn random_predicate(rng: &mut Rng, key_domain: u32) -> Predicate {
-    let mut conjs = vec![Predicate::cmp(
-        "t.key",
-        [CmpOp::Lt, CmpOp::Ge][rng.pick(2)],
-        f64::from(key_domain / 4 + (rng.next() % u64::from(key_domain / 2)) as u32),
-    )];
-    for _ in 0..rng.pick(3) {
-        conjs.push(Predicate::cmp(
-            F64_COLS[rng.pick(F64_COLS.len())],
-            [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.pick(4)],
-            0.1 + 0.8 * rng.unit(),
-        ));
-    }
-    Predicate::And(conjs)
-}
-
-fn random_chain(rng: &mut Rng, key_domain: u32) -> LogicalPlan {
-    let n_aggs = 1 + rng.pick(2);
-    let aggs = (0..n_aggs)
-        .map(|i| (format!("acc{i}"), AggExpr::Sum(random_expr(rng))))
-        .collect::<Vec<_>>();
-    LogicalPlan::scan(
-        "t",
-        vec![
-            ColumnDecl::u32("key"),
-            ColumnDecl::f64("a"),
-            ColumnDecl::f64("b"),
-            ColumnDecl::f64("c"),
-        ],
-    )
-    .filter(random_predicate(rng, key_domain))
-    .aggregate(
-        None,
-        aggs.iter().map(|(n, a)| (n.as_str(), a.clone())).collect(),
-    )
-}
 
 #[test]
 fn random_chains_are_bit_equal_fused_and_unfused_on_every_backend() {

@@ -944,6 +944,460 @@ fn zeroed_backoff_budget_is_flagged() {
     assert_eq!(report.errors(), 0, "GL502 is a warning");
 }
 
+// ---- Planner-translation hazards (GL7xx) -------------------------------
+
+use proto_core::logical::{ColumnDecl, LogicalPlan, ResultOrder};
+use proto_core::ops::JoinAlgo;
+use proto_core::optimizer::{self, FusionPolicy, PassTrace, PlannerOptions, RewriteCert};
+use proto_core::physical::{ColRef, Step};
+use proto_core::plan::Predicate;
+
+/// Run one real query through `plan_traced`, build the analyzer's view,
+/// and assert the baseline translation validates before mutation.
+fn golden_translation(
+    query: &str,
+    opts: &PlannerOptions,
+    backend: &str,
+) -> (Vec<PassTrace>, gpu_lint::PhysView) {
+    type Logical = fn() -> LogicalPlan;
+    let queries: [(&str, Logical); 6] = [
+        ("Q1", tpch::queries::q1::logical_plan),
+        ("Q3", tpch::queries::q3::logical_plan),
+        ("Q4", tpch::queries::q4::logical_plan),
+        ("Q5", tpch::queries::q5::logical_plan),
+        ("Q6", tpch::queries::q6::logical_plan),
+        ("Q14", tpch::queries::q14::logical_plan),
+    ];
+    let logical = queries
+        .iter()
+        .find(|(q, _)| *q == query)
+        .expect("known query")
+        .1;
+    let fw = bench::paper_framework();
+    let b = fw.backend(backend).expect("known backend");
+    let (plan, traces) =
+        optimizer::plan_traced(query, &logical(), b, opts).expect("query plans on this backend");
+    let view = gpu_lint::phys_view(&plan, optimizer::supported_joins(b));
+    let report = gpu_lint::lint_translation("golden", &traces, &view);
+    assert!(
+        report.is_clean(),
+        "baseline translation must validate before mutation:\n{}",
+        report.render()
+    );
+    (traces, view)
+}
+
+/// Structural rewrite: apply `f` top-down; where it returns `Some` the
+/// subtree is replaced and recursion stops, elsewhere children recurse.
+fn rewrite_plan(
+    p: &LogicalPlan,
+    f: &mut dyn FnMut(&LogicalPlan) -> Option<LogicalPlan>,
+) -> LogicalPlan {
+    if let Some(r) = f(p) {
+        return r;
+    }
+    match p {
+        LogicalPlan::Scan { .. } => p.clone(),
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite_plan(input, f)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(rewrite_plan(input, f)),
+            columns: columns.clone(),
+        },
+        LogicalPlan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            semi_distinct,
+            project,
+        } => LogicalPlan::Join {
+            build: Box::new(rewrite_plan(build, f)),
+            probe: Box::new(rewrite_plan(probe, f)),
+            build_key: build_key.clone(),
+            probe_key: probe_key.clone(),
+            semi_distinct: *semi_distinct,
+            project: project.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_plan(input, f)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::SortLimit {
+            input,
+            order,
+            limit,
+        } => LogicalPlan::SortLimit {
+            input: Box::new(rewrite_plan(input, f)),
+            order: *order,
+            limit: *limit,
+        },
+    }
+}
+
+/// Replace the `after` tree of the rewrite certificate at trace `idx`.
+fn tamper_after(
+    traces: &mut [PassTrace],
+    idx: usize,
+    mut f: impl FnMut(&LogicalPlan) -> LogicalPlan,
+) {
+    let Some(RewriteCert::Rewrite {
+        rule,
+        before,
+        after,
+    }) = &traces[idx].cert
+    else {
+        panic!("trace #{idx} carries no tree rewrite certificate");
+    };
+    traces[idx].cert = Some(RewriteCert::Rewrite {
+        rule: *rule,
+        before: before.clone(),
+        after: f(after),
+    });
+}
+
+/// Index of the pushdown certificate in every `plan_traced` trace
+/// (entry 0 is the uncertified "initial" snapshot).
+const PUSHDOWN: usize = 1;
+
+#[test]
+fn injected_schema_mutations_are_flagged_gl701() {
+    // Renamed root aggregate output: the rewrite no longer produces the
+    // columns it started from.
+    let queries = ["Q1", "Q3", "Q6", "Q14"];
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let q = queries[rng.pick(queries.len())];
+        let (mut traces, view) = golden_translation(q, &PlannerOptions::default(), "Handwritten");
+        tamper_after(&mut traces, PUSHDOWN, |p| {
+            rewrite_plan(p, &mut |n| match n {
+                LogicalPlan::Aggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    let mut aggs = aggs.clone();
+                    aggs[0].0 = format!("{}_mut", aggs[0].0);
+                    Some(LogicalPlan::Aggregate {
+                        input: input.clone(),
+                        group_by: group_by.clone(),
+                        aggs,
+                    })
+                }
+                _ => None,
+            })
+        });
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::TranslationSchemaMismatch && d.events == [PUSHDOWN]),
+            "seed {seed} ({q}): GL701 at #{PUSHDOWN} expected: {:?}",
+            r.diagnostics
+        );
+        assert!(r.errors() > 0, "GL701 is an error");
+    }
+
+    // Widened projection: the rewritten tree projects a column its
+    // input never produced, so the certificate cannot be interpreted.
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let backends = ["Thrust", "Boost.Compute", "Handwritten"];
+        let b = backends[rng.pick(backends.len())];
+        let (mut traces, view) = golden_translation("Q14", &PlannerOptions::default(), b);
+        let mut widened = false;
+        tamper_after(&mut traces, PUSHDOWN, |p| {
+            rewrite_plan(p, &mut |n| match n {
+                LogicalPlan::Project { input, columns } => {
+                    let mut columns = columns.clone();
+                    columns.push("phantom.column".into());
+                    widened = true;
+                    Some(LogicalPlan::Project {
+                        input: input.clone(),
+                        columns,
+                    })
+                }
+                _ => None,
+            })
+        });
+        assert!(widened, "Q14 must carry a projection to widen");
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::TranslationSchemaMismatch && d.events == [PUSHDOWN]),
+            "seed {seed} ({b}): GL701 at #{PUSHDOWN} expected: {:?}",
+            r.diagnostics
+        );
+    }
+}
+
+#[test]
+fn injected_dtype_flip_is_flagged_gl702() {
+    // Flip every scan column's declared dtype: the grouped aggregate's
+    // key column changes type across the rewrite.
+    let queries = ["Q1", "Q3", "Q4", "Q5"];
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let q = queries[rng.pick(queries.len())];
+        let (mut traces, view) = golden_translation(q, &PlannerOptions::default(), "Handwritten");
+        tamper_after(&mut traces, PUSHDOWN, |p| {
+            rewrite_plan(p, &mut |n| match n {
+                LogicalPlan::Scan { table, columns } => Some(LogicalPlan::Scan {
+                    table: table.clone(),
+                    columns: columns
+                        .iter()
+                        .map(|c| ColumnDecl {
+                            name: c.name.clone(),
+                            dtype: match c.dtype {
+                                proto_core::backend::ColType::U32 => {
+                                    proto_core::backend::ColType::F64
+                                }
+                                proto_core::backend::ColType::F64 => {
+                                    proto_core::backend::ColType::U32
+                                }
+                            },
+                        })
+                        .collect(),
+                }),
+                _ => None,
+            })
+        });
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::TranslationDtypeChange && d.events == [PUSHDOWN]),
+            "seed {seed} ({q}): GL702 at #{PUSHDOWN} expected: {:?}",
+            r.diagnostics
+        );
+        assert!(r.errors() > 0, "GL702 is an error");
+    }
+}
+
+#[test]
+fn injected_cardinality_violation_is_flagged_gl703() {
+    // Cap a scalar aggregate (exactly one row) at zero rows: the
+    // rewritten interval [0, 0] is disjoint from [1, 1].
+    let queries = ["Q6", "Q14"];
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let q = queries[rng.pick(queries.len())];
+        let (mut traces, view) = golden_translation(q, &PlannerOptions::default(), "Handwritten");
+        tamper_after(&mut traces, PUSHDOWN, |p| LogicalPlan::SortLimit {
+            input: Box::new(p.clone()),
+            order: ResultOrder::KeyAsc,
+            limit: Some(0),
+        });
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::TranslationCardinalityViolation && d.events == [PUSHDOWN]),
+            "seed {seed} ({q}): GL703 at #{PUSHDOWN} expected: {:?}",
+            r.diagnostics
+        );
+        assert_eq!(r.errors(), 0, "GL703 is a warning, not an error");
+        assert!(r.warnings() > 0);
+    }
+}
+
+#[test]
+fn injected_dropped_conjunct_is_flagged_gl704() {
+    let queries = ["Q6", "Q14"];
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let q = queries[rng.pick(queries.len())];
+        let (mut traces, view) = golden_translation(q, &PlannerOptions::default(), "Handwritten");
+        // Count the filter conjuncts, then drop a seed-picked one.
+        let count_in = |p: &LogicalPlan| {
+            let mut n = 0usize;
+            rewrite_plan(p, &mut |node| {
+                if let LogicalPlan::Filter { predicate, .. } = node {
+                    n += match predicate {
+                        Predicate::And(v) => v.len(),
+                        _ => 1,
+                    };
+                }
+                None
+            });
+            n
+        };
+        let Some(RewriteCert::Rewrite { after, .. }) = &traces[PUSHDOWN].cert else {
+            panic!("pushdown certificate missing");
+        };
+        let total = count_in(after);
+        assert!(total > 0, "{q} must filter");
+        let target = rng.pick(total);
+        tamper_after(&mut traces, PUSHDOWN, |p| {
+            let mut seen = 0usize;
+            let mut done = false;
+            rewrite_plan(p, &mut |node| {
+                let LogicalPlan::Filter { input, predicate } = node else {
+                    return None;
+                };
+                if done {
+                    return None;
+                }
+                let n = match predicate {
+                    Predicate::And(v) => v.len(),
+                    _ => 1,
+                };
+                if target >= seen + n {
+                    seen += n;
+                    return None;
+                }
+                done = true;
+                Some(match predicate {
+                    Predicate::And(v) if v.len() > 1 => {
+                        let mut v = v.clone();
+                        v.remove(target - seen);
+                        LogicalPlan::Filter {
+                            input: input.clone(),
+                            predicate: Predicate::And(v),
+                        }
+                    }
+                    // A single-conjunct filter drops entirely.
+                    _ => (**input).clone(),
+                })
+            })
+        });
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::PredicateNotImplied && d.events == [PUSHDOWN]),
+            "seed {seed} ({q}, conjunct {target}): GL704 at #{PUSHDOWN} expected: {:?}",
+            r.diagnostics
+        );
+        assert!(r.errors() > 0, "GL704 is an error");
+    }
+}
+
+#[test]
+fn injected_swapped_fused_operands_are_flagged_gl705() {
+    let backends = ["Thrust", "Boost.Compute", "Handwritten", "ArrayFire"];
+    let opts = PlannerOptions {
+        fusion: FusionPolicy::on(),
+        ..PlannerOptions::default()
+    };
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let b = backends[rng.pick(backends.len())];
+        let (traces, mut view) = golden_translation("Q6", &opts, b);
+        // Swap the input columns of two fused predicates that test
+        // different columns: each comparison now filters the wrong one.
+        let site = view
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::FusedFilterAgg { .. }))
+            .expect("fusion-enabled Q6 lowers to a fused filter+aggregate");
+        let Step::FusedFilterAgg { preds, .. } = &mut view.steps[site] else {
+            unreachable!()
+        };
+        let pairs: Vec<(usize, usize)> = (0..preds.len())
+            .flat_map(|i| ((i + 1)..preds.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| {
+                preds[i].input != preds[j].input
+                    && (preds[i].cmp != preds[j].cmp || preds[i].lit != preds[j].lit)
+            })
+            .collect();
+        let (i, j) = pairs[rng.pick(pairs.len())];
+        let tmp = preds[i].input;
+        preds[i].input = preds[j].input;
+        preds[j].input = tmp;
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::FusedLoweringMismatch && d.events == [site]),
+            "seed {seed} ({b}): GL705 at #{site} expected: {:?}",
+            r.diagnostics
+        );
+        assert!(r.errors() > 0, "GL705 is an error");
+    }
+}
+
+#[test]
+fn injected_wrong_join_algorithm_is_flagged_gl706() {
+    let queries = ["Q3", "Q4", "Q5", "Q14"];
+    let backends = ["Thrust", "Boost.Compute", "Handwritten"];
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let q = queries[rng.pick(queries.len())];
+        let b = backends[rng.pick(backends.len())];
+        let (traces, mut view) = golden_translation(q, &PlannerOptions::default(), b);
+        let chosen = view.join_algo.expect("join query selects an algorithm");
+        let wrong = [JoinAlgo::NestedLoops, JoinAlgo::Merge, JoinAlgo::Hash]
+            .into_iter()
+            .find(|a| *a != chosen)
+            .expect("another algorithm exists");
+        view.join_algo = Some(wrong);
+        let join_step = view
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Join { .. }))
+            .expect("join query compiles a join step");
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::PlanShapeNonconforming && d.events.contains(&join_step)),
+            "seed {seed} ({q}/{b}): GL706 on join step #{join_step} expected: {:?}",
+            r.diagnostics
+        );
+        assert!(r.errors() > 0, "GL706 is an error");
+    }
+}
+
+#[test]
+fn injected_premature_free_is_flagged_gl707() {
+    let queries = ["Q1", "Q3", "Q5"];
+    for seed in SEEDS {
+        let mut rng = Rng::new(seed);
+        let q = queries[rng.pick(queries.len())];
+        let (traces, mut view) = golden_translation(q, &PlannerOptions::default(), "Handwritten");
+        // Free the device slot feeding a seed-picked output download,
+        // immediately before the download runs.
+        let out_slots: Vec<usize> = view.outputs.iter().map(|(_, s)| *s).collect();
+        let sites: Vec<(usize, usize)> = view
+            .steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Step::DownloadU32 { input, out } | Step::DownloadF64 { input, out }
+                    if out_slots.contains(out) =>
+                {
+                    match input {
+                        ColRef::Slot(src) => Some((i, *src)),
+                        ColRef::Base(_) => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let (dl, src) = sites[rng.pick(sites.len())];
+        view.steps.insert(dl, Step::Free { slot: src });
+        let r = gpu_lint::lint_translation("mutated", &traces, &view);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::FreedLiveOutput && d.events == [dl, dl + 1]),
+            "seed {seed} ({q}): GL707 at [{dl}, {}] expected: {:?}",
+            dl + 1,
+            r.diagnostics
+        );
+        assert!(r.errors() > 0, "GL707 is an error");
+    }
+}
+
 // ---- Golden gate -------------------------------------------------------
 
 #[test]
@@ -974,6 +1428,13 @@ fn golden_grid_traces_produce_zero_diagnostics() {
         assert!(
             report.is_clean(),
             "recovery timeline is not clean:\n{}",
+            report.render()
+        );
+    }
+    for report in bench::plan_lint::translation_reports() {
+        assert!(
+            report.is_clean(),
+            "planner translation does not validate:\n{}",
             report.render()
         );
     }

@@ -20,9 +20,19 @@
 //!    fuses conjunctive-filter + product + sum aggregates into the
 //!    single [`crate::physical::Step::FilterSumProduct`] fast path (Q6).
 //!
+//! Every decision the pipeline takes is *certified*: [`plan_traced`]
+//! returns the compiled plan plus a [`PassTrace`] per step, each
+//! carrying a [`RewriteCert`] — the before/after trees of a rewrite,
+//! the join algorithm chosen against the backend's legal set, the
+//! costed dispatch, or a fused kernel's lifted expression and
+//! predicate list. `gpu-lint`'s GL7xx translation validator replays
+//! those certificates after the fact to prove the output plan
+//! semantically equivalent to the logical input (DESIGN.md §7).
+//!
 //! Adding a pass: write a `fn my_pass(&LogicalPlan) -> LogicalPlan`
 //! rewriting the tree, append it to the chain in [`optimize`] and
-//! [`optimize_traced`] (so golden tests can snapshot its effect), and
+//! [`optimize_traced`] (so golden tests can snapshot its effect), push
+//! a certificate so the validator can re-check it, and
 //! cover it with a structural unit test here — plans are `PartialEq`.
 
 use crate::backend::{ColType, GpuBackend};
@@ -168,13 +178,126 @@ impl FusionPolicy {
     }
 }
 
-/// One rewrite-pass snapshot from [`optimize_traced`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One rewrite-pass snapshot from [`optimize_traced`] / [`plan_traced`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct PassTrace {
     /// Pass name (`"initial"` for the input plan).
     pub pass: &'static str,
-    /// [`LogicalPlan::render`] of the tree after the pass.
+    /// [`LogicalPlan::render`] of the tree after the pass. Empty for
+    /// decision entries (join selection, fused lowerings, costed
+    /// dispatch) that leave the logical tree unchanged.
     pub plan: String,
+    /// Machine-checkable certificate for the rewrite this entry records,
+    /// consumed by gpu-lint's GL7xx translation validator. `None` for
+    /// the `"initial"` snapshot.
+    pub cert: Option<RewriteCert>,
+}
+
+/// A rewrite certificate: enough evidence for an *independent* checker
+/// to re-establish that one planner decision preserved plan semantics.
+///
+/// Every variant names the rule that produced it; the GL7xx validator
+/// in gpu-lint replays the evidence (abstract interpretation of the
+/// before/after trees, predicate-implication checking, lifting fused
+/// programs back to [`Expr`]) rather than trusting the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteCert {
+    /// A tree-to-tree logical rewrite (predicate pushdown, projection
+    /// pruning): both subtrees are carried so per-node facts — schema,
+    /// dtypes, sortedness, cardinality intervals, predicate atoms —
+    /// can be recomputed on each side and compared.
+    Rewrite {
+        /// Stable rule id, e.g. `"predicate_pushdown"`.
+        rule: &'static str,
+        /// The tree before the pass ran.
+        before: LogicalPlan,
+        /// The tree after the pass ran.
+        after: LogicalPlan,
+    },
+    /// The Table-II join-selection decision: which algorithm was chosen
+    /// for this backend, out of which supported set.
+    JoinSelection {
+        /// Stable rule id, e.g. `"join_selection"`.
+        rule: &'static str,
+        /// Backend the selection was made for.
+        backend: String,
+        /// The algorithm the planner picked.
+        algo: JoinAlgo,
+        /// Every algorithm Table II allows on this backend, in
+        /// preference order.
+        supported: Vec<JoinAlgo>,
+    },
+    /// One fused-kernel lowering (`FilterSumProduct`, `FusedFilterAgg`
+    /// or `FusedMap`): the logical expression chain the fused step
+    /// replaced, plus how each fused input column binds back to it.
+    FusedLowering {
+        /// Stable rule id, e.g. `"fuse_filter_agg"`.
+        rule: &'static str,
+        /// Logical subexpression materialised by each fused input
+        /// column, parallel to the emitted step's input list.
+        bindings: Vec<Expr>,
+        /// Literal filter conjuncts the fused step must apply
+        /// (empty for a pure map).
+        preds: Vec<(String, CmpOp, f64)>,
+        /// The complete logical value expression the fused kernel
+        /// computes per surviving row.
+        expr: Expr,
+    },
+    /// The costed fused-vs-composed / join-algorithm dispatch: which
+    /// candidate won, out of which enumerated set.
+    CostedDispatch {
+        /// Stable rule id, e.g. `"costed_dispatch"`.
+        rule: &'static str,
+        /// Name of the winning candidate.
+        chosen: String,
+        /// Every candidate the coster priced, in enumeration order.
+        candidates: Vec<String>,
+    },
+}
+
+impl RewriteCert {
+    /// The stable rule id this certificate was emitted under.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            RewriteCert::Rewrite { rule, .. }
+            | RewriteCert::JoinSelection { rule, .. }
+            | RewriteCert::FusedLowering { rule, .. }
+            | RewriteCert::CostedDispatch { rule, .. } => rule,
+        }
+    }
+
+    /// One-line human-readable summary (used by the traced golden).
+    pub fn describe(&self) -> String {
+        match self {
+            RewriteCert::Rewrite { rule, .. } => format!("rewrite rule={rule}"),
+            RewriteCert::JoinSelection {
+                backend,
+                algo,
+                supported,
+                ..
+            } => format!("join_selection backend={backend} algo={algo:?} supported={supported:?}"),
+            RewriteCert::FusedLowering {
+                rule,
+                bindings,
+                preds,
+                expr,
+            } => {
+                let binds: Vec<String> = bindings.iter().map(|b| b.to_string()).collect();
+                let preds: Vec<String> = preds
+                    .iter()
+                    .map(|(c, op, lit)| format!("{c} {op:?} {lit}"))
+                    .collect();
+                format!(
+                    "fused_lowering rule={rule} expr={expr} bindings=[{}] preds=[{}]",
+                    binds.join(", "),
+                    preds.join(", ")
+                )
+            }
+            RewriteCert::CostedDispatch {
+                chosen, candidates, ..
+            } => format!("costed_dispatch chosen={chosen} candidates={candidates:?}"),
+        }
+    }
 }
 
 /// Run every rewrite pass in order: predicate pushdown, then projection
@@ -189,16 +312,27 @@ pub fn optimize_traced(plan: &LogicalPlan) -> (LogicalPlan, Vec<PassTrace>) {
     let mut traces = vec![PassTrace {
         pass: "initial",
         plan: plan.render(),
+        cert: None,
     }];
     let pushed = predicate_pushdown(plan);
     traces.push(PassTrace {
         pass: "predicate_pushdown",
         plan: pushed.render(),
+        cert: Some(RewriteCert::Rewrite {
+            rule: "predicate_pushdown",
+            before: plan.clone(),
+            after: pushed.clone(),
+        }),
     });
     let pruned = projection_pruning(&pushed);
     traces.push(PassTrace {
         pass: "projection_pruning",
         plan: pruned.render(),
+        cert: Some(RewriteCert::Rewrite {
+            rule: "projection_pruning",
+            before: pushed.clone(),
+            after: pruned.clone(),
+        }),
     });
     (pruned, traces)
 }
@@ -461,19 +595,12 @@ pub fn plan_with(
     opts: &PlannerOptions,
 ) -> Result<PhysicalPlan> {
     let mut opts = opts.clone();
-    let env_pinned = match std::env::var(FUSION_THRESHOLD_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(t) => {
-                opts.fusion.threshold = t;
-                true
-            }
-            Err(_) => false,
-        },
-        Err(_) => false,
-    };
+    let env_pinned = apply_env_threshold(&mut opts);
     let optimized = optimize(logical);
     if let Some(costing) = opts.costing.clone() {
-        return plan_costed(query, &optimized, backend, &opts, &costing, env_pinned);
+        return plan_costed(
+            query, &optimized, backend, &opts, &costing, env_pinned, None,
+        );
     }
     let join_algo = if optimized.contains_join() {
         match best_join(backend) {
@@ -484,6 +611,91 @@ pub fn plan_with(
         None
     };
     lower_with_algo(query, &optimized, backend, &opts, join_algo)
+}
+
+/// [`plan_with`], additionally returning the full rewrite trace: the
+/// `optimize_traced` pass snapshots plus one certificate-bearing entry
+/// per planner decision — join selection, each fused-kernel lowering,
+/// and (on the costed path) the fused-vs-composed dispatch. The
+/// compiled [`PhysicalPlan`] is byte-identical to [`plan_with`]'s; the
+/// trace is what gpu-lint's GL7xx translation validator consumes.
+pub fn plan_traced(
+    query: &str,
+    logical: &LogicalPlan,
+    backend: &dyn GpuBackend,
+    opts: &PlannerOptions,
+) -> Result<(PhysicalPlan, Vec<PassTrace>)> {
+    let mut opts = opts.clone();
+    let env_pinned = apply_env_threshold(&mut opts);
+    let (optimized, mut traces) = optimize_traced(logical);
+    if let Some(costing) = opts.costing.clone() {
+        let plan = plan_costed(
+            query,
+            &optimized,
+            backend,
+            &opts,
+            &costing,
+            env_pinned,
+            Some(&mut traces),
+        )?;
+        return Ok((plan, traces));
+    }
+    let join_algo = if optimized.contains_join() {
+        match best_join(backend) {
+            Some(a) => Some(a),
+            None => return Err(no_join_support(backend)),
+        }
+    } else {
+        None
+    };
+    if let Some(algo) = join_algo {
+        traces.push(join_selection_trace(backend, algo));
+    }
+    let (plan, certs) = lower_collect(query, &optimized, backend, &opts, join_algo)?;
+    push_cert_traces(&mut traces, certs);
+    Ok((plan, traces))
+}
+
+/// Apply the [`FUSION_THRESHOLD_ENV`] override to `opts`, returning
+/// whether the threshold was pinned (which suppresses the costed
+/// planner's fused/composed enumeration).
+fn apply_env_threshold(opts: &mut PlannerOptions) -> bool {
+    match std::env::var(FUSION_THRESHOLD_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) => {
+                opts.fusion.threshold = t;
+                true
+            }
+            Err(_) => false,
+        },
+        Err(_) => false,
+    }
+}
+
+/// The trace entry recording a Table-II join-algorithm selection.
+fn join_selection_trace(backend: &dyn GpuBackend, algo: JoinAlgo) -> PassTrace {
+    PassTrace {
+        pass: "join_selection",
+        plan: String::new(),
+        cert: Some(RewriteCert::JoinSelection {
+            rule: "join_selection",
+            backend: backend.name().to_string(),
+            algo,
+            supported: supported_joins(backend),
+        }),
+    }
+}
+
+/// Append one `"fused_lowering"` trace entry per certificate the
+/// lowering emitted, in emission order.
+fn push_cert_traces(traces: &mut Vec<PassTrace>, certs: Vec<RewriteCert>) {
+    for cert in certs {
+        traces.push(PassTrace {
+            pass: "fused_lowering",
+            plan: String::new(),
+            cert: Some(cert),
+        });
+    }
 }
 
 /// [`plan_with`] forcing `algo` as the join algorithm (the knob E21's
@@ -517,6 +729,7 @@ fn no_join_support(backend: &dyn GpuBackend) -> SimError {
 /// The cost-based candidate search: lower once per supported join
 /// algorithm × dispatch choice, price each candidate, keep the
 /// cheapest under the requested cache state and attach the report.
+#[allow(clippy::too_many_arguments)]
 fn plan_costed(
     query: &str,
     optimized: &LogicalPlan,
@@ -524,6 +737,7 @@ fn plan_costed(
     opts: &PlannerOptions,
     costing: &CostingOptions,
     env_pinned: bool,
+    trace: Option<&mut Vec<PassTrace>>,
 ) -> Result<PhysicalPlan> {
     let model = CostModel::new(&costing.spec, &costing.stats);
     let algos: Vec<Option<JoinAlgo>> = if optimized.contains_join() {
@@ -560,7 +774,15 @@ fn plan_costed(
             ),
         ]
     };
-    let mut best: Option<(PhysicalPlan, crate::costing::CostReport, u64, usize)> = None;
+    struct Best {
+        plan: PhysicalPlan,
+        report: crate::costing::CostReport,
+        total: u64,
+        idx: usize,
+        certs: Vec<RewriteCert>,
+        algo: Option<JoinAlgo>,
+    }
+    let mut best: Option<Best> = None;
     let mut alternatives = Vec::new();
     for algo in &algos {
         for (tag, policy) in dispatches {
@@ -569,7 +791,7 @@ fn plan_costed(
             if let Some(p) = policy {
                 o.fusion = *p;
             }
-            let plan = lower_with_algo(query, optimized, backend, &o, *algo)?;
+            let (plan, certs) = lower_collect(query, optimized, backend, &o, *algo)?;
             let report = model.cost_plan(&plan);
             let name = match algo {
                 Some(a) => format!("join={a:?}, dispatch={tag}"),
@@ -583,13 +805,42 @@ fn plan_costed(
                 warm_ns: report.warm_ns(),
                 chosen: false,
             });
-            if best.as_ref().is_none_or(|(_, _, t, _)| total < *t) {
-                best = Some((plan, report, total, alternatives.len() - 1));
+            if best.as_ref().is_none_or(|b| total < b.total) {
+                best = Some(Best {
+                    plan,
+                    report,
+                    total,
+                    idx: alternatives.len() - 1,
+                    certs,
+                    algo: *algo,
+                });
             }
         }
     }
-    let (mut plan, mut report, _, chosen) = best.expect("at least one candidate");
+    let Best {
+        mut plan,
+        mut report,
+        idx: chosen,
+        certs,
+        algo,
+        ..
+    } = best.expect("at least one candidate");
     alternatives[chosen].chosen = true;
+    if let Some(traces) = trace {
+        traces.push(PassTrace {
+            pass: "costed_dispatch",
+            plan: String::new(),
+            cert: Some(RewriteCert::CostedDispatch {
+                rule: "costed_dispatch",
+                chosen: alternatives[chosen].name.clone(),
+                candidates: alternatives.iter().map(|a| a.name.clone()).collect(),
+            }),
+        });
+        if let Some(a) = algo {
+            traces.push(join_selection_trace(backend, a));
+        }
+        push_cert_traces(traces, certs);
+    }
     report.alternatives = alternatives;
     plan.cost = Some(report);
     Ok(plan)
@@ -604,6 +855,18 @@ fn lower_with_algo(
     opts: &PlannerOptions,
     join_algo: Option<JoinAlgo>,
 ) -> Result<PhysicalPlan> {
+    lower_collect(query, optimized, backend, opts, join_algo).map(|(plan, _)| plan)
+}
+
+/// [`lower_with_algo`], also returning the [`RewriteCert`]s the
+/// lowering emitted (one per fused kernel, in emission order).
+fn lower_collect(
+    query: &str,
+    optimized: &LogicalPlan,
+    backend: &dyn GpuBackend,
+    opts: &PlannerOptions,
+    join_algo: Option<JoinAlgo>,
+) -> Result<(PhysicalPlan, Vec<RewriteCert>)> {
     let mut lw = Lowerer {
         backend,
         fuse: opts.fuse_fast_paths,
@@ -617,9 +880,10 @@ fn lower_with_algo(
         outputs: Vec::new(),
         base: BTreeMap::new(),
         rel_cache: Vec::new(),
+        certs: Vec::new(),
     };
     lw.lower_root(optimized)?;
-    Ok(PhysicalPlan {
+    let plan = PhysicalPlan {
         query: query.to_string(),
         backend: backend.name().to_string(),
         join_algo,
@@ -630,7 +894,8 @@ fn lower_with_algo(
         outputs: lw.outputs,
         base: lw.base,
         cost: None,
-    })
+    };
+    Ok((plan, lw.certs))
 }
 
 /// A lowered relation: how the rows of a logical subtree exist on the
@@ -742,6 +1007,9 @@ struct Lowerer<'a> {
     /// Structural CSE: identical logical subtrees lower once (Q5 shares
     /// the region-filtered nations between two joins).
     rel_cache: Vec<(LogicalPlan, Rel)>,
+    /// Rewrite certificates emitted while lowering (one per fused
+    /// kernel), in step-emission order.
+    certs: Vec<RewriteCert>,
 }
 
 fn unknown(name: &str) -> SimError {
@@ -959,6 +1227,15 @@ impl Lowerer<'_> {
             self.backend.realization(DbOperator::Selection),
             self.backend.realization(DbOperator::Reduction)
         );
+        self.certs.push(RewriteCert::FusedLowering {
+            rule: "fuse_filter_sum_product",
+            bindings: vec![Expr::Col(ca.clone()), Expr::Col(cb.clone())],
+            preds: cmps,
+            expr: Expr::Mul(
+                Box::new(Expr::Col(ca.clone())),
+                Box::new(Expr::Col(cb.clone())),
+            ),
+        });
         self.emit(
             Step::FilterSumProduct {
                 a: ra,
@@ -1005,31 +1282,39 @@ impl Lowerer<'_> {
                 return Ok(None);
             };
             let mut inputs: Vec<ColRef> = Vec::new();
+            let mut binds: Vec<Expr> = Vec::new();
             let mut preds = Vec::new();
             for (c, op, lit) in &cmps {
                 let Ok((r, _)) = self.rel_ref(&rel, c) else {
                     return Ok(None);
                 };
                 preds.push(FusedPred {
-                    input: leaf_slot(&mut inputs, r),
+                    input: leaf_slot(&mut inputs, &mut binds, r, &Expr::Col(c.clone())),
                     cmp: *op,
                     lit: *lit,
                 });
             }
-            let Some(FuseVal::Node(expr)) = self.fuse_expr_rel(e, &rel, &mut inputs) else {
+            let Some(FuseVal::Node(expr)) = self.fuse_expr_rel(e, &rel, &mut inputs, &mut binds)
+            else {
                 return Ok(None);
             };
-            built.push((name.clone(), inputs, preds, expr));
+            built.push((name.clone(), inputs, binds, preds, expr, e.clone()));
         }
         let threshold = self.fusion.threshold;
         let mut outs = Vec::new();
-        for (name, inputs, preds, expr) in built {
+        for (name, inputs, binds, preds, expr, logical_expr) in built {
             let out = self.new_slot(&name, SlotKind::Scalar);
             let how = format!(
                 "{} ; {}",
                 self.backend.realization(DbOperator::Selection),
                 self.backend.realization(DbOperator::Reduction)
             );
+            self.certs.push(RewriteCert::FusedLowering {
+                rule: "fuse_filter_agg",
+                bindings: binds,
+                preds: cmps.clone(),
+                expr: logical_expr,
+            });
             self.emit(
                 Step::FusedFilterAgg {
                     inputs,
@@ -1051,25 +1336,41 @@ impl Lowerer<'_> {
     /// and affine shortcuts. `None` when the shape cannot fuse (the
     /// caller falls back to the normal path, unknown-column errors
     /// included).
-    fn fuse_expr_rel(&self, e: &Expr, rel: &Rel, inputs: &mut Vec<ColRef>) -> Option<FuseVal> {
+    fn fuse_expr_rel(
+        &self,
+        e: &Expr,
+        rel: &Rel,
+        inputs: &mut Vec<ColRef>,
+        binds: &mut Vec<Expr>,
+    ) -> Option<FuseVal> {
         match e {
             Expr::Lit(v) => Some(FuseVal::Const(*v)),
             Expr::Col(name) => {
                 let (r, _) = self.rel_ref(rel, name).ok()?;
-                Some(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, r))))
+                Some(FuseVal::Node(FusedExpr::Col(leaf_slot(
+                    inputs,
+                    binds,
+                    r,
+                    &Expr::Col(name.clone()),
+                ))))
             }
             Expr::Mask(name, cmp, lit) => {
                 let (r, _) = self.rel_ref(rel, name).ok()?;
                 Some(FuseVal::Node(FusedExpr::Mask {
-                    input: Box::new(FusedExpr::Col(leaf_slot(inputs, r))),
+                    input: Box::new(FusedExpr::Col(leaf_slot(
+                        inputs,
+                        binds,
+                        r,
+                        &Expr::Col(name.clone()),
+                    ))),
                     cmp: *cmp,
                     lit: *lit,
                 }))
             }
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
                 let op = arith_op(e);
-                let la = self.fuse_expr_rel(a, rel, inputs)?;
-                let lb = self.fuse_expr_rel(b, rel, inputs)?;
+                let la = self.fuse_expr_rel(a, rel, inputs, binds)?;
+                let lb = self.fuse_expr_rel(b, rel, inputs, binds)?;
                 fuse_arith(la, lb, op)
             }
         }
@@ -1162,9 +1463,12 @@ impl Lowerer<'_> {
         join: Option<&JoinCtx>,
         ctx: &mut ExprCtx,
         inputs: &mut Vec<ColRef>,
+        binds: &mut Vec<Expr>,
     ) -> Result<FuseVal> {
         if let Some(hit) = ctx.lookup(e) {
-            return Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, hit))));
+            return Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(
+                inputs, binds, hit, e,
+            ))));
         }
         match e {
             Expr::Lit(v) => Ok(FuseVal::Const(*v)),
@@ -1174,7 +1478,9 @@ impl Lowerer<'_> {
                     .find(|(n, _, _)| n == name)
                     .map(|(_, r, _)| r.clone())
                     .ok_or_else(|| unknown(name))?;
-                Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, r))))
+                Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(
+                    inputs, binds, r, e,
+                ))))
             }
             Expr::Mask(name, cmp, lit) => {
                 let in_scope = scope
@@ -1183,20 +1489,25 @@ impl Lowerer<'_> {
                     .map(|(_, r, _)| r.clone());
                 match in_scope {
                     Some(r) if !ctx.shared.contains(e) => Ok(FuseVal::Node(FusedExpr::Mask {
-                        input: Box::new(FusedExpr::Col(leaf_slot(inputs, r))),
+                        input: Box::new(FusedExpr::Col(leaf_slot(
+                            inputs,
+                            binds,
+                            r,
+                            &Expr::Col(name.clone()),
+                        ))),
                         cmp: *cmp,
                         lit: *lit,
                     })),
-                    _ => self.fuse_leaf_via_lowering(e, scope, join, ctx, inputs),
+                    _ => self.fuse_leaf_via_lowering(e, scope, join, ctx, inputs, binds),
                 }
             }
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
                 if ctx.shared.contains(e) {
-                    return self.fuse_leaf_via_lowering(e, scope, join, ctx, inputs);
+                    return self.fuse_leaf_via_lowering(e, scope, join, ctx, inputs, binds);
                 }
                 let op = arith_op(e);
-                let la = self.build_fused(a, scope, join, ctx, inputs)?;
-                let lb = self.build_fused(b, scope, join, ctx, inputs)?;
+                let la = self.build_fused(a, scope, join, ctx, inputs, binds)?;
+                let lb = self.build_fused(b, scope, join, ctx, inputs, binds)?;
                 fuse_arith(la, lb, op).ok_or_else(|| {
                     SimError::Unsupported(
                         "column±column addition is not in the Table-II operator set; \
@@ -1211,6 +1522,7 @@ impl Lowerer<'_> {
     /// Materialise a subtree through the normal lowering (it is cached,
     /// shared across aggregates, or reads the join build side) and
     /// reference the resulting column as a fused-kernel input.
+    #[allow(clippy::too_many_arguments)]
     fn fuse_leaf_via_lowering(
         &mut self,
         e: &Expr,
@@ -1218,9 +1530,12 @@ impl Lowerer<'_> {
         join: Option<&JoinCtx>,
         ctx: &mut ExprCtx,
         inputs: &mut Vec<ColRef>,
+        binds: &mut Vec<Expr>,
     ) -> Result<FuseVal> {
         match self.lower_expr(e, scope, join, ctx)? {
-            LowerVal::Ref(r) => Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(inputs, r)))),
+            LowerVal::Ref(r) => Ok(FuseVal::Node(FusedExpr::Col(leaf_slot(
+                inputs, binds, r, e,
+            )))),
             LowerVal::Const(v) => Ok(FuseVal::Const(v)),
         }
     }
@@ -1253,10 +1568,17 @@ impl Lowerer<'_> {
         ctx: &mut ExprCtx,
     ) -> Result<ColRef> {
         let mut inputs: Vec<ColRef> = Vec::new();
-        let expr = match self.build_fused(whole, scope, join, ctx, &mut inputs)? {
+        let mut binds: Vec<Expr> = Vec::new();
+        let expr = match self.build_fused(whole, scope, join, ctx, &mut inputs, &mut binds)? {
             FuseVal::Node(n) => n,
             FuseVal::Const(_) => unreachable!("the fusion probe rejects constant expressions"),
         };
+        self.certs.push(RewriteCert::FusedLowering {
+            rule: "fuse_map",
+            bindings: binds,
+            preds: Vec::new(),
+            expr: whole.clone(),
+        });
         let threshold = self.fusion.threshold;
         let r = self.emit_expr_slot(
             "fused",
@@ -1959,11 +2281,16 @@ fn literal_conjuncts(predicate: &Predicate) -> Option<Vec<(String, CmpOp, f64)>>
 
 /// Index of `r` in the fused-step input list, appending it on first
 /// use (inputs deduplicate so a column uploads into the kernel once).
-fn leaf_slot(inputs: &mut Vec<ColRef>, r: ColRef) -> usize {
+/// `binds` stays parallel to `inputs`: it records the logical
+/// subexpression each input column materialises, the witness the
+/// [`RewriteCert::FusedLowering`] certificate carries so gpu-lint can
+/// lift the fused program back to [`Expr`] and check it independently.
+fn leaf_slot(inputs: &mut Vec<ColRef>, binds: &mut Vec<Expr>, r: ColRef, bind: &Expr) -> usize {
     if let Some(i) = inputs.iter().position(|x| *x == r) {
         i
     } else {
         inputs.push(r);
+        binds.push(bind.clone());
         inputs.len() - 1
     }
 }

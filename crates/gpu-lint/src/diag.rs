@@ -7,7 +7,9 @@
 //! numbering is grouped by pass family: `GL0xx` buffer lifetimes,
 //! `GL1xx` stream ordering, `GL2xx` compiled Programs, `GL3xx`
 //! scheduler plans, `GL4xx` compiled physical query plans, `GL5xx`
-//! recovery timelines, `GL6xx` costed-plan resource estimates.
+//! recovery timelines, `GL6xx` costed-plan resource estimates, `GL7xx`
+//! planner translation validation (logical→physical semantic
+//! equivalence).
 
 use std::fmt;
 
@@ -98,6 +100,34 @@ pub enum Rule {
     /// GL602 — a costed plan's estimated peak device bytes exceed the
     /// device's physical memory: it cannot run un-partitioned.
     CostExceedsDeviceMemory,
+    /// GL701 — a rewrite pass changed the plan's root facts: output
+    /// column set, sortedness or nullability no longer match the tree
+    /// it replaced (or a certificate needed for checking is missing).
+    TranslationSchemaMismatch,
+    /// GL702 — a rewrite pass changed the dtype of a surviving output
+    /// column.
+    TranslationDtypeChange,
+    /// GL703 — a rewrite pass moved the plan's root cardinality
+    /// interval to one disjoint from the original — row counts the two
+    /// trees can produce no longer overlap.
+    TranslationCardinalityViolation,
+    /// GL704 — the rewritten tree's predicate set is not equivalent to
+    /// the original's: a pushed/pruned conjunct was dropped, widened or
+    /// invented, per the literal-conjunct decision procedure.
+    PredicateNotImplied,
+    /// GL705 — a fused kernel (`FusedMap` / `FusedFilterAgg` /
+    /// `FilterSumProduct`) does not implement the logical expression
+    /// chain its certificate says it replaced, per lifting the fused
+    /// program back to `Expr` and seeded sampling.
+    FusedLoweringMismatch,
+    /// GL706 — the physical plan does not conform to the final logical
+    /// tree: output shape (names, order, slot kinds) diverges from the
+    /// root aggregate, or the join algorithm is absent/illegal for the
+    /// backend per Table II.
+    PlanShapeNonconforming,
+    /// GL707 — a `Free` kills a device slot that a logical output
+    /// column still needs (its download step runs later).
+    FreedLiveOutput,
 }
 
 impl Rule {
@@ -130,6 +160,13 @@ impl Rule {
             Rule::RetryWithoutBackoff => "GL502",
             Rule::CostExceedsMemBudget => "GL601",
             Rule::CostExceedsDeviceMemory => "GL602",
+            Rule::TranslationSchemaMismatch => "GL701",
+            Rule::TranslationDtypeChange => "GL702",
+            Rule::TranslationCardinalityViolation => "GL703",
+            Rule::PredicateNotImplied => "GL704",
+            Rule::FusedLoweringMismatch => "GL705",
+            Rule::PlanShapeNonconforming => "GL706",
+            Rule::FreedLiveOutput => "GL707",
         }
     }
 
@@ -144,7 +181,8 @@ impl Rule {
             | Rule::DeadLeaf
             | Rule::UnfreedPlanColumn
             | Rule::RetryWithoutBackoff
-            | Rule::CostExceedsMemBudget => Severity::Warning,
+            | Rule::CostExceedsMemBudget
+            | Rule::TranslationCardinalityViolation => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -326,6 +364,13 @@ mod tests {
             Rule::RetryWithoutBackoff,
             Rule::CostExceedsMemBudget,
             Rule::CostExceedsDeviceMemory,
+            Rule::TranslationSchemaMismatch,
+            Rule::TranslationDtypeChange,
+            Rule::TranslationCardinalityViolation,
+            Rule::PredicateNotImplied,
+            Rule::FusedLoweringMismatch,
+            Rule::PlanShapeNonconforming,
+            Rule::FreedLiveOutput,
         ];
         let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len(), "ids collide");
@@ -347,6 +392,23 @@ mod tests {
         assert_eq!(Rule::CostExceedsMemBudget.severity(), Severity::Warning);
         assert_eq!(Rule::CostExceedsDeviceMemory.id(), "GL602");
         assert_eq!(Rule::CostExceedsDeviceMemory.severity(), Severity::Error);
+        assert_eq!(Rule::TranslationSchemaMismatch.id(), "GL701");
+        assert_eq!(Rule::TranslationSchemaMismatch.severity(), Severity::Error);
+        assert_eq!(Rule::TranslationDtypeChange.id(), "GL702");
+        assert_eq!(Rule::TranslationDtypeChange.severity(), Severity::Error);
+        assert_eq!(Rule::TranslationCardinalityViolation.id(), "GL703");
+        assert_eq!(
+            Rule::TranslationCardinalityViolation.severity(),
+            Severity::Warning
+        );
+        assert_eq!(Rule::PredicateNotImplied.id(), "GL704");
+        assert_eq!(Rule::PredicateNotImplied.severity(), Severity::Error);
+        assert_eq!(Rule::FusedLoweringMismatch.id(), "GL705");
+        assert_eq!(Rule::FusedLoweringMismatch.severity(), Severity::Error);
+        assert_eq!(Rule::PlanShapeNonconforming.id(), "GL706");
+        assert_eq!(Rule::PlanShapeNonconforming.severity(), Severity::Error);
+        assert_eq!(Rule::FreedLiveOutput.id(), "GL707");
+        assert_eq!(Rule::FreedLiveOutput.severity(), Severity::Error);
     }
 
     #[test]

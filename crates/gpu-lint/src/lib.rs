@@ -19,6 +19,11 @@
 //! * **Costed-plan estimates** ([`costing::CostedPlan`] summaries of
 //!   the planner's cost reports) — the resource-budget checker
 //!   ([`costing::lint_costed_plan`], `GL6xx`).
+//! * **Planner rewrite traces** ([`proto_core::optimizer::PassTrace`]
+//!   with rewrite certificates, plus the compiled plan) — the
+//!   translation validator ([`translate::validate_translation`],
+//!   `GL7xx`), proving each logical→physical rewrite semantically
+//!   equivalent.
 //!
 //! Every pass is a pure function from artifact to [`Diagnostic`]s; the
 //! analyzer never mutates what it observes, so linting a trace can
@@ -41,12 +46,14 @@ pub mod plan;
 pub mod program;
 pub mod resilience;
 pub mod stream;
+pub mod translate;
 
 pub use costing::CostedPlan;
 pub use diag::{Diagnostic, Report, Rule, Severity, Waiver};
 pub use physplan::{PlanColumn, PlanDtype, PlanStep, PlanUse};
 pub use plan::PlanTask;
 pub use resilience::{RecoveryEvent, RecoveryEventKind, RecoveryTimeline};
+pub use translate::{phys_view, PhysView};
 
 use std::collections::BTreeMap;
 
@@ -85,6 +92,16 @@ pub fn lint_recovery(target: impl Into<String>, timeline: &RecoveryTimeline) -> 
 /// Check a costed plan's resource estimates and bundle the findings.
 pub fn lint_costed_plan(target: impl Into<String>, plan: &CostedPlan) -> Report {
     Report::new(target, costing::lint_costed_plan(plan))
+}
+
+/// Validate a planner rewrite trace against the compiled plan and
+/// bundle the findings (the GL7xx translation-validation family).
+pub fn lint_translation(
+    target: impl Into<String>,
+    traces: &[proto_core::optimizer::PassTrace],
+    view: &PhysView,
+) -> Report {
+    Report::new(target, translate::validate_translation(traces, view))
 }
 
 /// Render `events` as a timeline with each diagnostic's rule id

@@ -8,9 +8,9 @@
 //! still pass.
 
 use gpu_sim::DeviceSpec;
-use proto_core::optimizer::{self, PlannerOptions};
+use proto_core::optimizer::{self, CostingOptions, PlannerOptions};
 use proto_core::prelude::*;
-use tpch::queries::{q1, q6};
+use tpch::queries::{q1, q3, q6};
 
 /// Build the full golden document: every pass trace for both queries,
 /// then the three physical listings.
@@ -55,6 +55,81 @@ fn pass_traces_and_explains_match_the_golden_file() {
     assert_eq!(
         got, want,
         "planner output drifted from tests/golden/optimizer.txt"
+    );
+}
+
+/// Render every `plan_traced` trace entry as `pass: certificate` — the
+/// full rewrite-certificate stream GL7xx consumes, covering a
+/// join-selection decision (Q3 heuristic), both fused-lowering shapes
+/// (Q6 heuristic fast path, Q6 general fusion), and a costed
+/// fused-vs-composed dispatch (Q6 costing).
+fn traced_snapshot() -> String {
+    let fw = Framework::single_backend(&DeviceSpec::gtx1080(), "Thrust");
+    let b = fw.as_ref();
+    let mut doc = String::new();
+    let cases: [(&str, &str, LogicalPlan, PlannerOptions); 4] = [
+        (
+            "Q3 heuristic",
+            "Q3",
+            q3::logical_plan(),
+            PlannerOptions::default(),
+        ),
+        (
+            "Q6 heuristic",
+            "Q6",
+            q6::logical_plan(),
+            PlannerOptions::default(),
+        ),
+        (
+            "Q6 fusion",
+            "Q6",
+            q6::logical_plan(),
+            PlannerOptions {
+                fusion: FusionPolicy::on(),
+                ..PlannerOptions::default()
+            },
+        ),
+        (
+            "Q6 costing",
+            "Q6",
+            q6::logical_plan(),
+            PlannerOptions {
+                costing: Some(CostingOptions::new(
+                    &DeviceSpec::gtx1080(),
+                    TableStats::new(),
+                )),
+                ..PlannerOptions::default()
+            },
+        ),
+    ];
+    for (title, q, plan, opts) in &cases {
+        let (_, traces) = optimizer::plan_traced(q, plan, b, opts).unwrap();
+        doc.push_str(&format!("==== {title} ====\n"));
+        for t in &traces {
+            match &t.cert {
+                Some(c) => doc.push_str(&format!("{}: {}\n", t.pass, c.describe())),
+                None => doc.push_str(&format!("{}: (no certificate)\n", t.pass)),
+            }
+        }
+    }
+    doc
+}
+
+#[test]
+fn rewrite_certificates_match_the_golden_trace_file() {
+    let got = traced_snapshot();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/optimizer_traced.txt"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file; UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        got, want,
+        "rewrite certificates drifted from tests/golden/optimizer_traced.txt"
     );
 }
 
